@@ -1,0 +1,229 @@
+//! Isolation forest (Liu, Ting & Zhou, the paper's reference [11]).
+
+use linalg::Matrix;
+use rand::Rng;
+
+/// One node of an isolation tree.
+#[derive(Debug, Clone)]
+enum Node {
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+    Leaf {
+        size: usize,
+    },
+}
+
+/// An isolation forest: anomalies isolate in few random splits, so short
+/// expected path length ⇒ high anomaly score.
+#[derive(Debug, Clone)]
+pub struct IsolationForest {
+    trees: Vec<Node>,
+    sample_size: usize,
+}
+
+/// Average unsuccessful-search path length of a BST with `n` nodes —
+/// the normalizer `c(n)` from the paper.
+fn c_factor(n: usize) -> f32 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let n = n as f32;
+    2.0 * ((n - 1.0).ln() + 0.577_215_7) - 2.0 * (n - 1.0) / n
+}
+
+impl IsolationForest {
+    /// Fits `n_trees` trees, each on a subsample of `sample_size` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `n_trees == 0`.
+    pub fn fit<R: Rng + ?Sized>(
+        rng: &mut R,
+        data: &Matrix,
+        n_trees: usize,
+        sample_size: usize,
+    ) -> Self {
+        assert!(data.rows() > 0, "isolation forest needs training data");
+        assert!(n_trees > 0, "need at least one tree");
+        let m = sample_size.clamp(2, data.rows());
+        let max_depth = (m as f32).log2().ceil() as usize + 1;
+        let trees = (0..n_trees)
+            .map(|_| {
+                // Subsample without replacement (partial Fisher–Yates).
+                let mut idx: Vec<usize> = (0..data.rows()).collect();
+                for i in 0..m {
+                    let j = rng.gen_range(i..idx.len());
+                    idx.swap(i, j);
+                }
+                idx.truncate(m);
+                build_tree(rng, data, &idx, 0, max_depth)
+            })
+            .collect();
+        IsolationForest {
+            trees,
+            sample_size: m,
+        }
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// `true` if the forest has no trees (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Anomaly score in `(0, 1)`: `2^(−E[h(x)]/c(ψ))`. Scores above
+    /// ~0.6 indicate anomalies; ~0.5 is average.
+    pub fn score(&self, x: &[f32]) -> f32 {
+        let mean_path: f32 = self
+            .trees
+            .iter()
+            .map(|t| path_length(t, x, 0))
+            .sum::<f32>()
+            / self.trees.len() as f32;
+        let c = c_factor(self.sample_size).max(1e-6);
+        2.0f32.powf(-mean_path / c)
+    }
+
+    /// Scores every row.
+    pub fn score_all(&self, data: &Matrix) -> Vec<f32> {
+        (0..data.rows()).map(|r| self.score(data.row(r))).collect()
+    }
+}
+
+fn build_tree<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &Matrix,
+    idx: &[usize],
+    depth: usize,
+    max_depth: usize,
+) -> Node {
+    if idx.len() <= 1 || depth >= max_depth {
+        return Node::Leaf { size: idx.len() };
+    }
+    // Pick a random feature with spread; give up after a few tries.
+    for _ in 0..8 {
+        let feature = rng.gen_range(0..data.cols());
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        for &i in idx {
+            let v = data[(i, feature)];
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if hi <= lo {
+            continue;
+        }
+        let threshold = rng.gen_range(lo..hi);
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| data[(i, feature)] < threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            continue;
+        }
+        return Node::Split {
+            feature,
+            threshold,
+            left: Box::new(build_tree(rng, data, &left_idx, depth + 1, max_depth)),
+            right: Box::new(build_tree(rng, data, &right_idx, depth + 1, max_depth)),
+        };
+    }
+    Node::Leaf { size: idx.len() }
+}
+
+fn path_length(node: &Node, x: &[f32], depth: usize) -> f32 {
+    match node {
+        Node::Leaf { size } => depth as f32 + c_factor(*size),
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            if x[*feature] < *threshold {
+                path_length(left, x, depth + 1)
+            } else {
+                path_length(right, x, depth + 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gaussian_blob(rng: &mut StdRng, n: usize, d: usize) -> Matrix {
+        Matrix::from_fn(n, d, |_, _| linalg::rng::standard_normal(rng))
+    }
+
+    #[test]
+    fn far_outlier_scores_higher_than_center() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = gaussian_blob(&mut rng, 400, 3);
+        let forest = IsolationForest::fit(&mut rng, &data, 100, 128);
+        let center = [0.0, 0.0, 0.0];
+        let outlier = [8.0, -8.0, 8.0];
+        let sc = forest.score(&center);
+        let so = forest.score(&outlier);
+        assert!(so > sc, "outlier {so} vs center {sc}");
+        assert!(so > 0.6, "outlier score {so} should be clearly anomalous");
+    }
+
+    #[test]
+    fn scores_are_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = gaussian_blob(&mut rng, 100, 4);
+        let forest = IsolationForest::fit(&mut rng, &data, 25, 64);
+        for s in forest.score_all(&data) {
+            assert!((0.0..=1.0).contains(&s), "score {s}");
+        }
+    }
+
+    #[test]
+    fn typical_points_score_near_half_or_below() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = gaussian_blob(&mut rng, 400, 2);
+        let forest = IsolationForest::fit(&mut rng, &data, 50, 128);
+        let mean: f32 =
+            forest.score_all(&data).iter().sum::<f32>() / data.rows() as f32;
+        assert!(mean < 0.6, "mean in-distribution score {mean}");
+    }
+
+    #[test]
+    fn c_factor_properties() {
+        assert_eq!(c_factor(0), 0.0);
+        assert_eq!(c_factor(1), 0.0);
+        assert!(c_factor(10) > c_factor(2));
+        // c(n) ≈ 2 ln(n−1) + γ… grows slowly.
+        assert!(c_factor(256) < 15.0);
+    }
+
+    #[test]
+    fn constant_data_yields_leaves() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let data = Matrix::full(50, 3, 1.0);
+        let forest = IsolationForest::fit(&mut rng, &data, 10, 32);
+        // Every point identical: all scores equal, no panic.
+        let scores = forest.score_all(&data);
+        for w in scores.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-6);
+        }
+        assert_eq!(forest.len(), 10);
+        assert!(!forest.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = IsolationForest::fit(&mut rng, &Matrix::zeros(5, 2), 0, 4);
+    }
+}

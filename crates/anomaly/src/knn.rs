@@ -1,0 +1,219 @@
+//! Retrieval-based detection (paper Section IV-D).
+//!
+//! Two detectors:
+//!
+//! * [`VanillaKnn`] — classic majority-vote kNN over all labeled
+//!   training embeddings. Included as the ablation baseline the paper
+//!   argues *against*: with noisy supervision, benign-labeled neighbours
+//!   may actually be malicious, so a benign majority proves nothing.
+//! * [`RetrievalDetector`] — the paper's modification: the score of a
+//!   test sample is the **average similarity to its k nearest *malicious*
+//!   training neighbours**, ignoring benign labels entirely; "such an
+//!   innovation leads to obvious performance gains … owing to relief of
+//!   the negative impact of label noise". The paper uses k = 1.
+
+use linalg::ops::cosine_similarity;
+use linalg::Matrix;
+
+/// The paper's malicious-neighbour retrieval scorer.
+#[derive(Debug, Clone)]
+pub struct RetrievalDetector {
+    malicious: Matrix,
+    k: usize,
+}
+
+impl RetrievalDetector {
+    /// Builds the detector from labeled training embeddings, keeping
+    /// only the malicious-labeled rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree, `k == 0`, or no row is labeled
+    /// malicious (retrieval needs at least one exemplar).
+    pub fn fit(embeddings: &Matrix, labels: &[bool], k: usize) -> Self {
+        assert_eq!(
+            embeddings.rows(),
+            labels.len(),
+            "one label per embedding required"
+        );
+        assert!(k >= 1, "k must be positive");
+        let rows: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            !rows.is_empty(),
+            "retrieval needs at least one malicious-labeled sample"
+        );
+        let malicious = Matrix::from_fn(rows.len(), embeddings.cols(), |r, c| {
+            embeddings[(rows[r], c)]
+        });
+        RetrievalDetector { malicious, k }
+    }
+
+    /// Number of stored malicious exemplars.
+    pub fn n_exemplars(&self) -> usize {
+        self.malicious.rows()
+    }
+
+    /// Intrusion score `oᴿᵉᵗʳⁱ`: mean cosine similarity between `x` and
+    /// its `k` most similar malicious exemplars.
+    pub fn score(&self, x: &[f32]) -> f32 {
+        let mut sims: Vec<f32> = (0..self.malicious.rows())
+            .map(|r| cosine_similarity(self.malicious.row(r), x))
+            .collect();
+        sims.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        let k = self.k.min(sims.len());
+        sims[..k].iter().sum::<f32>() / k as f32
+    }
+
+    /// Scores every row of `data`.
+    pub fn score_all(&self, data: &Matrix) -> Vec<f32> {
+        (0..data.rows()).map(|r| self.score(data.row(r))).collect()
+    }
+}
+
+/// Classic majority-vote kNN, for the ablation comparison.
+#[derive(Debug, Clone)]
+pub struct VanillaKnn {
+    embeddings: Matrix,
+    labels: Vec<bool>,
+    k: usize,
+}
+
+impl VanillaKnn {
+    /// Stores the full labeled training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree, the set is empty, or `k == 0`.
+    pub fn fit(embeddings: &Matrix, labels: &[bool], k: usize) -> Self {
+        assert_eq!(embeddings.rows(), labels.len(), "one label per embedding");
+        assert!(embeddings.rows() > 0, "kNN needs training data");
+        assert!(k >= 1, "k must be positive");
+        VanillaKnn {
+            embeddings: embeddings.clone(),
+            labels: labels.to_vec(),
+            k,
+        }
+    }
+
+    /// Score: fraction of the k nearest neighbours labeled malicious,
+    /// weighted by similarity (so ties order sensibly).
+    pub fn score(&self, x: &[f32]) -> f32 {
+        let mut sims: Vec<(f32, bool)> = (0..self.embeddings.rows())
+            .map(|r| {
+                (
+                    cosine_similarity(self.embeddings.row(r), x),
+                    self.labels[r],
+                )
+            })
+            .collect();
+        sims.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let k = self.k.min(sims.len());
+        let malicious_sim: f32 = sims[..k]
+            .iter()
+            .filter(|(_, m)| *m)
+            .map(|(s, _)| s)
+            .sum();
+        let count = sims[..k].iter().filter(|(_, m)| *m).count();
+        if count * 2 > k {
+            // Majority malicious: average similarity of those neighbours.
+            malicious_sim / count as f32
+        } else {
+            0.0
+        }
+    }
+
+    /// Scores every row of `data`.
+    pub fn score_all(&self, data: &Matrix) -> Vec<f32> {
+        (0..data.rows()).map(|r| self.score(data.row(r))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Embeddings on distinct directions: malicious cluster along +x,
+    /// benign along +y.
+    fn toy() -> (Matrix, Vec<bool>) {
+        let rows: Vec<Vec<f32>> = vec![
+            vec![1.0, 0.05, 0.0],
+            vec![0.9, -0.05, 0.1],
+            vec![0.0, 1.0, 0.0],
+            vec![0.1, 0.9, 0.0],
+            vec![-0.05, 1.0, 0.1],
+        ];
+        let m = Matrix::from_fn(5, 3, |r, c| rows[r][c]);
+        (m, vec![true, true, false, false, false])
+    }
+
+    #[test]
+    fn retrieval_scores_malicious_direction_higher() {
+        let (emb, labels) = toy();
+        let det = RetrievalDetector::fit(&emb, &labels, 1);
+        assert_eq!(det.n_exemplars(), 2);
+        let near_mal = det.score(&[1.0, 0.0, 0.0]);
+        let near_ben = det.score(&[0.0, 1.0, 0.0]);
+        assert!(near_mal > 0.9);
+        assert!(near_mal > near_ben);
+    }
+
+    #[test]
+    fn retrieval_ignores_benign_labels() {
+        // A point surrounded by benign-labeled exemplars still scores by
+        // its similarity to the nearest malicious one — the label-noise
+        // robustness the paper claims.
+        let (emb, labels) = toy();
+        let det = RetrievalDetector::fit(&emb, &labels, 1);
+        let mislabeled_attack = [0.8, 0.6, 0.0]; // between clusters
+        let score = det.score(&mislabeled_attack);
+        assert!(score > 0.7, "score {score} should reflect malicious similarity");
+    }
+
+    #[test]
+    fn vanilla_majority_suppresses_minority_votes() {
+        let (emb, labels) = toy();
+        let knn = VanillaKnn::fit(&emb, &labels, 3);
+        // Near benign cluster: majority benign ⇒ score 0.
+        assert_eq!(knn.score(&[0.0, 1.0, 0.0]), 0.0);
+        // Deep in malicious direction with k=3 the neighbours are
+        // 2 malicious + 1 benign ⇒ majority malicious.
+        assert!(knn.score(&[1.0, 0.0, 0.0]) > 0.5);
+    }
+
+    #[test]
+    fn k_larger_than_exemplars_is_clamped() {
+        let (emb, labels) = toy();
+        let det = RetrievalDetector::fit(&emb, &labels, 10);
+        let s = det.score(&[1.0, 0.0, 0.0]);
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn score_all_matches_single() {
+        let (emb, labels) = toy();
+        let det = RetrievalDetector::fit(&emb, &labels, 1);
+        let all = det.score_all(&emb);
+        for r in 0..emb.rows() {
+            assert_eq!(all[r], det.score(emb.row(r)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one malicious")]
+    fn no_malicious_labels_panics() {
+        let (emb, _) = toy();
+        let _ = RetrievalDetector::fit(&emb, &[false; 5], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let (emb, labels) = toy();
+        let _ = RetrievalDetector::fit(&emb, &labels, 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Linear one-class SVM (Schölkopf et al., the paper's reference [18]).
+//!
+//! The ν-formulation trained by projected stochastic sub-gradient
+//! descent:
+//!
+//! ```text
+//! min_{w,ρ}  ½‖w‖² − ρ + (1/νn) Σ max(0, ρ − ⟨w, xᵢ⟩)
+//! ```
+//!
+//! Anomaly score: `ρ − ⟨w, x⟩` (positive = outside the learned support).
+
+use linalg::Matrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A trained linear one-class SVM.
+#[derive(Debug, Clone)]
+pub struct OneClassSvm {
+    w: Vec<f32>,
+    rho: f32,
+}
+
+impl OneClassSvm {
+    /// Fits on training embeddings `(n, d)`.
+    ///
+    /// `nu ∈ (0, 1]` bounds the outlier fraction; `epochs` passes of SGD
+    /// with learning rate `1/(λ·t)` scheduling are performed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `nu ∉ (0, 1]`.
+    pub fn fit<R: Rng + ?Sized>(rng: &mut R, data: &Matrix, nu: f32, epochs: usize) -> Self {
+        assert!(data.rows() > 0, "one-class SVM needs training data");
+        assert!(nu > 0.0 && nu <= 1.0, "nu must be in (0, 1], got {nu}");
+        let n = data.rows();
+        let d = data.cols();
+        let mut w = vec![0.0f32; d];
+        let mut rho = 0.0f32;
+        let lambda = 1.0; // weight of ½‖w‖²
+        let inv_nu_n = 1.0 / (nu * n as f32);
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut t = 0u64;
+        for _ in 0..epochs.max(1) {
+            order.shuffle(rng);
+            for &i in &order {
+                t += 1;
+                let lr = 1.0 / (lambda * t as f32).max(1.0);
+                let x = data.row(i);
+                let margin: f32 = w.iter().zip(x).map(|(a, b)| a * b).sum();
+                // Sub-gradients.
+                let violated = margin < rho;
+                for (wj, xj) in w.iter_mut().zip(x) {
+                    let grad = lambda * *wj - if violated { inv_nu_n * n as f32 * xj } else { 0.0 };
+                    *wj -= lr * grad;
+                }
+                let drho = -1.0 + if violated { inv_nu_n * n as f32 } else { 0.0 };
+                rho -= lr * drho;
+            }
+        }
+        OneClassSvm { w, rho }
+    }
+
+    /// The learned offset ρ.
+    pub fn rho(&self) -> f32 {
+        self.rho
+    }
+
+    /// Anomaly score: `ρ − ⟨w, x⟩`; higher = more anomalous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimensionality.
+    pub fn score(&self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.w.len(), "dimension mismatch");
+        self.rho - self.w.iter().zip(x).map(|(a, b)| a * b).sum::<f32>()
+    }
+
+    /// Scores every row.
+    pub fn score_all(&self, data: &Matrix) -> Vec<f32> {
+        (0..data.rows()).map(|r| self.score(data.row(r))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Benign cluster near (3, 3, …); anomalies near the origin's
+    /// opposite side.
+    fn cluster(rng: &mut StdRng, n: usize, d: usize, center: f32) -> Matrix {
+        Matrix::from_fn(n, d, |_, _| center + linalg::rng::standard_normal(rng) * 0.3)
+    }
+
+    #[test]
+    fn separates_cluster_from_far_point() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let train = cluster(&mut rng, 200, 4, 3.0);
+        let svm = OneClassSvm::fit(&mut rng, &train, 0.1, 10);
+        let inlier = [3.0, 3.0, 3.0, 3.0];
+        let outlier = [-3.0, -3.0, -3.0, -3.0];
+        assert!(
+            svm.score(&outlier) > svm.score(&inlier),
+            "outlier {} vs inlier {}",
+            svm.score(&outlier),
+            svm.score(&inlier)
+        );
+    }
+
+    #[test]
+    fn most_training_points_are_inliers() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let train = cluster(&mut rng, 300, 6, 2.0);
+        let svm = OneClassSvm::fit(&mut rng, &train, 0.1, 10);
+        let scores = svm.score_all(&train);
+        let inside = scores.iter().filter(|&&s| s <= 0.0).count();
+        // ν=0.1 bounds outliers at roughly 10%; allow slack for SGD.
+        assert!(
+            inside as f32 / 300.0 > 0.7,
+            "only {inside}/300 inside the support"
+        );
+    }
+
+    #[test]
+    fn score_all_matches_single() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let train = cluster(&mut rng, 50, 3, 1.0);
+        let svm = OneClassSvm::fit(&mut rng, &train, 0.2, 5);
+        let all = svm.score_all(&train);
+        assert_eq!(all[7], svm.score(train.row(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "nu must be")]
+    fn bad_nu_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = OneClassSvm::fit(&mut rng, &Matrix::zeros(2, 2), 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let train = cluster(&mut rng, 10, 3, 1.0);
+        let svm = OneClassSvm::fit(&mut rng, &train, 0.5, 2);
+        let _ = svm.score(&[1.0, 2.0]);
+    }
+}

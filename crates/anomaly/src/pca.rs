@@ -1,0 +1,104 @@
+//! PCA reconstruction-error detector (paper Eq. 1).
+
+use linalg::{Matrix, Pca};
+
+/// Unsupervised detector scoring embeddings by PCA reconstruction error
+/// `‖WᵀW f(t) − f(t)‖²`.
+#[derive(Debug, Clone)]
+pub struct PcaDetector {
+    pca: Pca,
+}
+
+impl PcaDetector {
+    /// Fits on training embeddings `(n, d)`, keeping enough components
+    /// for `variance_ratio` of the variance (the paper keeps 95%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `variance_ratio ∉ (0, 1]`.
+    pub fn fit(data: &Matrix, variance_ratio: f32) -> Self {
+        PcaDetector {
+            pca: Pca::fit_variance_ratio(data, variance_ratio),
+        }
+    }
+
+    /// Fits keeping exactly `p` components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or `data` is empty.
+    pub fn fit_components(data: &Matrix, p: usize) -> Self {
+        PcaDetector {
+            pca: Pca::fit(data, p),
+        }
+    }
+
+    /// Number of retained components.
+    pub fn n_components(&self) -> usize {
+        self.pca.n_components()
+    }
+
+    /// The underlying projection (exposed for reconstruction-based tuning,
+    /// which alternates updates of `f(·)` and `W`).
+    pub fn pca(&self) -> &Pca {
+        &self.pca
+    }
+
+    /// Anomaly score of one embedding: the reconstruction error.
+    pub fn score(&self, x: &[f32]) -> f32 {
+        self.pca.reconstruction_error(x)
+    }
+
+    /// Scores every row of `data`.
+    pub fn score_all(&self, data: &Matrix) -> Vec<f32> {
+        self.pca.reconstruction_errors(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planar_data() -> Matrix {
+        // Points spanning the (x, y) plane of a 4-D space.
+        Matrix::from_fn(40, 4, |r, c| match c {
+            0 => (r as f32) * 0.5,
+            1 => (r as f32 % 7.0) - 3.0,
+            _ => 0.0,
+        })
+    }
+
+    #[test]
+    fn in_plane_scores_low_out_of_plane_high() {
+        let det = PcaDetector::fit(&planar_data(), 0.99);
+        let inlier = [5.0, 1.0, 0.0, 0.0];
+        let outlier = [5.0, 1.0, 8.0, -6.0];
+        assert!(det.score(&inlier) < 1e-2);
+        assert!(det.score(&outlier) > 50.0);
+    }
+
+    #[test]
+    fn scores_are_nonnegative() {
+        let det = PcaDetector::fit(&planar_data(), 0.9);
+        for x in [[0.0; 4], [1.0, -2.0, 3.0, -4.0]] {
+            assert!(det.score(&x) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn score_all_matches_score() {
+        let data = planar_data();
+        let det = PcaDetector::fit(&data, 0.95);
+        let all = det.score_all(&data);
+        for r in 0..data.rows() {
+            assert_eq!(all[r], det.score(data.row(r)));
+        }
+    }
+
+    #[test]
+    fn fixed_components_constructor() {
+        let det = PcaDetector::fit_components(&planar_data(), 2);
+        assert_eq!(det.n_components(), 2);
+        assert!(det.pca().explained_variance_ratio().len() == 2);
+    }
+}

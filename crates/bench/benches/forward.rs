@@ -1,0 +1,35 @@
+//! Criterion bench: transformer forward pass and one MLM training step.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nn::{AdamW, Encoder, MlmTrainer, ModelConfig};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let tiny = Encoder::new(ModelConfig::tiny(800), &mut rng);
+    let small = Encoder::new(ModelConfig::small(800), &mut rng);
+    let ids16: Vec<u32> = (0..16).map(|i| 5 + (i % 700) as u32).collect();
+    let ids48: Vec<u32> = (0..48).map(|i| 5 + (i % 700) as u32).collect();
+
+    let mut group = c.benchmark_group("encoder_forward");
+    group.bench_function("tiny_seq16", |b| b.iter(|| tiny.forward(black_box(&ids16))));
+    group.bench_function("tiny_seq48", |b| b.iter(|| tiny.forward(black_box(&ids48))));
+    group.bench_function("small_seq48", |b| b.iter(|| small.forward(black_box(&ids48))));
+    group.bench_function("tiny_embed_mean_seq16", |b| {
+        b.iter(|| tiny.embed_mean(black_box(&ids16)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("mlm_step");
+    group.sample_size(10);
+    group.bench_function("tiny_batch8_seq16", |b| {
+        let encoder = Encoder::new(ModelConfig::tiny(800), &mut rng);
+        let mut trainer = MlmTrainer::new(encoder, AdamW::new(1e-3, 0.0), 0.15, &mut rng);
+        let batch: Vec<Vec<u32>> = (0..8).map(|_| ids16.clone()).collect();
+        b.iter(|| trainer.step(black_box(&batch), &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward);
+criterion_main!(benches);

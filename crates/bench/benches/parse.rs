@@ -1,0 +1,40 @@
+//! Criterion bench: shell-parser throughput on representative log lines
+//! (the preprocessing stage must keep up with production logging rates).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn representative_lines() -> Vec<String> {
+    use rand::{rngs::StdRng, SeedableRng};
+    let generator = corpus::BenignGenerator::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    (0..512).map(|_| generator.generate(&mut rng)).collect()
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let lines = representative_lines();
+    let mut group = c.benchmark_group("parse");
+    group.throughput(Throughput::Elements(lines.len() as u64));
+    group.bench_function("classify_512_lines", |b| {
+        b.iter(|| {
+            let mut valid = 0usize;
+            for line in &lines {
+                if shell_parser::classify(black_box(line)).is_valid() {
+                    valid += 1;
+                }
+            }
+            black_box(valid)
+        })
+    });
+    group.bench_function("parse_pipeline_line", |b| {
+        let line = "cat /var/log/syslog | grep -i error | awk '{print $1}' | sort | uniq -c";
+        b.iter(|| shell_parser::parse(black_box(line)).unwrap())
+    });
+    group.bench_function("reject_invalid_line", |b| {
+        let line = "/*/*/* -> /*/*/* ->";
+        b.iter(|| shell_parser::parse(black_box(line)).unwrap_err())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

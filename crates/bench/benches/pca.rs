@@ -1,0 +1,47 @@
+//! Criterion bench: PCA fit (SVD) and Eq. 1 reconstruction-error scoring.
+
+use anomaly::PcaDetector;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use linalg::{rng::randn, thin_svd, Matrix};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_pca(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let data32 = randn(&mut rng, 1_000, 32, 1.0);
+    let data64 = randn(&mut rng, 1_000, 64, 1.0);
+
+    let mut group = c.benchmark_group("pca_fit");
+    group.sample_size(10);
+    group.bench_function("fit_1000x32_95pct", |b| {
+        b.iter(|| PcaDetector::fit(black_box(&data32), 0.95))
+    });
+    group.bench_function("fit_1000x64_95pct", |b| {
+        b.iter(|| PcaDetector::fit(black_box(&data64), 0.95))
+    });
+    group.bench_function("thin_svd_64x64_gram", |b| {
+        b.iter(|| thin_svd(black_box(&data64), 16))
+    });
+    group.finish();
+
+    let detector = PcaDetector::fit(&data32, 0.95);
+    let queries = randn(&mut rng, 256, 32, 1.0);
+    let mut group = c.benchmark_group("pca_score");
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("score_256_embeddings", |b| {
+        b.iter(|| detector.score_all(black_box(&queries)))
+    });
+    group.bench_function("score_single", |b| {
+        let x = queries.row(0).to_vec();
+        b.iter(|| detector.score(black_box(&x)))
+    });
+    group.finish();
+
+    // Matmul baseline for context.
+    let a = Matrix::from_fn(128, 128, |r, c| ((r * 7 + c) % 13) as f32);
+    let mut group = c.benchmark_group("matmul");
+    group.bench_function("128x128", |b| b.iter(|| a.matmul(black_box(&a))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_pca);
+criterion_main!(benches);

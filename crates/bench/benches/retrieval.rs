@@ -1,0 +1,30 @@
+//! Criterion bench: retrieval scoring (the paper's 1NN over malicious
+//! exemplars) and the vanilla-kNN ablation baseline.
+
+use anomaly::{RetrievalDetector, VanillaKnn};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use linalg::rng::randn;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_retrieval(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let train = randn(&mut rng, 2_000, 32, 1.0);
+    // ~3% malicious, like an alert-labeled production week.
+    let labels: Vec<bool> = (0..2_000).map(|i| i % 33 == 0).collect();
+    let retrieval = RetrievalDetector::fit(&train, &labels, 1);
+    let knn = VanillaKnn::fit(&train, &labels, 3);
+    let queries = randn(&mut rng, 128, 32, 1.0);
+
+    let mut group = c.benchmark_group("retrieval");
+    group.throughput(Throughput::Elements(128));
+    group.bench_function("malicious_only_1nn_128_queries", |b| {
+        b.iter(|| retrieval.score_all(black_box(&queries)))
+    });
+    group.bench_function("vanilla_knn3_128_queries", |b| {
+        b.iter(|| knn.score_all(black_box(&queries)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_retrieval);
+criterion_main!(benches);

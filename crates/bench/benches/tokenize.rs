@@ -1,0 +1,42 @@
+//! Criterion bench: BPE training and encoding throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn corpus_lines(n: usize) -> Vec<String> {
+    let generator = corpus::BenignGenerator::new();
+    let mut rng = StdRng::seed_from_u64(2);
+    (0..n).map(|_| generator.generate(&mut rng)).collect()
+}
+
+fn bench_tokenize(c: &mut Criterion) {
+    let lines = corpus_lines(512);
+    let tokenizer = bpe::Trainer::new(800).train(lines.iter().map(|s| s.as_str()));
+
+    let mut group = c.benchmark_group("tokenize");
+    group.throughput(Throughput::Elements(lines.len() as u64));
+    group.bench_function("encode_512_lines", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for line in &lines {
+                total += tokenizer.encode(black_box(line)).len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("encode_for_model", |b| {
+        let line = "masscan 10.0.0.1 -p 0-65535 --rate=1000 >> tmp.txt";
+        b.iter(|| tokenizer.encode_for_model(black_box(line), 64))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("bpe_train");
+    group.sample_size(10);
+    group.bench_function("train_800_vocab_512_lines", |b| {
+        b.iter(|| bpe::Trainer::new(800).train(lines.iter().map(|s| s.as_str())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tokenize);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Ablation (extension beyond the paper): the multi-line context width.
+//!
+//! Section IV-C fixes the context at three temporally contiguous lines.
+//! This binary sweeps the width and reports top-v out-of-box precision,
+//! showing where extra context stops paying.
+//!
+//! Run: `cargo run --release -p bench --bin ablation_context -- --train 5000 --test 2000`
+
+use bench::methods::MULTI_LINE_MAX_GAP;
+use bench::{print_row, Args, Experiment};
+use cmdline_ids::metrics::{precision_at_top, ScoredSample};
+use cmdline_ids::tuning::{build_windows, MultiLineClassifier, TuneConfig};
+
+fn run_with_width(exp: &Experiment, width: usize, seed: u64) -> Vec<ScoredSample> {
+    let mut rng = exp.method_rng(seed);
+    let labels = exp.train_labels();
+    let classifier = MultiLineClassifier::fit(
+        &exp.pipeline,
+        &exp.dataset.train,
+        &labels,
+        width,
+        MULTI_LINE_MAX_GAP,
+        &TuneConfig::scaled(),
+        &mut rng,
+    );
+    let scores = classifier.score_records(&exp.pipeline, &exp.dataset.test);
+    let windows = build_windows(&exp.dataset.test, width, MULTI_LINE_MAX_GAP);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for (i, (r, w)) in exp.dataset.test.iter().zip(&windows).enumerate() {
+        if seen.insert(w.joined()) {
+            out.push(ScoredSample {
+                score: scores[i],
+                malicious: r.truth.is_malicious(),
+                in_box: exp.ids.is_alert(&r.line),
+            });
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "context-width ablation: train={} test={} seed={}",
+        args.train_size, args.test_size, args.seed
+    );
+    let exp = Experiment::setup(args.seed, args.config());
+
+    println!();
+    print_row(&[
+        "context width".into(),
+        "windows".into(),
+        "PO@small".into(),
+    ]);
+    print_row(&["---".into(), "---".into(), "---".into()]);
+    for width in [1usize, 2, 3, 5] {
+        let samples = run_with_width(&exp, width, args.seed + width as u64);
+        let small = (samples
+            .iter()
+            .filter(|s| s.malicious && !s.in_box)
+            .count()
+            .max(10)
+            / 10)
+            .max(1);
+        let p = precision_at_top(&samples, small).unwrap_or(0.0);
+        print_row(&[
+            format!("{width}{}", if width == 3 { " (paper)" } else { "" }),
+            samples.len().to_string(),
+            format!("{p:.3}"),
+        ]);
+    }
+    println!();
+    println!("width 1 degenerates to single-line classification; the paper");
+    println!("uses 3 — context beyond the attack chain length adds noise.");
+}

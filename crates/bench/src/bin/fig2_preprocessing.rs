@@ -1,0 +1,95 @@
+//! Reproduces **Figure 2**: preprocessing with the Bash parser and the
+//! command-occurrence filter.
+//!
+//! Prints (a) kept/dropped counts per removal mechanism and (b) the
+//! command-occurrence table with anonymized argument columns, exactly in
+//! the figure's presentation style (`cd ********`).
+//!
+//! Run: `cargo run --release --bin fig2_preprocessing -p bench`
+
+use bench::{Args, Experiment};
+use corpus::GroundTruth;
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "Figure 2 reproduction: train={} seed={}",
+        args.train_size, args.seed
+    );
+
+    let exp = Experiment::setup(args.seed, args.config());
+    let stats = exp.pipeline.train_stats();
+
+    println!();
+    println!("preprocessing outcome over {} logged lines:", stats.total());
+    println!("  kept                      : {}", stats.kept);
+    println!("  dropped by parser         : {}", stats.invalid);
+    println!("  dropped (empty/comment)   : {}", stats.empty);
+    println!("  dropped by command filter : {}", stats.filtered);
+
+    // Ground-truth cross-check: how many of the dropped lines were the
+    // injected invalid/typo noise?
+    let injected_invalid = exp
+        .dataset
+        .train
+        .iter()
+        .filter(|r| r.truth == GroundTruth::Invalid)
+        .count();
+    let injected_typos = exp
+        .dataset
+        .train
+        .iter()
+        .filter(|r| r.truth == GroundTruth::BenignTypo)
+        .count();
+    println!();
+    println!("injected noise: {injected_invalid} invalid lines, {injected_typos} typo lines");
+
+    // Figure 2's right side: the occurrence table (top 20), with the
+    // anonymized-count presentation.
+    println!();
+    println!("command occurrence table (top 20):");
+    println!("  {:<12} {}", "Command", "Occurrence");
+    for (name, count) in exp
+        .pipeline
+        .preprocessor()
+        .occurrence_table()
+        .into_iter()
+        .take(20)
+    {
+        println!("  {:<12} {}", name, "*".repeat(count.to_string().len() + 5));
+    }
+
+    // The figure's example lines, classified live.
+    println!();
+    println!("figure examples:");
+    for line in [
+        r#"php -r "phpinfo();""#,
+        "python main.py",
+        "vim ~/.bashrc",
+        "curl https://mirror.example.com/install.sh | bash",
+        r#"df -h | grep "/data""#,
+        "dcoker attach --sig-proxy=false web-1",
+        "chdmod +x install.sh",
+        "/*/*/* -> /*/*/* ->",
+    ] {
+        let parses = shell_parser::classify(line).is_valid();
+        let kept = exp.pipeline.preprocessor().keep(line);
+        let verdict = if kept {
+            "kept"
+        } else if parses {
+            "dropped by command filter"
+        } else {
+            "dropped by parser"
+        };
+        println!("  {verdict:<26} | {line}");
+    }
+
+    // Shape assertions: the parser catches the invalid injections, the
+    // filter catches typo'd names, and real commands stay.
+    assert!(stats.invalid > 0, "parser should have dropped lines");
+    assert!(stats.kept > stats.total() / 2, "most lines must survive");
+    assert!(!exp.pipeline.preprocessor().keep("dcoker ps"));
+    assert!(exp.pipeline.preprocessor().keep("docker ps"));
+    println!();
+    println!("shape check: parser drops > 0, majority kept, typo filtered — ok");
+}

@@ -1,0 +1,106 @@
+//! Reproduces the **Section V-C "preference of different methods"**
+//! analysis: which attack families each method detects first.
+//!
+//! The paper observes: single-line classification is strongest on
+//! bind/reverse shells; multi-line classification catches behaviour
+//! spread across a sequence (the wget→python dropper); reconstruction
+//! tuning prefers base64-decode-and-execute (hard to reconstruct); and
+//! the methods complement each other.
+//!
+//! Run: `cargo run --release --bin method_preference -p bench`
+
+use bench::methods::{
+    run_classification, run_multiline, run_reconstruction, run_retrieval,
+};
+use bench::{Args, Experiment};
+use cmdline_ids::eval::{evaluate_scores, family_breakdown};
+use cmdline_ids::metrics::ScoredSample;
+
+fn breakdown(
+    name: &str,
+    samples: &[ScoredSample],
+    families: &[Option<corpus::AttackFamily>],
+) {
+    let eval = evaluate_scores(samples, 0.90, &[]);
+    let Some(threshold) = eval.threshold else {
+        println!("{name}: no in-box intrusions to calibrate on");
+        return;
+    };
+    let bd = family_breakdown(samples, families, threshold);
+    println!();
+    println!("{name} (threshold {threshold:.4}):");
+    for (family, detected, total) in &bd.rows {
+        println!(
+            "  {family:<18} {detected:>3}/{total:<3} ({:.0}%)",
+            100.0 * *detected as f64 / *total as f64
+        );
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "Section V-C reproduction: train={} test={} seed={}",
+        args.train_size, args.test_size, args.seed
+    );
+    let exp = Experiment::setup(args.seed, args.config());
+    let mut rng = exp.method_rng(args.seed);
+
+    let dedup = exp.deduped_test();
+    let families = exp.family_tags(&dedup);
+
+    let cls = run_classification(&exp, &mut rng);
+    breakdown("classification (single line)", &cls, &families);
+
+    let recon = run_reconstruction(&exp, &mut rng);
+    breakdown("reconstruction", &recon, &families);
+
+    let retr = run_retrieval(&exp);
+    breakdown("retrieval", &retr, &families);
+
+    // Multi-line uses its own dedup; compute families over its windows.
+    let multi = run_multiline(&exp, &mut rng);
+    {
+        // For the multi-line set the sample order follows the full test
+        // stream dedup'd by window; recompute tags the same way.
+        let windows = cmdline_ids::tuning::build_windows(
+            &exp.dataset.test,
+            bench::methods::MULTI_LINE_WIDTH,
+            bench::methods::MULTI_LINE_MAX_GAP,
+        );
+        let mut seen = std::collections::HashSet::new();
+        let mut fam = Vec::new();
+        for (r, w) in exp.dataset.test.iter().zip(&windows) {
+            if seen.insert(w.joined()) {
+                fam.push(match r.truth {
+                    corpus::GroundTruth::Malicious { family, .. } => Some(family),
+                    _ => None,
+                });
+            }
+        }
+        breakdown("classification (multi-line)", &multi, &fam);
+    }
+
+    // The ensemble observation: families missed by one method but caught
+    // by another.
+    let eval_cls = evaluate_scores(&cls, 0.90, &[]);
+    let eval_recon = evaluate_scores(&recon, 0.90, &[]);
+    if let (Some(tc), Some(tr)) = (eval_cls.threshold, eval_recon.threshold) {
+        let caught_by_cls: usize = cls
+            .iter()
+            .filter(|s| s.malicious && s.score >= tc)
+            .count();
+        let caught_either: usize = cls
+            .iter()
+            .zip(&recon)
+            .filter(|(a, b)| a.malicious && (a.score >= tc || b.score >= tr))
+            .count();
+        println!();
+        println!(
+            "ensemble effect: classification alone catches {caught_by_cls}, classification ∪ reconstruction catches {caught_either}"
+        );
+        assert!(caught_either >= caught_by_cls);
+    }
+    println!();
+    println!("shape check: per-family sensitivity differs across methods (see tables above)");
+}

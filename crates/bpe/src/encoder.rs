@@ -1,0 +1,323 @@
+//! Encoding and decoding with a trained BPE vocabulary.
+
+use crate::pretokenize::{detokenize, pretokenize, to_symbols};
+use crate::special::SpecialToken;
+use crate::vocab::Vocab;
+use parking_lot_free_cache::Cache;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A tiny interior-mutability-free memoization shim.
+///
+/// Encoding the same pre-token repeatedly is the common case in logs
+/// (Zipf law), so [`Tokenizer::encode`] memoizes per-word splits. The
+/// cache lives behind a `std::sync::Mutex`-free single-threaded wrapper:
+/// callers needing parallel encoding clone the tokenizer per thread
+/// (cheap: the tables are shared copy-on-write via `Vec`/`HashMap`
+/// clones at construction).
+mod parking_lot_free_cache {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+
+    #[derive(Debug, Default)]
+    pub struct Cache {
+        inner: RefCell<HashMap<String, Vec<u32>>>,
+    }
+
+    impl Cache {
+        pub fn get(&self, key: &str) -> Option<Vec<u32>> {
+            self.inner.borrow().get(key).cloned()
+        }
+
+        pub fn put(&self, key: String, val: Vec<u32>) {
+            let mut map = self.inner.borrow_mut();
+            // Bound memory: logs contain a long tail of unique words.
+            if map.len() >= 65_536 {
+                map.clear();
+            }
+            map.insert(key, val);
+        }
+    }
+
+    impl Clone for Cache {
+        fn clone(&self) -> Self {
+            Cache::default()
+        }
+    }
+}
+
+/// A trained BPE tokenizer.
+///
+/// Create one with [`crate::Trainer::train`]; encode lines with
+/// [`Tokenizer::encode`] or [`Tokenizer::encode_for_model`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tokenizer {
+    vocab: Vocab,
+    merges: Vec<(String, String)>,
+    #[serde(skip)]
+    merge_rank: HashMap<(String, String), usize>,
+    #[serde(skip)]
+    cache: Cache,
+}
+
+impl Tokenizer {
+    /// Assembles a tokenizer from a vocabulary and ordered merge list.
+    pub fn from_parts(vocab: Vocab, merges: Vec<(String, String)>) -> Self {
+        let merge_rank = merges
+            .iter()
+            .enumerate()
+            .map(|(i, (l, r))| ((l.clone(), r.clone()), i))
+            .collect();
+        Tokenizer {
+            vocab,
+            merges,
+            merge_rank,
+            cache: Cache::default(),
+        }
+    }
+
+    /// Rebuilds derived tables after deserialization.
+    pub fn rehydrate(&mut self) {
+        self.merge_rank = self
+            .merges
+            .iter()
+            .enumerate()
+            .map(|(i, (l, r))| ((l.clone(), r.clone()), i))
+            .collect();
+    }
+
+    /// Total vocabulary size (specials included).
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The learned merges in application order.
+    pub fn merges(&self) -> &[(String, String)] {
+        &self.merges
+    }
+
+    /// The underlying vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Encodes a line to token ids (no special tokens added).
+    ///
+    /// Unknown characters map to `[UNK]`.
+    pub fn encode(&self, line: &str) -> Vec<u32> {
+        let mut out = Vec::new();
+        for pre in pretokenize(line) {
+            if let Some(ids) = self.cache.get(&pre) {
+                out.extend_from_slice(&ids);
+                continue;
+            }
+            let ids = self.encode_pretoken(&pre);
+            self.cache.put(pre, ids.clone());
+            out.extend(ids);
+        }
+        out
+    }
+
+    /// Encodes for model input: `[CLS] tokens… [SEP]`, truncated to
+    /// `max_len` total ids (the paper trims at 1024).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_len < 2` (no room for `[CLS]`/`[SEP]`).
+    pub fn encode_for_model(&self, line: &str, max_len: usize) -> Vec<u32> {
+        assert!(max_len >= 2, "max_len must fit [CLS] and [SEP]");
+        let body = self.encode(line);
+        let keep = body.len().min(max_len - 2);
+        let mut out = Vec::with_capacity(keep + 2);
+        out.push(SpecialToken::Cls.id());
+        out.extend_from_slice(&body[..keep]);
+        out.push(SpecialToken::Sep.id());
+        out
+    }
+
+    /// Encodes several lines joined by `;` separators into one model
+    /// input — the paper's multi-line classification format
+    /// (Section IV-C).
+    ///
+    /// Unlike [`Tokenizer::encode_for_model`], truncation keeps the
+    /// **tail**: the last line is the classification target, so when the
+    /// window exceeds `max_len` it is the oldest context that is cut,
+    /// never the target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_len < 2`.
+    pub fn encode_multi_for_model(&self, lines: &[&str], max_len: usize) -> Vec<u32> {
+        assert!(max_len >= 2, "max_len must fit [CLS] and [SEP]");
+        let joined = lines.join(" ; ");
+        let body = self.encode(&joined);
+        let keep = body.len().min(max_len - 2);
+        let start = body.len() - keep;
+        let mut out = Vec::with_capacity(keep + 2);
+        out.push(SpecialToken::Cls.id());
+        out.extend_from_slice(&body[start..]);
+        out.push(SpecialToken::Sep.id());
+        out
+    }
+
+    /// Decodes ids back to a command line; special tokens are skipped.
+    pub fn decode(&self, ids: &[u32]) -> String {
+        let mut text = String::new();
+        for &id in ids {
+            if self.vocab.is_special(id) {
+                continue;
+            }
+            if let Some(tok) = self.vocab.token_of(id) {
+                text.push_str(tok);
+            }
+        }
+        detokenize(&text)
+    }
+
+    /// Applies merges to one pre-token greedily by merge rank (the GPT-2
+    /// strategy) and maps the resulting symbols to ids.
+    fn encode_pretoken(&self, pre: &str) -> Vec<u32> {
+        let mut syms = to_symbols(pre);
+        loop {
+            // Find the lowest-rank applicable merge.
+            let mut best: Option<(usize, usize)> = None; // (rank, index)
+            for i in 0..syms.len().saturating_sub(1) {
+                let key = (syms[i].clone(), syms[i + 1].clone());
+                if let Some(&rank) = self.merge_rank.get(&key) {
+                    if best.map(|(r, _)| rank < r).unwrap_or(true) {
+                        best = Some((rank, i));
+                    }
+                }
+            }
+            let Some((_, i)) = best else { break };
+            let merged = format!("{}{}", syms[i], syms[i + 1]);
+            syms[i] = merged;
+            syms.remove(i + 1);
+        }
+        syms.iter()
+            .map(|s| self.vocab.id_of(s).unwrap_or_else(|| SpecialToken::Unk.id()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trainer;
+
+    fn demo_tokenizer() -> Tokenizer {
+        let corpus = [
+            "ls -la /tmp",
+            "ls /home/user",
+            "cat /tmp/file",
+            "grep -r pattern /tmp",
+            "rm -rf /tmp/cache",
+            "docker ps -a",
+            "docker run -it ubuntu bash",
+        ];
+        Trainer::new(200).train(corpus.iter().copied().cycle().take(70))
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let tok = demo_tokenizer();
+        for line in ["ls -la /tmp", "docker ps -a", "cat /tmp/file"] {
+            assert_eq!(tok.decode(&tok.encode(line)), line);
+        }
+    }
+
+    #[test]
+    fn round_trip_with_unseen_words() {
+        let tok = demo_tokenizer();
+        // All chars seen in training, so this still round-trips.
+        let line = "ls /tmp/docker";
+        assert_eq!(tok.decode(&tok.encode(line)), line);
+    }
+
+    #[test]
+    fn unknown_characters_become_unk() {
+        let tok = demo_tokenizer();
+        let ids = tok.encode("ls ☃");
+        assert!(ids.contains(&SpecialToken::Unk.id()));
+    }
+
+    #[test]
+    fn encode_for_model_wraps_with_cls_sep() {
+        let tok = demo_tokenizer();
+        let ids = tok.encode_for_model("ls -la", 16);
+        assert_eq!(ids[0], SpecialToken::Cls.id());
+        assert_eq!(*ids.last().unwrap(), SpecialToken::Sep.id());
+    }
+
+    #[test]
+    fn encode_for_model_truncates() {
+        let tok = demo_tokenizer();
+        let long = "x ".repeat(200);
+        let ids = tok.encode_for_model(&long, 10);
+        assert_eq!(ids.len(), 10);
+        assert_eq!(ids[0], SpecialToken::Cls.id());
+        assert_eq!(*ids.last().unwrap(), SpecialToken::Sep.id());
+    }
+
+    #[test]
+    fn multi_line_joins_with_semicolons() {
+        let tok = demo_tokenizer();
+        let ids = tok.encode_multi_for_model(&["ls -la", "cat /tmp/file"], 64);
+        let decoded = tok.decode(&ids);
+        assert_eq!(decoded, "ls -la ; cat /tmp/file");
+    }
+
+    #[test]
+    fn multi_line_truncation_keeps_the_target_tail() {
+        let tok = demo_tokenizer();
+        let long_context = "docker run -it ubuntu bash".repeat(8);
+        let ids = tok.encode_multi_for_model(&[&long_context, "ls -la"], 12);
+        assert_eq!(ids.len(), 12);
+        let decoded = tok.decode(&ids);
+        // The target (last) line must survive truncation.
+        assert!(
+            decoded.ends_with("ls -la"),
+            "target line lost: {decoded:?}"
+        );
+    }
+
+    #[test]
+    fn decode_skips_specials() {
+        let tok = demo_tokenizer();
+        let mut ids = vec![SpecialToken::Cls.id(), SpecialToken::Mask.id()];
+        ids.extend(tok.encode("ls"));
+        ids.push(SpecialToken::Sep.id());
+        assert_eq!(tok.decode(&ids), "ls");
+    }
+
+    #[test]
+    fn cache_does_not_change_results() {
+        let tok = demo_tokenizer();
+        let first = tok.encode("docker run -it ubuntu bash");
+        let second = tok.encode("docker run -it ubuntu bash");
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn clone_preserves_behaviour() {
+        let tok = demo_tokenizer();
+        let clone = tok.clone();
+        assert_eq!(tok.encode("ls -la /tmp"), clone.encode("ls -la /tmp"));
+    }
+
+    #[test]
+    fn rehydrate_restores_merge_ranks() {
+        let tok = demo_tokenizer();
+        let mut copy = Tokenizer::from_parts(tok.vocab().clone(), tok.merges().to_vec());
+        copy.merge_rank.clear();
+        copy.rehydrate();
+        assert_eq!(copy.encode("ls -la"), tok.encode("ls -la"));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_len")]
+    fn model_encoding_needs_room() {
+        let tok = demo_tokenizer();
+        let _ = tok.encode_for_model("ls", 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Byte-pair-encoding tokenizer for command lines.
+//!
+//! The paper (Section II-B) tokenizes command lines with BPE [Sennrich et
+//! al.] before feeding them to the language model, using a 50 000-token
+//! vocabulary and a 1024-token maximum length. This crate implements:
+//!
+//! * [`Trainer`] — learns BPE merges from a corpus.
+//! * [`Tokenizer`] — encodes/decodes lines; supports the BERT-style
+//!   special tokens `[PAD]`, `[UNK]`, `[CLS]`, `[SEP]`, `[MASK]` used by
+//!   masked-language-model pre-training and `[CLS]`-probing.
+//!
+//! Pre-tokenization splits on whitespace and marks word starts with `▁`
+//! (the sentencepiece convention), mirroring the `⎵` markers in the
+//! paper's Figure 1 (`php ⎵-r ⎵" php info () ; "`).
+//!
+//! ```
+//! use bpe::{Trainer, Tokenizer};
+//!
+//! let corpus = ["ls -la /tmp", "ls /home", "cat /tmp/x"];
+//! let tok: Tokenizer = Trainer::new(64).train(corpus.iter().copied());
+//! let ids = tok.encode("ls -la /home");
+//! assert_eq!(tok.decode(&ids), "ls -la /home");
+//! ```
+
+pub mod encoder;
+pub mod pretokenize;
+pub mod special;
+pub mod trainer;
+pub mod vocab;
+
+pub use encoder::Tokenizer;
+pub use special::SpecialToken;
+pub use trainer::Trainer;
+pub use vocab::Vocab;

@@ -1,0 +1,72 @@
+//! Whitespace pre-tokenization with sentencepiece-style word markers.
+//!
+//! BPE merges never cross pre-token boundaries. Each whitespace-separated
+//! chunk becomes one pre-token whose first symbol carries the `▁` word
+//! marker, so that decoding can restore spacing exactly — mirroring the
+//! `⎵` glyphs in the paper's Figure 1.
+
+/// The word-start marker character.
+pub const WORD_MARKER: char = '▁';
+
+/// Splits a line into pre-tokens, prefixing each with [`WORD_MARKER`].
+///
+/// ```
+/// use bpe::pretokenize::pretokenize;
+/// assert_eq!(pretokenize("ls -la"), vec!["▁ls", "▁-la"]);
+/// ```
+pub fn pretokenize(line: &str) -> Vec<String> {
+    line.split_whitespace()
+        .map(|w| format!("{WORD_MARKER}{w}"))
+        .collect()
+}
+
+/// Joins decoded symbol text back into a line, turning word markers into
+/// single spaces (and trimming the leading one).
+pub fn detokenize(text: &str) -> String {
+    let replaced: String = text
+        .chars()
+        .map(|c| if c == WORD_MARKER { ' ' } else { c })
+        .collect();
+    replaced.trim_start().to_string()
+}
+
+/// Splits a pre-token into its initial single-character symbols.
+pub fn to_symbols(pretoken: &str) -> Vec<String> {
+    pretoken.chars().map(|c| c.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_every_word() {
+        assert_eq!(
+            pretokenize("php -r \"phpinfo();\""),
+            vec!["▁php", "▁-r", "▁\"phpinfo();\""]
+        );
+    }
+
+    #[test]
+    fn collapses_repeated_whitespace() {
+        assert_eq!(pretokenize("a   b\t c"), vec!["▁a", "▁b", "▁c"]);
+    }
+
+    #[test]
+    fn empty_line_has_no_pretokens() {
+        assert!(pretokenize("").is_empty());
+        assert!(pretokenize("   ").is_empty());
+    }
+
+    #[test]
+    fn detokenize_round_trip() {
+        let line = "watch -n 1 nvidia-smi";
+        let joined: String = pretokenize(line).concat();
+        assert_eq!(detokenize(&joined), line);
+    }
+
+    #[test]
+    fn symbols_are_single_chars() {
+        assert_eq!(to_symbols("▁ls"), vec!["▁", "l", "s"]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Special tokens used by the command-line language model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The five BERT-style special tokens. Their ids are fixed at the front
+/// of every vocabulary, in declaration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpecialToken {
+    /// Padding for batching, id 0.
+    Pad,
+    /// Unknown symbol fallback, id 1.
+    Unk,
+    /// Sequence-classification slot, id 2 — the `[CLS]` embedding probed
+    /// by classification-based tuning (paper Section IV-B).
+    Cls,
+    /// Separator between concatenated lines, id 3.
+    Sep,
+    /// Mask token for MLM pre-training, id 4 (paper Section II-B).
+    Mask,
+}
+
+impl SpecialToken {
+    /// All special tokens in id order.
+    pub const ALL: [SpecialToken; 5] = [
+        SpecialToken::Pad,
+        SpecialToken::Unk,
+        SpecialToken::Cls,
+        SpecialToken::Sep,
+        SpecialToken::Mask,
+    ];
+
+    /// The fixed vocabulary id of this token.
+    pub fn id(self) -> u32 {
+        match self {
+            SpecialToken::Pad => 0,
+            SpecialToken::Unk => 1,
+            SpecialToken::Cls => 2,
+            SpecialToken::Sep => 3,
+            SpecialToken::Mask => 4,
+        }
+    }
+
+    /// The surface form (`"[PAD]"`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpecialToken::Pad => "[PAD]",
+            SpecialToken::Unk => "[UNK]",
+            SpecialToken::Cls => "[CLS]",
+            SpecialToken::Sep => "[SEP]",
+            SpecialToken::Mask => "[MASK]",
+        }
+    }
+}
+
+impl fmt::Display for SpecialToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_from_zero() {
+        for (i, t) in SpecialToken::ALL.iter().enumerate() {
+            assert_eq!(t.id() as usize, i);
+        }
+    }
+
+    #[test]
+    fn surface_forms_are_bracketed() {
+        for t in SpecialToken::ALL {
+            let s = t.as_str();
+            assert!(s.starts_with('[') && s.ends_with(']'));
+            assert_eq!(format!("{t}"), s);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! BPE merge learning (Sennrich et al., the paper's reference [20]).
+
+use crate::encoder::Tokenizer;
+use crate::pretokenize::{pretokenize, to_symbols};
+use crate::vocab::Vocab;
+use std::collections::HashMap;
+
+/// Learns a BPE vocabulary from a corpus of command lines.
+///
+/// The classic algorithm: count whitespace pre-tokens, repeatedly merge
+/// the most frequent adjacent symbol pair until `vocab_size` is reached
+/// or no pair occurs at least `min_pair_freq` times.
+///
+/// The vocabulary is seeded with the special tokens, the word marker and
+/// all printable ASCII (101 entries); merges are added until the budget
+/// is reached.
+///
+/// ```
+/// use bpe::Trainer;
+/// let tok = Trainer::new(150).train(["echo hi", "echo ho"].into_iter());
+/// assert!(tok.vocab_size() <= 150);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    vocab_size: usize,
+    min_pair_freq: usize,
+}
+
+impl Trainer {
+    /// Creates a trainer targeting `vocab_size` total entries
+    /// (special tokens + single characters + merges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab_size < 6` (specials leave no room for symbols).
+    pub fn new(vocab_size: usize) -> Self {
+        assert!(vocab_size >= 6, "vocab_size must leave room beyond specials");
+        Trainer {
+            vocab_size,
+            min_pair_freq: 2,
+        }
+    }
+
+    /// Sets the minimum pair frequency required to perform a merge.
+    pub fn min_pair_freq(mut self, freq: usize) -> Self {
+        self.min_pair_freq = freq.max(1);
+        self
+    }
+
+    /// Learns merges from `lines` and returns the resulting tokenizer.
+    pub fn train<'a>(&self, lines: impl Iterator<Item = &'a str>) -> Tokenizer {
+        // Unique pre-token -> frequency.
+        let mut word_freq: HashMap<String, usize> = HashMap::new();
+        for line in lines {
+            for pre in pretokenize(line) {
+                *word_freq.entry(pre).or_insert(0) += 1;
+            }
+        }
+
+        // Working representation: symbol sequences with frequencies.
+        let mut words: Vec<(Vec<String>, usize)> = word_freq
+            .iter()
+            .map(|(w, &f)| (to_symbols(w), f))
+            .collect();
+        // Deterministic order regardless of hash seeds.
+        words.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut vocab = Vocab::new();
+        // Seed with the word marker, all printable ASCII (shell syntax is
+        // ASCII-heavy; this keeps punctuation encodable even when absent
+        // from the training sample), then every observed character.
+        vocab.add(&crate::pretokenize::WORD_MARKER.to_string());
+        for c in ' '..='~' {
+            vocab.add(&c.to_string());
+        }
+        let mut chars: Vec<&String> = words.iter().flat_map(|(syms, _)| syms).collect();
+        chars.sort();
+        chars.dedup();
+        for c in chars {
+            vocab.add(c);
+        }
+
+        let mut merges: Vec<(String, String)> = Vec::new();
+        while vocab.len() < self.vocab_size {
+            let Some(((left, right), freq)) = best_pair(&words) else {
+                break;
+            };
+            if freq < self.min_pair_freq {
+                break;
+            }
+            let merged = format!("{left}{right}");
+            vocab.add(&merged);
+            apply_merge(&mut words, &left, &right, &merged);
+            merges.push((left, right));
+        }
+
+        Tokenizer::from_parts(vocab, merges)
+    }
+}
+
+/// Finds the most frequent adjacent pair; ties broken lexicographically
+/// for determinism.
+fn best_pair(words: &[(Vec<String>, usize)]) -> Option<((String, String), usize)> {
+    let mut counts: HashMap<(&str, &str), usize> = HashMap::new();
+    for (syms, freq) in words {
+        for pair in syms.windows(2) {
+            *counts.entry((&pair[0], &pair[1])).or_insert(0) += freq;
+        }
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+        .map(|((l, r), f)| ((l.to_string(), r.to_string()), f))
+}
+
+fn apply_merge(words: &mut [(Vec<String>, usize)], left: &str, right: &str, merged: &str) {
+    for (syms, _) in words.iter_mut() {
+        let mut i = 0;
+        while i + 1 < syms.len() {
+            if syms[i] == left && syms[i + 1] == right {
+                syms[i] = merged.to_string();
+                syms.remove(i + 1);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_frequent_word_as_single_token() {
+        let corpus = vec!["ls -la"; 50];
+        let tok = Trainer::new(200).train(corpus.into_iter());
+        // `▁ls` should have merged into one symbol.
+        let ids = tok.encode("ls");
+        assert_eq!(ids.len(), 1, "`ls` should be a single token, got {ids:?}");
+    }
+
+    #[test]
+    fn respects_vocab_budget() {
+        let corpus = ["the quick brown fox jumps over the lazy dog"; 20];
+        let tok = Trainer::new(110).train(corpus.into_iter());
+        assert!(tok.vocab_size() <= 110);
+        // The seed is 101 entries, so at most 9 merges were learned.
+        assert!(tok.merges().len() <= 9);
+    }
+
+    #[test]
+    fn min_pair_freq_stops_rare_merges() {
+        // Every pair occurs once; with min freq 2 nothing merges.
+        let tok = Trainer::new(1000)
+            .min_pair_freq(2)
+            .train(["abcdef"].into_iter());
+        // 5 specials + marker + 95 printable ASCII, no merges.
+        assert_eq!(tok.vocab_size(), 5 + 1 + 95);
+        assert!(tok.merges().is_empty());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let corpus = ["cat /etc/passwd | grep root", "cat /var/log | grep err"];
+        let a = Trainer::new(80).train(corpus.iter().copied());
+        let b = Trainer::new(80).train(corpus.iter().copied());
+        assert_eq!(a.merges(), b.merges());
+        assert_eq!(a.encode("cat /x | grep y"), b.encode("cat /x | grep y"));
+    }
+
+    #[test]
+    fn empty_corpus_yields_seed_only() {
+        let tok = Trainer::new(500).train(std::iter::empty());
+        assert_eq!(tok.vocab_size(), 101);
+        assert!(tok.merges().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "vocab_size")]
+    fn tiny_vocab_panics() {
+        let _ = Trainer::new(3);
+    }
+}

@@ -1,0 +1,129 @@
+//! Token ↔ id vocabulary with fixed special-token prefix.
+
+use crate::special::SpecialToken;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A bidirectional token/id map.
+///
+/// Ids `0..5` are always the [`SpecialToken`]s; learned symbols follow.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vocab {
+    token_to_id: HashMap<String, u32>,
+    id_to_token: Vec<String>,
+}
+
+impl Default for Vocab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vocab {
+    /// Creates a vocabulary holding only the special tokens.
+    pub fn new() -> Self {
+        let mut v = Vocab {
+            token_to_id: HashMap::new(),
+            id_to_token: Vec::new(),
+        };
+        for t in SpecialToken::ALL {
+            let id = v.id_to_token.len() as u32;
+            debug_assert_eq!(id, t.id());
+            v.id_to_token.push(t.as_str().to_string());
+            v.token_to_id.insert(t.as_str().to_string(), id);
+        }
+        v
+    }
+
+    /// Adds `token` if absent; returns its id either way.
+    pub fn add(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.token_to_id.get(token) {
+            return id;
+        }
+        let id = self.id_to_token.len() as u32;
+        self.id_to_token.push(token.to_string());
+        self.token_to_id.insert(token.to_string(), id);
+        id
+    }
+
+    /// Looks up a token's id.
+    pub fn id_of(&self, token: &str) -> Option<u32> {
+        self.token_to_id.get(token).copied()
+    }
+
+    /// Looks up an id's token text.
+    pub fn token_of(&self, id: u32) -> Option<&str> {
+        self.id_to_token.get(id as usize).map(|s| s.as_str())
+    }
+
+    /// Number of entries including special tokens.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// `false` — a vocabulary always holds the special tokens.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `true` if `id` denotes a special token.
+    pub fn is_special(&self, id: u32) -> bool {
+        (id as usize) < SpecialToken::ALL.len()
+    }
+
+    /// Iterates `(id, token)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.id_to_token
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as u32, t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_vocab_holds_specials() {
+        let v = Vocab::new();
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.id_of("[CLS]"), Some(2));
+        assert_eq!(v.token_of(4), Some("[MASK]"));
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.add("▁ls");
+        let b = v.add("▁ls");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 6);
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut v = Vocab::new();
+        let a = v.add("x");
+        let b = v.add("y");
+        assert_eq!(b, a + 1);
+    }
+
+    #[test]
+    fn special_detection() {
+        let mut v = Vocab::new();
+        let id = v.add("▁rm");
+        assert!(v.is_special(0));
+        assert!(v.is_special(4));
+        assert!(!v.is_special(id));
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut v = Vocab::new();
+        v.add("a");
+        let collected: Vec<_> = v.iter().map(|(i, _)| i).collect();
+        assert_eq!(collected, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

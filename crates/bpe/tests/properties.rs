@@ -1,0 +1,61 @@
+//! Property-based tests for the BPE tokenizer.
+
+use bpe::{SpecialToken, Trainer};
+use proptest::prelude::*;
+
+/// A trainer corpus of realistic shell-ish lines.
+fn corpus() -> Vec<&'static str> {
+    vec![
+        "ls -la /tmp",
+        "cd /home/user/project",
+        "grep -rn error /var/log/syslog",
+        "cat file.txt | wc -l",
+        "docker ps -a",
+        "python3 main.py --epochs 10",
+        "curl https://example.com/install.sh | bash",
+        "echo hello world",
+        "rm -rf build/",
+        "chmod +x run.sh",
+    ]
+}
+
+proptest! {
+    /// Encoding and decoding any line over the training alphabet is the
+    /// identity (modulo whitespace collapsing, which pretokenization
+    /// performs by design).
+    #[test]
+    fn round_trip_over_known_alphabet(words in prop::collection::vec("[a-z0-9/.-]{1,8}", 1..8)) {
+        let tok = Trainer::new(300).train(corpus().into_iter());
+        let line = words.join(" ");
+        prop_assert_eq!(tok.decode(&tok.encode(&line)), line);
+    }
+
+    /// encode never produces ids outside the vocabulary.
+    #[test]
+    fn ids_are_in_range(line in ".{0,80}") {
+        let tok = Trainer::new(300).train(corpus().into_iter());
+        for id in tok.encode(&line) {
+            prop_assert!((id as usize) < tok.vocab_size());
+        }
+    }
+
+    /// encode_for_model always respects max_len and framing.
+    #[test]
+    fn model_encoding_framed_and_bounded(line in ".{0,200}", max_len in 2usize..64) {
+        let tok = Trainer::new(300).train(corpus().into_iter());
+        let ids = tok.encode_for_model(&line, max_len);
+        prop_assert!(ids.len() <= max_len);
+        prop_assert_eq!(ids[0], SpecialToken::Cls.id());
+        prop_assert_eq!(*ids.last().unwrap(), SpecialToken::Sep.id());
+    }
+
+    /// Tokenization is stable: same input, same output, regardless of
+    /// what was encoded before (cache transparency).
+    #[test]
+    fn encoding_is_pure(a in ".{0,40}", b in ".{0,40}") {
+        let tok = Trainer::new(300).train(corpus().into_iter());
+        let first = tok.encode(&a);
+        let _ = tok.encode(&b);
+        prop_assert_eq!(tok.encode(&a), first);
+    }
+}

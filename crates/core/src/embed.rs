@@ -1,0 +1,185 @@
+//! Batch embedding helpers (parallel across threads).
+
+use bpe::Tokenizer;
+use linalg::Matrix;
+use nn::Encoder;
+
+/// Pooling strategy for a sequence embedding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pooling {
+    /// Average of all token embeddings — the paper's choice for PCA
+    /// anomaly detection (Section III).
+    Mean,
+    /// The `[CLS]` position — the paper's probing target (Section IV-B).
+    Cls,
+}
+
+/// Embeds `lines` into an `(n, hidden)` matrix, in parallel.
+///
+/// The encoder is cloned per worker thread; at experiment scale the
+/// clone is megabytes, not gigabytes, and this keeps the forward pass
+/// free of locking.
+pub fn embed_lines(
+    encoder: &Encoder,
+    tokenizer: &Tokenizer,
+    lines: &[&str],
+    max_len: usize,
+    pooling: Pooling,
+) -> Matrix {
+    let hidden = encoder.config().hidden;
+    let n = lines.len();
+    let mut out = Matrix::zeros(n, hidden);
+    if n == 0 {
+        return out;
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let chunk_rows = n.div_ceil(threads);
+
+    let mut chunks: Vec<(usize, &mut [f32])> = Vec::new();
+    {
+        let mut rest = out.as_mut_slice();
+        let mut start = 0usize;
+        while !rest.is_empty() {
+            let take = (chunk_rows * hidden).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            chunks.push((start, head));
+            start += take / hidden;
+            rest = tail;
+        }
+    }
+
+    crossbeam::scope(|scope| {
+        for (row_start, chunk) in chunks {
+            let encoder = encoder.clone();
+            let tokenizer = tokenizer.clone();
+            let lines = &lines[row_start..row_start + chunk.len() / hidden];
+            scope.spawn(move |_| {
+                for (i, line) in lines.iter().enumerate() {
+                    let ids = tokenizer.encode_for_model(line, max_len);
+                    let emb = match pooling {
+                        Pooling::Mean => encoder.embed_mean(&ids),
+                        Pooling::Cls => encoder.embed_cls(&ids),
+                    };
+                    chunk[i * hidden..(i + 1) * hidden].copy_from_slice(&emb);
+                }
+            });
+        }
+    })
+    .expect("embedding worker panicked");
+    out
+}
+
+/// Embeds pre-encoded id sequences (used when the caller already applied
+/// multi-line windowing).
+pub fn embed_ids(encoder: &Encoder, sequences: &[Vec<u32>], pooling: Pooling) -> Matrix {
+    let hidden = encoder.config().hidden;
+    let n = sequences.len();
+    let mut out = Matrix::zeros(n, hidden);
+    if n == 0 {
+        return out;
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let chunk_rows = n.div_ceil(threads);
+
+    let mut chunks: Vec<(usize, &mut [f32])> = Vec::new();
+    {
+        let mut rest = out.as_mut_slice();
+        let mut start = 0usize;
+        while !rest.is_empty() {
+            let take = (chunk_rows * hidden).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            chunks.push((start, head));
+            start += take / hidden;
+            rest = tail;
+        }
+    }
+
+    crossbeam::scope(|scope| {
+        for (row_start, chunk) in chunks {
+            let encoder = encoder.clone();
+            let seqs = &sequences[row_start..row_start + chunk.len() / hidden];
+            scope.spawn(move |_| {
+                for (i, ids) in seqs.iter().enumerate() {
+                    let emb = match pooling {
+                        Pooling::Mean => encoder.embed_mean(ids),
+                        Pooling::Cls => encoder.embed_cls(ids),
+                    };
+                    chunk[i * hidden..(i + 1) * hidden].copy_from_slice(&emb);
+                }
+            });
+        }
+    })
+    .expect("embedding worker panicked");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpe::Trainer;
+    use nn::ModelConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Encoder, Tokenizer) {
+        let corpus = ["ls -la /tmp", "cat /etc/hosts", "docker ps -a"];
+        let tok = Trainer::new(160).train(corpus.iter().copied());
+        let mut rng = StdRng::seed_from_u64(1);
+        let enc = Encoder::new(ModelConfig::tiny(tok.vocab_size()), &mut rng);
+        (enc, tok)
+    }
+
+    #[test]
+    fn parallel_embedding_matches_serial() {
+        let (enc, tok) = setup();
+        let lines: Vec<&str> = vec![
+            "ls -la /tmp",
+            "cat /etc/hosts",
+            "docker ps -a",
+            "ls /tmp",
+            "cat /tmp/a",
+            "docker ps",
+            "ls",
+        ];
+        let batch = embed_lines(&enc, &tok, &lines, 32, Pooling::Mean);
+        for (i, line) in lines.iter().enumerate() {
+            let ids = tok.encode_for_model(line, 32);
+            let single = enc.embed_mean(&ids);
+            for (a, b) in batch.row(i).iter().zip(&single) {
+                assert!((a - b).abs() < 1e-6, "row {i} mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn cls_pooling_differs_from_mean() {
+        let (enc, tok) = setup();
+        let lines = vec!["ls -la /tmp"];
+        let mean = embed_lines(&enc, &tok, &lines, 32, Pooling::Mean);
+        let cls = embed_lines(&enc, &tok, &lines, 32, Pooling::Cls);
+        assert_ne!(mean.row(0), cls.row(0));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_matrix() {
+        let (enc, tok) = setup();
+        let out = embed_lines(&enc, &tok, &[], 32, Pooling::Mean);
+        assert_eq!(out.rows(), 0);
+    }
+
+    #[test]
+    fn embed_ids_matches_embed_lines() {
+        let (enc, tok) = setup();
+        let lines = vec!["docker ps -a", "ls"];
+        let seqs: Vec<Vec<u32>> = lines.iter().map(|l| tok.encode_for_model(l, 32)).collect();
+        let a = embed_lines(&enc, &tok, &lines, 32, Pooling::Cls);
+        let b = embed_ids(&enc, &seqs, Pooling::Cls);
+        assert_eq!(a, b);
+    }
+}

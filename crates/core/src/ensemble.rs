@@ -1,0 +1,197 @@
+//! Score fusion across detection methods — the paper's future-work item:
+//! "these methods complement each other, and an ensemble of all these
+//! methods can further boost the out-of-box intrusion detection
+//! performance, which should be explored in future work."
+//!
+//! Raw scores are not commensurable (probabilities vs reconstruction
+//! errors vs cosine similarities), so fusion happens on **ranks**: each
+//! method ranks the test set, ranks are converted to `[0, 1]` quantile
+//! scores, and the ensemble score is their mean (optionally weighted).
+
+/// Converts raw scores to quantile scores in `[0, 1]`:
+/// the highest raw score maps to 1, the lowest to near 0. Ties share
+/// the average of their quantiles, so deterministic scorers with many
+/// identical outputs do not distort the fusion.
+pub fn rank_normalize(scores: &[f32]) -> Vec<f32> {
+    let n = scores.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![1.0];
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut out = vec![0.0f32; n];
+    let mut i = 0;
+    while i < n {
+        // Group ties and give them the mean rank of their run.
+        let mut j = i;
+        while j + 1 < n && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let mean_rank = (i + j) as f32 / 2.0;
+        let quantile = (mean_rank + 1.0) / n as f32;
+        for &k in &order[i..=j] {
+            out[k] = quantile;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Fuses several methods' scores for the same sample set by weighted
+/// mean of rank-normalized scores.
+///
+/// # Panics
+///
+/// Panics if `methods` is empty, the score vectors have differing
+/// lengths, weights don't match the method count, or all weights are 0.
+pub fn fuse_weighted(methods: &[&[f32]], weights: &[f32]) -> Vec<f32> {
+    assert!(!methods.is_empty(), "need at least one method to fuse");
+    assert_eq!(
+        methods.len(),
+        weights.len(),
+        "one weight per method required"
+    );
+    let n = methods[0].len();
+    for m in methods {
+        assert_eq!(m.len(), n, "all methods must score the same samples");
+    }
+    let total: f32 = weights.iter().sum();
+    assert!(total > 0.0, "weights must not all be zero");
+
+    let mut fused = vec![0.0f32; n];
+    for (m, &w) in methods.iter().zip(weights) {
+        let normalized = rank_normalize(m);
+        for (f, q) in fused.iter_mut().zip(&normalized) {
+            *f += w * q;
+        }
+    }
+    for f in &mut fused {
+        *f /= total;
+    }
+    fused
+}
+
+/// Unweighted rank-mean fusion.
+///
+/// ```
+/// use cmdline_ids::ensemble::fuse;
+/// let a = [0.9f32, 0.1, 0.5];
+/// let b = [10.0f32, 2.0, 30.0];
+/// let fused = fuse(&[&a, &b]);
+/// // Sample 0 is ranked high by both; sample 1 low by both.
+/// assert!(fused[0] > fused[1]);
+/// ```
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`fuse_weighted`].
+pub fn fuse(methods: &[&[f32]]) -> Vec<f32> {
+    fuse_weighted(methods, &vec![1.0; methods.len()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_normalize_orders_and_bounds() {
+        let scores = [3.0f32, 1.0, 2.0];
+        let q = rank_normalize(&scores);
+        assert!(q[0] > q[2] && q[2] > q[1]);
+        assert!(q.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        assert!((q[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ties_share_quantiles() {
+        let scores = [5.0f32, 5.0, 1.0, 5.0];
+        let q = rank_normalize(&scores);
+        assert_eq!(q[0], q[1]);
+        assert_eq!(q[1], q[3]);
+        assert!(q[2] < q[0]);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert!(rank_normalize(&[]).is_empty());
+        assert_eq!(rank_normalize(&[42.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn fusion_is_scale_invariant() {
+        // Method B is method A times 1000 — fusion must equal A's ranks.
+        let a = [0.1f32, 0.9, 0.4, 0.7];
+        let b: Vec<f32> = a.iter().map(|x| x * 1000.0).collect();
+        let fused = fuse(&[&a, &b]);
+        let solo = rank_normalize(&a);
+        for (f, s) in fused.iter().zip(&solo) {
+            assert!((f - s).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn complementary_methods_boost_agreed_sample() {
+        // Method A is confident about sample 0, method B about sample 1;
+        // both mildly rank sample 2 above sample 3. Fusion must keep
+        // samples 0/1/2 above 3.
+        let a = [1.0f32, 0.2, 0.6, 0.1];
+        let b = [0.2f32, 1.0, 0.6, 0.1];
+        let fused = fuse(&[&a, &b]);
+        assert!(fused[0] > fused[3]);
+        assert!(fused[1] > fused[3]);
+        assert!(fused[2] > fused[3]);
+    }
+
+    #[test]
+    fn weights_bias_toward_trusted_method() {
+        let a = [1.0f32, 0.0]; // says sample 0
+        let b = [0.0f32, 1.0]; // says sample 1
+        let toward_a = fuse_weighted(&[&a, &b], &[3.0, 1.0]);
+        assert!(toward_a[0] > toward_a[1]);
+        let toward_b = fuse_weighted(&[&a, &b], &[1.0, 3.0]);
+        assert!(toward_b[1] > toward_b[0]);
+    }
+
+    #[test]
+    fn fusion_improves_top_precision_on_synthetic_split() {
+        // 20 samples; 4 malicious (0..4). Each method detects half the
+        // malicious set perfectly and is random-ish noise on the rest.
+        let n = 20;
+        let mut a = vec![0.0f32; n];
+        let mut b = vec![0.0f32; n];
+        a[0] = 1.0;
+        a[1] = 0.9;
+        b[2] = 1.0;
+        b[3] = 0.9;
+        // Distractors: each method has one false positive, ranked below
+        // its true positives.
+        a[10] = 0.85;
+        b[11] = 0.85;
+        let fused = fuse(&[&a, &b]);
+        // Top-4 of the fused ranking should contain more true positives
+        // than either method alone (which can only find 2).
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&x, &y| fused[y].partial_cmp(&fused[x]).unwrap());
+        let hits = order[..4].iter().filter(|&&i| i < 4).count();
+        assert!(hits >= 3, "fused top-4 hits {hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "same samples")]
+    fn mismatched_lengths_panic() {
+        let _ = fuse(&[&[1.0, 2.0][..], &[1.0][..]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one method")]
+    fn empty_fusion_panics() {
+        let _ = fuse(&[]);
+    }
+}

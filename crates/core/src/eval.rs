@@ -1,0 +1,180 @@
+//! Method evaluation harness: turns scores into the paper's table rows.
+
+use crate::metrics::{
+    calibrate_threshold, f1_comparison, out_of_box_precision, overall_precision,
+    precision_at_top, F1Comparison, ScoredSample,
+};
+use corpus::AttackFamily;
+use serde::{Deserialize, Serialize};
+
+/// One method's evaluation — a row of Tables I and II.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodEval {
+    /// Calibrated threshold (None if no in-box samples existed).
+    pub threshold: Option<f32>,
+    /// PO at the threshold.
+    pub po: Option<f64>,
+    /// PO&I at the threshold.
+    pub po_i: Option<f64>,
+    /// `(v, PO@v)` pairs.
+    pub po_at: Vec<(usize, f64)>,
+    /// Section V-B comparison (when computable).
+    pub f1: Option<F1Comparison>,
+}
+
+/// Evaluates one method's scores with in-box recall target `u` and
+/// top-`v` cutoffs (the paper uses 100 and 1000).
+///
+/// # Panics
+///
+/// Panics if `u ∉ (0, 1]` or any `v == 0`.
+pub fn evaluate_scores(samples: &[ScoredSample], u: f64, tops: &[usize]) -> MethodEval {
+    let threshold = calibrate_threshold(samples, u);
+    let (po, po_i, f1) = match threshold {
+        Some(t) => (
+            out_of_box_precision(samples, t),
+            overall_precision(samples, t),
+            f1_comparison(samples, t, u),
+        ),
+        None => (None, None, None),
+    };
+    let po_at = tops
+        .iter()
+        .filter_map(|&v| precision_at_top(samples, v).map(|p| (v, p)))
+        .collect();
+    MethodEval {
+        threshold,
+        po,
+        po_i,
+        po_at,
+        f1,
+    }
+}
+
+/// Mean ± standard deviation over repeated runs (the paper reports
+/// "average performance over five runs … together with the standard
+/// deviation").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanStd {
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+impl MeanStd {
+    /// Aggregates observations; `None` entries are skipped.
+    pub fn from_runs(values: impl IntoIterator<Item = Option<f64>>) -> Option<MeanStd> {
+        let xs: Vec<f64> = values.into_iter().flatten().collect();
+        if xs.is_empty() {
+            return None;
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        Some(MeanStd {
+            mean,
+            std: var.sqrt(),
+        })
+    }
+}
+
+impl std::fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ± {:.3}", self.mean, self.std)
+    }
+}
+
+/// Per-family true-positive breakdown at a threshold — the Section V-C
+/// "preference of different methods" analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FamilyBreakdown {
+    /// `(family, detected, total)` rows.
+    pub rows: Vec<(String, usize, usize)>,
+}
+
+/// Computes the per-family detection breakdown. `families[i]` is the
+/// attack family of `samples[i]` (None for benign).
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn family_breakdown(
+    samples: &[ScoredSample],
+    families: &[Option<AttackFamily>],
+    threshold: f32,
+) -> FamilyBreakdown {
+    assert_eq!(samples.len(), families.len(), "one family tag per sample");
+    let mut rows: Vec<(String, usize, usize)> = Vec::new();
+    for family in AttackFamily::ALL {
+        let mut total = 0;
+        let mut detected = 0;
+        for (s, f) in samples.iter().zip(families) {
+            if *f == Some(family) && s.malicious {
+                total += 1;
+                if s.score >= threshold {
+                    detected += 1;
+                }
+            }
+        }
+        if total > 0 {
+            rows.push((family.to_string(), detected, total));
+        }
+    }
+    FamilyBreakdown { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(score: f32, malicious: bool, in_box: bool) -> ScoredSample {
+        ScoredSample {
+            score,
+            malicious,
+            in_box,
+        }
+    }
+
+    #[test]
+    fn evaluate_produces_full_row() {
+        let samples = vec![
+            sample(0.9, true, true),
+            sample(0.8, true, false),
+            sample(0.2, false, false),
+        ];
+        let eval = evaluate_scores(&samples, 1.0, &[1, 2]);
+        assert_eq!(eval.threshold, Some(0.9));
+        assert!(eval.po.is_none()); // nothing out-of-box above 0.9
+        assert_eq!(eval.po_i, Some(1.0));
+        assert_eq!(eval.po_at, vec![(1, 1.0), (2, 0.5)]);
+    }
+
+    #[test]
+    fn mean_std_aggregation() {
+        let ms = MeanStd::from_runs([Some(1.0), Some(3.0), None]).unwrap();
+        assert_eq!(ms.mean, 2.0);
+        assert_eq!(ms.std, 1.0);
+        assert!(MeanStd::from_runs([None, None]).is_none());
+        assert_eq!(format!("{ms}"), "2.000 ± 1.000");
+    }
+
+    #[test]
+    fn family_breakdown_counts() {
+        use corpus::AttackFamily::*;
+        let samples = vec![
+            sample(0.9, true, false),
+            sample(0.1, true, false),
+            sample(0.9, false, false),
+        ];
+        let families = vec![Some(PortScan), Some(PortScan), None];
+        let bd = family_breakdown(&samples, &families, 0.5);
+        assert_eq!(bd.rows, vec![("port-scan".to_string(), 1, 2)]);
+    }
+
+    #[test]
+    fn empty_samples_evaluate_cleanly() {
+        let eval = evaluate_scores(&[], 1.0, &[100]);
+        assert!(eval.threshold.is_none());
+        assert!(eval.po_at.is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! # cmdline-ids
+//!
+//! An intrusion-detection system built around a command-line language
+//! model — a from-scratch Rust reproduction of *"Intrusion Detection at
+//! Scale with the Assistance of a Command-line Language Model"*
+//! (Lin, Guo & Chen, DSN 2024).
+//!
+//! The pipeline (the paper's Figure 1):
+//!
+//! 1. **Logging** — synthetic production traces from the [`corpus`] crate
+//!    (the substitution for the paper's proprietary logs; see DESIGN.md).
+//! 2. **Pre-processing** ([`preprocess`]) — a Bash parser rejects
+//!    un-executable lines; a command-frequency filter drops typo'd
+//!    command names (Figure 2).
+//! 3. **Tokenization** — BPE ([`bpe`]).
+//! 4. **Pre-training** ([`pipeline`]) — masked-language-model training of
+//!    a transformer encoder ([`nn`]).
+//! 5. **Detection** — four methods over the frozen/tuned model:
+//!    * unsupervised PCA reconstruction error ([`anomaly::PcaDetector`]),
+//!    * reconstruction-based tuning ([`tuning::ReconstructionTuner`],
+//!      Eq. 2),
+//!    * classification-based tuning, single- and multi-line
+//!      ([`tuning::ClassificationTuner`], [`tuning::MultiLineClassifier`]),
+//!    * retrieval ([`retrieval::Retrieval`], the label-noise-robust kNN).
+//! 6. **Evaluation** ([`metrics`], [`eval`]) — PO@v, PO, PO&I at the
+//!    threshold recalling ≈100% of in-box intrusions, plus the Section
+//!    V-B F1 comparison against the commercial IDS.
+//!
+//! ```no_run
+//! use cmdline_ids::pipeline::{IdsPipeline, PipelineConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let config = PipelineConfig::fast();
+//! let dataset = config.generate_dataset(&mut rng);
+//! let pipeline = IdsPipeline::pretrain(&config, &dataset, &mut rng);
+//! let score = pipeline.encoder().embed_mean(&pipeline.encode("nc -lvnp 4444"));
+//! assert_eq!(score.len(), config.model.hidden);
+//! ```
+
+pub mod embed;
+pub mod ensemble;
+pub mod eval;
+pub mod metrics;
+pub mod pipeline;
+pub mod preprocess;
+pub mod retrieval;
+pub mod tuning;
+
+pub use eval::{evaluate_scores, MethodEval};
+pub use metrics::{
+    calibrate_threshold, f1_comparison, precision_at_top, F1Comparison, ScoredSample,
+};
+pub use pipeline::{IdsPipeline, PipelineConfig};
+pub use preprocess::{Preprocessor, PreprocessStats};

@@ -1,0 +1,305 @@
+//! The paper's evaluation metrics (Section V-A/V-B).
+//!
+//! Terminology:
+//!
+//! * **in-box** intrusion — confirmed by the commercial IDS (the
+//!   supervision source).
+//! * **out-of-box** intrusion — real intrusion the commercial IDS missed.
+//! * **PO@v** — precision of the model's top-`v` out-of-box predictions
+//!   (ranked among samples *not* flagged by the commercial IDS).
+//! * **PO / PO&I** — out-of-box precision / overall precision at the
+//!   detection threshold calibrated to recall `u ≈ 100%` of all in-box
+//!   intrusions.
+
+use serde::{Deserialize, Serialize};
+
+/// One de-duplicated test sample with its model score and labels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoredSample {
+    /// The model's intrusion score (higher = more suspicious).
+    pub score: f32,
+    /// Ground truth: is this line part of a real intrusion?
+    pub malicious: bool,
+    /// Did the commercial IDS alert on it? (defines in-box)
+    pub in_box: bool,
+}
+
+/// Calibrates the detection threshold so that a fraction `u` of the
+/// in-box intrusions score at or above it — the paper's "setting a
+/// specific intrusion detection threshold … according to its prediction
+/// scores" with `u ≈ 100%`.
+///
+/// Returns `None` when there are no in-box samples to calibrate on.
+///
+/// # Panics
+///
+/// Panics if `u ∉ (0, 1]`.
+pub fn calibrate_threshold(samples: &[ScoredSample], u: f64) -> Option<f32> {
+    assert!(u > 0.0 && u <= 1.0, "u must be in (0, 1], got {u}");
+    let mut in_box_scores: Vec<f32> = samples
+        .iter()
+        .filter(|s| s.in_box)
+        .map(|s| s.score)
+        .collect();
+    if in_box_scores.is_empty() {
+        return None;
+    }
+    in_box_scores.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let need = ((u * in_box_scores.len() as f64).ceil() as usize)
+        .clamp(1, in_box_scores.len());
+    Some(in_box_scores[need - 1])
+}
+
+/// PO: among predicted positives (`score ≥ threshold`) **not** flagged
+/// by the commercial IDS, the fraction that are real intrusions.
+/// Returns `None` if there are no such predictions.
+pub fn out_of_box_precision(samples: &[ScoredSample], threshold: f32) -> Option<f64> {
+    let mut predicted = 0usize;
+    let mut correct = 0usize;
+    for s in samples {
+        if s.score >= threshold && !s.in_box {
+            predicted += 1;
+            if s.malicious {
+                correct += 1;
+            }
+        }
+    }
+    (predicted > 0).then(|| correct as f64 / predicted as f64)
+}
+
+/// PO&I: overall precision of all predicted positives at the threshold.
+/// Returns `None` if nothing is predicted positive.
+pub fn overall_precision(samples: &[ScoredSample], threshold: f32) -> Option<f64> {
+    let mut predicted = 0usize;
+    let mut correct = 0usize;
+    for s in samples {
+        if s.score >= threshold {
+            predicted += 1;
+            if s.malicious {
+                correct += 1;
+            }
+        }
+    }
+    (predicted > 0).then(|| correct as f64 / predicted as f64)
+}
+
+/// PO@v: precision of the top-`v` out-of-box predictions. Samples the
+/// commercial IDS already flags are excluded from the ranking; if fewer
+/// than `v` candidates exist, all are used.
+///
+/// Returns `None` when there are no out-of-box candidates at all.
+///
+/// # Panics
+///
+/// Panics if `v == 0`.
+pub fn precision_at_top(samples: &[ScoredSample], v: usize) -> Option<f64> {
+    assert!(v > 0, "v must be positive");
+    let mut candidates: Vec<&ScoredSample> = samples.iter().filter(|s| !s.in_box).collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    candidates.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let top = &candidates[..v.min(candidates.len())];
+    let correct = top.iter().filter(|s| s.malicious).count();
+    Some(correct as f64 / top.len() as f64)
+}
+
+/// The Section V-B comparison on the predicted-positive benchmark set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct F1Comparison {
+    /// Model precision on its predicted-positive set (= PO&I).
+    pub model_precision: f64,
+    /// Model recall on that set (1.0 by construction, per the paper).
+    pub model_recall: f64,
+    /// Model F1.
+    pub model_f1: f64,
+    /// Commercial IDS recall `uS / (xT + u(1−x)S)`.
+    pub ids_recall: f64,
+    /// Commercial IDS precision (assumed 1.0, per the paper).
+    pub ids_precision: f64,
+    /// Commercial IDS F1.
+    pub ids_f1: f64,
+    /// `S`: intrusions the commercial IDS spots on the whole test set.
+    pub s_ids_alerts: usize,
+    /// `T`: size of the model's predicted-positive set.
+    pub t_predicted: usize,
+}
+
+/// Computes the Section V-B F1 comparison.
+///
+/// `u` is the calibrated in-box recall, `threshold` the calibrated
+/// detection threshold. Returns `None` when the model predicts nothing
+/// positive or the IDS alerts on nothing (the formulas degenerate).
+pub fn f1_comparison(samples: &[ScoredSample], threshold: f32, u: f64) -> Option<F1Comparison> {
+    let t_predicted = samples.iter().filter(|s| s.score >= threshold).count();
+    let s_ids_alerts = samples.iter().filter(|s| s.in_box).count();
+    if t_predicted == 0 || s_ids_alerts == 0 {
+        return None;
+    }
+    let x = out_of_box_precision(samples, threshold)?;
+    let model_precision = overall_precision(samples, threshold)?;
+    // On the predicted-positive benchmark, every true positive is, by
+    // construction, predicted by the model.
+    let model_recall = 1.0;
+    let model_f1 = 2.0 * model_precision * model_recall / (model_precision + model_recall);
+
+    // The paper's approximation: the IDS catches only in-box intrusions;
+    // of the model's xT out-of-box true positives it misses all but the
+    // u·S it already knew. recall ≈ uS / (xT + u(1−x)S).
+    let s = s_ids_alerts as f64;
+    let t = t_predicted as f64;
+    let denom = x * t + u * (1.0 - x) * s;
+    let ids_recall = if denom > 0.0 { (u * s / denom).min(1.0) } else { 1.0 };
+    let ids_precision = 1.0;
+    let ids_f1 = 2.0 * ids_precision * ids_recall / (ids_precision + ids_recall);
+
+    Some(F1Comparison {
+        model_precision,
+        model_recall,
+        model_f1,
+        ids_recall,
+        ids_precision,
+        ids_f1,
+        s_ids_alerts,
+        t_predicted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(score: f32, malicious: bool, in_box: bool) -> ScoredSample {
+        ScoredSample {
+            score,
+            malicious,
+            in_box,
+        }
+    }
+
+    /// 3 in-box (high scores), 2 out-of-box hits, 1 false alarm,
+    /// benign mass below.
+    fn toy() -> Vec<ScoredSample> {
+        vec![
+            sample(0.99, true, true),
+            sample(0.95, true, true),
+            sample(0.90, true, true),
+            sample(0.85, true, false),  // out-of-box hit
+            sample(0.80, false, false), // false alarm above threshold
+            sample(0.92, true, false),  // out-of-box hit
+            sample(0.10, false, false),
+            sample(0.05, false, false),
+            sample(0.01, false, false),
+        ]
+    }
+
+    #[test]
+    fn threshold_recalls_all_in_box() {
+        let t = calibrate_threshold(&toy(), 1.0).unwrap();
+        assert_eq!(t, 0.90);
+        // Every in-box sample is at or above it.
+        assert!(toy().iter().filter(|s| s.in_box).all(|s| s.score >= t));
+    }
+
+    #[test]
+    fn partial_recall_raises_threshold() {
+        // u = 0.5 over 3 in-box scores keeps ceil(1.5) = 2 of them.
+        let t = calibrate_threshold(&toy(), 0.5).unwrap();
+        assert_eq!(t, 0.95);
+        // u = 0.67 needs ceil(2.01) = 3, i.e. all of them.
+        let t = calibrate_threshold(&toy(), 0.67).unwrap();
+        assert_eq!(t, 0.90);
+    }
+
+    #[test]
+    fn no_in_box_returns_none() {
+        let samples = vec![sample(0.5, true, false)];
+        assert_eq!(calibrate_threshold(&samples, 1.0), None);
+    }
+
+    #[test]
+    fn po_counts_only_out_of_box_predictions() {
+        let samples = toy();
+        let t = calibrate_threshold(&samples, 1.0).unwrap();
+        // Predicted positives not in-box: scores 0.92 (mal), 0.85? No —
+        // 0.85 < 0.90. So {0.92 mal}. PO = 1.0.
+        assert_eq!(out_of_box_precision(&samples, t), Some(1.0));
+        // Lower threshold pulls in 0.85 (mal) and 0.80 (benign): 2/3.
+        let po = out_of_box_precision(&samples, 0.80).unwrap();
+        assert!((po - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overall_precision_includes_in_box() {
+        let samples = toy();
+        // At 0.80: positives = 3 in-box + 0.92 + 0.85 + 0.80 → 5 mal / 6.
+        let p = overall_precision(&samples, 0.80).unwrap();
+        assert!((p - 5.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn precision_at_top_ranks_out_of_box_only() {
+        let samples = toy();
+        // Out-of-box candidates by score: 0.92(m), 0.85(m), 0.80(b), …
+        assert_eq!(precision_at_top(&samples, 1), Some(1.0));
+        assert_eq!(precision_at_top(&samples, 2), Some(1.0));
+        let p3 = precision_at_top(&samples, 3).unwrap();
+        assert!((p3 - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn precision_at_top_handles_small_candidate_sets() {
+        let samples = vec![sample(0.9, true, false), sample(0.1, false, false)];
+        assert_eq!(precision_at_top(&samples, 100), Some(0.5));
+        let only_in_box = vec![sample(0.9, true, true)];
+        assert_eq!(precision_at_top(&only_in_box, 10), None);
+    }
+
+    #[test]
+    fn f1_model_beats_ids_when_out_of_box_found() {
+        let samples = toy();
+        let t = calibrate_threshold(&samples, 1.0).unwrap();
+        let cmp = f1_comparison(&samples, t, 1.0).unwrap();
+        assert!(cmp.model_f1 > cmp.ids_f1, "{cmp:?}");
+        assert!(cmp.ids_recall < 1.0);
+        assert_eq!(cmp.s_ids_alerts, 3);
+        // Predicted positives at t=0.90: 0.99, 0.95, 0.90, 0.92 → 4.
+        assert_eq!(cmp.t_predicted, 4);
+    }
+
+    #[test]
+    fn f1_degenerates_to_none() {
+        let no_alerts = vec![sample(0.9, true, false)];
+        assert_eq!(f1_comparison(&no_alerts, 0.5, 1.0), None);
+        let nothing_predicted = vec![sample(0.1, true, true)];
+        assert_eq!(f1_comparison(&nothing_predicted, 0.5, 1.0), None);
+    }
+
+    #[test]
+    fn metrics_are_bounded() {
+        let samples = toy();
+        for thresh in [0.0f32, 0.5, 0.9, 1.0] {
+            if let Some(p) = out_of_box_precision(&samples, thresh) {
+                assert!((0.0..=1.0).contains(&p));
+            }
+            if let Some(p) = overall_precision(&samples, thresh) {
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+        for v in [1usize, 3, 10] {
+            if let Some(p) = precision_at_top(&samples, v) {
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "u must be")]
+    fn bad_u_panics() {
+        let _ = calibrate_threshold(&toy(), 0.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! The paper's Figure 2 pre-processing: Bash parser + command filter.
+//!
+//! Two stages remove data that "cannot be successfully executed by the
+//! system, and therefore can hardly be harmful":
+//!
+//! 1. **Parser stage** — `shell_parser::classify` drops syntactically
+//!    invalid lines (the `/*/*/* -> /*/*/* ->` class).
+//! 2. **Command-filter stage** — a list of *concerned commands* built
+//!    from occurrence counts; command names "that show extremely low
+//!    frequency and thus are less likely to be valid" (typos like
+//!    `dcoker`, `chdmod`) are filtered out.
+
+use std::collections::HashMap;
+
+/// Outcome counts of a preprocessing run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PreprocessStats {
+    /// Lines kept for training/inference.
+    pub kept: usize,
+    /// Lines dropped by the parser (invalid syntax).
+    pub invalid: usize,
+    /// Empty/comment-only lines dropped.
+    pub empty: usize,
+    /// Lines dropped by the command-frequency filter (typos).
+    pub filtered: usize,
+}
+
+impl PreprocessStats {
+    /// Total lines examined.
+    pub fn total(&self) -> usize {
+        self.kept + self.invalid + self.empty + self.filtered
+    }
+}
+
+/// The two-stage preprocessor.
+///
+/// `fit` builds the command-occurrence table (Figure 2's right side);
+/// `process` applies both stages.
+///
+/// ```
+/// use cmdline_ids::Preprocessor;
+///
+/// let corpus = vec!["ls -la".to_string(); 100];
+/// let mut pre = Preprocessor::new(3);
+/// pre.fit(corpus.iter().map(|s| s.as_str()));
+/// assert!(pre.is_concerned("ls"));
+/// assert!(!pre.is_concerned("lss"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Preprocessor {
+    min_count: usize,
+    occurrences: HashMap<String, usize>,
+}
+
+impl Preprocessor {
+    /// Creates a preprocessor whose command filter requires a base name
+    /// to occur at least `min_count` times in the fitted corpus.
+    pub fn new(min_count: usize) -> Self {
+        Preprocessor {
+            min_count: min_count.max(1),
+            occurrences: HashMap::new(),
+        }
+    }
+
+    /// Counts command-name occurrences over a corpus (parser failures
+    /// contribute nothing). Can be called repeatedly to accumulate.
+    pub fn fit<'a>(&mut self, lines: impl IntoIterator<Item = &'a str>) {
+        for line in lines {
+            if let shell_parser::LineClass::Valid(script) = shell_parser::classify(line) {
+                for name in script.base_names() {
+                    *self.occurrences.entry(name.to_string()).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    /// `true` if `name` passed the frequency filter.
+    pub fn is_concerned(&self, name: &str) -> bool {
+        self.occurrences.get(name).copied().unwrap_or(0) >= self.min_count
+    }
+
+    /// The command-occurrence table sorted by descending count — the
+    /// paper's Figure 2 table (`cd ********`, `echo ********`, …).
+    pub fn occurrence_table(&self) -> Vec<(String, usize)> {
+        let mut table: Vec<(String, usize)> = self
+            .occurrences
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        table.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        table
+    }
+
+    /// Applies both stages to one line: `Some(line)` if kept.
+    ///
+    /// A line is kept when it parses and **every** command base name is
+    /// concerned (a single typo'd stage makes the whole line
+    /// un-executable in practice).
+    pub fn keep(&self, line: &str) -> bool {
+        match shell_parser::classify(line) {
+            shell_parser::LineClass::Valid(script) => script
+                .base_names()
+                .iter()
+                .all(|name| self.is_concerned(name)),
+            _ => false,
+        }
+    }
+
+    /// Filters a corpus, returning kept lines and statistics.
+    pub fn process<'a>(
+        &self,
+        lines: impl IntoIterator<Item = &'a str>,
+    ) -> (Vec<&'a str>, PreprocessStats) {
+        let mut kept = Vec::new();
+        let mut stats = PreprocessStats::default();
+        for line in lines {
+            match shell_parser::classify(line) {
+                shell_parser::LineClass::Valid(script) => {
+                    if script
+                        .base_names()
+                        .iter()
+                        .all(|name| self.is_concerned(name))
+                    {
+                        kept.push(line);
+                        stats.kept += 1;
+                    } else {
+                        stats.filtered += 1;
+                    }
+                }
+                shell_parser::LineClass::Empty => stats.empty += 1,
+                shell_parser::LineClass::Invalid(_) => stats.invalid += 1,
+            }
+        }
+        (kept, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fitted() -> Preprocessor {
+        let mut pre = Preprocessor::new(3);
+        let corpus: Vec<&str> = vec![
+            "ls -la", "ls /tmp", "ls /home", "ls",
+            "docker ps", "docker ps -a", "docker logs c1", "docker restart c1",
+            "cat a | grep x", "grep y f", "grep z g", "cat b", "cat c",
+        ];
+        pre.fit(corpus);
+        pre
+    }
+
+    #[test]
+    fn frequent_commands_are_concerned() {
+        let pre = fitted();
+        assert!(pre.is_concerned("ls"));
+        assert!(pre.is_concerned("docker"));
+        assert!(pre.is_concerned("grep"));
+        assert!(!pre.is_concerned("dcoker"));
+        assert!(!pre.is_concerned("never-seen"));
+    }
+
+    #[test]
+    fn typo_lines_are_filtered() {
+        let pre = fitted();
+        assert!(pre.keep("ls -ltr"));
+        assert!(!pre.keep("dcoker attach --sig-proxy=false c1"));
+        assert!(!pre.keep("chdmod +x x.sh"));
+    }
+
+    #[test]
+    fn invalid_lines_are_dropped_by_parser() {
+        let pre = fitted();
+        assert!(!pre.keep("/*/*/* -> /*/*/* ->"));
+        assert!(!pre.keep("echo 'oops"));
+    }
+
+    #[test]
+    fn pipeline_requires_all_names_concerned() {
+        let pre = fitted();
+        assert!(pre.keep("cat x | grep y"));
+        // `grap` typo poisons the whole pipeline.
+        assert!(!pre.keep("cat x | grap y"));
+    }
+
+    #[test]
+    fn process_reports_stats() {
+        let pre = fitted();
+        let lines = vec![
+            "ls -la",                 // kept
+            "dcoker ps",              // filtered (typo)
+            "",                       // empty
+            "# comment",              // empty
+            "/*/*/* -> /*/*/* ->",    // invalid
+            "docker ps",              // kept
+        ];
+        let (kept, stats) = pre.process(lines.iter().copied());
+        assert_eq!(kept, vec!["ls -la", "docker ps"]);
+        assert_eq!(stats.kept, 2);
+        assert_eq!(stats.filtered, 1);
+        assert_eq!(stats.empty, 2);
+        assert_eq!(stats.invalid, 1);
+        assert_eq!(stats.total(), 6);
+    }
+
+    #[test]
+    fn occurrence_table_is_sorted() {
+        let pre = fitted();
+        let table = pre.occurrence_table();
+        // `docker` and `ls` tie at 4; the tie-break is lexicographic.
+        assert_eq!(table[0], ("docker".to_string(), 4));
+        assert_eq!(table[1], ("ls".to_string(), 4));
+        for w in table.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn fit_accumulates() {
+        let mut pre = Preprocessor::new(2);
+        pre.fit(["vim a"]);
+        assert!(!pre.is_concerned("vim"));
+        pre.fit(["vim b"]);
+        assert!(pre.is_concerned("vim"));
+    }
+}

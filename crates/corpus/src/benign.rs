@@ -1,0 +1,297 @@
+//! Benign command-line synthesis following the paper's Figure 2 mix.
+//!
+//! Commands are drawn Zipf-style with the most frequent commands of the
+//! paper's occurrence table at the head (`cd`, `echo`, `chmod`, `grep`,
+//! `ls`, `awk`, `ll`, `df`, `ps`, `cat`, `rm`, `docker`, …). Each command
+//! has a small generator producing realistic flags and arguments, plus
+//! occasional pipelines combining them.
+
+use crate::zipf::ZipfSampler;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+const DIRS: &[&str] = &[
+    "/tmp", "/var/log", "/home/admin", "/opt/app", "/data", "/srv/www", "/etc", "/usr/local/bin",
+    "/home/dev/project", "/var/lib/docker", "/mnt/backup", "/root",
+];
+
+const FILES: &[&str] = &[
+    "main.py", "app.log", "config.yaml", "install.sh", "data.csv", "notes.txt", "server.js",
+    "run.sh", "Makefile", "requirements.txt", "index.html", "backup.tar.gz", "model.bin",
+    "access.log", "error.log", "db.sqlite", ".bashrc", "deploy.sh", "test.py", "report.json",
+];
+
+const HOSTS: &[&str] = &[
+    "mirror.example.com", "repo.internal", "cdn.pkgs.net", "files.corp.local", "10.2.0.15",
+    "192.168.1.40", "build.ci.local", "artifacts.example.org",
+];
+
+const CONTAINERS: &[&str] = &["web-1", "db-primary", "cache", "worker-3", "nginx", "app-backend"];
+
+const PACKAGES: &[&str] = &["numpy", "requests", "flask", "pandas", "torch", "boto3", "redis"];
+
+const SERVICES: &[&str] = &["nginx", "docker", "sshd", "redis", "postgresql", "crond"];
+
+const PATTERNS: &[&str] = &["error", "WARN", "timeout", "refused", "root", "failed", "OOM"];
+
+fn pick<'a, R: Rng + ?Sized>(rng: &mut R, pool: &[&'a str]) -> &'a str {
+    pool.choose(rng).expect("non-empty pool")
+}
+
+fn path<R: Rng + ?Sized>(rng: &mut R) -> String {
+    if rng.gen_bool(0.5) {
+        format!("{}/{}", pick(rng, DIRS), pick(rng, FILES))
+    } else {
+        pick(rng, DIRS).to_string()
+    }
+}
+
+fn file_path<R: Rng + ?Sized>(rng: &mut R) -> String {
+    if rng.gen_bool(0.3) {
+        pick(rng, FILES).to_string()
+    } else {
+        format!("{}/{}", pick(rng, DIRS), pick(rng, FILES))
+    }
+}
+
+fn url<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let scheme = if rng.gen_bool(0.8) { "https" } else { "http" };
+    format!("{scheme}://{}/{}", pick(rng, HOSTS), pick(rng, FILES))
+}
+
+/// Generates one benign command line per call, Zipf-weighted over a
+/// catalog of everyday cloud-operations commands.
+#[derive(Debug, Clone)]
+pub struct BenignGenerator {
+    sampler: ZipfSampler,
+    pipeline_prob: f64,
+}
+
+/// Number of distinct command templates in the catalog.
+pub const TEMPLATE_COUNT: usize = 30;
+
+impl Default for BenignGenerator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BenignGenerator {
+    /// Creates a generator with the default Figure-2-like skew.
+    pub fn new() -> Self {
+        BenignGenerator {
+            sampler: ZipfSampler::new(TEMPLATE_COUNT, 1.05),
+            pipeline_prob: 0.12,
+        }
+    }
+
+    /// Sets the probability that a generated line is a pipeline of two
+    /// templates instead of a single command.
+    pub fn pipeline_prob(mut self, p: f64) -> Self {
+        self.pipeline_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The command names the catalog can produce, head of the Zipf
+    /// distribution first (the paper's Figure 2 occurrence table order).
+    pub fn command_names() -> [&'static str; TEMPLATE_COUNT] {
+        [
+            "cd", "echo", "chmod", "grep", "ls", "awk", "ll", "df", "ps", "cat", "rm", "docker",
+            "vim", "python", "curl", "tar", "find", "mkdir", "cp", "mv", "git", "ssh", "kill",
+            "head", "tail", "wc", "free", "du", "systemctl", "pip",
+        ]
+    }
+
+    /// Generates one benign line.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        if rng.gen_bool(self.pipeline_prob) {
+            let idx = self.sampler.sample(rng);
+            let left = self.simple(rng, idx);
+            // Right side of a pipeline is a filter-ish command.
+            let right = match rng.gen_range(0..4) {
+                0 => format!("grep {}", pick(rng, PATTERNS)),
+                1 => "wc -l".to_string(),
+                2 => format!("head -n {}", rng.gen_range(1..50)),
+                _ => format!("awk '{{print ${}}}'", rng.gen_range(1..5)),
+            };
+            format!("{left} | {right}")
+        } else {
+            let idx = self.sampler.sample(rng);
+            self.simple(rng, idx)
+        }
+    }
+
+    fn simple<R: Rng + ?Sized>(&self, rng: &mut R, idx: usize) -> String {
+        match idx {
+            0 => format!("cd {}", pick(rng, DIRS)),
+            1 => match rng.gen_range(0..3) {
+                0 => format!("echo \"deploy {} done\"", rng.gen_range(1..100)),
+                1 => format!("echo $PATH"),
+                _ => format!("echo {} >> {}", rng.gen_range(0..9), file_path(rng)),
+            },
+            2 => format!(
+                "chmod {} {}",
+                ["+x", "644", "755", "600"].choose(rng).expect("non-empty"),
+                file_path(rng)
+            ),
+            3 => format!(
+                "grep {} {} {}",
+                ["-rn", "-i", "-c", "-v"].choose(rng).expect("non-empty"),
+                pick(rng, PATTERNS),
+                file_path(rng)
+            ),
+            4 => format!(
+                "ls {} {}",
+                ["-la", "-lh", "-ltr", "-a"].choose(rng).expect("non-empty"),
+                pick(rng, DIRS)
+            ),
+            5 => format!("awk '{{print ${}}}' {}", rng.gen_range(1..6), file_path(rng)),
+            6 => format!("ll {}", pick(rng, DIRS)),
+            7 => "df -h".to_string(),
+            8 => format!(
+                "ps {}",
+                ["aux", "-ef", "-u root"].choose(rng).expect("non-empty")
+            ),
+            9 => format!("cat {}", file_path(rng)),
+            10 => format!(
+                "rm {} {}",
+                ["-f", "-rf", "-r"].choose(rng).expect("non-empty"),
+                path(rng)
+            ),
+            11 => match rng.gen_range(0..4) {
+                0 => "docker ps -a".to_string(),
+                1 => format!("docker logs {}", pick(rng, CONTAINERS)),
+                2 => format!("docker restart {}", pick(rng, CONTAINERS)),
+                _ => format!("docker exec -it {} bash", pick(rng, CONTAINERS)),
+            },
+            12 => format!("vim {}", file_path(rng)),
+            13 => format!(
+                "python{} {}",
+                ["", "3"].choose(rng).expect("non-empty"),
+                ["main.py", "manage.py runserver", "train.py --epochs 10", "-m http.server"]
+                    .choose(rng)
+                    .expect("non-empty")
+            ),
+            14 => match rng.gen_range(0..3) {
+                0 => format!("curl -s {}", url(rng)),
+                1 => format!("curl -o {} {}", pick(rng, FILES), url(rng)),
+                _ => format!("curl -I {}", url(rng)),
+            },
+            15 => format!(
+                "tar {} {} {}",
+                ["-xzf", "-czf", "-tf"].choose(rng).expect("non-empty"),
+                "backup.tar.gz",
+                pick(rng, DIRS)
+            ),
+            16 => format!(
+                "find {} -name \"*.{}\"",
+                pick(rng, DIRS),
+                ["log", "py", "sh", "txt"].choose(rng).expect("non-empty")
+            ),
+            17 => format!("mkdir -p {}/new", pick(rng, DIRS)),
+            18 => format!("cp {} {}", file_path(rng), pick(rng, DIRS)),
+            19 => format!("mv {} {}", file_path(rng), path(rng)),
+            20 => [
+                "git status",
+                "git pull",
+                "git log --oneline -5",
+                "git diff HEAD~1",
+                "git checkout main",
+            ]
+            .choose(rng)
+            .expect("non-empty")
+            .to_string(),
+            21 => format!("ssh admin@{}", pick(rng, HOSTS)),
+            22 => format!("kill -9 {}", rng.gen_range(1000..30000)),
+            23 => format!("head -n {} {}", rng.gen_range(5..100), file_path(rng)),
+            24 => format!(
+                "tail {} {}",
+                ["-f", "-n 100", "-n 20"].choose(rng).expect("non-empty"),
+                file_path(rng)
+            ),
+            25 => format!("wc -l {}", file_path(rng)),
+            26 => "free -m".to_string(),
+            27 => format!("du -sh {}", pick(rng, DIRS)),
+            28 => format!(
+                "systemctl {} {}",
+                ["status", "restart", "start", "stop"]
+                    .choose(rng)
+                    .expect("non-empty"),
+                pick(rng, SERVICES)
+            ),
+            _ => format!("pip install {}", pick(rng, PACKAGES)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn generated_lines_parse() {
+        let g = BenignGenerator::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2_000 {
+            let line = g.generate(&mut rng);
+            assert!(
+                shell_parser::classify(&line).is_valid(),
+                "benign line must parse: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn head_commands_dominate() {
+        let g = BenignGenerator::new().pipeline_prob(0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for _ in 0..20_000 {
+            let line = g.generate(&mut rng);
+            let name = line.split_whitespace().next().unwrap().to_string();
+            *counts.entry(name).or_insert(0) += 1;
+        }
+        let cd = counts.get("cd").copied().unwrap_or(0);
+        let pip = counts.get("pip").copied().unwrap_or(0);
+        assert!(cd > pip * 3, "zipf head should dominate: cd={cd} pip={pip}");
+    }
+
+    #[test]
+    fn catalog_is_diverse() {
+        let g = BenignGenerator::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut names = std::collections::HashSet::new();
+        for _ in 0..20_000 {
+            let line = g.generate(&mut rng);
+            names.insert(line.split_whitespace().next().unwrap().to_string());
+        }
+        assert!(names.len() >= 25, "only {} distinct commands", names.len());
+    }
+
+    #[test]
+    fn pipelines_appear_at_configured_rate() {
+        let g = BenignGenerator::new().pipeline_prob(0.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        let piped = (0..2_000)
+            .filter(|_| g.generate(&mut rng).contains('|'))
+            .count();
+        assert!((700..1300).contains(&piped), "pipe count {piped}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = BenignGenerator::new();
+        let a: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| g.generate(&mut rng)).collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| g.generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

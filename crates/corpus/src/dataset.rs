@@ -1,0 +1,326 @@
+//! Train/test dataset assembly.
+//!
+//! Mirrors the paper's data regime at configurable scale: a large
+//! training week and a smaller test window, duplicate-skewed, with
+//! ground-truth labels attached for evaluation. Ground truth plays the
+//! role of the paper's *manual labeling of predicted positives*; the
+//! noisy supervision signal used for tuning comes separately from the
+//! `ids-rules` crate.
+
+use crate::attacks::{AttackFamily, Variant};
+use crate::sessions::{SessionConfig, SessionGenerator};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Oracle label of a generated line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GroundTruth {
+    /// Ordinary user behaviour.
+    Benign,
+    /// Benign with a typo'd command name (never executes).
+    BenignTypo,
+    /// Syntactically invalid junk.
+    Invalid,
+    /// Part of an attack.
+    Malicious {
+        /// Attack family.
+        family: AttackFamily,
+        /// Whether the commercial IDS's signatures cover it.
+        variant: Variant,
+    },
+}
+
+impl GroundTruth {
+    /// `true` for attack lines.
+    pub fn is_malicious(&self) -> bool {
+        matches!(self, GroundTruth::Malicious { .. })
+    }
+
+    /// `true` for out-of-box attack lines (missed by the rule IDS).
+    pub fn is_out_of_box(&self) -> bool {
+        matches!(
+            self,
+            GroundTruth::Malicious {
+                variant: Variant::OutOfBox,
+                ..
+            }
+        )
+    }
+
+    /// `true` for in-box attack lines.
+    pub fn is_in_box(&self) -> bool {
+        matches!(
+            self,
+            GroundTruth::Malicious {
+                variant: Variant::InBox,
+                ..
+            }
+        )
+    }
+}
+
+/// One logged command line with metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// Anonymous user id.
+    pub user: u32,
+    /// Seconds since epoch (synthetic clock).
+    pub timestamp: u64,
+    /// The raw command line.
+    pub line: String,
+    /// Oracle label (used only for evaluation, never for tuning).
+    pub truth: GroundTruth,
+}
+
+/// A generated dataset: training week and test window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Training records (the paper's May 1–7 window).
+    pub train: Vec<LogRecord>,
+    /// Test records (the paper's May 29–31 window).
+    pub test: Vec<LogRecord>,
+}
+
+impl Dataset {
+    /// Count of records whose truth satisfies `pred`, over the test set.
+    pub fn count_test(&self, pred: impl Fn(&GroundTruth) -> bool) -> usize {
+        self.test.iter().filter(|r| pred(&r.truth)).count()
+    }
+}
+
+/// Builder for [`Dataset`].
+///
+/// ```
+/// use corpus::DatasetBuilder;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let data = DatasetBuilder::new()
+///     .train_size(500)
+///     .test_size(200)
+///     .attack_prob(0.05)
+///     .build(&mut rng);
+/// assert_eq!(data.train.len(), 500);
+/// assert_eq!(data.test.len(), 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    train_size: usize,
+    test_size: usize,
+    n_users: u32,
+    duplication: f64,
+    session: SessionConfig,
+    test_out_of_box_prob: f64,
+}
+
+impl Default for DatasetBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DatasetBuilder {
+    /// Creates a builder with paper-shaped defaults (scaled down).
+    pub fn new() -> Self {
+        DatasetBuilder {
+            train_size: 30_000,
+            test_size: 10_000,
+            n_users: 200,
+            duplication: 0.25,
+            session: SessionConfig::default(),
+            test_out_of_box_prob: 0.5,
+        }
+    }
+
+    /// Number of training lines.
+    pub fn train_size(mut self, n: usize) -> Self {
+        self.train_size = n;
+        self
+    }
+
+    /// Number of test lines.
+    pub fn test_size(mut self, n: usize) -> Self {
+        self.test_size = n;
+        self
+    }
+
+    /// Number of distinct users (the paper logs ~100k machines).
+    pub fn users(mut self, n: u32) -> Self {
+        self.n_users = n.max(1);
+        self
+    }
+
+    /// Fraction of lines that are duplicates of earlier lines
+    /// (real logs repeat heavily; the paper de-duplicates at test time).
+    pub fn duplication(mut self, frac: f64) -> Self {
+        self.duplication = frac.clamp(0.0, 0.95);
+        self
+    }
+
+    /// Probability a session contains an attack.
+    pub fn attack_prob(mut self, p: f64) -> Self {
+        self.session.attack_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability an injected *training* attack is out-of-box. These
+    /// become label noise: the rule IDS marks them benign.
+    pub fn train_out_of_box_prob(mut self, p: f64) -> Self {
+        self.session.out_of_box_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability an injected *test* attack is out-of-box.
+    pub fn test_out_of_box_prob(mut self, p: f64) -> Self {
+        self.test_out_of_box_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Typo probability per benign line.
+    pub fn typo_prob(mut self, p: f64) -> Self {
+        self.session.typo_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Invalid-junk probability per line.
+    pub fn invalid_prob(mut self, p: f64) -> Self {
+        self.session.invalid_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Generates the dataset.
+    pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> Dataset {
+        // Train window: synthetic week starting at t=0.
+        let train = self.generate_split(rng, self.train_size, 0, self.session.clone());
+        // Test window: four synthetic weeks later, possibly different
+        // out-of-box mix (new attacks appear over time).
+        let mut test_cfg = self.session.clone();
+        test_cfg.out_of_box_prob = self.test_out_of_box_prob;
+        let test = self.generate_split(rng, self.test_size, 2_419_200, test_cfg);
+        Dataset { train, test }
+    }
+
+    fn generate_split<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        size: usize,
+        epoch: u64,
+        config: SessionConfig,
+    ) -> Vec<LogRecord> {
+        let generator = SessionGenerator::new(config);
+        let mut records: Vec<LogRecord> = Vec::with_capacity(size + 32);
+        while records.len() < size {
+            let user = rng.gen_range(0..self.n_users);
+            let start = epoch + rng.gen_range(0..600_000u64);
+            records.extend(generator.generate_session(rng, user, start));
+        }
+        records.truncate(size);
+
+        // Inject duplicate skew: overwrite a fraction of *benign* records
+        // with copies of other benign records (common lines repeat).
+        let dup_count = (size as f64 * self.duplication) as usize;
+        for _ in 0..dup_count {
+            let src = rng.gen_range(0..records.len());
+            let dst = rng.gen_range(0..records.len());
+            if records[src].truth == GroundTruth::Benign
+                && records[dst].truth == GroundTruth::Benign
+            {
+                let line = records[src].line.clone();
+                records[dst].line = line;
+            }
+        }
+        // Keep temporal order per the log semantics.
+        records.sort_by_key(|r| (r.timestamp, r.user));
+        records.shuffle(rng);
+        records.sort_by_key(|r| r.timestamp);
+        records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small() -> Dataset {
+        let mut rng = StdRng::seed_from_u64(11);
+        DatasetBuilder::new()
+            .train_size(2_000)
+            .test_size(800)
+            .attack_prob(0.08)
+            .build(&mut rng)
+    }
+
+    #[test]
+    fn sizes_are_exact() {
+        let d = small();
+        assert_eq!(d.train.len(), 2_000);
+        assert_eq!(d.test.len(), 800);
+    }
+
+    #[test]
+    fn both_splits_contain_attacks() {
+        let d = small();
+        assert!(d.train.iter().any(|r| r.truth.is_malicious()));
+        assert!(d.test.iter().any(|r| r.truth.is_malicious()));
+    }
+
+    #[test]
+    fn test_contains_in_box_and_out_of_box() {
+        let d = small();
+        assert!(d.count_test(|t| t.is_in_box()) > 0);
+        assert!(d.count_test(|t| t.is_out_of_box()) > 0);
+    }
+
+    #[test]
+    fn attacks_are_rare() {
+        let d = small();
+        let frac = d.train.iter().filter(|r| r.truth.is_malicious()).count() as f64 / 2_000.0;
+        assert!(frac < 0.1, "attack fraction {frac} too high");
+    }
+
+    #[test]
+    fn duplicates_exist() {
+        let d = small();
+        let mut lines: Vec<&str> = d.train.iter().map(|r| r.line.as_str()).collect();
+        let total = lines.len();
+        lines.sort();
+        lines.dedup();
+        assert!(lines.len() < total, "expected duplicate lines");
+    }
+
+    #[test]
+    fn timestamps_sorted() {
+        let d = small();
+        for w in d.train.windows(2) {
+            assert!(w[0].timestamp <= w[1].timestamp);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = {
+            let mut rng = StdRng::seed_from_u64(5);
+            DatasetBuilder::new().train_size(300).test_size(100).build(&mut rng)
+        };
+        let b = {
+            let mut rng = StdRng::seed_from_u64(5);
+            DatasetBuilder::new().train_size(300).test_size(100).build(&mut rng)
+        };
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn ground_truth_predicates() {
+        let m = GroundTruth::Malicious {
+            family: AttackFamily::PortScan,
+            variant: Variant::OutOfBox,
+        };
+        assert!(m.is_malicious() && m.is_out_of_box() && !m.is_in_box());
+        assert!(!GroundTruth::Benign.is_malicious());
+        assert!(!GroundTruth::Invalid.is_out_of_box());
+    }
+}

@@ -1,0 +1,82 @@
+//! Test-set de-duplication.
+//!
+//! The paper: "Since there exist many duplicate samples in the test set,
+//! … we de-duplicate the test set before calculating the concerned
+//! metrics to avoid focusing only on common threats in evaluation."
+
+use crate::dataset::LogRecord;
+use std::collections::HashSet;
+
+/// Keeps the first occurrence of each distinct command line.
+pub fn dedup_records(records: &[LogRecord]) -> Vec<LogRecord> {
+    let mut seen: HashSet<&str> = HashSet::with_capacity(records.len());
+    let mut out = Vec::new();
+    for r in records {
+        if seen.insert(r.line.as_str()) {
+            out.push(r.clone());
+        }
+    }
+    out
+}
+
+/// De-duplicates by a caller-supplied key — used for the multi-line test
+/// set, where the paper notes the de-duplicated sample count differs from
+/// the single-line set (context windows differ even when the last line
+/// repeats).
+pub fn dedup_window_records<K: std::hash::Hash + Eq>(
+    records: &[LogRecord],
+    mut key: impl FnMut(&LogRecord) -> K,
+) -> Vec<LogRecord> {
+    let mut seen: HashSet<K> = HashSet::with_capacity(records.len());
+    let mut out = Vec::new();
+    for r in records {
+        if seen.insert(key(r)) {
+            out.push(r.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::GroundTruth;
+
+    fn rec(user: u32, t: u64, line: &str) -> LogRecord {
+        LogRecord {
+            user,
+            timestamp: t,
+            line: line.to_string(),
+            truth: GroundTruth::Benign,
+        }
+    }
+
+    #[test]
+    fn keeps_first_occurrence() {
+        let records = vec![rec(1, 10, "ls"), rec(2, 20, "ls"), rec(1, 30, "pwd")];
+        let out = dedup_records(&records);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].timestamp, 10);
+        assert_eq!(out[1].line, "pwd");
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        assert!(dedup_records(&[]).is_empty());
+    }
+
+    #[test]
+    fn no_duplicates_is_identity() {
+        let records = vec![rec(1, 1, "a"), rec(1, 2, "b")];
+        assert_eq!(dedup_records(&records).len(), 2);
+    }
+
+    #[test]
+    fn window_dedup_uses_custom_key() {
+        let records = vec![rec(1, 1, "ls"), rec(2, 2, "ls"), rec(1, 3, "ls")];
+        // Key by (user, line): user 1's second `ls` is a duplicate, but
+        // user 2's is kept.
+        let out = dedup_window_records(&records, |r| (r.user, r.line.clone()));
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,52 @@
+//! Synthetic cloud command-line trace generator.
+//!
+//! The paper trains on ~30M command lines logged from ~100 000 production
+//! machines — data that is proprietary. This crate is the documented
+//! substitution (see `DESIGN.md`): it synthesizes traces with the
+//! statistical properties the paper's pipeline actually depends on:
+//!
+//! * a **Zipf-distributed benign command mix** following the occurrence
+//!   table of the paper's Figure 2 (`cd`, `echo`, `chmod`, `grep`, `ls`,
+//!   `awk`, `ll`, `df`, `ps`, `cat`, `rm`, `docker`, …) with realistic
+//!   flags, paths, URLs and pipelines;
+//! * **typos and syntactically invalid lines** (`dcoker`, `chdmod`,
+//!   dangling redirects) exercised by the preprocessing stage;
+//! * **attack samples** in families mirroring the paper's Table III
+//!   (reverse shells, port scans, base64-decode-and-execute, proxy
+//!   tampering, download-and-execute), each with *in-box* variants a
+//!   signature IDS catches and *out-of-box* variants that evade it;
+//! * **per-user temporal sessions** for the multi-line method
+//!   (Section IV-C), where context windows of recent commands matter;
+//! * **duplicate skew**, because real logs repeat common lines heavily —
+//!   the paper de-duplicates its test set before evaluation.
+//!
+//! Entry point: [`DatasetBuilder`].
+//!
+//! ```
+//! use corpus::{DatasetBuilder};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let data = DatasetBuilder::new()
+//!     .train_size(1000)
+//!     .test_size(300)
+//!     .attack_prob(0.2)
+//!     .build(&mut rng);
+//! assert_eq!(data.train.len(), 1000);
+//! assert!(data.test.iter().any(|r| r.truth.is_malicious()));
+//! ```
+
+pub mod attacks;
+pub mod benign;
+pub mod dataset;
+pub mod dedup;
+pub mod sessions;
+pub mod typos;
+pub mod zipf;
+
+pub use attacks::{AttackFamily, AttackGenerator, Variant};
+pub use benign::BenignGenerator;
+pub use dataset::{Dataset, DatasetBuilder, GroundTruth, LogRecord};
+pub use dedup::{dedup_records, dedup_window_records};
+pub use sessions::{SessionConfig, SessionGenerator};
+pub use zipf::ZipfSampler;

@@ -1,0 +1,294 @@
+//! Per-user temporal session synthesis.
+//!
+//! The multi-line method (paper Section IV-C) classifies a command line
+//! together with "several command lines in the most recent past from the
+//! same user … if their execution time is not too long ago". That only
+//! works if the corpus has users, timestamps and coherent short
+//! workflows; this module provides them.
+
+use crate::attacks::{AttackGenerator, AttackSample};
+use crate::benign::BenignGenerator;
+use crate::dataset::{GroundTruth, LogRecord};
+use crate::typos;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Tunables for session synthesis.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Mean number of commands per session.
+    pub mean_len: usize,
+    /// Probability a session contains one attack subsequence.
+    pub attack_prob: f64,
+    /// Probability an injected attack is out-of-box.
+    pub out_of_box_prob: f64,
+    /// Probability a benign line gets a command-name typo.
+    pub typo_prob: f64,
+    /// Probability of emitting a syntactically invalid junk line.
+    pub invalid_prob: f64,
+    /// Seconds between consecutive commands (upper bound; lower is 1).
+    pub max_gap_secs: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            mean_len: 12,
+            attack_prob: 0.02,
+            out_of_box_prob: 0.35,
+            typo_prob: 0.01,
+            invalid_prob: 0.005,
+            max_gap_secs: 120,
+        }
+    }
+}
+
+/// Generates user sessions: coherent benign workflows with occasional
+/// attack subsequences, typos and invalid lines.
+#[derive(Debug, Clone)]
+pub struct SessionGenerator {
+    benign: BenignGenerator,
+    attacks: AttackGenerator,
+    config: SessionConfig,
+}
+
+impl SessionGenerator {
+    /// Creates a generator with the given configuration.
+    pub fn new(config: SessionConfig) -> Self {
+        SessionGenerator {
+            benign: BenignGenerator::new(),
+            attacks: AttackGenerator::new(),
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Generates one session for `user`, starting at `start_time`.
+    pub fn generate_session<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        user: u32,
+        start_time: u64,
+    ) -> Vec<LogRecord> {
+        let len = self.session_len(rng);
+        let mut records = Vec::with_capacity(len + 2);
+        let mut t = start_time;
+
+        // Decide where (if anywhere) the attack subsequence lands.
+        let attack_at = if rng.gen_bool(self.config.attack_prob) {
+            Some(rng.gen_range(0..len.max(1)))
+        } else {
+            None
+        };
+
+        let mut workflow = WorkflowState::default();
+        for i in 0..len {
+            t += rng.gen_range(1..=self.config.max_gap_secs);
+            if attack_at == Some(i) {
+                let sample = self.random_attack(rng);
+                push_attack(&mut records, user, &mut t, &sample, self.config.max_gap_secs, rng);
+                continue;
+            }
+            if rng.gen_bool(self.config.invalid_prob) {
+                records.push(LogRecord {
+                    user,
+                    timestamp: t,
+                    line: typos::invalid_line(rng),
+                    truth: GroundTruth::Invalid,
+                });
+                continue;
+            }
+            let line = workflow.next_line(rng, &self.benign);
+            if rng.gen_bool(self.config.typo_prob) {
+                if let Some(typo) = typos::corrupt_command_name(rng, &line) {
+                    records.push(LogRecord {
+                        user,
+                        timestamp: t,
+                        line: typo,
+                        truth: GroundTruth::BenignTypo,
+                    });
+                    continue;
+                }
+            }
+            records.push(LogRecord {
+                user,
+                timestamp: t,
+                line,
+                truth: GroundTruth::Benign,
+            });
+        }
+        records
+    }
+
+    fn session_len<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let m = self.config.mean_len.max(2);
+        rng.gen_range(m / 2..=m + m / 2)
+    }
+
+    fn random_attack<R: Rng + ?Sized>(&self, rng: &mut R) -> AttackSample {
+        self.attacks
+            .generate_random(rng, self.config.out_of_box_prob)
+    }
+}
+
+fn push_attack<R: Rng + ?Sized>(
+    records: &mut Vec<LogRecord>,
+    user: u32,
+    t: &mut u64,
+    sample: &AttackSample,
+    max_gap: u64,
+    rng: &mut R,
+) {
+    for line in &sample.lines {
+        *t += rng.gen_range(1..=max_gap.min(30));
+        records.push(LogRecord {
+            user,
+            timestamp: *t,
+            line: line.clone(),
+            truth: GroundTruth::Malicious {
+                family: sample.family,
+                variant: sample.variant,
+            },
+        });
+    }
+}
+
+/// Small state machine that makes consecutive benign lines cohere
+/// (`cd` into a directory, then operate there).
+#[derive(Debug, Default)]
+struct WorkflowState {
+    cwd: Option<String>,
+}
+
+impl WorkflowState {
+    fn next_line<R: Rng + ?Sized>(&mut self, rng: &mut R, benign: &BenignGenerator) -> String {
+        // One third of the time continue a `cd`-rooted micro-workflow.
+        if let Some(dir) = &self.cwd {
+            if rng.gen_bool(0.5) {
+                let follow = [
+                    "ls -la".to_string(),
+                    "ll".to_string(),
+                    format!("grep -rn error {dir}"),
+                    "git status".to_string(),
+                    "vim config.yaml".to_string(),
+                    "cat README.md".to_string(),
+                ];
+                let line = follow.choose(rng).expect("non-empty").clone();
+                if rng.gen_bool(0.4) {
+                    self.cwd = None;
+                }
+                return line;
+            }
+        }
+        let line = benign.generate(rng);
+        if line.starts_with("cd ") {
+            self.cwd = Some(line[3..].to_string());
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn timestamps_increase_monotonically() {
+        let g = SessionGenerator::new(SessionConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let session = g.generate_session(&mut rng, 7, 1_000_000);
+        for w in session.windows(2) {
+            assert!(w[1].timestamp > w[0].timestamp);
+        }
+        assert!(session.iter().all(|r| r.user == 7));
+    }
+
+    #[test]
+    fn attack_lines_are_contiguous() {
+        let config = SessionConfig {
+            attack_prob: 1.0,
+            out_of_box_prob: 1.0,
+            ..SessionConfig::default()
+        };
+        let g = SessionGenerator::new(config);
+        let mut rng = StdRng::seed_from_u64(2);
+        // Find a session with a 2-line attack and check adjacency.
+        for _ in 0..200 {
+            let session = g.generate_session(&mut rng, 1, 0);
+            let malicious: Vec<usize> = session
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.truth.is_malicious())
+                .map(|(i, _)| i)
+                .collect();
+            if malicious.len() == 2 {
+                assert_eq!(malicious[1], malicious[0] + 1, "attack must be contiguous");
+                return;
+            }
+        }
+        panic!("no two-line attack generated in 200 sessions");
+    }
+
+    #[test]
+    fn attack_probability_zero_gives_clean_sessions() {
+        let config = SessionConfig {
+            attack_prob: 0.0,
+            invalid_prob: 0.0,
+            typo_prob: 0.0,
+            ..SessionConfig::default()
+        };
+        let g = SessionGenerator::new(config);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let session = g.generate_session(&mut rng, 2, 0);
+            assert!(session.iter().all(|r| r.truth == GroundTruth::Benign));
+        }
+    }
+
+    #[test]
+    fn sessions_have_plausible_length() {
+        let config = SessionConfig {
+            mean_len: 10,
+            ..SessionConfig::default()
+        };
+        let g = SessionGenerator::new(config);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let session = g.generate_session(&mut rng, 3, 0);
+            assert!((5..=16).contains(&session.len()), "len {}", session.len());
+        }
+    }
+
+    #[test]
+    fn workflow_follows_cd() {
+        // With coherent workflows, `ls -la` or `ll` should frequently
+        // directly follow a `cd`.
+        let config = SessionConfig {
+            attack_prob: 0.0,
+            invalid_prob: 0.0,
+            typo_prob: 0.0,
+            mean_len: 30,
+            ..SessionConfig::default()
+        };
+        let g = SessionGenerator::new(config);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut follows = 0;
+        for _ in 0..100 {
+            let s = g.generate_session(&mut rng, 1, 0);
+            for w in s.windows(2) {
+                if w[0].line.starts_with("cd ")
+                    && (w[1].line.starts_with("ls") || w[1].line == "ll")
+                {
+                    follows += 1;
+                }
+            }
+        }
+        assert!(follows > 20, "only {follows} cd→ls follow-ups");
+    }
+}

@@ -1,0 +1,123 @@
+//! Typo and invalid-line injection for the preprocessing experiments.
+//!
+//! The paper's Figure 2 motivates two removal mechanisms: a parser that
+//! rejects syntactically invalid lines, and a frequency filter that drops
+//! command-name typos (`dcoker`, `chdmod`) which parse fine but never
+//! execute. This module produces both classes of noise.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Applies a realistic keyboard typo to the first word of `line`
+/// (transposition, deletion, duplication, or substitution).
+///
+/// Returns `None` when the command name is too short to corrupt.
+pub fn corrupt_command_name<R: Rng + ?Sized>(rng: &mut R, line: &str) -> Option<String> {
+    let mut parts = line.splitn(2, ' ');
+    let name = parts.next()?;
+    let rest = parts.next();
+    if name.len() < 3 || !name.chars().all(|c| c.is_ascii_alphanumeric()) {
+        return None;
+    }
+    let chars: Vec<char> = name.chars().collect();
+    let mut out: Vec<char> = chars.clone();
+    let i = rng.gen_range(1..chars.len());
+    match rng.gen_range(0..4) {
+        // Transposition: docker → dcoker (the paper's example).
+        0 => out.swap(i - 1, i),
+        // Deletion: chmod → chmd.
+        1 => {
+            out.remove(i);
+        }
+        // Duplication: chmod → chmmod.
+        2 => out.insert(i, chars[i - 1]),
+        // Neighbour substitution: chmod → chdmod-like insertions.
+        _ => out.insert(i, *['d', 's', 'f', 'j', 'k'].choose(rng).expect("non-empty")),
+    }
+    let corrupted: String = out.into_iter().collect();
+    if corrupted == name {
+        return None;
+    }
+    Some(match rest {
+        Some(r) => format!("{corrupted} {r}"),
+        None => corrupted,
+    })
+}
+
+/// Produces a syntactically invalid line the Bash parser must reject.
+pub fn invalid_line<R: Rng + ?Sized>(rng: &mut R) -> String {
+    match rng.gen_range(0..5) {
+        // The paper's example: dangling redirection operators.
+        0 => "/*/*/* -> /*/*/* ->".to_string(),
+        1 => format!("echo 'unterminated {}", rng.gen_range(0..100)),
+        2 => format!("ls {} | | wc -l", ["-la", "-lh"].choose(rng).expect("non-empty")),
+        3 => format!("cat file{} >", rng.gen_range(0..50)),
+        _ => format!("grep pattern && && ls{}", rng.gen_range(0..10)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn corrupted_name_differs_but_parses() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut produced = 0;
+        for _ in 0..200 {
+            if let Some(t) = corrupt_command_name(&mut rng, "docker ps -a") {
+                produced += 1;
+                assert_ne!(t, "docker ps -a");
+                assert!(
+                    shell_parser::classify(&t).is_valid(),
+                    "typo lines still parse: {t}"
+                );
+                assert!(t.ends_with("ps -a"));
+            }
+        }
+        assert!(produced > 150, "typo generator too reluctant: {produced}");
+    }
+
+    #[test]
+    fn short_names_are_left_alone() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(corrupt_command_name(&mut rng, "ls -la").is_none());
+        assert!(corrupt_command_name(&mut rng, "cd /tmp").is_none());
+    }
+
+    #[test]
+    fn path_names_are_left_alone() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(corrupt_command_name(&mut rng, "/usr/bin/python x.py").is_none());
+    }
+
+    #[test]
+    fn invalid_lines_fail_to_parse() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let line = invalid_line(&mut rng);
+            assert!(
+                !shell_parser::classify(&line).is_valid(),
+                "line should be invalid: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn transposition_example_matches_paper() {
+        // Verify the paper's `dcoker` shape is producible.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut saw_transposition = false;
+        for _ in 0..500 {
+            if let Some(t) = corrupt_command_name(&mut rng, "docker attach c1") {
+                if t.starts_with("dcoker") || t.starts_with("dokcer") || t.starts_with("docekr") {
+                    saw_transposition = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_transposition);
+    }
+}

@@ -1,0 +1,126 @@
+//! Weighted sampling with Zipf-like skew.
+
+use rand::Rng;
+
+/// Samples indices `0..n` with probability proportional to supplied
+/// weights (commonly `1/(rank+1)^s`, the Zipf law real command logs
+/// follow).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over explicit positive weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or any weight is not finite/positive.
+    pub fn from_weights(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w > 0.0, "weights must be positive, got {w}");
+            acc += w;
+            cumulative.push(acc);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Builds a classic Zipf sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        let weights: Vec<f64> = (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(s)).collect();
+        Self::from_weights(&weights)
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// `true` if there are no categories (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen_range(0.0..total);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("finite"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn first_rank_dominates() {
+        let sampler = ZipfSampler::new(50, 1.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[10]);
+        assert!(counts[0] > 3_000, "head rank too rare: {}", counts[0]);
+    }
+
+    #[test]
+    fn all_ranks_reachable() {
+        let sampler = ZipfSampler::new(5, 0.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..5_000 {
+            seen[sampler.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn explicit_weights_respected() {
+        let sampler = ZipfSampler::from_weights(&[9.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits0 = (0..10_000)
+            .filter(|_| sampler.sample(&mut rng) == 0)
+            .count();
+        assert!((8_500..9_500).contains(&hits0), "got {hits0}");
+    }
+
+    #[test]
+    fn single_category_always_zero() {
+        let sampler = ZipfSampler::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(sampler.sample(&mut rng), 0);
+        assert_eq!(sampler.len(), 1);
+        assert!(!sampler.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_weights_panic() {
+        let _ = ZipfSampler::from_weights(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nonpositive_weight_panics() {
+        let _ = ZipfSampler::from_weights(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,283 @@
+//! The black-box labeling engine with deterministic noise.
+
+use crate::rules::{default_rules, Rule};
+use shell_parser::parse;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Label-noise configuration.
+///
+/// Beyond the structural noise of missing every out-of-box variant, real
+/// commercial IDSes occasionally drop alerts (sampling, throttling) and
+/// occasionally alert on benign lines (overbroad rules). Noise here is a
+/// **deterministic function of the line**, so the black box answers
+/// consistently when queried twice — exactly how a fixed external product
+/// behaves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseConfig {
+    /// Probability an alert is dropped (false negative).
+    pub false_negative_rate: f64,
+    /// Probability a benign line is flagged (false positive).
+    pub false_positive_rate: f64,
+    /// Seed mixed into the per-line hash.
+    pub seed: u64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        // False negatives only: the paper's supervision noise is missed
+        // detections, and Section V-B explicitly assumes the commercial
+        // IDS has 100% precision. A false-positive rate can be opted
+        // into for robustness experiments.
+        NoiseConfig {
+            false_negative_rate: 0.02,
+            false_positive_rate: 0.0,
+            seed: 0x1D5_CAFE,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// A noiseless configuration (pure signature behaviour).
+    pub fn none() -> Self {
+        NoiseConfig {
+            false_negative_rate: 0.0,
+            false_positive_rate: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// The verdict for one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// An alert, with the triggering rule (or `"noise"` for injected
+    /// false positives).
+    Alert {
+        /// Name of the rule that fired.
+        rule: &'static str,
+    },
+    /// No alert.
+    Clean,
+}
+
+impl Verdict {
+    /// `true` if this is an alert.
+    pub fn is_alert(&self) -> bool {
+        matches!(self, Verdict::Alert { .. })
+    }
+}
+
+/// The simulated commercial IDS.
+///
+/// Construct with [`RuleIds::with_default_rules`] or supply a custom rule
+/// set; query with [`RuleIds::verdict`] / [`RuleIds::is_alert`].
+#[derive(Debug, Clone)]
+pub struct RuleIds {
+    rules: Vec<Rule>,
+    noise: NoiseConfig,
+}
+
+impl RuleIds {
+    /// The default signature set with default noise.
+    pub fn with_default_rules() -> Self {
+        RuleIds {
+            rules: default_rules(),
+            noise: NoiseConfig::default(),
+        }
+    }
+
+    /// The default signatures with *no* noise (pure rules).
+    pub fn noiseless() -> Self {
+        RuleIds {
+            rules: default_rules(),
+            noise: NoiseConfig::none(),
+        }
+    }
+
+    /// A custom rule set.
+    pub fn new(rules: Vec<Rule>, noise: NoiseConfig) -> Self {
+        RuleIds { rules, noise }
+    }
+
+    /// Replaces the noise configuration.
+    pub fn with_noise(mut self, noise: NoiseConfig) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// The active rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Labels one line.
+    ///
+    /// Unparseable lines are `Clean`: the commercial IDS cannot execute
+    /// them either.
+    pub fn verdict(&self, line: &str) -> Verdict {
+        let Ok(script) = parse(line) else {
+            return Verdict::Clean;
+        };
+        let fired = self.rules.iter().find(|r| r.matches(line, &script));
+        match fired {
+            Some(rule) => {
+                if self.coin(line, 0xA1) < self.noise.false_negative_rate {
+                    Verdict::Clean
+                } else {
+                    Verdict::Alert { rule: rule.name }
+                }
+            }
+            None => {
+                if self.coin(line, 0xB2) < self.noise.false_positive_rate {
+                    Verdict::Alert { rule: "noise" }
+                } else {
+                    Verdict::Clean
+                }
+            }
+        }
+    }
+
+    /// Convenience: `true` if [`RuleIds::verdict`] alerts.
+    pub fn is_alert(&self, line: &str) -> bool {
+        self.verdict(line).is_alert()
+    }
+
+    /// Labels a batch of lines (`true` = alert), the "querying the
+    /// commercial IDS in a black-box manner" step of Section IV.
+    pub fn label_batch<'a>(&self, lines: impl IntoIterator<Item = &'a str>) -> Vec<bool> {
+        lines.into_iter().map(|l| self.is_alert(l)).collect()
+    }
+
+    /// Deterministic per-line uniform draw in `[0, 1)`.
+    fn coin(&self, line: &str, salt: u64) -> f64 {
+        let mut h = DefaultHasher::new();
+        self.noise.seed.hash(&mut h);
+        salt.hash(&mut h);
+        line.hash(&mut h);
+        (h.finish() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corpus::{AttackFamily, AttackGenerator, Variant};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn verdicts_are_deterministic() {
+        let ids = RuleIds::with_default_rules();
+        for line in ["nc -lvnp 4444", "ls -la", "cat /etc/shadow"] {
+            assert_eq!(ids.verdict(line), ids.verdict(line));
+        }
+    }
+
+    #[test]
+    fn noiseless_catches_every_in_box_variant() {
+        let ids = RuleIds::noiseless();
+        let g = AttackGenerator::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for family in AttackFamily::ALL {
+            for _ in 0..40 {
+                let s = g.generate(&mut rng, family, Variant::InBox);
+                let caught = s.lines.iter().any(|l| ids.is_alert(l));
+                assert!(caught, "in-box {family} evaded rules: {:?}", s.lines);
+            }
+        }
+    }
+
+    #[test]
+    fn noiseless_misses_every_out_of_box_variant() {
+        let ids = RuleIds::noiseless();
+        let g = AttackGenerator::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        for family in AttackFamily::ALL {
+            for _ in 0..40 {
+                let s = g.generate(&mut rng, family, Variant::OutOfBox);
+                for line in &s.lines {
+                    assert!(
+                        !ids.is_alert(line),
+                        "out-of-box {family} was caught: {line}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noiseless_is_silent_on_benign() {
+        let ids = RuleIds::noiseless();
+        let g = corpus::BenignGenerator::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2_000 {
+            let line = g.generate(&mut rng);
+            assert!(!ids.is_alert(&line), "false positive: {line}");
+        }
+    }
+
+    #[test]
+    fn unparseable_lines_are_clean() {
+        let ids = RuleIds::with_default_rules();
+        assert_eq!(ids.verdict("/*/*/* -> /*/*/* ->"), Verdict::Clean);
+        assert_eq!(ids.verdict("echo 'oops"), Verdict::Clean);
+    }
+
+    #[test]
+    fn false_negatives_occur_at_configured_rate() {
+        let noise = NoiseConfig {
+            false_negative_rate: 0.5,
+            false_positive_rate: 0.0,
+            seed: 99,
+        };
+        let ids = RuleIds::with_default_rules().with_noise(noise);
+        // Many distinct in-box lines; about half should be dropped.
+        let g = AttackGenerator::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut total = 0;
+        let mut missed = 0;
+        for _ in 0..400 {
+            let s = g.generate(&mut rng, AttackFamily::ReverseShell, Variant::InBox);
+            for line in &s.lines {
+                total += 1;
+                if !ids.is_alert(line) {
+                    missed += 1;
+                }
+            }
+        }
+        let rate = missed as f64 / total as f64;
+        assert!((0.3..0.7).contains(&rate), "miss rate {rate}");
+    }
+
+    #[test]
+    fn false_positives_occur_at_configured_rate() {
+        let noise = NoiseConfig {
+            false_negative_rate: 0.0,
+            false_positive_rate: 0.2,
+            seed: 7,
+        };
+        let ids = RuleIds::with_default_rules().with_noise(noise);
+        let g = corpus::BenignGenerator::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut flagged = 0;
+        let n = 2_000;
+        for _ in 0..n {
+            if ids.is_alert(&g.generate(&mut rng)) {
+                flagged += 1;
+            }
+        }
+        let rate = flagged as f64 / n as f64;
+        assert!((0.1..0.3).contains(&rate), "fp rate {rate}");
+    }
+
+    #[test]
+    fn batch_labels_match_single_queries() {
+        let ids = RuleIds::with_default_rules();
+        let lines = ["nc -lvnp 1", "ls", "cat /etc/shadow"];
+        let batch = ids.label_batch(lines.iter().copied());
+        for (line, label) in lines.iter().zip(&batch) {
+            assert_eq!(ids.is_alert(line), *label);
+        }
+    }
+}

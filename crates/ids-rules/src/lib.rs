@@ -1,0 +1,30 @@
+//! A rule-based commercial-IDS simulator.
+//!
+//! The paper uses alerts from "a commercial IDS, developed by a Fortune
+//! Global 500 company" as its (noisy, black-box) supervision source. We
+//! cannot ship that product, so this crate simulates its observable
+//! behaviour: a set of hand-crafted signatures over parsed command lines
+//! that
+//!
+//! * catch the **in-box** attack variants exactly,
+//! * miss the **out-of-box** variants (brittle flags/interpreters/schemes),
+//! * and optionally inject extra label noise (deterministic per line, so
+//!   repeated queries agree — the supervision is a black box, not a coin
+//!   flip).
+//!
+//! ```
+//! use ids_rules::RuleIds;
+//!
+//! let ids = RuleIds::with_default_rules();
+//! assert!(ids.is_alert("nc -lvnp 4444"));          // in-box signature
+//! assert!(!ids.is_alert("nc -ulp 4444"));          // out-of-box variant
+//! assert!(!ids.is_alert("ls -la /tmp"));           // benign
+//! ```
+
+pub mod engine;
+pub mod pattern;
+pub mod rules;
+
+pub use engine::{NoiseConfig, RuleIds, Verdict};
+pub use pattern::glob_match;
+pub use rules::{default_rules, Condition, Rule};

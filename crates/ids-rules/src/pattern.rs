@@ -1,0 +1,87 @@
+//! Minimal glob matching (`*` and `?`) used by IDS signatures.
+
+/// Matches `text` against `pattern`, where `*` matches any run of
+/// characters (including empty) and `?` matches exactly one.
+///
+/// ```
+/// use ids_rules::glob_match;
+/// assert!(glob_match("https_proxy=http://*", "https_proxy=http://1.2.3.4:80"));
+/// assert!(!glob_match("https_proxy=http://*", "https_proxy=socks5://x"));
+/// ```
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    // Iterative two-pointer algorithm with backtracking on `*`.
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let (mut star, mut star_t) = (usize::MAX, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = pi;
+            star_t = ti;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            star_t += 1;
+            ti = star_t;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_match() {
+        assert!(glob_match("abc", "abc"));
+        assert!(!glob_match("abc", "abd"));
+        assert!(!glob_match("abc", "ab"));
+        assert!(!glob_match("ab", "abc"));
+    }
+
+    #[test]
+    fn star_matches_any_run() {
+        assert!(glob_match("a*c", "ac"));
+        assert!(glob_match("a*c", "abbbc"));
+        assert!(glob_match("*", ""));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("*.sh", "install.sh"));
+        assert!(!glob_match("*.sh", "install.sha"));
+    }
+
+    #[test]
+    fn question_matches_one() {
+        assert!(glob_match("a?c", "abc"));
+        assert!(!glob_match("a?c", "ac"));
+        assert!(!glob_match("a?c", "abbc"));
+    }
+
+    #[test]
+    fn multiple_stars() {
+        assert!(glob_match("*base64*bash*", "echo x | base64 -d | bash -i"));
+        assert!(!glob_match("*base64*bash*", "echo x | bash | openssl"));
+    }
+
+    #[test]
+    fn backtracking_works() {
+        assert!(glob_match("*aab", "aaab"));
+        assert!(glob_match("a*a*b", "axaxb"));
+        assert!(!glob_match("a*a*b", "axb"));
+    }
+
+    #[test]
+    fn empty_pattern_and_text() {
+        assert!(glob_match("", ""));
+        assert!(!glob_match("", "x"));
+        assert!(glob_match("***", ""));
+    }
+}

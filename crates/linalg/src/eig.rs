@@ -1,0 +1,163 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Jacobi rotation is slow for very large matrices but simple, numerically
+//! robust, and entirely adequate for the covariance matrices this
+//! workspace decomposes (embedding dimensionality ≤ 768).
+
+use crate::matrix::Matrix;
+
+/// Result of [`eigh`]: `a ≈ V · diag(λ) · Vᵀ` with eigenvalues sorted in
+/// descending order and eigenvectors as *columns* of `vectors`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Eigh {
+    /// Eigenvalues, descending.
+    pub values: Vec<f32>,
+    /// Orthonormal eigenvectors; column `i` pairs with `values[i]`.
+    pub vectors: Matrix,
+}
+
+/// Eigendecomposition of a symmetric matrix by cyclic Jacobi sweeps.
+///
+/// ```
+/// use linalg::{eigh, Matrix};
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let e = eigh(&a, 100);
+/// assert!((e.values[0] - 3.0).abs() < 1e-4);
+/// assert!((e.values[1] - 1.0).abs() < 1e-4);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn eigh(a: &Matrix, max_sweeps: usize) -> Eigh {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "eigh needs a square matrix");
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    for _ in 0..max_sweeps {
+        let mut off = 0.0f32;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m[(p, q)] * m[(p, q)];
+            }
+        }
+        if off.sqrt() < 1e-9 * (1.0 + m.frobenius_norm()) {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-12 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Jacobi rotation angle: tan(2φ) = 2·a_pq / (a_pp − a_qq).
+                let phi = 0.5 * (2.0 * apq).atan2(app - aqq);
+                let (s, c) = phi.sin_cos();
+
+                // Apply rotation R(p,q,φ) on both sides: m ← Rᵀ m R.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp + s * mkq;
+                    m[(k, q)] = -s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk + s * mqk;
+                    m[(q, k)] = -s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp + s * vkq;
+                    v[(k, q)] = -s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let mut pairs: Vec<(f32, usize)> = (0..n).map(|i| (m[(i, i)], i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let values: Vec<f32> = pairs.iter().map(|&(val, _)| val).collect();
+    let vectors = Matrix::from_fn(n, n, |r, c| v[(r, pairs[c].1)]);
+    Eigh { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &Eigh) -> Matrix {
+        let n = e.values.len();
+        let lambda = Matrix::from_fn(n, n, |r, c| if r == c { e.values[r] } else { 0.0 });
+        e.vectors.matmul(&lambda).matmul(&e.vectors.transpose())
+    }
+
+    #[test]
+    fn two_by_two_known_values() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = eigh(&a, 50);
+        assert!((e.values[0] - 3.0).abs() < 1e-4);
+        assert!((e.values[1] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let a = Matrix::from_rows(&[&[5.0, 0.0], &[0.0, -2.0]]);
+        let e = eigh(&a, 50);
+        assert!((e.values[0] - 5.0).abs() < 1e-5);
+        assert!((e.values[1] + 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        // Symmetric matrix from a random-ish generator.
+        let b = Matrix::from_fn(8, 8, |r, c| (((r * 13 + c * 7) % 10) as f32 - 4.5) / 3.0);
+        let a = &b + &b.transpose();
+        let e = eigh(&a, 100);
+        let rec = reconstruct(&e);
+        let err = (&rec - &a).frobenius_norm() / a.frobenius_norm();
+        assert!(err < 1e-3, "relative reconstruction error {err}");
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let b = Matrix::from_fn(10, 10, |r, c| ((r * 3 + c * 11) % 7) as f32);
+        let a = &b + &b.transpose();
+        let e = eigh(&a, 100);
+        let gram = e.vectors.transpose().matmul(&e.vectors);
+        let err = (&gram - &Matrix::identity(10)).frobenius_norm();
+        assert!(err < 1e-3, "orthonormality error {err}");
+    }
+
+    #[test]
+    fn values_are_sorted_descending() {
+        let b = Matrix::from_fn(6, 6, |r, c| ((r + 2 * c) % 5) as f32);
+        let a = &b + &b.transpose();
+        let e = eigh(&a, 100);
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-5);
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let b = Matrix::from_fn(7, 7, |r, c| ((r * r + c) % 6) as f32 / 2.0);
+        let a = &b + &b.transpose();
+        let e = eigh(&a, 100);
+        let trace: f32 = (0..7).map(|i| a[(i, i)]).sum();
+        let sum: f32 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_panics() {
+        let _ = eigh(&Matrix::zeros(2, 3), 10);
+    }
+}

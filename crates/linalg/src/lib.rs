@@ -1,0 +1,27 @@
+//! Dense `f32` linear algebra for the cmdline-ids workspace.
+//!
+//! Provides the numeric substrate the paper's methods need:
+//!
+//! * [`Matrix`] — row-major dense matrices with (optionally parallel)
+//!   matrix multiplication, used by the `nn` transformer crate.
+//! * [`eig::eigh`] — cyclic-Jacobi eigendecomposition of symmetric
+//!   matrices.
+//! * [`svd::thin_svd`] — thin SVD built on the eigendecomposition.
+//! * [`pca::Pca`] — principal component analysis with the reconstruction
+//!   error of the paper's Eq. (1):
+//!   `L_PCA(t) = ‖WᵀW f(t) − f(t)‖²` (projection onto the retained
+//!   subspace and back).
+//!
+//! Everything is pure Rust; parallelism uses scoped `crossbeam` threads.
+
+pub mod eig;
+pub mod matrix;
+pub mod ops;
+pub mod pca;
+pub mod rng;
+pub mod svd;
+
+pub use eig::eigh;
+pub use matrix::Matrix;
+pub use pca::Pca;
+pub use svd::{thin_svd, Svd};

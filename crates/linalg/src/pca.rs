@@ -1,0 +1,271 @@
+//! Principal component analysis with the paper's reconstruction error.
+//!
+//! Section III of the paper detects anomalies by the PCA reconstruction
+//! error of a command-line embedding `f(t)`:
+//!
+//! ```text
+//! L_PCA(t) = ‖WᵀW f(t) − f(t)‖²        (Eq. 1)
+//! ```
+//!
+//! where `W (p × q)` projects the `q`-dimensional embedding to `p < q`
+//! retained components. `W` is obtained from the SVD of the centered
+//! training embeddings; reconstruction-based tuning (Section IV-A)
+//! re-fits `W` after each encoder update.
+
+use crate::matrix::Matrix;
+use crate::svd::thin_svd;
+use serde::{Deserialize, Serialize};
+
+/// A fitted PCA projection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pca {
+    /// Projection matrix `W`, `p × q` (rows are principal axes).
+    components: Matrix,
+    /// Per-feature mean used for centering, length `q`.
+    mean: Vec<f32>,
+    /// Explained-variance ratio per retained component.
+    explained: Vec<f32>,
+}
+
+impl Pca {
+    /// Fits PCA on the rows of `data (n × q)`, keeping `p` components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`, `p > q` or `data` has no rows.
+    pub fn fit(data: &Matrix, p: usize) -> Self {
+        assert!(data.rows() > 0, "PCA needs at least one sample");
+        let q = data.cols();
+        assert!(p >= 1 && p <= q, "p must be in 1..={q}, got {p}");
+
+        let mean = data.col_mean();
+        let centered = center(data, &mean);
+        let svd = thin_svd(&centered, p);
+        // W rows = top right-singular vectors.
+        let components = svd.v.transpose();
+        let full = thin_svd(&centered, q);
+        let total: f32 = full.sigma.iter().map(|s| s * s).sum();
+        let explained = if total > 0.0 {
+            svd.sigma.iter().map(|s| s * s / total).collect()
+        } else {
+            vec![0.0; p]
+        };
+        Pca {
+            components,
+            mean,
+            explained,
+        }
+    }
+
+    /// Fits PCA keeping the smallest number of components whose cumulative
+    /// explained variance reaches `ratio` (the paper keeps 95%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not in `(0, 1]` or `data` has no rows.
+    pub fn fit_variance_ratio(data: &Matrix, ratio: f32) -> Self {
+        assert!(
+            ratio > 0.0 && ratio <= 1.0,
+            "ratio must be in (0, 1], got {ratio}"
+        );
+        assert!(data.rows() > 0, "PCA needs at least one sample");
+        let q = data.cols();
+        let mean = data.col_mean();
+        let centered = center(data, &mean);
+        let svd = thin_svd(&centered, q);
+        let total: f32 = svd.sigma.iter().map(|s| s * s).sum();
+        let mut p = q;
+        if total > 0.0 {
+            let mut acc = 0.0;
+            for (i, s) in svd.sigma.iter().enumerate() {
+                acc += s * s / total;
+                if acc >= ratio {
+                    p = i + 1;
+                    break;
+                }
+            }
+        }
+        let components = Matrix::from_fn(p, q, |r, c| svd.v[(c, r)]);
+        let explained = svd.sigma[..p]
+            .iter()
+            .map(|s| if total > 0.0 { s * s / total } else { 0.0 })
+            .collect();
+        Pca {
+            components,
+            mean,
+            explained,
+        }
+    }
+
+    /// Number of retained components `p`.
+    pub fn n_components(&self) -> usize {
+        self.components.rows()
+    }
+
+    /// Input dimensionality `q`.
+    pub fn input_dim(&self) -> usize {
+        self.components.cols()
+    }
+
+    /// The projection matrix `W (p × q)`.
+    pub fn components(&self) -> &Matrix {
+        &self.components
+    }
+
+    /// Explained-variance ratio of each retained component.
+    pub fn explained_variance_ratio(&self) -> &[f32] {
+        &self.explained
+    }
+
+    /// Projects one embedding into the retained subspace (`W (x − μ)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != q`.
+    pub fn transform(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.input_dim(), "transform dimension mismatch");
+        let centered: Vec<f32> = x.iter().zip(&self.mean).map(|(v, m)| v - m).collect();
+        (0..self.n_components())
+            .map(|r| crate::matrix::dot(self.components.row(r), &centered))
+            .collect()
+    }
+
+    /// Reconstructs an embedding from the retained subspace
+    /// (`WᵀW (x − μ) + μ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != q`.
+    pub fn reconstruct(&self, x: &[f32]) -> Vec<f32> {
+        let proj = self.transform(x);
+        let q = self.input_dim();
+        let mut out = self.mean.clone();
+        for (r, &p) in proj.iter().enumerate() {
+            let row = self.components.row(r);
+            for c in 0..q {
+                out[c] += p * row[c];
+            }
+        }
+        out
+    }
+
+    /// The paper's Eq. (1): squared reconstruction error of `x`.
+    ///
+    /// Always ≥ 0; 0 exactly when `x − μ` lies in the retained subspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != q`.
+    pub fn reconstruction_error(&self, x: &[f32]) -> f32 {
+        let rec = self.reconstruct(x);
+        crate::ops::squared_distance(x, &rec)
+    }
+
+    /// Reconstruction error for every row of `data (n × q)`.
+    pub fn reconstruction_errors(&self, data: &Matrix) -> Vec<f32> {
+        (0..data.rows())
+            .map(|r| self.reconstruction_error(data.row(r)))
+            .collect()
+    }
+}
+
+fn center(data: &Matrix, mean: &[f32]) -> Matrix {
+    Matrix::from_fn(data.rows(), data.cols(), |r, c| data[(r, c)] - mean[c])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_subspace_has_zero_error() {
+        // Points on the direction (1, 2, 0)·t plus a constant mean offset.
+        let data = Matrix::from_fn(20, 3, |r, c| {
+            let t = r as f32 - 10.0;
+            match c {
+                0 => 1.0 * t + 5.0,
+                1 => 2.0 * t - 1.0,
+                _ => 3.0,
+            }
+        });
+        let pca = Pca::fit(&data, 1);
+        for r in 0..data.rows() {
+            assert!(pca.reconstruction_error(data.row(r)) < 1e-3);
+        }
+    }
+
+    #[test]
+    fn off_subspace_point_has_positive_error() {
+        let data = Matrix::from_fn(20, 3, |r, c| {
+            let t = r as f32 - 10.0;
+            match c {
+                0 => t,
+                1 => 2.0 * t,
+                _ => 0.0,
+            }
+        });
+        let pca = Pca::fit(&data, 1);
+        let outlier = [0.0, 0.0, 9.0];
+        let err = pca.reconstruction_error(&outlier);
+        assert!(err > 50.0, "outlier error {err} should be large");
+    }
+
+    #[test]
+    fn errors_are_nonnegative() {
+        let data = Matrix::from_fn(15, 4, |r, c| ((r * 3 + c * 5) % 7) as f32);
+        let pca = Pca::fit(&data, 2);
+        for e in pca.reconstruction_errors(&data) {
+            assert!(e >= 0.0);
+        }
+    }
+
+    #[test]
+    fn full_rank_reconstruction_is_exact() {
+        let data = Matrix::from_fn(10, 3, |r, c| ((r * 2 + c) % 5) as f32);
+        let pca = Pca::fit(&data, 3);
+        for r in 0..data.rows() {
+            assert!(pca.reconstruction_error(data.row(r)) < 1e-3);
+        }
+    }
+
+    #[test]
+    fn variance_ratio_selects_few_components_for_low_rank_data() {
+        // Essentially rank-1 data with tiny noise.
+        let data = Matrix::from_fn(30, 5, |r, c| {
+            let t = r as f32 / 3.0;
+            t * (c as f32 + 1.0) + ((r * 7 + c) % 3) as f32 * 1e-3
+        });
+        let pca = Pca::fit_variance_ratio(&data, 0.95);
+        assert_eq!(pca.n_components(), 1);
+    }
+
+    #[test]
+    fn variance_ratio_one_keeps_exactness() {
+        let data = Matrix::from_fn(12, 4, |r, c| ((r * 5 + c * 2) % 9) as f32);
+        let pca = Pca::fit_variance_ratio(&data, 1.0);
+        for r in 0..data.rows() {
+            assert!(pca.reconstruction_error(data.row(r)) < 1e-2);
+        }
+    }
+
+    #[test]
+    fn transform_dimension_matches_components() {
+        let data = Matrix::from_fn(10, 6, |r, c| (r + c) as f32);
+        let pca = Pca::fit(&data, 2);
+        assert_eq!(pca.transform(data.row(0)).len(), 2);
+        assert_eq!(pca.n_components(), 2);
+        assert_eq!(pca.input_dim(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be")]
+    fn zero_components_panics() {
+        let _ = Pca::fit(&Matrix::zeros(3, 3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_data_panics() {
+        let _ = Pca::fit(&Matrix::zeros(0, 3), 1);
+    }
+}

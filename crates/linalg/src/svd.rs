@@ -1,0 +1,146 @@
+//! Thin singular value decomposition built on [`crate::eig::eigh`].
+//!
+//! For a data matrix `A (n × d)` with `d` modest (embedding width), the
+//! right singular vectors are the eigenvectors of `AᵀA (d × d)` — exactly
+//! what PCA needs, and the route the paper takes ("the PCA projection
+//! matrix W can be easily obtained via SVD").
+
+use crate::eig::eigh;
+use crate::matrix::Matrix;
+
+/// Thin SVD `A ≈ U · diag(σ) · Vᵀ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Svd {
+    /// Left singular vectors, `n × k` (columns).
+    pub u: Matrix,
+    /// Singular values, descending, length `k`.
+    pub sigma: Vec<f32>,
+    /// Right singular vectors, `d × k` (columns).
+    pub v: Matrix,
+}
+
+/// Computes the thin SVD of `a` keeping the top `k` components.
+///
+/// Works via the eigendecomposition of `aᵀa`, so its cost is
+/// `O(n·d² + d³)` — cheap when `d` (the embedding width) is small
+/// relative to `n` (the number of samples).
+///
+/// ```
+/// use linalg::{thin_svd, Matrix};
+/// let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 2.0], &[0.0, 0.0]]);
+/// let svd = thin_svd(&a, 2);
+/// assert!((svd.sigma[0] - 3.0).abs() < 1e-3);
+/// assert!((svd.sigma[1] - 2.0).abs() < 1e-3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > a.cols()`.
+pub fn thin_svd(a: &Matrix, k: usize) -> Svd {
+    let d = a.cols();
+    assert!(k >= 1 && k <= d, "k must be in 1..={d}, got {k}");
+
+    // Gram matrix AᵀA (d × d), symmetric PSD.
+    let gram = a.transpose().matmul(a);
+    let e = eigh(&gram, 100);
+
+    let sigma: Vec<f32> = e.values[..k].iter().map(|&l| l.max(0.0).sqrt()).collect();
+    let v = Matrix::from_fn(d, k, |r, c| e.vectors[(r, c)]);
+
+    // U = A V Σ⁻¹ (columns with σ≈0 are left as zero vectors).
+    let av = a.matmul(&v);
+    let mut u = Matrix::zeros(a.rows(), k);
+    for c in 0..k {
+        let s = sigma[c];
+        if s > 1e-7 {
+            for r in 0..a.rows() {
+                u[(r, c)] = av[(r, c)] / s;
+            }
+        }
+    }
+    Svd { u, sigma, v }
+}
+
+impl Svd {
+    /// Reconstructs the rank-`k` approximation `U · diag(σ) · Vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        let k = self.sigma.len();
+        let us = Matrix::from_fn(self.u.rows(), k, |r, c| self.u[(r, c)] * self.sigma[c]);
+        us.matmul(&self.v.transpose())
+    }
+
+    /// Fraction of total variance captured per component.
+    pub fn explained_variance_ratio(&self) -> Vec<f32> {
+        let total: f32 = self.sigma.iter().map(|s| s * s).sum();
+        if total == 0.0 {
+            return vec![0.0; self.sigma.len()];
+        }
+        self.sigma.iter().map(|s| s * s / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_singular_values() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 2.0], &[0.0, 0.0]]);
+        let svd = thin_svd(&a, 2);
+        assert!((svd.sigma[0] - 3.0).abs() < 1e-3);
+        assert!((svd.sigma[1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn full_rank_reconstruction() {
+        let a = Matrix::from_fn(6, 4, |r, c| ((r * 5 + c * 3) % 7) as f32 - 3.0);
+        let svd = thin_svd(&a, 4);
+        let rec = svd.reconstruct();
+        let err = (&rec - &a).frobenius_norm() / a.frobenius_norm();
+        assert!(err < 1e-3, "relative error {err}");
+    }
+
+    #[test]
+    fn truncated_svd_is_best_low_rank() {
+        // Rank-1 matrix: truncation to k=1 must be near-exact.
+        let u = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let v = Matrix::from_rows(&[&[4.0, 5.0]]);
+        let a = u.matmul(&v);
+        let svd = thin_svd(&a, 1);
+        let err = (&svd.reconstruct() - &a).frobenius_norm();
+        assert!(err < 1e-3, "rank-1 reconstruction error {err}");
+    }
+
+    #[test]
+    fn v_columns_are_orthonormal() {
+        let a = Matrix::from_fn(10, 5, |r, c| ((r * 7 + c * 11) % 9) as f32 / 4.0);
+        let svd = thin_svd(&a, 5);
+        let gram = svd.v.transpose().matmul(&svd.v);
+        let err = (&gram - &Matrix::identity(5)).frobenius_norm();
+        assert!(err < 1e-2, "V orthonormality error {err}");
+    }
+
+    #[test]
+    fn sigma_descending_nonnegative() {
+        let a = Matrix::from_fn(8, 6, |r, c| ((r + c * c) % 5) as f32);
+        let svd = thin_svd(&a, 6);
+        for w in svd.sigma.windows(2) {
+            assert!(w[0] >= w[1] - 1e-4);
+        }
+        assert!(svd.sigma.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn explained_variance_sums_to_one_at_full_rank() {
+        let a = Matrix::from_fn(9, 4, |r, c| ((r * 2 + c) % 6) as f32 - 2.0);
+        let svd = thin_svd(&a, 4);
+        let sum: f32 = svd.explained_variance_ratio().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn zero_k_panics() {
+        let _ = thin_svd(&Matrix::zeros(3, 3), 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use linalg::{eigh, thin_svd, Matrix, Pca};
+use proptest::prelude::*;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-5.0f32..5.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    /// (A·B)·C == A·(B·C) within float tolerance.
+    #[test]
+    fn matmul_is_associative(
+        a in small_matrix(4, 3),
+        b in small_matrix(3, 5),
+        c in small_matrix(5, 2),
+    ) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    /// (A·B)ᵀ == Bᵀ·Aᵀ.
+    #[test]
+    fn transpose_reverses_products(a in small_matrix(4, 3), b in small_matrix(3, 4)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Eigendecomposition of A + Aᵀ reconstructs it and the eigenvector
+    /// matrix is orthonormal.
+    #[test]
+    fn eigh_reconstructs_symmetric(a in small_matrix(5, 5)) {
+        let sym = &a + &a.transpose();
+        let e = eigh(&sym, 100);
+        let lambda = Matrix::from_fn(5, 5, |r, c| if r == c { e.values[r] } else { 0.0 });
+        let rec = e.vectors.matmul(&lambda).matmul(&e.vectors.transpose());
+        let err = (&rec - &sym).frobenius_norm();
+        prop_assert!(err < 1e-2 * (1.0 + sym.frobenius_norm()), "err {err}");
+        let gram = e.vectors.transpose().matmul(&e.vectors);
+        let orth = (&gram - &Matrix::identity(5)).frobenius_norm();
+        prop_assert!(orth < 1e-2, "orthonormality {orth}");
+    }
+
+    /// Thin SVD at full rank reconstructs the matrix.
+    #[test]
+    fn svd_full_rank_reconstructs(a in small_matrix(6, 4)) {
+        let svd = thin_svd(&a, 4);
+        let err = (&svd.reconstruct() - &a).frobenius_norm();
+        prop_assert!(err < 1e-2 * (1.0 + a.frobenius_norm()), "err {err}");
+    }
+
+    /// Singular values are non-negative and descending.
+    #[test]
+    fn svd_sigma_sorted(a in small_matrix(6, 4)) {
+        let svd = thin_svd(&a, 4);
+        for w in svd.sigma.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-4);
+        }
+        prop_assert!(svd.sigma.iter().all(|&s| s >= 0.0));
+    }
+
+    /// PCA reconstruction errors are never negative, and keeping all
+    /// components drives them to ~0 on the training data.
+    #[test]
+    fn pca_error_nonnegative_and_full_rank_exact(a in small_matrix(12, 4)) {
+        let pca = Pca::fit(&a, 2);
+        for r in 0..a.rows() {
+            prop_assert!(pca.reconstruction_error(a.row(r)) >= 0.0);
+        }
+        let full = Pca::fit(&a, 4);
+        for r in 0..a.rows() {
+            let e = full.reconstruction_error(a.row(r));
+            prop_assert!(e < 1e-2 * (1.0 + a.frobenius_norm()), "residual {e}");
+        }
+    }
+
+    /// The retained-variance constructor keeps between 1 and q components
+    /// and its explained ratios are in (0, 1].
+    #[test]
+    fn pca_variance_ratio_bounds(a in small_matrix(10, 5)) {
+        let pca = Pca::fit_variance_ratio(&a, 0.9);
+        prop_assert!(pca.n_components() >= 1 && pca.n_components() <= 5);
+        for &r in pca.explained_variance_ratio() {
+            prop_assert!((0.0..=1.0 + 1e-4).contains(&r));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Model hyper-parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Transformer encoder configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Vocabulary size (paper: 50 000).
+    pub vocab_size: usize,
+    /// Hidden width (paper: 768).
+    pub hidden: usize,
+    /// Number of transformer blocks (paper: 12).
+    pub layers: usize,
+    /// Attention heads per block (paper: 12).
+    pub heads: usize,
+    /// Feed-forward inner width multiplier (BERT uses 4).
+    pub ff_mult: usize,
+    /// Maximum sequence length (paper: 1024).
+    pub max_len: usize,
+}
+
+impl ModelConfig {
+    /// The paper's architecture: BERT-base over a 50k BPE vocabulary.
+    pub fn bert_base() -> Self {
+        ModelConfig {
+            vocab_size: 50_000,
+            hidden: 768,
+            layers: 12,
+            heads: 12,
+            ff_mult: 4,
+            max_len: 1024,
+        }
+    }
+
+    /// The scaled-down configuration used for experiments in this
+    /// reproduction (CPU-trainable in seconds; same structure).
+    pub fn tiny(vocab_size: usize) -> Self {
+        ModelConfig {
+            vocab_size,
+            hidden: 32,
+            layers: 2,
+            heads: 4,
+            ff_mult: 4,
+            max_len: 64,
+        }
+    }
+
+    /// A mid-size configuration for the larger experiment binaries.
+    pub fn small(vocab_size: usize) -> Self {
+        ModelConfig {
+            vocab_size,
+            hidden: 64,
+            layers: 4,
+            heads: 8,
+            ff_mult: 4,
+            max_len: 96,
+        }
+    }
+
+    /// Head dimensionality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` is not divisible by `heads`.
+    pub fn head_dim(&self) -> usize {
+        assert_eq!(
+            self.hidden % self.heads,
+            0,
+            "hidden {} must divide by heads {}",
+            self.hidden,
+            self.heads
+        );
+        self.hidden / self.heads
+    }
+
+    /// Feed-forward inner width.
+    pub fn ff_dim(&self) -> usize {
+        self.hidden * self.ff_mult
+    }
+
+    /// Approximate parameter count (embeddings + blocks + final norm).
+    pub fn param_count(&self) -> usize {
+        let emb = self.vocab_size * self.hidden + self.max_len * self.hidden;
+        let attn = 4 * (self.hidden * self.hidden + self.hidden);
+        let ffn = self.hidden * self.ff_dim() + self.ff_dim()
+            + self.ff_dim() * self.hidden + self.hidden;
+        let norms = 2 * (2 * self.hidden);
+        emb + self.layers * (attn + ffn + norms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_base_matches_paper() {
+        let c = ModelConfig::bert_base();
+        assert_eq!(c.vocab_size, 50_000);
+        assert_eq!(c.hidden, 768);
+        assert_eq!(c.layers, 12);
+        assert_eq!(c.heads, 12);
+        assert_eq!(c.max_len, 1024);
+        assert_eq!(c.head_dim(), 64);
+        assert_eq!(c.ff_dim(), 3072);
+        // BERT-base is ~110M params; ours lacks the pooler/tied decoder
+        // but must be the right order of magnitude (embeddings here are
+        // 50k-vocab so ~124M total).
+        assert!(c.param_count() > 80_000_000 && c.param_count() < 160_000_000);
+    }
+
+    #[test]
+    fn tiny_is_consistent() {
+        let c = ModelConfig::tiny(500);
+        assert_eq!(c.head_dim() * c.heads, c.hidden);
+        assert!(c.param_count() < 1_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn indivisible_heads_panic() {
+        let mut c = ModelConfig::tiny(100);
+        c.heads = 5;
+        let _ = c.head_dim();
+    }
+}

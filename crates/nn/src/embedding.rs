@@ -1,0 +1,168 @@
+//! Token and learned positional embeddings.
+
+use crate::param::Param;
+use linalg::{rng::randn, Matrix};
+use rand::Rng;
+
+/// Sum of token-id embedding and learned positional embedding — the
+/// "summations of the token encoding and positional encoding vectors"
+/// the paper feeds to the transformer (Section II-B).
+#[derive(Debug, Clone)]
+pub struct Embeddings {
+    /// Token table `(vocab, hidden)`.
+    pub tokens: Param,
+    /// Position table `(max_len, hidden)`.
+    pub positions: Param,
+}
+
+/// Forward cache for [`Embeddings::backward`]: the looked-up ids.
+#[derive(Debug, Clone)]
+pub struct EmbeddingCache {
+    ids: Vec<u32>,
+}
+
+impl Embeddings {
+    /// Initializes both tables with `N(0, 0.02²)` (the BERT convention).
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, vocab: usize, max_len: usize, hidden: usize) -> Self {
+        Embeddings {
+            tokens: Param::new(randn(rng, vocab, hidden, 0.02)),
+            positions: Param::new(randn(rng, max_len, hidden, 0.02)),
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.tokens.value.cols()
+    }
+
+    /// Maximum sequence length.
+    pub fn max_len(&self) -> usize {
+        self.positions.value.rows()
+    }
+
+    /// Looks up `ids`, returning `(s, hidden)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty, longer than `max_len`, or contains an id
+    /// outside the vocabulary.
+    pub fn forward(&self, ids: &[u32]) -> (Matrix, EmbeddingCache) {
+        assert!(!ids.is_empty(), "cannot embed an empty sequence");
+        assert!(
+            ids.len() <= self.max_len(),
+            "sequence length {} exceeds max_len {}",
+            ids.len(),
+            self.max_len()
+        );
+        let h = self.hidden();
+        let mut out = Matrix::zeros(ids.len(), h);
+        for (pos, &id) in ids.iter().enumerate() {
+            assert!(
+                (id as usize) < self.tokens.value.rows(),
+                "token id {id} outside vocabulary"
+            );
+            let tok = self.tokens.value.row(id as usize);
+            let p = self.positions.value.row(pos);
+            let row = out.row_mut(pos);
+            for c in 0..h {
+                row[c] = tok[c] + p[c];
+            }
+        }
+        (
+            out,
+            EmbeddingCache {
+                ids: ids.to_vec(),
+            },
+        )
+    }
+
+    /// Accumulates gradients into the looked-up rows.
+    pub fn backward(&mut self, cache: &EmbeddingCache, dout: &Matrix) {
+        let h = self.hidden();
+        for (pos, &id) in cache.ids.iter().enumerate() {
+            let d = dout.row(pos);
+            {
+                let trow = self.tokens.grad.row_mut(id as usize);
+                for c in 0..h {
+                    trow[c] += d[c];
+                }
+            }
+            {
+                let prow = self.positions.grad.row_mut(pos);
+                for c in 0..h {
+                    prow[c] += d[c];
+                }
+            }
+        }
+    }
+
+    /// Visits `(token table, position table)`.
+    pub fn visit_params(&mut self, f: &mut impl FnMut(&mut Param)) {
+        f(&mut self.tokens);
+        f(&mut self.positions);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_sums_token_and_position() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let emb = Embeddings::new(&mut rng, 10, 8, 4);
+        let (out, _) = emb.forward(&[3, 3]);
+        // Same token at two positions differs by the position vectors.
+        let expected0: Vec<f32> = emb
+            .tokens
+            .value
+            .row(3)
+            .iter()
+            .zip(emb.positions.value.row(0))
+            .map(|(a, b)| a + b)
+            .collect();
+        assert_eq!(out.row(0), &expected0[..]);
+        assert_ne!(out.row(0), out.row(1));
+    }
+
+    #[test]
+    fn backward_accumulates_repeated_ids() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut emb = Embeddings::new(&mut rng, 10, 8, 4);
+        let (_, cache) = emb.forward(&[5, 5, 1]);
+        let dout = Matrix::full(3, 4, 1.0);
+        emb.backward(&cache, &dout);
+        // Token 5 appears twice → grad 2.0; token 1 once → 1.0.
+        assert!(emb.tokens.grad.row(5).iter().all(|&g| (g - 2.0).abs() < 1e-6));
+        assert!(emb.tokens.grad.row(1).iter().all(|&g| (g - 1.0).abs() < 1e-6));
+        assert!(emb.tokens.grad.row(0).iter().all(|&g| g == 0.0));
+        // Positions 0..3 each get 1.0.
+        assert!(emb.positions.grad.row(2).iter().all(|&g| (g - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocabulary")]
+    fn out_of_vocab_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let emb = Embeddings::new(&mut rng, 10, 8, 4);
+        let _ = emb.forward(&[10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_len")]
+    fn too_long_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let emb = Embeddings::new(&mut rng, 10, 2, 4);
+        let _ = emb.forward(&[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sequence_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let emb = Embeddings::new(&mut rng, 10, 8, 4);
+        let _ = emb.forward(&[]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Position-wise feed-forward network (GELU) with manual backprop.
+
+use crate::activation::{gelu, gelu_grad};
+use crate::linear::{Linear, LinearCache};
+use linalg::Matrix;
+use rand::Rng;
+
+/// `FFN(x) = GELU(x·W₁ + b₁)·W₂ + b₂`, inner width `ff_dim`.
+#[derive(Debug, Clone)]
+pub struct FeedForward {
+    lin1: Linear,
+    lin2: Linear,
+}
+
+/// Forward cache for [`FeedForward::backward`].
+#[derive(Debug)]
+pub struct FeedForwardCache {
+    c1: LinearCache,
+    c2: LinearCache,
+    /// Pre-activation of the inner layer.
+    pre: Matrix,
+}
+
+impl FeedForward {
+    /// Creates the two projections.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, hidden: usize, ff_dim: usize) -> Self {
+        FeedForward {
+            lin1: Linear::new(rng, hidden, ff_dim),
+            lin2: Linear::new(rng, ff_dim, hidden),
+        }
+    }
+
+    /// Forward pass over `(s, hidden)`.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, FeedForwardCache) {
+        let (pre, c1) = self.lin1.forward(x);
+        let act = pre.map(gelu);
+        let (y, c2) = self.lin2.forward(&act);
+        (y, FeedForwardCache { c1, c2, pre })
+    }
+
+    /// Backward pass: accumulates grads, returns `dx`.
+    pub fn backward(&mut self, cache: &FeedForwardCache, dy: &Matrix) -> Matrix {
+        let dact = self.lin2.backward(&cache.c2, dy);
+        let dpre = Matrix::from_fn(dact.rows(), dact.cols(), |r, c| {
+            dact[(r, c)] * gelu_grad(cache.pre[(r, c)])
+        });
+        self.lin1.backward(&cache.c1, &dpre)
+    }
+
+    /// Visits all four tensors in stable order.
+    pub fn visit_params(&mut self, f: &mut impl FnMut(&mut crate::param::Param)) {
+        self.lin1.visit_params(f);
+        self.lin2.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::rng::randn;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn loss(y: &Matrix) -> f32 {
+        0.5 * y.as_slice().iter().map(|v| v * v).sum::<f32>()
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ffn = FeedForward::new(&mut rng, 8, 32);
+        let x = randn(&mut rng, 5, 8, 1.0);
+        let (y, _) = ffn.forward(&x);
+        assert_eq!(y.shape(), (5, 8));
+    }
+
+    #[test]
+    fn gradient_check_input() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ffn = FeedForward::new(&mut rng, 6, 12);
+        let x = randn(&mut rng, 4, 6, 0.9);
+        let (y, cache) = ffn.forward(&x);
+        let dx = ffn.backward(&cache, &y);
+
+        let eps = 1e-2;
+        for idx in [(0usize, 0usize), (2, 3), (3, 5)] {
+            let mut xp = x.clone();
+            xp[idx] += eps;
+            let (yp, _) = ffn.forward(&xp);
+            let mut xm = x.clone();
+            xm[idx] -= eps;
+            let (ym, _) = ffn.forward(&xm);
+            let numeric = (loss(&yp) - loss(&ym)) / (2.0 * eps);
+            assert!(
+                (numeric - dx[idx]).abs() < 5e-2 * (1.0 + numeric.abs()),
+                "dx{idx:?}: numeric {numeric} vs analytic {}",
+                dx[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_check_inner_weight() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ffn = FeedForward::new(&mut rng, 6, 12);
+        let x = randn(&mut rng, 3, 6, 0.9);
+        let (y, cache) = ffn.forward(&x);
+        let _ = ffn.backward(&cache, &y);
+
+        let eps = 1e-2;
+        for idx in [(0usize, 1usize), (5, 10)] {
+            let orig = ffn.lin1.w.value[idx];
+            ffn.lin1.w.value[idx] = orig + eps;
+            let (yp, _) = ffn.forward(&x);
+            ffn.lin1.w.value[idx] = orig - eps;
+            let (ym, _) = ffn.forward(&x);
+            ffn.lin1.w.value[idx] = orig;
+            let numeric = (loss(&yp) - loss(&ym)) / (2.0 * eps);
+            let analytic = ffn.lin1.w.grad[idx];
+            assert!(
+                (numeric - analytic).abs() < 5e-2 * (1.0 + numeric.abs()),
+                "dW1{idx:?}: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn visit_params_counts_four_tensors() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ffn = FeedForward::new(&mut rng, 4, 8);
+        let mut n = 0;
+        ffn.visit_params(&mut |_| n += 1);
+        assert_eq!(n, 4);
+    }
+}

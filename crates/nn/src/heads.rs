@@ -1,0 +1,238 @@
+//! The probing classification head (paper Section IV-B).
+//!
+//! "a two-layer perceptron initialized by Kaiming's method … tuned with a
+//! learning rate of 5e-5 for 5 epochs using AdamW, with the language
+//! model being frozen." Because the backbone is frozen, the head can be
+//! trained directly on pre-computed `[CLS]` embeddings, which is exactly
+//! how this type is used by the `cmdline-ids` crate.
+
+use crate::activation::{relu, relu_grad};
+use crate::linear::{Linear, LinearCache};
+use crate::loss::cross_entropy;
+use crate::optim::{AdamW, Optimizer};
+use crate::param::Param;
+use linalg::Matrix;
+use rand::Rng;
+
+/// Two-layer MLP `hidden → hidden → 2` with ReLU, Kaiming-initialized.
+#[derive(Debug, Clone)]
+pub struct ClassificationHead {
+    lin1: Linear,
+    lin2: Linear,
+}
+
+/// Forward cache for [`ClassificationHead::backward`].
+#[derive(Debug)]
+pub struct HeadCache {
+    c1: LinearCache,
+    c2: LinearCache,
+    pre: Matrix,
+}
+
+impl ClassificationHead {
+    /// Creates a head over `input_dim`-wide embeddings with
+    /// `inner_dim` hidden units and 2 output classes.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, input_dim: usize, inner_dim: usize) -> Self {
+        ClassificationHead {
+            lin1: Linear::new_kaiming(rng, input_dim, inner_dim),
+            lin2: Linear::new_kaiming(rng, inner_dim, 2),
+        }
+    }
+
+    /// Forward pass: `(n, input_dim)` embeddings → `(n, 2)` logits.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, HeadCache) {
+        let (pre, c1) = self.lin1.forward(x);
+        let act = pre.map(relu);
+        let (logits, c2) = self.lin2.forward(&act);
+        (logits, HeadCache { c1, c2, pre })
+    }
+
+    /// Backward pass from `dlogits`; accumulates grads, returns `dx`.
+    pub fn backward(&mut self, cache: &HeadCache, dlogits: &Matrix) -> Matrix {
+        let dact = self.lin2.backward(&cache.c2, dlogits);
+        let dpre = Matrix::from_fn(dact.rows(), dact.cols(), |r, c| {
+            dact[(r, c)] * relu_grad(cache.pre[(r, c)])
+        });
+        self.lin1.backward(&cache.c1, &dpre)
+    }
+
+    /// Probability of the "intrusion" class (index 1) per row.
+    pub fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        let (logits, _) = self.forward(x);
+        (0..logits.rows())
+            .map(|r| {
+                let a = logits[(r, 0)];
+                let b = logits[(r, 1)];
+                let m = a.max(b);
+                let ea = (a - m).exp();
+                let eb = (b - m).exp();
+                eb / (ea + eb)
+            })
+            .collect()
+    }
+
+    /// Visits all four tensors in stable order.
+    pub fn visit_params(&mut self, f: &mut impl FnMut(&mut Param)) {
+        self.lin1.visit_params(f);
+        self.lin2.visit_params(f);
+    }
+
+    /// Zeroes gradients.
+    pub fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Trains the head on `(embeddings, labels)` for `epochs` passes of
+    /// minibatch AdamW — the paper's classification-based tuning loop
+    /// with the backbone frozen. Returns the mean loss per epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty or lengths disagree.
+    pub fn fit<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        embeddings: &Matrix,
+        labels: &[u32],
+        epochs: usize,
+        batch_size: usize,
+        optimizer: &mut AdamW,
+    ) -> Vec<f32> {
+        assert!(embeddings.rows() > 0, "no training data");
+        assert_eq!(embeddings.rows(), labels.len(), "one label per embedding");
+        let n = embeddings.rows();
+        let bs = batch_size.max(1).min(n);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut losses = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            // Fisher–Yates shuffle with the caller's RNG.
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            for chunk in order.chunks(bs) {
+                let xb = Matrix::from_fn(chunk.len(), embeddings.cols(), |r, c| {
+                    embeddings[(chunk[r], c)]
+                });
+                let yb: Vec<u32> = chunk.iter().map(|&i| labels[i]).collect();
+                let (logits, cache) = self.forward(&xb);
+                let (loss, dlogits) = cross_entropy(&logits, &yb);
+                self.zero_grad();
+                let _ = self.backward(&cache, &dlogits);
+                // Same stable order as visit_params.
+                let mut params: Vec<&mut Param> = Vec::new();
+                params.push(&mut self.lin1.w);
+                params.push(&mut self.lin1.b);
+                params.push(&mut self.lin2.w);
+                params.push(&mut self.lin2.b);
+                optimizer.step(&mut params);
+                epoch_loss += loss;
+                batches += 1;
+            }
+            losses.push(epoch_loss / batches.max(1) as f32);
+        }
+        losses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::rng::randn;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn separable_data(rng: &mut StdRng, n: usize, d: usize) -> (Matrix, Vec<u32>) {
+        // Class 0 around -1, class 1 around +1 along every axis.
+        let mut x = randn(rng, n, d, 0.4);
+        let mut y = Vec::with_capacity(n);
+        for r in 0..n {
+            let label = (r % 2) as u32;
+            let shift = if label == 1 { 1.0 } else { -1.0 };
+            for c in 0..d {
+                x[(r, c)] += shift;
+            }
+            y.push(label);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn head_learns_separable_data() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (x, y) = separable_data(&mut rng, 200, 8);
+        let mut head = ClassificationHead::new(&mut rng, 8, 16);
+        let mut opt = AdamW::new(5e-3, 0.0);
+        let losses = head.fit(&mut rng, &x, &y, 20, 32, &mut opt);
+        assert!(
+            losses.last().unwrap() < &0.1,
+            "final loss {:?}",
+            losses.last()
+        );
+        let (logits, _) = head.forward(&x);
+        let acc = crate::loss::binary_accuracy(&logits, &y);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (x, y) = separable_data(&mut rng, 100, 6);
+        let mut head = ClassificationHead::new(&mut rng, 6, 12);
+        let mut opt = AdamW::new(1e-3, 0.0);
+        let losses = head.fit(&mut rng, &x, &y, 10, 16, &mut opt);
+        assert!(losses.last().unwrap() < losses.first().unwrap());
+    }
+
+    #[test]
+    fn predict_proba_in_unit_interval_and_consistent() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let head = ClassificationHead::new(&mut rng, 4, 8);
+        let x = randn(&mut rng, 10, 4, 1.0);
+        let probs = head.predict_proba(&x);
+        let (logits, _) = head.forward(&x);
+        for (r, p) in probs.iter().enumerate() {
+            assert!((0.0..=1.0).contains(p));
+            let argmax_is_one = logits[(r, 1)] > logits[(r, 0)];
+            assert_eq!(*p > 0.5, argmax_is_one);
+        }
+    }
+
+    #[test]
+    fn gradient_check_head() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut head = ClassificationHead::new(&mut rng, 5, 7);
+        let x = randn(&mut rng, 6, 5, 1.0);
+        let y = vec![0u32, 1, 0, 1, 1, 0];
+        let (logits, cache) = head.forward(&x);
+        let (_, dlogits) = cross_entropy(&logits, &y);
+        head.zero_grad();
+        let _ = head.backward(&cache, &dlogits);
+
+        let eps = 1e-2;
+        let idx = (2usize, 3usize);
+        let orig = head.lin1.w.value[idx];
+        head.lin1.w.value[idx] = orig + eps;
+        let (lp, _) = head.forward(&x);
+        head.lin1.w.value[idx] = orig - eps;
+        let (lm, _) = head.forward(&x);
+        head.lin1.w.value[idx] = orig;
+        let numeric = (cross_entropy(&lp, &y).0 - cross_entropy(&lm, &y).0) / (2.0 * eps);
+        let analytic = head.lin1.w.grad[idx];
+        assert!(
+            (numeric - analytic).abs() < 1e-2 * (1.0 + numeric.abs()),
+            "numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no training data")]
+    fn empty_fit_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut head = ClassificationHead::new(&mut rng, 4, 8);
+        let mut opt = AdamW::new(1e-3, 0.0);
+        let _ = head.fit(&mut rng, &Matrix::zeros(0, 4), &[], 1, 8, &mut opt);
+    }
+}

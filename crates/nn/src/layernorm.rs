@@ -1,0 +1,215 @@
+//! Layer normalization with manual backprop.
+
+use crate::param::Param;
+use linalg::Matrix;
+
+/// Row-wise layer norm: `y = γ · (x − μ)/σ + β`.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    /// Scale, `(1, width)`.
+    pub gamma: Param,
+    /// Shift, `(1, width)`.
+    pub beta: Param,
+    eps: f32,
+}
+
+/// Forward cache for [`LayerNorm::backward`].
+#[derive(Debug, Clone)]
+pub struct LayerNormCache {
+    xhat: Matrix,
+    inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// Creates a layer norm over rows of the given width (γ=1, β=0).
+    pub fn new(width: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new(Matrix::full(1, width, 1.0)),
+            beta: Param::new(Matrix::zeros(1, width)),
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalized width.
+    pub fn width(&self) -> usize {
+        self.gamma.value.cols()
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, LayerNormCache) {
+        let (n, d) = x.shape();
+        let mut y = Matrix::zeros(n, d);
+        let mut xhat = Matrix::zeros(n, d);
+        let mut inv_std = Vec::with_capacity(n);
+        let gamma = self.gamma.value.row(0);
+        let beta = self.beta.value.row(0);
+        for r in 0..n {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + self.eps).sqrt();
+            inv_std.push(istd);
+            for c in 0..d {
+                let h = (row[c] - mean) * istd;
+                xhat[(r, c)] = h;
+                y[(r, c)] = gamma[c] * h + beta[c];
+            }
+        }
+        (y, LayerNormCache { xhat, inv_std })
+    }
+
+    /// Backward pass: accumulates `dγ`, `dβ`, returns `dx`.
+    pub fn backward(&mut self, cache: &LayerNormCache, dy: &Matrix) -> Matrix {
+        let (n, d) = dy.shape();
+        let gamma = self.gamma.value.row(0).to_vec();
+        let mut dx = Matrix::zeros(n, d);
+        for r in 0..n {
+            let dyr = dy.row(r);
+            let xh = cache.xhat.row(r);
+            // Parameter grads.
+            {
+                let gg = self.gamma.grad.row_mut(0);
+                for c in 0..d {
+                    gg[c] += dyr[c] * xh[c];
+                }
+            }
+            {
+                let bg = self.beta.grad.row_mut(0);
+                for c in 0..d {
+                    bg[c] += dyr[c];
+                }
+            }
+            // dxhat = dy * gamma
+            let dxhat: Vec<f32> = (0..d).map(|c| dyr[c] * gamma[c]).collect();
+            let sum_dxhat: f32 = dxhat.iter().sum();
+            let sum_dxhat_xhat: f32 = dxhat.iter().zip(xh).map(|(a, b)| a * b).sum();
+            let istd = cache.inv_std[r];
+            for c in 0..d {
+                dx[(r, c)] = istd / d as f32
+                    * (d as f32 * dxhat[c] - sum_dxhat - xh[c] * sum_dxhat_xhat);
+            }
+        }
+        dx
+    }
+
+    /// Visits `(γ, β)` for the optimizer.
+    pub fn visit_params(&mut self, f: &mut impl FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::rng::randn;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn loss(y: &Matrix) -> f32 {
+        // Weighted quadratic so gradients differ per element.
+        y.as_slice()
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as f32 * 0.1 + 0.5) * v * v)
+            .sum::<f32>()
+            * 0.5
+    }
+
+    fn dloss(y: &Matrix) -> Matrix {
+        Matrix::from_fn(y.rows(), y.cols(), |r, c| {
+            let i = r * y.cols() + c;
+            (i as f32 * 0.1 + 0.5) * y[(r, c)]
+        })
+    }
+
+    #[test]
+    fn output_rows_are_normalized() {
+        let ln = LayerNorm::new(8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = randn(&mut rng, 4, 8, 3.0);
+        let (y, _) = ln.forward(&x);
+        for r in 0..4 {
+            let row = y.row(r);
+            let mean = row.iter().sum::<f32>() / 8.0;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4, "row mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "row var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_transform_output() {
+        let mut ln = LayerNorm::new(4);
+        ln.gamma.value = Matrix::from_rows(&[&[2.0, 2.0, 2.0, 2.0]]);
+        ln.beta.value = Matrix::from_rows(&[&[1.0, 1.0, 1.0, 1.0]]);
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]);
+        let (y, _) = ln.forward(&x);
+        let mean = y.row(0).iter().sum::<f32>() / 4.0;
+        assert!((mean - 1.0).abs() < 1e-4, "shifted mean {mean}");
+    }
+
+    #[test]
+    fn gradient_check_input() {
+        let mut ln = LayerNorm::new(6);
+        let mut rng = StdRng::seed_from_u64(2);
+        // Non-trivial gamma so the test exercises the scale path.
+        ln.gamma.value = randn(&mut rng, 1, 6, 1.0).map(|v| 1.0 + 0.3 * v);
+        let x = randn(&mut rng, 3, 6, 1.5);
+        let (y, cache) = ln.forward(&x);
+        let dx = ln.backward(&cache, &dloss(&y));
+
+        let eps = 1e-2;
+        for idx in [(0usize, 0usize), (1, 3), (2, 5)] {
+            let mut xp = x.clone();
+            xp[idx] += eps;
+            let (yp, _) = ln.forward(&xp);
+            let mut xm = x.clone();
+            xm[idx] -= eps;
+            let (ym, _) = ln.forward(&xm);
+            let numeric = (loss(&yp) - loss(&ym)) / (2.0 * eps);
+            assert!(
+                (numeric - dx[idx]).abs() < 3e-2 * (1.0 + numeric.abs()),
+                "dx{idx:?}: numeric {numeric} vs analytic {}",
+                dx[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_check_gamma_beta() {
+        let mut ln = LayerNorm::new(5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = randn(&mut rng, 4, 5, 1.0);
+        let (y, cache) = ln.forward(&x);
+        let _ = ln.backward(&cache, &dloss(&y));
+
+        let eps = 1e-2;
+        for c in [0usize, 2, 4] {
+            // Gamma.
+            let orig = ln.gamma.value[(0, c)];
+            ln.gamma.value[(0, c)] = orig + eps;
+            let (yp, _) = ln.forward(&x);
+            ln.gamma.value[(0, c)] = orig - eps;
+            let (ym, _) = ln.forward(&x);
+            ln.gamma.value[(0, c)] = orig;
+            let numeric = (loss(&yp) - loss(&ym)) / (2.0 * eps);
+            assert!(
+                (numeric - ln.gamma.grad[(0, c)]).abs() < 3e-2 * (1.0 + numeric.abs()),
+                "dγ[{c}]"
+            );
+            // Beta.
+            let orig = ln.beta.value[(0, c)];
+            ln.beta.value[(0, c)] = orig + eps;
+            let (yp, _) = ln.forward(&x);
+            ln.beta.value[(0, c)] = orig - eps;
+            let (ym, _) = ln.forward(&x);
+            ln.beta.value[(0, c)] = orig;
+            let numeric = (loss(&yp) - loss(&ym)) / (2.0 * eps);
+            assert!(
+                (numeric - ln.beta.grad[(0, c)]).abs() < 3e-2 * (1.0 + numeric.abs()),
+                "dβ[{c}]"
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! A pure-Rust BERT-style transformer encoder with hand-written backprop.
+//!
+//! The paper pre-trains a command-line language model "the same as that
+//! of BERT-base" (12 blocks, 12 heads, hidden 768, vocab 50k, max length
+//! 1024) with RoBERTa-style masked language modelling, then adapts it via
+//! probing heads and reconstruction-based fine-tuning. No mature Rust
+//! deep-learning stack is available offline, so this crate implements the
+//! required pieces from scratch:
+//!
+//! * [`Encoder`] — token+position embeddings and a stack of
+//!   post-layer-norm transformer blocks with full forward **and
+//!   backward** passes (gradients verified by finite differences in the
+//!   test suite).
+//! * [`MlmHead`] / [`masking`] — masked-language-model pre-training
+//!   (Section II-B, masking probability `q`).
+//! * [`ClassificationHead`] — the two-layer, Kaiming-initialized probing
+//!   head tuned on the `[CLS]` embedding (Section IV-B).
+//! * [`AdamW`] / [`Sgd`] — optimizers.
+//!
+//! The architecture is configuration-driven: [`ModelConfig::bert_base`]
+//! reproduces the paper's shape; [`ModelConfig::tiny`] is the scaled
+//! configuration used throughout tests and experiments (see `DESIGN.md`
+//! for the substitution rationale).
+//!
+//! ```
+//! use nn::{Encoder, ModelConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut enc = Encoder::new(ModelConfig::tiny(100), &mut rng);
+//! let hidden = enc.forward(&[2, 10, 11, 3]);
+//! assert_eq!(hidden.shape(), (4, ModelConfig::tiny(100).hidden));
+//! ```
+
+pub mod activation;
+pub mod attention;
+pub mod config;
+pub mod embedding;
+pub mod encoder;
+pub mod ffn;
+pub mod heads;
+pub mod layernorm;
+pub mod linear;
+pub mod loss;
+pub mod masking;
+pub mod mlm;
+pub mod optim;
+pub mod param;
+
+pub use config::ModelConfig;
+pub use encoder::Encoder;
+pub use heads::ClassificationHead;
+pub use mlm::{MlmHead, MlmTrainer};
+pub use optim::{AdamW, Optimizer, Sgd};
+pub use param::Param;

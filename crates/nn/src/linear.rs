@@ -1,0 +1,199 @@
+//! Fully connected layer with manual backprop.
+
+use crate::param::Param;
+use linalg::{rng::randn, Matrix};
+use rand::Rng;
+
+/// `y = x·W + b` with `x: (n, in)`, `W: (in, out)`, `b: (1, out)`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight matrix.
+    pub w: Param,
+    /// Bias row vector.
+    pub b: Param,
+}
+
+/// Forward cache for [`Linear::backward`]: the input.
+#[derive(Debug, Clone)]
+pub struct LinearCache {
+    x: Matrix,
+}
+
+impl Linear {
+    /// Xavier-style initialization: `N(0, 1/in)` weights, zero bias.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, input: usize, output: usize) -> Self {
+        let std = (1.0 / input as f32).sqrt();
+        Linear {
+            w: Param::new(randn(rng, input, output, std)),
+            b: Param::new(Matrix::zeros(1, output)),
+        }
+    }
+
+    /// Kaiming (He) initialization: `N(0, 2/in)` — the paper initializes
+    /// the classification head "by Kaiming's method".
+    pub fn new_kaiming<R: Rng + ?Sized>(rng: &mut R, input: usize, output: usize) -> Self {
+        let std = (2.0 / input as f32).sqrt();
+        Linear {
+            w: Param::new(randn(rng, input, output, std)),
+            b: Param::new(Matrix::zeros(1, output)),
+        }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.w.value.cols()
+    }
+
+    /// Forward pass; the cache feeds [`Linear::backward`].
+    pub fn forward(&self, x: &Matrix) -> (Matrix, LinearCache) {
+        let mut y = x.matmul(&self.w.value);
+        for r in 0..y.rows() {
+            let row = y.row_mut(r);
+            for (v, b) in row.iter_mut().zip(self.b.value.row(0)) {
+                *v += b;
+            }
+        }
+        (y, LinearCache { x: x.clone() })
+    }
+
+    /// Backward pass: accumulates `dW`, `db`, returns `dx`.
+    pub fn backward(&mut self, cache: &LinearCache, dy: &Matrix) -> Matrix {
+        // dW += xᵀ·dy
+        let dw = cache.x.transpose().matmul(dy);
+        self.w.grad += &dw;
+        // db += column sums of dy
+        for r in 0..dy.rows() {
+            let row = dy.row(r);
+            let bg = self.b.grad.row_mut(0);
+            for (g, d) in bg.iter_mut().zip(row) {
+                *g += d;
+            }
+        }
+        // dx = dy·Wᵀ
+        dy.matmul_transposed(&self.w.value)
+    }
+
+    /// Visits `(weight, bias)` for the optimizer, in stable order.
+    pub fn visit_params(&mut self, f: &mut impl FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn loss(y: &Matrix) -> f32 {
+        // Simple quadratic loss: ½‖y‖².
+        0.5 * y.as_slice().iter().map(|v| v * v).sum::<f32>()
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lin = Linear::new(&mut rng, 3, 2);
+        lin.b.value = Matrix::from_rows(&[&[10.0, 20.0]]);
+        let x = Matrix::zeros(4, 3);
+        let (y, _) = lin.forward(&x);
+        assert_eq!(y.shape(), (4, 2));
+        assert_eq!(y[(0, 0)], 10.0);
+        assert_eq!(y[(3, 1)], 20.0);
+    }
+
+    #[test]
+    fn gradient_check_weights() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lin = Linear::new(&mut rng, 4, 3);
+        let x = randn(&mut rng, 5, 4, 1.0);
+        let (y, cache) = lin.forward(&x);
+        // dL/dy = y for quadratic loss.
+        let _ = lin.backward(&cache, &y);
+
+        let eps = 1e-2;
+        for idx in [(0usize, 0usize), (1, 2), (3, 1)] {
+            let orig = lin.w.value[idx];
+            lin.w.value[idx] = orig + eps;
+            let (yp, _) = lin.forward(&x);
+            lin.w.value[idx] = orig - eps;
+            let (ym, _) = lin.forward(&x);
+            lin.w.value[idx] = orig;
+            let numeric = (loss(&yp) - loss(&ym)) / (2.0 * eps);
+            let analytic = lin.w.grad[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "dW{idx:?}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_check_bias_and_input() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lin = Linear::new(&mut rng, 3, 2);
+        let x = randn(&mut rng, 4, 3, 1.0);
+        let (y, cache) = lin.forward(&x);
+        let dx = lin.backward(&cache, &y);
+
+        let eps = 1e-2;
+        // Bias grad.
+        let orig = lin.b.value[(0, 1)];
+        lin.b.value[(0, 1)] = orig + eps;
+        let (yp, _) = lin.forward(&x);
+        lin.b.value[(0, 1)] = orig - eps;
+        let (ym, _) = lin.forward(&x);
+        lin.b.value[(0, 1)] = orig;
+        let numeric = (loss(&yp) - loss(&ym)) / (2.0 * eps);
+        assert!((numeric - lin.b.grad[(0, 1)]).abs() < 2e-2 * (1.0 + numeric.abs()));
+
+        // Input grad.
+        let mut x2 = x.clone();
+        let orig = x2[(2, 1)];
+        x2[(2, 1)] = orig + eps;
+        let (yp, _) = lin.forward(&x2);
+        x2[(2, 1)] = orig - eps;
+        let (ym, _) = lin.forward(&x2);
+        let numeric = (loss(&yp) - loss(&ym)) / (2.0 * eps);
+        assert!((numeric - dx[(2, 1)]).abs() < 2e-2 * (1.0 + numeric.abs()));
+    }
+
+    #[test]
+    fn grads_accumulate_across_calls() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut lin = Linear::new(&mut rng, 2, 2);
+        let x = randn(&mut rng, 3, 2, 1.0);
+        let (y, cache) = lin.forward(&x);
+        let _ = lin.backward(&cache, &y);
+        let first = lin.w.grad.clone();
+        let _ = lin.backward(&cache, &y);
+        let doubled = &first + &first;
+        for (a, b) in lin.w.grad.as_slice().iter().zip(doubled.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn kaiming_has_larger_variance_than_xavier() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let xavier = Linear::new(&mut rng, 256, 8);
+        let kaiming = Linear::new_kaiming(&mut rng, 256, 8);
+        let var = |m: &Matrix| m.as_slice().iter().map(|v| v * v).sum::<f32>() / m.as_slice().len() as f32;
+        assert!(var(&kaiming.w.value) > 1.5 * var(&xavier.w.value));
+    }
+
+    #[test]
+    fn visit_params_order() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut lin = Linear::new(&mut rng, 2, 3);
+        let mut shapes = Vec::new();
+        lin.visit_params(&mut |p| shapes.push(p.value.shape()));
+        assert_eq!(shapes, vec![(2, 3), (1, 3)]);
+    }
+}

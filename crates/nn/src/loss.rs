@@ -1,0 +1,144 @@
+//! Cross-entropy loss with index masking.
+
+use linalg::ops::softmax_rows;
+use linalg::Matrix;
+
+/// Sentinel target meaning "do not compute loss at this position" —
+/// unmasked tokens during MLM.
+pub const IGNORE_INDEX: u32 = u32::MAX;
+
+/// Mean cross-entropy over rows of `logits (n, classes)` with `targets`
+/// (class ids or [`IGNORE_INDEX`]). Returns `(loss, dlogits)` where
+/// `dlogits` is the gradient of the *mean* loss.
+///
+/// Positions with [`IGNORE_INDEX`] contribute neither loss nor gradient.
+/// If every position is ignored, returns `(0.0, zeros)`.
+///
+/// # Panics
+///
+/// Panics if `targets.len() != logits.rows()` or a target is out of
+/// range.
+pub fn cross_entropy(logits: &Matrix, targets: &[u32]) -> (f32, Matrix) {
+    assert_eq!(
+        targets.len(),
+        logits.rows(),
+        "one target per logit row required"
+    );
+    let probs = softmax_rows(logits);
+    let classes = logits.cols();
+    let active = targets.iter().filter(|&&t| t != IGNORE_INDEX).count();
+    let mut dlogits = Matrix::zeros(logits.rows(), classes);
+    if active == 0 {
+        return (0.0, dlogits);
+    }
+    let scale = 1.0 / active as f32;
+    let mut loss = 0.0f32;
+    for (r, &t) in targets.iter().enumerate() {
+        if t == IGNORE_INDEX {
+            continue;
+        }
+        assert!(
+            (t as usize) < classes,
+            "target {t} out of range for {classes} classes"
+        );
+        let p = probs[(r, t as usize)].max(1e-12);
+        loss -= p.ln();
+        let drow = dlogits.row_mut(r);
+        for c in 0..classes {
+            drow[c] = probs[(r, c)] * scale;
+        }
+        drow[t as usize] -= scale;
+    }
+    (loss * scale, dlogits)
+}
+
+/// Binary-classification accuracy given 2-class logits.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn binary_accuracy(logits: &Matrix, targets: &[u32]) -> f32 {
+    assert_eq!(targets.len(), logits.rows());
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let correct = targets
+        .iter()
+        .enumerate()
+        .filter(|&(r, &t)| {
+            let pred = if logits[(r, 1)] > logits[(r, 0)] { 1 } else { 0 };
+            pred == t
+        })
+        .count();
+    correct as f32 / targets.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_low_loss() {
+        let logits = Matrix::from_rows(&[&[10.0, -10.0], &[-10.0, 10.0]]);
+        let (loss, _) = cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn uniform_prediction_has_log_c_loss() {
+        let logits = Matrix::zeros(3, 4);
+        let (loss, _) = cross_entropy(&logits, &[0, 1, 2]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Matrix::from_rows(&[&[0.5, -0.2, 0.1], &[1.0, 0.3, -0.7]]);
+        let targets = [2u32, 0];
+        let (_, d) = cross_entropy(&logits, &targets);
+        let eps = 1e-2;
+        for idx in [(0usize, 0usize), (0, 2), (1, 1)] {
+            let mut lp = logits.clone();
+            lp[idx] += eps;
+            let mut lm = logits.clone();
+            lm[idx] -= eps;
+            let numeric =
+                (cross_entropy(&lp, &targets).0 - cross_entropy(&lm, &targets).0) / (2.0 * eps);
+            assert!(
+                (numeric - d[idx]).abs() < 1e-3,
+                "d{idx:?}: numeric {numeric} vs analytic {}",
+                d[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn ignored_positions_have_zero_grad() {
+        let logits = Matrix::from_rows(&[&[0.5, -0.2], &[1.0, 0.3]]);
+        let (_, d) = cross_entropy(&logits, &[IGNORE_INDEX, 1]);
+        assert!(d.row(0).iter().all(|&g| g == 0.0));
+        assert!(d.row(1).iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn all_ignored_is_zero() {
+        let logits = Matrix::from_rows(&[&[0.5, -0.2]]);
+        let (loss, d) = cross_entropy(&logits, &[IGNORE_INDEX]);
+        assert_eq!(loss, 0.0);
+        assert!(d.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn accuracy_counts_argmax() {
+        let logits = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 3.0], &[5.0, 4.0]]);
+        assert!((binary_accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(binary_accuracy(&Matrix::zeros(0, 2), &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_target_panics() {
+        let logits = Matrix::zeros(1, 2);
+        let _ = cross_entropy(&logits, &[5]);
+    }
+}

@@ -1,0 +1,164 @@
+//! RoBERTa-style dynamic masking for MLM pre-training.
+//!
+//! Paper, Section II-B: "at each pre-training iteration, each token in
+//! the training command lines will be replaced with a `[MASK]` token, in
+//! a probability of `q`" — the masking is re-drawn every epoch
+//! (dynamic, as in RoBERTa). We follow BERT/RoBERTa's 80/10/10 rule for
+//! the selected positions.
+
+use crate::loss::IGNORE_INDEX;
+use rand::Rng;
+
+/// Fixed special-token ids, mirroring `bpe::SpecialToken`.
+/// (Kept numeric here so `nn` stays independent of the tokenizer crate.)
+pub const PAD_ID: u32 = 0;
+/// `[UNK]` id.
+pub const UNK_ID: u32 = 1;
+/// `[CLS]` id.
+pub const CLS_ID: u32 = 2;
+/// `[SEP]` id.
+pub const SEP_ID: u32 = 3;
+/// `[MASK]` id.
+pub const MASK_ID: u32 = 4;
+
+/// Number of reserved special ids (random replacements avoid them).
+pub const FIRST_ORDINARY_ID: u32 = 5;
+
+/// A masked training example.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskedExample {
+    /// Model input ids (some replaced by `[MASK]`/random).
+    pub input: Vec<u32>,
+    /// Per-position reconstruction targets; [`IGNORE_INDEX`] where no
+    /// loss applies.
+    pub targets: Vec<u32>,
+}
+
+impl MaskedExample {
+    /// Number of positions that contribute to the MLM loss.
+    pub fn masked_count(&self) -> usize {
+        self.targets.iter().filter(|&&t| t != IGNORE_INDEX).count()
+    }
+}
+
+/// Applies dynamic masking to `ids` with masking probability `q`.
+///
+/// Special tokens (`[CLS]`, `[SEP]`, `[PAD]`) are never masked. Of the
+/// selected positions, 80% become `[MASK]`, 10% a random ordinary token,
+/// 10% stay unchanged (all three keep their reconstruction target).
+///
+/// # Panics
+///
+/// Panics if `q` is not in `[0, 1]` or `vocab_size <= FIRST_ORDINARY_ID`.
+pub fn mask_tokens<R: Rng + ?Sized>(
+    rng: &mut R,
+    ids: &[u32],
+    q: f64,
+    vocab_size: usize,
+) -> MaskedExample {
+    assert!((0.0..=1.0).contains(&q), "q must be a probability, got {q}");
+    assert!(
+        vocab_size > FIRST_ORDINARY_ID as usize,
+        "vocabulary must contain ordinary tokens"
+    );
+    let mut input = ids.to_vec();
+    let mut targets = vec![IGNORE_INDEX; ids.len()];
+    for (i, &id) in ids.iter().enumerate() {
+        if id < FIRST_ORDINARY_ID {
+            continue; // never mask specials
+        }
+        if rng.gen_bool(q) {
+            targets[i] = id;
+            let roll: f64 = rng.gen();
+            input[i] = if roll < 0.8 {
+                MASK_ID
+            } else if roll < 0.9 {
+                rng.gen_range(FIRST_ORDINARY_ID..vocab_size as u32)
+            } else {
+                id
+            };
+        }
+    }
+    MaskedExample { input, targets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn specials_are_never_masked() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ids = vec![CLS_ID, 10, 11, 12, SEP_ID];
+        for _ in 0..200 {
+            let ex = mask_tokens(&mut rng, &ids, 1.0, 100);
+            assert_eq!(ex.input[0], CLS_ID);
+            assert_eq!(ex.input[4], SEP_ID);
+            assert_eq!(ex.targets[0], IGNORE_INDEX);
+            assert_eq!(ex.targets[4], IGNORE_INDEX);
+        }
+    }
+
+    #[test]
+    fn q_one_masks_all_ordinary() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ids = vec![CLS_ID, 10, 11, SEP_ID];
+        let ex = mask_tokens(&mut rng, &ids, 1.0, 100);
+        assert_eq!(ex.masked_count(), 2);
+        assert_eq!(ex.targets[1], 10);
+        assert_eq!(ex.targets[2], 11);
+    }
+
+    #[test]
+    fn q_zero_masks_nothing() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ids = vec![CLS_ID, 10, 11, SEP_ID];
+        let ex = mask_tokens(&mut rng, &ids, 0.0, 100);
+        assert_eq!(ex.input, ids);
+        assert_eq!(ex.masked_count(), 0);
+    }
+
+    #[test]
+    fn eighty_ten_ten_split() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ids: Vec<u32> = (10..1010).collect();
+        let ex = mask_tokens(&mut rng, &ids, 1.0, 2000);
+        let masked = ex.input.iter().filter(|&&t| t == MASK_ID).count();
+        let kept = ex
+            .input
+            .iter()
+            .zip(&ids)
+            .filter(|(a, b)| a == b)
+            .count();
+        // 80% mask / ~10% kept; random replacement may coincide rarely.
+        assert!((750..850).contains(&masked), "mask count {masked}");
+        assert!((70..140).contains(&kept), "kept count {kept}");
+    }
+
+    #[test]
+    fn masking_rate_tracks_q() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ids: Vec<u32> = (10..2010).collect();
+        let ex = mask_tokens(&mut rng, &ids, 0.15, 4000);
+        let rate = ex.masked_count() as f64 / 2000.0;
+        assert!((0.10..0.20).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn dynamic_masking_differs_between_draws() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let ids: Vec<u32> = (10..60).collect();
+        let a = mask_tokens(&mut rng, &ids, 0.3, 100);
+        let b = mask_tokens(&mut rng, &ids, 0.3, 100);
+        assert_ne!(a, b, "masking should be re-drawn each call");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_q_panics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = mask_tokens(&mut rng, &[10], 1.5, 100);
+    }
+}

@@ -1,0 +1,291 @@
+//! Optimizers: AdamW (used by the paper for head tuning) and plain SGD.
+
+use crate::param::Param;
+use linalg::Matrix;
+
+/// A gradient-descent optimizer.
+///
+/// Parameters are walked through a visitor so that composite models
+/// (encoder + head) can be stepped together without collecting mutable
+/// references. The visit order must be identical every step — layers'
+/// `visit_params` methods guarantee this — because per-parameter state is
+/// matched positionally.
+pub trait Optimizer {
+    /// Performs one update. `visit` must call the supplied callback once
+    /// per parameter, in a stable order.
+    fn step_visit(&mut self, visit: &mut dyn FnMut(&mut dyn FnMut(&mut Param)));
+
+    /// Convenience wrapper for a flat parameter list.
+    fn step(&mut self, params: &mut [&mut Param]) {
+        self.step_visit(&mut |f| {
+            for p in params.iter_mut() {
+                f(p);
+            }
+        });
+    }
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the learning rate (for warmup/decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// AdamW: Adam with decoupled weight decay. The paper tunes its
+/// classification head "with a learning rate of 5e-5 … using AdamW".
+#[derive(Debug, Clone)]
+pub struct AdamW {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    moments: Vec<(Matrix, Matrix)>,
+}
+
+impl AdamW {
+    /// Creates AdamW with the standard betas (0.9, 0.999) and the given
+    /// learning rate and weight decay.
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        AdamW {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+            moments: Vec::new(),
+        }
+    }
+
+    /// The paper's head-tuning setting: lr 5e-5, decay 0.01.
+    pub fn paper_default() -> Self {
+        AdamW::new(5e-5, 0.01)
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for AdamW {
+    fn step_visit(&mut self, visit: &mut dyn FnMut(&mut dyn FnMut(&mut Param))) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (beta1, beta2, eps, lr, wd) =
+            (self.beta1, self.beta2, self.eps, self.lr, self.weight_decay);
+        let moments = &mut self.moments;
+        let first_step = self.t == 1;
+        let mut index = 0usize;
+        visit(&mut |p: &mut Param| {
+            if index == moments.len() {
+                assert!(
+                    first_step,
+                    "parameter set must stay fixed across optimizer steps"
+                );
+                moments.push((
+                    Matrix::zeros(p.value.rows(), p.value.cols()),
+                    Matrix::zeros(p.value.rows(), p.value.cols()),
+                ));
+            }
+            let (m, v) = &mut moments[index];
+            assert_eq!(p.value.shape(), m.shape(), "parameter shape changed");
+            let g = p.grad.as_slice();
+            let ms = m.as_mut_slice();
+            let vs = v.as_mut_slice();
+            let w = p.value.as_mut_slice();
+            for i in 0..g.len() {
+                ms[i] = beta1 * ms[i] + (1.0 - beta1) * g[i];
+                vs[i] = beta2 * vs[i] + (1.0 - beta2) * g[i] * g[i];
+                let mhat = ms[i] / bc1;
+                let vhat = vs[i] / bc2;
+                // Decoupled decay applies to the weight, not the grad.
+                w[i] -= lr * (mhat / (vhat.sqrt() + eps) + wd * w[i]);
+            }
+            index += 1;
+        });
+        assert_eq!(
+            index,
+            moments.len(),
+            "parameter set must stay fixed across optimizer steps"
+        );
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Plain stochastic gradient descent, optionally with momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Matrix>,
+    stepped: bool,
+}
+
+impl Sgd {
+    /// Creates SGD.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+            stepped: false,
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step_visit(&mut self, visit: &mut dyn FnMut(&mut dyn FnMut(&mut Param))) {
+        let (lr, momentum) = (self.lr, self.momentum);
+        let velocity = &mut self.velocity;
+        let first_step = !self.stepped;
+        self.stepped = true;
+        let mut index = 0usize;
+        visit(&mut |p: &mut Param| {
+            if index == velocity.len() {
+                assert!(
+                    first_step,
+                    "parameter set must stay fixed across optimizer steps"
+                );
+                velocity.push(Matrix::zeros(p.value.rows(), p.value.cols()));
+            }
+            let v = &mut velocity[index];
+            let g = p.grad.as_slice();
+            let vs = v.as_mut_slice();
+            let w = p.value.as_mut_slice();
+            for i in 0..g.len() {
+                vs[i] = momentum * vs[i] + g[i];
+                w[i] -= lr * vs[i];
+            }
+            index += 1;
+        });
+        assert_eq!(
+            index,
+            velocity.len(),
+            "parameter set must stay fixed across optimizer steps"
+        );
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(w) = ½(w − 3)² from w = 0.
+    fn quadratic_descent(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut p = Param::new(Matrix::zeros(1, 1));
+        for _ in 0..steps {
+            p.zero_grad();
+            p.grad[(0, 0)] = p.value[(0, 0)] - 3.0;
+            opt.step(&mut [&mut p]);
+        }
+        p.value[(0, 0)]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let w = quadratic_descent(&mut opt, 200);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::new(0.05, 0.9);
+        let w = quadratic_descent(&mut opt, 300);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adamw_converges_on_quadratic() {
+        let mut opt = AdamW::new(0.05, 0.0);
+        let w = quadratic_descent(&mut opt, 800);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        // With zero gradient, AdamW must still decay weights.
+        let mut p = Param::new(Matrix::full(1, 1, 1.0));
+        let mut opt = AdamW::new(0.1, 0.5);
+        for _ in 0..10 {
+            p.zero_grad();
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value[(0, 0)] < 0.7, "decay did not shrink weight");
+    }
+
+    #[test]
+    fn learning_rate_is_adjustable() {
+        let mut opt = AdamW::new(0.1, 0.0);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    fn step_counter_advances() {
+        let mut opt = AdamW::new(0.1, 0.0);
+        let mut p = Param::new(Matrix::zeros(2, 2));
+        opt.step(&mut [&mut p]);
+        opt.step(&mut [&mut p]);
+        assert_eq!(opt.steps(), 2);
+    }
+
+    #[test]
+    fn visitor_step_matches_slice_step() {
+        let run = |use_visitor: bool| -> f32 {
+            let mut opt = AdamW::new(0.05, 0.0);
+            let mut p = Param::new(Matrix::zeros(1, 1));
+            for _ in 0..50 {
+                p.zero_grad();
+                p.grad[(0, 0)] = p.value[(0, 0)] - 2.0;
+                if use_visitor {
+                    opt.step_visit(&mut |f| f(&mut p));
+                } else {
+                    opt.step(&mut [&mut p]);
+                }
+            }
+            p.value[(0, 0)]
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter set must stay fixed")]
+    fn shrinking_param_count_panics() {
+        let mut opt = AdamW::new(0.1, 0.0);
+        let mut a = Param::new(Matrix::zeros(1, 1));
+        let mut b = Param::new(Matrix::zeros(1, 1));
+        opt.step(&mut [&mut a, &mut b]);
+        opt.step(&mut [&mut a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter set must stay fixed")]
+    fn growing_param_count_panics() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let mut a = Param::new(Matrix::zeros(1, 1));
+        let mut b = Param::new(Matrix::zeros(1, 1));
+        opt.step(&mut [&mut a]);
+        opt.step(&mut [&mut a, &mut b]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Trainable parameter: value + accumulated gradient.
+
+use linalg::Matrix;
+
+/// A parameter tensor and its gradient accumulator.
+///
+/// Layers expose their parameters through `visit_params`-style methods so
+/// optimizers can walk them in a stable order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Matrix,
+}
+
+impl Param {
+    /// Wraps a value with a zero gradient.
+    pub fn new(value: Matrix) -> Self {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        Param { value, grad }
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.as_mut_slice().fill(0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.as_slice().len()
+    }
+
+    /// `true` if the tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.as_slice().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Matrix::full(2, 3, 1.5));
+        assert_eq!(p.grad, Matrix::zeros(2, 3));
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Matrix::zeros(2, 2));
+        p.grad = Matrix::full(2, 2, 3.0);
+        p.zero_grad();
+        assert!(p.grad.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,325 @@
+//! Abstract syntax tree for parsed command lines.
+//!
+//! The tree mirrors what the paper needs from `bashlex`: a structure of
+//! command nodes from which command *names*, *flags* and *arguments* can
+//! be separated (Section II-A).
+
+use crate::token::{Operator, Word};
+use serde::{Deserialize, Serialize};
+
+/// A variable assignment prefix (`FOO=bar cmd …`) or a standalone
+/// assignment line (`https_proxy="http://…"`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Variable name left of `=`.
+    pub name: String,
+    /// Assigned value with quotes resolved.
+    pub value: String,
+    /// Raw source text of the whole assignment word.
+    pub raw: String,
+}
+
+/// The operator of a redirection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RedirectOp {
+    /// `<`
+    In,
+    /// `>`
+    Out,
+    /// `>>`
+    Append,
+    /// `<<` followed by a delimiter word
+    Heredoc,
+    /// `<<<` here-string
+    HereString,
+    /// `<&` duplicate input fd
+    DupIn,
+    /// `>&` duplicate output fd
+    DupOut,
+    /// `<>` open read-write
+    ReadWrite,
+    /// `>|` clobber
+    Clobber,
+}
+
+impl RedirectOp {
+    /// Converts a lexer operator into a redirect operator, if it is one.
+    pub fn from_operator(op: Operator) -> Option<Self> {
+        Some(match op {
+            Operator::Less => RedirectOp::In,
+            Operator::Great => RedirectOp::Out,
+            Operator::DGreat => RedirectOp::Append,
+            Operator::DLess => RedirectOp::Heredoc,
+            Operator::TLess => RedirectOp::HereString,
+            Operator::LessAnd => RedirectOp::DupIn,
+            Operator::GreatAnd => RedirectOp::DupOut,
+            Operator::LessGreat => RedirectOp::ReadWrite,
+            Operator::Clobber => RedirectOp::Clobber,
+            _ => return None,
+        })
+    }
+
+    /// Source form of the operator.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RedirectOp::In => "<",
+            RedirectOp::Out => ">",
+            RedirectOp::Append => ">>",
+            RedirectOp::Heredoc => "<<",
+            RedirectOp::HereString => "<<<",
+            RedirectOp::DupIn => "<&",
+            RedirectOp::DupOut => ">&",
+            RedirectOp::ReadWrite => "<>",
+            RedirectOp::Clobber => ">|",
+        }
+    }
+}
+
+/// A redirection attached to a command (`2>/dev/null`, `>> log`, `0>&1`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Redirect {
+    /// Explicit file descriptor, if one prefixed the operator.
+    pub fd: Option<u32>,
+    /// The redirection operator.
+    pub op: RedirectOp,
+    /// Redirection target (filename, fd number, delimiter or word).
+    pub target: Word,
+}
+
+/// A simple command: optional assignment prefixes, words, redirections.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct SimpleCommand {
+    /// `VAR=value` prefixes.
+    pub assignments: Vec<Assignment>,
+    /// Command name followed by flags and arguments, in order.
+    pub words: Vec<Word>,
+    /// Redirections in source order.
+    pub redirects: Vec<Redirect>,
+}
+
+impl SimpleCommand {
+    /// The command name: the first word, with any directory prefix kept.
+    ///
+    /// `None` for assignment-only commands such as `FOO=bar`.
+    pub fn name(&self) -> Option<&str> {
+        self.words.first().map(|w| w.text.as_str())
+    }
+
+    /// The command name with any leading path stripped
+    /// (`/usr/bin/python3` → `python3`).
+    pub fn base_name(&self) -> Option<&str> {
+        self.name().map(|n| n.rsplit('/').next().unwrap_or(n))
+    }
+
+    /// Words after the name that look like flags (`-x`, `--long`).
+    pub fn flags(&self) -> impl Iterator<Item = &Word> {
+        self.words.iter().skip(1).filter(|w| w.is_flag())
+    }
+
+    /// Words after the name that are positional arguments (not flags).
+    pub fn args(&self) -> impl Iterator<Item = &Word> {
+        self.words.iter().skip(1).filter(|w| !w.is_flag())
+    }
+}
+
+/// One element of a pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Command {
+    /// An ordinary command invocation.
+    Simple(SimpleCommand),
+    /// A `( … )` subshell.
+    Subshell(Box<Script>),
+    /// A `{ …; }` brace group.
+    Group(Box<Script>),
+}
+
+impl Command {
+    /// Returns the simple command if this node is one.
+    pub fn as_simple(&self) -> Option<&SimpleCommand> {
+        match self {
+            Command::Simple(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// A pipeline: commands joined by `|` or `|&`, optionally negated by `!`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pipeline {
+    /// `true` if the pipeline was prefixed with `!`.
+    pub negated: bool,
+    /// The commands in pipe order (at least one).
+    pub commands: Vec<Command>,
+}
+
+/// Connector between pipelines in an and-or list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Connector {
+    /// `&&`
+    AndIf,
+    /// `||`
+    OrIf,
+}
+
+impl Connector {
+    /// Source form of the connector.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Connector::AndIf => "&&",
+            Connector::OrIf => "||",
+        }
+    }
+}
+
+/// Pipelines joined by `&&`/`||`, possibly sent to the background.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AndOrList {
+    /// The first pipeline.
+    pub first: Pipeline,
+    /// Subsequent pipelines with their connectors.
+    pub rest: Vec<(Connector, Pipeline)>,
+    /// `true` if the list was terminated by `&`.
+    pub background: bool,
+}
+
+/// A full parsed command line: and-or lists separated by `;` or `&`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Script {
+    /// The lists in source order (at least one).
+    pub lists: Vec<AndOrList>,
+}
+
+impl Script {
+    /// Iterates over every [`SimpleCommand`] in the tree, depth-first and
+    /// in source order, descending into subshells and groups.
+    pub fn simple_commands(&self) -> Vec<&SimpleCommand> {
+        let mut out = Vec::new();
+        for list in &self.lists {
+            collect_pipeline(&list.first, &mut out);
+            for (_, p) in &list.rest {
+                collect_pipeline(p, &mut out);
+            }
+        }
+        out
+    }
+
+    /// All command names in the tree, in execution order.
+    ///
+    /// ```
+    /// use shell_parser::parse;
+    /// let s = parse("df -h | grep /data && echo ok")?;
+    /// assert_eq!(s.command_names(), vec!["df", "grep", "echo"]);
+    /// # Ok::<(), shell_parser::ParseError>(())
+    /// ```
+    pub fn command_names(&self) -> Vec<&str> {
+        self.simple_commands()
+            .into_iter()
+            .filter_map(|c| c.name())
+            .collect()
+    }
+
+    /// All command base names (path prefixes stripped).
+    pub fn base_names(&self) -> Vec<&str> {
+        self.simple_commands()
+            .into_iter()
+            .filter_map(|c| c.base_name())
+            .collect()
+    }
+
+    /// Total number of simple commands in the tree.
+    pub fn len(&self) -> usize {
+        self.simple_commands().len()
+    }
+
+    /// `true` if the script holds no simple commands.
+    pub fn is_empty(&self) -> bool {
+        self.simple_commands().is_empty()
+    }
+}
+
+fn collect_pipeline<'a>(p: &'a Pipeline, out: &mut Vec<&'a SimpleCommand>) {
+    for cmd in &p.commands {
+        match cmd {
+            Command::Simple(c) => out.push(c),
+            Command::Subshell(s) | Command::Group(s) => {
+                for inner in s.simple_commands() {
+                    out.push(inner);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn name_flag_arg_separation() {
+        let s = parse("masscan 10.0.0.1 -p 0-65535 --rate=1000").unwrap();
+        let cmd = s.simple_commands()[0];
+        assert_eq!(cmd.name(), Some("masscan"));
+        let flags: Vec<_> = cmd.flags().map(|w| w.text.as_str()).collect();
+        assert_eq!(flags, vec!["-p", "--rate=1000"]);
+        let args: Vec<_> = cmd.args().map(|w| w.text.as_str()).collect();
+        assert_eq!(args, vec!["10.0.0.1", "0-65535"]);
+    }
+
+    #[test]
+    fn base_name_strips_path() {
+        let s = parse("/usr/local/bin/python3 x.py").unwrap();
+        assert_eq!(s.simple_commands()[0].base_name(), Some("python3"));
+        assert_eq!(s.simple_commands()[0].name(), Some("/usr/local/bin/python3"));
+    }
+
+    #[test]
+    fn command_names_cross_pipeline_and_lists() {
+        let s = parse("curl https://a/b.sh | bash; ls && pwd").unwrap();
+        assert_eq!(s.command_names(), vec!["curl", "bash", "ls", "pwd"]);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn subshell_commands_are_collected() {
+        let s = parse("(cd /tmp && ls) | wc -l").unwrap();
+        assert_eq!(s.command_names(), vec!["cd", "ls", "wc"]);
+    }
+
+    #[test]
+    fn assignment_only_command_has_no_name() {
+        let s = parse(r#"export https_proxy="http://proxy:8080""#).unwrap();
+        // `export` is the command; the assignment-ish token is its argument.
+        assert_eq!(s.command_names(), vec!["export"]);
+        let s2 = parse("FOO=bar").unwrap();
+        assert_eq!(s2.simple_commands()[0].name(), None);
+        assert_eq!(s2.simple_commands()[0].assignments[0].name, "FOO");
+    }
+
+    #[test]
+    fn redirect_op_round_trip() {
+        for (op, s) in [
+            (RedirectOp::In, "<"),
+            (RedirectOp::Out, ">"),
+            (RedirectOp::Append, ">>"),
+            (RedirectOp::Heredoc, "<<"),
+            (RedirectOp::HereString, "<<<"),
+            (RedirectOp::DupIn, "<&"),
+            (RedirectOp::DupOut, ">&"),
+            (RedirectOp::ReadWrite, "<>"),
+            (RedirectOp::Clobber, ">|"),
+        ] {
+            assert_eq!(op.as_str(), s);
+        }
+    }
+
+    #[test]
+    fn from_operator_rejects_control_ops() {
+        assert_eq!(RedirectOp::from_operator(Operator::Pipe), None);
+        assert_eq!(
+            RedirectOp::from_operator(Operator::DGreat),
+            Some(RedirectOp::Append)
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Error types for lexing and parsing command lines.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while splitting a command line into tokens.
+///
+/// Lex errors correspond to lines that Bash itself would refuse at read
+/// time, such as an unterminated quote. In the paper's preprocessing stage
+/// such lines are dropped from further analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LexError {
+    /// A single (`'`), double (`"`) or ANSI-C (`$'`) quote was never closed.
+    UnterminatedQuote {
+        /// The quote character that was left open.
+        quote: char,
+        /// Byte offset where the quote started.
+        at: usize,
+    },
+    /// A `$(`, `` ` `` or `<(`/`>(` substitution was never closed.
+    UnterminatedSubstitution {
+        /// Byte offset where the substitution started.
+        at: usize,
+    },
+    /// A backslash appeared as the final character of the line.
+    TrailingBackslash,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexError::UnterminatedQuote { quote, at } => {
+                write!(f, "unterminated {quote} quote starting at byte {at}")
+            }
+            LexError::UnterminatedSubstitution { at } => {
+                write!(f, "unterminated substitution starting at byte {at}")
+            }
+            LexError::TrailingBackslash => write!(f, "trailing backslash at end of input"),
+        }
+    }
+}
+
+impl Error for LexError {}
+
+/// An error produced while parsing a token stream into a [`crate::Script`].
+///
+/// Parse errors correspond to syntactically invalid lines — exactly the
+/// class of data the paper's Figure 2 removes with the Bash parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The lexer rejected the input before parsing could begin.
+    Lex(LexError),
+    /// An operator appeared where a command was expected
+    /// (e.g. `| foo`, `&& bar`, `; ;`).
+    UnexpectedOperator {
+        /// Rendered form of the offending operator.
+        operator: String,
+    },
+    /// A redirection operator was not followed by a target word
+    /// (e.g. the trailing `>` lexed out of the paper's `... ->` example).
+    MissingRedirectTarget {
+        /// Rendered form of the redirection operator.
+        operator: String,
+    },
+    /// Input ended while a construct was still open (e.g. `foo &&`).
+    UnexpectedEnd,
+    /// A closing `)` or `}` had no matching opener.
+    UnbalancedGroup {
+        /// The unmatched closing delimiter.
+        delimiter: char,
+    },
+    /// A subshell or group was opened but never closed.
+    UnclosedGroup {
+        /// The opening delimiter that is missing its closer.
+        delimiter: char,
+    },
+    /// The line contained no commands at all (empty or comment-only).
+    ///
+    /// Empty lines are not *invalid* shell, but they carry no signal for
+    /// intrusion detection, so the parser reports them distinctly.
+    Empty,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "lex error: {e}"),
+            ParseError::UnexpectedOperator { operator } => {
+                write!(f, "unexpected operator `{operator}`")
+            }
+            ParseError::MissingRedirectTarget { operator } => {
+                write!(f, "redirection `{operator}` has no target")
+            }
+            ParseError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            ParseError::UnbalancedGroup { delimiter } => {
+                write!(f, "unbalanced closing `{delimiter}`")
+            }
+            ParseError::UnclosedGroup { delimiter } => {
+                write!(f, "unclosed group starting with `{delimiter}`")
+            }
+            ParseError::Empty => write!(f, "empty command line"),
+        }
+    }
+}
+
+impl Error for ParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseError::Lex(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let msgs = [
+            LexError::UnterminatedQuote { quote: '\'', at: 3 }.to_string(),
+            LexError::TrailingBackslash.to_string(),
+            ParseError::UnexpectedEnd.to_string(),
+            ParseError::Empty.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "message {m:?} ends with punctuation");
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn lex_error_converts_to_parse_error() {
+        let e: ParseError = LexError::TrailingBackslash.into();
+        assert_eq!(e, ParseError::Lex(LexError::TrailingBackslash));
+    }
+
+    #[test]
+    fn parse_error_source_chains_to_lex_error() {
+        let e: ParseError = LexError::TrailingBackslash.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&ParseError::Empty).is_none());
+    }
+}

@@ -1,0 +1,606 @@
+//! Splits a raw command line into [`Token`]s.
+//!
+//! The lexer follows Bash's word-splitting rules for a single logical
+//! line: maximal-munch operators, quoting (`'…'`, `"…"`, `\`, `$'…'`),
+//! nested command substitution (`$(…)`, `` `…` ``), process substitution
+//! (`<(…)`, `>(…)`), arithmetic/parameter expansion kept as opaque word
+//! text, and `#` comments.
+
+use crate::error::LexError;
+use crate::token::{Operator, Quoting, Token, Word};
+
+/// A streaming lexer over one command line.
+///
+/// Most callers want the convenience function [`Lexer::tokenize`]:
+///
+/// ```
+/// use shell_parser::{Lexer, Token};
+///
+/// let tokens = Lexer::tokenize("ls -la | wc -l")?;
+/// assert_eq!(tokens.len(), 5);
+/// # Ok::<(), shell_parser::LexError>(())
+/// ```
+#[derive(Debug)]
+pub struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Lexer {
+    /// Creates a lexer over `input`.
+    pub fn new(input: &str) -> Self {
+        Lexer {
+            chars: input.chars().collect(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenizes an entire command line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LexError`] for unterminated quotes or substitutions and
+    /// for a trailing backslash — lines Bash would refuse to read.
+    pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+        let mut lexer = Lexer::new(input);
+        let mut tokens = Vec::new();
+        while let Some(token) = lexer.next_token()? {
+            tokens.push(token);
+        }
+        Ok(tokens)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_blank(&mut self) {
+        while matches!(self.peek(), Some(' ') | Some('\t') | Some('\n') | Some('\r')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Produces the next token, or `None` at end of input.
+    fn next_token(&mut self) -> Result<Option<Token>, LexError> {
+        self.skip_blank();
+        let Some(c) = self.peek() else {
+            return Ok(None);
+        };
+
+        // Comments run to end of line. They can only start a token.
+        if c == '#' {
+            while self.peek().is_some() {
+                self.pos += 1;
+            }
+            return Ok(None);
+        }
+
+        // IO number: digits immediately followed by `<` or `>`.
+        if c.is_ascii_digit() {
+            if let Some(tok) = self.try_io_number() {
+                return Ok(Some(tok));
+            }
+        }
+
+        if let Some(op) = self.try_operator() {
+            return Ok(Some(Token::Op(op)));
+        }
+
+        self.lex_word().map(|w| Some(Token::Word(w)))
+    }
+
+    /// Recognizes `N<` / `N>` file-descriptor prefixes without consuming a
+    /// plain numeric word.
+    fn try_io_number(&mut self) -> Option<Token> {
+        let mut len = 0;
+        while self
+            .peek_at(len)
+            .map(|c| c.is_ascii_digit())
+            .unwrap_or(false)
+        {
+            len += 1;
+        }
+        match self.peek_at(len) {
+            Some('<') | Some('>') => {
+                let digits: String = self.chars[self.pos..self.pos + len].iter().collect();
+                let n: u32 = digits.parse().unwrap_or(u32::MAX);
+                self.pos += len;
+                Some(Token::IoNumber(n))
+            }
+            _ => None,
+        }
+    }
+
+    /// Maximal-munch operator recognition.
+    fn try_operator(&mut self) -> Option<Operator> {
+        let c = self.peek()?;
+        let next = self.peek_at(1);
+        let (op, len) = match (c, next) {
+            ('|', Some('|')) => (Operator::OrIf, 2),
+            ('|', Some('&')) => (Operator::PipeAmp, 2),
+            ('|', _) => (Operator::Pipe, 1),
+            ('&', Some('&')) => (Operator::AndIf, 2),
+            ('&', _) => (Operator::Amp, 1),
+            (';', Some(';')) => (Operator::DoubleSemi, 2),
+            (';', _) => (Operator::Semi, 1),
+            ('<', Some('<')) => {
+                if self.peek_at(2) == Some('<') {
+                    (Operator::TLess, 3)
+                } else {
+                    (Operator::DLess, 2)
+                }
+            }
+            ('<', Some('&')) => (Operator::LessAnd, 2),
+            ('<', Some('>')) => (Operator::LessGreat, 2),
+            // `<(` / `>(` are process substitutions, lexed as part of a word.
+            ('<', Some('(')) => return None,
+            ('<', _) => (Operator::Less, 1),
+            ('>', Some('>')) => (Operator::DGreat, 2),
+            ('>', Some('&')) => (Operator::GreatAnd, 2),
+            ('>', Some('|')) => (Operator::Clobber, 2),
+            ('>', Some('(')) => return None,
+            ('>', _) => (Operator::Great, 1),
+            ('(', _) => (Operator::LParen, 1),
+            (')', _) => (Operator::RParen, 1),
+            _ => return None,
+        };
+        self.pos += len;
+        Some(op)
+    }
+
+    /// Lexes one word, resolving quotes and tracking the raw source slice.
+    fn lex_word(&mut self) -> Result<Word, LexError> {
+        let start = self.pos;
+        let mut text = String::new();
+        let mut saw_quote = false;
+        let mut saw_plain = false;
+        let mut quote_style = Quoting::None;
+
+        loop {
+            let Some(c) = self.peek() else { break };
+            match c {
+                ' ' | '\t' | '\n' | '\r' => break,
+                '|' | '&' | ';' | '(' | ')' => break,
+                '<' | '>' => {
+                    // `<(...)` / `>(...)`: process substitution is word text.
+                    if self.peek_at(1) == Some('(') {
+                        let sub_start = self.pos;
+                        self.pos += 2;
+                        self.consume_until_balanced(')', sub_start)?;
+                        let raw: String = self.chars[sub_start..self.pos].iter().collect();
+                        text.push_str(&raw);
+                        saw_plain = true;
+                        continue;
+                    }
+                    break;
+                }
+                '\'' => {
+                    saw_quote = true;
+                    quote_style = merge_quote(quote_style, Quoting::Single, saw_plain);
+                    let q_start = self.pos;
+                    self.pos += 1;
+                    loop {
+                        match self.bump() {
+                            Some('\'') => break,
+                            Some(ch) => text.push(ch),
+                            None => {
+                                return Err(LexError::UnterminatedQuote {
+                                    quote: '\'',
+                                    at: q_start,
+                                })
+                            }
+                        }
+                    }
+                }
+                '"' => {
+                    saw_quote = true;
+                    quote_style = merge_quote(quote_style, Quoting::Double, saw_plain);
+                    let q_start = self.pos;
+                    self.pos += 1;
+                    loop {
+                        match self.bump() {
+                            Some('"') => break,
+                            Some('\\') => match self.bump() {
+                                // Inside double quotes, backslash only escapes
+                                // these; otherwise it is literal.
+                                Some(e @ ('"' | '\\' | '$' | '`')) => text.push(e),
+                                Some(other) => {
+                                    text.push('\\');
+                                    text.push(other);
+                                }
+                                None => {
+                                    return Err(LexError::UnterminatedQuote {
+                                        quote: '"',
+                                        at: q_start,
+                                    })
+                                }
+                            },
+                            Some('`') => {
+                                // Backquote substitution nested in quotes.
+                                text.push('`');
+                                loop {
+                                    match self.bump() {
+                                        Some('`') => {
+                                            text.push('`');
+                                            break;
+                                        }
+                                        Some(ch) => text.push(ch),
+                                        None => {
+                                            return Err(LexError::UnterminatedSubstitution {
+                                                at: q_start,
+                                            })
+                                        }
+                                    }
+                                }
+                            }
+                            Some(ch) => text.push(ch),
+                            None => {
+                                return Err(LexError::UnterminatedQuote {
+                                    quote: '"',
+                                    at: q_start,
+                                })
+                            }
+                        }
+                    }
+                }
+                '\\' => {
+                    self.pos += 1;
+                    match self.bump() {
+                        Some(escaped) => {
+                            saw_plain = true;
+                            text.push(escaped);
+                        }
+                        None => return Err(LexError::TrailingBackslash),
+                    }
+                }
+                '$' => {
+                    saw_plain = true;
+                    // `$'...'` ANSI-C quoting, `$(...)` substitution,
+                    // `${...}` parameter expansion, else literal `$`.
+                    match self.peek_at(1) {
+                        Some('\'') => {
+                            saw_quote = true;
+                            quote_style = merge_quote(quote_style, Quoting::Single, saw_plain);
+                            let q_start = self.pos;
+                            self.pos += 2;
+                            loop {
+                                match self.bump() {
+                                    Some('\'') => break,
+                                    Some('\\') => {
+                                        if let Some(e) = self.bump() {
+                                            text.push(unescape_ansi_c(e));
+                                        } else {
+                                            return Err(LexError::UnterminatedQuote {
+                                                quote: '\'',
+                                                at: q_start,
+                                            });
+                                        }
+                                    }
+                                    Some(ch) => text.push(ch),
+                                    None => {
+                                        return Err(LexError::UnterminatedQuote {
+                                            quote: '\'',
+                                            at: q_start,
+                                        })
+                                    }
+                                }
+                            }
+                        }
+                        Some('(') => {
+                            let sub_start = self.pos;
+                            self.pos += 2;
+                            self.consume_until_balanced(')', sub_start)?;
+                            let raw: String = self.chars[sub_start..self.pos].iter().collect();
+                            text.push_str(&raw);
+                        }
+                        Some('{') => {
+                            let sub_start = self.pos;
+                            self.pos += 2;
+                            self.consume_until_balanced('}', sub_start)?;
+                            let raw: String = self.chars[sub_start..self.pos].iter().collect();
+                            text.push_str(&raw);
+                        }
+                        _ => {
+                            text.push('$');
+                            self.pos += 1;
+                        }
+                    }
+                }
+                '`' => {
+                    saw_plain = true;
+                    let sub_start = self.pos;
+                    text.push('`');
+                    self.pos += 1;
+                    loop {
+                        match self.bump() {
+                            Some('`') => {
+                                text.push('`');
+                                break;
+                            }
+                            Some(ch) => text.push(ch),
+                            None => {
+                                return Err(LexError::UnterminatedSubstitution { at: sub_start })
+                            }
+                        }
+                    }
+                }
+                other => {
+                    saw_plain = true;
+                    text.push(other);
+                    self.pos += 1;
+                }
+            }
+        }
+
+        let raw: String = self.chars[start..self.pos].iter().collect();
+        let quoting = if !saw_quote {
+            Quoting::None
+        } else if saw_plain {
+            Quoting::Mixed
+        } else {
+            quote_style
+        };
+        Ok(Word { text, raw, quoting })
+    }
+
+    /// Consumes input until `closer` is found at nesting depth zero,
+    /// respecting nested parens/braces and quotes.
+    fn consume_until_balanced(&mut self, closer: char, start: usize) -> Result<(), LexError> {
+        let opener = match closer {
+            ')' => '(',
+            '}' => '{',
+            _ => unreachable!("only paren and brace groups are consumed"),
+        };
+        let mut depth = 1usize;
+        while let Some(c) = self.bump() {
+            match c {
+                c if c == opener => depth += 1,
+                c if c == closer => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(());
+                    }
+                }
+                '\'' => loop {
+                    match self.bump() {
+                        Some('\'') => break,
+                        Some(_) => {}
+                        None => return Err(LexError::UnterminatedSubstitution { at: start }),
+                    }
+                },
+                '"' => loop {
+                    match self.bump() {
+                        Some('"') => break,
+                        Some('\\') => {
+                            self.bump();
+                        }
+                        Some(_) => {}
+                        None => return Err(LexError::UnterminatedSubstitution { at: start }),
+                    }
+                },
+                '\\' => {
+                    self.bump();
+                }
+                _ => {}
+            }
+        }
+        Err(LexError::UnterminatedSubstitution { at: start })
+    }
+}
+
+fn merge_quote(current: Quoting, new: Quoting, saw_plain: bool) -> Quoting {
+    match (current, saw_plain) {
+        (Quoting::None, false) => new,
+        (q, _) if q == new => q,
+        _ => Quoting::Mixed,
+    }
+}
+
+fn unescape_ansi_c(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        'a' => '\x07',
+        'b' => '\x08',
+        'f' => '\x0c',
+        'v' => '\x0b',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(input: &str) -> Vec<String> {
+        Lexer::tokenize(input)
+            .unwrap()
+            .into_iter()
+            .filter_map(|t| t.as_word().map(|w| w.text.clone()))
+            .collect()
+    }
+
+    fn ops(input: &str) -> Vec<Operator> {
+        Lexer::tokenize(input)
+            .unwrap()
+            .into_iter()
+            .filter_map(|t| t.as_op())
+            .collect()
+    }
+
+    #[test]
+    fn simple_words() {
+        assert_eq!(words("ls -la /tmp"), vec!["ls", "-la", "/tmp"]);
+    }
+
+    #[test]
+    fn pipeline_operators() {
+        assert_eq!(
+            ops("df -h | grep x || true && false"),
+            vec![Operator::Pipe, Operator::OrIf, Operator::AndIf]
+        );
+    }
+
+    #[test]
+    fn single_quotes_preserve_everything() {
+        assert_eq!(words("echo 'a | b > c'"), vec!["echo", "a | b > c"]);
+    }
+
+    #[test]
+    fn double_quotes_resolve_escapes() {
+        assert_eq!(words(r#"echo "a\"b" "#), vec!["echo", "a\"b"]);
+        // Backslash before a non-special char stays literal.
+        assert_eq!(words(r#"echo "a\nb""#), vec!["echo", "a\\nb"]);
+    }
+
+    #[test]
+    fn backslash_escapes_outside_quotes() {
+        assert_eq!(words(r"echo a\ b"), vec!["echo", "a b"]);
+    }
+
+    #[test]
+    fn php_example_from_paper() {
+        // php -r "phpinfo();"
+        let w = words(r#"php -r "phpinfo();""#);
+        assert_eq!(w, vec!["php", "-r", "phpinfo();"]);
+    }
+
+    #[test]
+    fn io_number_redirect() {
+        let tokens = Lexer::tokenize("cmd 2>/dev/null").unwrap();
+        assert_eq!(tokens[1], Token::IoNumber(2));
+        assert_eq!(tokens[2], Token::Op(Operator::Great));
+    }
+
+    #[test]
+    fn numeric_word_is_not_io_number() {
+        let tokens = Lexer::tokenize("sleep 10").unwrap();
+        assert_eq!(tokens[1].as_word().unwrap().text, "10");
+    }
+
+    #[test]
+    fn heredoc_and_herestring_operators() {
+        assert_eq!(ops("cat << EOF"), vec![Operator::DLess]);
+        assert_eq!(ops("cat <<< hi"), vec![Operator::TLess]);
+    }
+
+    #[test]
+    fn command_substitution_kept_in_word() {
+        let w = words("echo $(date +%s)");
+        assert_eq!(w, vec!["echo", "$(date +%s)"]);
+    }
+
+    #[test]
+    fn nested_command_substitution() {
+        let w = words("echo $(echo $(date))");
+        assert_eq!(w[1], "$(echo $(date))");
+    }
+
+    #[test]
+    fn process_substitution_is_word() {
+        let w = words("diff <(ls a) <(ls b)");
+        assert_eq!(w, vec!["diff", "<(ls a)", "<(ls b)"]);
+    }
+
+    #[test]
+    fn parameter_expansion_kept() {
+        assert_eq!(words("echo ${HOME}/x"), vec!["echo", "${HOME}/x"]);
+        assert_eq!(words("echo $HOME"), vec!["echo", "$HOME"]);
+    }
+
+    #[test]
+    fn backquote_substitution() {
+        assert_eq!(words("echo `date`"), vec!["echo", "`date`"]);
+    }
+
+    #[test]
+    fn comment_terminates_lexing() {
+        assert_eq!(words("ls # trailing comment"), vec!["ls"]);
+    }
+
+    #[test]
+    fn unterminated_single_quote_errors() {
+        assert!(matches!(
+            Lexer::tokenize("echo 'oops"),
+            Err(LexError::UnterminatedQuote { quote: '\'', .. })
+        ));
+    }
+
+    #[test]
+    fn unterminated_double_quote_errors() {
+        assert!(matches!(
+            Lexer::tokenize("echo \"oops"),
+            Err(LexError::UnterminatedQuote { quote: '"', .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_backslash_errors() {
+        assert_eq!(Lexer::tokenize("echo a\\"), Err(LexError::TrailingBackslash));
+    }
+
+    #[test]
+    fn unterminated_substitution_errors() {
+        assert!(matches!(
+            Lexer::tokenize("echo $(date"),
+            Err(LexError::UnterminatedSubstitution { .. })
+        ));
+    }
+
+    #[test]
+    fn dash_then_redirect_splits() {
+        // `->` is a dash word followed by `>` — the lexing behind the
+        // paper's invalid-redirection example.
+        let tokens = Lexer::tokenize("a -> b").unwrap();
+        assert_eq!(tokens[1].as_word().unwrap().text, "-");
+        assert_eq!(tokens[2], Token::Op(Operator::Great));
+    }
+
+    #[test]
+    fn ansi_c_quoting() {
+        assert_eq!(words(r"echo $'a\tb'"), vec!["echo", "a\tb"]);
+    }
+
+    #[test]
+    fn quoting_classification() {
+        let t = Lexer::tokenize("echo 'x' \"y\" z'w'").unwrap();
+        assert_eq!(t[1].as_word().unwrap().quoting, Quoting::Single);
+        assert_eq!(t[2].as_word().unwrap().quoting, Quoting::Double);
+        assert_eq!(t[3].as_word().unwrap().quoting, Quoting::Mixed);
+    }
+
+    #[test]
+    fn empty_input_yields_no_tokens() {
+        assert!(Lexer::tokenize("").unwrap().is_empty());
+        assert!(Lexer::tokenize("   \t ").unwrap().is_empty());
+        assert!(Lexer::tokenize("# only a comment").unwrap().is_empty());
+    }
+
+    #[test]
+    fn pipe_amp_and_clobber() {
+        assert_eq!(ops("a |& b"), vec![Operator::PipeAmp]);
+        assert_eq!(ops("a >| f"), vec![Operator::Clobber]);
+    }
+
+    #[test]
+    fn subshell_parens_are_operators() {
+        assert_eq!(
+            ops("(ls)"),
+            vec![Operator::LParen, Operator::RParen]
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! A Bash command-line lexer and parser.
+//!
+//! This crate is the workspace's substitute for the Python
+//! [`bashlex`](https://github.com/idank/bashlex) library used by the paper
+//! *"Intrusion Detection at Scale with the Assistance of a Command-line
+//! Language Model"* (DSN 2024) to pre-process logged command lines
+//! (Section II-A, Figure 2). It converts a raw command line into a tree of
+//! command nodes, separating **command names** from **flags** and
+//! **arguments**, and it rejects lines that Bash itself could never execute
+//! (e.g. the paper's `/*/*/* -> /*/*/* ->` example, whose dangling
+//! redirection operator makes it unparseable).
+//!
+//! # Example
+//!
+//! ```
+//! use shell_parser::parse;
+//!
+//! let script = parse("curl https://x/a.sh | bash")?;
+//! let names = script.command_names();
+//! assert_eq!(names, vec!["curl", "bash"]);
+//! # Ok::<(), shell_parser::ParseError>(())
+//! ```
+//!
+//! The grammar covered is the subset of POSIX shell + common Bash that
+//! matters for intrusion-detection preprocessing: simple commands,
+//! assignments, pipelines (`|`, `|&`), and-or lists (`&&`, `||`),
+//! sequencing (`;`, `&`, newline), redirections (including fd-prefixed and
+//! here-strings), subshells, brace groups, quoting (single, double,
+//! backslash, `$'..'`), command/process substitution and comments.
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod normalize;
+pub mod parser;
+pub mod token;
+pub mod validate;
+
+pub use ast::{
+    Assignment, Command, Connector, Pipeline, Redirect, RedirectOp, Script, SimpleCommand,
+};
+pub use error::{LexError, ParseError};
+pub use lexer::Lexer;
+pub use normalize::{mask_arguments, render};
+pub use parser::{parse, Parser};
+pub use token::{Operator, Quoting, Token, Word};
+pub use validate::{classify, LineClass};

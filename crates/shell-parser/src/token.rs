@@ -1,0 +1,266 @@
+//! Token types produced by the [lexer](crate::lexer).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a word was quoted in the original input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Quoting {
+    /// No quoting at all (`foo`).
+    None,
+    /// Entirely single-quoted (`'foo'`).
+    Single,
+    /// Entirely double-quoted (`"foo"`).
+    Double,
+    /// A mix of quoted and unquoted segments (`fo'o'"x"`).
+    Mixed,
+}
+
+impl Default for Quoting {
+    fn default() -> Self {
+        Quoting::None
+    }
+}
+
+/// A shell word: the unquoted text plus the raw source slice.
+///
+/// `text` has quotes and backslash escapes resolved; `raw` is the exact
+/// substring of the input, which the normalizer uses for faithful
+/// re-rendering.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Word {
+    /// Unquoted, unescaped text of the word.
+    pub text: String,
+    /// Exact source characters including quotes.
+    pub raw: String,
+    /// Quote style observed for the word.
+    pub quoting: Quoting,
+}
+
+impl Word {
+    /// Creates an unquoted word whose `raw` equals its `text`.
+    pub fn plain(text: impl Into<String>) -> Self {
+        let text = text.into();
+        Word {
+            raw: text.clone(),
+            text,
+            quoting: Quoting::None,
+        }
+    }
+
+    /// Returns `true` if the word looks like a command-line flag
+    /// (`-v`, `--rate=1000`), i.e. starts with `-` and is not just `-`.
+    ///
+    /// Quoted words are never flags: `"-x"` passed as data stays data.
+    pub fn is_flag(&self) -> bool {
+        self.quoting == Quoting::None && self.text.len() > 1 && self.text.starts_with('-')
+    }
+
+    /// Returns `true` if the word contains glob metacharacters (`*?[`).
+    pub fn has_glob(&self) -> bool {
+        self.quoting == Quoting::None && self.text.chars().any(|c| matches!(c, '*' | '?' | '['))
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+/// A shell control operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operator {
+    /// `|`
+    Pipe,
+    /// `|&` (pipe stdout+stderr)
+    PipeAmp,
+    /// `&&`
+    AndIf,
+    /// `||`
+    OrIf,
+    /// `;`
+    Semi,
+    /// `;;` (case terminator; treated as a sequencing error outside `case`)
+    DoubleSemi,
+    /// `&`
+    Amp,
+    /// `<`
+    Less,
+    /// `>`
+    Great,
+    /// `>>`
+    DGreat,
+    /// `<<` (heredoc)
+    DLess,
+    /// `<<<` (here-string)
+    TLess,
+    /// `<&`
+    LessAnd,
+    /// `>&`
+    GreatAnd,
+    /// `<>`
+    LessGreat,
+    /// `>|`
+    Clobber,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+}
+
+impl Operator {
+    /// Returns `true` for operators that begin a redirection.
+    pub fn is_redirect(self) -> bool {
+        matches!(
+            self,
+            Operator::Less
+                | Operator::Great
+                | Operator::DGreat
+                | Operator::DLess
+                | Operator::TLess
+                | Operator::LessAnd
+                | Operator::GreatAnd
+                | Operator::LessGreat
+                | Operator::Clobber
+        )
+    }
+
+    /// The literal source text of the operator.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Operator::Pipe => "|",
+            Operator::PipeAmp => "|&",
+            Operator::AndIf => "&&",
+            Operator::OrIf => "||",
+            Operator::Semi => ";",
+            Operator::DoubleSemi => ";;",
+            Operator::Amp => "&",
+            Operator::Less => "<",
+            Operator::Great => ">",
+            Operator::DGreat => ">>",
+            Operator::DLess => "<<",
+            Operator::TLess => "<<<",
+            Operator::LessAnd => "<&",
+            Operator::GreatAnd => ">&",
+            Operator::LessGreat => "<>",
+            Operator::Clobber => ">|",
+            Operator::LParen => "(",
+            Operator::RParen => ")",
+        }
+    }
+}
+
+impl fmt::Display for Operator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One lexical token of a command line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Token {
+    /// A word (command name, flag, argument, assignment, …).
+    Word(Word),
+    /// A control or redirection operator.
+    Op(Operator),
+    /// A file-descriptor number immediately preceding a redirection
+    /// (the `2` of `2>/dev/null`).
+    IoNumber(u32),
+}
+
+impl Token {
+    /// Returns the contained word, if this token is a word.
+    pub fn as_word(&self) -> Option<&Word> {
+        match self {
+            Token::Word(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained operator, if this token is an operator.
+    pub fn as_op(&self) -> Option<Operator> {
+        match self {
+            Token::Op(op) => Some(*op),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Word(w) => w.fmt(f),
+            Token::Op(op) => op.fmt(f),
+            Token::IoNumber(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_word_has_matching_raw() {
+        let w = Word::plain("ls");
+        assert_eq!(w.text, "ls");
+        assert_eq!(w.raw, "ls");
+        assert_eq!(w.quoting, Quoting::None);
+    }
+
+    #[test]
+    fn flag_detection() {
+        assert!(Word::plain("-v").is_flag());
+        assert!(Word::plain("--rate=1000").is_flag());
+        assert!(!Word::plain("-").is_flag());
+        assert!(!Word::plain("ls").is_flag());
+        let quoted = Word {
+            text: "-x".into(),
+            raw: "'-x'".into(),
+            quoting: Quoting::Single,
+        };
+        assert!(!quoted.is_flag());
+    }
+
+    #[test]
+    fn glob_detection() {
+        assert!(Word::plain("*.sh").has_glob());
+        assert!(Word::plain("a?b").has_glob());
+        assert!(!Word::plain("plain").has_glob());
+    }
+
+    #[test]
+    fn operator_strings_round_trip() {
+        for op in [
+            Operator::Pipe,
+            Operator::PipeAmp,
+            Operator::AndIf,
+            Operator::OrIf,
+            Operator::Semi,
+            Operator::DoubleSemi,
+            Operator::Amp,
+            Operator::Less,
+            Operator::Great,
+            Operator::DGreat,
+            Operator::DLess,
+            Operator::TLess,
+            Operator::LessAnd,
+            Operator::GreatAnd,
+            Operator::LessGreat,
+            Operator::Clobber,
+            Operator::LParen,
+            Operator::RParen,
+        ] {
+            assert_eq!(format!("{op}"), op.as_str());
+        }
+    }
+
+    #[test]
+    fn redirect_classification() {
+        assert!(Operator::Great.is_redirect());
+        assert!(Operator::TLess.is_redirect());
+        assert!(!Operator::Pipe.is_redirect());
+        assert!(!Operator::LParen.is_redirect());
+    }
+}

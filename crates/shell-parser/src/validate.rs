@@ -1,0 +1,104 @@
+//! Line classification for the paper's preprocessing stage (Figure 2).
+//!
+//! The paper removes command lines that "cannot be successfully executed
+//! by the system": syntactically invalid lines caught by the parser, and
+//! lines whose command name is not on a list of concerned commands (typos
+//! such as `dcoker`/`chdmod` that parse fine but never execute).
+//! [`classify`] performs the parser half; the frequency-filter half lives
+//! in the `cmdline-ids` crate, which owns the corpus statistics.
+
+use crate::ast::Script;
+use crate::error::ParseError;
+use crate::parser::parse;
+
+/// The outcome of parsing one logged command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineClass {
+    /// The line parses; the script is returned for downstream use.
+    Valid(Script),
+    /// The line is empty or comment-only — no signal, dropped.
+    Empty,
+    /// The line is syntactically invalid (the parse error says why).
+    Invalid(ParseError),
+}
+
+impl LineClass {
+    /// `true` if the line should be kept for model training/inference.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, LineClass::Valid(_))
+    }
+
+    /// Extracts the script if the line was valid.
+    pub fn into_script(self) -> Option<Script> {
+        match self {
+            LineClass::Valid(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Classifies a raw logged line as valid, empty or invalid.
+///
+/// ```
+/// use shell_parser::{classify, LineClass};
+///
+/// assert!(classify("python main.py").is_valid());
+/// assert!(matches!(classify(""), LineClass::Empty));
+/// assert!(matches!(classify("/*/*/* -> /*/*/* ->"), LineClass::Invalid(_)));
+/// ```
+pub fn classify(line: &str) -> LineClass {
+    match parse(line) {
+        Ok(script) => LineClass::Valid(script),
+        Err(ParseError::Empty) => LineClass::Empty,
+        Err(e) => LineClass::Invalid(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_examples() {
+        // Lines the paper keeps.
+        for line in [
+            r#"php -r "phpinfo();""#,
+            "python main.py",
+            "vim ~/.bashrc",
+            "curl https://h/a.sh | bash",
+            r#"df -h | grep "/data/x""#,
+            // Typos that *parse* but are filtered later by frequency:
+            "dcoker attach --sig-proxy=false c1",
+            "chdmod +x install.sh",
+        ] {
+            assert!(classify(line).is_valid(), "should parse: {line}");
+        }
+        // The line the paper's parser removes.
+        assert!(matches!(
+            classify("/*/*/* -> /*/*/* ->"),
+            LineClass::Invalid(ParseError::MissingRedirectTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_variants() {
+        assert!(matches!(classify(""), LineClass::Empty));
+        assert!(matches!(classify("  \t "), LineClass::Empty));
+        assert!(matches!(classify("# comment"), LineClass::Empty));
+    }
+
+    #[test]
+    fn unterminated_quote_is_invalid() {
+        assert!(matches!(
+            classify("echo 'oops"),
+            LineClass::Invalid(ParseError::Lex(_))
+        ));
+    }
+
+    #[test]
+    fn into_script_returns_tree() {
+        let script = classify("ls -la").into_script().unwrap();
+        assert_eq!(script.command_names(), vec!["ls"]);
+        assert!(classify("").into_script().is_none());
+    }
+}

