@@ -1,0 +1,509 @@
+//! The unified `Detector` abstraction the scoring engine is built on.
+//!
+//! Every scoring method in the paper — the Section III unsupervised
+//! detectors and the Section IV supervised ones — reduces to the same
+//! contract: *fit on a labeled embedded training set, then score an
+//! embedded test set, higher = more suspicious*. [`Detector`] captures
+//! that contract; `cmdline_ids::engine::ScoringEngine` drives a set of
+//! boxed detectors over one shared [`EmbeddingView`] so the encoder
+//! runs once per line set instead of once per method.
+//!
+//! An [`EmbeddingView`] pairs the embedded matrix with the source
+//! lines. Most detectors only read the matrix; detectors that tune the
+//! backbone itself (reconstruction-based tuning) read the lines and
+//! re-embed under their own updated encoder, which is inherent to the
+//! method rather than a cache miss.
+
+use crate::{IsolationForest, OneClassSvm, PcaDetector, RetrievalDetector, VanillaKnn};
+use linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// A line set together with its embedding matrix (one row per line).
+///
+/// Cheap to clone: both halves are shared. A view may also be
+/// *lines-only* ([`EmbeddingView::lines_only`]) for driving methods
+/// that never read the matrix — multi-line classification and
+/// reconstruction tuning — without paying an encoder pass.
+#[derive(Debug, Clone)]
+pub struct EmbeddingView {
+    lines: Arc<[String]>,
+    matrix: Option<Arc<Matrix>>,
+}
+
+impl EmbeddingView {
+    /// Pairs `lines` with their embeddings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row count does not match the line count.
+    pub fn new(lines: Vec<String>, matrix: Matrix) -> Self {
+        assert_eq!(
+            lines.len(),
+            matrix.rows(),
+            "one embedding row per line required"
+        );
+        EmbeddingView {
+            lines: lines.into(),
+            matrix: Some(Arc::new(matrix)),
+        }
+    }
+
+    /// A view over embeddings with no retained source lines (for
+    /// detectors and tests that operate purely in embedding space).
+    pub fn from_matrix(matrix: Matrix) -> Self {
+        EmbeddingView {
+            lines: Arc::from(Vec::new()),
+            matrix: Some(Arc::new(matrix)),
+        }
+    }
+
+    /// A view over source lines with no embeddings — for engine runs
+    /// whose every registered detector reports
+    /// [`Detector::wants_embeddings`]` == false`.
+    pub fn lines_only(lines: Vec<String>) -> Self {
+        EmbeddingView {
+            lines: lines.into(),
+            matrix: None,
+        }
+    }
+
+    /// The source lines (empty if constructed via
+    /// [`EmbeddingView::from_matrix`]).
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// The `(n, hidden)` embedding matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a lines-only view: a detector reading the matrix
+    /// must report [`Detector::wants_embeddings`]` == true` so the
+    /// engine embeds before fitting.
+    pub fn matrix(&self) -> &Matrix {
+        self.matrix.as_deref().expect(
+            "lines-only EmbeddingView has no matrix (detector should report wants_embeddings)",
+        )
+    }
+
+    /// Whether this view carries an embedding matrix.
+    pub fn has_matrix(&self) -> bool {
+        self.matrix.is_some()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        match &self.matrix {
+            Some(m) => m.rows(),
+            None => self.lines.len(),
+        }
+    }
+
+    /// Whether the view holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Why fitting a detector failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectorError {
+    /// The training view holds no samples.
+    EmptyTrainingSet,
+    /// Label count disagrees with the embedding count.
+    LabelMismatch {
+        /// Embedded sample count.
+        embeddings: usize,
+        /// Label count.
+        labels: usize,
+    },
+    /// The method needs at least one positive label and got none.
+    NoPositiveLabels,
+    /// The training view was built without source lines but the method
+    /// needs them (it embeds under its own tuned encoder).
+    MissingLines,
+}
+
+impl std::fmt::Display for DetectorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DetectorError::EmptyTrainingSet => write!(f, "no training samples to fit on"),
+            DetectorError::LabelMismatch { embeddings, labels } => write!(
+                f,
+                "one label per embedding required: {embeddings} embeddings, {labels} labels"
+            ),
+            DetectorError::NoPositiveLabels => {
+                write!(f, "method needs at least one positive (alerted) label")
+            }
+            DetectorError::MissingLines => {
+                write!(
+                    f,
+                    "method needs the view's source lines, but none were retained"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DetectorError {}
+
+/// A fittable, batch-scoring detection method.
+pub trait Detector: Send {
+    /// Stable method name (used for registration, reporting, fusion).
+    fn name(&self) -> &str;
+
+    /// Fits on an embedded training set with supervision labels
+    /// (`labels[i] = true` means the supervision source alerted on
+    /// sample `i`). Unsupervised methods ignore the labels.
+    fn fit(&mut self, train: &EmbeddingView, labels: &[bool]) -> Result<(), DetectorError>;
+
+    /// Scores every sample of the view; higher = more suspicious.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called before a successful [`Detector::fit`].
+    fn score_batch(&self, test: &EmbeddingView) -> Vec<f32>;
+
+    /// Whether this method reads the views' embedding matrices. When
+    /// every registered detector returns `false`, an engine may hand
+    /// out lines-only views and skip the encoder entirely.
+    fn wants_embeddings(&self) -> bool {
+        true
+    }
+
+    /// Whether `score_batch`'s output is aligned one-to-one with the
+    /// test view's samples. Stream-structured methods (e.g. window
+    /// deduplication) return `false`, which excludes them from
+    /// whole-run score fusion — their positions index different
+    /// samples even when the counts happen to coincide.
+    fn test_aligned(&self) -> bool {
+        true
+    }
+}
+
+/// Shared fit-input validation: non-empty training view, one label
+/// per embedded sample. Detector implementations (here and in
+/// `cmdline_ids::engine`) call this first.
+pub fn check_labels(train: &EmbeddingView, labels: &[bool]) -> Result<(), DetectorError> {
+    if train.is_empty() {
+        return Err(DetectorError::EmptyTrainingSet);
+    }
+    if train.len() != labels.len() {
+        return Err(DetectorError::LabelMismatch {
+            embeddings: train.len(),
+            labels: labels.len(),
+        });
+    }
+    Ok(())
+}
+
+/// [`PcaDetector`] (paper Eq. 1) behind the [`Detector`] trait;
+/// unsupervised, labels ignored.
+#[derive(Debug, Clone)]
+pub struct PcaMethod {
+    variance_ratio: f32,
+    fitted: Option<PcaDetector>,
+}
+
+impl PcaMethod {
+    /// Keeps components for `variance_ratio` of the variance (the paper
+    /// keeps 95%).
+    pub fn new(variance_ratio: f32) -> Self {
+        PcaMethod {
+            variance_ratio,
+            fitted: None,
+        }
+    }
+
+    /// The fitted inner detector, if any.
+    pub fn inner(&self) -> Option<&PcaDetector> {
+        self.fitted.as_ref()
+    }
+}
+
+impl Detector for PcaMethod {
+    fn name(&self) -> &str {
+        "pca"
+    }
+
+    fn fit(&mut self, train: &EmbeddingView, labels: &[bool]) -> Result<(), DetectorError> {
+        check_labels(train, labels)?;
+        self.fitted = Some(PcaDetector::fit(train.matrix(), self.variance_ratio));
+        Ok(())
+    }
+
+    fn score_batch(&self, test: &EmbeddingView) -> Vec<f32> {
+        self.fitted
+            .as_ref()
+            .expect("PcaMethod must be fitted before scoring")
+            .score_all(test.matrix())
+    }
+}
+
+/// [`IsolationForest`] behind the [`Detector`] trait; unsupervised.
+#[derive(Debug, Clone)]
+pub struct IsolationForestMethod {
+    trees: usize,
+    max_samples: usize,
+    seed: u64,
+    fitted: Option<IsolationForest>,
+}
+
+impl IsolationForestMethod {
+    /// `trees` isolation trees over subsamples of `max_samples` rows;
+    /// `seed` makes fitting deterministic.
+    pub fn new(trees: usize, max_samples: usize, seed: u64) -> Self {
+        IsolationForestMethod {
+            trees,
+            max_samples,
+            seed,
+            fitted: None,
+        }
+    }
+}
+
+impl Detector for IsolationForestMethod {
+    fn name(&self) -> &str {
+        "iforest"
+    }
+
+    fn fit(&mut self, train: &EmbeddingView, labels: &[bool]) -> Result<(), DetectorError> {
+        check_labels(train, labels)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.fitted = Some(IsolationForest::fit(
+            &mut rng,
+            train.matrix(),
+            self.trees,
+            self.max_samples,
+        ));
+        Ok(())
+    }
+
+    fn score_batch(&self, test: &EmbeddingView) -> Vec<f32> {
+        self.fitted
+            .as_ref()
+            .expect("IsolationForestMethod must be fitted before scoring")
+            .score_all(test.matrix())
+    }
+}
+
+/// [`OneClassSvm`] behind the [`Detector`] trait; unsupervised.
+#[derive(Debug, Clone)]
+pub struct OneClassSvmMethod {
+    nu: f32,
+    epochs: usize,
+    seed: u64,
+    fitted: Option<OneClassSvm>,
+}
+
+impl OneClassSvmMethod {
+    /// Linear one-class SVM with margin parameter `nu`, trained for
+    /// `epochs` passes; `seed` makes fitting deterministic.
+    pub fn new(nu: f32, epochs: usize, seed: u64) -> Self {
+        OneClassSvmMethod {
+            nu,
+            epochs,
+            seed,
+            fitted: None,
+        }
+    }
+}
+
+impl Detector for OneClassSvmMethod {
+    fn name(&self) -> &str {
+        "ocsvm"
+    }
+
+    fn fit(&mut self, train: &EmbeddingView, labels: &[bool]) -> Result<(), DetectorError> {
+        check_labels(train, labels)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.fitted = Some(OneClassSvm::fit(
+            &mut rng,
+            train.matrix(),
+            self.nu,
+            self.epochs,
+        ));
+        Ok(())
+    }
+
+    fn score_batch(&self, test: &EmbeddingView) -> Vec<f32> {
+        self.fitted
+            .as_ref()
+            .expect("OneClassSvmMethod must be fitted before scoring")
+            .score_all(test.matrix())
+    }
+}
+
+/// The paper's retrieval method ([`RetrievalDetector`], Section IV-D)
+/// behind the [`Detector`] trait; needs positive labels.
+#[derive(Debug, Clone)]
+pub struct RetrievalMethod {
+    k: usize,
+    fitted: Option<RetrievalDetector>,
+}
+
+impl RetrievalMethod {
+    /// Mean similarity to the `k` nearest malicious exemplars (the
+    /// paper uses `k = 1`).
+    pub fn new(k: usize) -> Self {
+        RetrievalMethod { k, fitted: None }
+    }
+
+    /// Number of indexed malicious exemplars (after fitting).
+    pub fn n_exemplars(&self) -> Option<usize> {
+        self.fitted.as_ref().map(RetrievalDetector::n_exemplars)
+    }
+}
+
+impl Detector for RetrievalMethod {
+    fn name(&self) -> &str {
+        "retrieval"
+    }
+
+    fn fit(&mut self, train: &EmbeddingView, labels: &[bool]) -> Result<(), DetectorError> {
+        check_labels(train, labels)?;
+        if !labels.iter().any(|&y| y) {
+            return Err(DetectorError::NoPositiveLabels);
+        }
+        self.fitted = Some(RetrievalDetector::fit(train.matrix(), labels, self.k));
+        Ok(())
+    }
+
+    fn score_batch(&self, test: &EmbeddingView) -> Vec<f32> {
+        self.fitted
+            .as_ref()
+            .expect("RetrievalMethod must be fitted before scoring")
+            .score_all(test.matrix())
+    }
+}
+
+/// Majority-vote [`VanillaKnn`] (the label-noise ablation) behind the
+/// [`Detector`] trait.
+#[derive(Debug, Clone)]
+pub struct VanillaKnnMethod {
+    k: usize,
+    fitted: Option<VanillaKnn>,
+}
+
+impl VanillaKnnMethod {
+    /// Classic `k`-nearest-neighbour majority vote.
+    pub fn new(k: usize) -> Self {
+        VanillaKnnMethod { k, fitted: None }
+    }
+}
+
+impl Detector for VanillaKnnMethod {
+    fn name(&self) -> &str {
+        "vanilla-knn"
+    }
+
+    fn fit(&mut self, train: &EmbeddingView, labels: &[bool]) -> Result<(), DetectorError> {
+        check_labels(train, labels)?;
+        self.fitted = Some(VanillaKnn::fit(train.matrix(), labels, self.k));
+        Ok(())
+    }
+
+    fn score_batch(&self, test: &EmbeddingView) -> Vec<f32> {
+        self.fitted
+            .as_ref()
+            .expect("VanillaKnnMethod must be fitted before scoring")
+            .score_all(test.matrix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_view() -> (EmbeddingView, Vec<bool>) {
+        // Malicious cluster along +x, benign along +y.
+        let rows: Vec<Vec<f32>> = vec![
+            vec![1.0, 0.05, 0.0],
+            vec![0.9, -0.05, 0.1],
+            vec![0.0, 1.0, 0.0],
+            vec![0.1, 0.9, 0.0],
+            vec![-0.05, 1.0, 0.1],
+            vec![0.05, 0.95, -0.1],
+        ];
+        let m = Matrix::from_fn(6, 3, |r, c| rows[r][c]);
+        let lines = (0..6).map(|i| format!("line {i}")).collect();
+        (
+            EmbeddingView::new(lines, m),
+            vec![true, true, false, false, false, false],
+        )
+    }
+
+    #[test]
+    fn all_adapters_fit_and_score() {
+        let (view, labels) = toy_view();
+        let mut detectors: Vec<Box<dyn Detector>> = vec![
+            Box::new(PcaMethod::new(0.95)),
+            Box::new(IsolationForestMethod::new(25, 6, 7)),
+            Box::new(OneClassSvmMethod::new(0.1, 5, 7)),
+            Box::new(RetrievalMethod::new(1)),
+            Box::new(VanillaKnnMethod::new(3)),
+        ];
+        for det in &mut detectors {
+            det.fit(&view, &labels).expect("fit succeeds");
+            let scores = det.score_batch(&view);
+            assert_eq!(scores.len(), view.len(), "{}", det.name());
+            assert!(
+                scores.iter().all(|s| s.is_finite()),
+                "{} produced non-finite scores",
+                det.name()
+            );
+        }
+    }
+
+    #[test]
+    fn retrieval_scores_malicious_cluster_higher() {
+        let (view, labels) = toy_view();
+        let mut det = RetrievalMethod::new(1);
+        det.fit(&view, &labels).unwrap();
+        let scores = det.score_batch(&view);
+        assert!(scores[0] > scores[2]);
+        assert_eq!(det.n_exemplars(), Some(2));
+    }
+
+    #[test]
+    fn retrieval_without_positives_errors() {
+        let (view, _) = toy_view();
+        let mut det = RetrievalMethod::new(1);
+        assert_eq!(
+            det.fit(&view, &[false; 6]),
+            Err(DetectorError::NoPositiveLabels)
+        );
+    }
+
+    #[test]
+    fn label_mismatch_reported() {
+        let (view, _) = toy_view();
+        let mut det = PcaMethod::new(0.9);
+        assert_eq!(
+            det.fit(&view, &[true]),
+            Err(DetectorError::LabelMismatch {
+                embeddings: 6,
+                labels: 1
+            })
+        );
+    }
+
+    #[test]
+    fn empty_view_reported() {
+        let mut det = PcaMethod::new(0.9);
+        let view = EmbeddingView::from_matrix(Matrix::zeros(0, 3));
+        assert_eq!(det.fit(&view, &[]), Err(DetectorError::EmptyTrainingSet));
+    }
+
+    #[test]
+    fn seeded_unsupervised_fits_are_deterministic() {
+        let (view, labels) = toy_view();
+        let mut a = IsolationForestMethod::new(20, 6, 99);
+        let mut b = IsolationForestMethod::new(20, 6, 99);
+        a.fit(&view, &labels).unwrap();
+        b.fit(&view, &labels).unwrap();
+        assert_eq!(a.score_batch(&view), b.score_batch(&view));
+    }
+}

@@ -82,12 +82,8 @@ impl IsolationForest {
     /// Anomaly score in `(0, 1)`: `2^(−E[h(x)]/c(ψ))`. Scores above
     /// ~0.6 indicate anomalies; ~0.5 is average.
     pub fn score(&self, x: &[f32]) -> f32 {
-        let mean_path: f32 = self
-            .trees
-            .iter()
-            .map(|t| path_length(t, x, 0))
-            .sum::<f32>()
-            / self.trees.len() as f32;
+        let mean_path: f32 =
+            self.trees.iter().map(|t| path_length(t, x, 0)).sum::<f32>() / self.trees.len() as f32;
         let c = c_factor(self.sample_size).max(1e-6);
         2.0f32.powf(-mean_path / c)
     }
@@ -192,8 +188,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let data = gaussian_blob(&mut rng, 400, 2);
         let forest = IsolationForest::fit(&mut rng, &data, 50, 128);
-        let mean: f32 =
-            forest.score_all(&data).iter().sum::<f32>() / data.rows() as f32;
+        let mean: f32 = forest.score_all(&data).iter().sum::<f32>() / data.rows() as f32;
         assert!(mean < 0.6, "mean in-distribution score {mean}");
     }
 

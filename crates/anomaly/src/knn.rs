@@ -104,20 +104,11 @@ impl VanillaKnn {
     /// weighted by similarity (so ties order sensibly).
     pub fn score(&self, x: &[f32]) -> f32 {
         let mut sims: Vec<(f32, bool)> = (0..self.embeddings.rows())
-            .map(|r| {
-                (
-                    cosine_similarity(self.embeddings.row(r), x),
-                    self.labels[r],
-                )
-            })
+            .map(|r| (cosine_similarity(self.embeddings.row(r), x), self.labels[r]))
             .collect();
         sims.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         let k = self.k.min(sims.len());
-        let malicious_sim: f32 = sims[..k]
-            .iter()
-            .filter(|(_, m)| *m)
-            .map(|(s, _)| s)
-            .sum();
+        let malicious_sim: f32 = sims[..k].iter().filter(|(_, m)| *m).map(|(s, _)| s).sum();
         let count = sims[..k].iter().filter(|(_, m)| *m).count();
         if count * 2 > k {
             // Majority malicious: average similarity of those neighbours.
@@ -171,7 +162,10 @@ mod tests {
         let det = RetrievalDetector::fit(&emb, &labels, 1);
         let mislabeled_attack = [0.8, 0.6, 0.0]; // between clusters
         let score = det.score(&mislabeled_attack);
-        assert!(score > 0.7, "score {score} should reflect malicious similarity");
+        assert!(
+            score > 0.7,
+            "score {score} should reflect malicious similarity"
+        );
     }
 
     #[test]
@@ -198,8 +192,8 @@ mod tests {
         let (emb, labels) = toy();
         let det = RetrievalDetector::fit(&emb, &labels, 1);
         let all = det.score_all(&emb);
-        for r in 0..emb.rows() {
-            assert_eq!(all[r], det.score(emb.row(r)));
+        for (r, score) in all.iter().enumerate() {
+            assert_eq!(*score, det.score(emb.row(r)));
         }
     }
 

@@ -21,11 +21,16 @@
 //! assert!(det.score(&[25.0, 25.0, 40.0]) > det.score(&[10.0, 10.0, 0.0]));
 //! ```
 
+pub mod detector;
 pub mod iforest;
 pub mod knn;
 pub mod ocsvm;
 pub mod pca;
 
+pub use detector::{
+    check_labels, Detector, DetectorError, EmbeddingView, IsolationForestMethod, OneClassSvmMethod,
+    PcaMethod, RetrievalMethod, VanillaKnnMethod,
+};
 pub use iforest::IsolationForest;
 pub use knn::{RetrievalDetector, VanillaKnn};
 pub use ocsvm::OneClassSvm;

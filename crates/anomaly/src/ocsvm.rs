@@ -51,7 +51,12 @@ impl OneClassSvm {
                 // Sub-gradients.
                 let violated = margin < rho;
                 for (wj, xj) in w.iter_mut().zip(x) {
-                    let grad = lambda * *wj - if violated { inv_nu_n * n as f32 * xj } else { 0.0 };
+                    let grad = lambda * *wj
+                        - if violated {
+                            inv_nu_n * n as f32 * xj
+                        } else {
+                            0.0
+                        };
                     *wj -= lr * grad;
                 }
                 let drho = -1.0 + if violated { inv_nu_n * n as f32 } else { 0.0 };
@@ -91,7 +96,9 @@ mod tests {
     /// Benign cluster near (3, 3, …); anomalies near the origin's
     /// opposite side.
     fn cluster(rng: &mut StdRng, n: usize, d: usize, center: f32) -> Matrix {
-        Matrix::from_fn(n, d, |_, _| center + linalg::rng::standard_normal(rng) * 0.3)
+        Matrix::from_fn(n, d, |_, _| {
+            center + linalg::rng::standard_normal(rng) * 0.3
+        })
     }
 
     #[test]

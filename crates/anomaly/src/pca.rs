@@ -90,8 +90,8 @@ mod tests {
         let data = planar_data();
         let det = PcaDetector::fit(&data, 0.95);
         let all = det.score_all(&data);
-        for r in 0..data.rows() {
-            assert_eq!(all[r], det.score(data.row(r)));
+        for (r, score) in all.iter().enumerate() {
+            assert_eq!(*score, det.score(data.row(r)));
         }
     }
 

@@ -1,0 +1,108 @@
+//! Criterion bench: the scoring-engine refactor's two speedups.
+//!
+//! * `embedding/per_line` vs `embedding/batched` — the batched encoder
+//!   forward (length-bucketed stacking, shared projections/FFN/LN
+//!   matmuls) against one `Encoder::forward` call per line.
+//! * `multi_method/legacy_reembed` vs `multi_method/shared_store` —
+//!   three detectors each embedding the train + test lines themselves
+//!   (the seed baseline's behaviour) against one `EmbeddingStore` pass
+//!   shared by all three. Detector fitting (PCA, retrieval, kNN) is
+//!   kept in both arms so the delta isolates the embedding work.
+
+use anomaly::{PcaMethod, RetrievalMethod, VanillaKnnMethod};
+use bench::Experiment;
+use cmdline_ids::embed::{embed_lines, Pooling};
+use cmdline_ids::engine::{EmbeddingStore, ScoringEngine};
+use cmdline_ids::pipeline::PipelineConfig;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn experiment() -> Experiment {
+    let mut config = PipelineConfig::fast();
+    config.train_size = 600;
+    config.test_size = 300;
+    config.attack_prob = 0.25;
+    Experiment::setup(3, config)
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let exp = experiment();
+    let lines = exp.train_lines();
+    let lines = &lines[..256.min(lines.len())];
+    let encoder = exp.pipeline.encoder();
+    let tokenizer = exp.pipeline.tokenizer();
+    let max_len = exp.pipeline.max_len();
+
+    let mut group = c.benchmark_group("embedding");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(lines.len() as u64));
+    group.bench_function("per_line", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(lines.len());
+            for line in lines {
+                let ids = tokenizer.encode_for_model(line, max_len);
+                out.push(encoder.embed_mean(black_box(&ids)));
+            }
+            out
+        })
+    });
+    group.bench_function("batched", |b| {
+        b.iter(|| embed_lines(encoder, tokenizer, black_box(lines), max_len, Pooling::Mean))
+    });
+    group.finish();
+}
+
+fn bench_multi_method(c: &mut Criterion) {
+    let exp = experiment();
+    let train_lines = exp.train_lines();
+    let labels = exp.train_labels();
+    let dedup = exp.deduped_test();
+    let test_lines: Vec<&str> = dedup.iter().map(|r| r.line.as_str()).collect();
+
+    let mut group = c.benchmark_group("multi_method");
+    group.sample_size(10);
+
+    // Seed baseline shape: every method embeds train and test itself.
+    group.bench_function("legacy_reembed", |b| {
+        b.iter(|| {
+            let mut all = Vec::new();
+            for _method in 0..3 {
+                let train = embed_lines(
+                    exp.pipeline.encoder(),
+                    exp.pipeline.tokenizer(),
+                    &train_lines,
+                    exp.pipeline.max_len(),
+                    Pooling::Mean,
+                );
+                let test = embed_lines(
+                    exp.pipeline.encoder(),
+                    exp.pipeline.tokenizer(),
+                    &test_lines,
+                    exp.pipeline.max_len(),
+                    Pooling::Mean,
+                );
+                all.push((train.rows(), test.rows()));
+            }
+            all
+        })
+    });
+
+    // Engine shape: one store, one embedding per line set, all methods.
+    group.bench_function("shared_store", |b| {
+        b.iter(|| {
+            let store = EmbeddingStore::new(&exp.pipeline);
+            let train_view = store.view(&train_lines, Pooling::Mean);
+            let test_view = store.view(&test_lines, Pooling::Mean);
+            let run = ScoringEngine::new()
+                .register(Box::new(PcaMethod::new(0.95)))
+                .register(Box::new(RetrievalMethod::new(1)))
+                .register(Box::new(VanillaKnnMethod::new(3)))
+                .run(&train_view, &labels, &test_view)
+                .expect("engine run");
+            black_box(run.outputs().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_embedding, bench_multi_method);
+criterion_main!(benches);

@@ -14,7 +14,9 @@ fn bench_forward(c: &mut Criterion) {
     let mut group = c.benchmark_group("encoder_forward");
     group.bench_function("tiny_seq16", |b| b.iter(|| tiny.forward(black_box(&ids16))));
     group.bench_function("tiny_seq48", |b| b.iter(|| tiny.forward(black_box(&ids48))));
-    group.bench_function("small_seq48", |b| b.iter(|| small.forward(black_box(&ids48))));
+    group.bench_function("small_seq48", |b| {
+        b.iter(|| small.forward(black_box(&ids48)))
+    });
     group.bench_function("tiny_embed_mean_seq16", |b| {
         b.iter(|| tiny.embed_mean(black_box(&ids16)))
     });

@@ -48,11 +48,7 @@ fn main() {
     let exp = Experiment::setup(args.seed, args.config());
 
     println!();
-    print_row(&[
-        "context width".into(),
-        "windows".into(),
-        "PO@small".into(),
-    ]);
+    print_row(&["context width".into(), "windows".into(), "PO@small".into()]);
     print_row(&["---".into(), "---".into(), "---".into()]);
     for width in [1usize, 2, 3, 5] {
         let samples = run_with_width(&exp, width, args.seed + width as u64);

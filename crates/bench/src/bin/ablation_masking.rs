@@ -35,14 +35,14 @@ fn main() {
         let mut config = args.config();
         config.mask_prob = q;
         let pipeline = IdsPipeline::pretrain(&config, &base.dataset, &mut rng);
-        let exp = Experiment {
+        let exp = Experiment::from_parts(
             config,
-            dataset: base.dataset.clone(),
+            base.dataset.clone(),
             pipeline,
-            ids: base.ids.clone(),
-        };
-        let mut mrng = exp.method_rng(args.seed);
-        let samples = run_classification(&exp, &mut mrng);
+            base.ids.clone(),
+            args.seed,
+        );
+        let samples = run_classification(&exp, exp.method_seed("classification"));
         let small = samples
             .iter()
             .filter(|s| s.malicious && !s.in_box)
@@ -68,7 +68,10 @@ fn main() {
         .find(|(q, _)| (*q - 0.15).abs() < 1e-9)
         .map(|(_, p)| *p)
         .unwrap_or(0.0);
-    let worst = results.iter().map(|(_, p)| *p).fold(f64::INFINITY, f64::min);
+    let worst = results
+        .iter()
+        .map(|(_, p)| *p)
+        .fold(f64::INFINITY, f64::min);
     println!();
     println!("shape note: q=0.15 precision {p15:.3}; worst across sweep {worst:.3}");
 }

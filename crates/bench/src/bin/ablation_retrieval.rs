@@ -75,5 +75,8 @@ fn main() {
         "shape check: malicious-only retrieval PO@{top} {ours:.3} ≥ best vanilla {best_vanilla:.3}: {}",
         ours >= best_vanilla
     );
-    assert!(ours >= best_vanilla - 0.05, "modification should not lose to vanilla kNN");
+    assert!(
+        ours >= best_vanilla - 0.05,
+        "modification should not lose to vanilla kNN"
+    );
 }

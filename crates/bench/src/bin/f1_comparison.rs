@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release --bin f1_comparison -p bench`
 
-use bench::methods::run_classification;
+use bench::methods::MethodSuite;
 use bench::{Args, Experiment};
 use cmdline_ids::eval::evaluate_scores;
 
@@ -19,9 +19,12 @@ fn main() {
         args.train_size, args.test_size, args.seed
     );
     let exp = Experiment::setup(args.seed, args.config());
-    let mut rng = exp.method_rng(args.seed);
 
-    let samples = run_classification(&exp, &mut rng);
+    let suite = MethodSuite::new(&exp)
+        .with_classification()
+        .run()
+        .expect("suite run");
+    let samples = suite.samples("classification").expect("registered method");
     let eval = evaluate_scores(&samples, 0.90, &[]);
     let Some(f1) = eval.f1 else {
         eprintln!("no in-box intrusions in this draw; rerun with another --seed");
@@ -29,8 +32,16 @@ fn main() {
     };
 
     println!();
-    println!("benchmark set: T = {} predicted positives; S = {} IDS alerts", f1.t_predicted, f1.s_ids_alerts);
-    println!("PO (x) = {}", eval.po.map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into()));
+    println!(
+        "benchmark set: T = {} predicted positives; S = {} IDS alerts",
+        f1.t_predicted, f1.s_ids_alerts
+    );
+    println!(
+        "PO (x) = {}",
+        eval.po
+            .map(|x| format!("{x:.3}"))
+            .unwrap_or_else(|| "-".into())
+    );
     println!();
     println!("| system          | precision | recall | F1    |");
     println!("| ---             | ---       | ---    | ---   |");

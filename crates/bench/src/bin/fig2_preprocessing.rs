@@ -48,7 +48,7 @@ fn main() {
     // anonymized-count presentation.
     println!();
     println!("command occurrence table (top 20):");
-    println!("  {:<12} {}", "Command", "Occurrence");
+    println!("  {:<12} Occurrence", "Command");
     for (name, count) in exp
         .pipeline
         .preprocessor()

@@ -5,22 +5,17 @@
 //! bind/reverse shells; multi-line classification catches behaviour
 //! spread across a sequence (the wget→python dropper); reconstruction
 //! tuning prefers base64-decode-and-execute (hard to reconstruct); and
-//! the methods complement each other.
+//! the methods complement each other — which the closing rank-fusion
+//! ensemble makes concrete.
 //!
 //! Run: `cargo run --release --bin method_preference -p bench`
 
-use bench::methods::{
-    run_classification, run_multiline, run_reconstruction, run_retrieval,
-};
+use bench::methods::MethodSuite;
 use bench::{Args, Experiment};
 use cmdline_ids::eval::{evaluate_scores, family_breakdown};
 use cmdline_ids::metrics::ScoredSample;
 
-fn breakdown(
-    name: &str,
-    samples: &[ScoredSample],
-    families: &[Option<corpus::AttackFamily>],
-) {
+fn breakdown(name: &str, samples: &[ScoredSample], families: &[Option<corpus::AttackFamily>]) {
     let eval = evaluate_scores(samples, 0.90, &[]);
     let Some(threshold) = eval.threshold else {
         println!("{name}: no in-box intrusions to calibrate on");
@@ -44,52 +39,43 @@ fn main() {
         args.train_size, args.test_size, args.seed
     );
     let exp = Experiment::setup(args.seed, args.config());
-    let mut rng = exp.method_rng(args.seed);
 
-    let dedup = exp.deduped_test();
-    let families = exp.family_tags(&dedup);
+    let suite = MethodSuite::new(&exp)
+        .with_classification()
+        .with_reconstruction()
+        .with_retrieval(1)
+        .with_multiline()
+        .run()
+        .expect("suite run");
 
-    let cls = run_classification(&exp, &mut rng);
+    let families = exp.family_tags(suite.deduped_test());
+    let cls = suite.samples("classification").expect("registered");
     breakdown("classification (single line)", &cls, &families);
 
-    let recon = run_reconstruction(&exp, &mut rng);
+    let recon = suite.samples("reconstruction").expect("registered");
     breakdown("reconstruction", &recon, &families);
 
-    let retr = run_retrieval(&exp);
+    let retr = suite.samples("retrieval").expect("registered");
     breakdown("retrieval", &retr, &families);
 
-    // Multi-line uses its own dedup; compute families over its windows.
-    let multi = run_multiline(&exp, &mut rng);
-    {
-        // For the multi-line set the sample order follows the full test
-        // stream dedup'd by window; recompute tags the same way.
-        let windows = cmdline_ids::tuning::build_windows(
-            &exp.dataset.test,
-            bench::methods::MULTI_LINE_WIDTH,
-            bench::methods::MULTI_LINE_MAX_GAP,
-        );
-        let mut seen = std::collections::HashSet::new();
-        let mut fam = Vec::new();
-        for (r, w) in exp.dataset.test.iter().zip(&windows) {
-            if seen.insert(w.joined()) {
-                fam.push(match r.truth {
-                    corpus::GroundTruth::Malicious { family, .. } => Some(family),
-                    _ => None,
-                });
-            }
-        }
-        breakdown("classification (multi-line)", &multi, &fam);
-    }
+    // Multi-line uses window-level dedup; tag its own record set.
+    let multi = suite.samples("multiline").expect("registered");
+    let multi_families: Vec<Option<corpus::AttackFamily>> = suite
+        .multiline_records()
+        .iter()
+        .map(|r| match r.truth {
+            corpus::GroundTruth::Malicious { family, .. } => Some(family),
+            _ => None,
+        })
+        .collect();
+    breakdown("classification (multi-line)", &multi, &multi_families);
 
     // The ensemble observation: families missed by one method but caught
     // by another.
     let eval_cls = evaluate_scores(&cls, 0.90, &[]);
     let eval_recon = evaluate_scores(&recon, 0.90, &[]);
     if let (Some(tc), Some(tr)) = (eval_cls.threshold, eval_recon.threshold) {
-        let caught_by_cls: usize = cls
-            .iter()
-            .filter(|s| s.malicious && s.score >= tc)
-            .count();
+        let caught_by_cls: usize = cls.iter().filter(|s| s.malicious && s.score >= tc).count();
         let caught_either: usize = cls
             .iter()
             .zip(&recon)
@@ -101,6 +87,28 @@ fn main() {
         );
         assert!(caught_either >= caught_by_cls);
     }
+
+    // First-class version of the same observation: rank-fuse the three
+    // line-aligned methods and evaluate the fused ranking.
+    let fused = suite
+        .fused_samples(
+            &["classification", "reconstruction", "retrieval"],
+            &[1.0, 1.0, 1.0],
+        )
+        .expect("line-aligned methods fuse");
+    let eval_fused = evaluate_scores(&fused, 0.90, &[]);
+    println!();
+    println!(
+        "rank-fusion ensemble: PO {} PO&I {}",
+        eval_fused
+            .po
+            .map(|x| format!("{x:.3}"))
+            .unwrap_or_else(|| "-".into()),
+        eval_fused
+            .po_i
+            .map(|x| format!("{x:.3}"))
+            .unwrap_or_else(|| "-".into()),
+    );
     println!();
     println!("shape check: per-family sensitivity differs across methods (see tables above)");
 }

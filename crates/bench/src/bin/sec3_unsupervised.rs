@@ -6,15 +6,17 @@
 //! of long gibberish) also score high — the false-alarm problem that
 //! motivates Section IV's supervision.
 //!
-//! Also runs the other unsupervised detectors the paper names (one-class
-//! SVM, isolation forest) over the same embeddings.
+//! All three unsupervised detectors (PCA, one-class SVM, isolation
+//! forest) run through the scoring engine behind the `Detector` trait,
+//! over one shared embedding of the fit sample and one of the test
+//! lines.
 //!
 //! Run: `cargo run --release --bin sec3_unsupervised -p bench`
 
-use anomaly::{IsolationForest, OneClassSvm, PcaDetector};
+use anomaly::{IsolationForestMethod, OneClassSvmMethod, PcaMethod};
 use bench::{Args, Experiment};
-use cmdline_ids::embed::{embed_lines, Pooling};
-use rand::SeedableRng;
+use cmdline_ids::embed::Pooling;
+use cmdline_ids::engine::{EmbeddingStore, ScoringEngine};
 
 fn main() {
     let args = Args::parse();
@@ -29,32 +31,18 @@ fn main() {
     let mut config = args.config();
     config.attack_prob = 0.02;
     let exp = Experiment::setup(args.seed, config);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed ^ 0xABCD);
 
-    // Fit PCA on (a sample of) the training embeddings.
+    // Fit on (a sample of) the training lines; embeddings come from the
+    // shared store, once per line set.
     let train_lines = exp.train_lines();
     let fit_lines: Vec<&str> = train_lines.iter().step_by(4).copied().collect();
-    let train_emb = embed_lines(
-        exp.pipeline.encoder(),
-        exp.pipeline.tokenizer(),
-        &fit_lines,
-        exp.pipeline.max_len(),
-        Pooling::Mean,
-    );
-    let pca = PcaDetector::fit(&train_emb, 0.95);
-    let ocsvm = OneClassSvm::fit(&mut rng, &train_emb, 0.1, 5);
-    let iforest = IsolationForest::fit(&mut rng, &train_emb, 50, 256);
-    println!(
-        "PCA kept {} components of {}",
-        pca.n_components(),
-        train_emb.cols()
-    );
+    let store = EmbeddingStore::new(&exp.pipeline);
+    let train_view = store.view(&fit_lines, Pooling::Mean);
 
     // Score the de-duplicated test set plus the paper's anecdotes.
     let dedup = exp.deduped_test();
     let mut lines: Vec<String> = dedup.iter().map(|r| r.line.clone()).collect();
     let mut truth: Vec<bool> = dedup.iter().map(|r| r.truth.is_malicious()).collect();
-    // The paper's anecdotal probes:
     let masscan = "masscan 203.0.113.9 -p 0-65535";
     let weird_mv = "mv zz-a1.tmp zz-b2.tmp zz-c3.tmp zz-d4.tmp zz-e5.tmp zz-f6.tmp zz-g7.tmp /tmp";
     let weird_echo = "echo aaaaaaaaaabbbbbbbbbbccccccccccddddddddddeeeeeeeeee";
@@ -62,24 +50,39 @@ fn main() {
         lines.push(probe.to_string());
         truth.push(probe == masscan);
     }
-    let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
-    let test_emb = embed_lines(
-        exp.pipeline.encoder(),
-        exp.pipeline.tokenizer(),
-        &refs,
-        exp.pipeline.max_len(),
-        Pooling::Mean,
+    let test_view = store.view_of(&lines, Pooling::Mean);
+
+    // Unsupervised methods ignore labels; the engine contract still
+    // wants one per training sample.
+    let labels = vec![false; fit_lines.len()];
+    let run = ScoringEngine::new()
+        .register(Box::new(PcaMethod::new(0.95)))
+        .register(Box::new(OneClassSvmMethod::new(
+            0.1,
+            5,
+            exp.method_seed("ocsvm"),
+        )))
+        .register(Box::new(IsolationForestMethod::new(
+            50,
+            256,
+            exp.method_seed("iforest"),
+        )))
+        .run(&train_view, &labels, &test_view)
+        .expect("engine run");
+    assert_eq!(
+        store.misses(),
+        2,
+        "fit sample and test lines must each embed exactly once"
     );
-    let pca_scores = pca.score_all(&test_emb);
+
+    let pca_scores = run.scores("pca").expect("registered").to_vec();
+    let ocsvm_scores = run.scores("ocsvm").expect("registered");
+    let iforest_scores = run.scores("iforest").expect("registered");
 
     // Rank of the masscan probe.
     let masscan_idx = lines.len() - 3;
     let masscan_score = pca_scores[masscan_idx];
-    let rank = pca_scores
-        .iter()
-        .filter(|&&s| s > masscan_score)
-        .count()
-        + 1;
+    let rank = pca_scores.iter().filter(|&&s| s > masscan_score).count() + 1;
     println!();
     println!(
         "masscan probe: PCA reconstruction error {masscan_score:.2}, rank {rank} of {}",
@@ -103,14 +106,16 @@ fn main() {
         println!(
             "  {:>8.2}  {}  {}",
             pca_scores[i],
-            if truth[i] { "[intrusion]" } else { "[benign]   " },
+            if truth[i] {
+                "[intrusion]"
+            } else {
+                "[benign]   "
+            },
             &lines[i][..lines[i].len().min(72)]
         );
     }
 
     // Detector comparison: mean score of malicious vs benign samples.
-    let ocsvm_scores = ocsvm.score_all(&test_emb);
-    let iforest_scores = iforest.score_all(&test_emb);
     let split_mean = |scores: &[f32]| {
         let (mut m, mut mc, mut b, mut bc) = (0.0f64, 0usize, 0.0f64, 0usize);
         for (s, &t) in scores.iter().zip(&truth) {
@@ -127,12 +132,15 @@ fn main() {
     println!();
     println!("detector comparison (mean score: malicious vs benign):");
     for (name, scores) in [
-        ("PCA reconstruction", &pca_scores),
-        ("one-class SVM", &ocsvm_scores),
-        ("isolation forest", &iforest_scores),
+        ("PCA reconstruction", &pca_scores[..]),
+        ("one-class SVM", ocsvm_scores),
+        ("isolation forest", iforest_scores),
     ] {
         let (m, b) = split_mean(scores);
-        println!("  {name:<20} malicious {m:>9.4}  benign {b:>9.4}  separated: {}", m > b);
+        println!(
+            "  {name:<20} malicious {m:>9.4}  benign {b:>9.4}  separated: {}",
+            m > b
+        );
     }
 
     // Shape assertions: the masscan probe ranks high when anomalies are
@@ -146,9 +154,9 @@ fn main() {
     );
     assert!(mv_score > median && echo_score > median);
     for (name, scores) in [
-        ("pca", &pca_scores),
-        ("ocsvm", &ocsvm_scores),
-        ("iforest", &iforest_scores),
+        ("pca", &pca_scores[..]),
+        ("ocsvm", ocsvm_scores),
+        ("iforest", iforest_scores),
     ] {
         let (m, b) = split_mean(scores);
         assert!(m > b, "{name} failed to separate: {m} vs {b}");

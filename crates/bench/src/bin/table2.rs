@@ -15,11 +15,12 @@
 //! PO@(T/10) and PO@T where T is the out-of-box attack total, keeping
 //! the "small top / large top" contrast the paper's 100/1000 encodes.
 //!
+//! All four methods run through the scoring engine over one shared
+//! embedding of the training lines and the de-duplicated test split.
+//!
 //! Run: `cargo run --release --bin table2 -p bench -- --runs 5`
 
-use bench::methods::{
-    run_classification, run_multiline, run_reconstruction, run_retrieval,
-};
+use bench::methods::MethodSuite;
 use bench::{print_row, Args, Experiment};
 use cmdline_ids::eval::MeanStd;
 use cmdline_ids::metrics::{precision_at_top, ScoredSample};
@@ -33,6 +34,13 @@ fn cutoffs(samples: &[ScoredSample]) -> (usize, usize) {
     ((total / 10).max(1), total)
 }
 
+const METHODS: [(&str, &str); 4] = [
+    ("reconstruction", "Reconstruction"),
+    ("classification", "Classification"),
+    ("multiline", "Classification (multi)"),
+    ("retrieval", "Retrieval"),
+];
+
 fn main() {
     let args = Args::parse();
     println!(
@@ -40,26 +48,32 @@ fn main() {
         args.train_size, args.test_size, args.runs, args.seed
     );
 
-    let mut rows: Vec<(&str, Vec<Option<f64>>, Vec<Option<f64>>)> = vec![
-        ("Reconstruction", Vec::new(), Vec::new()),
-        ("Classification", Vec::new(), Vec::new()),
-        ("Classification (multi)", Vec::new(), Vec::new()),
-        ("Retrieval", Vec::new(), Vec::new()),
-    ];
+    type Row = (&'static str, Vec<Option<f64>>, Vec<Option<f64>>);
+    let mut rows: Vec<Row> = METHODS
+        .iter()
+        .map(|(_, label)| (*label, Vec::new(), Vec::new()))
+        .collect();
 
-    for run in 0..args.runs {
-        let seed = args.seed + run as u64;
-        eprintln!("[run {}/{}] setup (seed {seed})…", run + 1, args.runs);
+    for run_idx in 0..args.runs {
+        let seed = args.seed + run_idx as u64;
+        eprintln!("[run {}/{}] setup (seed {seed})…", run_idx + 1, args.runs);
         let exp = Experiment::setup(seed, args.config());
-        let mut rng = exp.method_rng(seed);
 
-        let all: Vec<(usize, Vec<ScoredSample>)> = vec![
-            (0, run_reconstruction(&exp, &mut rng)),
-            (1, run_classification(&exp, &mut rng)),
-            (2, run_multiline(&exp, &mut rng)),
-            (3, run_retrieval(&exp)),
-        ];
-        for (idx, samples) in all {
+        eprintln!(
+            "[run {}/{}] scoring all methods over the shared embedding…",
+            run_idx + 1,
+            args.runs
+        );
+        let suite = MethodSuite::new(&exp)
+            .with_reconstruction()
+            .with_classification()
+            .with_multiline()
+            .with_retrieval(1)
+            .run()
+            .expect("suite run");
+
+        for (idx, (name, _)) in METHODS.iter().enumerate() {
+            let samples = suite.samples(name).expect("registered method");
             let (small, large) = cutoffs(&samples);
             rows[idx].1.push(precision_at_top(&samples, small));
             rows[idx].2.push(precision_at_top(&samples, large));

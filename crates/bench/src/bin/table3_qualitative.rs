@@ -13,6 +13,7 @@ use bench::methods::run_classification;
 use bench::{Args, Experiment};
 use cmdline_ids::eval::evaluate_scores;
 use cmdline_ids::tuning::{ClassificationTuner, TuneConfig};
+use rand::SeedableRng;
 
 fn main() {
     let args = Args::parse();
@@ -21,18 +22,28 @@ fn main() {
         args.train_size, args.seed
     );
     let exp = Experiment::setup(args.seed, args.config());
-    let mut rng = exp.method_rng(args.seed);
+    let seed = exp.method_seed("classification");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
 
-    // Tune the classifier exactly as in Table I/II.
+    // Tune the classifier exactly as in Table I/II. Fitting from the
+    // same seed the engine derives makes this tuner identical to the
+    // one behind `run_classification` below, so probe scores and the
+    // reference distribution come from one model.
     let lines = exp.train_lines();
     let labels = exp.train_labels();
-    let tuner = ClassificationTuner::fit(&exp.pipeline, &lines, &labels, &TuneConfig::scaled(), &mut rng);
+    let tuner = ClassificationTuner::fit(
+        &exp.pipeline,
+        &lines,
+        &labels,
+        &TuneConfig::scaled(),
+        &mut rng,
+    );
 
     // Score the de-duplicated test set to build the reference score
     // distribution: the paper's Table III claim is that out-of-box
     // variants "show high intrusion scores", i.e. they rank near the
     // top of everything the commercial IDS is silent on.
-    let samples = run_classification(&exp, &mut rng);
+    let samples = run_classification(&exp, seed);
     let eval = evaluate_scores(&samples, 0.90, &[]);
     println!(
         "calibrated threshold (u=0.90 in-box recall): {:?}",
@@ -49,7 +60,8 @@ fn main() {
         100.0 * below as f64 / reference.len().max(1) as f64
     };
     // "High score" = top 2% of the non-in-box test distribution.
-    let high_idx = ((reference.len() as f64 * 0.98) as usize).min(reference.len().saturating_sub(1));
+    let high_idx =
+        ((reference.len() as f64 * 0.98) as usize).min(reference.len().saturating_sub(1));
     let high_bar = reference[high_idx];
 
     // The paper's Table III pairs (anonymized `*` filled with targets).
@@ -110,7 +122,10 @@ fn main() {
     // does; the model generalizes to a majority of the variants.
     for (inbox, outbox) in pairs {
         assert!(exp.ids.is_alert(inbox), "IDS must catch in-box: {inbox}");
-        assert!(!exp.ids.is_alert(outbox), "IDS must miss out-of-box: {outbox}");
+        assert!(
+            !exp.ids.is_alert(outbox),
+            "IDS must miss out-of-box: {outbox}"
+        );
     }
     // How many variants generalize depends on which out-of-box patterns
     // happened to appear *benign-labeled* in this training draw (the

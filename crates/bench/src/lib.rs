@@ -22,6 +22,8 @@ use corpus::{dedup_records, AttackFamily, Dataset, LogRecord};
 use ids_rules::RuleIds;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// A fully set-up experiment: data, pre-trained pipeline, supervision.
 pub struct Experiment {
@@ -33,6 +35,13 @@ pub struct Experiment {
     pub pipeline: IdsPipeline,
     /// The simulated commercial IDS (supervision source).
     pub ids: RuleIds,
+    /// The setup seed (method seeds derive from it).
+    seed: u64,
+    /// Lazily-built memo of `ids.is_alert` verdicts: rule evaluation
+    /// walks every pattern per call and the harness asks about the
+    /// same lines from `train_labels`, `scored`, and the multi-line
+    /// packing, so verdicts are computed once per distinct line.
+    alert_memo: RwLock<HashMap<String, bool>>,
 }
 
 impl Experiment {
@@ -46,12 +55,60 @@ impl Experiment {
             dataset,
             pipeline,
             ids: RuleIds::with_default_rules(),
+            seed,
+            alert_memo: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// Builds an experiment from already-prepared parts (ablations
+    /// re-pretrain the pipeline over a shared dataset).
+    pub fn from_parts(
+        config: PipelineConfig,
+        dataset: Dataset,
+        pipeline: IdsPipeline,
+        ids: RuleIds,
+        seed: u64,
+    ) -> Self {
+        Experiment {
+            config,
+            dataset,
+            pipeline,
+            ids,
+            seed,
+            alert_memo: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The seed this experiment was set up with.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// A seeded RNG for method fitting, decorrelated from setup.
     pub fn method_rng(&self, seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// A per-method seed derived from the experiment seed and the
+    /// method name, so engine runs are reproducible and methods'
+    /// randomness is decorrelated from each other.
+    pub fn method_seed(&self, name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// The commercial IDS's verdict on `line`, memoized.
+    pub fn is_alert(&self, line: &str) -> bool {
+        if let Some(&v) = self.alert_memo.read().unwrap().get(line) {
+            return v;
+        }
+        let v = self.ids.is_alert(line);
+        self.alert_memo.write().unwrap().insert(line.to_string(), v);
+        v
     }
 
     /// Training lines as string slices.
@@ -64,7 +121,7 @@ impl Experiment {
         self.dataset
             .train
             .iter()
-            .map(|r| self.ids.is_alert(&r.line))
+            .map(|r| self.is_alert(&r.line))
             .collect()
     }
 
@@ -84,7 +141,7 @@ impl Experiment {
             .map(|(r, &score)| ScoredSample {
                 score,
                 malicious: r.truth.is_malicious(),
-                in_box: self.ids.is_alert(&r.line),
+                in_box: self.is_alert(&r.line),
             })
             .collect()
     }
@@ -219,5 +276,35 @@ mod tests {
     fn fmt_helpers() {
         assert_eq!(fmt_opt(Some(0.1234)), "0.123");
         assert_eq!(fmt_opt(None), "-");
+    }
+
+    #[test]
+    fn alert_memo_agrees_with_rules_engine() {
+        let mut config = PipelineConfig::fast();
+        config.train_size = 300;
+        config.test_size = 100;
+        let exp = Experiment::setup(11, config);
+        for r in exp.dataset.train.iter().take(50) {
+            // Memoized answer (twice — second read is the cached path)
+            // must match the engine's direct verdict.
+            assert_eq!(exp.is_alert(&r.line), exp.ids.is_alert(&r.line));
+            assert_eq!(exp.is_alert(&r.line), exp.ids.is_alert(&r.line));
+        }
+    }
+
+    #[test]
+    fn method_seeds_are_stable_and_distinct() {
+        let mut config = PipelineConfig::fast();
+        config.train_size = 300;
+        config.test_size = 100;
+        let exp = Experiment::setup(11, config);
+        assert_eq!(
+            exp.method_seed("classification"),
+            exp.method_seed("classification")
+        );
+        assert_ne!(
+            exp.method_seed("classification"),
+            exp.method_seed("retrieval")
+        );
     }
 }

@@ -1,148 +1,322 @@
-//! Fits each of the paper's Section IV methods on an [`Experiment`] and
-//! scores the de-duplicated test split.
+//! Engine-backed method suite for the paper's Section III/IV scoring
+//! methods.
+//!
+//! [`MethodSuite`] registers the requested methods as
+//! [`Detector`](cmdline_ids::engine::Detector)s on a
+//! [`ScoringEngine`], runs them over **shared**
+//! [`EmbeddingStore`]-memoized views of the training lines and the
+//! de-duplicated test split, and packs scores into
+//! [`ScoredSample`]s. The multi-method table binaries therefore embed
+//! the test split once per pooling mode instead of once per method —
+//! see `tests/engine_suite.rs` for the hit-count proof and
+//! `benches/engine.rs` for the measured speedup.
 
 use crate::Experiment;
-use cmdline_ids::metrics::ScoredSample;
-use cmdline_ids::retrieval::{Retrieval, VanillaRetrieval};
-use cmdline_ids::tuning::{
-    ClassificationTuner, MultiLineClassifier, ReconstructionConfig, ReconstructionTuner,
-    TuneConfig,
+use anomaly::{
+    IsolationForestMethod, OneClassSvmMethod, PcaMethod, RetrievalMethod, VanillaKnnMethod,
 };
+use cmdline_ids::embed::Pooling;
+use cmdline_ids::engine::{
+    window_dedup_indices, ClassificationMethod, Detector, EmbeddingStore, EngineError, EngineRun,
+    MultiLineMethod, ReconstructionMethod, ScoringEngine,
+};
+use cmdline_ids::metrics::ScoredSample;
+use cmdline_ids::tuning::{ReconstructionConfig, TuneConfig};
+use corpus::LogRecord;
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+pub use cmdline_ids::engine::subsample_labeled;
 
 /// Context width for the multi-line method (the paper uses 3).
 pub const MULTI_LINE_WIDTH: usize = 3;
 /// Maximum context gap in seconds ("execution time … not too long ago").
 pub const MULTI_LINE_MAX_GAP: u64 = 600;
+/// Negative-label cap for reconstruction tuning's subsample.
+pub const RECON_MAX_NEGATIVES: usize = 2_500;
 
-/// Subsamples the labeled training set, keeping every positive and up to
-/// `max_negatives` negatives — reconstruction tuning iterates embeddings
-/// of the whole labeled set each round, so this bounds its cost without
-/// touching the (few) positives.
-pub fn subsample_labeled<'a, R: Rng + ?Sized>(
-    rng: &mut R,
-    lines: &[&'a str],
-    labels: &[bool],
-    max_negatives: usize,
-) -> (Vec<&'a str>, Vec<bool>) {
-    let mut pos: Vec<usize> = Vec::new();
-    let mut neg: Vec<usize> = Vec::new();
-    for (i, &y) in labels.iter().enumerate() {
-        if y {
-            pos.push(i);
+/// Builder registering scoring methods over one experiment.
+pub struct MethodSuite<'e> {
+    exp: &'e Experiment,
+    engine: ScoringEngine,
+}
+
+impl<'e> MethodSuite<'e> {
+    /// An empty suite over `exp`.
+    pub fn new(exp: &'e Experiment) -> Self {
+        MethodSuite {
+            exp,
+            engine: ScoringEngine::new(),
+        }
+    }
+
+    /// Registers any custom detector. The suite fits and scores every
+    /// detector on **mean-pooled** views of the training lines and the
+    /// de-duplicated test split; detectors expecting other inputs must
+    /// go through [`cmdline_ids::engine::ScoringEngine`] directly.
+    pub fn register(mut self, detector: Box<dyn Detector>) -> Self {
+        self.engine = self.engine.register(detector);
+        self
+    }
+
+    /// Single-line classification tuning (scaled config).
+    pub fn with_classification(self) -> Self {
+        let seed = self.exp.method_seed("classification");
+        self.with_classification_seeded(seed)
+    }
+
+    /// Single-line classification tuning with an explicit seed.
+    pub fn with_classification_seeded(self, seed: u64) -> Self {
+        self.with_classification_config(TuneConfig::scaled(), seed)
+    }
+
+    /// Single-line classification tuning with a custom config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.pooling` is not [`Pooling::Mean`]: the suite
+    /// feeds every detector mean-pooled views, and fitting a CLS-pooled
+    /// head on them would silently train on the wrong features. Use
+    /// [`cmdline_ids::engine::ScoringEngine`] directly with CLS views
+    /// for paper-config probing.
+    pub fn with_classification_config(self, config: TuneConfig, seed: u64) -> Self {
+        assert_eq!(
+            config.pooling,
+            Pooling::Mean,
+            "MethodSuite supplies mean-pooled views; classification config must match"
+        );
+        self.register(Box::new(ClassificationMethod::new(config, seed)))
+    }
+
+    /// Reconstruction-based tuning (scaled config).
+    pub fn with_reconstruction(self) -> Self {
+        let seed = self.exp.method_seed("reconstruction");
+        self.with_reconstruction_seeded(seed)
+    }
+
+    /// Reconstruction-based tuning with an explicit seed.
+    pub fn with_reconstruction_seeded(self, seed: u64) -> Self {
+        let method = ReconstructionMethod::new(
+            &self.exp.pipeline,
+            ReconstructionConfig::scaled(),
+            RECON_MAX_NEGATIVES,
+            seed,
+        );
+        self.register(Box::new(method))
+    }
+
+    /// The paper's retrieval method (kNN over malicious exemplars).
+    pub fn with_retrieval(self, k: usize) -> Self {
+        self.register(Box::new(RetrievalMethod::new(k)))
+    }
+
+    /// The vanilla majority-vote kNN ablation.
+    pub fn with_vanilla_knn(self, k: usize) -> Self {
+        self.register(Box::new(VanillaKnnMethod::new(k)))
+    }
+
+    /// Multi-line classification over the experiment's raw streams.
+    pub fn with_multiline(self) -> Self {
+        let seed = self.exp.method_seed("multiline");
+        self.with_multiline_seeded(seed)
+    }
+
+    /// Multi-line classification with an explicit seed.
+    pub fn with_multiline_seeded(self, seed: u64) -> Self {
+        let method = MultiLineMethod::new(
+            &self.exp.pipeline,
+            self.exp.dataset.train.clone(),
+            self.exp.dataset.test.clone(),
+            MULTI_LINE_WIDTH,
+            MULTI_LINE_MAX_GAP,
+            TuneConfig::scaled(),
+            seed,
+        );
+        self.register(Box::new(method))
+    }
+
+    /// The Section III unsupervised detectors (PCA reconstruction
+    /// error, one-class SVM, isolation forest) over the same space.
+    pub fn with_unsupervised(self) -> Self {
+        let iforest_seed = self.exp.method_seed("iforest");
+        let ocsvm_seed = self.exp.method_seed("ocsvm");
+        self.register(Box::new(PcaMethod::new(0.95)))
+            .register(Box::new(OneClassSvmMethod::new(0.1, 5, ocsvm_seed)))
+            .register(Box::new(IsolationForestMethod::new(50, 256, iforest_seed)))
+    }
+
+    /// Fits every registered method on the (memoized) training view
+    /// and scores the de-duplicated test split in one pass.
+    pub fn run(self) -> Result<SuiteRun<'e>, EngineError> {
+        let exp = self.exp;
+        let store = EmbeddingStore::new(&exp.pipeline);
+        let train_lines = exp.train_lines();
+        let labels = exp.train_labels();
+        let dedup = exp.deduped_test();
+        let test_lines: Vec<&str> = dedup.iter().map(|r| r.line.as_str()).collect();
+        // Scaled tuning configs pool the token mean (see TuneConfig);
+        // both views come from the shared store, so however many
+        // methods are registered, each set is embedded exactly once —
+        // and when no registered method reads embeddings at all
+        // (multiline-only, reconstruction-only), the encoder is
+        // skipped entirely via lines-only views.
+        let (train_view, test_view) = if self.engine.wants_embeddings() {
+            (
+                store.view(&train_lines, Pooling::Mean),
+                store.view(&test_lines, Pooling::Mean),
+            )
         } else {
-            neg.push(i);
-        }
+            (
+                cmdline_ids::engine::EmbeddingView::lines_only(
+                    train_lines.iter().map(|s| s.to_string()).collect(),
+                ),
+                cmdline_ids::engine::EmbeddingView::lines_only(
+                    test_lines.iter().map(|s| s.to_string()).collect(),
+                ),
+            )
+        };
+        let run = self.engine.run(&train_view, &labels, &test_view)?;
+        Ok(SuiteRun {
+            exp,
+            dedup,
+            run,
+            store,
+            multiline_kept: std::sync::OnceLock::new(),
+        })
     }
-    neg.shuffle(rng);
-    neg.truncate(max_negatives);
-    let mut idx = pos;
-    idx.extend(neg);
-    idx.shuffle(rng);
-    (
-        idx.iter().map(|&i| lines[i]).collect(),
-        idx.iter().map(|&i| labels[i]).collect(),
-    )
 }
 
-/// Classification-based tuning (single line): fit on supervision labels,
+/// The outputs of a [`MethodSuite::run`], with experiment-aware
+/// sample packing.
+pub struct SuiteRun<'e> {
+    exp: &'e Experiment,
+    dedup: Vec<LogRecord>,
+    run: EngineRun,
+    store: EmbeddingStore<'e>,
+    /// Window-dedup indices into the raw test stream, computed once on
+    /// first use (the multiline walk joins every window string).
+    multiline_kept: std::sync::OnceLock<Vec<usize>>,
+}
+
+impl SuiteRun<'_> {
+    /// The raw engine outputs.
+    pub fn engine_run(&self) -> &EngineRun {
+        &self.run
+    }
+
+    /// The embedding store the run used (hit/miss inspection).
+    pub fn store(&self) -> &EmbeddingStore<'_> {
+        &self.store
+    }
+
+    /// The de-duplicated test records the line-aligned scores follow.
+    pub fn deduped_test(&self) -> &[LogRecord] {
+        &self.dedup
+    }
+
+    /// One method's raw scores.
+    pub fn scores(&self, name: &str) -> Option<&[f32]> {
+        self.run.scores(name)
+    }
+
+    /// One method's scores packed with ground truth and in-box status.
+    ///
+    /// Line-aligned methods pack against the de-duplicated test split;
+    /// `"multiline"` packs against the window-deduplicated stream (the
+    /// paper's protocol for that method).
+    pub fn samples(&self, name: &str) -> Option<Vec<ScoredSample>> {
+        let scores = self.run.scores(name)?;
+        if name == "multiline" {
+            let kept = self.kept_window_indices();
+            assert_eq!(kept.len(), scores.len(), "multiline alignment");
+            Some(
+                kept.iter()
+                    .zip(scores)
+                    .map(|(&i, &score)| {
+                        let r = &self.exp.dataset.test[i];
+                        ScoredSample {
+                            score,
+                            malicious: r.truth.is_malicious(),
+                            in_box: self.exp.is_alert(&r.line),
+                        }
+                    })
+                    .collect(),
+            )
+        } else {
+            Some(self.exp.scored(&self.dedup, scores))
+        }
+    }
+
+    /// The test records behind the `"multiline"` samples, in order.
+    pub fn multiline_records(&self) -> Vec<&LogRecord> {
+        self.kept_window_indices()
+            .iter()
+            .map(|&i| &self.exp.dataset.test[i])
+            .collect()
+    }
+
+    fn kept_window_indices(&self) -> &[usize] {
+        self.multiline_kept.get_or_init(|| {
+            window_dedup_indices(&self.exp.dataset.test, MULTI_LINE_WIDTH, MULTI_LINE_MAX_GAP)
+        })
+    }
+
+    /// Rank-fusion ensemble of line-aligned methods, packed into
+    /// samples — the paper's future-work ensemble.
+    pub fn fused_samples(
+        &self,
+        names: &[&str],
+        weights: &[f32],
+    ) -> Result<Vec<ScoredSample>, EngineError> {
+        let fused = self.run.fuse(names, weights)?;
+        Ok(self.exp.scored(&self.dedup, &fused))
+    }
+}
+
+/// Classification-based tuning end to end: fit on supervision labels,
 /// score the de-duplicated test set.
-pub fn run_classification<R: Rng + ?Sized>(exp: &Experiment, rng: &mut R) -> Vec<ScoredSample> {
-    let lines = exp.train_lines();
-    let labels = exp.train_labels();
-    let tuner = ClassificationTuner::fit(
-        &exp.pipeline,
-        &lines,
-        &labels,
-        &TuneConfig::scaled(),
-        rng,
-    );
-    let dedup = exp.deduped_test();
-    let refs: Vec<&str> = dedup.iter().map(|r| r.line.as_str()).collect();
-    let scores = tuner.score_lines(&exp.pipeline, &refs);
-    exp.scored(&dedup, &scores)
+pub fn run_classification(exp: &Experiment, seed: u64) -> Vec<ScoredSample> {
+    let run = MethodSuite::new(exp)
+        .with_classification_seeded(seed)
+        .run()
+        .expect("classification suite");
+    run.samples("classification").expect("registered method")
 }
 
-/// Multi-line classification: windows of recent same-user lines joined
-/// with `;`. The test set is de-duplicated *by window*, which is why the
-/// paper reports only top-v metrics for this method.
-pub fn run_multiline<R: Rng + ?Sized>(exp: &Experiment, rng: &mut R) -> Vec<ScoredSample> {
-    let labels = exp.train_labels();
-    let classifier = MultiLineClassifier::fit(
-        &exp.pipeline,
-        &exp.dataset.train,
-        &labels,
-        MULTI_LINE_WIDTH,
-        MULTI_LINE_MAX_GAP,
-        &TuneConfig::scaled(),
-        rng,
-    );
-    // Score the FULL test stream (windows need the raw temporal order),
-    // then de-duplicate by window content — the paper notes the
-    // multi-line de-duplicated set differs in size from the single-line
-    // one, which is why Table I omits PO/PO&I for this method.
-    let scores = classifier.score_records(&exp.pipeline, &exp.dataset.test);
-    let windows = cmdline_ids::tuning::build_windows(
-        &exp.dataset.test,
-        MULTI_LINE_WIDTH,
-        MULTI_LINE_MAX_GAP,
-    );
-    let mut seen = std::collections::HashSet::new();
-    let mut out = Vec::new();
-    for (i, (r, w)) in exp.dataset.test.iter().zip(&windows).enumerate() {
-        if seen.insert(w.joined()) {
-            out.push(ScoredSample {
-                score: scores[i],
-                malicious: r.truth.is_malicious(),
-                in_box: exp.ids.is_alert(&r.line),
-            });
-        }
-    }
-    out
+/// Multi-line classification; the test set is de-duplicated *by
+/// window*, which is why the paper reports only top-v metrics for it.
+pub fn run_multiline(exp: &Experiment, seed: u64) -> Vec<ScoredSample> {
+    let run = MethodSuite::new(exp)
+        .with_multiline_seeded(seed)
+        .run()
+        .expect("multiline suite");
+    run.samples("multiline").expect("registered method")
 }
 
 /// Reconstruction-based tuning: alternating f/W optimization (Eq. 2).
-pub fn run_reconstruction<R: Rng + ?Sized>(exp: &Experiment, rng: &mut R) -> Vec<ScoredSample> {
-    let mut pipeline = exp.pipeline.clone();
-    let lines = exp.train_lines();
-    let labels = exp.train_labels();
-    let (sub_lines, sub_labels) = subsample_labeled(rng, &lines, &labels, 2_500);
-    let tuner = ReconstructionTuner::fit(
-        &mut pipeline,
-        &sub_lines,
-        &sub_labels,
-        &ReconstructionConfig::scaled(),
-        rng,
-    );
-    let dedup = exp.deduped_test();
-    let refs: Vec<&str> = dedup.iter().map(|r| r.line.as_str()).collect();
-    let scores = tuner.score_lines(&pipeline, &refs);
-    exp.scored(&dedup, &scores)
+pub fn run_reconstruction(exp: &Experiment, seed: u64) -> Vec<ScoredSample> {
+    let run = MethodSuite::new(exp)
+        .with_reconstruction_seeded(seed)
+        .run()
+        .expect("reconstruction suite");
+    run.samples("reconstruction").expect("registered method")
 }
 
 /// Retrieval (1NN over malicious exemplars; no tuning).
 pub fn run_retrieval(exp: &Experiment) -> Vec<ScoredSample> {
-    let lines = exp.train_lines();
-    let labels = exp.train_labels();
-    let retrieval = Retrieval::fit(&exp.pipeline, &lines, &labels, 1);
-    let dedup = exp.deduped_test();
-    let refs: Vec<&str> = dedup.iter().map(|r| r.line.as_str()).collect();
-    let scores = retrieval.score_lines(&exp.pipeline, &refs);
-    exp.scored(&dedup, &scores)
+    let run = MethodSuite::new(exp)
+        .with_retrieval(1)
+        .run()
+        .expect("retrieval suite");
+    run.samples("retrieval").expect("registered method")
 }
 
 /// Ablation: vanilla majority-vote kNN (the method the paper modified
 /// away from because of label noise).
 pub fn run_vanilla_knn(exp: &Experiment, k: usize) -> Vec<ScoredSample> {
-    let lines = exp.train_lines();
-    let labels = exp.train_labels();
-    let knn = VanillaRetrieval::fit(&exp.pipeline, &lines, &labels, k);
-    let dedup = exp.deduped_test();
-    let refs: Vec<&str> = dedup.iter().map(|r| r.line.as_str()).collect();
-    let scores = knn.score_lines(&exp.pipeline, &refs);
-    exp.scored(&dedup, &scores)
+    let run = MethodSuite::new(exp)
+        .with_vanilla_knn(k)
+        .run()
+        .expect("vanilla kNN suite");
+    run.samples("vanilla-knn").expect("registered method")
 }
 
 #[cfg(test)]
@@ -159,39 +333,71 @@ mod tests {
     }
 
     #[test]
-    fn subsample_keeps_all_positives() {
-        let mut rng = rand::rngs::mock::StepRng::new(7, 11);
-        let lines = vec!["a", "b", "c", "d", "e"];
-        let labels = vec![true, false, false, true, false];
-        let (sl, sb) = subsample_labeled(&mut rng, &lines, &labels, 1);
-        assert_eq!(sb.iter().filter(|&&y| y).count(), 2);
-        assert_eq!(sl.len(), 3);
+    fn suite_scores_all_methods_in_one_run() {
+        let exp = tiny_experiment();
+        let n = exp.deduped_test().len();
+        let run = MethodSuite::new(&exp)
+            .with_classification()
+            .with_retrieval(1)
+            .with_vanilla_knn(3)
+            .with_multiline()
+            .with_reconstruction()
+            .run()
+            .expect("suite runs");
+
+        for name in [
+            "classification",
+            "retrieval",
+            "vanilla-knn",
+            "reconstruction",
+        ] {
+            let samples = run.samples(name).expect(name);
+            assert_eq!(samples.len(), n, "{name}");
+            assert!(samples.iter().all(|s| s.score.is_finite()), "{name}");
+        }
+        let multi = run.samples("multiline").expect("multiline");
+        assert!(!multi.is_empty());
+        assert!(multi.iter().all(|s| s.score.is_finite()));
+
+        // The shared line sets were embedded exactly once each
+        // (train + deduped test), however many methods consumed them.
+        assert_eq!(run.store().misses(), 2);
     }
 
     #[test]
-    fn all_methods_produce_one_score_per_sample() {
+    fn fused_samples_align_with_dedup() {
         let exp = tiny_experiment();
-        let mut rng = exp.method_rng(1);
-        let n = exp.deduped_test().len();
+        let run = MethodSuite::new(&exp)
+            .with_retrieval(1)
+            .with_vanilla_knn(3)
+            .run()
+            .expect("suite runs");
+        let fused = run
+            .fused_samples(&["retrieval", "vanilla-knn"], &[1.0, 1.0])
+            .expect("uniform lengths fuse");
+        assert_eq!(fused.len(), exp.deduped_test().len());
+    }
 
-        let cls = run_classification(&exp, &mut rng);
+    #[test]
+    fn wrappers_produce_one_score_per_sample() {
+        let exp = tiny_experiment();
+        let n = exp.deduped_test().len();
+        let cls = run_classification(&exp, exp.method_seed("classification"));
         assert_eq!(cls.len(), n);
         let retr = run_retrieval(&exp);
         assert_eq!(retr.len(), n);
-        let knn = run_vanilla_knn(&exp, 3);
-        assert_eq!(knn.len(), n);
+    }
 
-        let multi = run_multiline(&exp, &mut rng);
-        assert!(!multi.is_empty());
-        // Window-level dedup keeps at least as many samples as are unique
-        // lines (same line in different contexts stays).
-        assert!(multi.len() >= 1);
-
-        let recon = run_reconstruction(&exp, &mut rng);
-        assert_eq!(recon.len(), n);
-        // Scores must be finite everywhere.
-        for s in cls.iter().chain(&retr).chain(&multi).chain(&recon) {
-            assert!(s.score.is_finite());
-        }
+    #[test]
+    fn embedding_free_methods_skip_the_encoder() {
+        let exp = tiny_experiment();
+        // A multiline-only suite never reads frozen-space embeddings,
+        // so the store must not run the encoder at all.
+        let run = MethodSuite::new(&exp)
+            .with_multiline()
+            .run()
+            .expect("multiline-only suite");
+        assert_eq!(run.store().misses(), 0, "no encoder pass should run");
+        assert!(!run.samples("multiline").expect("registered").is_empty());
     }
 }

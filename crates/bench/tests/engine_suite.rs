@@ -1,0 +1,153 @@
+//! Engine-vs-legacy equivalence: for every Section-IV method, the
+//! scoring engine must produce **bit-identical** scores to the legacy
+//! per-method `score_lines` path, on a `PipelineConfig::fast()`
+//! experiment, across seeds. This pins down that the shared
+//! [`EmbeddingStore`] pass and the batched encoder forward changed the
+//! cost of the computation, not the computation.
+
+use bench::methods::{MethodSuite, MULTI_LINE_MAX_GAP, MULTI_LINE_WIDTH, RECON_MAX_NEGATIVES};
+use bench::Experiment;
+use cmdline_ids::embed::Pooling;
+use cmdline_ids::engine::{subsample_labeled, window_dedup_indices, EmbeddingStore};
+use cmdline_ids::retrieval::{Retrieval, VanillaRetrieval};
+use cmdline_ids::tuning::{
+    ClassificationTuner, MultiLineClassifier, ReconstructionConfig, ReconstructionTuner, TuneConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fast_experiment(seed: u64) -> Experiment {
+    let mut config = cmdline_ids::pipeline::PipelineConfig::fast();
+    config.train_size = 700;
+    config.test_size = 350;
+    config.attack_prob = 0.25;
+    Experiment::setup(seed, config)
+}
+
+#[test]
+fn engine_scores_are_bit_identical_to_legacy_paths() {
+    for seed in [41u64, 1337] {
+        let exp = fast_experiment(seed);
+        let lines = exp.train_lines();
+        let labels = exp.train_labels();
+        let dedup = exp.deduped_test();
+        let refs: Vec<&str> = dedup.iter().map(|r| r.line.as_str()).collect();
+
+        let cls_seed = exp.method_seed("classification");
+        let recon_seed = exp.method_seed("reconstruction");
+        let multi_seed = exp.method_seed("multiline");
+
+        // --- Legacy per-method paths (each embeds on its own). ---
+        let legacy_classification = {
+            let mut rng = StdRng::seed_from_u64(cls_seed);
+            let tuner = ClassificationTuner::fit(
+                &exp.pipeline,
+                &lines,
+                &labels,
+                &TuneConfig::scaled(),
+                &mut rng,
+            );
+            tuner.score_lines(&exp.pipeline, &refs)
+        };
+        let legacy_reconstruction = {
+            let mut rng = StdRng::seed_from_u64(recon_seed);
+            let (sub_lines, sub_labels) =
+                subsample_labeled(&mut rng, &lines, &labels, RECON_MAX_NEGATIVES);
+            let mut pipeline = exp.pipeline.clone();
+            let tuner = ReconstructionTuner::fit(
+                &mut pipeline,
+                &sub_lines,
+                &sub_labels,
+                &ReconstructionConfig::scaled(),
+                &mut rng,
+            );
+            tuner.score_lines(&pipeline, &refs)
+        };
+        let legacy_retrieval = {
+            let retrieval = Retrieval::fit(&exp.pipeline, &lines, &labels, 1);
+            retrieval.score_lines(&exp.pipeline, &refs)
+        };
+        let legacy_vanilla = {
+            let knn = VanillaRetrieval::fit(&exp.pipeline, &lines, &labels, 3);
+            knn.score_lines(&exp.pipeline, &refs)
+        };
+        let legacy_multiline = {
+            let mut rng = StdRng::seed_from_u64(multi_seed);
+            let classifier = MultiLineClassifier::fit(
+                &exp.pipeline,
+                &exp.dataset.train,
+                &labels,
+                MULTI_LINE_WIDTH,
+                MULTI_LINE_MAX_GAP,
+                &TuneConfig::scaled(),
+                &mut rng,
+            );
+            let scores = classifier.score_records(&exp.pipeline, &exp.dataset.test);
+            window_dedup_indices(&exp.dataset.test, MULTI_LINE_WIDTH, MULTI_LINE_MAX_GAP)
+                .into_iter()
+                .map(|i| scores[i])
+                .collect::<Vec<f32>>()
+        };
+
+        // --- The engine: one shared embedding pass for all methods. ---
+        let run = MethodSuite::new(&exp)
+            .with_classification_seeded(cls_seed)
+            .with_reconstruction_seeded(recon_seed)
+            .with_retrieval(1)
+            .with_vanilla_knn(3)
+            .with_multiline_seeded(multi_seed)
+            .run()
+            .expect("suite run");
+
+        assert_eq!(
+            run.scores("classification").unwrap(),
+            &legacy_classification[..],
+            "classification diverged (seed {seed})"
+        );
+        assert_eq!(
+            run.scores("reconstruction").unwrap(),
+            &legacy_reconstruction[..],
+            "reconstruction diverged (seed {seed})"
+        );
+        assert_eq!(
+            run.scores("retrieval").unwrap(),
+            &legacy_retrieval[..],
+            "retrieval diverged (seed {seed})"
+        );
+        assert_eq!(
+            run.scores("vanilla-knn").unwrap(),
+            &legacy_vanilla[..],
+            "vanilla kNN diverged (seed {seed})"
+        );
+        assert_eq!(
+            run.scores("multiline").unwrap(),
+            &legacy_multiline[..],
+            "multiline diverged (seed {seed})"
+        );
+
+        // The shared line sets were embedded exactly once each.
+        assert_eq!(run.store().misses(), 2, "train + deduped test, once each");
+    }
+}
+
+#[test]
+fn store_answers_repeat_requests_from_cache() {
+    let exp = fast_experiment(17);
+    let store = EmbeddingStore::new(&exp.pipeline);
+    let lines = exp.train_lines();
+    let dedup = exp.deduped_test();
+    let refs: Vec<&str> = dedup.iter().map(|r| r.line.as_str()).collect();
+
+    // Emulate five methods each asking for the same two views, the way
+    // the legacy per-method paths each called embed_lines themselves.
+    for _ in 0..5 {
+        let _ = store.view(&lines, Pooling::Mean);
+        let _ = store.view(&refs, Pooling::Mean);
+    }
+    assert_eq!(store.misses(), 2, "encoder ran once per distinct line set");
+    assert_eq!(store.hits(), 8, "remaining requests were cache hits");
+
+    // A different pooling is a different matrix, not a hit.
+    let _ = store.view(&refs, Pooling::Cls);
+    assert_eq!(store.misses(), 3);
+}

@@ -195,7 +195,11 @@ impl Tokenizer {
             syms.remove(i + 1);
         }
         syms.iter()
-            .map(|s| self.vocab.id_of(s).unwrap_or_else(|| SpecialToken::Unk.id()))
+            .map(|s| {
+                self.vocab
+                    .id_of(s)
+                    .unwrap_or_else(|| SpecialToken::Unk.id())
+            })
             .collect()
     }
 }
@@ -275,10 +279,7 @@ mod tests {
         assert_eq!(ids.len(), 12);
         let decoded = tok.decode(&ids);
         // The target (last) line must survive truncation.
-        assert!(
-            decoded.ends_with("ls -la"),
-            "target line lost: {decoded:?}"
-        );
+        assert!(decoded.ends_with("ls -la"), "target line lost: {decoded:?}");
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl Trainer {
     ///
     /// Panics if `vocab_size < 6` (specials leave no room for symbols).
     pub fn new(vocab_size: usize) -> Self {
-        assert!(vocab_size >= 6, "vocab_size must leave room beyond specials");
+        assert!(
+            vocab_size >= 6,
+            "vocab_size must leave room beyond specials"
+        );
         Trainer {
             vocab_size,
             min_pair_freq: 2,
@@ -58,10 +61,8 @@ impl Trainer {
         }
 
         // Working representation: symbol sequences with frequencies.
-        let mut words: Vec<(Vec<String>, usize)> = word_freq
-            .iter()
-            .map(|(w, &f)| (to_symbols(w), f))
-            .collect();
+        let mut words: Vec<(Vec<String>, usize)> =
+            word_freq.iter().map(|(w, &f)| (to_symbols(w), f)).collect();
         // Deterministic order regardless of hash seeds.
         words.sort_by(|a, b| a.0.cmp(&b.0));
 

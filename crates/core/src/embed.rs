@@ -1,11 +1,19 @@
-//! Batch embedding helpers (parallel across threads).
+//! Batch embedding helpers.
+//!
+//! Embedding goes through [`nn::Encoder::forward_batch`]: sequences
+//! are bucketed by exact length and each bucket's embedding lookup,
+//! Q/K/V/O projections, feed-forward, and layer norms run as a few
+//! large matrix operations (attention stays per-sequence on row
+//! blocks, which is what keeps sequences from attending across each
+//! other). The batched path is bit-identical to encoding each line on
+//! its own — `parallel_embedding_matches_serial` below pins that down.
 
 use bpe::Tokenizer;
 use linalg::Matrix;
 use nn::Encoder;
 
 /// Pooling strategy for a sequence embedding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Pooling {
     /// Average of all token embeddings — the paper's choice for PCA
     /// anomaly detection (Section III).
@@ -14,11 +22,8 @@ pub enum Pooling {
     Cls,
 }
 
-/// Embeds `lines` into an `(n, hidden)` matrix, in parallel.
-///
-/// The encoder is cloned per worker thread; at experiment scale the
-/// clone is megabytes, not gigabytes, and this keeps the forward pass
-/// free of locking.
+/// Embeds `lines` into an `(n, hidden)` matrix via one batched
+/// encoder pass.
 pub fn embed_lines(
     encoder: &Encoder,
     tokenizer: &Tokenizer,
@@ -26,97 +31,20 @@ pub fn embed_lines(
     max_len: usize,
     pooling: Pooling,
 ) -> Matrix {
-    let hidden = encoder.config().hidden;
-    let n = lines.len();
-    let mut out = Matrix::zeros(n, hidden);
-    if n == 0 {
-        return out;
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
-    let chunk_rows = n.div_ceil(threads);
-
-    let mut chunks: Vec<(usize, &mut [f32])> = Vec::new();
-    {
-        let mut rest = out.as_mut_slice();
-        let mut start = 0usize;
-        while !rest.is_empty() {
-            let take = (chunk_rows * hidden).min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            chunks.push((start, head));
-            start += take / hidden;
-            rest = tail;
-        }
-    }
-
-    crossbeam::scope(|scope| {
-        for (row_start, chunk) in chunks {
-            let encoder = encoder.clone();
-            let tokenizer = tokenizer.clone();
-            let lines = &lines[row_start..row_start + chunk.len() / hidden];
-            scope.spawn(move |_| {
-                for (i, line) in lines.iter().enumerate() {
-                    let ids = tokenizer.encode_for_model(line, max_len);
-                    let emb = match pooling {
-                        Pooling::Mean => encoder.embed_mean(&ids),
-                        Pooling::Cls => encoder.embed_cls(&ids),
-                    };
-                    chunk[i * hidden..(i + 1) * hidden].copy_from_slice(&emb);
-                }
-            });
-        }
-    })
-    .expect("embedding worker panicked");
-    out
+    let sequences: Vec<Vec<u32>> = lines
+        .iter()
+        .map(|line| tokenizer.encode_for_model(line, max_len))
+        .collect();
+    embed_ids(encoder, &sequences, pooling)
 }
 
 /// Embeds pre-encoded id sequences (used when the caller already applied
 /// multi-line windowing).
 pub fn embed_ids(encoder: &Encoder, sequences: &[Vec<u32>], pooling: Pooling) -> Matrix {
-    let hidden = encoder.config().hidden;
-    let n = sequences.len();
-    let mut out = Matrix::zeros(n, hidden);
-    if n == 0 {
-        return out;
+    match pooling {
+        Pooling::Mean => encoder.embed_mean_batch(sequences),
+        Pooling::Cls => encoder.embed_cls_batch(sequences),
     }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
-    let chunk_rows = n.div_ceil(threads);
-
-    let mut chunks: Vec<(usize, &mut [f32])> = Vec::new();
-    {
-        let mut rest = out.as_mut_slice();
-        let mut start = 0usize;
-        while !rest.is_empty() {
-            let take = (chunk_rows * hidden).min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            chunks.push((start, head));
-            start += take / hidden;
-            rest = tail;
-        }
-    }
-
-    crossbeam::scope(|scope| {
-        for (row_start, chunk) in chunks {
-            let encoder = encoder.clone();
-            let seqs = &sequences[row_start..row_start + chunk.len() / hidden];
-            scope.spawn(move |_| {
-                for (i, ids) in seqs.iter().enumerate() {
-                    let emb = match pooling {
-                        Pooling::Mean => encoder.embed_mean(ids),
-                        Pooling::Cls => encoder.embed_cls(ids),
-                    };
-                    chunk[i * hidden..(i + 1) * hidden].copy_from_slice(&emb);
-                }
-            });
-        }
-    })
-    .expect("embedding worker panicked");
-    out
 }
 
 #[cfg(test)]
@@ -153,6 +81,23 @@ mod tests {
             let single = enc.embed_mean(&ids);
             for (a, b) in batch.row(i).iter().zip(&single) {
                 assert!((a - b).abs() < 1e-6, "row {i} mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_embedding_is_bit_identical_to_serial() {
+        let (enc, tok) = setup();
+        let lines: Vec<&str> = vec!["ls -la /tmp", "cat /etc/hosts", "ls", "docker ps -a"];
+        for pooling in [Pooling::Mean, Pooling::Cls] {
+            let batch = embed_lines(&enc, &tok, &lines, 32, pooling);
+            for (i, line) in lines.iter().enumerate() {
+                let ids = tok.encode_for_model(line, 32);
+                let single = match pooling {
+                    Pooling::Mean => enc.embed_mean(&ids),
+                    Pooling::Cls => enc.embed_cls(&ids),
+                };
+                assert_eq!(batch.row(i), single, "row {i} under {pooling:?}");
             }
         }
     }

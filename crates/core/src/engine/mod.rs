@@ -1,0 +1,339 @@
+//! The scoring engine: one embedding pass, many detectors, optional
+//! rank-fusion ensembling.
+//!
+//! Section IV of the paper evaluates five scoring methods over the
+//! *same* pre-trained embedding space (classification tuning,
+//! multi-line classification, reconstruction tuning, retrieval,
+//! vanilla kNN), and Section III adds the unsupervised detectors (PCA,
+//! isolation forest, one-class SVM). Running them independently embeds
+//! the identical train and de-duplicated test lines once per method —
+//! paying the encoder cost, the dominant cost at every scale, up to
+//! seven times over.
+//!
+//! This module factors that structure out:
+//!
+//! * [`EmbeddingStore`] memoizes each `(line set, pooling, max_len)`
+//!   embedding matrix so the encoder runs **exactly once** per
+//!   distinct input, however many methods consume it. Views are
+//!   `Arc`-backed and cheap to clone; hit/miss counters make the
+//!   "embedded once" claim testable.
+//! * [`Detector`] (re-exported from `anomaly`) is the method
+//!   interface: `fit(&EmbeddingView, &[bool])`,
+//!   `score_batch(&EmbeddingView)`, `name()`.
+//! * [`ScoringEngine`] drives a registered set of boxed detectors over
+//!   shared views and packages their scores; [`EngineRun::fuse`]
+//!   exposes the paper's future-work ensemble via
+//!   [`crate::ensemble::try_fuse_weighted`], propagating
+//!   [`EnsembleError`] instead of panicking.
+//!
+//! Two methods deserve a note on what "sharing the embedding" can
+//! mean:
+//!
+//! * **Reconstruction tuning** fine-tunes the backbone, so its *test*
+//!   scores must come from its own updated encoder — that re-embedding
+//!   is the method, not a cache miss. It still shares the frozen-space
+//!   training view for subsampling and label bookkeeping.
+//! * **Multi-line classification** consumes context windows over the
+//!   raw (user, timestamp)-ordered test stream rather than the
+//!   de-duplicated line set, so it brings its own inputs and its
+//!   score vector is aligned to window-deduplication; the engine
+//!   reports it alongside the others but [`EngineRun::fuse`] will
+//!   reject mixing it with line-aligned methods (a
+//!   [`EnsembleError::LengthMismatch`]).
+
+mod methods;
+mod store;
+
+pub use anomaly::{Detector, DetectorError, EmbeddingView};
+pub use methods::{
+    subsample_labeled, window_dedup_indices, ClassificationMethod, MultiLineMethod,
+    ReconstructionMethod,
+};
+pub use store::EmbeddingStore;
+
+use crate::ensemble::{try_fuse_weighted, EnsembleError};
+
+/// Why an engine run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A detector failed to fit.
+    Detector {
+        /// The detector's name.
+        method: String,
+        /// The underlying failure.
+        source: DetectorError,
+    },
+    /// Fusion over the collected scores was malformed.
+    Ensemble(EnsembleError),
+    /// A fusion request named an unregistered method.
+    UnknownMethod(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Detector { method, source } => {
+                write!(f, "detector {method:?} failed to fit: {source}")
+            }
+            EngineError::Ensemble(e) => write!(f, "ensemble fusion failed: {e}"),
+            EngineError::UnknownMethod(name) => write!(f, "no method named {name:?} in this run"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<EnsembleError> for EngineError {
+    fn from(e: EnsembleError) -> Self {
+        EngineError::Ensemble(e)
+    }
+}
+
+/// One method's scores from an engine run.
+#[derive(Debug, Clone)]
+pub struct MethodScores {
+    /// The detector's name.
+    pub name: String,
+    /// One score per scored sample, higher = more suspicious.
+    pub scores: Vec<f32>,
+    /// Whether `scores[i]` corresponds to test-view sample `i`
+    /// ([`Detector::test_aligned`]); stream-structured methods score
+    /// their own sample set and are excluded from whole-run fusion.
+    pub test_aligned: bool,
+}
+
+/// A set of registered detectors driven over shared embedding views.
+#[derive(Default)]
+pub struct ScoringEngine {
+    detectors: Vec<Box<dyn Detector>>,
+}
+
+impl ScoringEngine {
+    /// An engine with no registered detectors.
+    pub fn new() -> Self {
+        ScoringEngine::default()
+    }
+
+    /// Registers a detector; returns `self` for chaining.
+    pub fn register(mut self, detector: Box<dyn Detector>) -> Self {
+        self.detectors.push(detector);
+        self
+    }
+
+    /// Names of the registered detectors, in registration order.
+    pub fn detector_names(&self) -> Vec<&str> {
+        self.detectors.iter().map(|d| d.name()).collect()
+    }
+
+    /// Number of registered detectors.
+    pub fn len(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// Whether no detector is registered.
+    pub fn is_empty(&self) -> bool {
+        self.detectors.is_empty()
+    }
+
+    /// Whether any registered detector reads embedding matrices; when
+    /// `false`, the caller may run with lines-only views and skip the
+    /// encoder entirely.
+    pub fn wants_embeddings(&self) -> bool {
+        self.detectors.iter().any(|d| d.wants_embeddings())
+    }
+
+    /// Fits every registered detector on the shared training view and
+    /// supervision labels, then scores the shared test view in one
+    /// pass, consuming the engine into an [`EngineRun`].
+    pub fn run(
+        mut self,
+        train: &EmbeddingView,
+        labels: &[bool],
+        test: &EmbeddingView,
+    ) -> Result<EngineRun, EngineError> {
+        for det in &mut self.detectors {
+            det.fit(train, labels)
+                .map_err(|source| EngineError::Detector {
+                    method: det.name().to_string(),
+                    source,
+                })?;
+        }
+        let outputs = self
+            .detectors
+            .iter()
+            .map(|det| MethodScores {
+                name: det.name().to_string(),
+                scores: det.score_batch(test),
+                test_aligned: det.test_aligned(),
+            })
+            .collect();
+        Ok(EngineRun { outputs })
+    }
+}
+
+/// The collected outputs of a [`ScoringEngine::run`].
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    outputs: Vec<MethodScores>,
+}
+
+impl EngineRun {
+    /// All method outputs, in registration order.
+    pub fn outputs(&self) -> &[MethodScores] {
+        &self.outputs
+    }
+
+    /// One method's scores by name.
+    pub fn scores(&self, name: &str) -> Option<&[f32]> {
+        self.outputs
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.scores.as_slice())
+    }
+
+    /// Rank-fusion ensemble of the named methods with the given
+    /// weights — the paper's future-work item as a first-class API.
+    pub fn fuse(&self, names: &[&str], weights: &[f32]) -> Result<Vec<f32>, EngineError> {
+        let mut selected = Vec::with_capacity(names.len());
+        for &name in names {
+            selected.push(
+                self.scores(name)
+                    .ok_or_else(|| EngineError::UnknownMethod(name.to_string()))?,
+            );
+        }
+        Ok(try_fuse_weighted(&selected, weights)?)
+    }
+
+    /// Unweighted rank-fusion over every **test-aligned** method in
+    /// the run. Stream-structured methods (window-deduplicated
+    /// multi-line) are excluded by their [`Detector::test_aligned`]
+    /// flag — score counts coinciding by chance must not let two
+    /// different sample orderings fuse position-wise.
+    pub fn fuse_all(&self) -> Result<Vec<f32>, EngineError> {
+        let names: Vec<&str> = self
+            .outputs
+            .iter()
+            .filter(|m| m.test_aligned)
+            .map(|m| m.name.as_str())
+            .collect();
+        let weights = vec![1.0; names.len()];
+        self.fuse(&names, &weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anomaly::{PcaMethod, RetrievalMethod, VanillaKnnMethod};
+    use linalg::Matrix;
+
+    fn toy_views() -> (EmbeddingView, Vec<bool>, EmbeddingView) {
+        let train = Matrix::from_fn(20, 4, |r, c| {
+            if r < 4 {
+                // Malicious cluster along dim 3.
+                if c == 3 {
+                    1.0
+                } else {
+                    0.05 * r as f32
+                }
+            } else if c == 3 {
+                0.0
+            } else {
+                0.1 * ((r + c) % 5) as f32
+            }
+        });
+        let labels: Vec<bool> = (0..20).map(|r| r < 4).collect();
+        let test = Matrix::from_fn(6, 4, |r, c| if c == 3 && r < 2 { 0.9 } else { 0.01 });
+        (
+            EmbeddingView::from_matrix(train),
+            labels,
+            EmbeddingView::from_matrix(test),
+        )
+    }
+
+    #[test]
+    fn engine_runs_registered_detectors_and_fuses() {
+        let (train, labels, test) = toy_views();
+        let engine = ScoringEngine::new()
+            .register(Box::new(PcaMethod::new(0.95)))
+            .register(Box::new(RetrievalMethod::new(1)))
+            .register(Box::new(VanillaKnnMethod::new(3)));
+        assert_eq!(engine.detector_names(), ["pca", "retrieval", "vanilla-knn"]);
+        let run = engine.run(&train, &labels, &test).expect("run succeeds");
+        for m in run.outputs() {
+            assert_eq!(m.scores.len(), 6, "{}", m.name);
+        }
+        let fused = run.fuse_all().expect("uniform lengths fuse");
+        assert_eq!(fused.len(), 6);
+        // Both malicious-direction test rows outrank the benign ones
+        // under the fused ranking.
+        assert!(fused[0] > fused[3] && fused[1] > fused[4]);
+    }
+
+    #[test]
+    fn fuse_all_keeps_only_test_aligned_methods() {
+        // Two line-aligned methods (5 samples) plus one stream-aligned
+        // method (3 window-deduplicated samples, as multiline produces):
+        // fuse_all must fuse the majority, not fail on the odd one out.
+        let run = EngineRun {
+            outputs: vec![
+                MethodScores {
+                    name: "multiline".into(),
+                    // Same count as the others — alignment, not count,
+                    // must decide.
+                    scores: vec![0.1, 0.9, 0.4, 0.7, 0.6],
+                    test_aligned: false,
+                },
+                MethodScores {
+                    name: "a".into(),
+                    scores: vec![0.9, 0.1, 0.5, 0.2, 0.3],
+                    test_aligned: true,
+                },
+                MethodScores {
+                    name: "b".into(),
+                    scores: vec![0.8, 0.2, 0.6, 0.1, 0.4],
+                    test_aligned: true,
+                },
+            ],
+        };
+        let fused = run.fuse_all().expect("aligned methods fuse");
+        assert_eq!(fused.len(), 5);
+        // Sample 0 is top-ranked by both aligned methods; multiline's
+        // conflicting ranking must not have contributed.
+        assert!(fused[0] > fused[1]);
+        assert!(fused.iter().all(|&x| fused[0] >= x));
+    }
+
+    #[test]
+    fn detector_failure_is_named() {
+        let (train, _, test) = toy_views();
+        let engine = ScoringEngine::new().register(Box::new(RetrievalMethod::new(1)));
+        let err = engine.run(&train, &[false; 20], &test).unwrap_err();
+        match err {
+            EngineError::Detector { method, source } => {
+                assert_eq!(method, "retrieval");
+                assert_eq!(source, DetectorError::NoPositiveLabels);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fusion_errors_propagate() {
+        let (train, labels, test) = toy_views();
+        let run = ScoringEngine::new()
+            .register(Box::new(PcaMethod::new(0.9)))
+            .run(&train, &labels, &test)
+            .unwrap();
+        assert_eq!(
+            run.fuse(&["nonexistent"], &[1.0]),
+            Err(EngineError::UnknownMethod("nonexistent".into()))
+        );
+        assert_eq!(
+            run.fuse(&["pca"], &[0.0]),
+            Err(EngineError::Ensemble(
+                crate::ensemble::EnsembleError::ZeroWeightSum
+            ))
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! The shared embedding store: each `(line set, pooling, max_len)`
+//! matrix is computed exactly once.
+
+use crate::embed::{embed_lines, Pooling};
+use crate::pipeline::IdsPipeline;
+use anomaly::EmbeddingView;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct StoreKey {
+    lines_hash: u64,
+    line_count: usize,
+    pooling: Pooling,
+    max_len: usize,
+}
+
+/// Memoizes embedding matrices over a frozen pipeline.
+///
+/// Methods sharing a pipeline ask the store for views instead of
+/// calling [`embed_lines`] themselves; the first request for a given
+/// `(line set, pooling, max_len)` runs the encoder, every later
+/// request is an `Arc` clone. [`EmbeddingStore::hits`] /
+/// [`EmbeddingStore::misses`] expose the cache behaviour so "the test
+/// split is embedded exactly once" is a testable claim, not a hope.
+///
+/// Line sets are keyed by a 64-bit hash of their contents (plus the
+/// line count); a collision between two *different* line sets of equal
+/// length is vanishingly unlikely and would only surface as reused
+/// embeddings.
+pub struct EmbeddingStore<'p> {
+    pipeline: &'p IdsPipeline,
+    cache: Mutex<HashMap<StoreKey, Arc<OnceLock<EmbeddingView>>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<'p> EmbeddingStore<'p> {
+    /// An empty store over a frozen pipeline.
+    pub fn new(pipeline: &'p IdsPipeline) -> Self {
+        EmbeddingStore {
+            pipeline,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The pipeline whose encoder backs this store.
+    pub fn pipeline(&self) -> &'p IdsPipeline {
+        self.pipeline
+    }
+
+    /// The view for `lines` under `pooling`, embedding on first use.
+    ///
+    /// Concurrent requests for the same key rendezvous on one slot:
+    /// exactly one caller runs the encoder, the rest block on the slot
+    /// and count as hits, so "embedded exactly once" holds under
+    /// parallel use too. Distinct keys embed in parallel (the map lock
+    /// is only held to find or create the slot).
+    pub fn view(&self, lines: &[&str], pooling: Pooling) -> EmbeddingView {
+        let max_len = self.pipeline.max_len();
+        let key = StoreKey {
+            lines_hash: hash_lines(lines),
+            line_count: lines.len(),
+            pooling,
+            max_len,
+        };
+        let slot = self.cache.lock().unwrap().entry(key).or_default().clone();
+        let mut computed = false;
+        let view = slot.get_or_init(|| {
+            computed = true;
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let matrix = embed_lines(
+                self.pipeline.encoder(),
+                self.pipeline.tokenizer(),
+                lines,
+                max_len,
+                pooling,
+            );
+            EmbeddingView::new(lines.iter().map(|s| s.to_string()).collect(), matrix)
+        });
+        if !computed {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        view.clone()
+    }
+
+    /// [`EmbeddingStore::view`] over owned strings.
+    pub fn view_of(&self, lines: &[String], pooling: Pooling) -> EmbeddingView {
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        self.view(&refs, pooling)
+    }
+
+    /// Cache hits so far (requests answered without running the encoder).
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far (encoder passes actually run).
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct matrices currently memoized.
+    pub fn len(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been embedded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn hash_lines(lines: &[&str]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for line in lines {
+        line.hash(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_pipeline() -> IdsPipeline {
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = PipelineConfig::fast();
+        let dataset = config.generate_dataset(&mut rng);
+        IdsPipeline::pretrain(&config, &dataset, &mut rng)
+    }
+
+    #[test]
+    fn second_request_hits_the_cache() {
+        let pipeline = tiny_pipeline();
+        let store = EmbeddingStore::new(&pipeline);
+        let lines = ["ls -la /tmp", "cat /etc/hosts", "docker ps -a"];
+        let a = store.view(&lines, Pooling::Mean);
+        assert_eq!((store.hits(), store.misses()), (0, 1));
+        let b = store.view(&lines, Pooling::Mean);
+        assert_eq!((store.hits(), store.misses()), (1, 1));
+        assert_eq!(a.matrix(), b.matrix());
+        assert_eq!(a.lines(), lines.map(String::from));
+    }
+
+    #[test]
+    fn pooling_and_line_set_key_separately() {
+        let pipeline = tiny_pipeline();
+        let store = EmbeddingStore::new(&pipeline);
+        let lines = ["ls -la /tmp", "df -h"];
+        let _ = store.view(&lines, Pooling::Mean);
+        let _ = store.view(&lines, Pooling::Cls);
+        let _ = store.view(&lines[..1], Pooling::Mean);
+        assert_eq!(store.misses(), 3);
+        assert_eq!(store.hits(), 0);
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn view_matches_direct_embedding() {
+        let pipeline = tiny_pipeline();
+        let store = EmbeddingStore::new(&pipeline);
+        let lines = ["ls -la /tmp", "cat /etc/hosts"];
+        let view = store.view(&lines, Pooling::Mean);
+        let direct = embed_lines(
+            pipeline.encoder(),
+            pipeline.tokenizer(),
+            &lines,
+            pipeline.max_len(),
+            Pooling::Mean,
+        );
+        assert_eq!(*view.matrix(), direct);
+    }
+}

@@ -8,6 +8,54 @@
 //! method ranks the test set, ranks are converted to `[0, 1]` quantile
 //! scores, and the ensemble score is their mean (optionally weighted).
 
+/// Why a fusion request is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnsembleError {
+    /// No methods were supplied.
+    NoMethods,
+    /// A method's score vector length disagrees with the first method's.
+    LengthMismatch {
+        /// Length of the first method's scores.
+        expected: usize,
+        /// The offending method's index.
+        method: usize,
+        /// The offending method's length.
+        got: usize,
+    },
+    /// The weight count does not match the method count.
+    WeightCountMismatch {
+        /// Number of methods.
+        methods: usize,
+        /// Number of weights.
+        weights: usize,
+    },
+    /// Every weight is zero (or the sum is non-positive).
+    ZeroWeightSum,
+}
+
+impl std::fmt::Display for EnsembleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnsembleError::NoMethods => write!(f, "need at least one method to fuse"),
+            EnsembleError::LengthMismatch {
+                expected,
+                method,
+                got,
+            } => write!(
+                f,
+                "all methods must score the same samples: method {method} scored {got}, expected {expected}"
+            ),
+            EnsembleError::WeightCountMismatch { methods, weights } => write!(
+                f,
+                "one weight per method required: {methods} methods, {weights} weights"
+            ),
+            EnsembleError::ZeroWeightSum => write!(f, "weights must not all be zero"),
+        }
+    }
+}
+
+impl std::error::Error for EnsembleError {}
+
 /// Converts raw scores to quantile scores in `[0, 1]`:
 /// the highest raw score maps to 1, the lowest to near 0. Ties share
 /// the average of their quantiles, so deterministic scorers with many
@@ -45,25 +93,32 @@ pub fn rank_normalize(scores: &[f32]) -> Vec<f32> {
 }
 
 /// Fuses several methods' scores for the same sample set by weighted
-/// mean of rank-normalized scores.
-///
-/// # Panics
-///
-/// Panics if `methods` is empty, the score vectors have differing
-/// lengths, weights don't match the method count, or all weights are 0.
-pub fn fuse_weighted(methods: &[&[f32]], weights: &[f32]) -> Vec<f32> {
-    assert!(!methods.is_empty(), "need at least one method to fuse");
-    assert_eq!(
-        methods.len(),
-        weights.len(),
-        "one weight per method required"
-    );
+/// mean of rank-normalized scores, reporting malformed requests as a
+/// typed [`EnsembleError`] instead of panicking.
+pub fn try_fuse_weighted(methods: &[&[f32]], weights: &[f32]) -> Result<Vec<f32>, EnsembleError> {
+    if methods.is_empty() {
+        return Err(EnsembleError::NoMethods);
+    }
+    if methods.len() != weights.len() {
+        return Err(EnsembleError::WeightCountMismatch {
+            methods: methods.len(),
+            weights: weights.len(),
+        });
+    }
     let n = methods[0].len();
-    for m in methods {
-        assert_eq!(m.len(), n, "all methods must score the same samples");
+    for (i, m) in methods.iter().enumerate() {
+        if m.len() != n {
+            return Err(EnsembleError::LengthMismatch {
+                expected: n,
+                method: i,
+                got: m.len(),
+            });
+        }
     }
     let total: f32 = weights.iter().sum();
-    assert!(total > 0.0, "weights must not all be zero");
+    if total.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err(EnsembleError::ZeroWeightSum);
+    }
 
     let mut fused = vec![0.0f32; n];
     for (m, &w) in methods.iter().zip(weights) {
@@ -75,7 +130,25 @@ pub fn fuse_weighted(methods: &[&[f32]], weights: &[f32]) -> Vec<f32> {
     for f in &mut fused {
         *f /= total;
     }
-    fused
+    Ok(fused)
+}
+
+/// Unweighted variant of [`try_fuse_weighted`].
+pub fn try_fuse(methods: &[&[f32]]) -> Result<Vec<f32>, EnsembleError> {
+    try_fuse_weighted(methods, &vec![1.0; methods.len()])
+}
+
+/// Panicking convenience wrapper around [`try_fuse_weighted`].
+///
+/// # Panics
+///
+/// Panics if `methods` is empty, the score vectors have differing
+/// lengths, weights don't match the method count, or all weights are 0.
+pub fn fuse_weighted(methods: &[&[f32]], weights: &[f32]) -> Vec<f32> {
+    match try_fuse_weighted(methods, weights) {
+        Ok(fused) => fused,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Unweighted rank-mean fusion.

@@ -1,8 +1,8 @@
 //! Method evaluation harness: turns scores into the paper's table rows.
 
 use crate::metrics::{
-    calibrate_threshold, f1_comparison, out_of_box_precision, overall_precision,
-    precision_at_top, F1Comparison, ScoredSample,
+    calibrate_threshold, f1_comparison, out_of_box_precision, overall_precision, precision_at_top,
+    F1Comparison, ScoredSample,
 };
 use corpus::AttackFamily;
 use serde::{Deserialize, Serialize};

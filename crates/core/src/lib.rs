@@ -39,6 +39,7 @@
 //! ```
 
 pub mod embed;
+pub mod engine;
 pub mod ensemble;
 pub mod eval;
 pub mod metrics;
@@ -52,4 +53,4 @@ pub use metrics::{
     calibrate_threshold, f1_comparison, precision_at_top, F1Comparison, ScoredSample,
 };
 pub use pipeline::{IdsPipeline, PipelineConfig};
-pub use preprocess::{Preprocessor, PreprocessStats};
+pub use preprocess::{PreprocessStats, Preprocessor};

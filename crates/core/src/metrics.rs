@@ -45,8 +45,7 @@ pub fn calibrate_threshold(samples: &[ScoredSample], u: f64) -> Option<f32> {
         return None;
     }
     in_box_scores.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
-    let need = ((u * in_box_scores.len() as f64).ceil() as usize)
-        .clamp(1, in_box_scores.len());
+    let need = ((u * in_box_scores.len() as f64).ceil() as usize).clamp(1, in_box_scores.len());
     Some(in_box_scores[need - 1])
 }
 
@@ -153,7 +152,11 @@ pub fn f1_comparison(samples: &[ScoredSample], threshold: f32, u: f64) -> Option
     let s = s_ids_alerts as f64;
     let t = t_predicted as f64;
     let denom = x * t + u * (1.0 - x) * s;
-    let ids_recall = if denom > 0.0 { (u * s / denom).min(1.0) } else { 1.0 };
+    let ids_recall = if denom > 0.0 {
+        (u * s / denom).min(1.0)
+    } else {
+        1.0
+    };
     let ids_precision = 1.0;
     let ids_f1 = 2.0 * ids_precision * ids_recall / (ids_precision + ids_recall);
 

@@ -142,9 +142,19 @@ mod tests {
     fn fitted() -> Preprocessor {
         let mut pre = Preprocessor::new(3);
         let corpus: Vec<&str> = vec![
-            "ls -la", "ls /tmp", "ls /home", "ls",
-            "docker ps", "docker ps -a", "docker logs c1", "docker restart c1",
-            "cat a | grep x", "grep y f", "grep z g", "cat b", "cat c",
+            "ls -la",
+            "ls /tmp",
+            "ls /home",
+            "ls",
+            "docker ps",
+            "docker ps -a",
+            "docker logs c1",
+            "docker restart c1",
+            "cat a | grep x",
+            "grep y f",
+            "grep z g",
+            "cat b",
+            "cat c",
         ];
         pre.fit(corpus);
         pre
@@ -186,13 +196,13 @@ mod tests {
     #[test]
     fn process_reports_stats() {
         let pre = fitted();
-        let lines = vec![
-            "ls -la",                 // kept
-            "dcoker ps",              // filtered (typo)
-            "",                       // empty
-            "# comment",              // empty
-            "/*/*/* -> /*/*/* ->",    // invalid
-            "docker ps",              // kept
+        let lines = [
+            "ls -la",              // kept
+            "dcoker ps",           // filtered (typo)
+            "",                    // empty
+            "# comment",           // empty
+            "/*/*/* -> /*/*/* ->", // invalid
+            "docker ps",           // kept
         ];
         let (kept, stats) = pre.process(lines.iter().copied());
         assert_eq!(kept, vec!["ls -la", "docker ps"]);

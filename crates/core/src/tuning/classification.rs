@@ -115,13 +115,29 @@ impl ClassificationTuner {
             pipeline.max_len(),
             config.pooling,
         );
+        Self::fit_embeddings(&embeddings, labels, config, rng)
+    }
+
+    /// Tunes the head on already-embedded lines — the entry point the
+    /// scoring engine uses so the backbone runs once per line set
+    /// (via `engine::EmbeddingStore`) across all methods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty or lengths disagree.
+    pub fn fit_embeddings<R: Rng + ?Sized>(
+        embeddings: &linalg::Matrix,
+        labels: &[bool],
+        config: &TuneConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(embeddings.rows() > 0, "no labeled lines to tune on");
+        assert_eq!(embeddings.rows(), labels.len(), "one label per line");
         let idx = balance_indices(labels);
-        let balanced = linalg::Matrix::from_fn(idx.len(), embeddings.cols(), |r, c| {
-            embeddings[(idx[r], c)]
-        });
+        let balanced =
+            linalg::Matrix::from_fn(idx.len(), embeddings.cols(), |r, c| embeddings[(idx[r], c)]);
         let targets: Vec<u32> = idx.iter().map(|&i| labels[i] as u32).collect();
-        let mut head =
-            ClassificationHead::new(rng, pipeline.encoder().config().hidden, config.inner_dim);
+        let mut head = ClassificationHead::new(rng, embeddings.cols(), config.inner_dim);
         let mut optimizer = AdamW::new(config.lr, config.weight_decay);
         let losses = head.fit(
             rng,
@@ -155,7 +171,18 @@ impl ClassificationTuner {
             pipeline.max_len(),
             self.pooling,
         );
-        self.head.predict_proba(&embeddings)
+        self.score_embeddings(&embeddings)
+    }
+
+    /// Intrusion probability for already-embedded lines (the pooling
+    /// must match the one the tuner was fitted with).
+    pub fn score_embeddings(&self, embeddings: &linalg::Matrix) -> Vec<f32> {
+        self.head.predict_proba(embeddings)
+    }
+
+    /// The pooling this tuner was fitted with.
+    pub fn pooling(&self) -> Pooling {
+        self.pooling
     }
 
     /// Intrusion probability for one line.
@@ -209,13 +236,8 @@ mod tests {
                 labels.push(true);
             }
         }
-        let tuner = ClassificationTuner::fit(
-            &pipeline,
-            &lines,
-            &labels,
-            &TuneConfig::scaled(),
-            &mut rng,
-        );
+        let tuner =
+            ClassificationTuner::fit(&pipeline, &lines, &labels, &TuneConfig::scaled(), &mut rng);
 
         let attack_score = tuner.score(&pipeline, "nc -lvnp 5555");
         let benign_score = tuner.score(&pipeline, "ls -lh /var/log");

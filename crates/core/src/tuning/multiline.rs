@@ -87,10 +87,7 @@ pub struct MultiLineClassifier {
 
 /// Builds the `(n, 2·hidden)` head input: window embedding ‖ target
 /// embedding.
-fn window_features(
-    pipeline: &IdsPipeline,
-    windows: &[ContextWindow],
-) -> Matrix {
+fn window_features(pipeline: &IdsPipeline, windows: &[ContextWindow]) -> Matrix {
     let window_seqs: Vec<Vec<u32>> = windows
         .iter()
         .map(|w| {
@@ -135,9 +132,8 @@ impl MultiLineClassifier {
         let windows = build_windows(records, width, max_gap);
         let embeddings = window_features(pipeline, &windows);
         let idx = crate::tuning::classification::balance_indices(labels);
-        let balanced = Matrix::from_fn(idx.len(), embeddings.cols(), |r, c| {
-            embeddings[(idx[r], c)]
-        });
+        let balanced =
+            Matrix::from_fn(idx.len(), embeddings.cols(), |r, c| embeddings[(idx[r], c)]);
         let targets: Vec<u32> = idx.iter().map(|&i| labels[i] as u32).collect();
         let mut head = ClassificationHead::new(
             rng,
@@ -171,7 +167,17 @@ impl MultiLineClassifier {
             return Vec::new();
         }
         let windows = build_windows(records, self.width, self.max_gap);
-        let embeddings = window_features(pipeline, &windows);
+        self.score_windows(pipeline, &windows)
+    }
+
+    /// Scores already-built context windows (callers that need the
+    /// windows for other bookkeeping — e.g. window-content
+    /// deduplication — build them once and reuse them here).
+    pub fn score_windows(&self, pipeline: &IdsPipeline, windows: &[ContextWindow]) -> Vec<f32> {
+        if windows.is_empty() {
+            return Vec::new();
+        }
+        let embeddings = window_features(pipeline, windows);
         self.head.predict_proba(&embeddings)
     }
 }
@@ -210,18 +216,16 @@ mod tests {
 
     #[test]
     fn window_width_is_respected() {
-        let records: Vec<LogRecord> =
-            (0..6).map(|i| rec(1, 100 + i, &format!("cmd{i}"))).collect();
+        let records: Vec<LogRecord> = (0..6)
+            .map(|i| rec(1, 100 + i, &format!("cmd{i}")))
+            .collect();
         let windows = build_windows(&records, 3, 60);
         assert_eq!(windows[5].lines, vec!["cmd3", "cmd4", "cmd5"]);
     }
 
     #[test]
     fn stale_context_is_excluded() {
-        let records = vec![
-            rec(1, 100, "old command"),
-            rec(1, 100_000, "fresh command"),
-        ];
+        let records = vec![rec(1, 100, "old command"), rec(1, 100_000, "fresh command")];
         let windows = build_windows(&records, 3, 300);
         assert_eq!(windows[1].lines, vec!["fresh command"]);
     }
@@ -230,11 +234,7 @@ mod tests {
     fn gap_chains_between_consecutive_lines() {
         // 100 → 350 → 600: each consecutive gap is 250 ≤ 300, so the
         // whole chain is context even though 600−100 > 300.
-        let records = vec![
-            rec(1, 100, "a"),
-            rec(1, 350, "b"),
-            rec(1, 600, "c"),
-        ];
+        let records = vec![rec(1, 100, "a"), rec(1, 350, "b"), rec(1, 600, "c")];
         let windows = build_windows(&records, 3, 300);
         assert_eq!(windows[2].lines, vec!["a", "b", "c"]);
     }

@@ -253,12 +253,7 @@ fn tune_step(
 
     // dL/dL_i = −yᵢ/S1 + 1/S0 ; dL_i/dx = 2·rᵢ ; mean-pool spreads 1/s.
     pipeline.encoder_mut().zero_grad();
-    for (((&i, cache), residual), &s) in batch
-        .iter()
-        .zip(&caches)
-        .zip(&residuals)
-        .zip(&seq_lens)
-    {
+    for (((&i, cache), residual), &s) in batch.iter().zip(&caches).zip(&residuals).zip(&seq_lens) {
         let y = labels[i] as u32 as f32;
         let dli = -y / s1 + 1.0 / s0;
         let hidden_dim = residual.len();

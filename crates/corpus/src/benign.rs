@@ -11,28 +11,72 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 const DIRS: &[&str] = &[
-    "/tmp", "/var/log", "/home/admin", "/opt/app", "/data", "/srv/www", "/etc", "/usr/local/bin",
-    "/home/dev/project", "/var/lib/docker", "/mnt/backup", "/root",
+    "/tmp",
+    "/var/log",
+    "/home/admin",
+    "/opt/app",
+    "/data",
+    "/srv/www",
+    "/etc",
+    "/usr/local/bin",
+    "/home/dev/project",
+    "/var/lib/docker",
+    "/mnt/backup",
+    "/root",
 ];
 
 const FILES: &[&str] = &[
-    "main.py", "app.log", "config.yaml", "install.sh", "data.csv", "notes.txt", "server.js",
-    "run.sh", "Makefile", "requirements.txt", "index.html", "backup.tar.gz", "model.bin",
-    "access.log", "error.log", "db.sqlite", ".bashrc", "deploy.sh", "test.py", "report.json",
+    "main.py",
+    "app.log",
+    "config.yaml",
+    "install.sh",
+    "data.csv",
+    "notes.txt",
+    "server.js",
+    "run.sh",
+    "Makefile",
+    "requirements.txt",
+    "index.html",
+    "backup.tar.gz",
+    "model.bin",
+    "access.log",
+    "error.log",
+    "db.sqlite",
+    ".bashrc",
+    "deploy.sh",
+    "test.py",
+    "report.json",
 ];
 
 const HOSTS: &[&str] = &[
-    "mirror.example.com", "repo.internal", "cdn.pkgs.net", "files.corp.local", "10.2.0.15",
-    "192.168.1.40", "build.ci.local", "artifacts.example.org",
+    "mirror.example.com",
+    "repo.internal",
+    "cdn.pkgs.net",
+    "files.corp.local",
+    "10.2.0.15",
+    "192.168.1.40",
+    "build.ci.local",
+    "artifacts.example.org",
 ];
 
-const CONTAINERS: &[&str] = &["web-1", "db-primary", "cache", "worker-3", "nginx", "app-backend"];
+const CONTAINERS: &[&str] = &[
+    "web-1",
+    "db-primary",
+    "cache",
+    "worker-3",
+    "nginx",
+    "app-backend",
+];
 
-const PACKAGES: &[&str] = &["numpy", "requests", "flask", "pandas", "torch", "boto3", "redis"];
+const PACKAGES: &[&str] = &[
+    "numpy", "requests", "flask", "pandas", "torch", "boto3", "redis",
+];
 
 const SERVICES: &[&str] = &["nginx", "docker", "sshd", "redis", "postgresql", "crond"];
 
-const PATTERNS: &[&str] = &["error", "WARN", "timeout", "refused", "root", "failed", "OOM"];
+const PATTERNS: &[&str] = &[
+    "error", "WARN", "timeout", "refused", "root", "failed", "OOM",
+];
 
 fn pick<'a, R: Rng + ?Sized>(rng: &mut R, pool: &[&'a str]) -> &'a str {
     pool.choose(rng).expect("non-empty pool")
@@ -96,9 +140,36 @@ impl BenignGenerator {
     /// distribution first (the paper's Figure 2 occurrence table order).
     pub fn command_names() -> [&'static str; TEMPLATE_COUNT] {
         [
-            "cd", "echo", "chmod", "grep", "ls", "awk", "ll", "df", "ps", "cat", "rm", "docker",
-            "vim", "python", "curl", "tar", "find", "mkdir", "cp", "mv", "git", "ssh", "kill",
-            "head", "tail", "wc", "free", "du", "systemctl", "pip",
+            "cd",
+            "echo",
+            "chmod",
+            "grep",
+            "ls",
+            "awk",
+            "ll",
+            "df",
+            "ps",
+            "cat",
+            "rm",
+            "docker",
+            "vim",
+            "python",
+            "curl",
+            "tar",
+            "find",
+            "mkdir",
+            "cp",
+            "mv",
+            "git",
+            "ssh",
+            "kill",
+            "head",
+            "tail",
+            "wc",
+            "free",
+            "du",
+            "systemctl",
+            "pip",
         ]
     }
 
@@ -126,7 +197,7 @@ impl BenignGenerator {
             0 => format!("cd {}", pick(rng, DIRS)),
             1 => match rng.gen_range(0..3) {
                 0 => format!("echo \"deploy {} done\"", rng.gen_range(1..100)),
-                1 => format!("echo $PATH"),
+                1 => "echo $PATH".to_string(),
                 _ => format!("echo {} >> {}", rng.gen_range(0..9), file_path(rng)),
             },
             2 => format!(
@@ -145,7 +216,11 @@ impl BenignGenerator {
                 ["-la", "-lh", "-ltr", "-a"].choose(rng).expect("non-empty"),
                 pick(rng, DIRS)
             ),
-            5 => format!("awk '{{print ${}}}' {}", rng.gen_range(1..6), file_path(rng)),
+            5 => format!(
+                "awk '{{print ${}}}' {}",
+                rng.gen_range(1..6),
+                file_path(rng)
+            ),
             6 => format!("ll {}", pick(rng, DIRS)),
             7 => "df -h".to_string(),
             8 => format!(
@@ -168,9 +243,14 @@ impl BenignGenerator {
             13 => format!(
                 "python{} {}",
                 ["", "3"].choose(rng).expect("non-empty"),
-                ["main.py", "manage.py runserver", "train.py --epochs 10", "-m http.server"]
-                    .choose(rng)
-                    .expect("non-empty")
+                [
+                    "main.py",
+                    "manage.py runserver",
+                    "train.py --epochs 10",
+                    "-m http.server"
+                ]
+                .choose(rng)
+                .expect("non-empty")
             ),
             14 => match rng.gen_range(0..3) {
                 0 => format!("curl -s {}", url(rng)),

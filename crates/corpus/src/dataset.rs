@@ -303,11 +303,17 @@ mod tests {
     fn deterministic_under_seed() {
         let a = {
             let mut rng = StdRng::seed_from_u64(5);
-            DatasetBuilder::new().train_size(300).test_size(100).build(&mut rng)
+            DatasetBuilder::new()
+                .train_size(300)
+                .test_size(100)
+                .build(&mut rng)
         };
         let b = {
             let mut rng = StdRng::seed_from_u64(5);
-            DatasetBuilder::new().train_size(300).test_size(100).build(&mut rng)
+            DatasetBuilder::new()
+                .train_size(300)
+                .test_size(100)
+                .build(&mut rng)
         };
         assert_eq!(a.train, b.train);
         assert_eq!(a.test, b.test);

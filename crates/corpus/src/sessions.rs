@@ -90,7 +90,14 @@ impl SessionGenerator {
             t += rng.gen_range(1..=self.config.max_gap_secs);
             if attack_at == Some(i) {
                 let sample = self.random_attack(rng);
-                push_attack(&mut records, user, &mut t, &sample, self.config.max_gap_secs, rng);
+                push_attack(
+                    &mut records,
+                    user,
+                    &mut t,
+                    &sample,
+                    self.config.max_gap_secs,
+                    rng,
+                );
                 continue;
             }
             if rng.gen_bool(self.config.invalid_prob) {
@@ -185,8 +192,8 @@ impl WorkflowState {
             }
         }
         let line = benign.generate(rng);
-        if line.starts_with("cd ") {
-            self.cwd = Some(line[3..].to_string());
+        if let Some(target) = line.strip_prefix("cd ") {
+            self.cwd = Some(target.to_string());
         }
         line
     }

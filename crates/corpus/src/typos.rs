@@ -32,7 +32,10 @@ pub fn corrupt_command_name<R: Rng + ?Sized>(rng: &mut R, line: &str) -> Option<
         // Duplication: chmod → chmmod.
         2 => out.insert(i, chars[i - 1]),
         // Neighbour substitution: chmod → chdmod-like insertions.
-        _ => out.insert(i, *['d', 's', 'f', 'j', 'k'].choose(rng).expect("non-empty")),
+        _ => out.insert(
+            i,
+            *['d', 's', 'f', 'j', 'k'].choose(rng).expect("non-empty"),
+        ),
     }
     let corrupted: String = out.into_iter().collect();
     if corrupted == name {
@@ -50,7 +53,10 @@ pub fn invalid_line<R: Rng + ?Sized>(rng: &mut R) -> String {
         // The paper's example: dangling redirection operators.
         0 => "/*/*/* -> /*/*/* ->".to_string(),
         1 => format!("echo 'unterminated {}", rng.gen_range(0..100)),
-        2 => format!("ls {} | | wc -l", ["-la", "-lh"].choose(rng).expect("non-empty")),
+        2 => format!(
+            "ls {} | | wc -l",
+            ["-la", "-lh"].choose(rng).expect("non-empty")
+        ),
         3 => format!("cat file{} >", rng.gen_range(0..50)),
         _ => format!("grep pattern && && ls{}", rng.gen_range(0..10)),
     }

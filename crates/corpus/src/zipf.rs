@@ -21,7 +21,10 @@ impl ZipfSampler {
         let mut cumulative = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
         for &w in weights {
-            assert!(w.is_finite() && w > 0.0, "weights must be positive, got {w}");
+            assert!(
+                w.is_finite() && w > 0.0,
+                "weights must be positive, got {w}"
+            );
             acc += w;
             cumulative.push(acc);
         }

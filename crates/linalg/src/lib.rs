@@ -22,6 +22,6 @@ pub mod rng;
 pub mod svd;
 
 pub use eig::eigh;
-pub use matrix::Matrix;
+pub use matrix::{dot, Matrix};
 pub use pca::Pca;
 pub use svd::{thin_svd, Svd};

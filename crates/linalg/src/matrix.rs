@@ -93,11 +93,13 @@ impl Matrix {
     }
 
     /// Number of rows.
+    #[inline]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
     /// Number of columns.
+    #[inline]
     pub fn cols(&self) -> usize {
         self.cols
     }
@@ -108,11 +110,13 @@ impl Matrix {
     }
 
     /// The underlying row-major buffer.
+    #[inline]
     pub fn as_slice(&self) -> &[f32] {
         &self.data
     }
 
     /// Mutable access to the underlying row-major buffer.
+    #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
         &mut self.data
     }
@@ -127,6 +131,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `r >= rows`.
+    #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
         assert!(r < self.rows, "row {r} out of bounds ({})", self.rows);
         &self.data[r * self.cols..(r + 1) * self.cols]
@@ -137,6 +142,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `r >= rows`.
+    #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         assert!(r < self.rows, "row {r} out of bounds ({})", self.rows);
         &mut self.data[r * self.cols..(r + 1) * self.cols]
@@ -160,7 +166,12 @@ impl Matrix {
     /// Panics if the range exceeds the column count.
     pub fn col_block(&self, start: usize, len: usize) -> Matrix {
         assert!(start + len <= self.cols, "column block out of bounds");
-        Matrix::from_fn(self.rows, len, |r, c| self[(r, start + c)])
+        let mut out = Matrix::zeros(self.rows, len);
+        for r in 0..self.rows {
+            out.row_mut(r)
+                .copy_from_slice(&self.row(r)[start..start + len]);
+        }
+        out
     }
 
     /// Writes `block` into columns `[start, start + block.cols())`.
@@ -179,6 +190,38 @@ impl Matrix {
                 self[(r, start + c)] = block[(r, c)];
             }
         }
+    }
+
+    /// Copies rows `[start, start + len)` into a new matrix — used for
+    /// per-sequence slicing in batched encoder forwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the row count.
+    pub fn row_block(&self, start: usize, len: usize) -> Matrix {
+        assert!(start + len <= self.rows, "row block out of bounds");
+        Matrix {
+            rows: len,
+            cols: self.cols,
+            data: self.data[start * self.cols..(start + len) * self.cols].to_vec(),
+        }
+    }
+
+    /// Copies the `nrows × ncols` sub-matrix at `(r0, c0)` — row and
+    /// column slicing combined (per-sequence, per-head attention views).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block exceeds either dimension.
+    pub fn sub_block(&self, r0: usize, nrows: usize, c0: usize, ncols: usize) -> Matrix {
+        assert!(r0 + nrows <= self.rows, "sub block rows out of bounds");
+        assert!(c0 + ncols <= self.cols, "sub block cols out of bounds");
+        let mut out = Matrix::zeros(nrows, ncols);
+        for r in 0..nrows {
+            out.row_mut(r)
+                .copy_from_slice(&self.row(r0 + r)[c0..c0 + ncols]);
+        }
+        out
     }
 
     /// Adds `block` into columns `[start, start + block.cols())`.
@@ -249,28 +292,10 @@ impl Matrix {
         let ocols = other.cols;
         let a = &self.data;
         let b = &other.data;
-        let chunks: Vec<(usize, &mut [f32])> = {
-            let mut start = 0usize;
-            let mut rem: &mut [f32] = &mut out.data;
-            let mut v = Vec::new();
-            while !rem.is_empty() {
-                let take = (rows_per * ocols).min(rem.len());
-                let (head, tail) = rem.split_at_mut(take);
-                v.push((start, head));
-                start += take / ocols;
-                rem = tail;
-            }
-            v
-        };
-        crossbeam::scope(|scope| {
-            for (row_start, chunk) in chunks {
-                let nrows = chunk.len() / ocols;
-                scope.spawn(move |_| {
-                    matmul_block_into(a, b, chunk, row_start, nrows, inner, ocols);
-                });
-            }
-        })
-        .expect("matmul worker panicked");
+        crate::ops::parallel_row_chunks(&mut out.data, ocols, rows_per, |row_start, chunk| {
+            let nrows = chunk.len() / ocols;
+            matmul_block_into(a, b, chunk, row_start, nrows, inner, ocols);
+        });
     }
 
     /// `self · otherᵀ` without materializing the transpose.
@@ -284,9 +309,7 @@ impl Matrix {
             "matmul_transposed shape mismatch: {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
-        Matrix::from_fn(self.rows, other.rows, |r, c| {
-            dot(self.row(r), other.row(c))
-        })
+        Matrix::from_fn(self.rows, other.rows, |r, c| dot(self.row(r), other.row(c)))
     }
 
     /// Element-wise map into a new matrix.
@@ -345,7 +368,15 @@ fn matmul_block(
     inner: usize,
     ocols: usize,
 ) {
-    matmul_block_into(a, b, &mut out[row_start * ocols..], row_start, nrows, inner, ocols);
+    matmul_block_into(
+        a,
+        b,
+        &mut out[row_start * ocols..],
+        row_start,
+        nrows,
+        inner,
+        ocols,
+    );
 }
 
 /// Computes rows `[row_start, row_start+nrows)` of `A·B` into `chunk`
@@ -382,6 +413,7 @@ fn matmul_block_into(
 /// # Panics
 ///
 /// Panics if lengths differ.
+#[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot length mismatch");
     a.iter().zip(b).map(|(x, y)| x * y).sum()
@@ -390,12 +422,14 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
+    #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
         &mut self.data[r * self.cols + c]
     }

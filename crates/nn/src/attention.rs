@@ -93,6 +93,106 @@ impl MultiHeadAttention {
         )
     }
 
+    /// Inference-only forward over one sequence: the exact float
+    /// operations of [`MultiHeadAttention::forward`], skipping the
+    /// backward caches.
+    pub fn apply(&self, x: &Matrix) -> Matrix {
+        let q = self.wq.apply(x);
+        let k = self.wk.apply(x);
+        let v = self.wv.apply(x);
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mut ctx = Matrix::zeros(x.rows(), self.heads * self.head_dim);
+        for h in 0..self.heads {
+            let off = h * self.head_dim;
+            let qh = q.col_block(off, self.head_dim);
+            let kh = k.col_block(off, self.head_dim);
+            let vh = v.col_block(off, self.head_dim);
+            let mut scores = qh.matmul_transposed(&kh);
+            scores.map_inplace(|s| s * scale);
+            softmax_rows_inplace(&mut scores);
+            ctx.set_col_block(off, &scores.matmul(&vh));
+        }
+        self.wo.apply(&ctx)
+    }
+
+    /// Inference-only forward over `nseq = x.rows() / seq_len`
+    /// equal-length sequences stacked row-wise.
+    ///
+    /// The Q/K/V/O projections run as single large matmuls over the
+    /// whole stack (the O(s·d²) bulk of the layer); the O(s²·d)
+    /// attention core runs per sequence on row blocks, so no token
+    /// attends across sequence boundaries and no padding mask is
+    /// needed. Every per-row float operation matches
+    /// [`MultiHeadAttention::forward`] exactly, making the batched
+    /// output bit-identical to sequence-at-a-time forwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows()` is not a multiple of `seq_len`.
+    pub fn apply_batched(&self, x: &Matrix, seq_len: usize) -> Matrix {
+        assert!(seq_len > 0, "seq_len must be positive");
+        assert_eq!(
+            x.rows() % seq_len,
+            0,
+            "stacked rows {} not a multiple of seq_len {seq_len}",
+            x.rows()
+        );
+        let nseq = x.rows() / seq_len;
+        if nseq == 1 {
+            return self.apply(x);
+        }
+        let q = self.wq.apply(x);
+        let k = self.wk.apply(x);
+        let v = self.wv.apply(x);
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let width = self.heads * self.head_dim;
+
+        let mut ctx = Matrix::zeros(x.rows(), width);
+        {
+            // Per-sequence row chunks of ctx: sequences are independent,
+            // so workers write disjoint rows. The fan-out (and its
+            // inline single-chunk fast path) is linalg's shared harness.
+            let threads = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(nseq);
+            let seqs_per = nseq.div_ceil(threads);
+            let heads = self.heads;
+            let head_dim = self.head_dim;
+            let (q, k, v) = (&q, &k, &v);
+            linalg::ops::parallel_row_chunks(
+                ctx.as_mut_slice(),
+                width,
+                seqs_per * seq_len,
+                |start_row, chunk| {
+                    let seq_start = start_row / seq_len;
+                    let nlocal = chunk.len() / (seq_len * width);
+                    for local in 0..nlocal {
+                        let row0 = (seq_start + local) * seq_len;
+                        for h in 0..heads {
+                            let off = h * head_dim;
+                            // Contiguous per-sequence, per-head views, then
+                            // the same matmuls the single-sequence pass runs.
+                            let qh = q.sub_block(row0, seq_len, off, head_dim);
+                            let kh = k.sub_block(row0, seq_len, off, head_dim);
+                            let vh = v.sub_block(row0, seq_len, off, head_dim);
+                            let mut scores = qh.matmul_transposed(&kh);
+                            scores.map_inplace(|s| s * scale);
+                            softmax_rows_inplace(&mut scores);
+                            let ctx_h = scores.matmul(&vh);
+                            for r in 0..seq_len {
+                                let dst_start = (local * seq_len + r) * width + off;
+                                chunk[dst_start..dst_start + head_dim]
+                                    .copy_from_slice(ctx_h.row(r));
+                            }
+                        }
+                    }
+                },
+            );
+        }
+        self.wo.apply(&ctx)
+    }
+
     /// Backward pass: accumulates all projection grads, returns `dx`.
     pub fn backward(&mut self, cache: &AttentionCache, dout: &Matrix) -> Matrix {
         let s = dout.rows();

@@ -82,8 +82,8 @@ impl ModelConfig {
     pub fn param_count(&self) -> usize {
         let emb = self.vocab_size * self.hidden + self.max_len * self.hidden;
         let attn = 4 * (self.hidden * self.hidden + self.hidden);
-        let ffn = self.hidden * self.ff_dim() + self.ff_dim()
-            + self.ff_dim() * self.hidden + self.hidden;
+        let ffn =
+            self.hidden * self.ff_dim() + self.ff_dim() + self.ff_dim() * self.hidden + self.hidden;
         let norms = 2 * (2 * self.hidden);
         emb + self.layers * (attn + ffn + norms)
     }

@@ -47,6 +47,22 @@ impl Embeddings {
     /// Panics if `ids` is empty, longer than `max_len`, or contains an id
     /// outside the vocabulary.
     pub fn forward(&self, ids: &[u32]) -> (Matrix, EmbeddingCache) {
+        let mut out = Matrix::zeros(ids.len(), self.hidden());
+        self.lookup_into(ids, out.as_mut_slice());
+        (out, EmbeddingCache { ids: ids.to_vec() })
+    }
+
+    /// Cache-free lookup writing `ids.len() × hidden` rows into `out`
+    /// (a row-major slice of exactly that size); per-row math is
+    /// identical to [`Embeddings::forward`]. Used by the batched
+    /// inference forward to fill stacked inputs without per-sequence
+    /// allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`Embeddings::forward`], or if
+    /// `out` has the wrong length.
+    pub fn lookup_into(&self, ids: &[u32], out: &mut [f32]) {
         assert!(!ids.is_empty(), "cannot embed an empty sequence");
         assert!(
             ids.len() <= self.max_len(),
@@ -55,7 +71,7 @@ impl Embeddings {
             self.max_len()
         );
         let h = self.hidden();
-        let mut out = Matrix::zeros(ids.len(), h);
+        assert_eq!(out.len(), ids.len() * h, "output slice size mismatch");
         for (pos, &id) in ids.iter().enumerate() {
             assert!(
                 (id as usize) < self.tokens.value.rows(),
@@ -63,17 +79,11 @@ impl Embeddings {
             );
             let tok = self.tokens.value.row(id as usize);
             let p = self.positions.value.row(pos);
-            let row = out.row_mut(pos);
+            let row = &mut out[pos * h..(pos + 1) * h];
             for c in 0..h {
                 row[c] = tok[c] + p[c];
             }
         }
-        (
-            out,
-            EmbeddingCache {
-                ids: ids.to_vec(),
-            },
-        )
     }
 
     /// Accumulates gradients into the looked-up rows.
@@ -135,11 +145,26 @@ mod tests {
         let dout = Matrix::full(3, 4, 1.0);
         emb.backward(&cache, &dout);
         // Token 5 appears twice → grad 2.0; token 1 once → 1.0.
-        assert!(emb.tokens.grad.row(5).iter().all(|&g| (g - 2.0).abs() < 1e-6));
-        assert!(emb.tokens.grad.row(1).iter().all(|&g| (g - 1.0).abs() < 1e-6));
+        assert!(emb
+            .tokens
+            .grad
+            .row(5)
+            .iter()
+            .all(|&g| (g - 2.0).abs() < 1e-6));
+        assert!(emb
+            .tokens
+            .grad
+            .row(1)
+            .iter()
+            .all(|&g| (g - 1.0).abs() < 1e-6));
         assert!(emb.tokens.grad.row(0).iter().all(|&g| g == 0.0));
         // Positions 0..3 each get 1.0.
-        assert!(emb.positions.grad.row(2).iter().all(|&g| (g - 1.0).abs() < 1e-6));
+        assert!(emb
+            .positions
+            .grad
+            .row(2)
+            .iter()
+            .all(|&g| (g - 1.0).abs() < 1e-6));
     }
 
     #[test]

@@ -67,6 +67,19 @@ impl EncoderBlock {
         dx
     }
 
+    /// Inference-only forward over stacked equal-length sequences
+    /// (`seq_len` rows each); bit-identical to per-sequence
+    /// [`EncoderBlock::forward`] since layer norm and the FFN are
+    /// row-wise and attention is confined to row blocks.
+    pub fn apply_batched(&self, x: &Matrix, seq_len: usize) -> Matrix {
+        let a = self.attn.apply_batched(x, seq_len);
+        let sum1 = x + &a;
+        let n1 = self.ln1.apply(&sum1);
+        let f = self.ffn.apply(&n1);
+        let sum2 = &n1 + &f;
+        self.ln2.apply(&sum2)
+    }
+
     /// Visits all parameters in stable order.
     pub fn visit_params(&mut self, f: &mut impl FnMut(&mut Param)) {
         self.attn.visit_params(f);
@@ -112,9 +125,18 @@ impl Encoder {
         &self.config
     }
 
-    /// Convenience forward without keeping the cache (inference).
+    /// Inference forward: no backward caches are built (training goes
+    /// through [`Encoder::forward_cached`]). Float-for-float identical
+    /// to the cached pass — both run the same row-wise ops in the same
+    /// order.
     pub fn forward(&self, ids: &[u32]) -> Matrix {
-        self.forward_cached(ids).0
+        let hidden = self.config.hidden;
+        let mut x = Matrix::zeros(ids.len(), hidden);
+        self.embeddings.lookup_into(ids, x.as_mut_slice());
+        for block in &self.blocks {
+            x = block.apply_batched(&x, ids.len());
+        }
+        x
     }
 
     /// Forward pass returning hidden states `(s, hidden)` and the cache
@@ -127,13 +149,7 @@ impl Encoder {
             x = y;
             caches.push(cache);
         }
-        (
-            x,
-            EncoderCache {
-                ce,
-                blocks: caches,
-            },
-        )
+        (x, EncoderCache { ce, blocks: caches })
     }
 
     /// Backward pass from a gradient on the output hidden states.
@@ -145,6 +161,99 @@ impl Encoder {
         }
         self.embeddings.backward(&cache.ce, &d);
     }
+
+    /// Batched inference forward: hidden states for every sequence,
+    /// bit-identical to calling [`Encoder::forward`] per sequence.
+    ///
+    /// Sequences are bucketed by exact length and each bucket is
+    /// stacked into one `(batch·len, hidden)` matrix, so the embedding
+    /// lookup, Q/K/V/O projections, feed-forward, and layer norms run
+    /// as a few large row-wise operations instead of thousands of tiny
+    /// ones; the attention core stays per-sequence on row blocks
+    /// ([`EncoderBlock::apply_batched`]), which doubles as the
+    /// attention mask — no token can attend across a sequence
+    /// boundary, and equal-length bucketing means no padding is ever
+    /// inserted.
+    pub fn forward_batch(&self, seqs: &[Vec<u32>]) -> Vec<Matrix> {
+        let mut out: Vec<Option<Matrix>> = (0..seqs.len()).map(|_| None).collect();
+        self.forward_batch_visit(seqs, |i, stacked, row0, len| {
+            out[i] = Some(stacked.row_block(row0, len));
+        });
+        out.into_iter()
+            .map(|m| m.expect("every sequence visited"))
+            .collect()
+    }
+
+    /// Mean-pooled embeddings of a batch `(n, hidden)` — the batched
+    /// equivalent of [`Encoder::embed_mean`] per row, bit-identically.
+    pub fn embed_mean_batch(&self, seqs: &[Vec<u32>]) -> Matrix {
+        let hidden = self.config.hidden;
+        let mut out = Matrix::zeros(seqs.len(), hidden);
+        self.forward_batch_visit(seqs, |i, stacked, row0, len| {
+            let dst = out.row_mut(i);
+            for r in 0..len {
+                for (o, v) in dst.iter_mut().zip(stacked.row(row0 + r)) {
+                    *o += v;
+                }
+            }
+            let n = len as f32;
+            for o in dst.iter_mut() {
+                *o /= n;
+            }
+        });
+        out
+    }
+
+    /// `[CLS]` embeddings of a batch `(n, hidden)` — the batched
+    /// equivalent of [`Encoder::embed_cls`] per row, bit-identically.
+    pub fn embed_cls_batch(&self, seqs: &[Vec<u32>]) -> Matrix {
+        let hidden = self.config.hidden;
+        let mut out = Matrix::zeros(seqs.len(), hidden);
+        self.forward_batch_visit(seqs, |i, stacked, row0, _| {
+            out.row_mut(i).copy_from_slice(stacked.row(row0));
+        });
+        out
+    }
+
+    /// Shared batched-forward core: buckets `seqs` by exact length,
+    /// stacks each bucket (capped at [`Encoder::MAX_BATCH_ROWS`] rows
+    /// to bound peak memory), runs the blocks, and hands each
+    /// sequence's hidden-state rows to `visit` as
+    /// `(seq_index, stacked_matrix, first_row, seq_len)`.
+    fn forward_batch_visit(
+        &self,
+        seqs: &[Vec<u32>],
+        mut visit: impl FnMut(usize, &Matrix, usize, usize),
+    ) {
+        use std::collections::BTreeMap;
+        let hidden = self.config.hidden;
+        let mut buckets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, ids) in seqs.iter().enumerate() {
+            buckets.entry(ids.len()).or_default().push(i);
+        }
+        for (len, idxs) in buckets {
+            let per_batch = (Self::MAX_BATCH_ROWS / len.max(1)).max(1);
+            for chunk in idxs.chunks(per_batch) {
+                let mut x = Matrix::zeros(chunk.len() * len, hidden);
+                for (b, &i) in chunk.iter().enumerate() {
+                    self.embeddings.lookup_into(
+                        &seqs[i],
+                        &mut x.as_mut_slice()[b * len * hidden..(b + 1) * len * hidden],
+                    );
+                }
+                for block in &self.blocks {
+                    x = block.apply_batched(&x, len);
+                }
+                for (b, &i) in chunk.iter().enumerate() {
+                    visit(i, &x, b * len, len);
+                }
+            }
+        }
+    }
+
+    /// Upper bound on stacked rows per batched forward (bounds the
+    /// transient Q/K/V/context matrices to a few MB at typical widths).
+    const MAX_BATCH_ROWS: usize = 8_192;
 
     /// Mean-pooled sequence embedding — the paper's average pooling over
     /// token embeddings for PCA detection (Section III).
@@ -322,6 +431,45 @@ mod tests {
             }
         });
         assert!(all_zero);
+    }
+
+    #[test]
+    fn forward_batch_matches_forward_across_ragged_lengths() {
+        let (enc, _) = tiny();
+        // Ragged lengths, duplicate lengths, single-token sequences.
+        let seqs: Vec<Vec<u32>> = vec![
+            vec![2, 7, 8, 9, 3],
+            vec![2, 5, 3],
+            vec![2, 7, 8, 9, 3],
+            vec![2, 10, 11, 3],
+            vec![7],
+            vec![2, 4, 6, 8, 10, 12, 14, 3],
+            vec![2, 3],
+        ];
+        let batched = enc.forward_batch(&seqs);
+        for (i, ids) in seqs.iter().enumerate() {
+            let single = enc.forward(ids);
+            assert_eq!(batched[i], single, "sequence {i} diverged");
+        }
+    }
+
+    #[test]
+    fn embed_batch_matches_pooled_singles() {
+        let (enc, _) = tiny();
+        let seqs: Vec<Vec<u32>> = vec![vec![2, 7, 8, 3], vec![2, 9, 3], vec![2, 7, 8, 9, 10, 3]];
+        let mean = enc.embed_mean_batch(&seqs);
+        let cls = enc.embed_cls_batch(&seqs);
+        for (i, ids) in seqs.iter().enumerate() {
+            assert_eq!(mean.row(i), enc.embed_mean(ids), "mean row {i}");
+            assert_eq!(cls.row(i), enc.embed_cls(ids), "cls row {i}");
+        }
+    }
+
+    #[test]
+    fn forward_batch_empty_input() {
+        let (enc, _) = tiny();
+        assert!(enc.forward_batch(&[]).is_empty());
+        assert_eq!(enc.embed_mean_batch(&[]).rows(), 0);
     }
 
     #[test]

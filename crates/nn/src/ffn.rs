@@ -30,6 +30,15 @@ impl FeedForward {
         }
     }
 
+    /// Inference-only forward: no caches. Position-wise, so results
+    /// are bit-identical to [`FeedForward::forward`] under any
+    /// batching of the rows.
+    pub fn apply(&self, x: &Matrix) -> Matrix {
+        let pre = self.lin1.apply(x);
+        let act = pre.map(gelu);
+        self.lin2.apply(&act)
+    }
+
     /// Forward pass over `(s, hidden)`.
     pub fn forward(&self, x: &Matrix) -> (Matrix, FeedForwardCache) {
         let (pre, c1) = self.lin1.forward(x);

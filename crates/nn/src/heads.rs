@@ -122,11 +122,12 @@ impl ClassificationHead {
                 self.zero_grad();
                 let _ = self.backward(&cache, &dlogits);
                 // Same stable order as visit_params.
-                let mut params: Vec<&mut Param> = Vec::new();
-                params.push(&mut self.lin1.w);
-                params.push(&mut self.lin1.b);
-                params.push(&mut self.lin2.w);
-                params.push(&mut self.lin2.b);
+                let mut params: Vec<&mut Param> = vec![
+                    &mut self.lin1.w,
+                    &mut self.lin1.b,
+                    &mut self.lin2.w,
+                    &mut self.lin2.b,
+                ];
                 optimizer.step(&mut params);
                 epoch_loss += loss;
                 batches += 1;

@@ -35,6 +35,28 @@ impl LayerNorm {
         self.gamma.value.cols()
     }
 
+    /// Inference-only forward: no cache allocation. Row-wise, so
+    /// results are bit-identical to [`LayerNorm::forward`] under any
+    /// batching of the rows.
+    pub fn apply(&self, x: &Matrix) -> Matrix {
+        let (n, d) = x.shape();
+        let mut y = Matrix::zeros(n, d);
+        let gamma = self.gamma.value.row(0);
+        let beta = self.beta.value.row(0);
+        for r in 0..n {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + self.eps).sqrt();
+            let out = y.row_mut(r);
+            for c in 0..d {
+                let h = (row[c] - mean) * istd;
+                out[c] = gamma[c] * h + beta[c];
+            }
+        }
+        y
+    }
+
     /// Forward pass.
     pub fn forward(&self, x: &Matrix) -> (Matrix, LayerNormCache) {
         let (n, d) = x.shape();
@@ -85,8 +107,8 @@ impl LayerNorm {
             let sum_dxhat_xhat: f32 = dxhat.iter().zip(xh).map(|(a, b)| a * b).sum();
             let istd = cache.inv_std[r];
             for c in 0..d {
-                dx[(r, c)] = istd / d as f32
-                    * (d as f32 * dxhat[c] - sum_dxhat - xh[c] * sum_dxhat_xhat);
+                dx[(r, c)] =
+                    istd / d as f32 * (d as f32 * dxhat[c] - sum_dxhat - xh[c] * sum_dxhat_xhat);
             }
         }
         dx

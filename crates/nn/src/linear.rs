@@ -49,8 +49,10 @@ impl Linear {
         self.w.value.cols()
     }
 
-    /// Forward pass; the cache feeds [`Linear::backward`].
-    pub fn forward(&self, x: &Matrix) -> (Matrix, LinearCache) {
+    /// Inference-only forward: no cache, no input clone. Row-wise ops
+    /// only, so results are bit-identical to [`Linear::forward`]
+    /// whether rows arrive one sequence at a time or batched.
+    pub fn apply(&self, x: &Matrix) -> Matrix {
         let mut y = x.matmul(&self.w.value);
         for r in 0..y.rows() {
             let row = y.row_mut(r);
@@ -58,6 +60,12 @@ impl Linear {
                 *v += b;
             }
         }
+        y
+    }
+
+    /// Forward pass; the cache feeds [`Linear::backward`].
+    pub fn forward(&self, x: &Matrix) -> (Matrix, LinearCache) {
+        let y = self.apply(x);
         (y, LinearCache { x: x.clone() })
     }
 
@@ -184,7 +192,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let xavier = Linear::new(&mut rng, 256, 8);
         let kaiming = Linear::new_kaiming(&mut rng, 256, 8);
-        let var = |m: &Matrix| m.as_slice().iter().map(|v| v * v).sum::<f32>() / m.as_slice().len() as f32;
+        let var = |m: &Matrix| {
+            m.as_slice().iter().map(|v| v * v).sum::<f32>() / m.as_slice().len() as f32
+        };
         assert!(var(&kaiming.w.value) > 1.5 * var(&xavier.w.value));
     }
 

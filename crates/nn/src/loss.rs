@@ -66,7 +66,11 @@ pub fn binary_accuracy(logits: &Matrix, targets: &[u32]) -> f32 {
         .iter()
         .enumerate()
         .filter(|&(r, &t)| {
-            let pred = if logits[(r, 1)] > logits[(r, 0)] { 1 } else { 0 };
+            let pred = if logits[(r, 1)] > logits[(r, 0)] {
+                1
+            } else {
+                0
+            };
             pred == t
         })
         .count();

@@ -126,12 +126,7 @@ mod tests {
         let ids: Vec<u32> = (10..1010).collect();
         let ex = mask_tokens(&mut rng, &ids, 1.0, 2000);
         let masked = ex.input.iter().filter(|&&t| t == MASK_ID).count();
-        let kept = ex
-            .input
-            .iter()
-            .zip(&ids)
-            .filter(|(a, b)| a == b)
-            .count();
+        let kept = ex.input.iter().zip(&ids).filter(|(a, b)| a == b).count();
         // 80% mask / ~10% kept; random replacement may coincide rarely.
         assert!((750..850).contains(&masked), "mask count {masked}");
         assert!((70..140).contains(&kept), "kept count {kept}");

@@ -3,6 +3,10 @@
 use crate::param::Param;
 use linalg::Matrix;
 
+/// Walks every parameter of a model, calling the given callback once
+/// per tensor in a stable order.
+pub type ParamWalker<'a> = dyn FnMut(&mut dyn FnMut(&mut Param)) + 'a;
+
 /// A gradient-descent optimizer.
 ///
 /// Parameters are walked through a visitor so that composite models
@@ -13,7 +17,7 @@ use linalg::Matrix;
 pub trait Optimizer {
     /// Performs one update. `visit` must call the supplied callback once
     /// per parameter, in a stable order.
-    fn step_visit(&mut self, visit: &mut dyn FnMut(&mut dyn FnMut(&mut Param)));
+    fn step_visit(&mut self, visit: &mut ParamWalker<'_>);
 
     /// Convenience wrapper for a flat parameter list.
     fn step(&mut self, params: &mut [&mut Param]) {
@@ -71,7 +75,7 @@ impl AdamW {
 }
 
 impl Optimizer for AdamW {
-    fn step_visit(&mut self, visit: &mut dyn FnMut(&mut dyn FnMut(&mut Param))) {
+    fn step_visit(&mut self, visit: &mut ParamWalker<'_>) {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
@@ -145,7 +149,7 @@ impl Sgd {
 }
 
 impl Optimizer for Sgd {
-    fn step_visit(&mut self, visit: &mut dyn FnMut(&mut dyn FnMut(&mut Param))) {
+    fn step_visit(&mut self, visit: &mut ParamWalker<'_>) {
         let (lr, momentum) = (self.lr, self.momentum);
         let velocity = &mut self.velocity;
         let first_step = !self.stepped;

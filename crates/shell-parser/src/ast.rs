@@ -270,7 +270,10 @@ mod tests {
     fn base_name_strips_path() {
         let s = parse("/usr/local/bin/python3 x.py").unwrap();
         assert_eq!(s.simple_commands()[0].base_name(), Some("python3"));
-        assert_eq!(s.simple_commands()[0].name(), Some("/usr/local/bin/python3"));
+        assert_eq!(
+            s.simple_commands()[0].name(),
+            Some("/usr/local/bin/python3")
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl Lexer {
     }
 
     fn skip_blank(&mut self) {
-        while matches!(self.peek(), Some(' ') | Some('\t') | Some('\n') | Some('\r')) {
+        while matches!(
+            self.peek(),
+            Some(' ') | Some('\t') | Some('\n') | Some('\r')
+        ) {
             self.pos += 1;
         }
     }
@@ -168,8 +171,7 @@ impl Lexer {
         let mut saw_plain = false;
         let mut quote_style = Quoting::None;
 
-        loop {
-            let Some(c) = self.peek() else { break };
+        while let Some(c) = self.peek() {
             match c {
                 ' ' | '\t' | '\n' | '\r' => break,
                 '|' | '&' | ';' | '(' | ')' => break,
@@ -550,7 +552,10 @@ mod tests {
 
     #[test]
     fn trailing_backslash_errors() {
-        assert_eq!(Lexer::tokenize("echo a\\"), Err(LexError::TrailingBackslash));
+        assert_eq!(
+            Lexer::tokenize("echo a\\"),
+            Err(LexError::TrailingBackslash)
+        );
     }
 
     #[test]
@@ -598,9 +603,6 @@ mod tests {
 
     #[test]
     fn subshell_parens_are_operators() {
-        assert_eq!(
-            ops("(ls)"),
-            vec![Operator::LParen, Operator::RParen]
-        );
+        assert_eq!(ops("(ls)"), vec![Operator::LParen, Operator::RParen]);
     }
 }

@@ -195,9 +195,9 @@ impl Parser {
 
     fn parse_brace_group(&mut self) -> Result<Command, ParseError> {
         self.bump(); // consume `{`
-        // Find the matching `}` word at this nesting level by parsing
-        // until we encounter it; the lexer emits `{`/`}` as plain words,
-        // so we scan for the closer and re-parse the inner tokens.
+                     // Find the matching `}` word at this nesting level by parsing
+                     // until we encounter it; the lexer emits `{`/`}` as plain words,
+                     // so we scan for the closer and re-parse the inner tokens.
         let start = self.pos;
         let mut depth = 1usize;
         while let Some(tok) = self.tokens.get(self.pos) {

@@ -4,9 +4,10 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How a word was quoted in the original input.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Quoting {
     /// No quoting at all (`foo`).
+    #[default]
     None,
     /// Entirely single-quoted (`'foo'`).
     Single,
@@ -14,12 +15,6 @@ pub enum Quoting {
     Double,
     /// A mix of quoted and unquoted segments (`fo'o'"x"`).
     Mixed,
-}
-
-impl Default for Quoting {
-    fn default() -> Self {
-        Quoting::None
-    }
 }
 
 /// A shell word: the unquoted text plus the raw source slice.

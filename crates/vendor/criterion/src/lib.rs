@@ -1,0 +1,221 @@
+//! Offline shim for the `criterion` API surface the bench targets use:
+//! [`Criterion::benchmark_group`], `bench_function`, `sample_size`,
+//! `throughput`, `finish`, [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is honest but simple: per benchmark it calibrates an
+//! iteration count to a target batch duration, takes `sample_size`
+//! timed batches, and reports mean ± standard deviation per iteration
+//! (plus throughput when configured). There is no HTML report, outlier
+//! analysis, or state persistence.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark context.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, 20, None, f);
+        self
+    }
+}
+
+/// A named group sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (parity with criterion; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine under test.
+pub struct Bencher {
+    iters_per_batch: u64,
+    samples: usize,
+    /// Mean/σ per iteration in nanoseconds, filled by `iter`.
+    result: Option<(f64, f64)>,
+}
+
+impl Bencher {
+    /// Measures `f`, storing per-iteration timing statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until it takes long enough to time.
+        let target = Duration::from_millis(25);
+        let mut iters = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= target || iters >= (1 << 20) {
+                if dt < target && dt < Duration::from_micros(10) {
+                    iters *= 16;
+                    continue;
+                }
+                if dt < target {
+                    let scale = (target.as_nanos() as f64 / dt.as_nanos().max(1) as f64).ceil();
+                    iters = (iters as f64 * scale).min(1e9) as u64;
+                }
+                break;
+            }
+            iters *= 4;
+        }
+        self.iters_per_batch = iters.max(1);
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                black_box(f());
+            }
+            per_iter.push(t0.elapsed().as_nanos() as f64 / self.iters_per_batch as f64);
+        }
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let var = per_iter
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / per_iter.len() as f64;
+        self.result = Some((mean, var.sqrt()));
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        iters_per_batch: 1,
+        samples,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((mean, sd)) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  ({:.0} elem/s)", n as f64 * 1e9 / mean)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  ({:.1} MiB/s)", n as f64 * 1e9 / mean / (1 << 20) as f64)
+                }
+                None => String::new(),
+            };
+            println!("  {label:<44} {} ± {}{rate}", fmt_ns(mean), fmt_ns(sd));
+        }
+        None => println!("  {label:<44} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Bundles benchmark functions into one runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,84 @@
+//! Offline shim for the one `crossbeam` entry point this workspace
+//! uses: [`scope`] with borrowing worker closures. Implemented on
+//! `std::thread::scope` (stabilized after crossbeam popularized the
+//! pattern), so behaviour matches: workers may borrow from the caller's
+//! stack and are all joined before `scope` returns.
+//!
+//! Divergence from upstream: a panicking worker propagates its panic
+//! out of [`scope`] directly (std semantics) instead of surfacing as
+//! `Err`; the `Result` wrapper is kept so call sites written against
+//! crossbeam compile unchanged.
+
+use std::any::Any;
+
+/// Handle passed to the scope closure; mirrors
+/// `crossbeam::thread::Scope`.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped worker. The closure receives the scope again so
+    /// workers can spawn sub-workers, as in crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Runs `f` with a scope in which borrowing threads can be spawned;
+/// joins them all before returning.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_can_borrow_and_mutate_disjoint_chunks() {
+        let mut data = vec![0usize; 64];
+        let chunks: Vec<&mut [usize]> = data.chunks_mut(16).collect();
+        scope(|s| {
+            for (i, chunk) in chunks.into_iter().enumerate() {
+                s.spawn(move |_| {
+                    for v in chunk.iter_mut() {
+                        *v = i + 1;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(data[..16].iter().all(|&v| v == 1));
+        assert!(data[48..].iter().all(|&v| v == 4));
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let r = scope(|_| 42).unwrap();
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn nested_spawn_compiles_and_runs() {
+        let out = std::sync::Mutex::new(0usize);
+        scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    *out.lock().unwrap() += 1;
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(*out.lock().unwrap(), 1);
+    }
+}

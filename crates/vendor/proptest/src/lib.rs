@@ -1,0 +1,201 @@
+//! Offline shim for the `proptest` API surface this workspace uses:
+//! the `proptest! { #[test] fn name(x in strategy, …) { … } }` macro,
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, numeric-range
+//! strategies, `prop::collection::vec`, `prop::sample::select`,
+//! `Strategy::prop_map`, and `&str` regex strategies covering the
+//! pattern subset that appears in the test suite (character classes,
+//! `.`, and `{n,m}` quantifiers).
+//!
+//! Divergences from upstream: no shrinking (a failing case reports its
+//! inputs verbatim), and a fixed per-test deterministic seed rather
+//! than an entropy-derived one, so CI failures reproduce locally.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Debug;
+
+pub mod prop;
+mod regex_gen;
+
+/// Cases each `proptest!` test runs (upstream default is 256; kept
+/// lower because several suite bodies retrain a tokenizer per case).
+pub const CASES: usize = 48;
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is re-drawn.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// A source of random values for one generated argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f` (as `Strategy::prop_map`).
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+/// String strategy from a regex-subset pattern (see [`regex_gen`]).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        regex_gen::generate(self, rng)
+    }
+}
+
+/// Runs up to `CASES` accepted cases of `case`, panicking with the
+/// case's rendered inputs on the first failure.
+pub fn run_cases<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), (TestCaseError, String)>,
+{
+    let mut seed = 0xC0FF_EE00u64;
+    for b in name.bytes() {
+        seed = seed.wrapping_mul(1099511628211).wrapping_add(b as u64);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut accepted = 0usize;
+    let mut attempts = 0usize;
+    while accepted < CASES {
+        attempts += 1;
+        assert!(
+            attempts <= CASES * 20,
+            "proptest shim: {name} rejected too many cases (prop_assume too strict?)"
+        );
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err((TestCaseError::Reject, _)) => continue,
+            Err((TestCaseError::Fail(msg), inputs)) => {
+                panic!("proptest case failed: {msg}\n  minimal repro inputs: {inputs}")
+            }
+        }
+    }
+}
+
+/// Everything the suite imports via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, Strategy, TestCaseError};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` looping over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |rng| {
+                        $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                        let mut inputs = String::new();
+                        $(
+                            inputs.push_str(stringify!($arg));
+                            inputs.push_str(" = ");
+                            inputs.push_str(&format!("{:?}; ", &$arg));
+                        )+
+                        let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                            (move || {
+                                $body
+                                Ok(())
+                            })();
+                        outcome.map_err(|e| (e, inputs))
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case unless `cond` holds; rejected cases are
+/// re-drawn and do not count toward the case budget.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,90 @@
+//! The `prop::` namespace (`collection::vec`, `sample::select`).
+
+/// Collection strategies.
+pub mod collection {
+    use crate::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed size or a half-open
+    /// range, as in proptest's `SizeRange`.
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element, min..max)` (or `vec(element, n)`): vectors of
+    /// `element` values.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into().0,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.len.start >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use crate::Strategy;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use std::fmt::Debug;
+
+    /// Strategy yielding clones of elements of a fixed pool.
+    pub struct Select<T> {
+        pool: Vec<T>,
+    }
+
+    /// `select(pool)`: one uniformly chosen element per case.
+    ///
+    /// # Panics
+    ///
+    /// Panics at generation time if `pool` is empty.
+    pub fn select<T: Clone + Debug>(pool: Vec<T>) -> Select<T> {
+        Select { pool }
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.pool
+                .choose(rng)
+                .expect("select() needs a non-empty pool")
+                .clone()
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Value generation for the regex subset used as string strategies.
+//!
+//! Supported syntax: literal characters, `.` (any printable character,
+//! drawn from an ASCII-heavy pool with a few multi-byte code points),
+//! character classes `[…]` with literal chars and `a-z` ranges, and
+//! `{n}` / `{n,m}` quantifiers on the preceding atom. This covers every
+//! pattern in the workspace's test suites; unsupported syntax (groups,
+//! alternation, `*`/`+`/`?`) panics loudly rather than mis-generating.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Pool backing `.`: printable ASCII plus characters that exercise
+/// multi-byte and quoting edge cases in parsers.
+const ANY_EXTRA: &[char] = &['ä', 'ñ', '語', '🦀', '\t'];
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Any,
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces: Vec<Piece> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+                let mut set = Vec::new();
+                let body = &chars[i + 1..close];
+                let mut j = 0;
+                while j < body.len() {
+                    if j + 2 < body.len() && body[j + 1] == '-' {
+                        let (lo, hi) = (body[j] as u32, body[j + 2] as u32);
+                        assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        set.push(body[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+                i = close + 1;
+                Atom::Class(set)
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 2;
+                Atom::Literal(c)
+            }
+            '(' | ')' | '|' | '*' | '+' | '?' => {
+                panic!(
+                    "regex feature {:?} not supported by the proptest shim",
+                    chars[i]
+                )
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional {n} / {n,m} quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i + 1..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| p + i + 1)
+                .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn sample_any(rng: &mut StdRng) -> char {
+    // Mostly printable ASCII; occasionally an exotic code point.
+    if rng.gen_bool(0.06) {
+        *ANY_EXTRA.choose(rng).expect("pool is non-empty")
+    } else {
+        char::from_u32(rng.gen_range(0x20u32..0x7F)).expect("printable ascii")
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.gen_range(piece.min..=piece.max)
+        };
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Any => out.push(sample_any(rng)),
+                Atom::Class(set) => out.push(*set.choose(rng).expect("non-empty class")),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = generate("[a-z0-9/.-]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "/.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn dot_quantifier_lengths() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let s = generate(".{0,20}", &mut rng);
+            assert!(s.chars().count() <= 20);
+        }
+    }
+
+    #[test]
+    fn leading_atom_then_class() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = generate("[a-z][a-z0-9/._-]{0,8}", &mut rng);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn literal_passthrough() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(generate("abc", &mut rng), "abc");
+    }
+}

@@ -1,0 +1,81 @@
+//! Concrete generators: [`StdRng`] and the [`mock`] module.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard generator: xoshiro256++ seeded through
+/// SplitMix64 (the conventional `seed_from_u64` expansion).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut state = seed;
+        let s = [
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+        ];
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Deterministic mock generators for tests.
+pub mod mock {
+    use crate::RngCore;
+
+    /// Yields `initial`, `initial + increment`, … (wrapping), like
+    /// `rand::rngs::mock::StepRng`.
+    #[derive(Debug, Clone)]
+    pub struct StepRng {
+        v: u64,
+        increment: u64,
+    }
+
+    impl StepRng {
+        /// Creates the stepper.
+        pub fn new(initial: u64, increment: u64) -> Self {
+            StepRng {
+                v: initial,
+                increment,
+            }
+        }
+    }
+
+    impl RngCore for StepRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.v;
+            self.v = self.v.wrapping_add(self.increment);
+            out
+        }
+
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+    }
+}

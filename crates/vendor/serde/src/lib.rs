@@ -1,0 +1,10 @@
+//! Offline shim for `serde`: marker traits plus the no-op derives from
+//! the sibling `serde_derive` shim. See that crate for the rationale.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

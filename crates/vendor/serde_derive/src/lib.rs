@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive`: the workspace only *annotates*
+//! types with `#[derive(Serialize, Deserialize)]` and `#[serde(...)]`
+//! field attributes — nothing is actually serialized (no serde_json or
+//! other format crate exists here). The derives therefore expand to
+//! nothing; they exist so the annotations compile and so a future PR
+//! can swap in the real serde without touching call sites.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts (and ignores) `#[serde(...)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts (and ignores) `#[serde(...)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -27,7 +27,10 @@ fn main() {
     let ids = RuleIds::with_default_rules();
     let train_lines: Vec<&str> = dataset.train.iter().map(|r| r.line.as_str()).collect();
     let train_labels: Vec<bool> = train_lines.iter().map(|l| ids.is_alert(l)).collect();
-    println!("tuning on {} IDS alerts…", train_labels.iter().filter(|&&y| y).count());
+    println!(
+        "tuning on {} IDS alerts…",
+        train_labels.iter().filter(|&&y| y).count()
+    );
     let tuner = ClassificationTuner::fit(
         &pipeline,
         &train_lines,
@@ -80,6 +83,6 @@ fn main() {
     println!(
         "top-{} out-of-box precision: {:.0}%",
         hunt.len().min(15),
-        100.0 * hits as f64 / hunt.len().min(15).max(1) as f64
+        100.0 * hits as f64 / hunt.len().clamp(1, 15) as f64
     );
 }

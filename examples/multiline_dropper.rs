@@ -8,9 +8,7 @@
 //! Run with: `cargo run --release --example multiline_dropper`
 
 use cmdline_ids::pipeline::{IdsPipeline, PipelineConfig};
-use cmdline_ids::tuning::{
-    build_windows, ClassificationTuner, MultiLineClassifier, TuneConfig,
-};
+use cmdline_ids::tuning::{build_windows, ClassificationTuner, MultiLineClassifier, TuneConfig};
 use corpus::{GroundTruth, LogRecord};
 use ids_rules::RuleIds;
 use rand::rngs::StdRng;
@@ -85,7 +83,11 @@ fn main() {
         println!(
             "{:<52} {:>8} {:>8.3} {:>8.3}   (context: {:?})",
             record.line,
-            if ids.is_alert(&record.line) { "ALERT" } else { "silent" },
+            if ids.is_alert(&record.line) {
+                "ALERT"
+            } else {
+                "silent"
+            },
             s_single,
             multi_scores[i],
             windows[i].lines

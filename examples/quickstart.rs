@@ -48,7 +48,8 @@ fn main() {
 
     // 6. Classification-based tuning (the paper's best method).
     println!("tuning the classification head ([CLS] probing)…");
-    let tuner = ClassificationTuner::fit(&pipeline, &lines, &labels, &TuneConfig::scaled(), &mut rng);
+    let tuner =
+        ClassificationTuner::fit(&pipeline, &lines, &labels, &TuneConfig::scaled(), &mut rng);
 
     // 7. Inference.
     println!();
@@ -67,7 +68,11 @@ fn main() {
         println!(
             "{:<62} {:>9} {:>7.3}",
             line,
-            if ids.is_alert(line) { "ALERT" } else { "silent" },
+            if ids.is_alert(line) {
+                "ALERT"
+            } else {
+                "silent"
+            },
             score
         );
     }

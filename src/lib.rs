@@ -1,0 +1,12 @@
+//! Workspace umbrella crate.
+//!
+//! Exists so the repository-level `tests/` and `examples/` directories
+//! have a package to belong to; re-exports the member crates for
+//! convenience.
+
+pub use anomaly;
+pub use cmdline_ids;
+pub use corpus;
+pub use ids_rules;
+
+pub extern crate bench;

@@ -48,7 +48,10 @@ fn dataset_in_box_attacks_alert_and_out_of_box_do_not() {
             _ => {}
         }
     }
-    assert!(in_box_checked > 20, "too few in-box lines: {in_box_checked}");
+    assert!(
+        in_box_checked > 20,
+        "too few in-box lines: {in_box_checked}"
+    );
     assert!(out_checked > 20, "too few out-of-box lines: {out_checked}");
 }
 
