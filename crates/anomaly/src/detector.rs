@@ -15,21 +15,26 @@
 //! method rather than a cache miss.
 
 use crate::{IsolationForest, OneClassSvm, PcaDetector, RetrievalDetector, VanillaKnn};
+use index::IndexConfig;
 use linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A line set together with its embedding matrix (one row per line).
 ///
-/// Cheap to clone: both halves are shared. A view may also be
-/// *lines-only* ([`EmbeddingView::lines_only`]) for driving methods
-/// that never read the matrix — multi-line classification and
-/// reconstruction tuning — without paying an encoder pass.
+/// Cheap to clone: both halves are shared, as is the lazily-computed
+/// row-norm cache ([`EmbeddingView::norms`]) — every clone of a view
+/// (e.g. the `EmbeddingStore`'s memoized copies) sees norms computed
+/// at most once. A view may also be *lines-only*
+/// ([`EmbeddingView::lines_only`]) for driving methods that never read
+/// the matrix — multi-line classification and reconstruction tuning —
+/// without paying an encoder pass.
 #[derive(Debug, Clone)]
 pub struct EmbeddingView {
     lines: Arc<[String]>,
     matrix: Option<Arc<Matrix>>,
+    norms: Arc<OnceLock<Vec<f32>>>,
 }
 
 impl EmbeddingView {
@@ -47,6 +52,7 @@ impl EmbeddingView {
         EmbeddingView {
             lines: lines.into(),
             matrix: Some(Arc::new(matrix)),
+            norms: Arc::new(OnceLock::new()),
         }
     }
 
@@ -56,6 +62,7 @@ impl EmbeddingView {
         EmbeddingView {
             lines: Arc::from(Vec::new()),
             matrix: Some(Arc::new(matrix)),
+            norms: Arc::new(OnceLock::new()),
         }
     }
 
@@ -66,6 +73,7 @@ impl EmbeddingView {
         EmbeddingView {
             lines: lines.into(),
             matrix: None,
+            norms: Arc::new(OnceLock::new()),
         }
     }
 
@@ -91,6 +99,24 @@ impl EmbeddingView {
     /// Whether this view carries an embedding matrix.
     pub fn has_matrix(&self) -> bool {
         self.matrix.is_some()
+    }
+
+    /// Euclidean norm of every embedding row, computed once on first
+    /// use and shared by all clones of this view — index builds over a
+    /// memoized store view never re-derive them.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a lines-only view (see [`EmbeddingView::matrix`]).
+    pub fn norms(&self) -> &[f32] {
+        self.norms
+            .get_or_init(|| linalg::ops::row_norms(self.matrix()))
+    }
+
+    /// Whether the norm cache has been filled (testing hook for the
+    /// "computed at most once" claim).
+    pub fn norms_computed(&self) -> bool {
+        self.norms.get().is_some()
     }
 
     /// Number of samples.
@@ -150,7 +176,10 @@ impl std::fmt::Display for DetectorError {
 impl std::error::Error for DetectorError {}
 
 /// A fittable, batch-scoring detection method.
-pub trait Detector: Send {
+///
+/// `Send + Sync` so a fitted detector set can be scored from the
+/// engine's parallel per-detector fan-out.
+pub trait Detector: Send + Sync {
     /// Stable method name (used for registration, reporting, fusion).
     fn name(&self) -> &str;
 
@@ -158,6 +187,12 @@ pub trait Detector: Send {
     /// (`labels[i] = true` means the supervision source alerted on
     /// sample `i`). Unsupervised methods ignore the labels.
     fn fit(&mut self, train: &EmbeddingView, labels: &[bool]) -> Result<(), DetectorError>;
+
+    /// Selects the vector-index backend neighbour-based methods build
+    /// at the next [`Detector::fit`]. The engine calls this for every
+    /// registered detector when a run carries an
+    /// [`IndexConfig`]; methods without a neighbour index ignore it.
+    fn configure_index(&mut self, _config: IndexConfig) {}
 
     /// Scores every sample of the view; higher = more suspicious.
     ///
@@ -338,17 +373,27 @@ impl Detector for OneClassSvmMethod {
 
 /// The paper's retrieval method ([`RetrievalDetector`], Section IV-D)
 /// behind the [`Detector`] trait; needs positive labels.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct RetrievalMethod {
     k: usize,
+    index: IndexConfig,
     fitted: Option<RetrievalDetector>,
 }
 
 impl RetrievalMethod {
     /// Mean similarity to the `k` nearest malicious exemplars (the
-    /// paper uses `k = 1`).
+    /// paper uses `k = 1`), over the exact (paper-faithful) backend.
     pub fn new(k: usize) -> Self {
-        RetrievalMethod { k, fitted: None }
+        Self::with_index(k, IndexConfig::Exact)
+    }
+
+    /// [`RetrievalMethod::new`] over an explicit index backend.
+    pub fn with_index(k: usize, index: IndexConfig) -> Self {
+        RetrievalMethod {
+            k,
+            index,
+            fitted: None,
+        }
     }
 
     /// Number of indexed malicious exemplars (after fitting).
@@ -362,12 +407,22 @@ impl Detector for RetrievalMethod {
         "retrieval"
     }
 
+    fn configure_index(&mut self, config: IndexConfig) {
+        self.index = config;
+    }
+
     fn fit(&mut self, train: &EmbeddingView, labels: &[bool]) -> Result<(), DetectorError> {
         check_labels(train, labels)?;
         if !labels.iter().any(|&y| y) {
             return Err(DetectorError::NoPositiveLabels);
         }
-        self.fitted = Some(RetrievalDetector::fit(train.matrix(), labels, self.k));
+        self.fitted = Some(RetrievalDetector::fit_with(
+            train.matrix(),
+            labels,
+            self.k,
+            self.index,
+            Some(train.norms()),
+        ));
         Ok(())
     }
 
@@ -381,16 +436,27 @@ impl Detector for RetrievalMethod {
 
 /// Majority-vote [`VanillaKnn`] (the label-noise ablation) behind the
 /// [`Detector`] trait.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct VanillaKnnMethod {
     k: usize,
+    index: IndexConfig,
     fitted: Option<VanillaKnn>,
 }
 
 impl VanillaKnnMethod {
-    /// Classic `k`-nearest-neighbour majority vote.
+    /// Classic `k`-nearest-neighbour majority vote over the exact
+    /// backend.
     pub fn new(k: usize) -> Self {
-        VanillaKnnMethod { k, fitted: None }
+        Self::with_index(k, IndexConfig::Exact)
+    }
+
+    /// [`VanillaKnnMethod::new`] over an explicit index backend.
+    pub fn with_index(k: usize, index: IndexConfig) -> Self {
+        VanillaKnnMethod {
+            k,
+            index,
+            fitted: None,
+        }
     }
 }
 
@@ -399,9 +465,19 @@ impl Detector for VanillaKnnMethod {
         "vanilla-knn"
     }
 
+    fn configure_index(&mut self, config: IndexConfig) {
+        self.index = config;
+    }
+
     fn fit(&mut self, train: &EmbeddingView, labels: &[bool]) -> Result<(), DetectorError> {
         check_labels(train, labels)?;
-        self.fitted = Some(VanillaKnn::fit(train.matrix(), labels, self.k));
+        self.fitted = Some(VanillaKnn::fit_with(
+            train.matrix(),
+            labels,
+            self.k,
+            self.index,
+            Some(train.norms()),
+        ));
         Ok(())
     }
 
@@ -495,6 +571,33 @@ mod tests {
         let mut det = PcaMethod::new(0.9);
         let view = EmbeddingView::from_matrix(Matrix::zeros(0, 3));
         assert_eq!(det.fit(&view, &[]), Err(DetectorError::EmptyTrainingSet));
+    }
+
+    #[test]
+    fn view_norms_are_computed_once_and_shared_by_clones() {
+        let (view, _) = toy_view();
+        assert!(!view.norms_computed());
+        let clone = view.clone();
+        let first = view.norms().to_vec();
+        // The clone sees the already-filled cache (same allocation).
+        assert!(clone.norms_computed());
+        assert!(std::ptr::eq(view.norms().as_ptr(), clone.norms().as_ptr()));
+        for (r, n) in first.iter().enumerate() {
+            assert_eq!(*n, linalg::ops::norm(view.matrix().row(r)));
+        }
+    }
+
+    #[test]
+    fn configure_index_switches_the_backend_at_fit_time() {
+        let (view, labels) = toy_view();
+        let mut det = RetrievalMethod::new(1);
+        det.configure_index(IndexConfig::hnsw());
+        det.fit(&view, &labels).unwrap();
+        let approx = det.score_batch(&view);
+        let mut exact = RetrievalMethod::new(1);
+        exact.fit(&view, &labels).unwrap();
+        // Toy scale: graph search is exhaustive, scores must agree.
+        assert_eq!(approx, exact.score_batch(&view));
     }
 
     #[test]

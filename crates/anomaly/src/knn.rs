@@ -11,32 +11,73 @@
 //!   training neighbours**, ignoring benign labels entirely; "such an
 //!   innovation leads to obvious performance gains … owing to relief of
 //!   the negative impact of label noise". The paper uses k = 1.
+//!
+//! Both are built on the [`index::VectorIndex`] layer: the default
+//! [`IndexConfig::Exact`] backend reproduces the historical
+//! brute-force cosine scans bit-for-bit (candidate norms are still
+//! precomputed once at build time), while [`IndexConfig::Hnsw`] swaps
+//! in sublinear approximate search for scale.
 
-use linalg::ops::cosine_similarity;
+use index::{IndexConfig, Neighbor, VectorIndex};
 use linalg::Matrix;
 
+/// Gathers the norm subset for `rows` when the caller already holds
+/// norms for the full candidate matrix.
+fn subset_norms(all: Option<&[f32]>, rows: &[usize]) -> Option<Vec<f32>> {
+    all.map(|norms| rows.iter().map(|&r| norms[r]).collect())
+}
+
+/// Builds the configured index, reusing caller-held norms when present.
+fn build_index(config: IndexConfig, data: Matrix, norms: Option<Vec<f32>>) -> Box<dyn VectorIndex> {
+    match norms {
+        Some(n) => config.build_with_norms(data, n),
+        None => config.build(data),
+    }
+}
+
 /// The paper's malicious-neighbour retrieval scorer.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct RetrievalDetector {
-    malicious: Matrix,
+    index: Box<dyn VectorIndex>,
     k: usize,
 }
 
 impl RetrievalDetector {
     /// Builds the detector from labeled training embeddings, keeping
-    /// only the malicious-labeled rows.
+    /// only the malicious-labeled rows, over the exact backend.
     ///
     /// # Panics
     ///
     /// Panics if lengths disagree, `k == 0`, or no row is labeled
     /// malicious (retrieval needs at least one exemplar).
     pub fn fit(embeddings: &Matrix, labels: &[bool], k: usize) -> Self {
+        Self::fit_with(embeddings, labels, k, IndexConfig::Exact, None)
+    }
+
+    /// [`RetrievalDetector::fit`] with an explicit index backend and
+    /// (optionally) precomputed norms for the full `embeddings` matrix
+    /// — e.g. the memoized norms of a shared embedding view — so the
+    /// index build never re-derives them.
+    pub fn fit_with(
+        embeddings: &Matrix,
+        labels: &[bool],
+        k: usize,
+        config: IndexConfig,
+        norms: Option<&[f32]>,
+    ) -> Self {
         assert_eq!(
             embeddings.rows(),
             labels.len(),
             "one label per embedding required"
         );
         assert!(k >= 1, "k must be positive");
+        if let Some(n) = norms {
+            assert_eq!(
+                n.len(),
+                embeddings.rows(),
+                "precomputed norms must cover the full embedding matrix"
+            );
+        }
         let rows: Vec<usize> = labels
             .iter()
             .enumerate()
@@ -50,51 +91,79 @@ impl RetrievalDetector {
         let malicious = Matrix::from_fn(rows.len(), embeddings.cols(), |r, c| {
             embeddings[(rows[r], c)]
         });
-        RetrievalDetector { malicious, k }
+        let index = build_index(config, malicious, subset_norms(norms, &rows));
+        RetrievalDetector { index, k }
     }
 
     /// Number of stored malicious exemplars.
     pub fn n_exemplars(&self) -> usize {
-        self.malicious.rows()
+        self.index.len()
     }
 
     /// Intrusion score `oᴿᵉᵗʳⁱ`: mean cosine similarity between `x` and
     /// its `k` most similar malicious exemplars.
     pub fn score(&self, x: &[f32]) -> f32 {
-        let mut sims: Vec<f32> = (0..self.malicious.rows())
-            .map(|r| cosine_similarity(self.malicious.row(r), x))
-            .collect();
-        sims.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
-        let k = self.k.min(sims.len());
-        sims[..k].iter().sum::<f32>() / k as f32
+        mean_similarity(&self.index.query(x, self.k))
     }
 
-    /// Scores every row of `data`.
+    /// Scores every row of `data` (batch queries fan out across
+    /// threads inside the index).
     pub fn score_all(&self, data: &Matrix) -> Vec<f32> {
-        (0..data.rows()).map(|r| self.score(data.row(r))).collect()
+        self.index
+            .query_batch(data, self.k)
+            .iter()
+            .map(|n| mean_similarity(n))
+            .collect()
     }
 }
 
+/// Mean similarity of a (descending-sorted) neighbour list — summed in
+/// sorted order, exactly as the historical scan did.
+fn mean_similarity(neighbours: &[Neighbor]) -> f32 {
+    let k = neighbours.len();
+    neighbours.iter().map(|n| n.similarity).sum::<f32>() / k as f32
+}
+
 /// Classic majority-vote kNN, for the ablation comparison.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct VanillaKnn {
-    embeddings: Matrix,
+    index: Box<dyn VectorIndex>,
     labels: Vec<bool>,
     k: usize,
 }
 
 impl VanillaKnn {
-    /// Stores the full labeled training set.
+    /// Indexes the full labeled training set over the exact backend.
     ///
     /// # Panics
     ///
     /// Panics if lengths disagree, the set is empty, or `k == 0`.
     pub fn fit(embeddings: &Matrix, labels: &[bool], k: usize) -> Self {
+        Self::fit_with(embeddings, labels, k, IndexConfig::Exact, None)
+    }
+
+    /// [`VanillaKnn::fit`] with an explicit index backend and
+    /// optionally precomputed candidate norms.
+    pub fn fit_with(
+        embeddings: &Matrix,
+        labels: &[bool],
+        k: usize,
+        config: IndexConfig,
+        norms: Option<&[f32]>,
+    ) -> Self {
         assert_eq!(embeddings.rows(), labels.len(), "one label per embedding");
         assert!(embeddings.rows() > 0, "kNN needs training data");
         assert!(k >= 1, "k must be positive");
+        if let Some(n) = norms {
+            assert_eq!(
+                n.len(),
+                embeddings.rows(),
+                "precomputed norms must cover the full embedding matrix"
+            );
+        }
+        let index = build_index(config, embeddings.clone(), norms.map(<[f32]>::to_vec));
         VanillaKnn {
-            embeddings: embeddings.clone(),
+            index,
             labels: labels.to_vec(),
             k,
         }
@@ -103,16 +172,17 @@ impl VanillaKnn {
     /// Score: fraction of the k nearest neighbours labeled malicious,
     /// weighted by similarity (so ties order sensibly).
     pub fn score(&self, x: &[f32]) -> f32 {
-        let mut sims: Vec<(f32, bool)> = (0..self.embeddings.rows())
-            .map(|r| (cosine_similarity(self.embeddings.row(r), x), self.labels[r]))
-            .collect();
-        sims.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-        let k = self.k.min(sims.len());
-        let malicious_sim: f32 = sims[..k].iter().filter(|(_, m)| *m).map(|(s, _)| s).sum();
-        let count = sims[..k].iter().filter(|(_, m)| *m).count();
-        if count * 2 > k {
-            // Majority malicious: average similarity of those neighbours.
-            malicious_sim / count as f32
+        self.score_neighbours(&self.index.query(x, self.k))
+    }
+
+    fn score_neighbours(&self, neighbours: &[Neighbor]) -> f32 {
+        let k = neighbours.len();
+        let malicious: Vec<&Neighbor> = neighbours.iter().filter(|n| self.labels[n.id]).collect();
+        if malicious.len() * 2 > k {
+            // Majority malicious: average similarity of those
+            // neighbours (summed in descending-similarity order, as
+            // the historical scan did).
+            malicious.iter().map(|n| n.similarity).sum::<f32>() / malicious.len() as f32
         } else {
             0.0
         }
@@ -120,7 +190,11 @@ impl VanillaKnn {
 
     /// Scores every row of `data`.
     pub fn score_all(&self, data: &Matrix) -> Vec<f32> {
-        (0..data.rows()).map(|r| self.score(data.row(r))).collect()
+        self.index
+            .query_batch(data, self.k)
+            .iter()
+            .map(|n| self.score_neighbours(n))
+            .collect()
     }
 }
 
@@ -195,6 +269,29 @@ mod tests {
         for (r, score) in all.iter().enumerate() {
             assert_eq!(*score, det.score(emb.row(r)));
         }
+    }
+
+    #[test]
+    fn hnsw_backend_agrees_on_the_toy_set() {
+        // At toy scale the graph search is effectively exhaustive, so
+        // approximate and exact backends must agree exactly.
+        let (emb, labels) = toy();
+        let exact = RetrievalDetector::fit(&emb, &labels, 1);
+        let approx = RetrievalDetector::fit_with(&emb, &labels, 1, IndexConfig::hnsw(), None);
+        assert_eq!(exact.score_all(&emb), approx.score_all(&emb));
+        let vk_exact = VanillaKnn::fit(&emb, &labels, 3);
+        let vk_approx = VanillaKnn::fit_with(&emb, &labels, 3, IndexConfig::hnsw(), None);
+        assert_eq!(vk_exact.score_all(&emb), vk_approx.score_all(&emb));
+    }
+
+    #[test]
+    fn precomputed_norms_change_nothing() {
+        let (emb, labels) = toy();
+        let norms = linalg::ops::row_norms(&emb);
+        let plain = RetrievalDetector::fit(&emb, &labels, 2);
+        let with_norms =
+            RetrievalDetector::fit_with(&emb, &labels, 2, IndexConfig::Exact, Some(&norms));
+        assert_eq!(plain.score_all(&emb), with_norms.score_all(&emb));
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub use detector::{
     PcaMethod, RetrievalMethod, VanillaKnnMethod,
 };
 pub use iforest::IsolationForest;
+pub use index::{HnswParams, IndexConfig, Neighbor, VectorIndex};
 pub use knn::{RetrievalDetector, VanillaKnn};
 pub use ocsvm::OneClassSvm;
 pub use pca::PcaDetector;

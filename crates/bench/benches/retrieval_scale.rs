@@ -1,0 +1,77 @@
+//! Criterion bench: the vector-index layer at serving scale — exact
+//! brute-force scan vs HNSW graph search over 10k indexed lines.
+//!
+//! Prints the recall@1 of the approximate backend and the measured
+//! batch-query speedup alongside the per-backend timings. The data is
+//! cluster-structured Gaussian (command-line embeddings are Zipf-heavy
+//! near-duplicates, not isotropic noise), which is also what the
+//! retrieval method indexes in production: many variants of few attack
+//! templates.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use index::{ExactIndex, HnswIndex, HnswParams, VectorIndex};
+use linalg::rng::{clustered_around, randn};
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Instant;
+
+const INDEXED: usize = 10_000;
+const DIM: usize = 64;
+const CLUSTERS: usize = 250;
+const QUERIES: usize = 256;
+const NOISE: f32 = 0.25;
+
+fn bench_retrieval_scale(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    // Queries share the data's cluster centres, as test command lines
+    // share the train lines' templates.
+    let centers = randn(&mut rng, CLUSTERS, DIM, 1.0);
+    let data = clustered_around(&mut rng, &centers, INDEXED, NOISE);
+    let queries = clustered_around(&mut rng, &centers, QUERIES, NOISE);
+
+    let exact = ExactIndex::build(data.clone());
+    let hnsw = HnswIndex::build(data, HnswParams::default());
+
+    // Recall@1 of the approximate backend against ground truth.
+    let truth = exact.query_batch(&queries, 1);
+    let approx = hnsw.query_batch(&queries, 1);
+    let hits = truth
+        .iter()
+        .zip(&approx)
+        .filter(|(t, a)| t[0].id == a[0].id)
+        .count();
+    let recall = hits as f64 / QUERIES as f64;
+
+    // Headline speedup, measured outside the criterion loop so the
+    // ratio is printed even when only skimming the output.
+    let reps = 5;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        black_box(exact.query_batch(&queries, 1));
+    }
+    let exact_time = t0.elapsed();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        black_box(hnsw.query_batch(&queries, 1));
+    }
+    let hnsw_time = t0.elapsed();
+    let speedup = exact_time.as_secs_f64() / hnsw_time.as_secs_f64();
+    println!(
+        "retrieval_scale: {INDEXED} indexed × {QUERIES} queries (dim {DIM}) — \
+         hnsw recall@1 = {recall:.3}, speedup over exact = {speedup:.1}×"
+    );
+    assert!(recall >= 0.9, "hnsw recall@1 {recall:.3} below 0.9");
+
+    let mut group = c.benchmark_group("retrieval_scale");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(QUERIES as u64));
+    group.bench_function("exact_10k_256_queries", |b| {
+        b.iter(|| exact.query_batch(black_box(&queries), 1))
+    });
+    group.bench_function("hnsw_10k_256_queries", |b| {
+        b.iter(|| hnsw.query_batch(black_box(&queries), 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_retrieval_scale);
+criterion_main!(benches);

@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run --release --bin ablation_retrieval -p bench`
 
-use bench::methods::{run_retrieval, run_vanilla_knn};
+use bench::methods::{run_retrieval_with, run_vanilla_knn_with};
 use bench::{print_row, Args, Experiment};
 use cmdline_ids::eval::evaluate_scores;
 use cmdline_ids::metrics::precision_at_top;
@@ -18,12 +18,15 @@ use cmdline_ids::metrics::precision_at_top;
 fn main() {
     let args = Args::parse();
     println!(
-        "Retrieval ablation: train={} test={} seed={}",
-        args.train_size, args.test_size, args.seed
+        "Retrieval ablation: train={} test={} seed={} index={}",
+        args.train_size,
+        args.test_size,
+        args.seed,
+        args.index.name()
     );
     let exp = Experiment::setup(args.seed, args.config());
 
-    let paper = run_retrieval(&exp);
+    let paper = run_retrieval_with(&exp, args.index);
     let top = paper
         .iter()
         .filter(|s| s.malicious && !s.in_box)
@@ -51,7 +54,7 @@ fn main() {
     ]);
 
     for k in [1usize, 3, 5] {
-        let vanilla = run_vanilla_knn(&exp, k);
+        let vanilla = run_vanilla_knn_with(&exp, k, args.index);
         let eval = evaluate_scores(&vanilla, 0.90, &[]);
         let p_at = precision_at_top(&vanilla, top);
         results.push(("vanilla", p_at));

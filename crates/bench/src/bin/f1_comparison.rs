@@ -15,12 +15,16 @@ use cmdline_ids::eval::evaluate_scores;
 fn main() {
     let args = Args::parse();
     println!(
-        "Section V-B reproduction: train={} test={} seed={}",
-        args.train_size, args.test_size, args.seed
+        "Section V-B reproduction: train={} test={} seed={} index={}",
+        args.train_size,
+        args.test_size,
+        args.seed,
+        args.index.name()
     );
     let exp = Experiment::setup(args.seed, args.config());
 
     let suite = MethodSuite::new(&exp)
+        .with_index(args.index)
         .with_classification()
         .run()
         .expect("suite run");

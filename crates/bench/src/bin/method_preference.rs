@@ -41,6 +41,7 @@ fn main() {
     let exp = Experiment::setup(args.seed, args.config());
 
     let suite = MethodSuite::new(&exp)
+        .with_index(args.index)
         .with_classification()
         .with_reconstruction()
         .with_retrieval(1)

@@ -31,8 +31,12 @@ const FUSED: &[&str] = &["reconstruction", "classification", "retrieval"];
 fn main() {
     let args = Args::parse();
     println!(
-        "Table I reproduction: train={} test={} runs={} seed={}",
-        args.train_size, args.test_size, args.runs, args.seed
+        "Table I reproduction: train={} test={} runs={} seed={} index={}",
+        args.train_size,
+        args.test_size,
+        args.runs,
+        args.seed,
+        args.index.name()
     );
 
     let mut recon = (Vec::new(), Vec::new());
@@ -55,6 +59,7 @@ fn main() {
             args.runs
         );
         let suite = MethodSuite::new(&exp)
+            .with_index(args.index)
             .with_reconstruction()
             .with_classification()
             .with_retrieval(1)

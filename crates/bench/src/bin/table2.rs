@@ -65,6 +65,7 @@ fn main() {
             args.runs
         );
         let suite = MethodSuite::new(&exp)
+            .with_index(args.index)
             .with_reconstruction()
             .with_classification()
             .with_multiline()

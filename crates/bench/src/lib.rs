@@ -16,6 +16,7 @@
 
 pub mod methods;
 
+use cmdline_ids::engine::IndexConfig;
 use cmdline_ids::metrics::ScoredSample;
 use cmdline_ids::pipeline::{IdsPipeline, PipelineConfig};
 use corpus::{dedup_records, AttackFamily, Dataset, LogRecord};
@@ -169,6 +170,9 @@ pub struct Args {
     pub test_size: usize,
     /// Independent runs to aggregate (Table I reports five).
     pub runs: usize,
+    /// Vector-index backend for the neighbour-based methods
+    /// (`--index exact|hnsw`; exact is the paper-faithful default).
+    pub index: IndexConfig,
 }
 
 impl Default for Args {
@@ -178,32 +182,42 @@ impl Default for Args {
             train_size: 8_000,
             test_size: 3_000,
             runs: 5,
+            index: IndexConfig::Exact,
         }
     }
 }
 
 impl Args {
-    /// Parses `--seed N --train N --test N --runs N` from `std::env`.
-    /// Unknown flags abort with a usage message.
+    /// Parses `--seed N --train N --test N --runs N --index exact|hnsw`
+    /// from `std::env`. Unknown flags abort with a usage message.
     pub fn parse() -> Self {
         let mut args = Args::default();
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
+        let usage = || {
+            eprintln!(
+                "usage: {} [--seed N] [--train N] [--test N] [--runs N] [--index exact|hnsw]",
+                std::env::args().next().unwrap_or_default()
+            );
+            std::process::exit(2)
+        };
         while i < argv.len() {
             let key = argv[i].as_str();
+            if key == "--index" {
+                match argv.get(i + 1).map(|v| v.parse::<IndexConfig>()) {
+                    Some(Ok(config)) => args.index = config,
+                    _ => usage(),
+                }
+                i += 2;
+                continue;
+            }
             let value = argv.get(i + 1).and_then(|v| v.parse::<u64>().ok());
             match (key, value) {
                 ("--seed", Some(v)) => args.seed = v,
                 ("--train", Some(v)) => args.train_size = v as usize,
                 ("--test", Some(v)) => args.test_size = v as usize,
                 ("--runs", Some(v)) => args.runs = (v as usize).max(1),
-                _ => {
-                    eprintln!(
-                        "usage: {} [--seed N] [--train N] [--test N] [--runs N]",
-                        std::env::args().next().unwrap_or_default()
-                    );
-                    std::process::exit(2);
-                }
+                _ => usage(),
             }
             i += 2;
         }

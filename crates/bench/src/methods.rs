@@ -18,7 +18,7 @@ use anomaly::{
 use cmdline_ids::embed::Pooling;
 use cmdline_ids::engine::{
     window_dedup_indices, ClassificationMethod, Detector, EmbeddingStore, EngineError, EngineRun,
-    MultiLineMethod, ReconstructionMethod, ScoringEngine,
+    IndexConfig, MultiLineMethod, ReconstructionMethod, ScoringEngine,
 };
 use cmdline_ids::metrics::ScoredSample;
 use cmdline_ids::tuning::{ReconstructionConfig, TuneConfig};
@@ -54,6 +54,15 @@ impl<'e> MethodSuite<'e> {
     /// go through [`cmdline_ids::engine::ScoringEngine`] directly.
     pub fn register(mut self, detector: Box<dyn Detector>) -> Self {
         self.engine = self.engine.register(detector);
+        self
+    }
+
+    /// Selects the vector-index backend for every neighbour-based
+    /// method in this run (retrieval, vanilla kNN): exact for
+    /// paper-faithful, bit-reproducible scores; HNSW for sublinear
+    /// approximate search at scale.
+    pub fn with_index(mut self, config: IndexConfig) -> Self {
+        self.engine = self.engine.with_index_config(config);
         self
     }
 
@@ -300,9 +309,16 @@ pub fn run_reconstruction(exp: &Experiment, seed: u64) -> Vec<ScoredSample> {
     run.samples("reconstruction").expect("registered method")
 }
 
-/// Retrieval (1NN over malicious exemplars; no tuning).
+/// Retrieval (1NN over malicious exemplars; no tuning) over the exact
+/// backend.
 pub fn run_retrieval(exp: &Experiment) -> Vec<ScoredSample> {
+    run_retrieval_with(exp, IndexConfig::Exact)
+}
+
+/// [`run_retrieval`] over an explicit vector-index backend.
+pub fn run_retrieval_with(exp: &Experiment, index: IndexConfig) -> Vec<ScoredSample> {
     let run = MethodSuite::new(exp)
+        .with_index(index)
         .with_retrieval(1)
         .run()
         .expect("retrieval suite");
@@ -310,9 +326,15 @@ pub fn run_retrieval(exp: &Experiment) -> Vec<ScoredSample> {
 }
 
 /// Ablation: vanilla majority-vote kNN (the method the paper modified
-/// away from because of label noise).
+/// away from because of label noise) over the exact backend.
 pub fn run_vanilla_knn(exp: &Experiment, k: usize) -> Vec<ScoredSample> {
+    run_vanilla_knn_with(exp, k, IndexConfig::Exact)
+}
+
+/// [`run_vanilla_knn`] over an explicit vector-index backend.
+pub fn run_vanilla_knn_with(exp: &Experiment, k: usize, index: IndexConfig) -> Vec<ScoredSample> {
     let run = MethodSuite::new(exp)
+        .with_index(index)
         .with_vanilla_knn(k)
         .run()
         .expect("vanilla kNN suite");

@@ -1,0 +1,129 @@
+//! Pins the vector-index refactor: the exact backend must reproduce
+//! the pre-index brute-force detector scores **bit-for-bit**, end to
+//! end through the engine, and the HNSW backend must agree with exact
+//! on nearly every sample at experiment scale.
+
+use bench::methods::MethodSuite;
+use bench::Experiment;
+use cmdline_ids::embed::Pooling;
+use cmdline_ids::engine::{EmbeddingStore, IndexConfig};
+use cmdline_ids::pipeline::PipelineConfig;
+use linalg::ops::cosine_similarity;
+use linalg::Matrix;
+
+fn tiny_experiment() -> Experiment {
+    let mut config = PipelineConfig::fast();
+    config.train_size = 800;
+    config.test_size = 400;
+    config.attack_prob = 0.25;
+    Experiment::setup(99, config)
+}
+
+/// The pre-refactor retrieval scorer, verbatim: per-call norms, full
+/// stable descending sort, mean of the top-k similarities.
+fn brute_force_retrieval(train: &Matrix, labels: &[bool], k: usize, test: &Matrix) -> Vec<f32> {
+    let rows: Vec<usize> = labels
+        .iter()
+        .enumerate()
+        .filter(|(_, &m)| m)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!rows.is_empty(), "test data must contain alerted lines");
+    (0..test.rows())
+        .map(|t| {
+            let mut sims: Vec<f32> = rows
+                .iter()
+                .map(|&r| cosine_similarity(train.row(r), test.row(t)))
+                .collect();
+            sims.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+            let k = k.min(sims.len());
+            sims[..k].iter().sum::<f32>() / k as f32
+        })
+        .collect()
+}
+
+/// The pre-refactor vanilla-kNN scorer, verbatim.
+fn brute_force_vanilla(train: &Matrix, labels: &[bool], k: usize, test: &Matrix) -> Vec<f32> {
+    (0..test.rows())
+        .map(|t| {
+            let mut sims: Vec<(f32, bool)> = (0..train.rows())
+                .map(|r| (cosine_similarity(train.row(r), test.row(t)), labels[r]))
+                .collect();
+            sims.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+            let k = k.min(sims.len());
+            let malicious_sim: f32 = sims[..k].iter().filter(|(_, m)| *m).map(|(s, _)| s).sum();
+            let count = sims[..k].iter().filter(|(_, m)| *m).count();
+            if count * 2 > k {
+                malicious_sim / count as f32
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn exact_backend_scores_are_bit_identical_to_brute_force() {
+    let exp = tiny_experiment();
+    let suite = MethodSuite::new(&exp)
+        .with_retrieval(1)
+        .with_vanilla_knn(3)
+        .run()
+        .expect("exact suite runs");
+
+    // Re-derive the reference inputs from the same memoized store the
+    // suite used (hits, not fresh encoder passes).
+    let store = EmbeddingStore::new(&exp.pipeline);
+    let train_lines = exp.train_lines();
+    let labels = exp.train_labels();
+    let dedup = exp.deduped_test();
+    let test_lines: Vec<&str> = dedup.iter().map(|r| r.line.as_str()).collect();
+    let train = store.view(&train_lines, Pooling::Mean);
+    let test = store.view(&test_lines, Pooling::Mean);
+
+    let want_retrieval = brute_force_retrieval(train.matrix(), &labels, 1, test.matrix());
+    let want_vanilla = brute_force_vanilla(train.matrix(), &labels, 3, test.matrix());
+    assert_eq!(
+        suite.scores("retrieval").expect("registered"),
+        &want_retrieval[..],
+        "exact-backend retrieval must be bit-identical to the pre-index scan"
+    );
+    assert_eq!(
+        suite.scores("vanilla-knn").expect("registered"),
+        &want_vanilla[..],
+        "exact-backend vanilla kNN must be bit-identical to the pre-index scan"
+    );
+}
+
+#[test]
+fn hnsw_backend_tracks_exact_at_experiment_scale() {
+    let exp = tiny_experiment();
+    let exact = MethodSuite::new(&exp)
+        .with_retrieval(1)
+        .run()
+        .expect("exact suite");
+    let approx = MethodSuite::new(&exp)
+        .with_index(IndexConfig::hnsw())
+        .with_retrieval(1)
+        .run()
+        .expect("hnsw suite");
+    let e = exact.scores("retrieval").unwrap();
+    let a = approx.scores("retrieval").unwrap();
+    assert_eq!(e.len(), a.len());
+    assert!(a.iter().all(|s| s.is_finite()));
+    // Approximate 1NN either finds the same exemplar (identical score)
+    // or a near-tie; require ≥ 90% exact agreement — the recall@1
+    // contract — and no wild scores on the rest.
+    let agree = e.iter().zip(a).filter(|(x, y)| x == y).count();
+    assert!(
+        agree as f64 >= 0.9 * e.len() as f64,
+        "hnsw agreed on only {agree}/{} samples",
+        e.len()
+    );
+    for (&x, &y) in e.iter().zip(a) {
+        assert!(
+            y <= x + 1e-6,
+            "approximate similarity {y} exceeds exact maximum {x}"
+        );
+    }
+}

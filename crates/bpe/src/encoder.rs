@@ -3,34 +3,34 @@
 use crate::pretokenize::{detokenize, pretokenize, to_symbols};
 use crate::special::SpecialToken;
 use crate::vocab::Vocab;
-use parking_lot_free_cache::Cache;
+use memo_cache::Cache;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
-/// A tiny interior-mutability-free memoization shim.
+/// A tiny thread-safe memoization shim.
 ///
 /// Encoding the same pre-token repeatedly is the common case in logs
 /// (Zipf law), so [`Tokenizer::encode`] memoizes per-word splits. The
-/// cache lives behind a `std::sync::Mutex`-free single-threaded wrapper:
-/// callers needing parallel encoding clone the tokenizer per thread
-/// (cheap: the tables are shared copy-on-write via `Vec`/`HashMap`
-/// clones at construction).
-mod parking_lot_free_cache {
-    use std::cell::RefCell;
+/// cache sits behind a `std::sync::Mutex` so a frozen tokenizer is
+/// `Sync` — the scoring engine scores detectors holding pipeline
+/// copies from parallel threads. The lock is uncontended in the
+/// single-threaded case and far cheaper than the merge loop it skips.
+mod memo_cache {
     use std::collections::HashMap;
+    use std::sync::Mutex;
 
     #[derive(Debug, Default)]
     pub struct Cache {
-        inner: RefCell<HashMap<String, Vec<u32>>>,
+        inner: Mutex<HashMap<String, Vec<u32>>>,
     }
 
     impl Cache {
         pub fn get(&self, key: &str) -> Option<Vec<u32>> {
-            self.inner.borrow().get(key).cloned()
+            self.inner.lock().unwrap().get(key).cloned()
         }
 
         pub fn put(&self, key: String, val: Vec<u32>) {
-            let mut map = self.inner.borrow_mut();
+            let mut map = self.inner.lock().unwrap();
             // Bound memory: logs contain a long tail of unique words.
             if map.len() >= 65_536 {
                 map.clear();

@@ -45,6 +45,7 @@ mod methods;
 mod store;
 
 pub use anomaly::{Detector, DetectorError, EmbeddingView};
+pub use index::{HnswParams, IndexConfig};
 pub use methods::{
     subsample_labeled, window_dedup_indices, ClassificationMethod, MultiLineMethod,
     ReconstructionMethod,
@@ -106,6 +107,7 @@ pub struct MethodScores {
 #[derive(Default)]
 pub struct ScoringEngine {
     detectors: Vec<Box<dyn Detector>>,
+    index_config: Option<IndexConfig>,
 }
 
 impl ScoringEngine {
@@ -118,6 +120,21 @@ impl ScoringEngine {
     pub fn register(mut self, detector: Box<dyn Detector>) -> Self {
         self.detectors.push(detector);
         self
+    }
+
+    /// Selects the vector-index backend for every neighbour-based
+    /// detector in this run ([`Detector::configure_index`] is applied
+    /// at [`ScoringEngine::run`], before fitting). Without this, each
+    /// detector keeps the backend it was constructed with — the exact,
+    /// paper-faithful scan by default.
+    pub fn with_index_config(mut self, config: IndexConfig) -> Self {
+        self.index_config = Some(config);
+        self
+    }
+
+    /// The run-wide index backend override, if any.
+    pub fn index_config(&self) -> Option<IndexConfig> {
+        self.index_config
     }
 
     /// Names of the registered detectors, in registration order.
@@ -145,6 +162,13 @@ impl ScoringEngine {
     /// Fits every registered detector on the shared training view and
     /// supervision labels, then scores the shared test view in one
     /// pass, consuming the engine into an [`EngineRun`].
+    ///
+    /// Scoring fans out across the fitted detectors on crossbeam-scoped
+    /// threads (they only share the immutable test view); output order
+    /// stays registration order. Detectors may parallelize internally
+    /// too (index batch queries, matmul row chunks), briefly
+    /// oversubscribing cores; threads are short-lived and the detector
+    /// count is small, so scheduling, not budgeting, absorbs it.
     pub fn run(
         mut self,
         train: &EmbeddingView,
@@ -152,22 +176,44 @@ impl ScoringEngine {
         test: &EmbeddingView,
     ) -> Result<EngineRun, EngineError> {
         for det in &mut self.detectors {
+            if let Some(config) = self.index_config {
+                det.configure_index(config);
+            }
             det.fit(train, labels)
                 .map_err(|source| EngineError::Detector {
                     method: det.name().to_string(),
                     source,
                 })?;
         }
-        let outputs = self
-            .detectors
-            .iter()
-            .map(|det| MethodScores {
-                name: det.name().to_string(),
-                scores: det.score_batch(test),
-                test_aligned: det.test_aligned(),
+        let mut outputs: Vec<Option<MethodScores>> = Vec::with_capacity(self.detectors.len());
+        outputs.resize_with(self.detectors.len(), || None);
+        if self.detectors.len() <= 1 {
+            for (det, slot) in self.detectors.iter().zip(outputs.iter_mut()) {
+                *slot = Some(score_one(det.as_ref(), test));
+            }
+        } else {
+            crossbeam::scope(|scope| {
+                for (det, slot) in self.detectors.iter().zip(outputs.iter_mut()) {
+                    scope.spawn(move |_| *slot = Some(score_one(det.as_ref(), test)));
+                }
             })
-            .collect();
-        Ok(EngineRun { outputs })
+            .expect("detector scoring worker panicked");
+        }
+        Ok(EngineRun {
+            outputs: outputs
+                .into_iter()
+                .map(|o| o.expect("every detector scored"))
+                .collect(),
+        })
+    }
+}
+
+/// Scores one fitted detector over the shared test view.
+fn score_one(det: &dyn Detector, test: &EmbeddingView) -> MethodScores {
+    MethodScores {
+        name: det.name().to_string(),
+        scores: det.score_batch(test),
+        test_aligned: det.test_aligned(),
     }
 }
 
@@ -302,6 +348,27 @@ mod tests {
         // conflicting ranking must not have contributed.
         assert!(fused[0] > fused[1]);
         assert!(fused.iter().all(|&x| fused[0] >= x));
+    }
+
+    #[test]
+    fn index_config_threads_through_the_run() {
+        let (train, labels, test) = toy_views();
+        let exact = ScoringEngine::new()
+            .register(Box::new(RetrievalMethod::new(1)))
+            .register(Box::new(VanillaKnnMethod::new(3)))
+            .run(&train, &labels, &test)
+            .expect("exact run");
+        let engine = ScoringEngine::new()
+            .with_index_config(IndexConfig::hnsw())
+            .register(Box::new(RetrievalMethod::new(1)))
+            .register(Box::new(VanillaKnnMethod::new(3)));
+        assert_eq!(engine.index_config(), Some(IndexConfig::hnsw()));
+        let approx = engine.run(&train, &labels, &test).expect("hnsw run");
+        // At toy scale the graph search is exhaustive, so the
+        // approximate backend reproduces the exact scores — proving
+        // the config reached both neighbour-based detectors.
+        assert_eq!(exact.scores("retrieval"), approx.scores("retrieval"));
+        assert_eq!(exact.scores("vanilla-knn"), approx.scores("vanilla-knn"));
     }
 
     #[test]

@@ -165,6 +165,21 @@ mod tests {
     }
 
     #[test]
+    fn norms_are_memoized_alongside_embeddings() {
+        let pipeline = tiny_pipeline();
+        let store = EmbeddingStore::new(&pipeline);
+        let lines = ["ls -la /tmp", "cat /etc/hosts", "df -h"];
+        let a = store.view(&lines, Pooling::Mean);
+        assert!(!a.norms_computed(), "norms are lazy");
+        let first = a.norms().as_ptr();
+        // A second request returns the memoized view, whose norm cache
+        // is already filled — an index built over it re-derives nothing.
+        let b = store.view(&lines, Pooling::Mean);
+        assert!(b.norms_computed());
+        assert!(std::ptr::eq(first, b.norms().as_ptr()));
+    }
+
+    #[test]
     fn view_matches_direct_embedding() {
         let pipeline = tiny_pipeline();
         let store = EmbeddingStore::new(&pipeline);

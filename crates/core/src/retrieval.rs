@@ -7,7 +7,7 @@
 
 use crate::embed::{embed_lines, Pooling};
 use crate::pipeline::IdsPipeline;
-use anomaly::{RetrievalDetector, VanillaKnn};
+use anomaly::{IndexConfig, RetrievalDetector, VanillaKnn};
 
 /// The paper's retrieval method bound to a pipeline's embedding space.
 #[derive(Debug)]
@@ -17,12 +17,24 @@ pub struct Retrieval {
 
 impl Retrieval {
     /// Indexes the malicious-labeled training lines (`labels[i] = true`
-    /// means the supervision source alerted on `lines[i]`).
+    /// means the supervision source alerted on `lines[i]`) over the
+    /// exact backend.
     ///
     /// # Panics
     ///
     /// Panics if lengths disagree or no line is labeled malicious.
     pub fn fit(pipeline: &IdsPipeline, lines: &[&str], labels: &[bool], k: usize) -> Self {
+        Self::fit_with(pipeline, lines, labels, k, IndexConfig::Exact)
+    }
+
+    /// [`Retrieval::fit`] over an explicit vector-index backend.
+    pub fn fit_with(
+        pipeline: &IdsPipeline,
+        lines: &[&str],
+        labels: &[bool],
+        k: usize,
+        index: IndexConfig,
+    ) -> Self {
         let embeddings = embed_lines(
             pipeline.encoder(),
             pipeline.tokenizer(),
@@ -31,7 +43,7 @@ impl Retrieval {
             Pooling::Mean,
         );
         Retrieval {
-            detector: RetrievalDetector::fit(&embeddings, labels, k),
+            detector: RetrievalDetector::fit_with(&embeddings, labels, k, index, None),
         }
     }
 
@@ -69,12 +81,23 @@ pub struct VanillaRetrieval {
 }
 
 impl VanillaRetrieval {
-    /// Indexes the full labeled training set.
+    /// Indexes the full labeled training set over the exact backend.
     ///
     /// # Panics
     ///
     /// Panics if lengths disagree or the set is empty.
     pub fn fit(pipeline: &IdsPipeline, lines: &[&str], labels: &[bool], k: usize) -> Self {
+        Self::fit_with(pipeline, lines, labels, k, IndexConfig::Exact)
+    }
+
+    /// [`VanillaRetrieval::fit`] over an explicit vector-index backend.
+    pub fn fit_with(
+        pipeline: &IdsPipeline,
+        lines: &[&str],
+        labels: &[bool],
+        k: usize,
+        index: IndexConfig,
+    ) -> Self {
         let embeddings = embed_lines(
             pipeline.encoder(),
             pipeline.tokenizer(),
@@ -83,7 +106,7 @@ impl VanillaRetrieval {
             Pooling::Mean,
         );
         VanillaRetrieval {
-            knn: VanillaKnn::fit(&embeddings, labels, k),
+            knn: VanillaKnn::fit_with(&embeddings, labels, k, index, None),
         }
     }
 

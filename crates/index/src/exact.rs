@@ -1,0 +1,153 @@
+//! Brute-force cosine scan with build-time norm caching — the
+//! paper-faithful [`VectorIndex`] backend.
+
+use crate::{Neighbor, VectorIndex};
+use linalg::ops::{cosine_with_norms, norm, row_norms};
+use linalg::Matrix;
+
+/// Exact top-k by full scan.
+///
+/// Candidate norms are computed once at build time; each query pays
+/// one norm plus one dot product per candidate. Selection is a stable
+/// descending sort, so ties keep candidate row order — exactly the
+/// behaviour of the historical per-detector scans, which is what makes
+/// exact-backed detector scores bit-identical to the pre-index code.
+#[derive(Debug, Clone)]
+pub struct ExactIndex {
+    data: Matrix,
+    norms: Vec<f32>,
+}
+
+impl ExactIndex {
+    /// Indexes `data`, deriving the candidate norms.
+    pub fn build(data: Matrix) -> Self {
+        let norms = row_norms(&data);
+        ExactIndex { data, norms }
+    }
+
+    /// Indexes `data` with norms the caller already holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `norms.len() != data.rows()`.
+    pub fn build_with_norms(data: Matrix, norms: Vec<f32>) -> Self {
+        assert_eq!(norms.len(), data.rows(), "one norm per candidate row");
+        ExactIndex { data, norms }
+    }
+
+    /// The indexed candidate matrix.
+    pub fn data(&self) -> &Matrix {
+        &self.data
+    }
+}
+
+impl VectorIndex for ExactIndex {
+    fn len(&self) -> usize {
+        self.data.rows()
+    }
+
+    fn dim(&self) -> usize {
+        self.data.cols()
+    }
+
+    fn query(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim(), "query dimensionality mismatch");
+        let nq = norm(query);
+        let mut sims: Vec<Neighbor> = (0..self.data.rows())
+            .map(|r| Neighbor {
+                id: r,
+                similarity: cosine_with_norms(self.data.row(r), self.norms[r], query, nq),
+            })
+            .collect();
+        // Stable descending sort: equal similarities keep row order,
+        // matching the historical full-scan detectors bit-for-bit.
+        sims.sort_by(|a, b| {
+            b.similarity
+                .partial_cmp(&a.similarity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        sims.truncate(k.min(self.data.rows()));
+        sims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::ops::cosine_similarity;
+    use linalg::rng::randn;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The pre-index reference: compute every similarity with the
+    /// per-call norm path and stable-sort descending.
+    fn brute_force(data: &Matrix, q: &[f32], k: usize) -> Vec<(usize, f32)> {
+        let mut sims: Vec<(usize, f32)> = (0..data.rows())
+            .map(|r| (r, cosine_similarity(data.row(r), q)))
+            .collect();
+        sims.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        sims.truncate(k.min(data.rows()));
+        sims
+    }
+
+    #[test]
+    fn query_is_bit_identical_to_per_call_norms() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let data = randn(&mut rng, 64, 12, 1.0);
+        let queries = randn(&mut rng, 10, 12, 1.0);
+        let idx = ExactIndex::build(data.clone());
+        for r in 0..queries.rows() {
+            let q = queries.row(r);
+            for k in [1, 3, 64, 100] {
+                let got = idx.query(q, k);
+                let want = brute_force(&data, q, k);
+                assert_eq!(got.len(), want.len());
+                for (g, (id, sim)) in got.iter().zip(&want) {
+                    assert_eq!(g.id, *id);
+                    assert_eq!(g.similarity, *sim, "similarities must be bit-identical");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ties_keep_row_order() {
+        // Duplicate candidates tie exactly; the stable sort must keep
+        // the earlier row first, as the historical scan did.
+        let data = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0], &[1.0, 0.0], &[0.5, 0.5]]);
+        let idx = ExactIndex::build(data);
+        let top = idx.query(&[1.0, 0.0], 3);
+        assert_eq!(top[0].id, 1);
+        assert_eq!(top[1].id, 2);
+    }
+
+    #[test]
+    fn zero_vectors_score_zero() {
+        let data = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 0.0]]);
+        let idx = ExactIndex::build(data);
+        let top = idx.query(&[1.0, 0.0], 2);
+        assert_eq!(
+            top[0],
+            Neighbor {
+                id: 1,
+                similarity: 1.0
+            }
+        );
+        assert_eq!(
+            top[1],
+            Neighbor {
+                id: 0,
+                similarity: 0.0
+            }
+        );
+        let zeroed = idx.query(&[0.0, 0.0], 1);
+        assert_eq!(zeroed[0].similarity, 0.0);
+    }
+
+    #[test]
+    fn k_clamps_to_candidate_count() {
+        let data = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let idx = ExactIndex::build(data);
+        assert_eq!(idx.query(&[1.0, 0.0], 10).len(), 2);
+    }
+}

@@ -1,0 +1,430 @@
+//! Hierarchical navigable small-world graph (Malkov & Yashunin, 2016)
+//! over cosine similarity — the approximate [`VectorIndex`] backend.
+//!
+//! Determinism: level assignment draws from the seeded `rand` shim and
+//! every heap comparison breaks similarity ties by candidate id
+//! (`f32::total_cmp` then id), so the same `(data, params)` pair
+//! always builds the same graph and answers queries identically.
+
+use crate::{Neighbor, VectorIndex};
+use linalg::ops::{cosine_with_norms, norm, row_norms};
+use linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+thread_local! {
+    /// Per-thread visited scratch for [`HnswIndex::search_layer`]:
+    /// node id → epoch it was last touched in. Reused across queries
+    /// (and across indexes — ids are positional) so a query allocates
+    /// nothing once the thread has warmed up.
+    static VISITED_SCRATCH: RefCell<(Vec<u32>, u32)> = const { RefCell::new((Vec::new(), 0)) };
+}
+
+/// HNSW build/search parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HnswParams {
+    /// Max links per node on upper layers (layer 0 allows `2m`).
+    pub m: usize,
+    /// Candidate-list width during construction.
+    pub ef_construction: usize,
+    /// Candidate-list width during queries (clamped up to `k`).
+    pub ef_search: usize,
+    /// Seed for the level-assignment RNG.
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        // Tuned on 10k × 64-dim sets (see `benches/retrieval_scale.rs`):
+        // recall@1 ≈ 0.99 on both isotropic-Gaussian and
+        // cluster-structured data, at ≈ 3× / 10× the exact scan's
+        // batch throughput respectively. Lower `ef_search` for more
+        // speed at the cost of recall.
+        HnswParams {
+            m: 24,
+            ef_construction: 300,
+            ef_search: 128,
+            seed: 0x05EE_D1D5,
+        }
+    }
+}
+
+impl HnswParams {
+    /// Overrides the query-time candidate width.
+    pub fn with_ef_search(mut self, ef_search: usize) -> Self {
+        self.ef_search = ef_search.max(1);
+        self
+    }
+
+    /// Overrides the per-node link budget.
+    pub fn with_m(mut self, m: usize) -> Self {
+        self.m = m.max(2);
+        self
+    }
+}
+
+/// A search frontier entry ordered by similarity (ties by id) so
+/// `BinaryHeap` pops the most similar candidate first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Scored {
+    similarity: f32,
+    id: usize,
+}
+
+impl Eq for Scored {}
+
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.similarity
+            .total_cmp(&other.similarity)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The approximate nearest-neighbour graph.
+#[derive(Debug, Clone)]
+pub struct HnswIndex {
+    data: Matrix,
+    norms: Vec<f32>,
+    params: HnswParams,
+    /// `links[node][level]` = neighbour ids of `node` at `level`;
+    /// a node participates in levels `0..links[node].len()`.
+    links: Vec<Vec<Vec<usize>>>,
+    /// Entry node for searches (member of the top level).
+    entry: usize,
+    /// Highest populated level.
+    top_level: usize,
+}
+
+impl HnswIndex {
+    /// Builds the graph over `data`, deriving candidate norms.
+    pub fn build(data: Matrix, params: HnswParams) -> Self {
+        let norms = row_norms(&data);
+        Self::build_with_norms(data, norms, params)
+    }
+
+    /// Builds the graph over `data` with norms the caller already
+    /// holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `norms.len() != data.rows()` or `params.m < 2`.
+    pub fn build_with_norms(data: Matrix, norms: Vec<f32>, params: HnswParams) -> Self {
+        assert_eq!(norms.len(), data.rows(), "one norm per candidate row");
+        assert!(params.m >= 2, "HNSW needs at least 2 links per node");
+        let n = data.rows();
+        let mut index = HnswIndex {
+            data,
+            norms,
+            params,
+            links: Vec::with_capacity(n),
+            entry: 0,
+            top_level: 0,
+        };
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let level_scale = 1.0 / (params.m as f64).ln();
+        for i in 0..n {
+            let level = sample_level(&mut rng, level_scale);
+            index.insert(i, level);
+        }
+        index
+    }
+
+    /// The build/search parameters.
+    pub fn params(&self) -> &HnswParams {
+        &self.params
+    }
+
+    /// Cosine similarity between candidate `id` and a query whose norm
+    /// is already known.
+    #[inline]
+    fn sim(&self, id: usize, query: &[f32], query_norm: f32) -> f32 {
+        cosine_with_norms(self.data.row(id), self.norms[id], query, query_norm)
+    }
+
+    /// Greedy descent at one layer: hill-climb to the locally most
+    /// similar node.
+    fn greedy(&self, query: &[f32], query_norm: f32, mut best: Scored, level: usize) -> Scored {
+        loop {
+            let mut improved = false;
+            for &nb in &self.links[best.id][level] {
+                let s = Scored {
+                    similarity: self.sim(nb, query, query_norm),
+                    id: nb,
+                };
+                if s > best {
+                    best = s;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return best;
+            }
+        }
+    }
+
+    /// Best-first beam search at one layer; returns up to `ef`
+    /// candidates sorted by descending similarity.
+    ///
+    /// Visited marking uses a thread-local epoch-stamped scratch
+    /// instead of a fresh `vec![false; n]`: per-query cost stays
+    /// proportional to the nodes actually touched, not the index size
+    /// (the allocation would otherwise dominate at serving scale).
+    fn search_layer(
+        &self,
+        query: &[f32],
+        query_norm: f32,
+        entries: &[Scored],
+        ef: usize,
+        level: usize,
+    ) -> Vec<Scored> {
+        VISITED_SCRATCH.with(|scratch| {
+            let (stamps, epoch) = &mut *scratch.borrow_mut();
+            if stamps.len() < self.links.len() {
+                stamps.resize(self.links.len(), 0);
+            }
+            *epoch = epoch.wrapping_add(1);
+            if *epoch == 0 {
+                stamps.fill(0);
+                *epoch = 1;
+            }
+            let epoch = *epoch;
+            // Returns whether `id` was already seen, marking it if not.
+            let seen = |stamps: &mut Vec<u32>, id: usize| {
+                if stamps[id] == epoch {
+                    true
+                } else {
+                    stamps[id] = epoch;
+                    false
+                }
+            };
+            // Frontier pops most-similar first; results evict
+            // least-similar.
+            let mut frontier: BinaryHeap<Scored> = BinaryHeap::new();
+            let mut results: BinaryHeap<std::cmp::Reverse<Scored>> = BinaryHeap::new();
+            for &e in entries {
+                if !seen(stamps, e.id) {
+                    frontier.push(e);
+                    results.push(std::cmp::Reverse(e));
+                }
+            }
+            while results.len() > ef {
+                results.pop();
+            }
+            while let Some(current) = frontier.pop() {
+                let worst = results.peek().expect("results seeded from entries").0;
+                if results.len() >= ef && current < worst {
+                    break;
+                }
+                for &nb in &self.links[current.id][level] {
+                    if seen(stamps, nb) {
+                        continue;
+                    }
+                    let cand = Scored {
+                        similarity: self.sim(nb, query, query_norm),
+                        id: nb,
+                    };
+                    let worst = results.peek().expect("non-empty").0;
+                    if results.len() < ef || cand > worst {
+                        frontier.push(cand);
+                        results.push(std::cmp::Reverse(cand));
+                        if results.len() > ef {
+                            results.pop();
+                        }
+                    }
+                }
+            }
+            let mut out: Vec<Scored> = results.into_iter().map(|r| r.0).collect();
+            out.sort_by(|a, b| b.cmp(a));
+            out
+        })
+    }
+
+    /// Link budget at a layer (layer 0 is denser, as in the paper).
+    fn max_links(&self, level: usize) -> usize {
+        if level == 0 {
+            self.params.m * 2
+        } else {
+            self.params.m
+        }
+    }
+
+    /// Inserts node `i` at `level`, wiring bidirectional links.
+    fn insert(&mut self, i: usize, level: usize) {
+        self.links.push(vec![Vec::new(); level + 1]);
+        if i == 0 {
+            self.entry = 0;
+            self.top_level = level;
+            return;
+        }
+        let query: Vec<f32> = self.data.row(i).to_vec();
+        let nq = self.norms[i];
+        let mut ep = Scored {
+            similarity: self.sim(self.entry, &query, nq),
+            id: self.entry,
+        };
+        // Descend through layers above the new node's level greedily.
+        for l in (level + 1..=self.top_level).rev() {
+            ep = self.greedy(&query, nq, ep, l);
+        }
+        // Beam-search each shared layer and wire the best m links.
+        let mut entries = vec![ep];
+        for l in (0..=level.min(self.top_level)).rev() {
+            let found = self.search_layer(&query, nq, &entries, self.params.ef_construction, l);
+            for &nb in found.iter().take(self.params.m) {
+                self.links[i][l].push(nb.id);
+                self.links[nb.id][l].push(i);
+                if self.links[nb.id][l].len() > self.max_links(l) {
+                    self.prune(nb.id, l);
+                }
+            }
+            entries = found;
+        }
+        if level > self.top_level {
+            self.top_level = level;
+            self.entry = i;
+        }
+    }
+
+    /// Shrinks an over-full link list to the layer budget, keeping the
+    /// most similar neighbours (ties by id, deterministically).
+    fn prune(&mut self, node: usize, level: usize) {
+        let anchor: Vec<f32> = self.data.row(node).to_vec();
+        let na = self.norms[node];
+        let mut scored: Vec<Scored> = self.links[node][level]
+            .iter()
+            .map(|&nb| Scored {
+                similarity: self.sim(nb, &anchor, na),
+                id: nb,
+            })
+            .collect();
+        scored.sort_by(|a, b| b.cmp(a));
+        scored.truncate(self.max_links(level));
+        self.links[node][level] = scored.into_iter().map(|s| s.id).collect();
+    }
+}
+
+/// Draws a node level from the standard HNSW geometric-ish
+/// distribution `floor(-ln(U) · scale)`, capped to keep pathological
+/// draws from building absurd towers.
+fn sample_level(rng: &mut StdRng, scale: f64) -> usize {
+    let u: f64 = rng.gen();
+    let level = (-(1.0 - u).ln() * scale).floor();
+    (level as usize).min(24)
+}
+
+impl VectorIndex for HnswIndex {
+    fn len(&self) -> usize {
+        self.data.rows()
+    }
+
+    fn dim(&self) -> usize {
+        self.data.cols()
+    }
+
+    fn query(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim(), "query dimensionality mismatch");
+        if self.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let nq = norm(query);
+        let mut ep = Scored {
+            similarity: self.sim(self.entry, query, nq),
+            id: self.entry,
+        };
+        for l in (1..=self.top_level).rev() {
+            ep = self.greedy(query, nq, ep, l);
+        }
+        let ef = self.params.ef_search.max(k);
+        let found = self.search_layer(query, nq, &[ep], ef, 0);
+        found
+            .into_iter()
+            .take(k)
+            .map(|s| Neighbor {
+                id: s.id,
+                similarity: s.similarity,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExactIndex;
+    use linalg::rng::randn;
+
+    #[test]
+    fn finds_the_exact_nearest_on_clustered_data() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let centers = randn(&mut rng, 12, 16, 1.0);
+        let data = linalg::rng::clustered_around(&mut rng, &centers, 300, 0.15);
+        let exact = ExactIndex::build(data.clone());
+        let hnsw = HnswIndex::build(data.clone(), HnswParams::default());
+        let queries = linalg::rng::clustered_around(&mut rng, &centers, 24, 0.15);
+        let mut hits = 0;
+        for r in 0..queries.rows() {
+            let want = exact.query(queries.row(r), 1)[0];
+            let got = hnsw.query(queries.row(r), 1)[0];
+            if got.id == want.id {
+                hits += 1;
+                assert_eq!(got.similarity, want.similarity);
+            }
+        }
+        assert!(hits >= 22, "recall@1 too low: {hits}/24");
+    }
+
+    #[test]
+    fn same_seed_builds_identical_graphs() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let data = randn(&mut rng, 120, 8, 1.0);
+        let a = HnswIndex::build(data.clone(), HnswParams::default());
+        let b = HnswIndex::build(data.clone(), HnswParams::default());
+        assert_eq!(a.links, b.links);
+        let q = data.row(17);
+        assert_eq!(a.query(q, 5), b.query(q, 5));
+    }
+
+    #[test]
+    fn link_budgets_are_respected() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let data = randn(&mut rng, 300, 8, 1.0);
+        let params = HnswParams::default().with_m(6);
+        let idx = HnswIndex::build(data, params);
+        for (node, levels) in idx.links.iter().enumerate() {
+            for (l, nbs) in levels.iter().enumerate() {
+                let budget = if l == 0 { 12 } else { 6 };
+                assert!(
+                    nbs.len() <= budget,
+                    "node {node} level {l} has {} links",
+                    nbs.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_and_tiny_indexes_answer() {
+        let data = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let idx = HnswIndex::build(data, HnswParams::default());
+        let top = idx.query(&[1.0, 0.0], 3);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].id, 0);
+    }
+
+    #[test]
+    fn query_k_zero_is_empty() {
+        let data = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let idx = HnswIndex::build(data, HnswParams::default());
+        assert!(idx.query(&[1.0, 0.0], 0).is_empty());
+    }
+}

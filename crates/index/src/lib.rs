@@ -1,0 +1,234 @@
+//! The vector-index layer: sublinear (and exact) cosine-similarity
+//! nearest-neighbour search behind every neighbour-based detector.
+//!
+//! The paper's best-performing method — Section IV-D retrieval, k = 1
+//! over malicious exemplars — and both kNN ablations reduce to the
+//! same primitive: *given a fixed candidate embedding matrix, find the
+//! k candidates most cosine-similar to a query*. [`VectorIndex`]
+//! captures that primitive; two backends implement it:
+//!
+//! * [`ExactIndex`] — brute-force scan with candidate norms
+//!   precomputed once at build time and batch queries fanned out over
+//!   crossbeam-scoped threads. Results are **bit-identical** to the
+//!   historical per-call [`linalg::ops::cosine_similarity`] scan
+//!   (asserted in this crate's tests and pinned end-to-end in
+//!   `crates/bench/tests/index_backends.rs`), so it is the
+//!   paper-faithful default.
+//! * [`HnswIndex`] — a hierarchical navigable small-world graph
+//!   (Malkov & Yashunin) giving approximate top-k in sublinear time.
+//!   Construction is deterministic via the seeded `rand` shim;
+//!   `ef_search` trades recall for latency at query time.
+//!
+//! Consumers pick a backend through [`IndexConfig`], which the scoring
+//! engine threads down to every registered neighbour-based detector —
+//! a suite switches the whole run between exact and approximate with
+//! one knob (`--index exact|hnsw` on the table binaries).
+
+mod exact;
+mod hnsw;
+
+pub use exact::ExactIndex;
+pub use hnsw::{HnswIndex, HnswParams};
+
+use linalg::Matrix;
+
+/// One retrieved candidate: its row id in the indexed matrix and its
+/// cosine similarity to the query (higher = closer).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Row index into the indexed candidate matrix.
+    pub id: usize,
+    /// Cosine similarity to the query.
+    pub similarity: f32,
+}
+
+/// k-nearest-neighbour search over a fixed candidate embedding matrix.
+///
+/// Implementations return neighbours sorted by descending similarity
+/// and clamp `k` to the candidate count. `Send + Sync` so fitted
+/// detectors holding a boxed index can be scored from the engine's
+/// parallel fan-out.
+pub trait VectorIndex: Send + Sync + std::fmt::Debug {
+    /// Number of indexed candidates.
+    fn len(&self) -> usize;
+
+    /// Whether the index holds no candidates.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Embedding dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Up to `min(k, len)` candidates most cosine-similar to `query`,
+    /// sorted by descending similarity. The exact backend always
+    /// returns exactly `min(k, len)`; approximate backends may return
+    /// fewer when part of the graph is unreachable from the entry
+    /// point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != self.dim()`.
+    fn query(&self, query: &[f32], k: usize) -> Vec<Neighbor>;
+
+    /// [`VectorIndex::query`] for every row of `queries`, in row
+    /// order. Backends fan large batches out across threads (see
+    /// [`query_rows_parallel`]).
+    fn query_batch(&self, queries: &Matrix, k: usize) -> Vec<Vec<Neighbor>> {
+        query_rows_parallel(self, queries, k)
+    }
+}
+
+/// Minimum query rows each batch worker should own: batches smaller
+/// than two workers' worth run inline rather than paying thread
+/// spawns.
+const MIN_ROWS_PER_WORKER: usize = 16;
+
+/// Shared batch-query harness: chunks `queries` by rows and runs
+/// [`VectorIndex::query`] per row, fanning chunks out over the
+/// crossbeam `scope` shim when the batch is large enough to amortize
+/// thread spawns. Output order matches query row order exactly.
+pub fn query_rows_parallel<I: VectorIndex + ?Sized>(
+    index: &I,
+    queries: &Matrix,
+    k: usize,
+) -> Vec<Vec<Neighbor>> {
+    let n = queries.rows();
+    let mut out: Vec<Vec<Neighbor>> = Vec::with_capacity(n);
+    out.resize_with(n, Vec::new);
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+    let chunk = n.div_ceil(threads).max(MIN_ROWS_PER_WORKER);
+    if n < 2 * MIN_ROWS_PER_WORKER || n <= chunk {
+        for (r, slot) in out.iter_mut().enumerate() {
+            *slot = index.query(queries.row(r), k);
+        }
+        return out;
+    }
+    crossbeam::scope(|scope| {
+        for (ci, slice) in out.chunks_mut(chunk).enumerate() {
+            let start = ci * chunk;
+            scope.spawn(move |_| {
+                for (i, slot) in slice.iter_mut().enumerate() {
+                    *slot = index.query(queries.row(start + i), k);
+                }
+            });
+        }
+    })
+    .expect("index batch-query worker panicked");
+    out
+}
+
+/// Which [`VectorIndex`] backend to build over a candidate matrix.
+///
+/// `Exact` is the default everywhere: it reproduces the paper's
+/// brute-force scores bit-for-bit. `Hnsw` trades exactness for
+/// sublinear queries; see [`HnswParams`] for the knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum IndexConfig {
+    /// Brute-force scan; bit-identical to the historical detectors.
+    #[default]
+    Exact,
+    /// Approximate HNSW graph search with the given parameters.
+    Hnsw(HnswParams),
+}
+
+impl IndexConfig {
+    /// The HNSW backend with default parameters.
+    pub fn hnsw() -> Self {
+        IndexConfig::Hnsw(HnswParams::default())
+    }
+
+    /// Builds the configured backend over `data`, deriving candidate
+    /// norms from the matrix.
+    pub fn build(self, data: Matrix) -> Box<dyn VectorIndex> {
+        let norms = linalg::ops::row_norms(&data);
+        self.build_with_norms(data, norms)
+    }
+
+    /// Builds the configured backend over `data` with candidate norms
+    /// the caller already holds (e.g. memoized on an embedding view),
+    /// skipping the re-derivation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `norms.len() != data.rows()`.
+    pub fn build_with_norms(self, data: Matrix, norms: Vec<f32>) -> Box<dyn VectorIndex> {
+        match self {
+            IndexConfig::Exact => Box::new(ExactIndex::build_with_norms(data, norms)),
+            IndexConfig::Hnsw(params) => Box::new(HnswIndex::build_with_norms(data, norms, params)),
+        }
+    }
+
+    /// Short stable name for reporting (`"exact"` / `"hnsw"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexConfig::Exact => "exact",
+            IndexConfig::Hnsw(_) => "hnsw",
+        }
+    }
+}
+
+impl std::str::FromStr for IndexConfig {
+    type Err = String;
+
+    /// Parses the CLI spelling: `exact` or `hnsw` (default
+    /// parameters).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exact" => Ok(IndexConfig::Exact),
+            "hnsw" => Ok(IndexConfig::hnsw()),
+            other => Err(format!("unknown index backend {other:?} (exact|hnsw)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::rng::randn;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn config_builds_both_backends() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = randn(&mut rng, 40, 8, 1.0);
+        let q = data.row(7).to_vec();
+        for config in [IndexConfig::Exact, IndexConfig::hnsw()] {
+            let idx = config.build(data.clone());
+            assert_eq!(idx.len(), 40);
+            assert_eq!(idx.dim(), 8);
+            let top = idx.query(&q, 1);
+            assert_eq!(
+                top[0].id,
+                7,
+                "{}: self-query must return itself",
+                config.name()
+            );
+            assert!((top[0].similarity - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn config_parses_from_cli_spelling() {
+        assert_eq!("exact".parse::<IndexConfig>().unwrap(), IndexConfig::Exact);
+        assert_eq!("hnsw".parse::<IndexConfig>().unwrap(), IndexConfig::hnsw());
+        assert!("annoy".parse::<IndexConfig>().is_err());
+    }
+
+    #[test]
+    fn batch_matches_sequential_across_the_parallel_threshold() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let data = randn(&mut rng, 100, 6, 1.0);
+        // Enough query rows to trigger the threaded path on any core count.
+        let queries = randn(&mut rng, 700, 6, 1.0);
+        let idx = ExactIndex::build(data);
+        let batched = idx.query_batch(&queries, 3);
+        assert_eq!(batched.len(), 700);
+        for r in (0..700).step_by(97) {
+            assert_eq!(batched[r], idx.query(queries.row(r), 3));
+        }
+    }
+}

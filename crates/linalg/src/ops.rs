@@ -53,12 +53,31 @@ pub fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
 ///
 /// Panics if lengths differ.
 pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    cosine_with_norms(a, norm(a), b, norm(b))
+}
+
+/// [`cosine_similarity`] with both Euclidean norms supplied by the
+/// caller — the batch-similarity primitive. Index structures compute
+/// each candidate's norm once at build time instead of once per query
+/// (see `index::ExactIndex`), and the result is bit-identical to
+/// [`cosine_similarity`] when the norms come from [`norm`].
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn cosine_with_norms(a: &[f32], na: f32, b: &[f32], nb: f32) -> f32 {
     assert_eq!(a.len(), b.len(), "cosine_similarity length mismatch");
-    let (na, nb) = (norm(a), norm(b));
     if na == 0.0 || nb == 0.0 {
         return 0.0;
     }
     crate::matrix::dot(a, b) / (na * nb)
+}
+
+/// Euclidean norm of every row of `m`, in row order. The companion of
+/// [`cosine_with_norms`]: compute once per candidate set, reuse across
+/// queries.
+pub fn row_norms(m: &Matrix) -> Vec<f32> {
+    (0..m.rows()).map(|r| norm(m.row(r))).collect()
 }
 
 /// Mean of a slice (0.0 when empty).
@@ -172,6 +191,27 @@ mod tests {
     fn distance_and_norm() {
         assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
         assert_eq!(norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn precomputed_norms_are_bit_identical() {
+        let a = [0.3f32, -1.7, 2.2, 0.01];
+        let b = [1.1f32, 0.4, -0.9, 3.0];
+        assert_eq!(
+            cosine_similarity(&a, &b),
+            cosine_with_norms(&a, norm(&a), &b, norm(&b)),
+        );
+        assert_eq!(cosine_with_norms(&a, 0.0, &b, norm(&b)), 0.0);
+    }
+
+    #[test]
+    fn row_norms_match_per_row_norm() {
+        let m = Matrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0], &[1.0, -1.0]]);
+        let norms = row_norms(&m);
+        assert_eq!(norms.len(), 3);
+        for (r, n) in norms.iter().enumerate() {
+            assert_eq!(*n, norm(m.row(r)));
+        }
     }
 
     #[test]

@@ -21,6 +21,25 @@ pub fn rand_uniform<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, limi
     Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..limit))
 }
 
+/// `n` rows scattered `N(0, noise_std²)` around the given cluster
+/// `centers` (row `r` uses centre `r % centers.rows()`).
+///
+/// The shared synthetic-workload recipe for vector-index benches and
+/// examples: deduplicated production command lines embed as many
+/// variants of comparatively few templates, and drawing queries around
+/// the *same* centres keeps them distributed like the indexed data.
+pub fn clustered_around<R: Rng + ?Sized>(
+    rng: &mut R,
+    centers: &Matrix,
+    n: usize,
+    noise_std: f32,
+) -> Matrix {
+    let noise = randn(rng, n, centers.cols(), noise_std);
+    Matrix::from_fn(n, centers.cols(), |r, c| {
+        centers[(r % centers.rows(), c)] + noise[(r, c)]
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
