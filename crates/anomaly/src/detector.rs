@@ -21,6 +21,20 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::{Arc, OnceLock};
 
+/// Pooling strategy for a sequence embedding — which pooled view of
+/// the encoder's token states a detector consumes. Lives next to
+/// [`Detector`] so engines can ask each method which embedding space
+/// it needs ([`Detector::pooling`]) and build the right view;
+/// `cmdline_ids::embed` re-exports it alongside the embedding helpers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pooling {
+    /// Average of all token embeddings — the paper's choice for PCA
+    /// anomaly detection (Section III).
+    Mean,
+    /// The `[CLS]` position — the paper's probing target (Section IV-B).
+    Cls,
+}
+
 /// A line set together with its embedding matrix (one row per line).
 ///
 /// Cheap to clone: both halves are shared, as is the lazily-computed
@@ -201,6 +215,47 @@ pub trait Detector: Send + Sync {
     /// Implementations panic if called before a successful [`Detector::fit`].
     fn score_batch(&self, test: &EmbeddingView) -> Vec<f32>;
 
+    /// Which pooled embedding space this method's views must come
+    /// from. Engines building views per detector (the method suite,
+    /// the serving layer) honour this; the default mean pooling
+    /// matches every method except CLS-probed classification.
+    fn pooling(&self) -> Pooling {
+        Pooling::Mean
+    }
+
+    /// Whether this method can absorb freshly-labeled exemplars into
+    /// its fitted state ([`Detector::append`]). Engines skip building
+    /// (and embedding) append views for methods that return `false` —
+    /// a supervision batch must not pay an encoder pass for a
+    /// detector that would discard it.
+    fn absorbs_appends(&self) -> bool {
+        false
+    }
+
+    /// Absorbs freshly-labeled exemplars into the *fitted* state
+    /// without a refit — the live-supervision path a long-lived
+    /// scoring service feeds as alerts arrive. Returns `Ok(true)` if
+    /// the batch was absorbed (neighbour-based methods insert into
+    /// their index incrementally), `Ok(false)` if this method cannot
+    /// absorb incrementally and needs a periodic refit instead (the
+    /// default). Implementations overriding this must also override
+    /// [`Detector::absorbs_appends`] to `true`, or engines will never
+    /// call it.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectorError::LabelMismatch`] when `labels.len() !=
+    /// batch.len()`.
+    fn append(&mut self, batch: &EmbeddingView, labels: &[bool]) -> Result<bool, DetectorError> {
+        let _ = (batch, labels);
+        Ok(false)
+    }
+
+    /// Concrete-type escape hatch so snapshot capture
+    /// (`anomaly::DetectorState`) can downcast to the methods it knows
+    /// how to serialize.
+    fn as_any(&self) -> &dyn std::any::Any;
+
     /// Whether this method reads the views' embedding matrices. When
     /// every registered detector returns `false`, an engine may hand
     /// out lines-only views and skip the encoder entirely.
@@ -275,6 +330,10 @@ impl Detector for PcaMethod {
             .expect("PcaMethod must be fitted before scoring")
             .score_all(test.matrix())
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 /// [`IsolationForest`] behind the [`Detector`] trait; unsupervised.
@@ -321,6 +380,10 @@ impl Detector for IsolationForestMethod {
             .as_ref()
             .expect("IsolationForestMethod must be fitted before scoring")
             .score_all(test.matrix())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 
@@ -369,6 +432,10 @@ impl Detector for OneClassSvmMethod {
             .expect("OneClassSvmMethod must be fitted before scoring")
             .score_all(test.matrix())
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 /// The paper's retrieval method ([`RetrievalDetector`], Section IV-D)
@@ -399,6 +466,20 @@ impl RetrievalMethod {
     /// Number of indexed malicious exemplars (after fitting).
     pub fn n_exemplars(&self) -> Option<usize> {
         self.fitted.as_ref().map(RetrievalDetector::n_exemplars)
+    }
+
+    /// The fitted inner detector, if any.
+    pub fn fitted(&self) -> Option<&RetrievalDetector> {
+        self.fitted.as_ref()
+    }
+
+    /// Wraps an already-fitted detector (snapshot restore path).
+    pub fn from_fitted(fitted: RetrievalDetector) -> Self {
+        RetrievalMethod {
+            k: fitted.k(),
+            index: fitted.index_config(),
+            fitted: Some(fitted),
+        }
     }
 }
 
@@ -432,6 +513,35 @@ impl Detector for RetrievalMethod {
             .expect("RetrievalMethod must be fitted before scoring")
             .score_all(test.matrix())
     }
+
+    fn absorbs_appends(&self) -> bool {
+        true
+    }
+
+    fn append(&mut self, batch: &EmbeddingView, labels: &[bool]) -> Result<bool, DetectorError> {
+        if batch.len() != labels.len() {
+            return Err(DetectorError::LabelMismatch {
+                embeddings: batch.len(),
+                labels: labels.len(),
+            });
+        }
+        let fitted = self
+            .fitted
+            .as_mut()
+            .expect("RetrievalMethod must be fitted before appending");
+        // Retrieval indexes malicious exemplars only; benign-labeled
+        // arrivals are ignored, exactly as at fit time.
+        for (r, &malicious) in labels.iter().enumerate() {
+            if malicious {
+                fitted.insert(batch.matrix().row(r));
+            }
+        }
+        Ok(true)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 /// Majority-vote [`VanillaKnn`] (the label-noise ablation) behind the
@@ -456,6 +566,20 @@ impl VanillaKnnMethod {
             k,
             index,
             fitted: None,
+        }
+    }
+
+    /// The fitted inner detector, if any.
+    pub fn fitted(&self) -> Option<&VanillaKnn> {
+        self.fitted.as_ref()
+    }
+
+    /// Wraps an already-fitted detector (snapshot restore path).
+    pub fn from_fitted(fitted: VanillaKnn) -> Self {
+        VanillaKnnMethod {
+            k: fitted.k(),
+            index: fitted.index_config(),
+            fitted: Some(fitted),
         }
     }
 }
@@ -486,6 +610,31 @@ impl Detector for VanillaKnnMethod {
             .as_ref()
             .expect("VanillaKnnMethod must be fitted before scoring")
             .score_all(test.matrix())
+    }
+
+    fn absorbs_appends(&self) -> bool {
+        true
+    }
+
+    fn append(&mut self, batch: &EmbeddingView, labels: &[bool]) -> Result<bool, DetectorError> {
+        if batch.len() != labels.len() {
+            return Err(DetectorError::LabelMismatch {
+                embeddings: batch.len(),
+                labels: labels.len(),
+            });
+        }
+        let fitted = self
+            .fitted
+            .as_mut()
+            .expect("VanillaKnnMethod must be fitted before appending");
+        for (r, &label) in labels.iter().enumerate() {
+            fitted.insert(batch.matrix().row(r), label);
+        }
+        Ok(true)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

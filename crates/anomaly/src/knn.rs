@@ -35,6 +35,15 @@ fn build_index(config: IndexConfig, data: Matrix, norms: Option<Vec<f32>>) -> Bo
     }
 }
 
+/// Recovers the [`IndexConfig`] a live index was built with (exact
+/// scan, or HNSW with its actual parameters).
+fn config_of(index: &dyn VectorIndex) -> IndexConfig {
+    match index.as_any().downcast_ref::<index::HnswIndex>() {
+        Some(hnsw) => IndexConfig::Hnsw(*hnsw.params()),
+        None => IndexConfig::Exact,
+    }
+}
+
 /// The paper's malicious-neighbour retrieval scorer.
 #[derive(Debug)]
 pub struct RetrievalDetector {
@@ -95,9 +104,43 @@ impl RetrievalDetector {
         RetrievalDetector { index, k }
     }
 
+    /// Wraps an already-built exemplar index (snapshot restore path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or the index is empty.
+    pub fn from_index(index: Box<dyn VectorIndex>, k: usize) -> Self {
+        assert!(k >= 1, "k must be positive");
+        assert!(!index.is_empty(), "retrieval needs at least one exemplar");
+        RetrievalDetector { index, k }
+    }
+
     /// Number of stored malicious exemplars.
     pub fn n_exemplars(&self) -> usize {
         self.index.len()
+    }
+
+    /// The neighbour count scored against.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The exemplar index backing this detector.
+    pub fn index(&self) -> &dyn VectorIndex {
+        self.index.as_ref()
+    }
+
+    /// The [`IndexConfig`] matching the live backend (HNSW parameters
+    /// included), for re-fits and snapshots.
+    pub fn index_config(&self) -> IndexConfig {
+        config_of(self.index.as_ref())
+    }
+
+    /// Adds one freshly-labeled malicious exemplar to the live index
+    /// (incremental HNSW insert; exact append) — the serving path's
+    /// alternative to a full refit as supervision arrives.
+    pub fn insert(&mut self, embedding: &[f32]) {
+        self.index.insert(embedding);
     }
 
     /// Intrusion score `oᴿᵉᵗʳⁱ`: mean cosine similarity between `x` and
@@ -167,6 +210,46 @@ impl VanillaKnn {
             labels: labels.to_vec(),
             k,
         }
+    }
+
+    /// Wraps an already-built index and its per-id labels (snapshot
+    /// restore path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree, the index is empty, or `k == 0`.
+    pub fn from_parts(index: Box<dyn VectorIndex>, labels: Vec<bool>, k: usize) -> Self {
+        assert_eq!(index.len(), labels.len(), "one label per indexed row");
+        assert!(!index.is_empty(), "kNN needs training data");
+        assert!(k >= 1, "k must be positive");
+        VanillaKnn { index, labels, k }
+    }
+
+    /// The neighbour count voted over.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The labeled index backing this detector.
+    pub fn index(&self) -> &dyn VectorIndex {
+        self.index.as_ref()
+    }
+
+    /// The per-id labels, aligned with the index rows.
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// The [`IndexConfig`] matching the live backend.
+    pub fn index_config(&self) -> IndexConfig {
+        config_of(self.index.as_ref())
+    }
+
+    /// Adds one freshly-labeled sample to the live index.
+    pub fn insert(&mut self, embedding: &[f32], label: bool) {
+        let id = self.index.insert(embedding);
+        debug_assert_eq!(id, self.labels.len(), "ids stay dense");
+        self.labels.push(label);
     }
 
     /// Score: fraction of the k nearest neighbours labeled malicious,

@@ -26,13 +26,15 @@ pub mod iforest;
 pub mod knn;
 pub mod ocsvm;
 pub mod pca;
+pub mod state;
 
 pub use detector::{
     check_labels, Detector, DetectorError, EmbeddingView, IsolationForestMethod, OneClassSvmMethod,
-    PcaMethod, RetrievalMethod, VanillaKnnMethod,
+    PcaMethod, Pooling, RetrievalMethod, VanillaKnnMethod,
 };
 pub use iforest::IsolationForest;
 pub use index::{HnswParams, IndexConfig, Neighbor, VectorIndex};
 pub use knn::{RetrievalDetector, VanillaKnn};
 pub use ocsvm::OneClassSvm;
 pub use pca::PcaDetector;
+pub use state::DetectorState;

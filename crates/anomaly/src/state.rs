@@ -1,0 +1,211 @@
+//! Serializable fitted-detector state for serving snapshots.
+//!
+//! A long-lived scoring service wants to cold-start with its exemplar
+//! indexes already built. [`DetectorState`] captures the fitted state
+//! of the methods whose state *is* an index — retrieval and vanilla
+//! kNN, the two neighbour-based detectors — as detector params plus an
+//! [`IndexSnapshot`] (graph, candidate matrix, norms). Methods that
+//! re-fit cheaply from data (PCA, iforest, OCSVM) or that own a tuned
+//! encoder (classification, reconstruction) are deliberately out of
+//! scope: the former refit in milliseconds, the latter are the
+//! pipeline's to persist.
+
+use crate::detector::Detector;
+use crate::{RetrievalDetector, RetrievalMethod, VanillaKnn, VanillaKnnMethod};
+use index::persist::{ByteReader, ByteWriter, PersistError};
+use index::IndexSnapshot;
+use serde::{Deserialize, Serialize};
+
+const TAG_RETRIEVAL: u8 = 0;
+const TAG_VANILLA_KNN: u8 = 1;
+
+/// Candidate-row count of a decoded index snapshot.
+fn index_rows(index: &IndexSnapshot) -> usize {
+    match index {
+        IndexSnapshot::Exact { data, .. } | IndexSnapshot::Hnsw { data, .. } => data.rows(),
+    }
+}
+
+/// The serializable fitted state of one snapshot-capable detector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum DetectorState {
+    /// [`RetrievalMethod`]: `k` plus the malicious-exemplar index.
+    Retrieval {
+        /// Neighbours averaged per score.
+        k: usize,
+        /// The built exemplar index.
+        index: IndexSnapshot,
+    },
+    /// [`VanillaKnnMethod`]: `k`, per-id labels, and the full index.
+    VanillaKnn {
+        /// Neighbours voted over.
+        k: usize,
+        /// Per-id labels aligned with the index rows.
+        labels: Vec<bool>,
+        /// The built training-set index.
+        index: IndexSnapshot,
+    },
+}
+
+impl DetectorState {
+    /// Captures a fitted detector's state. Returns `None` when the
+    /// detector is not snapshot-capable (see the module docs) or not
+    /// fitted yet.
+    pub fn capture(detector: &dyn Detector) -> Option<DetectorState> {
+        if let Some(m) = detector.as_any().downcast_ref::<RetrievalMethod>() {
+            let fitted = m.fitted()?;
+            return Some(DetectorState::Retrieval {
+                k: fitted.k(),
+                index: IndexSnapshot::capture(fitted.index())?,
+            });
+        }
+        if let Some(m) = detector.as_any().downcast_ref::<VanillaKnnMethod>() {
+            let fitted = m.fitted()?;
+            return Some(DetectorState::VanillaKnn {
+                k: fitted.k(),
+                labels: fitted.labels().to_vec(),
+                index: IndexSnapshot::capture(fitted.index())?,
+            });
+        }
+        None
+    }
+
+    /// Rebuilds a fitted, ready-to-score detector. HNSW-backed states
+    /// adopt the saved graph without a construction pass.
+    pub fn restore(self) -> Box<dyn Detector> {
+        match self {
+            DetectorState::Retrieval { k, index } => Box::new(RetrievalMethod::from_fitted(
+                RetrievalDetector::from_index(index.restore(), k),
+            )),
+            DetectorState::VanillaKnn { k, labels, index } => Box::new(
+                VanillaKnnMethod::from_fitted(VanillaKnn::from_parts(index.restore(), labels, k)),
+            ),
+        }
+    }
+
+    /// The method name the restored detector will report.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DetectorState::Retrieval { .. } => "retrieval",
+            DetectorState::VanillaKnn { .. } => "vanilla-knn",
+        }
+    }
+
+    /// Appends the state to an open binary frame.
+    pub fn write(&self, w: &mut ByteWriter) {
+        match self {
+            DetectorState::Retrieval { k, index } => {
+                w.put_u8(TAG_RETRIEVAL);
+                w.put_usize(*k);
+                index.write(w);
+            }
+            DetectorState::VanillaKnn { k, labels, index } => {
+                w.put_u8(TAG_VANILLA_KNN);
+                w.put_usize(*k);
+                w.put_bools(labels);
+                index.write(w);
+            }
+        }
+    }
+
+    /// Reads a state written by [`DetectorState::write`].
+    pub fn read(r: &mut ByteReader<'_>) -> Result<DetectorState, PersistError> {
+        match r.get_u8()? {
+            TAG_RETRIEVAL => {
+                let k = r.get_usize()?;
+                if k == 0 {
+                    return Err(PersistError::Corrupt("k must be positive"));
+                }
+                let index = IndexSnapshot::read(r)?;
+                // Both fitted detectors require a non-empty index
+                // (asserted by their constructors); reject it here so
+                // a corrupt frame errors instead of panicking restore.
+                if index_rows(&index) == 0 {
+                    return Err(PersistError::Corrupt("empty exemplar index"));
+                }
+                Ok(DetectorState::Retrieval { k, index })
+            }
+            TAG_VANILLA_KNN => {
+                let k = r.get_usize()?;
+                if k == 0 {
+                    return Err(PersistError::Corrupt("k must be positive"));
+                }
+                let labels = r.get_bools()?;
+                let index = IndexSnapshot::read(r)?;
+                if index_rows(&index) == 0 {
+                    return Err(PersistError::Corrupt("empty training index"));
+                }
+                if index_rows(&index) != labels.len() {
+                    return Err(PersistError::Corrupt("label count != row count"));
+                }
+                Ok(DetectorState::VanillaKnn { k, labels, index })
+            }
+            tag => Err(PersistError::BadTag(tag)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EmbeddingView, PcaMethod};
+    use index::IndexConfig;
+    use linalg::Matrix;
+
+    fn toy() -> (EmbeddingView, Vec<bool>) {
+        let rows: Vec<Vec<f32>> = vec![
+            vec![1.0, 0.05, 0.0],
+            vec![0.9, -0.05, 0.1],
+            vec![0.0, 1.0, 0.0],
+            vec![0.1, 0.9, 0.0],
+            vec![-0.05, 1.0, 0.1],
+        ];
+        let m = Matrix::from_fn(5, 3, |r, c| rows[r][c]);
+        (
+            EmbeddingView::from_matrix(m),
+            vec![true, true, false, false, false],
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_scores_for_both_methods_and_backends() {
+        let (view, labels) = toy();
+        for config in [IndexConfig::Exact, IndexConfig::hnsw()] {
+            let mut dets: Vec<Box<dyn Detector>> = vec![
+                Box::new(RetrievalMethod::with_index(1, config)),
+                Box::new(VanillaKnnMethod::with_index(3, config)),
+            ];
+            for det in &mut dets {
+                det.fit(&view, &labels).unwrap();
+                let want = det.score_batch(&view);
+                let state = DetectorState::capture(det.as_ref()).expect("snapshot-capable");
+                let mut w = ByteWriter::new();
+                state.write(&mut w);
+                let bytes = w.into_bytes();
+                let mut r = ByteReader::new(&bytes);
+                let restored = DetectorState::read(&mut r).unwrap().restore();
+                assert_eq!(restored.name(), det.name());
+                assert_eq!(restored.score_batch(&view), want, "{}", det.name());
+            }
+        }
+    }
+
+    #[test]
+    fn unfitted_and_unsupported_detectors_are_not_capturable() {
+        assert!(DetectorState::capture(&RetrievalMethod::new(1)).is_none());
+        assert!(DetectorState::capture(&PcaMethod::new(0.95)).is_none());
+    }
+
+    #[test]
+    fn appends_survive_a_round_trip() {
+        let (view, labels) = toy();
+        let mut det = RetrievalMethod::new(1);
+        det.fit(&view, &labels).unwrap();
+        let extra = EmbeddingView::from_matrix(Matrix::from_rows(&[&[0.7, 0.7, 0.0]]));
+        assert_eq!(det.append(&extra, &[true]), Ok(true));
+        assert_eq!(det.n_exemplars(), Some(3));
+        let state = DetectorState::capture(&det).unwrap();
+        let restored = state.restore();
+        assert_eq!(restored.score_batch(&view), det.score_batch(&view));
+    }
+}

@@ -29,7 +29,7 @@ const U_RECALL: f64 = 0.90;
 const FUSED: &[&str] = &["reconstruction", "classification", "retrieval"];
 
 fn main() {
-    let args = Args::parse();
+    let args = Args::parse_with_serve();
     println!(
         "Table I reproduction: train={} test={} runs={} seed={} index={}",
         args.train_size,
@@ -43,6 +43,9 @@ fn main() {
     let mut classif = (Vec::new(), Vec::new());
     let mut retrieval = (Vec::new(), Vec::new());
     let mut ensemble = (Vec::new(), Vec::new());
+    // Kept for --serve: the replay reuses the final run's experiment
+    // (data + pre-trained pipeline) instead of paying a second setup.
+    let mut last_exp = None;
 
     for run_idx in 0..args.runs {
         let seed = args.seed + run_idx as u64;
@@ -82,6 +85,7 @@ fn main() {
         let e = evaluate_scores(&fused, U_RECALL, &[]);
         ensemble.0.push(e.po);
         ensemble.1.push(e.po_i);
+        last_exp = Some(exp);
     }
 
     let fmt_ms = |ms: Option<MeanStd>| match ms {
@@ -123,4 +127,65 @@ fn main() {
         ri >= ti,
         ci >= ti
     );
+
+    if args.serve {
+        serve_replay(&args, &last_exp.expect("runs >= 1"));
+    }
+}
+
+/// `--serve`: fit the Table I methods once more, keep them resident in
+/// the streaming scoring service, and replay the de-duplicated test
+/// split as 8-line arrivals — proving the online path reproduces the
+/// offline table scores bit-for-bit (exact backend) and reporting the
+/// streamed throughput.
+fn serve_replay(args: &Args, exp: &Experiment) {
+    use bench::methods::replay_through_service;
+    use cmdline_ids::engine::ScoringEngine;
+    use cmdline_ids::tuning::{ReconstructionConfig, TuneConfig};
+
+    println!();
+    eprintln!(
+        "[--serve] replaying over the final run's experiment (seed {})…",
+        exp.seed()
+    );
+    let engine = ScoringEngine::new()
+        .with_index_config(args.index)
+        .register(Box::new(cmdline_ids::engine::ReconstructionMethod::new(
+            &exp.pipeline,
+            ReconstructionConfig::scaled(),
+            bench::methods::RECON_MAX_NEGATIVES,
+            exp.method_seed("reconstruction"),
+        )))
+        .register(Box::new(cmdline_ids::engine::ClassificationMethod::new(
+            TuneConfig::scaled(),
+            exp.method_seed("classification"),
+        )))
+        .register(Box::new(anomaly::RetrievalMethod::new(1)));
+    // The replay is synchronous (each chunk waits for its verdicts
+    // before the next is submitted), so a batch window would be pure
+    // idle time per request — submit window-less and let the 8-line
+    // chunks themselves be the micro-batches.
+    let config = serve::ServeConfig {
+        batch_window: std::time::Duration::ZERO,
+        max_batch: 8,
+        workers: 1,
+        queue_capacity: 32,
+    };
+    let report = replay_through_service(exp, engine, config, 8).expect("serve replay");
+    println!(
+        "--serve replay: {} lines through {:?} in {:.2?} ({:.0} lines/s, {} micro-batches), \
+         streamed == batch: {}",
+        report.lines,
+        report.names,
+        report.elapsed,
+        report.throughput(),
+        report.micro_batches,
+        report.bit_identical()
+    );
+    if args.index.name() == "exact" {
+        assert!(
+            report.bit_identical(),
+            "exact-backend streaming must reproduce the offline table scores bit-for-bit"
+        );
+    }
 }

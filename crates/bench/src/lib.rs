@@ -173,6 +173,10 @@ pub struct Args {
     /// Vector-index backend for the neighbour-based methods
     /// (`--index exact|hnsw`; exact is the paper-faithful default).
     pub index: IndexConfig,
+    /// After the offline tables, replay the test stream through the
+    /// long-lived scoring service and report streamed-vs-batch parity
+    /// plus throughput (`--serve`; binaries that support it say so).
+    pub serve: bool,
 }
 
 impl Default for Args {
@@ -183,6 +187,7 @@ impl Default for Args {
             test_size: 3_000,
             runs: 5,
             index: IndexConfig::Exact,
+            serve: false,
         }
     }
 }
@@ -191,18 +196,39 @@ impl Args {
     /// Parses `--seed N --train N --test N --runs N --index exact|hnsw`
     /// from `std::env`. Unknown flags abort with a usage message.
     pub fn parse() -> Self {
+        Self::parse_impl(false)
+    }
+
+    /// [`Args::parse`] plus the `--serve` flag — only for binaries
+    /// that actually implement the streaming replay (table1); others
+    /// reject the flag with a usage error instead of silently
+    /// swallowing it.
+    pub fn parse_with_serve() -> Self {
+        Self::parse_impl(true)
+    }
+
+    fn parse_impl(allow_serve: bool) -> Self {
         let mut args = Args::default();
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
-        let usage = || {
+        let usage = move || {
+            let serve = if allow_serve { " [--serve]" } else { "" };
             eprintln!(
-                "usage: {} [--seed N] [--train N] [--test N] [--runs N] [--index exact|hnsw]",
+                "usage: {} [--seed N] [--train N] [--test N] [--runs N] [--index exact|hnsw]{serve}",
                 std::env::args().next().unwrap_or_default()
             );
             std::process::exit(2)
         };
         while i < argv.len() {
             let key = argv[i].as_str();
+            if key == "--serve" {
+                if !allow_serve {
+                    usage();
+                }
+                args.serve = true;
+                i += 1;
+                continue;
+            }
             if key == "--index" {
                 match argv.get(i + 1).map(|v| v.parse::<IndexConfig>()) {
                     Some(Ok(config)) => args.index = config,

@@ -15,7 +15,6 @@ use crate::Experiment;
 use anomaly::{
     IsolationForestMethod, OneClassSvmMethod, PcaMethod, RetrievalMethod, VanillaKnnMethod,
 };
-use cmdline_ids::embed::Pooling;
 use cmdline_ids::engine::{
     window_dedup_indices, ClassificationMethod, Detector, EmbeddingStore, EngineError, EngineRun,
     IndexConfig, MultiLineMethod, ReconstructionMethod, ScoringEngine,
@@ -49,9 +48,11 @@ impl<'e> MethodSuite<'e> {
     }
 
     /// Registers any custom detector. The suite fits and scores every
-    /// detector on **mean-pooled** views of the training lines and the
-    /// de-duplicated test split; detectors expecting other inputs must
-    /// go through [`cmdline_ids::engine::ScoringEngine`] directly.
+    /// detector on store-memoized views of the training lines and the
+    /// de-duplicated test split, pooled per the detector's own
+    /// [`Detector::pooling`] (lines-only views for methods that never
+    /// read embeddings); detectors expecting other inputs must go
+    /// through [`cmdline_ids::engine::ScoringEngine`] directly.
     pub fn register(mut self, detector: Box<dyn Detector>) -> Self {
         self.engine = self.engine.register(detector);
         self
@@ -77,21 +78,12 @@ impl<'e> MethodSuite<'e> {
         self.with_classification_config(TuneConfig::scaled(), seed)
     }
 
-    /// Single-line classification tuning with a custom config.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `config.pooling` is not [`Pooling::Mean`]: the suite
-    /// feeds every detector mean-pooled views, and fitting a CLS-pooled
-    /// head on them would silently train on the wrong features. Use
-    /// [`cmdline_ids::engine::ScoringEngine`] directly with CLS views
-    /// for paper-config probing.
+    /// Single-line classification tuning with a custom config. The
+    /// suite honours `config.pooling` ([`Detector::pooling`]): a
+    /// CLS-probed paper config fits and scores on `[CLS]` views while
+    /// every mean-pooled method in the same run keeps its own space —
+    /// each `(line set, pooling)` pair still embedded exactly once.
     pub fn with_classification_config(self, config: TuneConfig, seed: u64) -> Self {
-        assert_eq!(
-            config.pooling,
-            Pooling::Mean,
-            "MethodSuite supplies mean-pooled views; classification config must match"
-        );
         self.register(Box::new(ClassificationMethod::new(config, seed)))
     }
 
@@ -152,8 +144,16 @@ impl<'e> MethodSuite<'e> {
             .register(Box::new(IsolationForestMethod::new(50, 256, iforest_seed)))
     }
 
-    /// Fits every registered method on the (memoized) training view
-    /// and scores the de-duplicated test split in one pass.
+    /// Fits every registered method on (memoized) training views and
+    /// scores the de-duplicated test split in one pass.
+    ///
+    /// Views are built *per detector*: each method gets the pooling its
+    /// config requires ([`Detector::pooling`]), the shared store
+    /// memoizes so every distinct `(line set, pooling)` pair is
+    /// embedded exactly once however many methods read it, and methods
+    /// that never read embeddings get lines-only views — a
+    /// multiline-only or reconstruction-only suite skips the encoder
+    /// entirely.
     pub fn run(self) -> Result<SuiteRun<'e>, EngineError> {
         let exp = self.exp;
         let store = EmbeddingStore::new(&exp.pipeline);
@@ -161,28 +161,10 @@ impl<'e> MethodSuite<'e> {
         let labels = exp.train_labels();
         let dedup = exp.deduped_test();
         let test_lines: Vec<&str> = dedup.iter().map(|r| r.line.as_str()).collect();
-        // Scaled tuning configs pool the token mean (see TuneConfig);
-        // both views come from the shared store, so however many
-        // methods are registered, each set is embedded exactly once —
-        // and when no registered method reads embeddings at all
-        // (multiline-only, reconstruction-only), the encoder is
-        // skipped entirely via lines-only views.
-        let (train_view, test_view) = if self.engine.wants_embeddings() {
-            (
-                store.view(&train_lines, Pooling::Mean),
-                store.view(&test_lines, Pooling::Mean),
-            )
-        } else {
-            (
-                cmdline_ids::engine::EmbeddingView::lines_only(
-                    train_lines.iter().map(|s| s.to_string()).collect(),
-                ),
-                cmdline_ids::engine::EmbeddingView::lines_only(
-                    test_lines.iter().map(|s| s.to_string()).collect(),
-                ),
-            )
-        };
-        let run = self.engine.run(&train_view, &labels, &test_view)?;
+        let fitted = self
+            .engine
+            .fit_each(&labels, |det| detector_view(&store, &train_lines, det))?;
+        let run = fitted.score_each(|det| detector_view(&store, &test_lines, det));
         Ok(SuiteRun {
             exp,
             dedup,
@@ -190,6 +172,24 @@ impl<'e> MethodSuite<'e> {
             store,
             multiline_kept: std::sync::OnceLock::new(),
         })
+    }
+}
+
+/// The per-detector view contract shared by [`MethodSuite::run`] and
+/// [`replay_through_service`]: a store-memoized view pooled per
+/// [`Detector::pooling`], or a lines-only view when the method never
+/// reads embeddings (so embedding-free suites skip the encoder).
+fn detector_view(
+    store: &EmbeddingStore<'_>,
+    lines: &[&str],
+    det: &dyn Detector,
+) -> cmdline_ids::engine::EmbeddingView {
+    if det.wants_embeddings() {
+        store.view(lines, det.pooling())
+    } else {
+        cmdline_ids::engine::EmbeddingView::lines_only(
+            lines.iter().map(|s| s.to_string()).collect(),
+        )
     }
 }
 
@@ -280,6 +280,87 @@ impl SuiteRun<'_> {
     }
 }
 
+/// The outcome of [`replay_through_service`]: streamed scores next to
+/// the one-shot batch reference, plus throughput counters.
+pub struct ReplayReport {
+    /// Method names, registration order (score vectors follow it).
+    pub names: Vec<String>,
+    /// Per-method scores from the one-shot batch pass.
+    pub batch: Vec<Vec<f32>>,
+    /// Per-method scores from the line-by-line service replay.
+    pub streamed: Vec<Vec<f32>>,
+    /// Lines replayed.
+    pub lines: usize,
+    /// Wall-clock of the streamed replay.
+    pub elapsed: std::time::Duration,
+    /// Micro-batches the service coalesced the replay into.
+    pub micro_batches: usize,
+}
+
+impl ReplayReport {
+    /// Whether every streamed score is bit-identical to the batch
+    /// reference (guaranteed on the exact backend; approximate
+    /// backends may legitimately differ).
+    pub fn bit_identical(&self) -> bool {
+        self.batch == self.streamed
+    }
+
+    /// Streamed lines per second.
+    pub fn throughput(&self) -> f64 {
+        self.lines as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Fits `engine` on the experiment's supervision (store-memoized,
+/// per-detector pooled views), scores the de-duplicated test split
+/// once as the batch reference, then replays the same split through a
+/// long-lived [`serve::ScoringService`] in `chunk`-line arrivals —
+/// the `--serve` mode of the table binaries.
+pub fn replay_through_service(
+    exp: &Experiment,
+    engine: ScoringEngine,
+    serve_config: serve::ServeConfig,
+    chunk: usize,
+) -> Result<ReplayReport, EngineError> {
+    let store = EmbeddingStore::new(&exp.pipeline);
+    let train_lines = exp.train_lines();
+    let labels = exp.train_labels();
+    let dedup = exp.deduped_test();
+    let test_lines: Vec<String> = dedup.iter().map(|r| r.line.clone()).collect();
+    let fitted = engine.fit_each(&labels, |det| detector_view(&store, &train_lines, det))?;
+    let refs: Vec<&str> = test_lines.iter().map(String::as_str).collect();
+    let batch_run = fitted.score_each(|det| detector_view(&store, &refs, det));
+    let names: Vec<String> = batch_run.outputs().iter().map(|m| m.name.clone()).collect();
+    let batch: Vec<Vec<f32>> = batch_run
+        .outputs()
+        .iter()
+        .map(|m| m.scores.clone())
+        .collect();
+
+    let service = serve::ScoringService::spawn(exp.pipeline.clone(), fitted, serve_config)
+        .expect("table methods are line-aligned");
+    let mut streamed: Vec<Vec<f32>> = vec![Vec::with_capacity(test_lines.len()); names.len()];
+    let t0 = std::time::Instant::now();
+    for lines in test_lines.chunks(chunk.max(1)) {
+        for line_scores in service.score_batch(lines).expect("service alive") {
+            for (m, s) in line_scores.into_iter().enumerate() {
+                streamed[m].push(s);
+            }
+        }
+    }
+    let elapsed = t0.elapsed();
+    let stats = service.stats();
+    service.shutdown();
+    Ok(ReplayReport {
+        names,
+        batch,
+        streamed,
+        lines: test_lines.len(),
+        elapsed,
+        micro_batches: stats.batches,
+    })
+}
+
 /// Classification-based tuning end to end: fit on supervision labels,
 /// score the de-duplicated test set.
 pub fn run_classification(exp: &Experiment, seed: u64) -> Vec<ScoredSample> {
@@ -344,6 +425,7 @@ pub fn run_vanilla_knn_with(exp: &Experiment, k: usize, index: IndexConfig) -> V
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cmdline_ids::embed::Pooling;
     use cmdline_ids::pipeline::PipelineConfig;
 
     fn tiny_experiment() -> Experiment {
@@ -408,6 +490,32 @@ mod tests {
         assert_eq!(cls.len(), n);
         let retr = run_retrieval(&exp);
         assert_eq!(retr.len(), n);
+    }
+
+    #[test]
+    fn cls_pooled_classification_threads_through_the_suite() {
+        // The ROADMAP gap this pins down: the suite used to reject
+        // CLS-pooled classification configs outright. Now the
+        // per-detector pooling contract routes the paper config onto
+        // `[CLS]` views while retrieval keeps the mean-pooled space.
+        let exp = tiny_experiment();
+        let mut config = TuneConfig::scaled();
+        config.pooling = Pooling::Cls;
+        let run = MethodSuite::new(&exp)
+            .with_classification_config(config, exp.method_seed("classification"))
+            .with_retrieval(1)
+            .run()
+            .expect("mixed-pooling suite runs");
+        let n = exp.deduped_test().len();
+        for name in ["classification", "retrieval"] {
+            let samples = run.samples(name).expect(name);
+            assert_eq!(samples.len(), n, "{name}");
+            assert!(samples.iter().all(|s| s.score.is_finite()), "{name}");
+        }
+        // Four distinct (line set, pooling) pairs → exactly four
+        // encoder passes: train/test × mean/CLS.
+        assert_eq!(run.store().misses(), 4);
+        assert_eq!(run.store().len(), 4);
     }
 
     #[test]

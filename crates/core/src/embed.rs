@@ -12,15 +12,10 @@ use bpe::Tokenizer;
 use linalg::Matrix;
 use nn::Encoder;
 
-/// Pooling strategy for a sequence embedding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Pooling {
-    /// Average of all token embeddings — the paper's choice for PCA
-    /// anomaly detection (Section III).
-    Mean,
-    /// The `[CLS]` position — the paper's probing target (Section IV-B).
-    Cls,
-}
+// The pooling enum lives beside the `Detector` trait so engines can ask
+// each method which pooled space it needs; re-exported here because this
+// module is where pooling is *applied*.
+pub use anomaly::Pooling;
 
 /// Embeds `lines` into an `(n, hidden)` matrix via one batched
 /// encoder pass.

@@ -92,6 +92,14 @@ impl Detector for ClassificationMethod {
         "classification"
     }
 
+    fn pooling(&self) -> crate::embed::Pooling {
+        self.config.pooling
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn fit(&mut self, train: &EmbeddingView, labels: &[bool]) -> Result<(), DetectorError> {
         check_labels(train, labels)?;
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -159,6 +167,10 @@ impl ReconstructionMethod {
 impl Detector for ReconstructionMethod {
     fn name(&self) -> &str {
         "reconstruction"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 
     fn fit(&mut self, train: &EmbeddingView, labels: &[bool]) -> Result<(), DetectorError> {
@@ -284,6 +296,10 @@ impl MultiLineMethod {
 impl Detector for MultiLineMethod {
     fn name(&self) -> &str {
         "multiline"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 
     fn fit(&mut self, _train: &EmbeddingView, labels: &[bool]) -> Result<(), DetectorError> {

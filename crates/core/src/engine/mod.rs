@@ -44,7 +44,7 @@
 mod methods;
 mod store;
 
-pub use anomaly::{Detector, DetectorError, EmbeddingView};
+pub use anomaly::{Detector, DetectorError, DetectorState, EmbeddingView, Pooling};
 pub use index::{HnswParams, IndexConfig};
 pub use methods::{
     subsample_labeled, window_dedup_indices, ClassificationMethod, MultiLineMethod,
@@ -160,8 +160,104 @@ impl ScoringEngine {
     }
 
     /// Fits every registered detector on the shared training view and
-    /// supervision labels, then scores the shared test view in one
-    /// pass, consuming the engine into an [`EngineRun`].
+    /// supervision labels, consuming the engine into a [`FittedEngine`]
+    /// that can score any number of test views — the resident state a
+    /// long-lived scoring service keeps between arrivals.
+    pub fn fit(self, train: &EmbeddingView, labels: &[bool]) -> Result<FittedEngine, EngineError> {
+        self.fit_each(labels, |_| train.clone())
+    }
+
+    /// [`ScoringEngine::fit`] with a *per-detector* training view:
+    /// `train_view` is asked once per detector (in registration order)
+    /// and should honour [`Detector::pooling`] /
+    /// [`Detector::wants_embeddings`] — a memoizing store makes
+    /// repeated answers cheap. This is what lets one run mix
+    /// mean-pooled and CLS-probed methods.
+    pub fn fit_each<F>(
+        mut self,
+        labels: &[bool],
+        mut train_view: F,
+    ) -> Result<FittedEngine, EngineError>
+    where
+        F: FnMut(&dyn Detector) -> EmbeddingView,
+    {
+        for det in &mut self.detectors {
+            if let Some(config) = self.index_config {
+                det.configure_index(config);
+            }
+            let view = train_view(det.as_ref());
+            det.fit(&view, labels)
+                .map_err(|source| EngineError::Detector {
+                    method: det.name().to_string(),
+                    source,
+                })?;
+        }
+        Ok(FittedEngine {
+            detectors: self.detectors,
+        })
+    }
+
+    /// Fits every registered detector and scores the shared test view
+    /// in one pass — the one-shot batch protocol. Equivalent to
+    /// [`ScoringEngine::fit`] followed by [`FittedEngine::score`].
+    pub fn run(
+        self,
+        train: &EmbeddingView,
+        labels: &[bool],
+        test: &EmbeddingView,
+    ) -> Result<EngineRun, EngineError> {
+        Ok(self.fit(train, labels)?.score(test))
+    }
+}
+
+/// A fitted detector set, reusable across any number of scoring
+/// passes.
+///
+/// [`ScoringEngine::run`] fit, scored once, and dropped everything;
+/// the serving path instead keeps a `FittedEngine` resident: micro-
+/// batches stream through [`FittedEngine::score`], live supervision is
+/// absorbed through [`FittedEngine::append`] (neighbour-based methods
+/// insert into their index incrementally), and
+/// `serve::ServiceSnapshot` persists the snapshot-capable detectors
+/// through [`FittedEngine::detectors`].
+pub struct FittedEngine {
+    detectors: Vec<Box<dyn Detector>>,
+}
+
+impl FittedEngine {
+    /// Reassembles a fitted engine from already-fitted detectors
+    /// (snapshot restore path). The caller asserts fittedness; scoring
+    /// an unfitted detector panics, as everywhere.
+    pub fn from_detectors(detectors: Vec<Box<dyn Detector>>) -> Self {
+        FittedEngine { detectors }
+    }
+
+    /// Names of the fitted detectors, in registration order.
+    pub fn method_names(&self) -> Vec<&str> {
+        self.detectors.iter().map(|d| d.name()).collect()
+    }
+
+    /// Number of fitted detectors.
+    pub fn len(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.detectors.is_empty()
+    }
+
+    /// The fitted detectors, in registration order.
+    pub fn detectors(&self) -> &[Box<dyn Detector>] {
+        &self.detectors
+    }
+
+    /// Whether any fitted detector reads embedding matrices.
+    pub fn wants_embeddings(&self) -> bool {
+        self.detectors.iter().any(|d| d.wants_embeddings())
+    }
+
+    /// Scores the shared test view with every fitted detector.
     ///
     /// Scoring fans out across the fitted detectors on crossbeam-scoped
     /// threads (they only share the immutable test view); output order
@@ -169,42 +265,79 @@ impl ScoringEngine {
     /// too (index batch queries, matmul row chunks), briefly
     /// oversubscribing cores; threads are short-lived and the detector
     /// count is small, so scheduling, not budgeting, absorbs it.
-    pub fn run(
-        mut self,
-        train: &EmbeddingView,
-        labels: &[bool],
-        test: &EmbeddingView,
-    ) -> Result<EngineRun, EngineError> {
-        for det in &mut self.detectors {
-            if let Some(config) = self.index_config {
-                det.configure_index(config);
-            }
-            det.fit(train, labels)
-                .map_err(|source| EngineError::Detector {
-                    method: det.name().to_string(),
-                    source,
-                })?;
-        }
+    pub fn score(&self, test: &EmbeddingView) -> EngineRun {
+        self.score_each(|_| test.clone())
+    }
+
+    /// [`FittedEngine::score`] with a per-detector test view (see
+    /// [`ScoringEngine::fit_each`] for the contract). `test_view` may
+    /// be called concurrently from the scoring fan-out.
+    pub fn score_each<F>(&self, test_view: F) -> EngineRun
+    where
+        F: Fn(&dyn Detector) -> EmbeddingView + Sync,
+    {
         let mut outputs: Vec<Option<MethodScores>> = Vec::with_capacity(self.detectors.len());
         outputs.resize_with(self.detectors.len(), || None);
         if self.detectors.len() <= 1 {
             for (det, slot) in self.detectors.iter().zip(outputs.iter_mut()) {
-                *slot = Some(score_one(det.as_ref(), test));
+                *slot = Some(score_one(det.as_ref(), &test_view(det.as_ref())));
             }
         } else {
+            let test_view = &test_view;
             crossbeam::scope(|scope| {
                 for (det, slot) in self.detectors.iter().zip(outputs.iter_mut()) {
-                    scope.spawn(move |_| *slot = Some(score_one(det.as_ref(), test)));
+                    scope.spawn(move |_| {
+                        *slot = Some(score_one(det.as_ref(), &test_view(det.as_ref())));
+                    });
                 }
             })
             .expect("detector scoring worker panicked");
         }
-        Ok(EngineRun {
+        EngineRun {
             outputs: outputs
                 .into_iter()
                 .map(|o| o.expect("every detector scored"))
                 .collect(),
-        })
+        }
+    }
+
+    /// Feeds freshly-labeled exemplars to every fitted detector that
+    /// can take them ([`Detector::absorbs_appends`] /
+    /// [`Detector::append`]); returns how many absorbed the batch
+    /// incrementally (the rest keep their fitted state and rely on
+    /// periodic refits). `batch_view` is only asked for absorbing
+    /// detectors, so no encoder pass is spent on a view nothing
+    /// reads.
+    pub fn append_each<F>(
+        &mut self,
+        labels: &[bool],
+        mut batch_view: F,
+    ) -> Result<usize, EngineError>
+    where
+        F: FnMut(&dyn Detector) -> EmbeddingView,
+    {
+        let mut absorbed = 0;
+        for det in &mut self.detectors {
+            if !det.absorbs_appends() {
+                continue;
+            }
+            let view = batch_view(det.as_ref());
+            if det
+                .append(&view, labels)
+                .map_err(|source| EngineError::Detector {
+                    method: det.name().to_string(),
+                    source,
+                })?
+            {
+                absorbed += 1;
+            }
+        }
+        Ok(absorbed)
+    }
+
+    /// [`FittedEngine::append_each`] over one shared batch view.
+    pub fn append(&mut self, batch: &EmbeddingView, labels: &[bool]) -> Result<usize, EngineError> {
+        self.append_each(labels, |_| batch.clone())
     }
 }
 

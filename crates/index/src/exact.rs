@@ -39,6 +39,16 @@ impl ExactIndex {
     pub fn data(&self) -> &Matrix {
         &self.data
     }
+
+    /// The cached candidate norms, one per row.
+    pub fn norms(&self) -> &[f32] {
+        &self.norms
+    }
+
+    /// Disassembles the index for persistence.
+    pub(crate) fn to_parts(&self) -> (&Matrix, &[f32]) {
+        (&self.data, &self.norms)
+    }
 }
 
 impl VectorIndex for ExactIndex {
@@ -52,22 +62,52 @@ impl VectorIndex for ExactIndex {
 
     fn query(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
         assert_eq!(query.len(), self.dim(), "query dimensionality mismatch");
+        if k == 0 {
+            return Vec::new();
+        }
         let nq = norm(query);
-        let mut sims: Vec<Neighbor> = (0..self.data.rows())
+        let n = self.data.rows();
+        let k = k.min(n);
+        let mut sims: Vec<Neighbor> = (0..n)
             .map(|r| Neighbor {
                 id: r,
                 similarity: cosine_with_norms(self.data.row(r), self.norms[r], query, nq),
             })
             .collect();
-        // Stable descending sort: equal similarities keep row order,
-        // matching the historical full-scan detectors bit-for-bit.
-        sims.sort_by(|a, b| {
+        // (similarity desc, id asc) is a total order, and it is exactly
+        // the order the historical stable descending sort produced
+        // (stable ⇒ ties keep ascending row order). Selecting the top
+        // k under it and sorting just those k therefore stays
+        // bit-identical to the historical full-scan detectors while
+        // the serving hot path drops from O(n log n) to O(n + k log k)
+        // per query.
+        let by_sim_then_id = |a: &Neighbor, b: &Neighbor| {
             b.similarity
                 .partial_cmp(&a.similarity)
                 .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        sims.truncate(k.min(self.data.rows()));
+                .then_with(|| a.id.cmp(&b.id))
+        };
+        if k > 0 && k < n {
+            sims.select_nth_unstable_by(k - 1, by_sim_then_id);
+            sims.truncate(k);
+        }
+        sims.sort_by(by_sim_then_id);
+        sims.truncate(k);
         sims
+    }
+
+    fn insert(&mut self, row: &[f32]) -> usize {
+        if self.data.rows() > 0 {
+            assert_eq!(row.len(), self.dim(), "insert dimensionality mismatch");
+        }
+        let id = self.data.rows();
+        self.norms.push(norm(row));
+        self.data.push_row(row);
+        id
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

@@ -4,14 +4,29 @@
 //! Determinism: level assignment draws from the seeded `rand` shim and
 //! every heap comparison breaks similarity ties by candidate id
 //! (`f32::total_cmp` then id), so the same `(data, params)` pair
-//! always builds the same graph and answers queries identically.
+//! always builds the same graph and answers queries identically. The
+//! level RNG lives in the index, so the same *operation sequence*
+//! (build, then any interleaving of [`HnswIndex::insert`] /
+//! [`HnswIndex::remove`] / [`HnswIndex::compact`]) is deterministic
+//! too, and a persisted graph replays the RNG stream on restore
+//! ([`crate::persist`]) so post-restore inserts match a never-saved
+//! twin.
+//!
+//! Production supervision arrives continuously, so the graph is *not*
+//! build-once: [`HnswIndex::insert`] wires new exemplars into the live
+//! graph (the same path construction uses), [`HnswIndex::remove`]
+//! tombstones retired ones (kept for graph connectivity, filtered from
+//! results), and when the tombstone ratio crosses
+//! [`HnswParams::compact_ratio`] a removal triggers a compaction
+//! rebuild over the live rows (see [`HnswIndex::remove`] for the id
+//! contract).
 
 use crate::{Neighbor, VectorIndex};
 use linalg::ops::{cosine_with_norms, norm, row_norms};
 use linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -21,6 +36,29 @@ thread_local! {
     /// (and across indexes — ids are positional) so a query allocates
     /// nothing once the thread has warmed up.
     static VISITED_SCRATCH: RefCell<(Vec<u32>, u32)> = const { RefCell::new((Vec::new(), 0)) };
+}
+
+thread_local! {
+    /// Full graph-construction passes (initial builds + compaction
+    /// rebuilds) run **on this thread**. A service cold-starting from
+    /// a persisted snapshot must leave this untouched — that claim is
+    /// asserted against this counter, not hoped for. Thread-local
+    /// (construction is synchronous on the calling thread) so the
+    /// assertion is exact even while sibling test threads build their
+    /// own indexes concurrently.
+    static CONSTRUCTION_PASSES: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of O(n·ef_construction) graph-construction passes the
+/// calling thread has run (builds and compactions; snapshot restores
+/// don't count).
+pub fn construction_passes() -> usize {
+    CONSTRUCTION_PASSES.with(Cell::get)
+}
+
+/// Records one construction pass on the calling thread.
+fn count_construction_pass() {
+    CONSTRUCTION_PASSES.with(|c| c.set(c.get() + 1));
 }
 
 /// HNSW build/search parameters.
@@ -34,6 +72,9 @@ pub struct HnswParams {
     pub ef_search: usize,
     /// Seed for the level-assignment RNG.
     pub seed: u64,
+    /// Tombstone fraction (`removed / total rows`) above which a
+    /// [`HnswIndex::remove`] triggers a compaction rebuild.
+    pub compact_ratio: f32,
 }
 
 impl Default for HnswParams {
@@ -48,6 +89,7 @@ impl Default for HnswParams {
             ef_construction: 300,
             ef_search: 128,
             seed: 0x05EE_D1D5,
+            compact_ratio: 0.3,
         }
     }
 }
@@ -62,6 +104,12 @@ impl HnswParams {
     /// Overrides the per-node link budget.
     pub fn with_m(mut self, m: usize) -> Self {
         self.m = m.max(2);
+        self
+    }
+
+    /// Overrides the tombstone ratio that triggers compaction.
+    pub fn with_compact_ratio(mut self, ratio: f32) -> Self {
+        self.compact_ratio = ratio.clamp(0.0, 1.0);
         self
     }
 }
@@ -103,6 +151,17 @@ pub struct HnswIndex {
     entry: usize,
     /// Highest populated level.
     top_level: usize,
+    /// `tombstone[node]` = removed; kept in the graph for traversal,
+    /// filtered from results until the next compaction.
+    tombstone: Vec<bool>,
+    /// Count of set tombstones.
+    dead: usize,
+    /// Level-assignment RNG; lives here so interleaved build/insert
+    /// sequences are deterministic.
+    rng: StdRng,
+    /// Level draws consumed so far — persisted so a restored index
+    /// replays the RNG stream to the same point.
+    draws: u64,
 }
 
 impl HnswIndex {
@@ -113,7 +172,8 @@ impl HnswIndex {
     }
 
     /// Builds the graph over `data` with norms the caller already
-    /// holds.
+    /// holds. Counts as one construction pass
+    /// ([`construction_passes`]).
     ///
     /// # Panics
     ///
@@ -129,19 +189,142 @@ impl HnswIndex {
             links: Vec::with_capacity(n),
             entry: 0,
             top_level: 0,
+            tombstone: Vec::with_capacity(n),
+            dead: 0,
+            rng: StdRng::seed_from_u64(params.seed),
+            draws: 0,
         };
-        let mut rng = StdRng::seed_from_u64(params.seed);
-        let level_scale = 1.0 / (params.m as f64).ln();
         for i in 0..n {
-            let level = sample_level(&mut rng, level_scale);
-            index.insert(i, level);
+            index.grow(i);
         }
+        count_construction_pass();
         index
     }
 
     /// The build/search parameters.
     pub fn params(&self) -> &HnswParams {
         &self.params
+    }
+
+    /// The per-node adjacency lists (`links()[node][level]`), exposed
+    /// so persistence round-trip tests can compare graphs node for
+    /// node.
+    pub fn links(&self) -> &[Vec<Vec<usize>>] {
+        &self.links
+    }
+
+    /// Number of tombstoned (removed but not yet compacted) nodes.
+    pub fn tombstones(&self) -> usize {
+        self.dead
+    }
+
+    /// Number of live (non-tombstoned) candidates.
+    pub fn live(&self) -> usize {
+        self.data.rows() - self.dead
+    }
+
+    /// Whether the tombstone ratio has crossed
+    /// [`HnswParams::compact_ratio`] (the next [`HnswIndex::remove`]
+    /// will compact; callers batching removals may also call
+    /// [`HnswIndex::compact`] themselves).
+    pub fn needs_compaction(&self) -> bool {
+        self.dead > 0 && self.dead as f32 >= self.params.compact_ratio * self.data.rows() as f32
+    }
+
+    /// Inserts a new candidate into the live graph (the same wiring
+    /// path construction uses) and returns its id — ids are assigned
+    /// densely, so the new id is the previous [`VectorIndex::len`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.dim()` on a non-empty index.
+    pub fn insert(&mut self, row: &[f32]) -> usize {
+        let n = norm(row);
+        self.insert_with_norm(row, n)
+    }
+
+    /// [`HnswIndex::insert`] with a norm the caller already holds.
+    pub fn insert_with_norm(&mut self, row: &[f32], row_norm: f32) -> usize {
+        if self.data.rows() > 0 {
+            assert_eq!(row.len(), self.dim(), "insert dimensionality mismatch");
+        }
+        let id = self.data.rows();
+        self.data.push_row(row);
+        self.norms.push(row_norm);
+        self.grow(id);
+        id
+    }
+
+    /// Tombstones candidate `id`: it stays in the graph for traversal
+    /// but is filtered from every future result. Returns `None` if
+    /// `id` is out of range or already removed (nothing happened).
+    ///
+    /// On success the removal may push the tombstone ratio across
+    /// [`HnswParams::compact_ratio`] and trigger a
+    /// [`HnswIndex::compact`] rebuild, which **renumbers ids**: the
+    /// returned remap is then non-empty (`remap[old] = Some(new)`),
+    /// and callers keeping per-id side tables (labels, metadata) must
+    /// apply it. A plain tombstoning returns `Some` of an **empty**
+    /// remap — ids unchanged.
+    pub fn remove(&mut self, id: usize) -> Option<Vec<Option<usize>>> {
+        if id >= self.data.rows() || self.tombstone[id] {
+            return None;
+        }
+        self.tombstone[id] = true;
+        self.dead += 1;
+        if self.needs_compaction() {
+            Some(self.compact())
+        } else {
+            Some(Vec::new())
+        }
+    }
+
+    /// Rebuilds the graph over the live rows only, dropping tombstoned
+    /// data. Counts as one construction pass. Returns the id remap
+    /// (`remap[old_id] = Some(new_id)` for survivors, `None` for
+    /// tombstoned rows); an empty remap means nothing was tombstoned
+    /// and the graph is unchanged.
+    pub fn compact(&mut self) -> Vec<Option<usize>> {
+        if self.dead == 0 {
+            return Vec::new();
+        }
+        let old_rows = self.data.rows();
+        let cols = self.data.cols();
+        let mut remap: Vec<Option<usize>> = vec![None; old_rows];
+        let mut live_data = Vec::with_capacity((old_rows - self.dead) * cols);
+        let mut live_norms = Vec::with_capacity(old_rows - self.dead);
+        let mut next = 0usize;
+        for (old, slot) in remap.iter_mut().enumerate() {
+            if self.tombstone[old] {
+                continue;
+            }
+            *slot = Some(next);
+            live_data.extend_from_slice(self.data.row(old));
+            live_norms.push(self.norms[old]);
+            next += 1;
+        }
+        self.data = Matrix::from_vec(next, cols, live_data);
+        self.norms = live_norms;
+        self.links = Vec::with_capacity(next);
+        self.tombstone = Vec::with_capacity(next);
+        self.entry = 0;
+        self.top_level = 0;
+        self.dead = 0;
+        for i in 0..next {
+            self.grow(i);
+        }
+        count_construction_pass();
+        remap
+    }
+
+    /// Draws a level for node `i` (which `data`/`norms` already hold)
+    /// and wires it into the graph.
+    fn grow(&mut self, i: usize) {
+        let level_scale = 1.0 / (self.params.m as f64).ln();
+        let level = sample_level(&mut self.rng, level_scale);
+        self.draws += 1;
+        self.tombstone.push(false);
+        self.insert_node(i, level);
     }
 
     /// Cosine similarity between candidate `id` and a query whose norm
@@ -259,7 +442,7 @@ impl HnswIndex {
     }
 
     /// Inserts node `i` at `level`, wiring bidirectional links.
-    fn insert(&mut self, i: usize, level: usize) {
+    fn insert_node(&mut self, i: usize, level: usize) {
         self.links.push(vec![Vec::new(); level + 1]);
         if i == 0 {
             self.entry = 0;
@@ -311,6 +494,69 @@ impl HnswIndex {
         scored.truncate(self.max_links(level));
         self.links[node][level] = scored.into_iter().map(|s| s.id).collect();
     }
+
+    /// Disassembles the index for persistence (graph, data, norms, RNG
+    /// replay count — everything a restore needs to continue the
+    /// operation stream deterministically).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn to_parts(
+        &self,
+    ) -> (
+        &Matrix,
+        &[f32],
+        HnswParams,
+        &[Vec<Vec<usize>>],
+        usize,
+        usize,
+        &[bool],
+        u64,
+    ) {
+        (
+            &self.data,
+            &self.norms,
+            self.params,
+            &self.links,
+            self.entry,
+            self.top_level,
+            &self.tombstone,
+            self.draws,
+        )
+    }
+
+    /// Reassembles a persisted index **without** a construction pass:
+    /// the saved graph is adopted as-is and the level RNG is replayed
+    /// `draws` samples forward so later inserts match a never-saved
+    /// twin.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        data: Matrix,
+        norms: Vec<f32>,
+        params: HnswParams,
+        links: Vec<Vec<Vec<usize>>>,
+        entry: usize,
+        top_level: usize,
+        tombstone: Vec<bool>,
+        draws: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let level_scale = 1.0 / (params.m as f64).ln();
+        for _ in 0..draws {
+            sample_level(&mut rng, level_scale);
+        }
+        let dead = tombstone.iter().filter(|&&t| t).count();
+        HnswIndex {
+            data,
+            norms,
+            params,
+            links,
+            entry,
+            top_level,
+            tombstone,
+            dead,
+            rng,
+            draws,
+        }
+    }
 }
 
 /// Draws a node level from the standard HNSW geometric-ish
@@ -333,7 +579,7 @@ impl VectorIndex for HnswIndex {
 
     fn query(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
         assert_eq!(query.len(), self.dim(), "query dimensionality mismatch");
-        if self.is_empty() || k == 0 {
+        if self.is_empty() || k == 0 || self.live() == 0 {
             return Vec::new();
         }
         let nq = norm(query);
@@ -344,16 +590,32 @@ impl VectorIndex for HnswIndex {
         for l in (1..=self.top_level).rev() {
             ep = self.greedy(query, nq, ep, l);
         }
-        let ef = self.params.ef_search.max(k);
+        // Widen the beam so filtering the dead out afterwards still
+        // tends to leave k live candidates — but cap the widening at
+        // one extra ef_search: an index idling just under the
+        // compaction ratio must not degrade every query towards a
+        // linear scan (approximate backends may return < k when the
+        // cap bites; callers already tolerate that).
+        let base = self.params.ef_search.max(k);
+        let ef = base.saturating_add(self.dead.min(base));
         let found = self.search_layer(query, nq, &[ep], ef, 0);
         found
             .into_iter()
+            .filter(|s| !self.tombstone[s.id])
             .take(k)
             .map(|s| Neighbor {
                 id: s.id,
                 similarity: s.similarity,
             })
             .collect()
+    }
+
+    fn insert(&mut self, row: &[f32]) -> usize {
+        HnswIndex::insert(self, row)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 
@@ -392,6 +654,74 @@ mod tests {
         assert_eq!(a.links, b.links);
         let q = data.row(17);
         assert_eq!(a.query(q, 5), b.query(q, 5));
+    }
+
+    #[test]
+    fn insert_after_build_matches_building_all_at_once() {
+        // The RNG lives in the index and the insert path is the
+        // construction path, so build(80) + 40 inserts must equal
+        // build(120) node for node.
+        let mut rng = StdRng::seed_from_u64(31);
+        let data = randn(&mut rng, 120, 8, 1.0);
+        let all_at_once = HnswIndex::build(data.clone(), HnswParams::default());
+        let mut incremental = HnswIndex::build(data.row_block(0, 80), HnswParams::default());
+        for r in 80..120 {
+            let id = incremental.insert(data.row(r));
+            assert_eq!(id, r);
+        }
+        assert_eq!(incremental.links, all_at_once.links);
+        assert_eq!(incremental.entry, all_at_once.entry);
+        let q = data.row(17);
+        assert_eq!(incremental.query(q, 5), all_at_once.query(q, 5));
+    }
+
+    #[test]
+    fn removed_nodes_never_surface_in_results() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let data = randn(&mut rng, 200, 8, 1.0);
+        // High threshold so removals tombstone without compacting.
+        let params = HnswParams::default().with_compact_ratio(0.9);
+        let mut idx = HnswIndex::build(data.clone(), params);
+        for id in [3, 17, 42, 99] {
+            assert_eq!(idx.remove(id), Some(Vec::new()));
+        }
+        assert_eq!(idx.tombstones(), 4);
+        assert_eq!(idx.live(), 196);
+        // Double-remove and out-of-range are rejected.
+        assert_eq!(idx.remove(3), None);
+        assert_eq!(idx.remove(10_000), None);
+        for r in (0..200).step_by(13) {
+            for n in idx.query(data.row(r), 10) {
+                assert!(!matches!(n.id, 3 | 17 | 42 | 99), "tombstoned id surfaced");
+            }
+        }
+    }
+
+    #[test]
+    fn crossing_the_tombstone_ratio_triggers_compaction() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let data = randn(&mut rng, 60, 6, 1.0);
+        let params = HnswParams::default().with_compact_ratio(0.25);
+        let mut idx = HnswIndex::build(data.clone(), params);
+        let passes_before = construction_passes();
+        // 14 tombstones stay under the 25% ratio; the 15th compacts.
+        for id in 0..14 {
+            assert_eq!(idx.remove(id), Some(Vec::new()), "id {id}");
+        }
+        assert_eq!(construction_passes(), passes_before);
+        let remap = idx.remove(14).expect("15th removal compacts");
+        assert_eq!(construction_passes(), passes_before + 1);
+        assert_eq!(remap.len(), 60);
+        assert!(remap[..15].iter().all(Option::is_none));
+        // Survivors renumber densely in order.
+        for (offset, slot) in remap[15..].iter().enumerate() {
+            assert_eq!(*slot, Some(offset));
+        }
+        assert_eq!(idx.len(), 45);
+        assert_eq!(idx.tombstones(), 0);
+        // The compacted graph still answers: a survivor finds itself.
+        let top = idx.query(data.row(30), 1);
+        assert_eq!(top[0].id, remap[30].unwrap());
     }
 
     #[test]

@@ -26,9 +26,11 @@
 
 mod exact;
 mod hnsw;
+pub mod persist;
 
 pub use exact::ExactIndex;
-pub use hnsw::{HnswIndex, HnswParams};
+pub use hnsw::{construction_passes, HnswIndex, HnswParams};
+pub use persist::IndexSnapshot;
 
 use linalg::Matrix;
 
@@ -77,6 +79,23 @@ pub trait VectorIndex: Send + Sync + std::fmt::Debug {
     fn query_batch(&self, queries: &Matrix, k: usize) -> Vec<Vec<Neighbor>> {
         query_rows_parallel(self, queries, k)
     }
+
+    /// Adds one candidate to the live index, returning its id (ids are
+    /// dense: the new id is the previous [`VectorIndex::len`]). The
+    /// exact backend appends a row + norm; HNSW wires the node into the
+    /// graph through the construction path — this is what lets a
+    /// serving process absorb supervision as it arrives instead of
+    /// rebuilding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.dim()` on a non-empty index.
+    fn insert(&mut self, row: &[f32]) -> usize;
+
+    /// Concrete-type escape hatch for persistence
+    /// ([`persist::IndexSnapshot::capture`] downcasts to the backend
+    /// it knows how to serialize).
+    fn as_any(&self) -> &dyn std::any::Any;
 }
 
 /// Minimum query rows each batch worker should own: batches smaller

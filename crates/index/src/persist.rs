@@ -1,0 +1,603 @@
+//! Index persistence: serialize a built [`VectorIndex`] (candidate
+//! matrix, cached norms, and — for HNSW — the whole navigable graph
+//! plus its RNG replay count) so a serving process cold-starts by
+//! *adopting* the graph instead of re-running the O(n·ef_construction)
+//! construction pass. The skip is checkable:
+//! [`crate::construction_passes`] does not move on restore.
+//!
+//! The format is a versioned little-endian binary frame written by
+//! [`ByteWriter`] / read by [`ByteReader`]. The vendored `serde` is a
+//! marker-only shim (the build container has no crates.io access), so
+//! the codec is hand-rolled here; snapshot types still carry the serde
+//! derive markers so a future PR swapping in real serde touches only
+//! this module.
+
+use crate::{ExactIndex, HnswIndex, HnswParams, VectorIndex};
+use linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Why decoding a persisted index failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// Input ended before the frame was complete.
+    Truncated,
+    /// The leading magic bytes are not an index snapshot's.
+    BadMagic,
+    /// The frame version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// An enum tag byte had no meaning.
+    BadTag(u8),
+    /// A structural invariant failed (e.g. a link id out of range).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Truncated => write!(f, "snapshot truncated"),
+            PersistError::BadMagic => write!(f, "not an index snapshot (bad magic)"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "snapshot version {v} not supported")
+            }
+            PersistError::BadTag(t) => write!(f, "unknown snapshot tag {t}"),
+            PersistError::Corrupt(what) => write!(f, "snapshot corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Little-endian binary frame writer (the workspace's stand-in for a
+/// serde serializer; see the module docs).
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty frame.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as `u64` (stable across word sizes).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a little-endian `f32` (bit pattern preserved exactly).
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed `f32` slice.
+    pub fn put_f32s(&mut self, vs: &[f32]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_f32(v);
+        }
+    }
+
+    /// Appends a length-prefixed id slice.
+    pub fn put_usizes(&mut self, vs: &[usize]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_usize(v);
+        }
+    }
+
+    /// Appends a length-prefixed bool slice (one byte each).
+    pub fn put_bools(&mut self, vs: &[bool]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_u8(v as u8);
+        }
+    }
+
+    /// Appends a matrix: shape, then the row-major buffer.
+    pub fn put_matrix(&mut self, m: &Matrix) {
+        self.put_usize(m.rows());
+        self.put_usize(m.cols());
+        for &v in m.as_slice() {
+            self.put_f32(v);
+        }
+    }
+}
+
+/// Reader over a [`ByteWriter`] frame; every getter checks bounds and
+/// reports [`PersistError::Truncated`] instead of panicking on foreign
+/// bytes.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `usize` persisted as `u64`.
+    pub fn get_usize(&mut self) -> Result<usize, PersistError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| PersistError::Corrupt("usize overflow"))
+    }
+
+    /// Reads a little-endian `f32`.
+    pub fn get_f32(&mut self) -> Result<f32, PersistError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed `f32` slice.
+    pub fn get_f32s(&mut self) -> Result<Vec<f32>, PersistError> {
+        let n = self.checked_len(4)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_f32()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed id slice.
+    pub fn get_usizes(&mut self) -> Result<Vec<usize>, PersistError> {
+        let n = self.checked_len(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_usize()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed bool slice.
+    pub fn get_bools(&mut self) -> Result<Vec<bool>, PersistError> {
+        let n = self.checked_len(1)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_u8()? != 0);
+        }
+        Ok(out)
+    }
+
+    /// Reads a matrix written by [`ByteWriter::put_matrix`].
+    pub fn get_matrix(&mut self) -> Result<Matrix, PersistError> {
+        let rows = self.get_usize()?;
+        let cols = self.get_usize()?;
+        let n = rows
+            .checked_mul(cols)
+            .ok_or(PersistError::Corrupt("matrix shape overflow"))?;
+        // Saturate: a corrupt shape must fail the bounds check, not
+        // wrap it and attempt an absurd allocation.
+        if self.remaining() < n.saturating_mul(4) {
+            return Err(PersistError::Truncated);
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(self.get_f32()?);
+        }
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+
+    /// Reads a length prefix, rejecting lengths the remaining input
+    /// cannot possibly hold (`elem_size` bytes per element) so corrupt
+    /// prefixes fail fast instead of attempting huge allocations.
+    fn checked_len(&mut self, elem_size: usize) -> Result<usize, PersistError> {
+        let n = self.get_usize()?;
+        if n.saturating_mul(elem_size) > self.remaining() {
+            return Err(PersistError::Truncated);
+        }
+        Ok(n)
+    }
+}
+
+/// Leading bytes of a standalone index snapshot frame.
+const MAGIC: &[u8; 4] = b"CIDX";
+/// Current frame version.
+const VERSION: u32 = 1;
+
+const TAG_EXACT: u8 = 0;
+const TAG_HNSW: u8 = 1;
+
+/// The serializable state of a built [`VectorIndex`] — everything a
+/// cold-starting service needs to answer queries (and keep inserting,
+/// for HNSW) without a construction pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum IndexSnapshot {
+    /// An [`ExactIndex`]: candidate matrix plus cached norms.
+    Exact {
+        /// The indexed candidate matrix.
+        data: Matrix,
+        /// Build-time candidate norms.
+        norms: Vec<f32>,
+    },
+    /// An [`HnswIndex`]: candidates, norms, and the whole graph.
+    Hnsw {
+        /// The indexed candidate matrix.
+        data: Matrix,
+        /// Build-time candidate norms.
+        norms: Vec<f32>,
+        /// Build/search parameters (including the RNG seed).
+        params: HnswParams,
+        /// `links[node][level]` adjacency lists.
+        links: Vec<Vec<Vec<usize>>>,
+        /// Search entry node.
+        entry: usize,
+        /// Highest populated level.
+        top_level: usize,
+        /// Tombstone flags (removed-but-not-compacted nodes).
+        tombstone: Vec<bool>,
+        /// Level-RNG draws consumed — replayed on restore so later
+        /// inserts continue the same deterministic stream.
+        draws: u64,
+    },
+}
+
+impl IndexSnapshot {
+    /// Captures the state of a boxed index. Returns `None` for backend
+    /// types this module does not know how to serialize.
+    pub fn capture(index: &dyn VectorIndex) -> Option<IndexSnapshot> {
+        if let Some(exact) = index.as_any().downcast_ref::<ExactIndex>() {
+            let (data, norms) = exact.to_parts();
+            return Some(IndexSnapshot::Exact {
+                data: data.clone(),
+                norms: norms.to_vec(),
+            });
+        }
+        if let Some(hnsw) = index.as_any().downcast_ref::<HnswIndex>() {
+            let (data, norms, params, links, entry, top_level, tombstone, draws) = hnsw.to_parts();
+            return Some(IndexSnapshot::Hnsw {
+                data: data.clone(),
+                norms: norms.to_vec(),
+                params,
+                links: links.to_vec(),
+                entry,
+                top_level,
+                tombstone: tombstone.to_vec(),
+                draws,
+            });
+        }
+        None
+    }
+
+    /// Rebuilds a live index from the snapshot. For HNSW the saved
+    /// graph is adopted directly — **no** construction pass runs
+    /// ([`crate::construction_passes`] is unchanged).
+    pub fn restore(self) -> Box<dyn VectorIndex> {
+        match self {
+            IndexSnapshot::Exact { data, norms } => {
+                Box::new(ExactIndex::build_with_norms(data, norms))
+            }
+            IndexSnapshot::Hnsw {
+                data,
+                norms,
+                params,
+                links,
+                entry,
+                top_level,
+                tombstone,
+                draws,
+            } => Box::new(HnswIndex::from_parts(
+                data, norms, params, links, entry, top_level, tombstone, draws,
+            )),
+        }
+    }
+
+    /// Short stable backend name (`"exact"` / `"hnsw"`).
+    pub fn backend(&self) -> &'static str {
+        match self {
+            IndexSnapshot::Exact { .. } => "exact",
+            IndexSnapshot::Hnsw { .. } => "hnsw",
+        }
+    }
+
+    /// Appends the snapshot to an open frame (tag byte + payload; no
+    /// magic — composite snapshots such as the serving layer's add
+    /// their own framing).
+    pub fn write(&self, w: &mut ByteWriter) {
+        match self {
+            IndexSnapshot::Exact { data, norms } => {
+                w.put_u8(TAG_EXACT);
+                w.put_matrix(data);
+                w.put_f32s(norms);
+            }
+            IndexSnapshot::Hnsw {
+                data,
+                norms,
+                params,
+                links,
+                entry,
+                top_level,
+                tombstone,
+                draws,
+            } => {
+                w.put_u8(TAG_HNSW);
+                w.put_matrix(data);
+                w.put_f32s(norms);
+                w.put_usize(params.m);
+                w.put_usize(params.ef_construction);
+                w.put_usize(params.ef_search);
+                w.put_u64(params.seed);
+                w.put_f32(params.compact_ratio);
+                w.put_usize(links.len());
+                for levels in links {
+                    w.put_usize(levels.len());
+                    for nbs in levels {
+                        w.put_usizes(nbs);
+                    }
+                }
+                w.put_usize(*entry);
+                w.put_usize(*top_level);
+                w.put_bools(tombstone);
+                w.put_u64(*draws);
+            }
+        }
+    }
+
+    /// Reads a snapshot written by [`IndexSnapshot::write`],
+    /// validating structural invariants (shape agreement, link ids in
+    /// range) so a corrupt frame errors instead of panicking later.
+    pub fn read(r: &mut ByteReader<'_>) -> Result<IndexSnapshot, PersistError> {
+        match r.get_u8()? {
+            TAG_EXACT => {
+                let data = r.get_matrix()?;
+                let norms = r.get_f32s()?;
+                if norms.len() != data.rows() {
+                    return Err(PersistError::Corrupt("norm count != row count"));
+                }
+                Ok(IndexSnapshot::Exact { data, norms })
+            }
+            TAG_HNSW => {
+                let data = r.get_matrix()?;
+                let norms = r.get_f32s()?;
+                let params = HnswParams {
+                    m: r.get_usize()?,
+                    ef_construction: r.get_usize()?,
+                    ef_search: r.get_usize()?,
+                    seed: r.get_u64()?,
+                    compact_ratio: r.get_f32()?,
+                };
+                if params.m < 2 {
+                    return Err(PersistError::Corrupt("m < 2"));
+                }
+                let n = data.rows();
+                if norms.len() != n {
+                    return Err(PersistError::Corrupt("norm count != row count"));
+                }
+                let node_count = r.get_usize()?;
+                if node_count != n {
+                    return Err(PersistError::Corrupt("link count != row count"));
+                }
+                let mut links = Vec::with_capacity(node_count);
+                for _ in 0..node_count {
+                    let level_count = r.get_usize()?;
+                    if level_count > 64 {
+                        return Err(PersistError::Corrupt("absurd level count"));
+                    }
+                    let mut levels = Vec::with_capacity(level_count);
+                    for _ in 0..level_count {
+                        let nbs = r.get_usizes()?;
+                        if nbs.iter().any(|&id| id >= n) {
+                            return Err(PersistError::Corrupt("link id out of range"));
+                        }
+                        levels.push(nbs);
+                    }
+                    links.push(levels);
+                }
+                let entry = r.get_usize()?;
+                if n > 0 && entry >= n {
+                    return Err(PersistError::Corrupt("entry out of range"));
+                }
+                let top_level = r.get_usize()?;
+                if top_level > 64 {
+                    return Err(PersistError::Corrupt("absurd top level"));
+                }
+                // Traversal indexes `links[node][level]` for every
+                // neighbour it follows, so the frame must prove each
+                // listed neighbour actually participates in that level
+                // (and the entry in the top level) — otherwise a
+                // corrupt graph would decode fine and panic mid-query.
+                if n > 0 && links[entry].len() <= top_level {
+                    return Err(PersistError::Corrupt("entry missing from top level"));
+                }
+                for levels in &links {
+                    for (l, nbs) in levels.iter().enumerate() {
+                        if nbs.iter().any(|&nb| links[nb].len() <= l) {
+                            return Err(PersistError::Corrupt("link to node absent at level"));
+                        }
+                    }
+                }
+                let tombstone = r.get_bools()?;
+                if tombstone.len() != n {
+                    return Err(PersistError::Corrupt("tombstone count != row count"));
+                }
+                let draws = r.get_u64()?;
+                // The level RNG is replayed `draws` samples forward on
+                // restore (cheap per sample, linear in lifetime
+                // inserts + compaction rebuilds); bound it so a
+                // corrupt counter can't turn a cold start into an
+                // effectively infinite loop.
+                if draws > 1 << 32 {
+                    return Err(PersistError::Corrupt("absurd draw count"));
+                }
+                if draws < n as u64 {
+                    return Err(PersistError::Corrupt("fewer draws than nodes"));
+                }
+                Ok(IndexSnapshot::Hnsw {
+                    data,
+                    norms,
+                    params,
+                    links,
+                    entry,
+                    top_level,
+                    tombstone,
+                    draws,
+                })
+            }
+            tag => Err(PersistError::BadTag(tag)),
+        }
+    }
+
+    /// Standalone encoding: magic + version + [`IndexSnapshot::write`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.buf.extend_from_slice(MAGIC);
+        w.put_u32(VERSION);
+        self.write(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes a standalone [`IndexSnapshot::to_bytes`] frame.
+    pub fn from_bytes(bytes: &[u8]) -> Result<IndexSnapshot, PersistError> {
+        let mut r = ByteReader::new(bytes);
+        if r.take(4)? != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = r.get_u32()?;
+        if version != VERSION {
+            return Err(PersistError::UnsupportedVersion(version));
+        }
+        IndexSnapshot::read(&mut r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IndexConfig;
+    use linalg::rng::randn;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_round_trip_is_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let data = randn(&mut rng, 50, 7, 1.0);
+        let idx = ExactIndex::build(data.clone());
+        let snap = IndexSnapshot::capture(&idx).expect("exact is serializable");
+        let restored = IndexSnapshot::from_bytes(&snap.to_bytes())
+            .expect("round trip decodes")
+            .restore();
+        for r in (0..50).step_by(7) {
+            assert_eq!(idx.query(data.row(r), 3), restored.query(data.row(r), 3));
+        }
+    }
+
+    #[test]
+    fn hnsw_round_trip_preserves_graph_and_skips_construction() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let data = randn(&mut rng, 150, 8, 1.0);
+        let idx = HnswIndex::build(data.clone(), HnswParams::default());
+        let bytes = IndexSnapshot::capture(&idx).unwrap().to_bytes();
+        let passes = crate::construction_passes();
+        let restored = IndexSnapshot::from_bytes(&bytes).unwrap().restore();
+        assert_eq!(
+            crate::construction_passes(),
+            passes,
+            "restore must not run a construction pass"
+        );
+        let hnsw = restored
+            .as_any()
+            .downcast_ref::<HnswIndex>()
+            .expect("restores as hnsw");
+        assert_eq!(hnsw.links(), idx.links(), "graph must match node for node");
+        for r in (0..150).step_by(11) {
+            assert_eq!(idx.query(data.row(r), 5), restored.query(data.row(r), 5));
+        }
+    }
+
+    #[test]
+    fn restored_hnsw_continues_the_insert_stream() {
+        // save → load → insert must equal never-saved → insert: the
+        // RNG replay puts the restored index at the same stream point.
+        let mut rng = StdRng::seed_from_u64(43);
+        let data = randn(&mut rng, 90, 6, 1.0);
+        let extra = randn(&mut rng, 10, 6, 1.0);
+        let mut live = HnswIndex::build(data.clone(), HnswParams::default());
+        let bytes = IndexSnapshot::capture(&live).unwrap().to_bytes();
+        let mut restored = IndexSnapshot::from_bytes(&bytes).unwrap().restore();
+        for r in 0..extra.rows() {
+            live.insert(extra.row(r));
+            restored.insert(extra.row(r));
+        }
+        let hnsw = restored.as_any().downcast_ref::<HnswIndex>().unwrap();
+        assert_eq!(hnsw.links(), live.links());
+    }
+
+    #[test]
+    fn corrupt_frames_error_instead_of_panicking() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let data = randn(&mut rng, 20, 4, 1.0);
+        for config in [IndexConfig::Exact, IndexConfig::hnsw()] {
+            let idx = config.build(data.clone());
+            let bytes = IndexSnapshot::capture(idx.as_ref()).unwrap().to_bytes();
+            assert_eq!(
+                IndexSnapshot::from_bytes(&bytes[..bytes.len() / 2]).unwrap_err(),
+                PersistError::Truncated,
+                "{}",
+                config.name()
+            );
+            let mut wrong_magic = bytes.clone();
+            wrong_magic[0] = b'X';
+            assert_eq!(
+                IndexSnapshot::from_bytes(&wrong_magic).unwrap_err(),
+                PersistError::BadMagic
+            );
+            let mut wrong_version = bytes.clone();
+            wrong_version[4] = 99;
+            assert_eq!(
+                IndexSnapshot::from_bytes(&wrong_version).unwrap_err(),
+                PersistError::UnsupportedVersion(99)
+            );
+        }
+    }
+}

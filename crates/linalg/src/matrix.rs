@@ -92,6 +92,23 @@ impl Matrix {
         Matrix { rows, cols, data }
     }
 
+    /// Appends a row, growing the matrix in place (amortized O(cols) —
+    /// the buffer doubles like a `Vec`), for incrementally-built
+    /// candidate sets such as live vector-index inserts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != cols` (a `0 × 0` matrix adopts the first
+    /// row's width).
+    pub fn push_row(&mut self, row: &[f32]) {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = row.len();
+        }
+        assert_eq!(row.len(), self.cols, "row width mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
     /// Number of rows.
     #[inline]
     pub fn rows(&self) -> usize {

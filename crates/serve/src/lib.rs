@@ -1,0 +1,35 @@
+//! The streaming scoring service: the online counterpart of the batch
+//! [`ScoringEngine`](cmdline_ids::engine::ScoringEngine) protocol.
+//!
+//! The paper's evaluation is offline — fit on a labeled training
+//! split, score a de-duplicated test split once. Production
+//! supervision does not arrive that way: command lines stream in
+//! continuously and each wants a verdict *now*, from a detector set
+//! that is already fitted and whose exemplar indexes are already
+//! built. This crate keeps that state resident and adds the three
+//! things the offline path never needed:
+//!
+//! * **Micro-batched line scoring** ([`ScoringService`]) — requests
+//!   enter a bounded channel; scoring workers coalesce arrivals within
+//!   a configurable window so the encoder's batched forward and the
+//!   index's batched queries stay hot even when every caller submits
+//!   one line. On the exact backend, streamed scores are
+//!   **bit-identical** to the one-shot batch run
+//!   (`tests/online_offline_parity.rs`) because the batched forward is
+//!   bit-identical per line regardless of batch composition.
+//! * **Live supervision absorption** ([`ScoringService::append`]) —
+//!   freshly-labeled exemplars insert into the resident neighbour
+//!   indexes through the incremental HNSW insert path instead of
+//!   forcing a rebuild.
+//! * **Cold-start persistence** ([`ServiceSnapshot`]) — the fitted
+//!   neighbour detectors (params + built graphs + candidate norms)
+//!   serialize to a binary frame; a restarting service adopts the
+//!   saved graphs without re-running the O(n·ef_construction)
+//!   construction pass (asserted against
+//!   [`index::construction_passes`]).
+
+mod service;
+mod snapshot;
+
+pub use service::{ScoringService, ServeConfig, ServeError, ServiceClient, ServiceStats};
+pub use snapshot::{ServiceSnapshot, SnapshotError};

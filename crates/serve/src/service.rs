@@ -1,0 +1,550 @@
+//! The long-lived scoring service and its micro-batching workers.
+
+use cmdline_ids::embed::{embed_lines, Pooling};
+use cmdline_ids::engine::{EmbeddingView, EngineError, FittedEngine};
+use cmdline_ids::pipeline::IdsPipeline;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Knobs for a [`ScoringService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Bounded request-queue capacity: producers block (back-pressure)
+    /// instead of piling up unbounded memory when scoring falls
+    /// behind.
+    pub queue_capacity: usize,
+    /// Maximum lines coalesced into one scoring micro-batch.
+    pub max_batch: usize,
+    /// How long a worker waits for more arrivals before scoring a
+    /// partial batch. `Duration::ZERO` disables coalescing (every
+    /// request scores alone — the single-line baseline the
+    /// `serve_throughput` bench compares against).
+    pub batch_window: Duration,
+    /// Scoring worker threads draining the queue.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 256,
+            max_batch: 64,
+            batch_window: Duration::from_millis(2),
+            workers: 2,
+        }
+    }
+}
+
+/// Why a service call failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// A registered detector is stream-structured
+    /// (`test_aligned() == false`, e.g. multiline): its scores index a
+    /// different sample set than the arriving lines, so it cannot
+    /// serve per-line verdicts.
+    StreamStructured(String),
+    /// The service has shut down (workers gone before replying).
+    Closed,
+    /// Absorbing a supervision batch failed.
+    Engine(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::StreamStructured(name) => write!(
+                f,
+                "method {name:?} is stream-structured and cannot score arriving lines"
+            ),
+            ServeError::Closed => write!(f, "scoring service is shut down"),
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e.to_string())
+    }
+}
+
+/// One queued scoring request: the caller's lines plus the one-shot
+/// reply channel its scores come back on.
+struct Request {
+    lines: Vec<String>,
+    reply: mpsc::Sender<Vec<Vec<f32>>>,
+}
+
+/// Monotonic service counters (drained micro-batches and lines), for
+/// benches and monitoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Micro-batches scored so far.
+    pub batches: usize,
+    /// Lines scored so far.
+    pub lines: usize,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    batches: AtomicUsize,
+    lines: AtomicUsize,
+}
+
+/// Shared innards: the frozen pipeline, the resident fitted detector
+/// set, and which pooled spaces its detectors read.
+struct Inner {
+    pipeline: IdsPipeline,
+    engine: RwLock<FittedEngine>,
+    method_names: Vec<String>,
+    counters: Counters,
+}
+
+impl Inner {
+    /// Embeds `lines` once per pooled space the detector set reads and
+    /// scores them with every resident detector. Returns one score
+    /// vector per line, methods in registration order.
+    fn score_lines(&self, lines: &[String]) -> Vec<Vec<f32>> {
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let engine = self.engine.read().unwrap();
+        let views = PooledViews::build(&self.pipeline, &engine, &refs);
+        let run = engine.score_each(|det| views.for_detector(det));
+        // Transpose method-major engine output into line-major replies.
+        let n_methods = run.outputs().len();
+        let mut out = vec![Vec::with_capacity(n_methods); lines.len()];
+        for method in run.outputs() {
+            debug_assert_eq!(method.scores.len(), lines.len());
+            for (line, &s) in out.iter_mut().zip(&method.scores) {
+                line.push(s);
+            }
+        }
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .lines
+            .fetch_add(lines.len(), Ordering::Relaxed);
+        out
+    }
+}
+
+/// The embedding views one micro-batch needs: at most one encoder pass
+/// per pooled space the detector set reads, plus a lines-only view for
+/// methods that embed under their own encoder. Views the resident set
+/// never reads are not built.
+struct PooledViews {
+    mean: Option<EmbeddingView>,
+    cls: Option<EmbeddingView>,
+    lines_only: Option<EmbeddingView>,
+}
+
+impl PooledViews {
+    /// Views for a scoring pass: every resident detector reads them.
+    fn build(pipeline: &IdsPipeline, engine: &FittedEngine, lines: &[&str]) -> Self {
+        Self::build_for(pipeline, engine, lines, |_| true)
+    }
+
+    /// Views for an append pass: only detectors that absorb appends
+    /// will be handed a view, so only their pooled spaces are worth
+    /// an encoder pass.
+    fn build_for_append(pipeline: &IdsPipeline, engine: &FittedEngine, lines: &[&str]) -> Self {
+        Self::build_for(pipeline, engine, lines, |det| det.absorbs_appends())
+    }
+
+    fn build_for(
+        pipeline: &IdsPipeline,
+        engine: &FittedEngine,
+        lines: &[&str],
+        reads_views: impl Fn(&dyn cmdline_ids::engine::Detector) -> bool,
+    ) -> Self {
+        let mut wants = [false; 2];
+        let mut wants_lines_only = false;
+        for det in engine.detectors() {
+            if !reads_views(det.as_ref()) {
+                continue;
+            }
+            if det.wants_embeddings() {
+                wants[matches!(det.pooling(), Pooling::Cls) as usize] = true;
+            } else {
+                wants_lines_only = true;
+            }
+        }
+        let embed = |pooling: Pooling| {
+            let matrix = embed_lines(
+                pipeline.encoder(),
+                pipeline.tokenizer(),
+                lines,
+                pipeline.max_len(),
+                pooling,
+            );
+            EmbeddingView::new(lines.iter().map(|s| s.to_string()).collect(), matrix)
+        };
+        PooledViews {
+            mean: wants[0].then(|| embed(Pooling::Mean)),
+            cls: wants[1].then(|| embed(Pooling::Cls)),
+            lines_only: wants_lines_only
+                .then(|| EmbeddingView::lines_only(lines.iter().map(|s| s.to_string()).collect())),
+        }
+    }
+
+    fn for_detector(&self, det: &dyn cmdline_ids::engine::Detector) -> EmbeddingView {
+        if !det.wants_embeddings() {
+            return self
+                .lines_only
+                .as_ref()
+                .expect("lines-only view built")
+                .clone();
+        }
+        match det.pooling() {
+            Pooling::Mean => self.mean.as_ref().expect("mean view built").clone(),
+            Pooling::Cls => self.cls.as_ref().expect("cls view built").clone(),
+        }
+    }
+}
+
+/// The shutdown gate: submissions take the read lock for the
+/// check-and-send, [`ScoringService::shutdown`] flips the flag under
+/// the write lock — so no request can slip into the queue after the
+/// workers were told to stop (it would hang unanswered).
+type CloseGate = RwLock<bool>;
+
+/// A cloneable submission handle onto a running [`ScoringService`] —
+/// hand one to each producer thread. Outlives the service safely:
+/// calls after shutdown return [`ServeError::Closed`].
+#[derive(Clone)]
+pub struct ServiceClient {
+    tx: Sender<Request>,
+    gate: Arc<CloseGate>,
+    method_names: Arc<[String]>,
+}
+
+impl ServiceClient {
+    /// Names (registration order) the per-line score vectors follow.
+    pub fn method_names(&self) -> &[String] {
+        &self.method_names
+    }
+
+    /// Scores one arriving line with every resident detector;
+    /// blocks until the verdict is ready (the line may share its
+    /// micro-batch with concurrent arrivals).
+    pub fn score_line(&self, line: &str) -> Result<Vec<f32>, ServeError> {
+        let mut scores = self.score_batch(std::slice::from_ref(&line.to_string()))?;
+        Ok(scores.pop().expect("one reply per line"))
+    }
+
+    /// Scores a batch of arriving lines; one score vector per line, in
+    /// input order.
+    pub fn score_batch(&self, lines: &[String]) -> Result<Vec<Vec<f32>>, ServeError> {
+        if lines.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        {
+            // Hold the gate across the send: shutdown cannot mark the
+            // service closed while a submission is mid-flight, so every
+            // enqueued request is either answered by a worker or
+            // explicitly dropped (→ `Closed`) by the shutdown drain.
+            let closed = self.gate.read().unwrap();
+            if *closed {
+                return Err(ServeError::Closed);
+            }
+            self.tx
+                .send(Request {
+                    lines: lines.to_vec(),
+                    reply: reply_tx,
+                })
+                .map_err(|_| ServeError::Closed)?;
+        }
+        reply_rx.recv().map_err(|_| ServeError::Closed)
+    }
+}
+
+/// A running scoring service: a resident fitted detector set behind a
+/// bounded request queue drained by micro-batching workers. See the
+/// crate docs for the shape; construct with [`ScoringService::spawn`].
+pub struct ScoringService {
+    inner: Arc<Inner>,
+    client: ServiceClient,
+    /// Kept to drain (and thereby reject) requests that were already
+    /// queued when shutdown fired.
+    drain_rx: Receiver<Request>,
+    /// Worker exit flag. Deliberately separate from the producer-side
+    /// close gate: workers must NEVER touch that `RwLock`, because a
+    /// producer can hold its read half while blocked in a full-queue
+    /// `send` that only a *draining worker* can unblock — a worker
+    /// queuing behind shutdown's waiting `write()` (std `RwLock`
+    /// blocks new readers then) would deadlock all three parties.
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ScoringService {
+    /// Spawns the scoring workers around a fitted detector set and the
+    /// frozen pipeline that embeds arriving lines.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::StreamStructured`] if any fitted detector cannot
+    /// produce per-line verdicts (e.g. multiline).
+    pub fn spawn(
+        pipeline: IdsPipeline,
+        engine: FittedEngine,
+        config: ServeConfig,
+    ) -> Result<ScoringService, ServeError> {
+        for det in engine.detectors() {
+            if !det.test_aligned() {
+                return Err(ServeError::StreamStructured(det.name().to_string()));
+            }
+        }
+        let method_names: Arc<[String]> = engine
+            .method_names()
+            .into_iter()
+            .map(String::from)
+            .collect::<Vec<_>>()
+            .into();
+        let inner = Arc::new(Inner {
+            pipeline,
+            engine: RwLock::new(engine),
+            method_names: method_names.to_vec(),
+            counters: Counters::default(),
+        });
+        let (tx, rx) = bounded::<Request>(config.queue_capacity.max(1));
+        let gate: Arc<CloseGate> = Arc::new(RwLock::new(false));
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let inner = inner.clone();
+                let rx = rx.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || worker_loop(&inner, &rx, &stop, &config))
+            })
+            .collect();
+        Ok(ScoringService {
+            inner,
+            client: ServiceClient {
+                tx,
+                gate,
+                method_names,
+            },
+            drain_rx: rx,
+            stop,
+            workers,
+        })
+    }
+
+    /// A cloneable submission handle for producer threads.
+    pub fn client(&self) -> ServiceClient {
+        self.client.clone()
+    }
+
+    /// Names (registration order) the per-line score vectors follow.
+    pub fn method_names(&self) -> &[String] {
+        &self.inner.method_names
+    }
+
+    /// Scores one arriving line (see [`ServiceClient::score_line`]).
+    pub fn score_line(&self, line: &str) -> Result<Vec<f32>, ServeError> {
+        self.client.score_line(line)
+    }
+
+    /// Scores a batch of lines (see [`ServiceClient::score_batch`]).
+    pub fn score_batch(&self, lines: &[String]) -> Result<Vec<Vec<f32>>, ServeError> {
+        self.client.score_batch(lines)
+    }
+
+    /// Absorbs freshly-labeled supervision into the resident detector
+    /// set: lines are embedded once per pooled space and every
+    /// detector gets [`Detector::append`](cmdline_ids::engine::Detector::append)
+    /// (neighbour-based methods insert into their live index — the
+    /// incremental HNSW path — others keep their fitted state).
+    /// Returns how many detectors absorbed the batch.
+    ///
+    /// Runs on the caller's thread; scoring workers keep serving the
+    /// old state until the brief write-lock at the end.
+    pub fn append(&self, lines: &[String], labels: &[bool]) -> Result<usize, ServeError> {
+        if lines.len() != labels.len() {
+            return Err(ServeError::Engine(format!(
+                "one label per line required: {} lines, {} labels",
+                lines.len(),
+                labels.len()
+            )));
+        }
+        if lines.is_empty() {
+            return Ok(0);
+        }
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        // Embed under the read lock (workers keep scoring) and only
+        // for the pooled spaces the absorbing detectors read; the
+        // write lock below is then just the index inserts.
+        let views = {
+            let engine = self.inner.engine.read().unwrap();
+            PooledViews::build_for_append(&self.inner.pipeline, &engine, &refs)
+        };
+        let mut engine = self.inner.engine.write().unwrap();
+        Ok(engine.append_each(labels, |det| views.for_detector(det))?)
+    }
+
+    /// Runs `f` over the resident fitted engine (snapshot capture,
+    /// introspection) under the engine read lock: concurrent
+    /// [`ScoringService::append`]s are excluded for a consistent
+    /// detector view, but scoring workers (also readers) keep serving
+    /// — this does **not** quiesce the service.
+    pub fn with_engine<R>(&self, f: impl FnOnce(&FittedEngine) -> R) -> R {
+        f(&self.inner.engine.read().unwrap())
+    }
+
+    /// Monotonic batch/line counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            batches: self.inner.counters.batches.load(Ordering::Relaxed),
+            lines: self.inner.counters.lines.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting requests and joins the workers; requests still
+    /// queued (and any caller blocked on them) observe
+    /// [`ServeError::Closed`]. Dropping the service does the same.
+    /// Outstanding [`ServiceClient`] clones stay safe to call — they
+    /// just get `Closed` back.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        {
+            // The write lock waits out in-flight submissions, then the
+            // flag turns every later one away at the gate. Workers are
+            // still running here — a submission blocked on a full
+            // queue needs them draining before it releases its read
+            // half of the gate.
+            let mut closed = self.client.gate.write().unwrap();
+            if *closed {
+                return;
+            }
+            *closed = true;
+        }
+        // No new request can enter now; tell the workers to exit once
+        // the queue runs dry and they hit their idle poll.
+        self.stop.store(true, Ordering::Release);
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        // Reject what the workers left behind: dropping a request
+        // drops its reply sender, which surfaces as `Closed` at the
+        // blocked caller.
+        while self.drain_rx.try_recv().is_ok() {}
+    }
+}
+
+impl Drop for ScoringService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// How long an idle worker sleeps between shutdown-flag checks.
+const IDLE_POLL: Duration = Duration::from_millis(25);
+
+/// Moves already-queued requests into `requests` while their lines
+/// fit within `budget` (one channel lock total); returns the line
+/// count taken. Requests are atomic — one whose lines exceed the
+/// remaining budget stays queued for the next batch, so a drain never
+/// blows past `max_batch` (a micro-batch can still overshoot by at
+/// most one request: its first, or a straggler accepted blind from
+/// `recv_timeout`, must be taken whatever their size).
+fn drain_queued(rx: &Receiver<Request>, requests: &mut Vec<Request>, budget: usize) -> usize {
+    if budget == 0 {
+        return 0;
+    }
+    let mut taken = 0usize;
+    rx.try_recv_while(requests, |req| {
+        if taken + req.lines.len() > budget {
+            return false;
+        }
+        taken += req.lines.len();
+        true
+    });
+    taken
+}
+
+/// One worker: blocks for a request, coalesces more arrivals within
+/// the batch window (up to `max_batch` lines), scores the micro-batch
+/// with one encoder pass per pooled space, and replies per request.
+fn worker_loop(inner: &Inner, rx: &Receiver<Request>, stop: &AtomicBool, config: &ServeConfig) {
+    loop {
+        let first = match rx.recv_timeout(IDLE_POLL) {
+            Ok(req) => req,
+            Err(RecvTimeoutError::Timeout) => {
+                // Lock-free by design — see `ScoringService::stop`.
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let mut requests = vec![first];
+        let mut n_lines = requests[0].lines.len();
+        if !config.batch_window.is_zero() {
+            // Fast path: whatever is already queued joins the batch in
+            // one lock round-trip (the common case once the service is
+            // saturated — while this worker scored the previous batch,
+            // producers refilled the queue).
+            n_lines += drain_queued(
+                rx,
+                &mut requests,
+                config.max_batch - n_lines.min(config.max_batch),
+            );
+            // Slow path: the queue ran dry with batch budget left —
+            // wait out the window for stragglers.
+            let deadline = Instant::now() + config.batch_window;
+            while n_lines < config.max_batch {
+                let now = Instant::now();
+                let wait = deadline.saturating_duration_since(now);
+                if wait.is_zero() {
+                    break;
+                }
+                match rx.recv_timeout(wait) {
+                    Ok(req) => {
+                        n_lines += req.lines.len();
+                        requests.push(req);
+                        n_lines += drain_queued(
+                            rx,
+                            &mut requests,
+                            config.max_batch - n_lines.min(config.max_batch),
+                        );
+                    }
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+        let all_lines: Vec<String> = requests
+            .iter()
+            .flat_map(|r| r.lines.iter().cloned())
+            .collect();
+        // Contain scoring panics (a detector assert, a poisoned engine
+        // lock): the worker must survive, and dropping the batch drops
+        // its reply senders, surfacing `Closed` at the blocked callers
+        // instead of wedging the whole service — with `workers: 1` an
+        // uncaught unwind here would leave every future request
+        // hanging in its reply recv with no error at all.
+        let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inner.score_lines(&all_lines)
+        }));
+        match scored {
+            Ok(scored) => {
+                let mut scored = scored.into_iter();
+                for req in requests {
+                    let reply: Vec<Vec<f32>> = scored.by_ref().take(req.lines.len()).collect();
+                    // A caller that gave up (dropped its receiver) is
+                    // not an error for the batch.
+                    let _ = req.reply.send(reply);
+                }
+            }
+            Err(_) => drop(requests),
+        }
+    }
+}

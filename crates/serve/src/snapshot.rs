@@ -1,0 +1,151 @@
+//! Service cold-start persistence: the fitted neighbour detectors
+//! (detector params + built index graphs + candidate norms) as one
+//! binary frame on disk.
+
+use anomaly::DetectorState;
+use cmdline_ids::engine::FittedEngine;
+use index::persist::{ByteReader, ByteWriter, PersistError};
+use std::path::Path;
+
+/// Leading bytes of a service snapshot frame.
+const MAGIC: &[u8; 4] = b"CSRV";
+/// Current frame version.
+const VERSION: u32 = 1;
+
+/// Why saving or loading a [`ServiceSnapshot`] failed.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The frame was malformed (see [`PersistError`]).
+    Persist(PersistError),
+    /// Reading or writing the file failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Persist(e) => write!(f, "{e}"),
+            SnapshotError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<PersistError> for SnapshotError {
+    fn from(e: PersistError) -> Self {
+        SnapshotError::Persist(e)
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// The persistable state of a serving detector set: one
+/// [`DetectorState`] per snapshot-capable fitted detector (retrieval,
+/// vanilla kNN — the methods whose fitted state *is* a built index).
+///
+/// Restoring adopts the saved graphs directly: no
+/// O(n·ef_construction) pass runs, which
+/// `tests/snapshot_cold_start.rs` asserts against
+/// [`index::construction_passes`]. Methods that refit cheaply from
+/// data (PCA, iforest, OCSVM) or own a tuned encoder are not captured
+/// — [`ServiceSnapshot::capture`] records their names as skipped so
+/// the caller can refit them alongside the restore.
+#[derive(Debug, Clone)]
+pub struct ServiceSnapshot {
+    states: Vec<DetectorState>,
+}
+
+impl ServiceSnapshot {
+    /// Captures every snapshot-capable fitted detector; returns the
+    /// snapshot plus the names of detectors that were *not* capturable
+    /// (unfitted or snapshot-unsupported).
+    pub fn capture(engine: &FittedEngine) -> (ServiceSnapshot, Vec<String>) {
+        let mut states = Vec::new();
+        let mut skipped = Vec::new();
+        for det in engine.detectors() {
+            match DetectorState::capture(det.as_ref()) {
+                Some(state) => states.push(state),
+                None => skipped.push(det.name().to_string()),
+            }
+        }
+        (ServiceSnapshot { states }, skipped)
+    }
+
+    /// The captured per-detector states.
+    pub fn states(&self) -> &[DetectorState] {
+        &self.states
+    }
+
+    /// Number of captured detectors.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Rebuilds a fitted engine from the captured detectors, adopting
+    /// the saved index graphs without a construction pass.
+    pub fn restore(self) -> FittedEngine {
+        FittedEngine::from_detectors(
+            self.states
+                .into_iter()
+                .map(DetectorState::restore)
+                .collect(),
+        )
+    }
+
+    /// Encodes the snapshot (magic + version + states).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        for b in MAGIC {
+            w.put_u8(*b);
+        }
+        w.put_u32(VERSION);
+        w.put_usize(self.states.len());
+        for state in &self.states {
+            state.write(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a [`ServiceSnapshot::to_bytes`] frame.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ServiceSnapshot, PersistError> {
+        let mut r = ByteReader::new(bytes);
+        for want in MAGIC {
+            if r.get_u8()? != *want {
+                return Err(PersistError::BadMagic);
+            }
+        }
+        let version = r.get_u32()?;
+        if version != VERSION {
+            return Err(PersistError::UnsupportedVersion(version));
+        }
+        let n = r.get_usize()?;
+        if n > 1024 {
+            return Err(PersistError::Corrupt("absurd detector count"));
+        }
+        let mut states = Vec::with_capacity(n);
+        for _ in 0..n {
+            states.push(DetectorState::read(&mut r)?);
+        }
+        Ok(ServiceSnapshot { states })
+    }
+
+    /// Writes the snapshot to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        Ok(std::fs::write(path, self.to_bytes())?)
+    }
+
+    /// Reads a snapshot from `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<ServiceSnapshot, SnapshotError> {
+        Ok(ServiceSnapshot::from_bytes(&std::fs::read(path)?)?)
+    }
+}

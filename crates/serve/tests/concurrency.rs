@@ -1,0 +1,162 @@
+//! Concurrency contract: N producer threads hammering a service with a
+//! deliberately tiny bounded queue never deadlock, and every submitted
+//! line gets exactly one score — bit-identical to a quiet
+//! single-threaded reference on the exact backend, whatever
+//! micro-batch each line landed in.
+
+use cmdline_ids::embed::Pooling;
+use cmdline_ids::engine::{EmbeddingStore, ScoringEngine};
+use cmdline_ids::pipeline::{IdsPipeline, PipelineConfig};
+use corpus::dedup_records;
+use ids_rules::RuleIds;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serve::{ScoringService, ServeConfig};
+use std::sync::Barrier;
+use std::time::Duration;
+
+use anomaly::{RetrievalMethod, VanillaKnnMethod};
+
+const PRODUCERS: usize = 8;
+const LINES_PER_PRODUCER: usize = 40;
+
+fn service_fixture() -> (IdsPipeline, Vec<String>, Vec<bool>, Vec<String>) {
+    let mut config = PipelineConfig::fast();
+    config.train_size = 500;
+    config.test_size = 400;
+    config.attack_prob = 0.25;
+    let mut rng = StdRng::seed_from_u64(77);
+    let dataset = config.generate_dataset(&mut rng);
+    let pipeline = IdsPipeline::pretrain(&config, &dataset, &mut rng);
+    let ids = RuleIds::with_default_rules();
+    let labels: Vec<bool> = dataset
+        .train
+        .iter()
+        .map(|r| ids.is_alert(&r.line))
+        .collect();
+    let train: Vec<String> = dataset.train.iter().map(|r| r.line.clone()).collect();
+    let lines: Vec<String> = dedup_records(&dataset.test)
+        .iter()
+        .map(|r| r.line.clone())
+        .collect();
+    (pipeline, train, labels, lines)
+}
+
+#[test]
+fn concurrent_producers_get_exactly_one_score_per_line() {
+    let (pipeline, train_lines, labels, lines) = service_fixture();
+    let store = EmbeddingStore::new(&pipeline);
+    let train = store.view_of(&train_lines, Pooling::Mean);
+    let fitted = ScoringEngine::new()
+        .register(Box::new(RetrievalMethod::new(1)))
+        .register(Box::new(VanillaKnnMethod::new(3)))
+        .fit(&train, &labels)
+        .expect("fit succeeds");
+    let service = ScoringService::spawn(
+        pipeline,
+        fitted,
+        ServeConfig {
+            // Tiny queue: producers must block on back-pressure, which
+            // is exactly where a deadlock would bite.
+            queue_capacity: 4,
+            max_batch: 16,
+            batch_window: Duration::from_micros(500),
+            workers: 3,
+        },
+    )
+    .expect("service spawns");
+
+    // Quiet single-threaded reference verdict per distinct line.
+    let mut reference = std::collections::HashMap::new();
+    for line in &lines {
+        if !reference.contains_key(line) {
+            reference.insert(
+                line.clone(),
+                service.score_line(line).expect("reference scoring"),
+            );
+        }
+    }
+
+    // Each producer walks the corpus from its own offset, mixing
+    // single-line and small-batch submissions.
+    let barrier = Barrier::new(PRODUCERS);
+    let client = service.client();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let client = client.clone();
+            let barrier = &barrier;
+            let lines = &lines;
+            handles.push(scope.spawn(move || {
+                barrier.wait();
+                let mut got: Vec<(String, Vec<f32>)> = Vec::new();
+                let mut i = p * 31 % lines.len();
+                while got.len() < LINES_PER_PRODUCER {
+                    if (got.len() + p).is_multiple_of(3) {
+                        // Small batch of 3.
+                        let batch: Vec<String> = (0..3)
+                            .map(|j| lines[(i + j) % lines.len()].clone())
+                            .collect();
+                        let replies = client.score_batch(&batch).expect("service alive");
+                        assert_eq!(replies.len(), batch.len(), "one reply per line");
+                        got.extend(batch.into_iter().zip(replies));
+                        i = (i + 3) % lines.len();
+                    } else {
+                        let line = lines[i].clone();
+                        let scores = client.score_line(&line).expect("service alive");
+                        got.push((line, scores));
+                        i = (i + 1) % lines.len();
+                    }
+                }
+                got
+            }));
+        }
+        let mut total = 0;
+        for handle in handles {
+            let got = handle.join().expect("producer panicked");
+            assert!(got.len() >= LINES_PER_PRODUCER);
+            total += got.len();
+            for (line, scores) in got {
+                assert_eq!(
+                    &scores,
+                    reference.get(&line).expect("line was referenced"),
+                    "concurrent score for {line:?} differs from the quiet reference"
+                );
+            }
+        }
+        assert!(total >= PRODUCERS * LINES_PER_PRODUCER);
+    });
+    drop(client);
+
+    let stats = service.stats();
+    assert!(
+        stats.lines >= PRODUCERS * LINES_PER_PRODUCER,
+        "every submitted line was scored ({} < {})",
+        stats.lines,
+        PRODUCERS * LINES_PER_PRODUCER
+    );
+    assert!(
+        stats.batches <= stats.lines,
+        "batches can never exceed lines"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn shutdown_then_submit_reports_closed() {
+    let (pipeline, train_lines, labels, lines) = service_fixture();
+    let store = EmbeddingStore::new(&pipeline);
+    let train = store.view_of(&train_lines, Pooling::Mean);
+    let fitted = ScoringEngine::new()
+        .register(Box::new(RetrievalMethod::new(1)))
+        .fit(&train, &labels)
+        .expect("fit succeeds");
+    let service = ScoringService::spawn(pipeline, fitted, ServeConfig::default()).expect("spawns");
+    let client = service.client();
+    assert!(client.score_line(&lines[0]).is_ok());
+    service.shutdown();
+    assert_eq!(
+        client.score_line(&lines[0]).unwrap_err(),
+        serve::ServeError::Closed
+    );
+}

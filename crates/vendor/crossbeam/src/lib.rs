@@ -1,13 +1,16 @@
-//! Offline shim for the one `crossbeam` entry point this workspace
-//! uses: [`scope`] with borrowing worker closures. Implemented on
-//! `std::thread::scope` (stabilized after crossbeam popularized the
-//! pattern), so behaviour matches: workers may borrow from the caller's
-//! stack and are all joined before `scope` returns.
+//! Offline shim for the two `crossbeam` entry points this workspace
+//! uses: [`scope`] with borrowing worker closures, and the bounded
+//! MPMC [`channel`] the serving layer queues requests on. `scope` is
+//! implemented on `std::thread::scope` (stabilized after crossbeam
+//! popularized the pattern), so behaviour matches: workers may borrow
+//! from the caller's stack and are all joined before `scope` returns.
 //!
 //! Divergence from upstream: a panicking worker propagates its panic
 //! out of [`scope`] directly (std semantics) instead of surfacing as
 //! `Err`; the `Result` wrapper is kept so call sites written against
 //! crossbeam compile unchanged.
+
+pub mod channel;
 
 use std::any::Any;
 
