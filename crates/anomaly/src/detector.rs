@@ -14,6 +14,7 @@
 //! re-embed under their own updated encoder, which is inherent to the
 //! method rather than a cache miss.
 
+use crate::knn::{ShardCandidate, ShardMerge};
 use crate::{IsolationForest, OneClassSvm, PcaDetector, RetrievalDetector, VanillaKnn};
 use index::IndexConfig;
 use linalg::Matrix;
@@ -249,6 +250,38 @@ pub trait Detector: Send + Sync {
     fn append(&mut self, batch: &EmbeddingView, labels: &[bool]) -> Result<bool, DetectorError> {
         let _ = (batch, labels);
         Ok(false)
+    }
+
+    /// How a shard router merges this method's per-shard candidates
+    /// into one score — `None` (the default) for methods whose fitted
+    /// state is not a partitionable exemplar set. Methods returning
+    /// `Some` must also implement [`Detector::shard_candidates`].
+    fn shard_merge(&self) -> Option<ShardMerge> {
+        None
+    }
+
+    /// Per-sample top-k candidates for cross-shard score merging, ids
+    /// local to this detector's exemplar set. Only meaningful when
+    /// [`Detector::shard_merge`] is `Some`; the default returns no
+    /// candidates.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called before a successful
+    /// [`Detector::fit`].
+    fn shard_candidates(&self, test: &EmbeddingView) -> Vec<Vec<ShardCandidate>> {
+        let _ = test;
+        Vec::new()
+    }
+
+    /// Whether a sample with this supervision label enters the
+    /// method's exemplar index (and therefore needs shard routing on
+    /// append). Retrieval indexes malicious rows only; vanilla kNN
+    /// indexes everything. Only meaningful when
+    /// [`Detector::shard_merge`] is `Some`.
+    fn indexes_label(&self, label: bool) -> bool {
+        let _ = label;
+        true
     }
 
     /// Concrete-type escape hatch so snapshot capture
@@ -539,6 +572,21 @@ impl Detector for RetrievalMethod {
         Ok(true)
     }
 
+    fn shard_merge(&self) -> Option<ShardMerge> {
+        Some(ShardMerge::MeanTopK { k: self.k })
+    }
+
+    fn shard_candidates(&self, test: &EmbeddingView) -> Vec<Vec<ShardCandidate>> {
+        self.fitted
+            .as_ref()
+            .expect("RetrievalMethod must be fitted before scoring")
+            .candidates(test.matrix())
+    }
+
+    fn indexes_label(&self, label: bool) -> bool {
+        label
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -631,6 +679,17 @@ impl Detector for VanillaKnnMethod {
             fitted.insert(batch.matrix().row(r), label);
         }
         Ok(true)
+    }
+
+    fn shard_merge(&self) -> Option<ShardMerge> {
+        Some(ShardMerge::MajorityVote { k: self.k })
+    }
+
+    fn shard_candidates(&self, test: &EmbeddingView) -> Vec<Vec<ShardCandidate>> {
+        self.fitted
+            .as_ref()
+            .expect("VanillaKnnMethod must be fitted before scoring")
+            .candidates(test.matrix())
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -36,12 +36,105 @@ fn build_index(config: IndexConfig, data: Matrix, norms: Option<Vec<f32>>) -> Bo
 }
 
 /// Recovers the [`IndexConfig`] a live index was built with (exact
-/// scan, or HNSW with its actual parameters).
+/// scan, HNSW with its actual parameters, or a sharded partition with
+/// its shape).
 fn config_of(index: &dyn VectorIndex) -> IndexConfig {
-    match index.as_any().downcast_ref::<index::HnswIndex>() {
-        Some(hnsw) => IndexConfig::Hnsw(*hnsw.params()),
-        None => IndexConfig::Exact,
+    if let Some(hnsw) = index.as_any().downcast_ref::<index::HnswIndex>() {
+        return IndexConfig::Hnsw(*hnsw.params());
     }
+    if let Some(sharded) = index.as_any().downcast_ref::<index::ShardedIndex>() {
+        return IndexConfig::Sharded(*sharded.params());
+    }
+    IndexConfig::Exact
+}
+
+/// One exemplar candidate a shard contributes to a cross-shard merged
+/// verdict: the neighbour's id (global, when a router maps it), its
+/// similarity to the query, and the supervision label the scoring
+/// rule weighs (always `true` for retrieval, which indexes malicious
+/// exemplars only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardCandidate {
+    /// Candidate id in the method's exemplar space.
+    pub id: usize,
+    /// Cosine similarity to the query.
+    pub similarity: f32,
+    /// Supervision label of the candidate.
+    pub label: bool,
+}
+
+impl ShardCandidate {
+    /// The candidate as a bare neighbour — how it enters the shared
+    /// `(similarity desc, id asc)` total order.
+    fn as_neighbour(&self) -> Neighbor {
+        Neighbor {
+            id: self.id,
+            similarity: self.similarity,
+        }
+    }
+}
+
+/// How a shard router folds per-shard [`ShardCandidate`] lists into
+/// one method score. Each variant replicates its method's scoring
+/// rule term for term, so a merge over exact shards is bit-identical
+/// to the unsharded detector (the serve-layer parity suites pin
+/// this).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShardMerge {
+    /// Mean similarity of the merged top-k — [`RetrievalDetector`]'s
+    /// rule.
+    MeanTopK {
+        /// Neighbours averaged per score.
+        k: usize,
+    },
+    /// Similarity-weighted majority vote over the merged top-k —
+    /// [`VanillaKnn`]'s rule.
+    MajorityVote {
+        /// Neighbours voted over.
+        k: usize,
+    },
+}
+
+impl ShardMerge {
+    /// The neighbour count the merged list must be cut to.
+    pub fn k(&self) -> usize {
+        match self {
+            ShardMerge::MeanTopK { k } | ShardMerge::MajorityVote { k } => *k,
+        }
+    }
+
+    /// Scores one sample from its globally merged candidate list
+    /// (sorted by descending similarity, ids ascending on ties).
+    pub fn score(&self, merged: &[ShardCandidate]) -> f32 {
+        match self {
+            // Mirrors `mean_similarity`: summed in sorted order.
+            ShardMerge::MeanTopK { .. } => {
+                merged.iter().map(|c| c.similarity).sum::<f32>() / merged.len() as f32
+            }
+            // Mirrors `VanillaKnn::score_neighbours`.
+            ShardMerge::MajorityVote { .. } => {
+                let k = merged.len();
+                let malicious: Vec<&ShardCandidate> = merged.iter().filter(|c| c.label).collect();
+                if malicious.len() * 2 > k {
+                    malicious.iter().map(|c| c.similarity).sum::<f32>() / malicious.len() as f32
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// K-way merge of per-shard candidate lists (each sorted by descending
+/// similarity, ids ascending on ties) into the global top-k — the same
+/// generic merge and the same [`index::neighbour_cmp`] total order the
+/// index layer's [`index::merge_shard_topk`] uses, so the two merge
+/// paths cannot drift apart and merged exact shards reproduce the
+/// unsharded scan's candidate order exactly.
+pub fn merge_shard_candidates(lists: &[&[ShardCandidate]], k: usize) -> Vec<ShardCandidate> {
+    index::merge_sorted_topk(lists, k, |a, b| {
+        index::neighbour_cmp(&a.as_neighbour(), &b.as_neighbour())
+    })
 }
 
 /// The paper's malicious-neighbour retrieval scorer.
@@ -156,6 +249,26 @@ impl RetrievalDetector {
             .query_batch(data, self.k)
             .iter()
             .map(|n| mean_similarity(n))
+            .collect()
+    }
+
+    /// Per-row top-k candidates for cross-shard merging (ids are local
+    /// to this detector's exemplar set; a router maps them to global
+    /// ids). Retrieval indexes malicious exemplars only, so every
+    /// candidate's label is `true`.
+    pub fn candidates(&self, data: &Matrix) -> Vec<Vec<ShardCandidate>> {
+        self.index
+            .query_batch(data, self.k)
+            .into_iter()
+            .map(|ns| {
+                ns.into_iter()
+                    .map(|n| ShardCandidate {
+                        id: n.id,
+                        similarity: n.similarity,
+                        label: true,
+                    })
+                    .collect()
+            })
             .collect()
     }
 }
@@ -277,6 +390,24 @@ impl VanillaKnn {
             .query_batch(data, self.k)
             .iter()
             .map(|n| self.score_neighbours(n))
+            .collect()
+    }
+
+    /// Per-row top-k candidates for cross-shard merging, each carrying
+    /// its supervision label (ids are local to this detector's index).
+    pub fn candidates(&self, data: &Matrix) -> Vec<Vec<ShardCandidate>> {
+        self.index
+            .query_batch(data, self.k)
+            .into_iter()
+            .map(|ns| {
+                ns.into_iter()
+                    .map(|n| ShardCandidate {
+                        id: n.id,
+                        similarity: n.similarity,
+                        label: self.labels[n.id],
+                    })
+                    .collect()
+            })
             .collect()
     }
 }

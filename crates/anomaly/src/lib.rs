@@ -33,8 +33,10 @@ pub use detector::{
     PcaMethod, Pooling, RetrievalMethod, VanillaKnnMethod,
 };
 pub use iforest::IsolationForest;
-pub use index::{HnswParams, IndexConfig, Neighbor, VectorIndex};
-pub use knn::{RetrievalDetector, VanillaKnn};
+pub use index::{
+    shard_for_row, HnswParams, IndexConfig, Neighbor, ShardBackend, ShardedParams, VectorIndex,
+};
+pub use knn::{merge_shard_candidates, RetrievalDetector, ShardCandidate, ShardMerge, VanillaKnn};
 pub use ocsvm::OneClassSvm;
 pub use pca::PcaDetector;
-pub use state::DetectorState;
+pub use state::{DetectorState, ShardedDetectorState};

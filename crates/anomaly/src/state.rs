@@ -13,7 +13,8 @@
 use crate::detector::Detector;
 use crate::{RetrievalDetector, RetrievalMethod, VanillaKnn, VanillaKnnMethod};
 use index::persist::{ByteReader, ByteWriter, PersistError};
-use index::IndexSnapshot;
+use index::{IndexSnapshot, ShardBackend, ShardedParams};
+use linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
 const TAG_RETRIEVAL: u8 = 0;
@@ -21,8 +22,27 @@ const TAG_VANILLA_KNN: u8 = 1;
 
 /// Candidate-row count of a decoded index snapshot.
 fn index_rows(index: &IndexSnapshot) -> usize {
-    match index {
-        IndexSnapshot::Exact { data, .. } | IndexSnapshot::Hnsw { data, .. } => data.rows(),
+    index.rows()
+}
+
+/// An empty index snapshot of the given backend shape — the frame a
+/// shard that holds no rows (yet) contributes to a sharded manifest.
+fn empty_snapshot(backend: ShardBackend, dim: usize) -> IndexSnapshot {
+    match backend {
+        ShardBackend::Exact => IndexSnapshot::Exact {
+            data: Matrix::zeros(0, dim),
+            norms: Vec::new(),
+        },
+        ShardBackend::Hnsw(params) => IndexSnapshot::Hnsw {
+            data: Matrix::zeros(0, dim),
+            norms: Vec::new(),
+            params,
+            links: Vec::new(),
+            entry: 0,
+            top_level: 0,
+            tombstone: Vec::new(),
+            draws: 0,
+        },
     }
 }
 
@@ -108,6 +128,77 @@ impl DetectorState {
         }
     }
 
+    /// Splits a sharded-fitted neighbour state into per-shard
+    /// sub-states — the distribution step of `serve::ShardRouter`:
+    /// each shard's worker pool restores its own sub-state (adopting
+    /// saved HNSW graphs, zero construction passes) and serves its
+    /// partition independently.
+    ///
+    /// Returns `Err(self)` unchanged (boxed — the state can hold whole
+    /// index graphs) when the state's index is not sharded (fit with
+    /// `IndexConfig::with_shards(n)` first).
+    pub fn split_shards(self) -> Result<ShardedDetectorState, Box<DetectorState>> {
+        match self {
+            DetectorState::Retrieval {
+                k,
+                index:
+                    IndexSnapshot::Sharded {
+                        params,
+                        dim,
+                        shards,
+                        globals,
+                    },
+            } => {
+                let states = shards
+                    .into_iter()
+                    .map(|sub| {
+                        (sub.rows() > 0).then_some(DetectorState::Retrieval { k, index: sub })
+                    })
+                    .collect();
+                Ok(ShardedDetectorState {
+                    name: "retrieval",
+                    k,
+                    params,
+                    dim,
+                    states,
+                    globals,
+                })
+            }
+            DetectorState::VanillaKnn {
+                k,
+                labels,
+                index:
+                    IndexSnapshot::Sharded {
+                        params,
+                        dim,
+                        shards,
+                        globals,
+                    },
+            } => {
+                let states = shards
+                    .into_iter()
+                    .zip(&globals)
+                    .map(|(sub, map)| {
+                        (sub.rows() > 0).then(|| DetectorState::VanillaKnn {
+                            k,
+                            labels: map.iter().map(|&g| labels[g]).collect(),
+                            index: sub,
+                        })
+                    })
+                    .collect();
+                Ok(ShardedDetectorState {
+                    name: "vanilla-knn",
+                    k,
+                    params,
+                    dim,
+                    states,
+                    globals,
+                })
+            }
+            other => Err(Box::new(other)),
+        }
+    }
+
     /// Reads a state written by [`DetectorState::write`].
     pub fn read(r: &mut ByteReader<'_>) -> Result<DetectorState, PersistError> {
         match r.get_u8()? {
@@ -145,12 +236,88 @@ impl DetectorState {
     }
 }
 
+/// A neighbour detector's fitted state, split per shard — the unit a
+/// shard router distributes across worker pools and reassembles for
+/// snapshots ([`ShardedDetectorState::merge`] is the exact inverse of
+/// [`DetectorState::split_shards`]).
+#[derive(Debug, Clone)]
+pub struct ShardedDetectorState {
+    /// Method name the states restore to (`"retrieval"` /
+    /// `"vanilla-knn"`).
+    pub name: &'static str,
+    /// Neighbour count of the method.
+    pub k: usize,
+    /// Partition shape (shard count, partitioner seed, backend).
+    pub params: ShardedParams,
+    /// Embedding dimensionality (needed to frame empty shards).
+    pub dim: usize,
+    /// One sub-state per shard; `None` for shards holding no rows.
+    pub states: Vec<Option<DetectorState>>,
+    /// Per-shard local→global id maps.
+    pub globals: Vec<Vec<usize>>,
+}
+
+impl ShardedDetectorState {
+    /// Reassembles the combined [`DetectorState`] (a sharded manifest
+    /// plus N shard frames) from the per-shard states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sub-state's method disagrees with `name`, or map
+    /// and state shapes disagree — these are programming errors in the
+    /// router, not decode-time corruption.
+    pub fn merge(self) -> DetectorState {
+        assert_eq!(self.states.len(), self.params.shards, "one state per shard");
+        assert_eq!(self.globals.len(), self.params.shards, "one map per shard");
+        let total: usize = self.globals.iter().map(Vec::len).sum();
+        let mut labels_global = vec![false; total];
+        let mut shards = Vec::with_capacity(self.states.len());
+        for (state, map) in self.states.into_iter().zip(&self.globals) {
+            match state {
+                None => {
+                    assert!(map.is_empty(), "empty shard with a non-empty id map");
+                    shards.push(empty_snapshot(self.params.backend, self.dim));
+                }
+                Some(DetectorState::Retrieval { k, index }) => {
+                    assert_eq!(self.name, "retrieval", "sub-state method mismatch");
+                    assert_eq!(k, self.k, "sub-state k mismatch");
+                    assert_eq!(index.rows(), map.len(), "id map length != shard rows");
+                    shards.push(index);
+                }
+                Some(DetectorState::VanillaKnn { k, labels, index }) => {
+                    assert_eq!(self.name, "vanilla-knn", "sub-state method mismatch");
+                    assert_eq!(k, self.k, "sub-state k mismatch");
+                    assert_eq!(index.rows(), map.len(), "id map length != shard rows");
+                    for (&g, &l) in map.iter().zip(&labels) {
+                        labels_global[g] = l;
+                    }
+                    shards.push(index);
+                }
+            }
+        }
+        let index = IndexSnapshot::Sharded {
+            params: self.params,
+            dim: self.dim,
+            shards,
+            globals: self.globals,
+        };
+        if self.name == "vanilla-knn" {
+            DetectorState::VanillaKnn {
+                k: self.k,
+                labels: labels_global,
+                index,
+            }
+        } else {
+            DetectorState::Retrieval { k: self.k, index }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{EmbeddingView, PcaMethod};
     use index::IndexConfig;
-    use linalg::Matrix;
 
     fn toy() -> (EmbeddingView, Vec<bool>) {
         let rows: Vec<Vec<f32>> = vec![
@@ -194,6 +361,58 @@ mod tests {
     fn unfitted_and_unsupported_detectors_are_not_capturable() {
         assert!(DetectorState::capture(&RetrievalMethod::new(1)).is_none());
         assert!(DetectorState::capture(&PcaMethod::new(0.95)).is_none());
+    }
+
+    #[test]
+    fn sharded_states_round_trip_and_split_merge_is_lossless() {
+        let (view, labels) = toy();
+        for config in [
+            IndexConfig::Exact.with_shards(3),
+            IndexConfig::hnsw().with_shards(3),
+        ] {
+            let mut dets: Vec<Box<dyn Detector>> = vec![
+                Box::new(RetrievalMethod::with_index(1, config)),
+                Box::new(VanillaKnnMethod::with_index(3, config)),
+            ];
+            for det in &mut dets {
+                det.fit(&view, &labels).unwrap();
+                let want = det.score_batch(&view);
+                let state = DetectorState::capture(det.as_ref()).expect("snapshot-capable");
+
+                // Codec round trip of the sharded frame.
+                let mut w = ByteWriter::new();
+                state.write(&mut w);
+                let bytes = w.into_bytes();
+                let restored = DetectorState::read(&mut ByteReader::new(&bytes))
+                    .unwrap()
+                    .restore();
+                assert_eq!(restored.score_batch(&view), want, "{}", det.name());
+
+                // Split → merge is the identity on scores: the router's
+                // distribution and snapshot-reassembly paths cannot
+                // drift from the resident state.
+                let split = DetectorState::read(&mut ByteReader::new(&bytes))
+                    .unwrap()
+                    .split_shards()
+                    .expect("sharded state splits");
+                assert_eq!(split.params.shards, 3);
+                assert_eq!(
+                    split.states.iter().flatten().count(),
+                    split.globals.iter().filter(|m| !m.is_empty()).count()
+                );
+                let remerged = split.merge().restore();
+                assert_eq!(remerged.score_batch(&view), want, "{}", det.name());
+            }
+        }
+    }
+
+    #[test]
+    fn unsharded_states_refuse_to_split() {
+        let (view, labels) = toy();
+        let mut det = RetrievalMethod::new(1);
+        det.fit(&view, &labels).unwrap();
+        let state = DetectorState::capture(&det).unwrap();
+        assert!(state.split_shards().is_err());
     }
 
     #[test]

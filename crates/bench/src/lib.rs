@@ -171,7 +171,10 @@ pub struct Args {
     /// Independent runs to aggregate (Table I reports five).
     pub runs: usize,
     /// Vector-index backend for the neighbour-based methods
-    /// (`--index exact|hnsw`; exact is the paper-faithful default).
+    /// (`--index exact|hnsw`, optionally partitioned via `--shards N`;
+    /// unsharded exact is the paper-faithful default). After parsing
+    /// this is the *combined* config — `--shards 4 --index hnsw`
+    /// yields a 4-way sharded HNSW partition.
     pub index: IndexConfig,
     /// After the offline tables, replay the test stream through the
     /// long-lived scoring service and report streamed-vs-batch parity
@@ -209,12 +212,14 @@ impl Args {
 
     fn parse_impl(allow_serve: bool) -> Self {
         let mut args = Args::default();
+        let mut shards = 1usize;
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         let usage = move || {
             let serve = if allow_serve { " [--serve]" } else { "" };
             eprintln!(
-                "usage: {} [--seed N] [--train N] [--test N] [--runs N] [--index exact|hnsw]{serve}",
+                "usage: {} [--seed N] [--train N] [--test N] [--runs N] \
+                 [--index exact|hnsw] [--shards N]{serve}",
                 std::env::args().next().unwrap_or_default()
             );
             std::process::exit(2)
@@ -243,10 +248,15 @@ impl Args {
                 ("--train", Some(v)) => args.train_size = v as usize,
                 ("--test", Some(v)) => args.test_size = v as usize,
                 ("--runs", Some(v)) => args.runs = (v as usize).max(1),
+                ("--shards", Some(v)) => shards = (v as usize).max(1),
                 _ => usage(),
             }
             i += 2;
         }
+        // Fold the partition count into the backend choice, order of
+        // flags notwithstanding: every consumer of `args.index` gets
+        // the sharded config for free.
+        args.index = args.index.with_shards(shards);
         args
     }
 

@@ -61,9 +61,19 @@ impl<'e> MethodSuite<'e> {
     /// Selects the vector-index backend for every neighbour-based
     /// method in this run (retrieval, vanilla kNN): exact for
     /// paper-faithful, bit-reproducible scores; HNSW for sublinear
-    /// approximate search at scale.
+    /// approximate search at scale; either `.with_shards(n)`-wrapped
+    /// for a partitioned exemplar set.
     pub fn with_index(mut self, config: IndexConfig) -> Self {
         self.engine = self.engine.with_index_config(config);
+        self
+    }
+
+    /// Partitions every neighbour-based method's exemplar index across
+    /// `shards` sub-indexes on top of the configured backend (the
+    /// `--shards` CLI knob; sharded-exact stays bit-identical to
+    /// exact).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.engine = self.engine.with_shards(shards);
         self
     }
 

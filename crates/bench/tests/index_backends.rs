@@ -96,6 +96,42 @@ fn exact_backend_scores_are_bit_identical_to_brute_force() {
 }
 
 #[test]
+fn sharded_exact_backend_is_bit_identical_to_brute_force() {
+    // The shard-aware stack's tier-1 parity pin: a 4-way exact
+    // partition, fan-out, and k-way merge must reproduce the
+    // pre-index brute-force scores bit-for-bit end to end — not
+    // merely approximately.
+    let exp = tiny_experiment();
+    let suite = MethodSuite::new(&exp)
+        .with_shards(4)
+        .with_retrieval(1)
+        .with_vanilla_knn(3)
+        .run()
+        .expect("sharded-exact suite runs");
+
+    let store = EmbeddingStore::new(&exp.pipeline);
+    let train_lines = exp.train_lines();
+    let labels = exp.train_labels();
+    let dedup = exp.deduped_test();
+    let test_lines: Vec<&str> = dedup.iter().map(|r| r.line.as_str()).collect();
+    let train = store.view(&train_lines, Pooling::Mean);
+    let test = store.view(&test_lines, Pooling::Mean);
+
+    let want_retrieval = brute_force_retrieval(train.matrix(), &labels, 1, test.matrix());
+    let want_vanilla = brute_force_vanilla(train.matrix(), &labels, 3, test.matrix());
+    assert_eq!(
+        suite.scores("retrieval").expect("registered"),
+        &want_retrieval[..],
+        "sharded-exact retrieval must be bit-identical to the pre-index scan"
+    );
+    assert_eq!(
+        suite.scores("vanilla-knn").expect("registered"),
+        &want_vanilla[..],
+        "sharded-exact vanilla kNN must be bit-identical to the pre-index scan"
+    );
+}
+
+#[test]
 fn hnsw_backend_tracks_exact_at_experiment_scale() {
     let exp = tiny_experiment();
     let exact = MethodSuite::new(&exp)

@@ -44,8 +44,11 @@
 mod methods;
 mod store;
 
-pub use anomaly::{Detector, DetectorError, DetectorState, EmbeddingView, Pooling};
-pub use index::{HnswParams, IndexConfig};
+pub use anomaly::{
+    merge_shard_candidates, Detector, DetectorError, DetectorState, EmbeddingView, Pooling,
+    ShardCandidate, ShardMerge, ShardedDetectorState,
+};
+pub use index::{HnswParams, IndexConfig, ShardBackend, ShardedParams};
 pub use methods::{
     subsample_labeled, window_dedup_indices, ClassificationMethod, MultiLineMethod,
     ReconstructionMethod,
@@ -135,6 +138,18 @@ impl ScoringEngine {
     /// The run-wide index backend override, if any.
     pub fn index_config(&self) -> Option<IndexConfig> {
         self.index_config
+    }
+
+    /// Partitions every neighbour-based detector's exemplar index
+    /// across `shards` sub-indexes (seeded content-stable hash; see
+    /// `index::ShardedIndex`). Applies on top of whatever backend is
+    /// configured — exact by default — and `shards <= 1` keeps the
+    /// plain backend. Sharded-exact runs stay score-bit-identical to
+    /// unsharded exact.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        let base = self.index_config.unwrap_or_default();
+        self.index_config = Some(base.with_shards(shards));
+        self
     }
 
     /// Names of the registered detectors, in registration order.
@@ -250,6 +265,13 @@ impl FittedEngine {
     /// The fitted detectors, in registration order.
     pub fn detectors(&self) -> &[Box<dyn Detector>] {
         &self.detectors
+    }
+
+    /// Consumes the engine into its fitted detectors (registration
+    /// order) — the serving router takes ownership to split
+    /// sharded-fitted neighbour detectors across its worker pools.
+    pub fn into_detectors(self) -> Vec<Box<dyn Detector>> {
+        self.detectors
     }
 
     /// Whether any fitted detector reads embedding matrices.
@@ -502,6 +524,30 @@ mod tests {
         // the config reached both neighbour-based detectors.
         assert_eq!(exact.scores("retrieval"), approx.scores("retrieval"));
         assert_eq!(exact.scores("vanilla-knn"), approx.scores("vanilla-knn"));
+    }
+
+    #[test]
+    fn sharded_exact_run_is_bit_identical_to_unsharded() {
+        let (train, labels, test) = toy_views();
+        let exact = ScoringEngine::new()
+            .register(Box::new(RetrievalMethod::new(2)))
+            .register(Box::new(VanillaKnnMethod::new(3)))
+            .run(&train, &labels, &test)
+            .expect("exact run");
+        let engine = ScoringEngine::new()
+            .with_shards(3)
+            .register(Box::new(RetrievalMethod::new(2)))
+            .register(Box::new(VanillaKnnMethod::new(3)));
+        assert_eq!(
+            engine.index_config(),
+            Some(IndexConfig::Exact.with_shards(3))
+        );
+        let sharded = engine.run(&train, &labels, &test).expect("sharded run");
+        // Not merely close — bit-identical: the sharded exact
+        // partition merges candidates under the exact scan's own
+        // total order.
+        assert_eq!(exact.scores("retrieval"), sharded.scores("retrieval"));
+        assert_eq!(exact.scores("vanilla-knn"), sharded.scores("vanilla-knn"));
     }
 
     #[test]

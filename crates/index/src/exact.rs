@@ -74,19 +74,14 @@ impl VectorIndex for ExactIndex {
                 similarity: cosine_with_norms(self.data.row(r), self.norms[r], query, nq),
             })
             .collect();
-        // (similarity desc, id asc) is a total order, and it is exactly
-        // the order the historical stable descending sort produced
-        // (stable ⇒ ties keep ascending row order). Selecting the top
-        // k under it and sorting just those k therefore stays
-        // bit-identical to the historical full-scan detectors while
-        // the serving hot path drops from O(n log n) to O(n + k log k)
-        // per query.
-        let by_sim_then_id = |a: &Neighbor, b: &Neighbor| {
-            b.similarity
-                .partial_cmp(&a.similarity)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.id.cmp(&b.id))
-        };
+        // `neighbour_cmp` — (similarity desc, id asc) — is a total
+        // order, and it is exactly the order the historical stable
+        // descending sort produced (stable ⇒ ties keep ascending row
+        // order). Selecting the top k under it and sorting just those
+        // k therefore stays bit-identical to the historical full-scan
+        // detectors while the serving hot path drops from O(n log n)
+        // to O(n + k log k) per query.
+        let by_sim_then_id = crate::neighbour_cmp;
         if k > 0 && k < n {
             sims.select_nth_unstable_by(k - 1, by_sim_then_id);
             sims.truncate(k);

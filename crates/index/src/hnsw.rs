@@ -725,6 +725,79 @@ mod tests {
     }
 
     #[test]
+    fn removing_every_node_then_compacting_leaves_a_working_empty_index() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let data = randn(&mut rng, 30, 5, 1.0);
+        // Ratio 1.0: tombstones accumulate without compacting until the
+        // last removal empties the index.
+        let params = HnswParams::default().with_compact_ratio(1.0);
+        let mut idx = HnswIndex::build(data.clone(), params);
+        for id in 0..29 {
+            assert_eq!(idx.remove(id), Some(Vec::new()), "id {id}");
+        }
+        let remap = idx.remove(29).expect("last removal compacts");
+        assert_eq!(remap.len(), 30);
+        assert!(remap.iter().all(Option::is_none));
+        assert_eq!(idx.len(), 0);
+        assert_eq!(idx.live(), 0);
+        assert_eq!(idx.tombstones(), 0);
+        assert!(idx.query(data.row(0), 3).is_empty());
+        // A second compaction of the empty index is a no-op.
+        assert!(idx.compact().is_empty());
+
+        // Inserts into the emptied index assign fresh dense ids from 0
+        // and the graph answers again.
+        for r in 0..5 {
+            assert_eq!(idx.insert(data.row(r)), r);
+        }
+        assert_eq!(idx.len(), 5);
+        let top = idx.query(data.row(2), 1);
+        assert_eq!(top[0].id, 2);
+        assert!((top[0].similarity - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn insert_after_compaction_never_reuses_a_tombstoned_slot() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let data = randn(&mut rng, 40, 5, 1.0);
+        let params = HnswParams::default().with_compact_ratio(0.9);
+        let mut idx = HnswIndex::build(data.clone(), params);
+        for id in [1, 5, 9] {
+            idx.remove(id);
+        }
+        // Tombstones present, no compaction yet: a new insert must get
+        // a fresh id past the end, not a recycled dead slot.
+        let fresh = idx.insert(data.row(0));
+        assert_eq!(fresh, 40);
+        assert!(!idx.query(data.row(0), 40).iter().any(|n| n.id == 1));
+
+        let remap = idx.compact();
+        assert_eq!(idx.tombstones(), 0);
+        assert_eq!(idx.len(), 38);
+        // Post-compaction ids are a fresh dense space; the next insert
+        // extends it.
+        assert_eq!(idx.insert(data.row(3)), 38);
+        let got = idx.query(data.row(3), 2);
+        assert_eq!(got[0].similarity, 1.0);
+        // Every surviving id answers queries inside the new bounds.
+        for n in idx.query(data.row(7), 39) {
+            assert!(n.id < idx.len());
+        }
+        assert_eq!(remap.len(), 41);
+    }
+
+    #[test]
+    fn empty_build_accepts_inserts_and_queries() {
+        let mut idx = HnswIndex::build(Matrix::zeros(0, 3), HnswParams::default());
+        assert!(idx.is_empty());
+        assert!(idx.query(&[1.0, 0.0, 0.0], 2).is_empty());
+        assert_eq!(idx.insert(&[1.0, 0.0, 0.0]), 0);
+        assert_eq!(idx.insert(&[0.0, 1.0, 0.0]), 1);
+        let top = idx.query(&[0.9, 0.1, 0.0], 1);
+        assert_eq!(top[0].id, 0);
+    }
+
+    #[test]
     fn link_budgets_are_respected() {
         let mut rng = StdRng::seed_from_u64(23);
         let data = randn(&mut rng, 300, 8, 1.0);

@@ -27,10 +27,15 @@
 mod exact;
 mod hnsw;
 pub mod persist;
+mod sharded;
 
 pub use exact::ExactIndex;
 pub use hnsw::{construction_passes, HnswIndex, HnswParams};
 pub use persist::IndexSnapshot;
+pub use sharded::{
+    merge_shard_topk, merge_sorted_topk, shard_for_row, ShardBackend, ShardedIndex, ShardedParams,
+    DEFAULT_SHARD_SEED,
+};
 
 use linalg::Matrix;
 
@@ -98,6 +103,19 @@ pub trait VectorIndex: Send + Sync + std::fmt::Debug {
     fn as_any(&self) -> &dyn std::any::Any;
 }
 
+/// The total order every backend ranks neighbours by: similarity
+/// descending, then id ascending. It is exactly the order the
+/// historical stable descending sort produced (stable ⇒ ties keep
+/// ascending row order), which is what keeps the exact backend — and
+/// any merge of exact partitions — bit-identical to the pre-index
+/// detectors.
+pub fn neighbour_cmp(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
+    b.similarity
+        .partial_cmp(&a.similarity)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then_with(|| a.id.cmp(&b.id))
+}
+
 /// Minimum query rows each batch worker should own: batches smaller
 /// than two workers' worth run inline rather than paying thread
 /// spawns.
@@ -143,7 +161,10 @@ pub fn query_rows_parallel<I: VectorIndex + ?Sized>(
 ///
 /// `Exact` is the default everywhere: it reproduces the paper's
 /// brute-force scores bit-for-bit. `Hnsw` trades exactness for
-/// sublinear queries; see [`HnswParams`] for the knobs.
+/// sublinear queries; see [`HnswParams`] for the knobs. `Sharded`
+/// partitions either backend across N sub-indexes behind a seeded
+/// content-stable hash ([`ShardedIndex`]) — sharded-exact stays
+/// bit-identical to `Exact`.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum IndexConfig {
     /// Brute-force scan; bit-identical to the historical detectors.
@@ -151,12 +172,43 @@ pub enum IndexConfig {
     Exact,
     /// Approximate HNSW graph search with the given parameters.
     Hnsw(HnswParams),
+    /// A deterministic partition of N backends (see [`ShardedIndex`]).
+    Sharded(ShardedParams),
 }
 
 impl IndexConfig {
     /// The HNSW backend with default parameters.
     pub fn hnsw() -> Self {
         IndexConfig::Hnsw(HnswParams::default())
+    }
+
+    /// This backend partitioned across `shards` sub-indexes (the
+    /// `--shards` CLI knob). `shards <= 1` unwraps back to the plain
+    /// backend, so `config.with_shards(1)` is always the unsharded
+    /// config.
+    pub fn with_shards(self, shards: usize) -> Self {
+        let (backend, seed) = match self {
+            IndexConfig::Exact => (ShardBackend::Exact, DEFAULT_SHARD_SEED),
+            IndexConfig::Hnsw(p) => (ShardBackend::Hnsw(p), DEFAULT_SHARD_SEED),
+            IndexConfig::Sharded(p) => (p.backend, p.seed),
+        };
+        if shards <= 1 {
+            return backend.config();
+        }
+        IndexConfig::Sharded(ShardedParams {
+            shards,
+            seed,
+            backend,
+        })
+    }
+
+    /// How many partitions this config builds (1 for the unsharded
+    /// backends).
+    pub fn shards(&self) -> usize {
+        match self {
+            IndexConfig::Sharded(p) => p.shards,
+            _ => 1,
+        }
     }
 
     /// Builds the configured backend over `data`, deriving candidate
@@ -177,14 +229,22 @@ impl IndexConfig {
         match self {
             IndexConfig::Exact => Box::new(ExactIndex::build_with_norms(data, norms)),
             IndexConfig::Hnsw(params) => Box::new(HnswIndex::build_with_norms(data, norms, params)),
+            IndexConfig::Sharded(params) => {
+                Box::new(ShardedIndex::build_with_norms(data, norms, params))
+            }
         }
     }
 
-    /// Short stable name for reporting (`"exact"` / `"hnsw"`).
+    /// Short stable name for reporting (`"exact"` / `"hnsw"` /
+    /// `"sharded-exact"` / `"sharded-hnsw"`).
     pub fn name(&self) -> &'static str {
         match self {
             IndexConfig::Exact => "exact",
             IndexConfig::Hnsw(_) => "hnsw",
+            IndexConfig::Sharded(p) => match p.backend {
+                ShardBackend::Exact => "sharded-exact",
+                ShardBackend::Hnsw(_) => "sharded-hnsw",
+            },
         }
     }
 }
@@ -235,6 +295,27 @@ mod tests {
         assert_eq!("exact".parse::<IndexConfig>().unwrap(), IndexConfig::Exact);
         assert_eq!("hnsw".parse::<IndexConfig>().unwrap(), IndexConfig::hnsw());
         assert!("annoy".parse::<IndexConfig>().is_err());
+    }
+
+    #[test]
+    fn with_shards_wraps_and_unwraps_backends() {
+        let sharded = IndexConfig::Exact.with_shards(4);
+        assert_eq!(sharded.shards(), 4);
+        assert_eq!(sharded.name(), "sharded-exact");
+        // shards <= 1 unwraps back to the plain backend.
+        assert_eq!(sharded.with_shards(1), IndexConfig::Exact);
+        let hnsw = IndexConfig::hnsw().with_shards(3);
+        assert_eq!(hnsw.name(), "sharded-hnsw");
+        assert_eq!(hnsw.with_shards(0), IndexConfig::hnsw());
+        // Re-wrapping keeps the backend and changes the count.
+        assert_eq!(hnsw.with_shards(5).shards(), 5);
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = randn(&mut rng, 30, 6, 1.0);
+        let idx = sharded.build(data.clone());
+        let exact = IndexConfig::Exact.build(data.clone());
+        assert_eq!(idx.len(), 30);
+        assert_eq!(idx.query(data.row(3), 2), exact.query(data.row(3), 2));
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! derive markers so a future PR swapping in real serde touches only
 //! this module.
 
-use crate::{ExactIndex, HnswIndex, HnswParams, VectorIndex};
+use crate::{
+    ExactIndex, HnswIndex, HnswParams, ShardBackend, ShardedIndex, ShardedParams, VectorIndex,
+};
 use linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -247,6 +249,41 @@ const VERSION: u32 = 1;
 
 const TAG_EXACT: u8 = 0;
 const TAG_HNSW: u8 = 1;
+const TAG_SHARDED: u8 = 2;
+
+const TAG_BACKEND_EXACT: u8 = 0;
+const TAG_BACKEND_HNSW: u8 = 1;
+
+/// Shard counts above this are rejected as corrupt — far beyond any
+/// deployment this repo targets, tight enough to stop a corrupt
+/// prefix from driving huge allocations.
+const MAX_SHARDS: usize = 4096;
+
+/// Appends the HNSW parameter block (shared by standalone HNSW frames
+/// and the sharded manifest's backend field).
+fn write_hnsw_params(w: &mut ByteWriter, params: &HnswParams) {
+    w.put_usize(params.m);
+    w.put_usize(params.ef_construction);
+    w.put_usize(params.ef_search);
+    w.put_u64(params.seed);
+    w.put_f32(params.compact_ratio);
+}
+
+/// Reads a [`write_hnsw_params`] block, validating the invariants the
+/// live index asserts.
+fn read_hnsw_params(r: &mut ByteReader<'_>) -> Result<HnswParams, PersistError> {
+    let params = HnswParams {
+        m: r.get_usize()?,
+        ef_construction: r.get_usize()?,
+        ef_search: r.get_usize()?,
+        seed: r.get_u64()?,
+        compact_ratio: r.get_f32()?,
+    };
+    if params.m < 2 {
+        return Err(PersistError::Corrupt("m < 2"));
+    }
+    Ok(params)
+}
 
 /// The serializable state of a built [`VectorIndex`] — everything a
 /// cold-starting service needs to answer queries (and keep inserting,
@@ -259,6 +296,22 @@ pub enum IndexSnapshot {
         data: Matrix,
         /// Build-time candidate norms.
         norms: Vec<f32>,
+    },
+    /// A [`ShardedIndex`]: a manifest (partition shape + per-shard
+    /// global-id maps) plus one nested frame per shard. Restoring
+    /// restores each shard in place — HNSW shards adopt their saved
+    /// graphs, so a sharded cold start is as construction-free as an
+    /// unsharded one.
+    Sharded {
+        /// Partition shape (shard count, partitioner seed, backend).
+        params: ShardedParams,
+        /// Embedding dimensionality (shards may be empty, so it cannot
+        /// always be derived from them).
+        dim: usize,
+        /// One nested snapshot per shard.
+        shards: Vec<IndexSnapshot>,
+        /// `globals[s][local] = global id` for each shard.
+        globals: Vec<Vec<usize>>,
     },
     /// An [`HnswIndex`]: candidates, norms, and the whole graph.
     Hnsw {
@@ -306,6 +359,18 @@ impl IndexSnapshot {
                 draws,
             });
         }
+        if let Some(sharded) = index.as_any().downcast_ref::<ShardedIndex>() {
+            let mut shards = Vec::with_capacity(sharded.shard_count());
+            for shard in sharded.shards() {
+                shards.push(IndexSnapshot::capture(shard.as_ref())?);
+            }
+            return Some(IndexSnapshot::Sharded {
+                params: *sharded.params(),
+                dim: sharded.dim(),
+                shards,
+                globals: sharded.globals().to_vec(),
+            });
+        }
         None
     }
 
@@ -329,14 +394,48 @@ impl IndexSnapshot {
             } => Box::new(HnswIndex::from_parts(
                 data, norms, params, links, entry, top_level, tombstone, draws,
             )),
+            IndexSnapshot::Sharded {
+                params,
+                dim,
+                shards,
+                globals,
+            } => Box::new(ShardedIndex::from_parts(
+                shards.into_iter().map(IndexSnapshot::restore).collect(),
+                globals,
+                params,
+                dim,
+            )),
         }
     }
 
-    /// Short stable backend name (`"exact"` / `"hnsw"`).
+    /// Short stable backend name (`"exact"` / `"hnsw"` /
+    /// `"sharded-exact"` / `"sharded-hnsw"`).
     pub fn backend(&self) -> &'static str {
         match self {
             IndexSnapshot::Exact { .. } => "exact",
             IndexSnapshot::Hnsw { .. } => "hnsw",
+            IndexSnapshot::Sharded { params, .. } => match params.backend {
+                ShardBackend::Exact => "sharded-exact",
+                ShardBackend::Hnsw(_) => "sharded-hnsw",
+            },
+        }
+    }
+
+    /// Candidate-row count of the snapshot (global rows for sharded
+    /// frames).
+    pub fn rows(&self) -> usize {
+        match self {
+            IndexSnapshot::Exact { data, .. } | IndexSnapshot::Hnsw { data, .. } => data.rows(),
+            IndexSnapshot::Sharded { globals, .. } => globals.iter().map(Vec::len).sum(),
+        }
+    }
+
+    /// Embedding dimensionality of the snapshot (even empty matrices
+    /// carry their column count).
+    pub fn dim(&self) -> usize {
+        match self {
+            IndexSnapshot::Exact { data, .. } | IndexSnapshot::Hnsw { data, .. } => data.cols(),
+            IndexSnapshot::Sharded { dim, .. } => *dim,
         }
     }
 
@@ -363,11 +462,7 @@ impl IndexSnapshot {
                 w.put_u8(TAG_HNSW);
                 w.put_matrix(data);
                 w.put_f32s(norms);
-                w.put_usize(params.m);
-                w.put_usize(params.ef_construction);
-                w.put_usize(params.ef_search);
-                w.put_u64(params.seed);
-                w.put_f32(params.compact_ratio);
+                write_hnsw_params(w, params);
                 w.put_usize(links.len());
                 for levels in links {
                     w.put_usize(levels.len());
@@ -379,6 +474,28 @@ impl IndexSnapshot {
                 w.put_usize(*top_level);
                 w.put_bools(tombstone);
                 w.put_u64(*draws);
+            }
+            IndexSnapshot::Sharded {
+                params,
+                dim,
+                shards,
+                globals,
+            } => {
+                w.put_u8(TAG_SHARDED);
+                w.put_usize(params.shards);
+                w.put_u64(params.seed);
+                match params.backend {
+                    ShardBackend::Exact => w.put_u8(TAG_BACKEND_EXACT),
+                    ShardBackend::Hnsw(p) => {
+                        w.put_u8(TAG_BACKEND_HNSW);
+                        write_hnsw_params(w, &p);
+                    }
+                }
+                w.put_usize(*dim);
+                for (shard, map) in shards.iter().zip(globals) {
+                    w.put_usizes(map);
+                    shard.write(w);
+                }
             }
         }
     }
@@ -399,16 +516,7 @@ impl IndexSnapshot {
             TAG_HNSW => {
                 let data = r.get_matrix()?;
                 let norms = r.get_f32s()?;
-                let params = HnswParams {
-                    m: r.get_usize()?,
-                    ef_construction: r.get_usize()?,
-                    ef_search: r.get_usize()?,
-                    seed: r.get_u64()?,
-                    compact_ratio: r.get_f32()?,
-                };
-                if params.m < 2 {
-                    return Err(PersistError::Corrupt("m < 2"));
-                }
+                let params = read_hnsw_params(r)?;
                 let n = data.rows();
                 if norms.len() != n {
                     return Err(PersistError::Corrupt("norm count != row count"));
@@ -481,6 +589,67 @@ impl IndexSnapshot {
                     top_level,
                     tombstone,
                     draws,
+                })
+            }
+            TAG_SHARDED => {
+                let shard_count = r.get_usize()?;
+                if shard_count == 0 || shard_count > MAX_SHARDS {
+                    return Err(PersistError::Corrupt("absurd shard count"));
+                }
+                let seed = r.get_u64()?;
+                let backend = match r.get_u8()? {
+                    TAG_BACKEND_EXACT => ShardBackend::Exact,
+                    TAG_BACKEND_HNSW => ShardBackend::Hnsw(read_hnsw_params(r)?),
+                    tag => return Err(PersistError::BadTag(tag)),
+                };
+                let dim = r.get_usize()?;
+                let mut shards = Vec::with_capacity(shard_count);
+                let mut globals = Vec::with_capacity(shard_count);
+                for _ in 0..shard_count {
+                    let map = r.get_usizes()?;
+                    let shard = IndexSnapshot::read(r)?;
+                    if matches!(shard, IndexSnapshot::Sharded { .. }) {
+                        return Err(PersistError::Corrupt("nested sharded frame"));
+                    }
+                    if shard.rows() != map.len() {
+                        return Err(PersistError::Corrupt("id map length != shard rows"));
+                    }
+                    // The manifest dim is what the restored index
+                    // asserts queries against; a shard frame of
+                    // another width would decode fine and panic at
+                    // the first query instead.
+                    if shard.dim() != dim {
+                        return Err(PersistError::Corrupt("shard dim != manifest dim"));
+                    }
+                    if !map.windows(2).all(|w| w[0] < w[1]) {
+                        return Err(PersistError::Corrupt("per-shard ids not ascending"));
+                    }
+                    shards.push(shard);
+                    globals.push(map);
+                }
+                // The maps must densely cover 0..total: `ShardedIndex`
+                // answers queries by indexing them, so a hole or a
+                // duplicate would decode fine and misattribute (or
+                // panic on) candidates mid-query.
+                let total: usize = globals.iter().map(Vec::len).sum();
+                let mut seen = vec![false; total];
+                for map in &globals {
+                    for &g in map {
+                        if g >= total || seen[g] {
+                            return Err(PersistError::Corrupt("id maps not a dense cover"));
+                        }
+                        seen[g] = true;
+                    }
+                }
+                Ok(IndexSnapshot::Sharded {
+                    params: ShardedParams {
+                        shards: shard_count,
+                        seed,
+                        backend,
+                    },
+                    dim,
+                    shards,
+                    globals,
                 })
             }
             tag => Err(PersistError::BadTag(tag)),
@@ -571,6 +740,50 @@ mod tests {
         }
         let hnsw = restored.as_any().downcast_ref::<HnswIndex>().unwrap();
         assert_eq!(hnsw.links(), live.links());
+    }
+
+    #[test]
+    fn sharded_round_trip_preserves_merged_results_and_skips_construction() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let data = randn(&mut rng, 120, 8, 1.0);
+        for config in [
+            IndexConfig::Exact.with_shards(4),
+            IndexConfig::hnsw().with_shards(4),
+        ] {
+            let mut idx = config.build(data.clone());
+            let bytes = IndexSnapshot::capture(idx.as_ref()).unwrap().to_bytes();
+            let passes = crate::construction_passes();
+            let mut restored = IndexSnapshot::from_bytes(&bytes).unwrap().restore();
+            assert_eq!(
+                crate::construction_passes(),
+                passes,
+                "{}: restore must not rebuild any shard",
+                config.name()
+            );
+            for r in (0..120).step_by(13) {
+                assert_eq!(
+                    idx.query(data.row(r), 5),
+                    restored.query(data.row(r), 5),
+                    "{}",
+                    config.name()
+                );
+            }
+            // The restored partition continues the insert stream
+            // identically: same shard routing, same per-shard RNG
+            // replay point.
+            let extra = randn(&mut rng, 6, 8, 1.0);
+            for r in 0..extra.rows() {
+                assert_eq!(idx.insert(extra.row(r)), restored.insert(extra.row(r)));
+            }
+            for r in 0..extra.rows() {
+                assert_eq!(
+                    idx.query(extra.row(r), 3),
+                    restored.query(extra.row(r), 3),
+                    "{}",
+                    config.name()
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Property tests for the `index::persist` codec: every backend's
+//! snapshot round-trips bit-exactly, and *no* corruption of a valid
+//! frame — truncation, flipped magic, bumped version, or arbitrary
+//! byte damage — may panic. Corrupt input must surface as a typed
+//! [`PersistError`], because a serving cold start reads these frames
+//! from disk where partial writes and bit rot are real.
+
+use index::persist::PersistError;
+use index::{IndexConfig, IndexSnapshot};
+use linalg::rng::randn;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The three persistable backend shapes under test.
+fn config_for(tag: u8, shards: usize) -> IndexConfig {
+    match tag % 3 {
+        0 => IndexConfig::Exact,
+        1 => IndexConfig::hnsw(),
+        _ => IndexConfig::hnsw().with_shards(shards),
+    }
+}
+
+proptest! {
+    /// Round trip: decode(encode(snapshot)) answers every query
+    /// bit-identically to the live index it captured.
+    #[test]
+    fn round_trip_is_bit_exact(
+        seed in 0u64..500,
+        n in 1usize..120,
+        dim in 2usize..16,
+        backend in 0u8..3,
+        shards in 2usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = randn(&mut rng, n, dim, 1.0);
+        let idx = config_for(backend, shards).build(data.clone());
+        let snap = IndexSnapshot::capture(idx.as_ref()).expect("capturable backend");
+        let bytes = snap.to_bytes();
+        let restored = IndexSnapshot::from_bytes(&bytes)
+            .expect("round trip decodes")
+            .restore();
+        prop_assert_eq!(restored.len(), idx.len());
+        prop_assert_eq!(restored.dim(), idx.dim());
+        for r in (0..n).step_by(1 + n / 8) {
+            prop_assert_eq!(restored.query(data.row(r), 3), idx.query(data.row(r), 3));
+        }
+    }
+
+    /// Truncating a valid frame at *any* length errors (almost always
+    /// `Truncated`; never a panic, never a silently short decode).
+    #[test]
+    fn every_truncation_errors_without_panicking(
+        seed in 0u64..200,
+        n in 1usize..40,
+        backend in 0u8..3,
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = randn(&mut rng, n, 6, 1.0);
+        let idx = config_for(backend, 3).build(data);
+        let bytes = IndexSnapshot::capture(idx.as_ref()).unwrap().to_bytes();
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        prop_assert!(cut < bytes.len());
+        prop_assert!(IndexSnapshot::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    /// Arbitrary single-byte damage must never panic: it decodes to a
+    /// typed error, or — when the flipped byte is not load-bearing —
+    /// to some snapshot, but the process survives either way.
+    #[test]
+    fn single_byte_damage_never_panics(
+        seed in 0u64..200,
+        n in 1usize..40,
+        backend in 0u8..3,
+        pos_fraction in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = randn(&mut rng, n, 6, 1.0);
+        let idx = config_for(backend, 3).build(data);
+        let mut bytes = IndexSnapshot::capture(idx.as_ref()).unwrap().to_bytes();
+        let pos = ((bytes.len() as f64) * pos_fraction) as usize % bytes.len();
+        bytes[pos] ^= xor;
+        let _ = IndexSnapshot::from_bytes(&bytes); // must not panic
+    }
+}
+
+#[test]
+fn typed_errors_for_magic_version_and_tag() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let data = randn(&mut rng, 12, 4, 1.0);
+    for config in [
+        IndexConfig::Exact,
+        IndexConfig::hnsw(),
+        IndexConfig::Exact.with_shards(3),
+    ] {
+        let idx = config.build(data.clone());
+        let bytes = IndexSnapshot::capture(idx.as_ref()).unwrap().to_bytes();
+
+        assert_eq!(
+            IndexSnapshot::from_bytes(b"").unwrap_err(),
+            PersistError::Truncated
+        );
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'Z';
+        assert_eq!(
+            IndexSnapshot::from_bytes(&bad_magic).unwrap_err(),
+            PersistError::BadMagic,
+            "{}",
+            config.name()
+        );
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 201;
+        assert_eq!(
+            IndexSnapshot::from_bytes(&bad_version).unwrap_err(),
+            PersistError::UnsupportedVersion(201),
+            "{}",
+            config.name()
+        );
+        let mut bad_tag = bytes.clone();
+        bad_tag[8] = 77; // first payload byte is the backend tag
+        assert_eq!(
+            IndexSnapshot::from_bytes(&bad_tag).unwrap_err(),
+            PersistError::BadTag(77),
+            "{}",
+            config.name()
+        );
+    }
+}
+
+#[test]
+fn sharded_manifest_rejects_a_dim_that_disagrees_with_its_shards() {
+    // A corrupt manifest `dim` must fail decode, not decode fine and
+    // panic at the restored index's first query-width assert.
+    let mut rng = StdRng::seed_from_u64(10);
+    let data = randn(&mut rng, 20, 4, 1.0);
+    let idx = IndexConfig::Exact.with_shards(3).build(data);
+    let snap = IndexSnapshot::capture(idx.as_ref()).unwrap();
+    let IndexSnapshot::Sharded {
+        params,
+        dim,
+        shards,
+        globals,
+    } = snap
+    else {
+        panic!("sharded capture expected");
+    };
+    let corrupt = IndexSnapshot::Sharded {
+        params,
+        dim: dim + 1,
+        shards,
+        globals,
+    };
+    assert!(matches!(
+        IndexSnapshot::from_bytes(&corrupt.to_bytes()),
+        Err(PersistError::Corrupt(_))
+    ));
+}
+
+#[test]
+fn sharded_manifest_rejects_inconsistent_id_maps() {
+    // Hand-corrupt the id maps inside a valid sharded frame: swap two
+    // global ids across shards so each map stays ascending but the
+    // cover gains a duplicate and a hole elsewhere... simplest robust
+    // check: duplicate an id by overwriting another. The reader must
+    // reject rather than decode an index that would misattribute
+    // candidates.
+    let mut rng = StdRng::seed_from_u64(9);
+    let data = randn(&mut rng, 20, 4, 1.0);
+    let idx = IndexConfig::Exact.with_shards(3).build(data);
+    let snap = IndexSnapshot::capture(idx.as_ref()).unwrap();
+    let IndexSnapshot::Sharded {
+        params,
+        dim,
+        shards,
+        mut globals,
+    } = snap
+    else {
+        panic!("sharded capture expected");
+    };
+    // Duplicate global id 0 into another shard's map: each map stays
+    // ascending, but the cover now has a duplicate (and a hole).
+    let other = globals
+        .iter()
+        .position(|m| !m.is_empty() && m.first() != Some(&0))
+        .expect("another shard is non-empty");
+    globals[other][0] = 0;
+    let corrupt = IndexSnapshot::Sharded {
+        params,
+        dim,
+        shards,
+        globals,
+    };
+    let bytes = corrupt.to_bytes();
+    assert!(matches!(
+        IndexSnapshot::from_bytes(&bytes),
+        Err(PersistError::Corrupt(_))
+    ));
+}

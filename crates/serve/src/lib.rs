@@ -27,9 +27,21 @@
 //!   saved graphs without re-running the O(n·ef_construction)
 //!   construction pass (asserted against
 //!   [`index::construction_passes`]).
+//! * **Shard-aware serving** ([`ShardRouter`]) — when the neighbour
+//!   detectors are fitted over a sharded index
+//!   (`IndexConfig::with_shards(n)`), the router splits them into N
+//!   per-shard worker pools behind the same [`ServiceClient`]
+//!   protocol: each micro-batch is embedded once, scattered to every
+//!   shard, and the per-shard top-k candidates are merged back under
+//!   the exact scan's total order — bit-identical to the unsharded
+//!   service on exact shards (`tests/shard_router_parity.rs`), with
+//!   `append` write-locking only the owning shard and snapshots framed
+//!   as a manifest + N shard frames.
 
+mod router;
 mod service;
 mod snapshot;
 
+pub use router::{RouterConfig, ShardRouter};
 pub use service::{ScoringService, ServeConfig, ServeError, ServiceClient, ServiceStats};
 pub use snapshot::{ServiceSnapshot, SnapshotError};

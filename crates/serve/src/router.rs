@@ -1,0 +1,770 @@
+//! The shard router: the scoring front-end for partitioned exemplar
+//! sets.
+//!
+//! A single [`ScoringService`](crate::ScoringService) keeps *one*
+//! resident `FittedEngine`: one index graph per neighbour method, one
+//! engine write lock every `append` serializes through. The router
+//! splits that along the shard axis:
+//!
+//! * **Spawn** takes an engine whose neighbour detectors were fitted
+//!   over a sharded index (`IndexConfig::with_shards(n)`), splits each
+//!   one into its N per-shard sub-detectors
+//!   ([`DetectorState::split_shards`] — saved HNSW graphs are adopted,
+//!   never rebuilt), and parks every other detector (PCA,
+//!   classification, …) in a router-resident engine.
+//! * **Scoring**: front batcher threads coalesce arrivals into
+//!   micro-batches exactly as the single service does (same queue,
+//!   same window logic, same [`ServiceClient`] protocol), embed each
+//!   batch **once** per pooled space, then *scatter* the embedded
+//!   views to every shard's worker pool. Each pool answers with its
+//!   shard's top-k candidates per line per neighbour method; the
+//!   batcher *gathers* the N answers, k-way-merges each line's
+//!   candidates under the exact scan's total order, and folds them
+//!   with the method's own scoring rule ([`ShardMerge`]). Resident
+//!   detectors score on the batcher thread while the shards work.
+//!   Over exact shards the merged verdicts are **bit-identical** to an
+//!   unsharded service (`tests/shard_router_parity.rs`).
+//! * **Append** routes each freshly-labeled exemplar to its owning
+//!   shard (same seeded content hash the index layer partitions by)
+//!   and write-locks only that shard — scoring against every other
+//!   shard proceeds untouched, which is the write-throughput point of
+//!   sharding.
+//! * **Snapshot** reassembles each partitioned method into one
+//!   manifest + N shard frames ([`ShardedDetectorState::merge`]) and
+//!   frames them as an ordinary [`ServiceSnapshot`]; a cold start
+//!   restores every shard graph with zero construction passes and
+//!   [`ShardRouter::spawn`] re-splits without rebuilding
+//!   (`tests/snapshot_cold_start.rs`).
+
+use crate::service::{
+    collect_batch, CloseGate, Counters, PooledViews, Request, ServeConfig, ServeError,
+    ServiceClient, ViewSpec, IDLE_POLL,
+};
+use crate::snapshot::ServiceSnapshot;
+use cmdline_ids::engine::{
+    merge_shard_candidates, Detector, DetectorState, FittedEngine, IndexConfig, ShardCandidate,
+    ShardMerge, ShardedDetectorState, ShardedParams,
+};
+use cmdline_ids::pipeline::IdsPipeline;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use index::shard_for_row;
+use linalg::Matrix;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+use anomaly::{RetrievalDetector, RetrievalMethod, VanillaKnn, VanillaKnnMethod};
+
+/// Knobs for a [`ShardRouter`].
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Number of exemplar shards — must match the shard count the
+    /// neighbour detectors were fitted with
+    /// (`IndexConfig::with_shards`).
+    pub shards: usize,
+    /// Front-end queue and micro-batching knobs; `serve.workers` is
+    /// the number of batcher threads forming and merging micro-batches.
+    pub serve: ServeConfig,
+    /// Worker threads per shard pool draining that shard's scatter
+    /// queue.
+    pub shard_workers: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            shards: 2,
+            serve: ServeConfig::default(),
+            shard_workers: 1,
+        }
+    }
+}
+
+impl RouterConfig {
+    /// A router over `shards` partitions with default serve knobs.
+    pub fn with_shards(shards: usize) -> Self {
+        RouterConfig {
+            shards,
+            ..RouterConfig::default()
+        }
+    }
+
+    /// Rejects shapes that cannot serve (see [`ServeConfig::validate`];
+    /// additionally zero shards or zero shard workers).
+    pub fn validate(&self) -> Result<(), ServeError> {
+        self.serve.validate()?;
+        if self.shards == 0 {
+            return Err(ServeError::InvalidConfig(
+                "shards must be >= 1 (no partition would own any exemplar)".into(),
+            ));
+        }
+        if self.shard_workers == 0 {
+            return Err(ServeError::InvalidConfig(
+                "shard_workers must be >= 1 (nothing would drain the shard queues)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One entry of the verdict-assembly plan, in registration order.
+enum Slot {
+    /// Index into the router-resident engine's detectors.
+    Resident(usize),
+    /// Index into the sharded-method metas.
+    Sharded(usize),
+}
+
+/// Everything the router knows about one partitioned method beyond its
+/// per-shard detectors.
+struct ShardedMethodMeta {
+    /// Registration name (also the restored method's name).
+    name: &'static str,
+    /// The pooled space the method's views come from.
+    spec: ViewSpec,
+    /// How per-shard candidates fold into a score.
+    merge: ShardMerge,
+    /// Neighbour count.
+    k: usize,
+    /// Partition shape (seed + shard count + backend).
+    params: ShardedParams,
+    /// Embedding dimensionality.
+    dim: usize,
+    /// Whether only malicious-labeled rows enter the index (retrieval)
+    /// — the rows that need shard routing on append.
+    malicious_only: bool,
+    /// Next global exemplar id — appends assign ids exactly as the
+    /// unsharded detector would (dense, batch order).
+    next_global: Mutex<usize>,
+}
+
+/// One partitioned method's share of one shard: the sub-detector plus
+/// its local→global id map.
+struct ShardSlot {
+    det: Box<dyn Detector>,
+    globals: Vec<usize>,
+}
+
+/// A shard's mutable state: one optional [`ShardSlot`] per partitioned
+/// method (in meta order); `None` while the shard holds no rows for
+/// that method.
+struct ShardState {
+    methods: Vec<Option<ShardSlot>>,
+}
+
+/// Per-line candidate lists, per partitioned method, from one shard —
+/// ids already mapped to the method's global exemplar space.
+type ShardAnswer = Vec<Vec<Vec<ShardCandidate>>>;
+
+/// One scatter job: the embedded micro-batch, which shard it is for
+/// (tags the gather reply), and the gather channel.
+struct ShardJob {
+    views: PooledViews,
+    shard: usize,
+    reply: mpsc::Sender<(usize, ShardAnswer)>,
+}
+
+/// A shard's worker pool handle.
+struct ShardPool {
+    tx: Sender<ShardJob>,
+    state: Arc<RwLock<ShardState>>,
+}
+
+struct RouterInner {
+    pipeline: IdsPipeline,
+    /// Detectors that are not exemplar-partitioned (unsupervised
+    /// methods, classification probes) — scored on the batcher thread
+    /// while the shards work.
+    resident: RwLock<FittedEngine>,
+    metas: Vec<ShardedMethodMeta>,
+    plan: Vec<Slot>,
+    pools: Vec<ShardPool>,
+    method_names: Vec<String>,
+    counters: Counters,
+    /// Serializes appends (and snapshot reassembly) so per-method
+    /// global ids stay dense and per-shard maps stay ascending;
+    /// scoring readers are never blocked by this lock.
+    append_lock: Mutex<()>,
+}
+
+/// A running shard router. Construct with [`ShardRouter::spawn`]; see
+/// the module docs for the shape.
+pub struct ShardRouter {
+    inner: Arc<RouterInner>,
+    client: ServiceClient,
+    drain_rx: Receiver<Request>,
+    stop_batchers: Arc<AtomicBool>,
+    stop_pools: Arc<AtomicBool>,
+    batchers: Vec<JoinHandle<()>>,
+    pool_workers: Vec<JoinHandle<()>>,
+}
+
+impl ShardRouter {
+    /// Splits a fitted engine across `config.shards` worker pools and
+    /// spawns the scoring front-end.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::StreamStructured`] — a detector cannot serve
+    ///   per-line verdicts.
+    /// * [`ServeError::InvalidConfig`] — bad knobs, or a neighbour
+    ///   detector whose fitted index is not sharded `config.shards`
+    ///   ways (fit with `IndexConfig::with_shards(n)`, or restore a
+    ///   sharded snapshot).
+    pub fn spawn(
+        pipeline: IdsPipeline,
+        engine: FittedEngine,
+        config: RouterConfig,
+    ) -> Result<ShardRouter, ServeError> {
+        config.validate()?;
+        for det in engine.detectors() {
+            if !det.test_aligned() {
+                return Err(ServeError::StreamStructured(det.name().to_string()));
+            }
+        }
+        let method_names: Vec<String> = engine.method_names().iter().map(|&n| n.into()).collect();
+
+        let mut resident: Vec<Box<dyn Detector>> = Vec::new();
+        let mut metas: Vec<ShardedMethodMeta> = Vec::new();
+        let mut plan: Vec<Slot> = Vec::new();
+        let mut shard_methods: Vec<Vec<Option<ShardSlot>>> =
+            (0..config.shards).map(|_| Vec::new()).collect();
+
+        for det in engine.into_detectors() {
+            let Some(merge) = det.shard_merge() else {
+                plan.push(Slot::Resident(resident.len()));
+                resident.push(det);
+                continue;
+            };
+            let state = DetectorState::capture(det.as_ref())
+                .expect("shard-mergeable detectors are snapshot-capable");
+            let split = state.split_shards().map_err(|_| {
+                ServeError::InvalidConfig(format!(
+                    "method {:?} was not fitted over a sharded index; fit it with \
+                     IndexConfig::with_shards({})",
+                    det.name(),
+                    config.shards
+                ))
+            })?;
+            if split.params.shards != config.shards {
+                return Err(ServeError::InvalidConfig(format!(
+                    "method {:?} is sharded {} ways but the router was configured for {}",
+                    det.name(),
+                    split.params.shards,
+                    config.shards
+                )));
+            }
+            let total: usize = split.globals.iter().map(Vec::len).sum();
+            for ((methods, sub), map) in shard_methods
+                .iter_mut()
+                .zip(split.states)
+                .zip(split.globals)
+            {
+                methods.push(sub.map(|s| ShardSlot {
+                    det: s.restore(),
+                    globals: map,
+                }));
+            }
+            plan.push(Slot::Sharded(metas.len()));
+            metas.push(ShardedMethodMeta {
+                name: split.name,
+                spec: (det.wants_embeddings(), det.pooling()),
+                merge,
+                k: split.k,
+                params: split.params,
+                dim: split.dim,
+                malicious_only: !det.indexes_label(false),
+                next_global: Mutex::new(total),
+            });
+        }
+
+        let stop_pools = Arc::new(AtomicBool::new(false));
+        let pool_specs: Arc<Vec<ViewSpec>> = Arc::new(metas.iter().map(|m| m.spec).collect());
+        let mut pools = Vec::with_capacity(config.shards);
+        let mut pool_workers = Vec::new();
+        for methods in shard_methods {
+            let state = Arc::new(RwLock::new(ShardState { methods }));
+            // Bounded by in-flight batches: each batcher has at most
+            // one scatter outstanding per shard.
+            let (tx, rx) = bounded::<ShardJob>(config.serve.workers * 2);
+            for _ in 0..config.shard_workers {
+                let rx = rx.clone();
+                let state = state.clone();
+                let stop = stop_pools.clone();
+                let specs = pool_specs.clone();
+                pool_workers.push(std::thread::spawn(move || {
+                    pool_loop(&rx, &state, &stop, &specs)
+                }));
+            }
+            pools.push(ShardPool { tx, state });
+        }
+
+        let inner = Arc::new(RouterInner {
+            pipeline,
+            resident: RwLock::new(FittedEngine::from_detectors(resident)),
+            metas,
+            plan,
+            pools,
+            method_names: method_names.clone(),
+            counters: Counters::default(),
+            append_lock: Mutex::new(()),
+        });
+        let (tx, rx) = bounded::<Request>(config.serve.queue_capacity);
+        let gate: Arc<CloseGate> = Arc::new(RwLock::new(false));
+        let stop_batchers = Arc::new(AtomicBool::new(false));
+        let batchers = (0..config.serve.workers)
+            .map(|_| {
+                let inner = inner.clone();
+                let rx = rx.clone();
+                let stop = stop_batchers.clone();
+                std::thread::spawn(move || batcher_loop(&inner, &rx, &stop, &config.serve))
+            })
+            .collect();
+        Ok(ShardRouter {
+            inner,
+            client: ServiceClient::new(tx, gate, method_names.into()),
+            drain_rx: rx,
+            stop_batchers,
+            stop_pools,
+            batchers,
+            pool_workers,
+        })
+    }
+
+    /// A cloneable submission handle (same protocol as the single
+    /// service's).
+    pub fn client(&self) -> ServiceClient {
+        self.client.clone()
+    }
+
+    /// Names (registration order) the per-line score vectors follow.
+    pub fn method_names(&self) -> &[String] {
+        &self.inner.method_names
+    }
+
+    /// Scores one arriving line with every method (resident and
+    /// shard-merged), blocking until the verdict is ready.
+    pub fn score_line(&self, line: &str) -> Result<Vec<f32>, ServeError> {
+        self.client.score_line(line)
+    }
+
+    /// Scores a batch of arriving lines; one score vector per line.
+    pub fn score_batch(&self, lines: &[String]) -> Result<Vec<Vec<f32>>, ServeError> {
+        self.client.score_batch(lines)
+    }
+
+    /// Monotonic micro-batch/line counters.
+    pub fn stats(&self) -> crate::ServiceStats {
+        self.inner.counters.stats()
+    }
+
+    /// Per-shard exemplar counts of a partitioned method (diagnostics;
+    /// `None` for resident or unknown methods).
+    pub fn shard_row_counts(&self, method: &str) -> Option<Vec<usize>> {
+        let m = self
+            .inner
+            .metas
+            .iter()
+            .position(|meta| meta.name == method)?;
+        Some(
+            self.inner
+                .pools
+                .iter()
+                .map(|pool| {
+                    pool.state.read().unwrap().methods[m]
+                        .as_ref()
+                        .map_or(0, |slot| slot.globals.len())
+                })
+                .collect(),
+        )
+    }
+
+    /// Absorbs freshly-labeled supervision: lines are embedded once
+    /// per pooled space, then each exemplar is routed to its owning
+    /// shard (the partitioner hash) and inserted under **that shard's
+    /// write lock only** — scoring against the other shards never
+    /// stalls. Returns how many methods absorbed the batch.
+    pub fn append(&self, lines: &[String], labels: &[bool]) -> Result<usize, ServeError> {
+        if lines.len() != labels.len() {
+            return Err(ServeError::Engine(format!(
+                "one label per line required: {} lines, {} labels",
+                lines.len(),
+                labels.len()
+            )));
+        }
+        if lines.is_empty() {
+            return Ok(0);
+        }
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let inner = &*self.inner;
+        // Embed before taking any lock: one pass per pooled space an
+        // absorbing consumer reads.
+        let resident_specs: Vec<ViewSpec> = {
+            let engine = inner.resident.read().unwrap();
+            engine
+                .detectors()
+                .iter()
+                .filter(|d| d.absorbs_appends())
+                .map(|d| (d.wants_embeddings(), d.pooling()))
+                .collect()
+        };
+        let specs = resident_specs
+            .iter()
+            .copied()
+            .chain(inner.metas.iter().map(|m| m.spec));
+        let views = PooledViews::build_specs(&inner.pipeline, specs, &refs);
+
+        // Appends serialize with each other (dense id assignment, and
+        // per-shard maps must extend in id order); readers don't take
+        // this lock.
+        let _guard = inner.append_lock.lock().unwrap();
+        let mut absorbed = 0usize;
+        if !resident_specs.is_empty() {
+            let mut engine = inner.resident.write().unwrap();
+            absorbed += engine
+                .append_each(labels, |det| views.for_detector(det))
+                .map_err(|e| ServeError::Engine(e.to_string()))?;
+        }
+        for (m, meta) in inner.metas.iter().enumerate() {
+            let view = views.view_for(meta.spec);
+            let matrix = view.matrix();
+            // Route each row the method indexes to its owning shard,
+            // assigning global ids in batch order — exactly the dense
+            // numbering the unsharded detector would produce.
+            let shards = meta.params.shards;
+            let mut rows: Vec<Vec<usize>> = vec![Vec::new(); shards];
+            let mut ids: Vec<Vec<usize>> = vec![Vec::new(); shards];
+            {
+                let mut next = meta.next_global.lock().unwrap();
+                for (r, &label) in labels.iter().enumerate() {
+                    if meta.malicious_only && !label {
+                        continue;
+                    }
+                    let s = shard_for_row(meta.params.seed, shards, matrix.row(r));
+                    rows[s].push(r);
+                    ids[s].push(*next);
+                    *next += 1;
+                }
+            }
+            for (s, pool) in inner.pools.iter().enumerate() {
+                if rows[s].is_empty() {
+                    continue;
+                }
+                let mut sub = Matrix::zeros(0, meta.dim);
+                let mut sub_labels = Vec::with_capacity(rows[s].len());
+                for &r in &rows[s] {
+                    sub.push_row(matrix.row(r));
+                    sub_labels.push(labels[r]);
+                }
+                let mut state = pool.state.write().unwrap();
+                match &mut state.methods[m] {
+                    Some(slot) => {
+                        let sub_view = cmdline_ids::engine::EmbeddingView::from_matrix(sub);
+                        slot.det
+                            .append(&sub_view, &sub_labels)
+                            .map_err(|e| ServeError::Engine(e.to_string()))?;
+                        slot.globals.extend_from_slice(&ids[s]);
+                    }
+                    empty @ None => {
+                        // First rows for this shard: build its
+                        // sub-index from scratch (an O(rows) build —
+                        // the only construction a router ever runs,
+                        // and only for a shard that had nothing).
+                        let det = new_shard_detector(meta, &sub, &sub_labels);
+                        *empty = Some(ShardSlot {
+                            det,
+                            globals: ids[s].clone(),
+                        });
+                    }
+                }
+            }
+            absorbed += 1;
+        }
+        Ok(absorbed)
+    }
+
+    /// Reassembles the persistable state: every partitioned method
+    /// merges back into one manifest + N shard frames
+    /// ([`ShardedDetectorState::merge`]); resident snapshot-capable
+    /// detectors capture as usual. Returns the snapshot plus the names
+    /// of detectors that were not capturable.
+    pub fn snapshot(&self) -> (ServiceSnapshot, Vec<String>) {
+        let inner = &*self.inner;
+        // Exclude appends for a consistent cross-shard view; scoring
+        // readers keep serving.
+        let _guard = inner.append_lock.lock().unwrap();
+        let mut states = Vec::new();
+        let mut skipped = Vec::new();
+        for slot in &inner.plan {
+            match slot {
+                Slot::Resident(i) => {
+                    let engine = inner.resident.read().unwrap();
+                    let det = &engine.detectors()[*i];
+                    match DetectorState::capture(det.as_ref()) {
+                        Some(state) => states.push(state),
+                        None => skipped.push(det.name().to_string()),
+                    }
+                }
+                Slot::Sharded(m) => {
+                    let meta = &inner.metas[*m];
+                    let mut sub_states = Vec::with_capacity(inner.pools.len());
+                    let mut globals = Vec::with_capacity(inner.pools.len());
+                    for pool in &inner.pools {
+                        let state = pool.state.read().unwrap();
+                        match &state.methods[*m] {
+                            Some(slot) => {
+                                sub_states.push(Some(
+                                    DetectorState::capture(slot.det.as_ref())
+                                        .expect("neighbour sub-detectors are capturable"),
+                                ));
+                                globals.push(slot.globals.clone());
+                            }
+                            None => {
+                                sub_states.push(None);
+                                globals.push(Vec::new());
+                            }
+                        }
+                    }
+                    states.push(
+                        ShardedDetectorState {
+                            name: meta.name,
+                            k: meta.k,
+                            params: meta.params,
+                            dim: meta.dim,
+                            states: sub_states,
+                            globals,
+                        }
+                        .merge(),
+                    );
+                }
+            }
+        }
+        (ServiceSnapshot::from_states(states), skipped)
+    }
+
+    /// Stops accepting requests, finishes in-flight micro-batches, and
+    /// joins every batcher and shard worker. Queued-but-unscored
+    /// requests observe [`ServeError::Closed`]. Dropping the router
+    /// does the same.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        {
+            let mut closed = self.client.close_gate().write().unwrap();
+            if *closed {
+                return;
+            }
+            *closed = true;
+        }
+        // Batchers first (their in-flight batches still need the shard
+        // pools), pools second.
+        self.stop_batchers.store(true, Ordering::Release);
+        for handle in self.batchers.drain(..) {
+            let _ = handle.join();
+        }
+        self.stop_pools.store(true, Ordering::Release);
+        for handle in self.pool_workers.drain(..) {
+            let _ = handle.join();
+        }
+        while self.drain_rx.try_recv().is_ok() {}
+    }
+}
+
+impl Drop for ShardRouter {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Builds a brand-new per-shard detector from its first exemplars.
+fn new_shard_detector(
+    meta: &ShardedMethodMeta,
+    rows: &Matrix,
+    labels: &[bool],
+) -> Box<dyn Detector> {
+    let config: IndexConfig = meta.params.backend.config();
+    match meta.name {
+        "vanilla-knn" => Box::new(VanillaKnnMethod::from_fitted(VanillaKnn::fit_with(
+            rows, labels, meta.k, config, None,
+        ))),
+        _ => Box::new(RetrievalMethod::from_fitted(RetrievalDetector::fit_with(
+            rows,
+            &vec![true; rows.rows()],
+            meta.k,
+            config,
+            None,
+        ))),
+    }
+}
+
+/// One shard worker: answers scatter jobs with the shard's per-line
+/// top-k candidates for every partitioned method, ids mapped to the
+/// method's global exemplar space.
+fn pool_loop(
+    rx: &Receiver<ShardJob>,
+    state: &RwLock<ShardState>,
+    stop: &AtomicBool,
+    specs: &[ViewSpec],
+) {
+    loop {
+        let job = match rx.recv_timeout(IDLE_POLL) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        // Contain per-shard scoring panics: dropping the reply sender
+        // surfaces as an aborted batch (`Closed`) at the callers
+        // instead of wedging the gather.
+        let answer = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let state = state.read().unwrap();
+            specs
+                .iter()
+                .zip(&state.methods)
+                .map(|(&spec, slot)| match slot {
+                    Some(slot) => {
+                        let mut cands = slot.det.shard_candidates(&job.views.view_for(spec));
+                        for line in &mut cands {
+                            for c in line.iter_mut() {
+                                c.id = slot.globals[c.id];
+                            }
+                        }
+                        cands
+                    }
+                    None => vec![Vec::new(); job.views.len()],
+                })
+                .collect::<ShardAnswer>()
+        }));
+        match answer {
+            Ok(answer) => {
+                let _ = job.reply.send((job.shard, answer));
+            }
+            Err(_) => drop(job),
+        }
+    }
+}
+
+/// One front batcher: forms a micro-batch, embeds it once per pooled
+/// space, scatters to the shard pools, scores resident detectors
+/// meanwhile, gathers + merges, and replies per request.
+fn batcher_loop(
+    inner: &RouterInner,
+    rx: &Receiver<Request>,
+    stop: &AtomicBool,
+    config: &ServeConfig,
+) {
+    while let Some(requests) = collect_batch(rx, stop, config.max_batch, config.batch_window) {
+        let all_lines: Vec<String> = requests
+            .iter()
+            .flat_map(|r| r.lines.iter().cloned())
+            .collect();
+        let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            score_micro_batch(inner, &all_lines)
+        }));
+        match scored {
+            Ok(Some(scored)) => {
+                let mut scored = scored.into_iter();
+                for req in requests {
+                    let reply: Vec<Vec<f32>> = scored.by_ref().take(req.lines.len()).collect();
+                    let _ = req.reply.send(reply);
+                }
+            }
+            // A dead pool or a panic aborts the batch: dropped reply
+            // senders surface as `Closed` at the blocked callers.
+            Ok(None) | Err(_) => drop(requests),
+        }
+    }
+}
+
+/// Scores one micro-batch end to end; `None` if a shard pool vanished
+/// mid-gather (shutdown race or a poisoned shard).
+fn score_micro_batch(inner: &RouterInner, lines: &[String]) -> Option<Vec<Vec<f32>>> {
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    let resident_specs: Vec<ViewSpec> = {
+        let engine = inner.resident.read().unwrap();
+        engine
+            .detectors()
+            .iter()
+            .map(|d| (d.wants_embeddings(), d.pooling()))
+            .collect()
+    };
+    let specs = resident_specs
+        .iter()
+        .copied()
+        .chain(inner.metas.iter().map(|m| m.spec));
+    let views = PooledViews::build_specs(&inner.pipeline, specs, &refs);
+
+    // Scatter to every shard pool…
+    let (reply_tx, reply_rx) = mpsc::channel();
+    for (s, pool) in inner.pools.iter().enumerate() {
+        let job = ShardJob {
+            views: views.clone(),
+            shard: s,
+            reply: reply_tx.clone(),
+        };
+        pool.tx.send(job).ok()?;
+    }
+    drop(reply_tx);
+
+    // …score the resident detectors while the shards work…
+    let resident_scores: Vec<Vec<f32>> = if resident_specs.is_empty() {
+        Vec::new()
+    } else {
+        let engine = inner.resident.read().unwrap();
+        engine
+            .score_each(|det| views.for_detector(det))
+            .outputs()
+            .iter()
+            .map(|m| m.scores.clone())
+            .collect()
+    };
+
+    // …gather the shard answers…
+    let n_shards = inner.pools.len();
+    let mut per_shard: Vec<Option<ShardAnswer>> = (0..n_shards).map(|_| None).collect();
+    for _ in 0..n_shards {
+        let (s, answer) = reply_rx.recv().ok()?;
+        per_shard[s] = Some(answer);
+    }
+
+    // …and merge per line per partitioned method.
+    let merged: Vec<Vec<f32>> = inner
+        .metas
+        .iter()
+        .enumerate()
+        .map(|(m, meta)| {
+            (0..lines.len())
+                .map(|i| {
+                    let lists: Vec<&[ShardCandidate]> = per_shard
+                        .iter()
+                        .map(|a| a.as_ref().expect("gathered")[m][i].as_slice())
+                        .collect();
+                    let top = merge_shard_candidates(&lists, meta.merge.k());
+                    meta.merge.score(&top)
+                })
+                .collect()
+        })
+        .collect();
+
+    // Assemble per-line verdicts in registration order.
+    let out = (0..lines.len())
+        .map(|i| {
+            inner
+                .plan
+                .iter()
+                .map(|slot| match slot {
+                    Slot::Resident(r) => resident_scores[*r][i],
+                    Slot::Sharded(m) => merged[*m][i],
+                })
+                .collect()
+        })
+        .collect();
+    inner.counters.record_batch(lines.len());
+    Some(out)
+}

@@ -38,6 +38,36 @@ impl Default for ServeConfig {
     }
 }
 
+impl ServeConfig {
+    /// Rejects configurations that cannot serve: a zero-capacity
+    /// queue (every submission would block forever), zero workers
+    /// (nothing drains the queue), or a zero-line micro-batch window
+    /// (a worker could never take the first request of a batch).
+    /// Checked at spawn so misconfiguration is a typed
+    /// [`ServeError::InvalidConfig`] instead of a deadlock discovered
+    /// in production. `batch_window == 0` stays valid — it is the
+    /// documented "score every request alone" mode.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig(
+                "queue_capacity must be >= 1 (a zero-capacity queue blocks every submission)"
+                    .into(),
+            ));
+        }
+        if self.workers == 0 {
+            return Err(ServeError::InvalidConfig(
+                "workers must be >= 1 (nothing would drain the request queue)".into(),
+            ));
+        }
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig(
+                "max_batch must be >= 1 (a worker could never accept a request)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Why a service call failed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeError {
@@ -50,6 +80,11 @@ pub enum ServeError {
     Closed,
     /// Absorbing a supervision batch failed.
     Engine(String),
+    /// The configuration can never serve (zero queue capacity, zero
+    /// workers, zero micro-batch budget, or a shard shape that does
+    /// not match the fitted detectors) — rejected at spawn instead of
+    /// deadlocking or panicking downstream.
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -61,6 +96,7 @@ impl std::fmt::Display for ServeError {
             ),
             ServeError::Closed => write!(f, "scoring service is shut down"),
             ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::InvalidConfig(why) => write!(f, "invalid serve configuration: {why}"),
         }
     }
 }
@@ -74,10 +110,12 @@ impl From<EngineError> for ServeError {
 }
 
 /// One queued scoring request: the caller's lines plus the one-shot
-/// reply channel its scores come back on.
-struct Request {
-    lines: Vec<String>,
-    reply: mpsc::Sender<Vec<Vec<f32>>>,
+/// reply channel its scores come back on. Shared with the shard
+/// router, whose front queue speaks the same protocol (which is what
+/// lets [`ServiceClient`] drive either).
+pub(crate) struct Request {
+    pub(crate) lines: Vec<String>,
+    pub(crate) reply: mpsc::Sender<Vec<Vec<f32>>>,
 }
 
 /// Monotonic service counters (drained micro-batches and lines), for
@@ -91,9 +129,23 @@ pub struct ServiceStats {
 }
 
 #[derive(Debug, Default)]
-struct Counters {
-    batches: AtomicUsize,
-    lines: AtomicUsize,
+pub(crate) struct Counters {
+    pub(crate) batches: AtomicUsize,
+    pub(crate) lines: AtomicUsize,
+}
+
+impl Counters {
+    pub(crate) fn record_batch(&self, lines: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.lines.fetch_add(lines, Ordering::Relaxed);
+    }
+
+    pub(crate) fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            lines: self.lines.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Shared innards: the frozen pipeline, the resident fitted detector
@@ -123,19 +175,24 @@ impl Inner {
                 line.push(s);
             }
         }
-        self.counters.batches.fetch_add(1, Ordering::Relaxed);
-        self.counters
-            .lines
-            .fetch_add(lines.len(), Ordering::Relaxed);
+        self.counters.record_batch(lines.len());
         out
     }
 }
 
+/// What one consumer of a micro-batch's views needs: whether it reads
+/// the embedding matrix at all, and in which pooled space.
+pub(crate) type ViewSpec = (bool, Pooling);
+
 /// The embedding views one micro-batch needs: at most one encoder pass
-/// per pooled space the detector set reads, plus a lines-only view for
-/// methods that embed under their own encoder. Views the resident set
-/// never reads are not built.
-struct PooledViews {
+/// per pooled space any consumer reads, plus a lines-only view for
+/// methods that embed under their own encoder. Views nothing reads
+/// are not built. Cheap to clone (every view is `Arc`-backed), which
+/// is how the shard router hands one embedded batch to every shard
+/// pool without re-encoding.
+#[derive(Clone)]
+pub(crate) struct PooledViews {
+    n_lines: usize,
     mean: Option<EmbeddingView>,
     cls: Option<EmbeddingView>,
     lines_only: Option<EmbeddingView>,
@@ -160,14 +217,30 @@ impl PooledViews {
         lines: &[&str],
         reads_views: impl Fn(&dyn cmdline_ids::engine::Detector) -> bool,
     ) -> Self {
+        Self::build_specs(
+            pipeline,
+            engine
+                .detectors()
+                .iter()
+                .filter(|det| reads_views(det.as_ref()))
+                .map(|det| (det.wants_embeddings(), det.pooling())),
+            lines,
+        )
+    }
+
+    /// Views for an explicit set of consumers — the shard router's
+    /// path, where the consumers are split across resident detectors
+    /// and per-shard pools rather than living in one engine.
+    pub(crate) fn build_specs(
+        pipeline: &IdsPipeline,
+        specs: impl Iterator<Item = ViewSpec>,
+        lines: &[&str],
+    ) -> Self {
         let mut wants = [false; 2];
         let mut wants_lines_only = false;
-        for det in engine.detectors() {
-            if !reads_views(det.as_ref()) {
-                continue;
-            }
-            if det.wants_embeddings() {
-                wants[matches!(det.pooling(), Pooling::Cls) as usize] = true;
+        for (wants_embeddings, pooling) in specs {
+            if wants_embeddings {
+                wants[matches!(pooling, Pooling::Cls) as usize] = true;
             } else {
                 wants_lines_only = true;
             }
@@ -183,6 +256,7 @@ impl PooledViews {
             EmbeddingView::new(lines.iter().map(|s| s.to_string()).collect(), matrix)
         };
         PooledViews {
+            n_lines: lines.len(),
             mean: wants[0].then(|| embed(Pooling::Mean)),
             cls: wants[1].then(|| embed(Pooling::Cls)),
             lines_only: wants_lines_only
@@ -190,18 +264,29 @@ impl PooledViews {
         }
     }
 
-    fn for_detector(&self, det: &dyn cmdline_ids::engine::Detector) -> EmbeddingView {
-        if !det.wants_embeddings() {
+    /// Lines in the micro-batch these views embed.
+    pub(crate) fn len(&self) -> usize {
+        self.n_lines
+    }
+
+    /// The view a consumer with the given [`ViewSpec`] reads.
+    pub(crate) fn view_for(&self, spec: ViewSpec) -> EmbeddingView {
+        let (wants_embeddings, pooling) = spec;
+        if !wants_embeddings {
             return self
                 .lines_only
                 .as_ref()
                 .expect("lines-only view built")
                 .clone();
         }
-        match det.pooling() {
+        match pooling {
             Pooling::Mean => self.mean.as_ref().expect("mean view built").clone(),
             Pooling::Cls => self.cls.as_ref().expect("cls view built").clone(),
         }
+    }
+
+    pub(crate) fn for_detector(&self, det: &dyn cmdline_ids::engine::Detector) -> EmbeddingView {
+        self.view_for((det.wants_embeddings(), det.pooling()))
     }
 }
 
@@ -209,11 +294,14 @@ impl PooledViews {
 /// check-and-send, [`ScoringService::shutdown`] flips the flag under
 /// the write lock — so no request can slip into the queue after the
 /// workers were told to stop (it would hang unanswered).
-type CloseGate = RwLock<bool>;
+pub(crate) type CloseGate = RwLock<bool>;
 
-/// A cloneable submission handle onto a running [`ScoringService`] —
-/// hand one to each producer thread. Outlives the service safely:
-/// calls after shutdown return [`ServeError::Closed`].
+/// A cloneable submission handle onto a running scoring front-end —
+/// [`ScoringService`] or [`crate::ShardRouter`]; both speak the same
+/// request protocol, so producers are agnostic to whether verdicts
+/// come from one resident engine or a merged shard fan-out. Hand one
+/// to each producer thread. Outlives the service safely: calls after
+/// shutdown return [`ServeError::Closed`].
 #[derive(Clone)]
 pub struct ServiceClient {
     tx: Sender<Request>,
@@ -222,6 +310,25 @@ pub struct ServiceClient {
 }
 
 impl ServiceClient {
+    /// Wires a client onto a front queue (shared with the router).
+    pub(crate) fn new(
+        tx: Sender<Request>,
+        gate: Arc<CloseGate>,
+        method_names: Arc<[String]>,
+    ) -> Self {
+        ServiceClient {
+            tx,
+            gate,
+            method_names,
+        }
+    }
+
+    /// The shutdown gate this client submits through (the owning
+    /// front-end flips it at shutdown).
+    pub(crate) fn close_gate(&self) -> &Arc<CloseGate> {
+        &self.gate
+    }
+
     /// Names (registration order) the per-line score vectors follow.
     pub fn method_names(&self) -> &[String] {
         &self.method_names
@@ -294,6 +401,7 @@ impl ScoringService {
         engine: FittedEngine,
         config: ServeConfig,
     ) -> Result<ScoringService, ServeError> {
+        config.validate()?;
         for det in engine.detectors() {
             if !det.test_aligned() {
                 return Err(ServeError::StreamStructured(det.name().to_string()));
@@ -311,10 +419,10 @@ impl ScoringService {
             method_names: method_names.to_vec(),
             counters: Counters::default(),
         });
-        let (tx, rx) = bounded::<Request>(config.queue_capacity.max(1));
+        let (tx, rx) = bounded::<Request>(config.queue_capacity);
         let gate: Arc<CloseGate> = Arc::new(RwLock::new(false));
         let stop = Arc::new(AtomicBool::new(false));
-        let workers = (0..config.workers.max(1))
+        let workers = (0..config.workers)
             .map(|_| {
                 let inner = inner.clone();
                 let rx = rx.clone();
@@ -324,11 +432,7 @@ impl ScoringService {
             .collect();
         Ok(ScoringService {
             inner,
-            client: ServiceClient {
-                tx,
-                gate,
-                method_names,
-            },
+            client: ServiceClient::new(tx, gate, method_names),
             drain_rx: rx,
             stop,
             workers,
@@ -398,10 +502,7 @@ impl ScoringService {
 
     /// Monotonic batch/line counters.
     pub fn stats(&self) -> ServiceStats {
-        ServiceStats {
-            batches: self.inner.counters.batches.load(Ordering::Relaxed),
-            lines: self.inner.counters.lines.load(Ordering::Relaxed),
-        }
+        self.inner.counters.stats()
     }
 
     /// Stops accepting requests and joins the workers; requests still
@@ -446,7 +547,7 @@ impl Drop for ScoringService {
 }
 
 /// How long an idle worker sleeps between shutdown-flag checks.
-const IDLE_POLL: Duration = Duration::from_millis(25);
+pub(crate) const IDLE_POLL: Duration = Duration::from_millis(25);
 
 /// Moves already-queued requests into `requests` while their lines
 /// fit within `budget` (one channel lock total); returns the line
@@ -470,57 +571,65 @@ fn drain_queued(rx: &Receiver<Request>, requests: &mut Vec<Request>, budget: usi
     taken
 }
 
+/// Blocks for a request and coalesces more arrivals within the batch
+/// window (up to `max_batch` lines) into one micro-batch. Returns
+/// `None` when the worker should exit (stop flag observed while idle,
+/// or the queue disconnected). Shared by the single-service workers
+/// and the shard router's front batchers — micro-batch formation is
+/// identical on both paths.
+pub(crate) fn collect_batch(
+    rx: &Receiver<Request>,
+    stop: &AtomicBool,
+    max_batch: usize,
+    batch_window: Duration,
+) -> Option<Vec<Request>> {
+    let first = loop {
+        match rx.recv_timeout(IDLE_POLL) {
+            Ok(req) => break req,
+            Err(RecvTimeoutError::Timeout) => {
+                // Lock-free by design — see `ScoringService::stop`.
+                if stop.load(Ordering::Acquire) {
+                    return None;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return None,
+        }
+    };
+    let mut requests = vec![first];
+    let mut n_lines = requests[0].lines.len();
+    if !batch_window.is_zero() {
+        // Fast path: whatever is already queued joins the batch in
+        // one lock round-trip (the common case once the service is
+        // saturated — while this worker scored the previous batch,
+        // producers refilled the queue).
+        n_lines += drain_queued(rx, &mut requests, max_batch - n_lines.min(max_batch));
+        // Slow path: the queue ran dry with batch budget left —
+        // wait out the window for stragglers.
+        let deadline = Instant::now() + batch_window;
+        while n_lines < max_batch {
+            let now = Instant::now();
+            let wait = deadline.saturating_duration_since(now);
+            if wait.is_zero() {
+                break;
+            }
+            match rx.recv_timeout(wait) {
+                Ok(req) => {
+                    n_lines += req.lines.len();
+                    requests.push(req);
+                    n_lines += drain_queued(rx, &mut requests, max_batch - n_lines.min(max_batch));
+                }
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+    Some(requests)
+}
+
 /// One worker: blocks for a request, coalesces more arrivals within
 /// the batch window (up to `max_batch` lines), scores the micro-batch
 /// with one encoder pass per pooled space, and replies per request.
 fn worker_loop(inner: &Inner, rx: &Receiver<Request>, stop: &AtomicBool, config: &ServeConfig) {
-    loop {
-        let first = match rx.recv_timeout(IDLE_POLL) {
-            Ok(req) => req,
-            Err(RecvTimeoutError::Timeout) => {
-                // Lock-free by design — see `ScoringService::stop`.
-                if stop.load(Ordering::Acquire) {
-                    return;
-                }
-                continue;
-            }
-            Err(RecvTimeoutError::Disconnected) => return,
-        };
-        let mut requests = vec![first];
-        let mut n_lines = requests[0].lines.len();
-        if !config.batch_window.is_zero() {
-            // Fast path: whatever is already queued joins the batch in
-            // one lock round-trip (the common case once the service is
-            // saturated — while this worker scored the previous batch,
-            // producers refilled the queue).
-            n_lines += drain_queued(
-                rx,
-                &mut requests,
-                config.max_batch - n_lines.min(config.max_batch),
-            );
-            // Slow path: the queue ran dry with batch budget left —
-            // wait out the window for stragglers.
-            let deadline = Instant::now() + config.batch_window;
-            while n_lines < config.max_batch {
-                let now = Instant::now();
-                let wait = deadline.saturating_duration_since(now);
-                if wait.is_zero() {
-                    break;
-                }
-                match rx.recv_timeout(wait) {
-                    Ok(req) => {
-                        n_lines += req.lines.len();
-                        requests.push(req);
-                        n_lines += drain_queued(
-                            rx,
-                            &mut requests,
-                            config.max_batch - n_lines.min(config.max_batch),
-                        );
-                    }
-                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
-                }
-            }
-        }
+    while let Some(requests) = collect_batch(rx, stop, config.max_batch, config.batch_window) {
         let all_lines: Vec<String> = requests
             .iter()
             .flat_map(|r| r.lines.iter().cloned())

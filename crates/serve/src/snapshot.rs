@@ -76,6 +76,14 @@ impl ServiceSnapshot {
         (ServiceSnapshot { states }, skipped)
     }
 
+    /// Assembles a snapshot from already-captured states — the shard
+    /// router's path, which reassembles each partitioned method's
+    /// state (a sharded manifest + N shard frames) from its live
+    /// per-shard detectors before framing them here.
+    pub fn from_states(states: Vec<DetectorState>) -> Self {
+        ServiceSnapshot { states }
+    }
+
     /// The captured per-detector states.
     pub fn states(&self) -> &[DetectorState] {
         &self.states

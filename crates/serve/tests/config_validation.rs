@@ -1,0 +1,75 @@
+//! `ServeConfig` / `RouterConfig` shapes that can never serve must be
+//! rejected with a typed [`ServeError::InvalidConfig`] at validation
+//! time — not discovered as a deadlocked queue or a downstream panic.
+
+use serve::{RouterConfig, ServeConfig, ServeError};
+use std::time::Duration;
+
+fn invalid(result: Result<(), ServeError>, needle: &str) {
+    match result {
+        Err(ServeError::InvalidConfig(why)) => {
+            assert!(why.contains(needle), "message {why:?} misses {needle:?}")
+        }
+        Err(other) => panic!("expected InvalidConfig, got {other:?}"),
+        Ok(()) => panic!("expected rejection"),
+    }
+}
+
+#[test]
+fn zero_knobs_are_rejected_with_typed_errors() {
+    let ok = ServeConfig::default();
+    assert!(ok.validate().is_ok());
+
+    invalid(
+        ServeConfig {
+            queue_capacity: 0,
+            ..ok
+        }
+        .validate(),
+        "queue_capacity",
+    );
+    invalid(ServeConfig { workers: 0, ..ok }.validate(), "workers");
+    invalid(ServeConfig { max_batch: 0, ..ok }.validate(), "max_batch");
+
+    // A zero batch *window* stays legal: it is the documented
+    // score-every-request-alone mode (the serve_throughput baseline).
+    assert!(ServeConfig {
+        batch_window: Duration::ZERO,
+        ..ok
+    }
+    .validate()
+    .is_ok());
+}
+
+#[test]
+fn router_knobs_are_validated_too() {
+    assert!(RouterConfig::default().validate().is_ok());
+    invalid(
+        RouterConfig {
+            shards: 0,
+            ..RouterConfig::default()
+        }
+        .validate(),
+        "shards",
+    );
+    invalid(
+        RouterConfig {
+            shard_workers: 0,
+            ..RouterConfig::default()
+        }
+        .validate(),
+        "shard_workers",
+    );
+    // Nested serve knobs propagate.
+    invalid(
+        RouterConfig {
+            serve: ServeConfig {
+                workers: 0,
+                ..ServeConfig::default()
+            },
+            ..RouterConfig::default()
+        }
+        .validate(),
+        "workers",
+    );
+}

@@ -1,0 +1,213 @@
+//! The shard-aware serving stack's keystone claims, end to end:
+//!
+//! * a [`ShardRouter`] over exact shards returns verdicts
+//!   **bit-identical** to an unsharded [`ScoringService`] — scatter,
+//!   per-shard top-k, k-way merge and all — for every method, with
+//!   resident (non-partitioned) detectors interleaved in registration
+//!   order;
+//! * live supervision routed to owning shards keeps that parity;
+//! * the router's snapshot (manifest + N shard frames) cold-starts a
+//!   new router with **zero** index construction passes and identical
+//!   verdicts.
+
+use cmdline_ids::embed::Pooling;
+use cmdline_ids::engine::{EmbeddingStore, FittedEngine, IndexConfig, ScoringEngine};
+use cmdline_ids::pipeline::{IdsPipeline, PipelineConfig};
+use corpus::dedup_records;
+use ids_rules::RuleIds;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serve::{RouterConfig, ScoringService, ServeConfig, ServeError, ShardRouter};
+
+use anomaly::{PcaMethod, RetrievalMethod, VanillaKnnMethod};
+
+const SHARDS: usize = 3;
+
+fn fixture() -> (IdsPipeline, Vec<String>, Vec<bool>, Vec<String>) {
+    let mut config = PipelineConfig::fast();
+    config.train_size = 600;
+    config.test_size = 250;
+    config.attack_prob = 0.25;
+    let mut rng = StdRng::seed_from_u64(777);
+    let dataset = config.generate_dataset(&mut rng);
+    let pipeline = IdsPipeline::pretrain(&config, &dataset, &mut rng);
+    let ids = RuleIds::with_default_rules();
+    let labels: Vec<bool> = dataset
+        .train
+        .iter()
+        .map(|r| ids.is_alert(&r.line))
+        .collect();
+    let train: Vec<String> = dataset.train.iter().map(|r| r.line.clone()).collect();
+    let test: Vec<String> = dedup_records(&dataset.test)
+        .iter()
+        .map(|r| r.line.clone())
+        .collect();
+    (pipeline, train, labels, test)
+}
+
+/// Fits the three-method set (two partitionable neighbour methods
+/// around a resident PCA, so plan-order interleaving is exercised)
+/// over the given index config.
+fn fit(
+    pipeline: &IdsPipeline,
+    train_lines: &[String],
+    labels: &[bool],
+    index: IndexConfig,
+) -> FittedEngine {
+    let store = EmbeddingStore::new(pipeline);
+    let refs: Vec<&str> = train_lines.iter().map(String::as_str).collect();
+    let train = store.view(&refs, Pooling::Mean);
+    ScoringEngine::new()
+        .with_index_config(index)
+        .register(Box::new(RetrievalMethod::new(2)))
+        .register(Box::new(PcaMethod::new(0.95)))
+        .register(Box::new(VanillaKnnMethod::new(3)))
+        .fit(&train, labels)
+        .expect("detector set fits")
+}
+
+#[test]
+fn sharded_router_is_bit_identical_to_the_unsharded_service() {
+    let (pipeline, train_lines, labels, test_lines) = fixture();
+
+    // Reference: the single resident service over unsharded exact.
+    let service = ScoringService::spawn(
+        pipeline.clone(),
+        fit(&pipeline, &train_lines, &labels, IndexConfig::Exact),
+        ServeConfig::default(),
+    )
+    .expect("reference service spawns");
+    let want: Vec<Vec<f32>> = service
+        .score_batch(&test_lines)
+        .expect("reference service scores");
+
+    // Under test: the shard router over a 3-way exact partition.
+    let sharded = fit(
+        &pipeline,
+        &train_lines,
+        &labels,
+        IndexConfig::Exact.with_shards(SHARDS),
+    );
+    let router = ShardRouter::spawn(pipeline.clone(), sharded, RouterConfig::with_shards(SHARDS))
+        .expect("router spawns");
+    assert_eq!(router.method_names(), ["retrieval", "pca", "vanilla-knn"]);
+
+    // The partition actually spread exemplars over shards.
+    let counts = router
+        .shard_row_counts("vanilla-knn")
+        .expect("vanilla-knn is partitioned");
+    assert_eq!(counts.len(), SHARDS);
+    assert_eq!(counts.iter().sum::<usize>(), train_lines.len());
+    assert!(
+        counts.iter().filter(|&&c| c > 0).count() >= 2,
+        "hash partitioner left everything on one shard: {counts:?}"
+    );
+    assert!(router.shard_row_counts("pca").is_none(), "pca is resident");
+
+    let got = router.score_batch(&test_lines).expect("router scores");
+    assert_eq!(got, want, "scatter/merge verdicts must be bit-identical");
+
+    // Live supervision keeps parity: same batch into both, rescore.
+    let burst: Vec<String> = test_lines.iter().take(12).cloned().collect();
+    let burst_labels = vec![
+        true, false, true, true, false, false, true, false, false, true, false, true,
+    ];
+    let absorbed_service = service
+        .append(&burst, &burst_labels)
+        .expect("service append");
+    let absorbed_router = router.append(&burst, &burst_labels).expect("router append");
+    assert_eq!(absorbed_router, absorbed_service);
+    let want_after: Vec<Vec<f32>> = service.score_batch(&test_lines).expect("service rescores");
+    let got_after = router.score_batch(&test_lines).expect("router rescores");
+    assert_eq!(got_after, want_after, "parity must survive routed appends");
+    assert_ne!(want_after, want, "the appended exemplars must matter");
+
+    // The stats counters move like a service's.
+    let stats = router.stats();
+    assert!(stats.lines >= 2 * test_lines.len());
+    assert!(stats.batches >= 2);
+
+    service.shutdown();
+    router.shutdown();
+}
+
+#[test]
+fn router_snapshot_cold_starts_all_shards_without_construction() {
+    let (pipeline, train_lines, labels, test_lines) = fixture();
+    // HNSW shards: the backend where skipping construction is the
+    // whole point of persistence.
+    let engine = fit(
+        &pipeline,
+        &train_lines,
+        &labels,
+        IndexConfig::hnsw().with_shards(SHARDS),
+    );
+    let router = ShardRouter::spawn(pipeline.clone(), engine, RouterConfig::with_shards(SHARDS))
+        .expect("router spawns");
+    let want: Vec<Vec<f32>> = test_lines
+        .iter()
+        .take(40)
+        .map(|l| router.score_line(l).expect("warm router scores"))
+        .collect();
+
+    let (snapshot, skipped) = router.snapshot();
+    assert_eq!(snapshot.len(), 2, "both neighbour methods captured");
+    assert_eq!(skipped, ["pca"], "resident pca refits from data");
+    let bytes = snapshot.to_bytes();
+    router.shutdown();
+
+    // Cold start: decode → restore (adopting every shard graph) →
+    // re-split across fresh pools. Not a single construction pass.
+    let passes = index::construction_passes();
+    let restored = serve::ServiceSnapshot::from_bytes(&bytes)
+        .expect("snapshot decodes")
+        .restore();
+    let cold = ShardRouter::spawn(pipeline, restored, RouterConfig::with_shards(SHARDS))
+        .expect("cold router spawns");
+    assert_eq!(
+        index::construction_passes(),
+        passes,
+        "cold start must adopt all {SHARDS} shard graphs, not rebuild them"
+    );
+
+    // PCA was skipped, so the cold verdict vectors are the two
+    // neighbour methods — in the original registration order.
+    assert_eq!(cold.method_names(), ["retrieval", "vanilla-knn"]);
+    for (line, want_scores) in test_lines.iter().take(40).zip(&want) {
+        let got = cold.score_line(line).expect("cold router scores");
+        assert_eq!(got[0], want_scores[0], "retrieval drifted for {line:?}");
+        assert_eq!(got[1], want_scores[2], "vanilla-knn drifted for {line:?}");
+    }
+
+    // The restored partition keeps absorbing supervision.
+    let absorbed = cold
+        .append(&test_lines[..4], &[true, true, false, true])
+        .expect("cold append");
+    assert_eq!(absorbed, 2);
+    cold.shutdown();
+}
+
+#[test]
+fn shard_shape_mismatches_are_typed_errors() {
+    let (pipeline, train_lines, labels, _) = fixture();
+    // Unsharded fit + multi-shard router: rejected, not mis-served.
+    let engine = fit(&pipeline, &train_lines, &labels, IndexConfig::Exact);
+    match ShardRouter::spawn(pipeline.clone(), engine, RouterConfig::with_shards(2)) {
+        Err(ServeError::InvalidConfig(why)) => {
+            assert!(why.contains("with_shards"), "unhelpful message: {why}")
+        }
+        Err(other) => panic!("expected InvalidConfig, got {other:?}"),
+        Ok(_) => panic!("router spawned over an unsharded fit"),
+    }
+    // Shard-count disagreement between fit and router: same.
+    let engine = fit(
+        &pipeline,
+        &train_lines,
+        &labels,
+        IndexConfig::Exact.with_shards(4),
+    );
+    assert!(matches!(
+        ShardRouter::spawn(pipeline, engine, RouterConfig::with_shards(2)),
+        Err(ServeError::InvalidConfig(_))
+    ));
+}

@@ -8,30 +8,131 @@
 //! 3. snapshot the fitted neighbour detectors to disk and cold-start
 //!    a second service from the file — no graph construction pass.
 //!
-//! Run: `cargo run --release --example streaming_score`
-//! (CI runs this as a smoke test so the serving path cannot rot.)
+//! Run: `cargo run --release --example streaming_score [--shards N]`
+//!
+//! With `--shards N` (N > 1) the exemplar indexes are partitioned N
+//! ways and served through the `ShardRouter`: micro-batches scatter to
+//! per-shard worker pools, per-shard top-k candidates merge back into
+//! one verdict, appends route to the owning shard, and the snapshot
+//! carries one frame per shard. (CI smoke-runs both modes so neither
+//! path can rot.)
 
 use anomaly::{RetrievalMethod, VanillaKnnMethod};
 use cmdline_ids::embed::Pooling;
-use cmdline_ids::engine::{EmbeddingStore, IndexConfig, ScoringEngine};
+use cmdline_ids::engine::{EmbeddingStore, FittedEngine, IndexConfig, ScoringEngine};
 use cmdline_ids::pipeline::{IdsPipeline, PipelineConfig};
 use corpus::dedup_records;
 use ids_rules::RuleIds;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serve::{ScoringService, ServeConfig, ServiceSnapshot};
+use serve::{
+    RouterConfig, ScoringService, ServeConfig, ServiceClient, ServiceSnapshot, ShardRouter,
+};
 use std::time::{Duration, Instant};
 
 const PRODUCERS: usize = 4;
 
+/// The two scoring front-ends behind one tour: both speak the
+/// [`ServiceClient`] protocol, so the replay/append/snapshot steps
+/// are identical.
+enum Front {
+    Single(ScoringService),
+    Sharded(ShardRouter),
+}
+
+impl Front {
+    fn spawn(pipeline: IdsPipeline, fitted: FittedEngine, shards: usize) -> Front {
+        let serve = ServeConfig {
+            queue_capacity: 128,
+            max_batch: 32,
+            batch_window: Duration::from_millis(1),
+            workers: 2,
+        };
+        if shards > 1 {
+            Front::Sharded(
+                ShardRouter::spawn(
+                    pipeline,
+                    fitted,
+                    RouterConfig {
+                        shards,
+                        serve,
+                        shard_workers: 1,
+                    },
+                )
+                .expect("router spawns"),
+            )
+        } else {
+            Front::Single(ScoringService::spawn(pipeline, fitted, serve).expect("service spawns"))
+        }
+    }
+
+    fn client(&self) -> ServiceClient {
+        match self {
+            Front::Single(s) => s.client(),
+            Front::Sharded(r) => r.client(),
+        }
+    }
+
+    fn method_names(&self) -> &[String] {
+        match self {
+            Front::Single(s) => s.method_names(),
+            Front::Sharded(r) => r.method_names(),
+        }
+    }
+
+    fn stats(&self) -> serve::ServiceStats {
+        match self {
+            Front::Single(s) => s.stats(),
+            Front::Sharded(r) => r.stats(),
+        }
+    }
+
+    fn append(&self, lines: &[String], labels: &[bool]) -> usize {
+        match self {
+            Front::Single(s) => s.append(lines, labels).expect("append works"),
+            Front::Sharded(r) => r.append(lines, labels).expect("append works"),
+        }
+    }
+
+    fn snapshot(&self) -> (ServiceSnapshot, Vec<String>) {
+        match self {
+            Front::Single(s) => s.with_engine(ServiceSnapshot::capture),
+            Front::Sharded(r) => r.snapshot(),
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            Front::Single(s) => s.shutdown(),
+            Front::Sharded(r) => r.shutdown(),
+        }
+    }
+}
+
+fn parse_shards() -> usize {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.as_slice() {
+        [] => 1,
+        [flag, n] if flag == "--shards" => n.parse().expect("--shards takes a positive integer"),
+        _ => {
+            eprintln!("usage: streaming_score [--shards N]");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
+    let shards = parse_shards();
     // 1. Offline prologue: data, pre-training, supervision, fit.
     let mut config = PipelineConfig::fast();
     config.train_size = 900;
     config.test_size = 400;
     config.attack_prob = 0.2;
     let mut rng = StdRng::seed_from_u64(7);
-    println!("pre-training on {} synthetic lines…", config.train_size);
+    println!(
+        "pre-training on {} synthetic lines… (shards: {shards})",
+        config.train_size
+    );
     let dataset = config.generate_dataset(&mut rng);
     let pipeline = IdsPipeline::pretrain(&config, &dataset, &mut rng);
     let ids = RuleIds::with_default_rules();
@@ -49,28 +150,19 @@ fn main() {
     let store = EmbeddingStore::new(&pipeline);
     let train = store.view_of(&train_lines, Pooling::Mean);
     let fitted = ScoringEngine::new()
-        .with_index_config(IndexConfig::hnsw())
+        .with_index_config(IndexConfig::hnsw().with_shards(shards))
         .register(Box::new(RetrievalMethod::new(1)))
         .register(Box::new(VanillaKnnMethod::new(3)))
         .fit(&train, &labels)
         .expect("detector set fits");
 
     // 2. Serve: concurrent producers replay the test split line by
-    //    line; workers coalesce arrivals into encoder-sized batches.
-    let service = ScoringService::spawn(
-        pipeline.clone(),
-        fitted,
-        ServeConfig {
-            queue_capacity: 128,
-            max_batch: 32,
-            batch_window: Duration::from_millis(1),
-            workers: 2,
-        },
-    )
-    .expect("service spawns");
+    //    line; workers coalesce arrivals into encoder-sized batches
+    //    (and, sharded, scatter each batch across the shard pools).
+    let front = Front::spawn(pipeline.clone(), fitted, shards);
     println!(
         "serving methods {:?} over {} streamed lines from {PRODUCERS} producers…",
-        service.method_names(),
+        front.method_names(),
         test_lines.len()
     );
     let t0 = Instant::now();
@@ -78,7 +170,7 @@ fn main() {
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for p in 0..PRODUCERS {
-            let client = service.client();
+            let client = front.client();
             let lines = &test_lines;
             handles.push(scope.spawn(move || {
                 let mut hot = 0usize;
@@ -97,7 +189,7 @@ fn main() {
         }
     });
     let elapsed = t0.elapsed();
-    let stats = service.stats();
+    let stats = front.stats();
     println!(
         "  {} lines in {elapsed:.2?} ({:.0} lines/s), {} micro-batches \
          (avg {:.1} lines/batch), {alerts} retrieval-hot lines",
@@ -107,47 +199,51 @@ fn main() {
         stats.lines as f64 / stats.batches.max(1) as f64
     );
 
-    // 3. Live supervision: absorb fresh exemplars without a refit.
+    // 3. Live supervision: absorb fresh exemplars without a refit
+    //    (sharded: each routed to its owning shard's index).
     let burst: Vec<String> = test_lines.iter().take(8).cloned().collect();
     let burst_labels: Vec<bool> = burst.iter().map(|l| ids.is_alert(l)).collect();
-    let absorbed = service.append(&burst, &burst_labels).expect("append works");
+    let absorbed = front.append(&burst, &burst_labels);
     println!(
         "absorbed a supervision burst of {} lines into {absorbed} neighbour indexes",
         burst.len()
     );
 
     // 4. Persistence: snapshot, cold-start, verify verdict parity.
-    let (snapshot, skipped) = service.with_engine(ServiceSnapshot::capture);
+    let (snapshot, skipped) = front.snapshot();
     assert!(skipped.is_empty());
     let path = std::env::temp_dir().join(format!("streaming-score-{}.bin", std::process::id()));
     snapshot.save(&path).expect("snapshot saves");
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let warm_client = front.client();
     let want: Vec<Vec<f32>> = test_lines
         .iter()
         .take(16)
-        .map(|l| service.score_line(l).expect("warm service scores"))
+        .map(|l| warm_client.score_line(l).expect("warm service scores"))
         .collect();
-    service.shutdown();
+    drop(warm_client);
+    front.shutdown();
 
     let passes = index::construction_passes();
     let restored = ServiceSnapshot::load(&path)
         .expect("snapshot loads")
         .restore();
+    let cold = Front::spawn(pipeline, restored, shards);
     assert_eq!(
         index::construction_passes(),
         passes,
-        "cold start must adopt the saved graphs, not rebuild them"
+        "cold start must adopt the saved graphs (all shards), not rebuild them"
     );
     std::fs::remove_file(&path).ok();
-    let cold = ScoringService::spawn(pipeline, restored, ServeConfig::default())
-        .expect("cold service spawns");
+    let cold_client = cold.client();
     for (line, want_scores) in test_lines.iter().take(16).zip(&want) {
-        let got = cold.score_line(line).expect("cold service scores");
+        let got = cold_client.score_line(line).expect("cold service scores");
         assert_eq!(&got, want_scores, "cold-start verdict drifted for {line:?}");
     }
+    drop(cold_client);
     cold.shutdown();
     println!(
-        "cold-started from a {bytes}-byte snapshot with zero graph construction passes; \
-         verdicts bit-identical"
+        "cold-started from a {bytes}-byte snapshot ({shards} shard(s)) with zero graph \
+         construction passes; verdicts bit-identical"
     );
 }
