@@ -37,15 +37,16 @@ fn build_index(config: IndexConfig, data: Matrix, norms: Option<Vec<f32>>) -> Bo
 
 /// Recovers the [`IndexConfig`] a live index was built with (exact
 /// scan, HNSW with its actual parameters, or a sharded partition with
-/// its shape).
+/// its shape — candidate storage format included).
 fn config_of(index: &dyn VectorIndex) -> IndexConfig {
+    let quant = index.quantization();
     if let Some(hnsw) = index.as_any().downcast_ref::<index::HnswIndex>() {
-        return IndexConfig::Hnsw(*hnsw.params());
+        return IndexConfig::hnsw_with(*hnsw.params()).with_quant(quant);
     }
     if let Some(sharded) = index.as_any().downcast_ref::<index::ShardedIndex>() {
-        return IndexConfig::Sharded(*sharded.params());
+        return IndexConfig::sharded(*sharded.params()).with_quant(quant);
     }
-    IndexConfig::Exact
+    IndexConfig::Exact.with_quant(quant)
 }
 
 /// One exemplar candidate a shard contributes to a cross-shard merged

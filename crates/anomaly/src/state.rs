@@ -13,8 +13,7 @@
 use crate::detector::Detector;
 use crate::{RetrievalDetector, RetrievalMethod, VanillaKnn, VanillaKnnMethod};
 use index::persist::{ByteReader, ByteWriter, PersistError};
-use index::{IndexSnapshot, ShardBackend, ShardedParams};
-use linalg::Matrix;
+use index::{IndexSnapshot, Quantization, QuantizedMatrix, ShardBackend, ShardedParams};
 use serde::{Deserialize, Serialize};
 
 const TAG_RETRIEVAL: u8 = 0;
@@ -25,16 +24,18 @@ fn index_rows(index: &IndexSnapshot) -> usize {
     index.rows()
 }
 
-/// An empty index snapshot of the given backend shape — the frame a
-/// shard that holds no rows (yet) contributes to a sharded manifest.
-fn empty_snapshot(backend: ShardBackend, dim: usize) -> IndexSnapshot {
+/// An empty index snapshot of the given backend shape and storage
+/// format — the frame a shard that holds no rows (yet) contributes to
+/// a sharded manifest. Carrying the format matters: an exemplar later
+/// routed to the empty shard must quantize the way its siblings do.
+fn empty_snapshot(backend: ShardBackend, dim: usize, quant: Quantization) -> IndexSnapshot {
     match backend {
         ShardBackend::Exact => IndexSnapshot::Exact {
-            data: Matrix::zeros(0, dim),
+            data: QuantizedMatrix::empty(quant, dim),
             norms: Vec::new(),
         },
         ShardBackend::Hnsw(params) => IndexSnapshot::Hnsw {
-            data: Matrix::zeros(0, dim),
+            data: QuantizedMatrix::empty(quant, dim),
             norms: Vec::new(),
             params,
             links: Vec::new(),
@@ -111,6 +112,18 @@ impl DetectorState {
         }
     }
 
+    /// Whether this state's index payload is quantized — encoding it
+    /// emits V2-only index tags, so a composite frame embedding it
+    /// must bump its own version (see
+    /// [`IndexSnapshot::has_quantized_payload`]).
+    pub fn has_quantized_payload(&self) -> bool {
+        match self {
+            DetectorState::Retrieval { index, .. } | DetectorState::VanillaKnn { index, .. } => {
+                index.has_quantized_payload()
+            }
+        }
+    }
+
     /// Appends the state to an open binary frame.
     pub fn write(&self, w: &mut ByteWriter) {
         match self {
@@ -144,6 +157,7 @@ impl DetectorState {
                 index:
                     IndexSnapshot::Sharded {
                         params,
+                        quant,
                         dim,
                         shards,
                         globals,
@@ -159,6 +173,7 @@ impl DetectorState {
                     name: "retrieval",
                     k,
                     params,
+                    quant,
                     dim,
                     states,
                     globals,
@@ -170,6 +185,7 @@ impl DetectorState {
                 index:
                     IndexSnapshot::Sharded {
                         params,
+                        quant,
                         dim,
                         shards,
                         globals,
@@ -190,6 +206,7 @@ impl DetectorState {
                     name: "vanilla-knn",
                     k,
                     params,
+                    quant,
                     dim,
                     states,
                     globals,
@@ -249,6 +266,9 @@ pub struct ShardedDetectorState {
     pub k: usize,
     /// Partition shape (shard count, partitioner seed, backend).
     pub params: ShardedParams,
+    /// Candidate storage format of the partition (needed to frame
+    /// empty shards so later appends quantize consistently).
+    pub quant: Quantization,
     /// Embedding dimensionality (needed to frame empty shards).
     pub dim: usize,
     /// One sub-state per shard; `None` for shards holding no rows.
@@ -276,7 +296,7 @@ impl ShardedDetectorState {
             match state {
                 None => {
                     assert!(map.is_empty(), "empty shard with a non-empty id map");
-                    shards.push(empty_snapshot(self.params.backend, self.dim));
+                    shards.push(empty_snapshot(self.params.backend, self.dim, self.quant));
                 }
                 Some(DetectorState::Retrieval { k, index }) => {
                     assert_eq!(self.name, "retrieval", "sub-state method mismatch");
@@ -297,6 +317,7 @@ impl ShardedDetectorState {
         }
         let index = IndexSnapshot::Sharded {
             params: self.params,
+            quant: self.quant,
             dim: self.dim,
             shards,
             globals: self.globals,
@@ -318,6 +339,7 @@ mod tests {
     use super::*;
     use crate::{EmbeddingView, PcaMethod};
     use index::IndexConfig;
+    use linalg::Matrix;
 
     fn toy() -> (EmbeddingView, Vec<bool>) {
         let rows: Vec<Vec<f32>> = vec![

@@ -1,0 +1,135 @@
+//! Criterion bench: quantized candidate storage at serving scale —
+//! f32 vs f16 vs i8 exact scans over 10k indexed exemplars (dim 64,
+//! cluster-structured like production command-line embeddings).
+//!
+//! What the gates pin before any timing:
+//!
+//! * **f16 recall@1 ≥ 0.999 vs the f32 exact scan** — binary16 keeps
+//!   ~11 bits of mantissa, so a top-1 flip needs two candidates within
+//!   ≈ 5·10⁻⁴ cosine of each other; a "hit" is the same exemplar id
+//!   *or* a tie within 10⁻³ true cosine (the standard ε-recall tie
+//!   tolerance, since bit-equal ranks over near-duplicates are not a
+//!   meaningful fidelity signal).
+//! * **i8 Spearman ≥ 0.97 vs the f32 scan** — per-row symmetric int8
+//!   perturbs scores by ~1%, so the *ranking* of retrieval scores
+//!   (what every downstream PO@v metric consumes) must survive nearly
+//!   intact.
+//! * **Reduced bytes/query** — the point of the axis: every query
+//!   streams the whole candidate store once, so bytes-per-query ==
+//!   candidate-store bytes; f16 must halve it and i8 roughly quarter
+//!   it (codes + one f32 scale per row).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use index::{ExactIndex, Quantization, VectorIndex};
+use linalg::ops::{row_norms, spearman};
+use linalg::rng::{clustered_around, randn};
+use rand::{rngs::StdRng, SeedableRng};
+
+const INDEXED: usize = 10_000;
+const DIM: usize = 64;
+const CLUSTERS: usize = 250;
+const QUERIES: usize = 1_024;
+const NOISE: f32 = 0.25;
+
+fn timed(reps: usize, mut f: impl FnMut()) -> f64 {
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+fn bench_quant_scale(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(19);
+    let centers = randn(&mut rng, CLUSTERS, DIM, 1.0);
+    let data = clustered_around(&mut rng, &centers, INDEXED, NOISE);
+    let queries = clustered_around(&mut rng, &centers, QUERIES, NOISE);
+
+    let f32_idx = ExactIndex::build(data.clone());
+    let f16_idx = ExactIndex::build_quantized(data.clone(), row_norms(&data), Quantization::F16);
+    let i8_idx = ExactIndex::build_quantized(data.clone(), row_norms(&data), Quantization::I8);
+
+    // ── Correctness gates before any timing. ──
+    let truth = f32_idx.query_batch(&queries, 1);
+    let f16_top = f16_idx.query_batch(&queries, 1);
+    let i8_top = i8_idx.query_batch(&queries, 1);
+
+    // True (f32) cosine of the exemplar each backend chose — a hit is
+    // the same id or an ε-tie in true cosine.
+    let true_sim =
+        |q: usize, id: usize| linalg::ops::cosine_similarity(data.row(id), queries.row(q));
+    let eps = 1e-3;
+    let f16_hits = (0..QUERIES)
+        .filter(|&q| {
+            f16_top[q][0].id == truth[q][0].id
+                || (true_sim(q, f16_top[q][0].id) - truth[q][0].similarity).abs() <= eps
+        })
+        .count();
+    let f16_recall = f16_hits as f64 / QUERIES as f64;
+    assert!(
+        f16_recall >= 0.999,
+        "f16 recall@1 {f16_recall:.4} ({f16_hits}/{QUERIES}) below the 0.999 gate"
+    );
+
+    let f32_scores: Vec<f32> = truth.iter().map(|n| n[0].similarity).collect();
+    let i8_scores: Vec<f32> = i8_top.iter().map(|n| n[0].similarity).collect();
+    let rho = spearman(&f32_scores, &i8_scores);
+    assert!(
+        rho >= 0.97,
+        "i8 score Spearman {rho:.4} below the 0.97 gate"
+    );
+
+    // ── Bytes per query: one full candidate-store stream per scan. ──
+    let (b32, b16, b8) = (
+        f32_idx.candidate_bytes(),
+        f16_idx.candidate_bytes(),
+        i8_idx.candidate_bytes(),
+    );
+    assert_eq!(b16 * 2, b32, "f16 must halve candidate bytes");
+    assert!(
+        b8 * 3 < b32,
+        "i8 (+ scales) must cut candidate bytes at least 3x: {b8} vs {b32}"
+    );
+
+    let reps = 3;
+    let t32 = timed(reps, || {
+        black_box(f32_idx.query_batch(&queries, 1));
+    });
+    let t16 = timed(reps, || {
+        black_box(f16_idx.query_batch(&queries, 1));
+    });
+    let t8 = timed(reps, || {
+        black_box(i8_idx.query_batch(&queries, 1));
+    });
+    println!(
+        "quant_scale: {INDEXED}×{DIM}, {QUERIES} queries —\n\
+         \x20 f32 {:>9} B/query, {:.1} q/ms (reference)\n\
+         \x20 f16 {:>9} B/query ({:.2}× fewer), {:.1} q/ms, recall@1 {f16_recall:.4} (gate ≥ 0.999)\n\
+         \x20 i8  {:>9} B/query ({:.2}× fewer), {:.1} q/ms, Spearman {rho:.4} (gate ≥ 0.97)",
+        b32,
+        QUERIES as f64 / (t32 * 1000.0),
+        b16,
+        b32 as f64 / b16 as f64,
+        QUERIES as f64 / (t16 * 1000.0),
+        b8,
+        b32 as f64 / b8 as f64,
+        QUERIES as f64 / (t8 * 1000.0),
+    );
+
+    let mut group = c.benchmark_group("quant_scale");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(QUERIES as u64));
+    group.bench_function("exact_f32", |b| {
+        b.iter(|| f32_idx.query_batch(black_box(&queries), 1))
+    });
+    group.bench_function("exact_f16", |b| {
+        b.iter(|| f16_idx.query_batch(black_box(&queries), 1))
+    });
+    group.bench_function("exact_i8", |b| {
+        b.iter(|| i8_idx.query_batch(black_box(&queries), 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quant_scale);
+criterion_main!(benches);

@@ -16,7 +16,7 @@
 
 pub mod methods;
 
-use cmdline_ids::engine::IndexConfig;
+use cmdline_ids::engine::{IndexConfig, Quantization};
 use cmdline_ids::metrics::ScoredSample;
 use cmdline_ids::pipeline::{IdsPipeline, PipelineConfig};
 use corpus::{dedup_records, AttackFamily, Dataset, LogRecord};
@@ -171,10 +171,11 @@ pub struct Args {
     /// Independent runs to aggregate (Table I reports five).
     pub runs: usize,
     /// Vector-index backend for the neighbour-based methods
-    /// (`--index exact|hnsw`, optionally partitioned via `--shards N`;
-    /// unsharded exact is the paper-faithful default). After parsing
-    /// this is the *combined* config — `--shards 4 --index hnsw`
-    /// yields a 4-way sharded HNSW partition.
+    /// (`--index exact|hnsw`, optionally partitioned via `--shards N`
+    /// and/or stored quantized via `--quant f32|f16|i8`; unsharded
+    /// f32 exact is the paper-faithful default). After parsing this is
+    /// the *combined* config — `--shards 4 --index hnsw --quant i8`
+    /// yields a 4-way sharded HNSW partition over int8 candidates.
     pub index: IndexConfig,
     /// After the offline tables, replay the test stream through the
     /// long-lived scoring service and report streamed-vs-batch parity
@@ -196,8 +197,9 @@ impl Default for Args {
 }
 
 impl Args {
-    /// Parses `--seed N --train N --test N --runs N --index exact|hnsw`
-    /// from `std::env`. Unknown flags abort with a usage message.
+    /// Parses `--seed N --train N --test N --runs N --index exact|hnsw
+    /// --shards N --quant f32|f16|i8` from `std::env`. Unknown flags
+    /// abort with a usage message.
     pub fn parse() -> Self {
         Self::parse_impl(false)
     }
@@ -213,13 +215,14 @@ impl Args {
     fn parse_impl(allow_serve: bool) -> Self {
         let mut args = Args::default();
         let mut shards = 1usize;
+        let mut quant = Quantization::F32;
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         let usage = move || {
             let serve = if allow_serve { " [--serve]" } else { "" };
             eprintln!(
                 "usage: {} [--seed N] [--train N] [--test N] [--runs N] \
-                 [--index exact|hnsw] [--shards N]{serve}",
+                 [--index exact|hnsw] [--shards N] [--quant f32|f16|i8]{serve}",
                 std::env::args().next().unwrap_or_default()
             );
             std::process::exit(2)
@@ -242,6 +245,14 @@ impl Args {
                 i += 2;
                 continue;
             }
+            if key == "--quant" {
+                match argv.get(i + 1).map(|v| v.parse::<Quantization>()) {
+                    Some(Ok(q)) => quant = q,
+                    _ => usage(),
+                }
+                i += 2;
+                continue;
+            }
             let value = argv.get(i + 1).and_then(|v| v.parse::<u64>().ok());
             match (key, value) {
                 ("--seed", Some(v)) => args.seed = v,
@@ -253,10 +264,10 @@ impl Args {
             }
             i += 2;
         }
-        // Fold the partition count into the backend choice, order of
-        // flags notwithstanding: every consumer of `args.index` gets
-        // the sharded config for free.
-        args.index = args.index.with_shards(shards);
+        // Fold the partition count and storage format into the backend
+        // choice, order of flags notwithstanding: every consumer of
+        // `args.index` gets the combined config for free.
+        args.index = args.index.with_quant(quant).with_shards(shards);
         args
     }
 

@@ -17,7 +17,7 @@ use anomaly::{
 };
 use cmdline_ids::engine::{
     window_dedup_indices, ClassificationMethod, Detector, EmbeddingStore, EngineError, EngineRun,
-    IndexConfig, MultiLineMethod, ReconstructionMethod, ScoringEngine,
+    IndexConfig, MultiLineMethod, Quantization, ReconstructionMethod, ScoringEngine,
 };
 use cmdline_ids::metrics::ScoredSample;
 use cmdline_ids::tuning::{ReconstructionConfig, TuneConfig};
@@ -74,6 +74,14 @@ impl<'e> MethodSuite<'e> {
     /// exact).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.engine = self.engine.with_shards(shards);
+        self
+    }
+
+    /// Stores every neighbour-based method's candidates in `quant`
+    /// format on top of the configured backend (the `--quant` CLI
+    /// knob; f32 stays bit-identical to the historical scans).
+    pub fn with_quant(mut self, quant: Quantization) -> Self {
+        self.engine = self.engine.with_quant(quant);
         self
     }
 

@@ -48,7 +48,7 @@ pub use anomaly::{
     merge_shard_candidates, Detector, DetectorError, DetectorState, EmbeddingView, Pooling,
     ShardCandidate, ShardMerge, ShardedDetectorState,
 };
-pub use index::{HnswParams, IndexConfig, ShardBackend, ShardedParams};
+pub use index::{HnswParams, IndexBackend, IndexConfig, Quantization, ShardBackend, ShardedParams};
 pub use methods::{
     subsample_labeled, window_dedup_indices, ClassificationMethod, MultiLineMethod,
     ReconstructionMethod,
@@ -149,6 +149,17 @@ impl ScoringEngine {
     pub fn with_shards(mut self, shards: usize) -> Self {
         let base = self.index_config.unwrap_or_default();
         self.index_config = Some(base.with_shards(shards));
+        self
+    }
+
+    /// Stores every neighbour-based detector's candidates in `quant`
+    /// format on top of the configured backend (the `--quant` CLI
+    /// knob): f32 is bit-identical to the historical scans, f16/i8
+    /// trade ≤ 1-ulp / ≤ scale/2 element error for 2×/4× less
+    /// candidate memory bandwidth (`benches/quant_scale.rs`).
+    pub fn with_quant(mut self, quant: Quantization) -> Self {
+        let base = self.index_config.unwrap_or_default();
+        self.index_config = Some(base.with_quant(quant));
         self
     }
 
@@ -548,6 +559,98 @@ mod tests {
         // total order.
         assert_eq!(exact.scores("retrieval"), sharded.scores("retrieval"));
         assert_eq!(exact.scores("vanilla-knn"), sharded.scores("vanilla-knn"));
+    }
+
+    #[test]
+    fn zero_embedding_rows_score_deterministically_through_the_engine() {
+        // The zero-norm pin at engine level: an all-zero training row
+        // (degenerate embedding) and an all-zero test row flow through
+        // the neighbour detectors as similarity 0.0 — never NaN — and
+        // tie-ordering under `neighbour_cmp` keeps every run, sharded
+        // or not, quantized or not, bit-reproducible.
+        let train = Matrix::from_fn(12, 4, |r, c| {
+            if r == 5 || r == 9 {
+                0.0 // degenerate rows, one malicious-labeled
+            } else if c == 3 {
+                (r < 4) as usize as f32
+            } else {
+                0.1 * ((r + c) % 3) as f32
+            }
+        });
+        let labels: Vec<bool> = (0..12).map(|r| r < 4 || r == 5).collect();
+        let test = Matrix::from_fn(3, 4, |r, c| if r == 1 { 0.0 } else { 0.2 * c as f32 });
+        let train = EmbeddingView::from_matrix(train);
+        let test = EmbeddingView::from_matrix(test);
+
+        let run_with = |config: Option<IndexConfig>| {
+            let mut engine = ScoringEngine::new()
+                .register(Box::new(RetrievalMethod::new(2)))
+                .register(Box::new(VanillaKnnMethod::new(3)));
+            if let Some(c) = config {
+                engine = engine.with_index_config(c);
+            }
+            engine.run(&train, &labels, &test).expect("run succeeds")
+        };
+        let exact = run_with(None);
+        for m in exact.outputs() {
+            assert!(
+                m.scores.iter().all(|s| s.is_finite()),
+                "{}: zero rows must not poison scores",
+                m.name
+            );
+        }
+        // Bit-reproducible across repeated runs…
+        let again = run_with(None);
+        for (a, b) in exact.outputs().iter().zip(again.outputs()) {
+            assert_eq!(a.scores, b.scores, "{}", a.name);
+        }
+        // …and across the sharded partition (zero rows hash to a shard
+        // like any other content; ties merge in global id order).
+        let sharded = run_with(Some(IndexConfig::Exact.with_shards(3)));
+        for (a, b) in exact.outputs().iter().zip(sharded.outputs()) {
+            assert_eq!(a.scores, b.scores, "{} sharded", a.name);
+        }
+        // Quantized runs stay finite and deterministic too (scores may
+        // differ from f32 within quantization error, but never NaN).
+        for quant in [Quantization::F16, Quantization::I8] {
+            let q1 = run_with(Some(IndexConfig::Exact.with_quant(quant)));
+            let q2 = run_with(Some(IndexConfig::Exact.with_quant(quant)));
+            for (a, b) in q1.outputs().iter().zip(q2.outputs()) {
+                assert!(a.scores.iter().all(|s| s.is_finite()), "{} {quant}", a.name);
+                assert_eq!(a.scores, b.scores, "{} {quant}", a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_exact_runs_track_f32_scores() {
+        let (train, labels, test) = toy_views();
+        let exact = ScoringEngine::new()
+            .register(Box::new(RetrievalMethod::new(1)))
+            .register(Box::new(VanillaKnnMethod::new(3)))
+            .run(&train, &labels, &test)
+            .expect("f32 run");
+        for quant in [Quantization::F16, Quantization::I8] {
+            let engine = ScoringEngine::new()
+                .with_quant(quant)
+                .register(Box::new(RetrievalMethod::new(1)))
+                .register(Box::new(VanillaKnnMethod::new(3)));
+            assert_eq!(
+                engine.index_config(),
+                Some(IndexConfig::Exact.with_quant(quant))
+            );
+            let q = engine.run(&train, &labels, &test).expect("quantized run");
+            let tol = if quant == Quantization::F16 {
+                1e-2
+            } else {
+                5e-2
+            };
+            for (m, qm) in exact.outputs().iter().zip(q.outputs()) {
+                for (&a, &b) in m.scores.iter().zip(&qm.scores) {
+                    assert!((a - b).abs() <= tol, "{} {quant}: {a} vs {b}", m.name);
+                }
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! paper-faithful [`VectorIndex`] backend.
 
 use crate::{Neighbor, VectorIndex};
-use linalg::ops::{cosine_with_norms, norm, row_norms};
+use linalg::ops::{norm, row_norms};
+use linalg::quant::{Quantization, QuantizedMatrix};
 use linalg::Matrix;
 
 /// Exact top-k by full scan.
@@ -12,31 +13,61 @@ use linalg::Matrix;
 /// descending sort, so ties keep candidate row order — exactly the
 /// behaviour of the historical per-detector scans, which is what makes
 /// exact-backed detector scores bit-identical to the pre-index code.
+///
+/// Candidates live in a [`QuantizedMatrix`]: the default f32 storage
+/// reproduces the historical kernels bit for bit, while f16/i8 halve
+/// or quarter the bytes each scan streams (`benches/quant_scale.rs`).
+/// Norms stay the **original f32** row norms in every format — the
+/// quantized kernels reuse the same cache.
 #[derive(Debug, Clone)]
 pub struct ExactIndex {
-    data: Matrix,
+    data: QuantizedMatrix,
     norms: Vec<f32>,
 }
 
 impl ExactIndex {
-    /// Indexes `data`, deriving the candidate norms.
+    /// Indexes `data` in f32, deriving the candidate norms.
     pub fn build(data: Matrix) -> Self {
         let norms = row_norms(&data);
-        ExactIndex { data, norms }
+        ExactIndex::build_with_norms(data, norms)
     }
 
-    /// Indexes `data` with norms the caller already holds.
+    /// Indexes `data` in f32 with norms the caller already holds.
     ///
     /// # Panics
     ///
     /// Panics if `norms.len() != data.rows()`.
     pub fn build_with_norms(data: Matrix, norms: Vec<f32>) -> Self {
+        Self::build_quantized(data, norms, Quantization::F32)
+    }
+
+    /// Indexes `data` in the chosen storage format with caller-held
+    /// norms (always the original f32 norms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `norms.len() != data.rows()`.
+    pub fn build_quantized(data: Matrix, norms: Vec<f32>, quant: Quantization) -> Self {
+        assert_eq!(norms.len(), data.rows(), "one norm per candidate row");
+        ExactIndex {
+            data: QuantizedMatrix::encode(data, quant),
+            norms,
+        }
+    }
+
+    /// Adopts an already-quantized candidate matrix (the persistence
+    /// restore path — no re-encoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `norms.len() != data.rows()`.
+    pub fn from_quantized(data: QuantizedMatrix, norms: Vec<f32>) -> Self {
         assert_eq!(norms.len(), data.rows(), "one norm per candidate row");
         ExactIndex { data, norms }
     }
 
-    /// The indexed candidate matrix.
-    pub fn data(&self) -> &Matrix {
+    /// The indexed candidate storage.
+    pub fn data(&self) -> &QuantizedMatrix {
         &self.data
     }
 
@@ -46,7 +77,7 @@ impl ExactIndex {
     }
 
     /// Disassembles the index for persistence.
-    pub(crate) fn to_parts(&self) -> (&Matrix, &[f32]) {
+    pub(crate) fn to_parts(&self) -> (&QuantizedMatrix, &[f32]) {
         (&self.data, &self.norms)
     }
 }
@@ -71,7 +102,7 @@ impl VectorIndex for ExactIndex {
         let mut sims: Vec<Neighbor> = (0..n)
             .map(|r| Neighbor {
                 id: r,
-                similarity: cosine_with_norms(self.data.row(r), self.norms[r], query, nq),
+                similarity: self.data.cosine_row(r, self.norms[r], query, nq),
             })
             .collect();
         // `neighbour_cmp` — (similarity desc, id asc) — is a total
@@ -103,6 +134,14 @@ impl VectorIndex for ExactIndex {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn quantization(&self) -> Quantization {
+        self.data.quantization()
+    }
+
+    fn candidate_bytes(&self) -> usize {
+        self.data.candidate_bytes()
     }
 }
 
@@ -146,6 +185,53 @@ mod tests {
     }
 
     #[test]
+    fn quantized_backends_track_f32_closely() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let data = randn(&mut rng, 80, 16, 1.0);
+        let queries = randn(&mut rng, 8, 16, 1.0);
+        let exact = ExactIndex::build(data.clone());
+        for (quant, tol) in [(Quantization::F16, 2e-3), (Quantization::I8, 2e-2)] {
+            let norms = row_norms(&data);
+            let qidx = ExactIndex::build_quantized(data.clone(), norms, quant);
+            assert_eq!(qidx.quantization(), quant);
+            assert!(qidx.candidate_bytes() < exact.candidate_bytes());
+            for r in 0..queries.rows() {
+                let want = exact.query(queries.row(r), 1)[0];
+                let got = qidx.query(queries.row(r), 1)[0];
+                assert!(
+                    (got.similarity - want.similarity).abs() <= tol,
+                    "{quant}: {} vs {}",
+                    got.similarity,
+                    want.similarity
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_insert_matches_quantized_build() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let data = randn(&mut rng, 30, 6, 1.0);
+        for quant in [Quantization::F32, Quantization::F16, Quantization::I8] {
+            let norms = row_norms(&data);
+            let all = ExactIndex::build_quantized(data.clone(), norms, quant);
+            let head = data.row_block(0, 20);
+            let mut incremental =
+                ExactIndex::build_quantized(head.clone(), row_norms(&head), quant);
+            for r in 20..30 {
+                assert_eq!(incremental.insert(data.row(r)), r, "{quant}");
+            }
+            for r in (0..30).step_by(7) {
+                assert_eq!(
+                    incremental.query(data.row(r), 3),
+                    all.query(data.row(r), 3),
+                    "{quant}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn ties_keep_row_order() {
         // Duplicate candidates tie exactly; the stable sort must keep
         // the earlier row first, as the historical scan did.
@@ -177,6 +263,45 @@ mod tests {
         );
         let zeroed = idx.query(&[0.0, 0.0], 1);
         assert_eq!(zeroed[0].similarity, 0.0);
+    }
+
+    #[test]
+    fn all_zero_rows_tie_deterministically_in_every_format() {
+        // The zero-norm pin at index level: `cosine_row` returns 0.0
+        // for degenerate rows in every storage format, and
+        // `neighbour_cmp`'s (sim desc, id asc) order keeps the
+        // resulting ties in ascending id order — identically across
+        // repeated queries and across formats.
+        let data = Matrix::from_rows(&[
+            &[0.0, 0.0, 0.0],
+            &[1.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0],
+        ]);
+        let norms = row_norms(&data);
+        for quant in [Quantization::F32, Quantization::F16, Quantization::I8] {
+            let idx = ExactIndex::build_quantized(data.clone(), norms.clone(), quant);
+            let top = idx.query(&[1.0, 0.0, 0.0], 4);
+            assert_eq!(top[0].id, 1, "{quant}");
+            assert_eq!(
+                top[1..].iter().map(|n| n.id).collect::<Vec<_>>(),
+                vec![0, 2, 3],
+                "{quant}: zero rows must tie in ascending id order"
+            );
+            assert!(top[1..].iter().all(|n| n.similarity == 0.0), "{quant}");
+            // A degenerate (all-zero) query scores every candidate 0.0
+            // and the ids still come back ascending — twice, to pin
+            // determinism.
+            let z1 = idx.query(&[0.0, 0.0, 0.0], 4);
+            let z2 = idx.query(&[0.0, 0.0, 0.0], 4);
+            assert_eq!(z1, z2, "{quant}");
+            assert_eq!(
+                z1.iter().map(|n| n.id).collect::<Vec<_>>(),
+                vec![0, 1, 2, 3],
+                "{quant}"
+            );
+            assert!(z1.iter().all(|n| n.similarity == 0.0), "{quant}");
+        }
     }
 
     #[test]

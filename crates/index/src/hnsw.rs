@@ -22,7 +22,8 @@
 //! contract).
 
 use crate::{Neighbor, VectorIndex};
-use linalg::ops::{cosine_with_norms, norm, row_norms};
+use linalg::ops::{norm, row_norms};
+use linalg::quant::{Quantization, QuantizedMatrix};
 use linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -139,9 +140,14 @@ impl PartialOrd for Scored {
 }
 
 /// The approximate nearest-neighbour graph.
+///
+/// Candidates live in a [`QuantizedMatrix`]; the default f32 storage
+/// is bit-identical to the historical graph, while f16/i8 cut the
+/// bytes each beam search streams. Norms stay the original f32 row
+/// norms in every format.
 #[derive(Debug, Clone)]
 pub struct HnswIndex {
-    data: Matrix,
+    data: QuantizedMatrix,
     norms: Vec<f32>,
     params: HnswParams,
     /// `links[node][level]` = neighbour ids of `node` at `level`;
@@ -165,25 +171,40 @@ pub struct HnswIndex {
 }
 
 impl HnswIndex {
-    /// Builds the graph over `data`, deriving candidate norms.
+    /// Builds the graph over `data` in f32, deriving candidate norms.
     pub fn build(data: Matrix, params: HnswParams) -> Self {
         let norms = row_norms(&data);
         Self::build_with_norms(data, norms, params)
     }
 
-    /// Builds the graph over `data` with norms the caller already
-    /// holds. Counts as one construction pass
+    /// Builds the graph over `data` in f32 with norms the caller
+    /// already holds. Counts as one construction pass
     /// ([`construction_passes`]).
     ///
     /// # Panics
     ///
     /// Panics if `norms.len() != data.rows()` or `params.m < 2`.
     pub fn build_with_norms(data: Matrix, norms: Vec<f32>, params: HnswParams) -> Self {
+        Self::build_quantized(data, norms, params, Quantization::F32)
+    }
+
+    /// [`HnswIndex::build_with_norms`] with candidates stored in the
+    /// chosen format (norms are always the original f32 norms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `norms.len() != data.rows()` or `params.m < 2`.
+    pub fn build_quantized(
+        data: Matrix,
+        norms: Vec<f32>,
+        params: HnswParams,
+        quant: Quantization,
+    ) -> Self {
         assert_eq!(norms.len(), data.rows(), "one norm per candidate row");
         assert!(params.m >= 2, "HNSW needs at least 2 links per node");
         let n = data.rows();
         let mut index = HnswIndex {
-            data,
+            data: QuantizedMatrix::encode(data, quant),
             norms,
             params,
             links: Vec::with_capacity(n),
@@ -289,9 +310,8 @@ impl HnswIndex {
             return Vec::new();
         }
         let old_rows = self.data.rows();
-        let cols = self.data.cols();
         let mut remap: Vec<Option<usize>> = vec![None; old_rows];
-        let mut live_data = Vec::with_capacity((old_rows - self.dead) * cols);
+        let mut keep = Vec::with_capacity(old_rows - self.dead);
         let mut live_norms = Vec::with_capacity(old_rows - self.dead);
         let mut next = 0usize;
         for (old, slot) in remap.iter_mut().enumerate() {
@@ -299,11 +319,13 @@ impl HnswIndex {
                 continue;
             }
             *slot = Some(next);
-            live_data.extend_from_slice(self.data.row(old));
+            keep.push(old);
             live_norms.push(self.norms[old]);
             next += 1;
         }
-        self.data = Matrix::from_vec(next, cols, live_data);
+        // Raw-code row copy: compaction never decodes and re-encodes,
+        // so it is lossless in every storage format.
+        self.data = self.data.select_rows(&keep);
         self.norms = live_norms;
         self.links = Vec::with_capacity(next);
         self.tombstone = Vec::with_capacity(next);
@@ -328,10 +350,12 @@ impl HnswIndex {
     }
 
     /// Cosine similarity between candidate `id` and a query whose norm
-    /// is already known.
+    /// is already known (0.0 on degenerate norms, as the historical
+    /// `cosine_with_norms` guaranteed — the zero-norm contract holds
+    /// in every storage format).
     #[inline]
     fn sim(&self, id: usize, query: &[f32], query_norm: f32) -> f32 {
-        cosine_with_norms(self.data.row(id), self.norms[id], query, query_norm)
+        self.data.cosine_row(id, self.norms[id], query, query_norm)
     }
 
     /// Greedy descent at one layer: hill-climb to the locally most
@@ -449,7 +473,9 @@ impl HnswIndex {
             self.top_level = level;
             return;
         }
-        let query: Vec<f32> = self.data.row(i).to_vec();
+        // The wiring anchor is the *stored* (possibly dequantized) row
+        // — build and insert then agree exactly, whatever the format.
+        let query: Vec<f32> = self.data.decode_row(i);
         let nq = self.norms[i];
         let mut ep = Scored {
             similarity: self.sim(self.entry, &query, nq),
@@ -481,7 +507,7 @@ impl HnswIndex {
     /// Shrinks an over-full link list to the layer budget, keeping the
     /// most similar neighbours (ties by id, deterministically).
     fn prune(&mut self, node: usize, level: usize) {
-        let anchor: Vec<f32> = self.data.row(node).to_vec();
+        let anchor: Vec<f32> = self.data.decode_row(node);
         let na = self.norms[node];
         let mut scored: Vec<Scored> = self.links[node][level]
             .iter()
@@ -502,7 +528,7 @@ impl HnswIndex {
     pub(crate) fn to_parts(
         &self,
     ) -> (
-        &Matrix,
+        &QuantizedMatrix,
         &[f32],
         HnswParams,
         &[Vec<Vec<usize>>],
@@ -529,7 +555,7 @@ impl HnswIndex {
     /// twin.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
-        data: Matrix,
+        data: QuantizedMatrix,
         norms: Vec<f32>,
         params: HnswParams,
         links: Vec<Vec<Vec<usize>>>,
@@ -616,6 +642,14 @@ impl VectorIndex for HnswIndex {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn quantization(&self) -> Quantization {
+        self.data.quantization()
+    }
+
+    fn candidate_bytes(&self) -> usize {
+        self.data.candidate_bytes()
     }
 }
 
@@ -829,5 +863,91 @@ mod tests {
         let data = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
         let idx = HnswIndex::build(data, HnswParams::default());
         assert!(idx.query(&[1.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn quantized_insert_after_build_matches_building_all_at_once() {
+        // Per-row quantization is independent of neighbouring rows and
+        // the RNG lives in the index, so the build/insert equivalence
+        // holds in every storage format, not just f32.
+        let mut rng = StdRng::seed_from_u64(36);
+        let data = randn(&mut rng, 100, 8, 1.0);
+        for quant in [Quantization::F16, Quantization::I8] {
+            let all = HnswIndex::build_quantized(
+                data.clone(),
+                row_norms(&data),
+                HnswParams::default(),
+                quant,
+            );
+            let head = data.row_block(0, 70);
+            let mut incremental = HnswIndex::build_quantized(
+                head.clone(),
+                row_norms(&head),
+                HnswParams::default(),
+                quant,
+            );
+            for r in 70..100 {
+                assert_eq!(incremental.insert(data.row(r)), r, "{quant}");
+            }
+            assert_eq!(incremental.links, all.links, "{quant}");
+            let q = data.row(17);
+            assert_eq!(incremental.query(q, 5), all.query(q, 5), "{quant}");
+        }
+    }
+
+    #[test]
+    fn quantized_compaction_is_lossless() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let data = randn(&mut rng, 60, 6, 1.0);
+        for quant in [Quantization::F16, Quantization::I8] {
+            let params = HnswParams::default().with_compact_ratio(0.9);
+            let mut idx = HnswIndex::build_quantized(data.clone(), row_norms(&data), params, quant);
+            for id in [2, 7, 11] {
+                idx.remove(id);
+            }
+            let before: Vec<Vec<f32>> = (0..60).map(|r| idx.data.decode_row(r)).collect();
+            let remap = idx.compact();
+            assert_eq!(idx.quantization(), quant);
+            // Raw-code row copy: survivors decode to exactly the bytes
+            // they held before compaction (no re-quantization drift).
+            for (old, slot) in remap.iter().enumerate() {
+                if let Some(new) = slot {
+                    assert_eq!(idx.data.decode_row(*new), before[old], "{quant}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_rows_and_queries_stay_finite_in_every_format() {
+        // Zero-norm pin at the graph level: degenerate rows score 0.0
+        // through `sim` (the cosine_with_norms contract) in every
+        // storage format, traversal never divides by zero, and results
+        // stay deterministic.
+        let data = Matrix::from_rows(&[
+            &[0.0, 0.0, 0.0],
+            &[1.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0],
+            &[0.0, 0.0, 0.0],
+        ]);
+        for quant in [Quantization::F32, Quantization::F16, Quantization::I8] {
+            let idx = HnswIndex::build_quantized(
+                data.clone(),
+                row_norms(&data),
+                HnswParams::default(),
+                quant,
+            );
+            let top = idx.query(&[1.0, 0.0, 0.0], 4);
+            assert!(top.iter().all(|n| n.similarity.is_finite()), "{quant}");
+            assert_eq!(top[0].id, 1, "{quant}");
+            for n in &top {
+                if matches!(n.id, 0 | 3) {
+                    assert_eq!(n.similarity, 0.0, "{quant}: zero row must score 0.0");
+                }
+            }
+            let zero_q = idx.query(&[0.0, 0.0, 0.0], 4);
+            assert_eq!(zero_q, idx.query(&[0.0, 0.0, 0.0], 4), "{quant}");
+            assert!(zero_q.iter().all(|n| n.similarity == 0.0), "{quant}");
+        }
     }
 }

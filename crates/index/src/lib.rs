@@ -22,7 +22,13 @@
 //! Consumers pick a backend through [`IndexConfig`], which the scoring
 //! engine threads down to every registered neighbour-based detector —
 //! a suite switches the whole run between exact and approximate with
-//! one knob (`--index exact|hnsw` on the table binaries).
+//! one knob (`--index exact|hnsw` on the table binaries). Orthogonal
+//! to the backend choice, [`IndexConfig::quant`] selects the candidate
+//! **storage format** ([`Quantization`]): `f32` (bit-identical to the
+//! historical scans), `f16` (half the candidate bandwidth, ≤ 1-ulp
+//! element error), or per-row symmetric `i8` (quarter bandwidth) —
+//! `--quant f32|f16|i8` on the table binaries, applied per shard on
+//! sharded backends.
 
 mod exact;
 mod hnsw;
@@ -31,6 +37,7 @@ mod sharded;
 
 pub use exact::ExactIndex;
 pub use hnsw::{construction_passes, HnswIndex, HnswParams};
+pub use linalg::quant::{Quantization, QuantizedMatrix};
 pub use persist::IndexSnapshot;
 pub use sharded::{
     merge_shard_topk, merge_sorted_topk, shard_for_row, ShardBackend, ShardedIndex, ShardedParams,
@@ -101,6 +108,21 @@ pub trait VectorIndex: Send + Sync + std::fmt::Debug {
     /// ([`persist::IndexSnapshot::capture`] downcasts to the backend
     /// it knows how to serialize).
     fn as_any(&self) -> &dyn std::any::Any;
+
+    /// The candidate storage format this index holds (sharded indexes
+    /// report the format their shards were built with).
+    fn quantization(&self) -> Quantization {
+        Quantization::F32
+    }
+
+    /// Bytes the candidate storage occupies — codes plus any per-row
+    /// scales (the figure the quantization benches compare; one exact
+    /// scan streams exactly this many bytes per query). The default
+    /// covers scale-free formats; i8-capable backends override to
+    /// include their scale vectors.
+    fn candidate_bytes(&self) -> usize {
+        self.len() * self.dim() * self.quantization().bytes_per_element()
+    }
 }
 
 /// The total order every backend ranks neighbours by: similarity
@@ -157,7 +179,7 @@ pub fn query_rows_parallel<I: VectorIndex + ?Sized>(
     out
 }
 
-/// Which [`VectorIndex`] backend to build over a candidate matrix.
+/// Which [`VectorIndex`] backend an [`IndexConfig`] builds.
 ///
 /// `Exact` is the default everywhere: it reproduces the paper's
 /// brute-force scores bit-for-bit. `Hnsw` trades exactness for
@@ -166,7 +188,7 @@ pub fn query_rows_parallel<I: VectorIndex + ?Sized>(
 /// content-stable hash ([`ShardedIndex`]) — sharded-exact stays
 /// bit-identical to `Exact`.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub enum IndexConfig {
+pub enum IndexBackend {
     /// Brute-force scan; bit-identical to the historical detectors.
     #[default]
     Exact,
@@ -176,37 +198,96 @@ pub enum IndexConfig {
     Sharded(ShardedParams),
 }
 
+/// Everything a neighbour-based detector needs to build its candidate
+/// index: the search **backend** and the candidate **storage format**.
+///
+/// The two axes are orthogonal and compose freely — a 4-way sharded
+/// HNSW partition over int8 rows is
+/// `IndexConfig::hnsw().with_quant(Quantization::I8).with_shards(4)`.
+/// The default (`IndexConfig::Exact`, f32) is the paper-faithful,
+/// bit-reproducible configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IndexConfig {
+    /// The search backend.
+    pub backend: IndexBackend,
+    /// The candidate storage format (applied per shard on sharded
+    /// backends — each shard quantizes its own rows, which is what
+    /// lets quantization roll out shard by shard).
+    pub quant: Quantization,
+}
+
 impl IndexConfig {
-    /// The HNSW backend with default parameters.
+    /// The exact brute-force backend over f32 storage — the
+    /// paper-faithful default, spelled like the historical enum
+    /// variant so the many construction sites read unchanged.
+    #[allow(non_upper_case_globals)]
+    pub const Exact: IndexConfig = IndexConfig {
+        backend: IndexBackend::Exact,
+        quant: Quantization::F32,
+    };
+
+    /// The HNSW backend with default parameters (f32 storage).
     pub fn hnsw() -> Self {
-        IndexConfig::Hnsw(HnswParams::default())
+        Self::hnsw_with(HnswParams::default())
+    }
+
+    /// The HNSW backend with explicit parameters (f32 storage).
+    pub fn hnsw_with(params: HnswParams) -> Self {
+        IndexConfig {
+            backend: IndexBackend::Hnsw(params),
+            quant: Quantization::F32,
+        }
+    }
+
+    /// A sharded backend with the given partition shape (f32 storage).
+    pub fn sharded(params: ShardedParams) -> Self {
+        IndexConfig {
+            backend: IndexBackend::Sharded(params),
+            quant: Quantization::F32,
+        }
+    }
+
+    /// This backend with candidates stored in `quant` format (the
+    /// `--quant` CLI knob). `Quantization::F32` is the bit-identical
+    /// default.
+    pub fn with_quant(mut self, quant: Quantization) -> Self {
+        self.quant = quant;
+        self
     }
 
     /// This backend partitioned across `shards` sub-indexes (the
     /// `--shards` CLI knob). `shards <= 1` unwraps back to the plain
     /// backend, so `config.with_shards(1)` is always the unsharded
-    /// config.
+    /// config. The storage format is preserved either way.
     pub fn with_shards(self, shards: usize) -> Self {
-        let (backend, seed) = match self {
-            IndexConfig::Exact => (ShardBackend::Exact, DEFAULT_SHARD_SEED),
-            IndexConfig::Hnsw(p) => (ShardBackend::Hnsw(p), DEFAULT_SHARD_SEED),
-            IndexConfig::Sharded(p) => (p.backend, p.seed),
+        let (backend, seed) = match self.backend {
+            IndexBackend::Exact => (ShardBackend::Exact, DEFAULT_SHARD_SEED),
+            IndexBackend::Hnsw(p) => (ShardBackend::Hnsw(p), DEFAULT_SHARD_SEED),
+            IndexBackend::Sharded(p) => (p.backend, p.seed),
         };
-        if shards <= 1 {
-            return backend.config();
-        }
-        IndexConfig::Sharded(ShardedParams {
-            shards,
-            seed,
+        let backend = if shards <= 1 {
+            match backend {
+                ShardBackend::Exact => IndexBackend::Exact,
+                ShardBackend::Hnsw(p) => IndexBackend::Hnsw(p),
+            }
+        } else {
+            IndexBackend::Sharded(ShardedParams {
+                shards,
+                seed,
+                backend,
+            })
+        };
+        IndexConfig {
             backend,
-        })
+            quant: self.quant,
+        }
     }
 
     /// How many partitions this config builds (1 for the unsharded
     /// backends).
     pub fn shards(&self) -> usize {
-        match self {
-            IndexConfig::Sharded(p) => p.shards,
+        match self.backend {
+            IndexBackend::Sharded(p) => p.shards,
             _ => 1,
         }
     }
@@ -220,31 +301,47 @@ impl IndexConfig {
 
     /// Builds the configured backend over `data` with candidate norms
     /// the caller already holds (e.g. memoized on an embedding view),
-    /// skipping the re-derivation.
+    /// skipping the re-derivation. Norms are always the **original
+    /// f32** row norms, whatever the storage format — quantized
+    /// kernels reuse the same norm cache.
     ///
     /// # Panics
     ///
     /// Panics if `norms.len() != data.rows()`.
     pub fn build_with_norms(self, data: Matrix, norms: Vec<f32>) -> Box<dyn VectorIndex> {
-        match self {
-            IndexConfig::Exact => Box::new(ExactIndex::build_with_norms(data, norms)),
-            IndexConfig::Hnsw(params) => Box::new(HnswIndex::build_with_norms(data, norms, params)),
-            IndexConfig::Sharded(params) => {
-                Box::new(ShardedIndex::build_with_norms(data, norms, params))
+        match self.backend {
+            IndexBackend::Exact => Box::new(ExactIndex::build_quantized(data, norms, self.quant)),
+            IndexBackend::Hnsw(params) => {
+                Box::new(HnswIndex::build_quantized(data, norms, params, self.quant))
             }
+            IndexBackend::Sharded(params) => Box::new(ShardedIndex::build_quantized(
+                data, norms, params, self.quant,
+            )),
         }
     }
 
-    /// Short stable name for reporting (`"exact"` / `"hnsw"` /
-    /// `"sharded-exact"` / `"sharded-hnsw"`).
+    /// Short stable name for reporting: the backend (`"exact"` /
+    /// `"hnsw"` / `"sharded-exact"` / `"sharded-hnsw"`), with a
+    /// `+f16` / `+i8` suffix when the storage is quantized.
     pub fn name(&self) -> &'static str {
-        match self {
-            IndexConfig::Exact => "exact",
-            IndexConfig::Hnsw(_) => "hnsw",
-            IndexConfig::Sharded(p) => match p.backend {
+        let backend = match self.backend {
+            IndexBackend::Exact => "exact",
+            IndexBackend::Hnsw(_) => "hnsw",
+            IndexBackend::Sharded(p) => match p.backend {
                 ShardBackend::Exact => "sharded-exact",
                 ShardBackend::Hnsw(_) => "sharded-hnsw",
             },
+        };
+        match (backend, self.quant) {
+            (b, Quantization::F32) => b,
+            ("exact", Quantization::F16) => "exact+f16",
+            ("hnsw", Quantization::F16) => "hnsw+f16",
+            ("sharded-exact", Quantization::F16) => "sharded-exact+f16",
+            (_, Quantization::F16) => "sharded-hnsw+f16",
+            ("exact", Quantization::I8) => "exact+i8",
+            ("hnsw", Quantization::I8) => "hnsw+i8",
+            ("sharded-exact", Quantization::I8) => "sharded-exact+i8",
+            (_, Quantization::I8) => "sharded-hnsw+i8",
         }
     }
 }
@@ -253,7 +350,8 @@ impl std::str::FromStr for IndexConfig {
     type Err = String;
 
     /// Parses the CLI spelling: `exact` or `hnsw` (default
-    /// parameters).
+    /// parameters, f32 storage — `--quant` folds the format in
+    /// afterwards).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "exact" => Ok(IndexConfig::Exact),
@@ -316,6 +414,38 @@ mod tests {
         let exact = IndexConfig::Exact.build(data.clone());
         assert_eq!(idx.len(), 30);
         assert_eq!(idx.query(data.row(3), 2), exact.query(data.row(3), 2));
+    }
+
+    #[test]
+    fn quant_axis_composes_with_backend_and_shards() {
+        let config = IndexConfig::Exact.with_quant(Quantization::I8);
+        assert_eq!(config.name(), "exact+i8");
+        assert_eq!(config.quant, Quantization::I8);
+        // Sharding preserves the format; unsharding does too.
+        let sharded = config.with_shards(4);
+        assert_eq!(sharded.name(), "sharded-exact+i8");
+        assert_eq!(sharded.quant, Quantization::I8);
+        assert_eq!(sharded.with_shards(1), config);
+        assert_eq!(
+            IndexConfig::hnsw().with_quant(Quantization::F16).name(),
+            "hnsw+f16"
+        );
+
+        let mut rng = StdRng::seed_from_u64(6);
+        let data = randn(&mut rng, 40, 8, 1.0);
+        for quant in [Quantization::F16, Quantization::I8] {
+            for config in [
+                IndexConfig::Exact.with_quant(quant),
+                IndexConfig::hnsw().with_quant(quant),
+                IndexConfig::Exact.with_quant(quant).with_shards(3),
+            ] {
+                let idx = config.build(data.clone());
+                assert_eq!(idx.quantization(), quant, "{}", config.name());
+                let top = idx.query(data.row(7), 1);
+                assert_eq!(top[0].id, 7, "{}: self-query finds itself", config.name());
+                assert!((top[0].similarity - 1.0).abs() < 2e-2, "{}", config.name());
+            }
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use crate::{
     ExactIndex, HnswIndex, HnswParams, ShardBackend, ShardedIndex, ShardedParams, VectorIndex,
 };
+use linalg::quant::{Quantization, QuantizedMatrix};
 use linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -70,6 +71,11 @@ impl ByteWriter {
     /// Appends one byte.
     pub fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a little-endian `u32`.
@@ -160,6 +166,11 @@ impl<'a> ByteReader<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, PersistError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
     /// Reads a little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32, PersistError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
@@ -244,15 +255,36 @@ impl<'a> ByteReader<'a> {
 
 /// Leading bytes of a standalone index snapshot frame.
 const MAGIC: &[u8; 4] = b"CIDX";
-/// Current frame version.
-const VERSION: u32 = 1;
+/// The original frame version: f32-only payloads. Still written for
+/// all-f32 snapshots, byte for byte what the pre-quantization writer
+/// produced — so old readers keep reading new f32 frames and the
+/// backward-compat fixture in `tests/persist_codec.rs` stays honest.
+const VERSION_V1: u32 = 1;
+/// The quantized-payload version: frames may carry the `*_QUANT` tags
+/// below (f16/i8 candidate storage + per-row scales). Readers accept
+/// both versions; anything newer is a typed
+/// [`PersistError::UnsupportedVersion`].
+const VERSION_V2: u32 = 2;
 
 const TAG_EXACT: u8 = 0;
 const TAG_HNSW: u8 = 1;
 const TAG_SHARDED: u8 = 2;
+/// V2 tags: same payload layout as their V1 counterparts except the
+/// candidate matrix is a quantized-matrix frame (format byte, codes,
+/// and per-row scales) instead of a plain f32 matrix. F32 snapshots
+/// keep the V1 tags so their bytes never change.
+const TAG_EXACT_QUANT: u8 = 3;
+const TAG_HNSW_QUANT: u8 = 4;
+/// V2 sharded manifest: a leading [`Quantization`] byte (so an
+/// all-empty quantized partition still restores with the right
+/// format), then the V1 manifest layout with per-shard nested frames.
+const TAG_SHARDED_QUANT: u8 = 5;
 
 const TAG_BACKEND_EXACT: u8 = 0;
 const TAG_BACKEND_HNSW: u8 = 1;
+
+const QTAG_F16: u8 = 1;
+const QTAG_I8: u8 = 2;
 
 /// Shard counts above this are rejected as corrupt — far beyond any
 /// deployment this repo targets, tight enough to stop a corrupt
@@ -285,16 +317,108 @@ fn read_hnsw_params(r: &mut ByteReader<'_>) -> Result<HnswParams, PersistError> 
     Ok(params)
 }
 
+/// Appends one [`Quantization`] byte.
+fn write_quant(w: &mut ByteWriter, quant: Quantization) {
+    w.put_u8(match quant {
+        Quantization::F32 => 0,
+        Quantization::F16 => QTAG_F16,
+        Quantization::I8 => QTAG_I8,
+    });
+}
+
+/// Reads a [`write_quant`] byte.
+fn read_quant(r: &mut ByteReader<'_>) -> Result<Quantization, PersistError> {
+    match r.get_u8()? {
+        0 => Ok(Quantization::F32),
+        QTAG_F16 => Ok(Quantization::F16),
+        QTAG_I8 => Ok(Quantization::I8),
+        tag => Err(PersistError::BadTag(tag)),
+    }
+}
+
+/// Appends a quantized candidate matrix: format byte, shape, codes
+/// (and per-row scales for i8). The `F32` arm reuses the plain matrix
+/// layout after its format byte.
+fn write_quant_matrix(w: &mut ByteWriter, m: &QuantizedMatrix) {
+    write_quant(w, m.quantization());
+    match m {
+        QuantizedMatrix::F32(inner) => w.put_matrix(inner),
+        QuantizedMatrix::F16 { rows, cols, data } => {
+            w.put_usize(*rows);
+            w.put_usize(*cols);
+            for &h in data {
+                w.put_u16(h);
+            }
+        }
+        QuantizedMatrix::I8 {
+            rows,
+            cols,
+            data,
+            scales,
+        } => {
+            w.put_usize(*rows);
+            w.put_usize(*cols);
+            for &c in data {
+                w.put_u8(c as u8);
+            }
+            w.put_f32s(scales);
+        }
+    }
+}
+
+/// Reads a [`write_quant_matrix`] frame, bounds-checking shapes before
+/// any allocation so corrupt prefixes fail fast.
+fn read_quant_matrix(r: &mut ByteReader<'_>) -> Result<QuantizedMatrix, PersistError> {
+    let quant = read_quant(r)?;
+    if quant == Quantization::F32 {
+        return Ok(QuantizedMatrix::F32(r.get_matrix()?));
+    }
+    let rows = r.get_usize()?;
+    let cols = r.get_usize()?;
+    let n = rows
+        .checked_mul(cols)
+        .ok_or(PersistError::Corrupt("matrix shape overflow"))?;
+    if r.remaining() < n.saturating_mul(quant.bytes_per_element()) {
+        return Err(PersistError::Truncated);
+    }
+    match quant {
+        Quantization::F16 => {
+            let mut data = Vec::with_capacity(n);
+            for _ in 0..n {
+                data.push(r.get_u16()?);
+            }
+            Ok(QuantizedMatrix::F16 { rows, cols, data })
+        }
+        Quantization::I8 => {
+            let mut data = Vec::with_capacity(n);
+            for _ in 0..n {
+                data.push(r.get_u8()? as i8);
+            }
+            let scales = r.get_f32s()?;
+            if scales.len() != rows {
+                return Err(PersistError::Corrupt("scale count != row count"));
+            }
+            Ok(QuantizedMatrix::I8 {
+                rows,
+                cols,
+                data,
+                scales,
+            })
+        }
+        Quantization::F32 => unreachable!("handled above"),
+    }
+}
+
 /// The serializable state of a built [`VectorIndex`] — everything a
 /// cold-starting service needs to answer queries (and keep inserting,
 /// for HNSW) without a construction pass.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum IndexSnapshot {
-    /// An [`ExactIndex`]: candidate matrix plus cached norms.
+    /// An [`ExactIndex`]: candidate storage plus cached norms.
     Exact {
-        /// The indexed candidate matrix.
-        data: Matrix,
-        /// Build-time candidate norms.
+        /// The indexed candidate storage (any [`Quantization`]).
+        data: QuantizedMatrix,
+        /// Build-time candidate norms (always original-f32 norms).
         norms: Vec<f32>,
     },
     /// A [`ShardedIndex`]: a manifest (partition shape + per-shard
@@ -305,6 +429,9 @@ pub enum IndexSnapshot {
     Sharded {
         /// Partition shape (shard count, partitioner seed, backend).
         params: ShardedParams,
+        /// Candidate storage format of the partition (carried in the
+        /// manifest so even all-empty shards restore with it).
+        quant: Quantization,
         /// Embedding dimensionality (shards may be empty, so it cannot
         /// always be derived from them).
         dim: usize,
@@ -315,9 +442,9 @@ pub enum IndexSnapshot {
     },
     /// An [`HnswIndex`]: candidates, norms, and the whole graph.
     Hnsw {
-        /// The indexed candidate matrix.
-        data: Matrix,
-        /// Build-time candidate norms.
+        /// The indexed candidate storage (any [`Quantization`]).
+        data: QuantizedMatrix,
+        /// Build-time candidate norms (always original-f32 norms).
         norms: Vec<f32>,
         /// Build/search parameters (including the RNG seed).
         params: HnswParams,
@@ -366,6 +493,7 @@ impl IndexSnapshot {
             }
             return Some(IndexSnapshot::Sharded {
                 params: *sharded.params(),
+                quant: sharded.quantization(),
                 dim: sharded.dim(),
                 shards,
                 globals: sharded.globals().to_vec(),
@@ -374,13 +502,41 @@ impl IndexSnapshot {
         None
     }
 
+    /// The candidate storage format of the snapshot.
+    pub fn quantization(&self) -> Quantization {
+        match self {
+            IndexSnapshot::Exact { data, .. } | IndexSnapshot::Hnsw { data, .. } => {
+                data.quantization()
+            }
+            IndexSnapshot::Sharded { quant, .. } => *quant,
+        }
+    }
+
+    /// Whether any payload of this snapshot is quantized — i.e.
+    /// whether encoding it emits V2-only tags a pre-quantization
+    /// reader would not understand. Decides the frame version
+    /// [`IndexSnapshot::to_bytes`] writes, and composite frames
+    /// embedding detector states (`serve::ServiceSnapshot`) must make
+    /// the same call for the same reason.
+    pub fn has_quantized_payload(&self) -> bool {
+        match self {
+            IndexSnapshot::Exact { data, .. } | IndexSnapshot::Hnsw { data, .. } => {
+                data.quantization() != Quantization::F32
+            }
+            IndexSnapshot::Sharded { quant, shards, .. } => {
+                *quant != Quantization::F32
+                    || shards.iter().any(IndexSnapshot::has_quantized_payload)
+            }
+        }
+    }
+
     /// Rebuilds a live index from the snapshot. For HNSW the saved
     /// graph is adopted directly — **no** construction pass runs
     /// ([`crate::construction_passes`] is unchanged).
     pub fn restore(self) -> Box<dyn VectorIndex> {
         match self {
             IndexSnapshot::Exact { data, norms } => {
-                Box::new(ExactIndex::build_with_norms(data, norms))
+                Box::new(ExactIndex::from_quantized(data, norms))
             }
             IndexSnapshot::Hnsw {
                 data,
@@ -396,6 +552,7 @@ impl IndexSnapshot {
             )),
             IndexSnapshot::Sharded {
                 params,
+                quant,
                 dim,
                 shards,
                 globals,
@@ -403,6 +560,7 @@ impl IndexSnapshot {
                 shards.into_iter().map(IndexSnapshot::restore).collect(),
                 globals,
                 params,
+                quant,
                 dim,
             )),
         }
@@ -445,8 +603,19 @@ impl IndexSnapshot {
     pub fn write(&self, w: &mut ByteWriter) {
         match self {
             IndexSnapshot::Exact { data, norms } => {
-                w.put_u8(TAG_EXACT);
-                w.put_matrix(data);
+                // F32 keeps the V1 tag and byte layout exactly — an
+                // unquantized snapshot's bytes never changed across
+                // the version bump (the back-compat fixture pins it).
+                match data {
+                    QuantizedMatrix::F32(inner) => {
+                        w.put_u8(TAG_EXACT);
+                        w.put_matrix(inner);
+                    }
+                    quantized => {
+                        w.put_u8(TAG_EXACT_QUANT);
+                        write_quant_matrix(w, quantized);
+                    }
+                }
                 w.put_f32s(norms);
             }
             IndexSnapshot::Hnsw {
@@ -459,8 +628,16 @@ impl IndexSnapshot {
                 tombstone,
                 draws,
             } => {
-                w.put_u8(TAG_HNSW);
-                w.put_matrix(data);
+                match data {
+                    QuantizedMatrix::F32(inner) => {
+                        w.put_u8(TAG_HNSW);
+                        w.put_matrix(inner);
+                    }
+                    quantized => {
+                        w.put_u8(TAG_HNSW_QUANT);
+                        write_quant_matrix(w, quantized);
+                    }
+                }
                 w.put_f32s(norms);
                 write_hnsw_params(w, params);
                 w.put_usize(links.len());
@@ -477,11 +654,17 @@ impl IndexSnapshot {
             }
             IndexSnapshot::Sharded {
                 params,
+                quant,
                 dim,
                 shards,
                 globals,
             } => {
-                w.put_u8(TAG_SHARDED);
+                if *quant == Quantization::F32 {
+                    w.put_u8(TAG_SHARDED);
+                } else {
+                    w.put_u8(TAG_SHARDED_QUANT);
+                    write_quant(w, *quant);
+                }
                 w.put_usize(params.shards);
                 w.put_u64(params.seed);
                 match params.backend {
@@ -505,16 +688,24 @@ impl IndexSnapshot {
     /// range) so a corrupt frame errors instead of panicking later.
     pub fn read(r: &mut ByteReader<'_>) -> Result<IndexSnapshot, PersistError> {
         match r.get_u8()? {
-            TAG_EXACT => {
-                let data = r.get_matrix()?;
+            tag @ (TAG_EXACT | TAG_EXACT_QUANT) => {
+                let data = if tag == TAG_EXACT {
+                    QuantizedMatrix::F32(r.get_matrix()?)
+                } else {
+                    read_quant_matrix(r)?
+                };
                 let norms = r.get_f32s()?;
                 if norms.len() != data.rows() {
                     return Err(PersistError::Corrupt("norm count != row count"));
                 }
                 Ok(IndexSnapshot::Exact { data, norms })
             }
-            TAG_HNSW => {
-                let data = r.get_matrix()?;
+            tag @ (TAG_HNSW | TAG_HNSW_QUANT) => {
+                let data = if tag == TAG_HNSW {
+                    QuantizedMatrix::F32(r.get_matrix()?)
+                } else {
+                    read_quant_matrix(r)?
+                };
                 let norms = r.get_f32s()?;
                 let params = read_hnsw_params(r)?;
                 let n = data.rows();
@@ -591,7 +782,12 @@ impl IndexSnapshot {
                     draws,
                 })
             }
-            TAG_SHARDED => {
+            tag @ (TAG_SHARDED | TAG_SHARDED_QUANT) => {
+                let quant = if tag == TAG_SHARDED {
+                    Quantization::F32
+                } else {
+                    read_quant(r)?
+                };
                 let shard_count = r.get_usize()?;
                 if shard_count == 0 || shard_count > MAX_SHARDS {
                     return Err(PersistError::Corrupt("absurd shard count"));
@@ -647,9 +843,10 @@ impl IndexSnapshot {
                         seed,
                         backend,
                     },
-                    dim,
+                    quant,
                     shards,
                     globals,
+                    dim,
                 })
             }
             tag => Err(PersistError::BadTag(tag)),
@@ -657,22 +854,32 @@ impl IndexSnapshot {
     }
 
     /// Standalone encoding: magic + version + [`IndexSnapshot::write`].
+    /// All-f32 snapshots still write version 1 — byte-identical to the
+    /// pre-quantization writer — while any quantized payload bumps the
+    /// frame to version 2.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         w.buf.extend_from_slice(MAGIC);
-        w.put_u32(VERSION);
+        w.put_u32(if self.has_quantized_payload() {
+            VERSION_V2
+        } else {
+            VERSION_V1
+        });
         self.write(&mut w);
         w.into_bytes()
     }
 
     /// Decodes a standalone [`IndexSnapshot::to_bytes`] frame.
+    /// Version negotiation: versions 1 (pre-quantization, f32-only)
+    /// and 2 (quantized payload tags) both decode; unknown future
+    /// versions are a typed [`PersistError::UnsupportedVersion`].
     pub fn from_bytes(bytes: &[u8]) -> Result<IndexSnapshot, PersistError> {
         let mut r = ByteReader::new(bytes);
         if r.take(4)? != MAGIC {
             return Err(PersistError::BadMagic);
         }
         let version = r.get_u32()?;
-        if version != VERSION {
+        if !(VERSION_V1..=VERSION_V2).contains(&version) {
             return Err(PersistError::UnsupportedVersion(version));
         }
         IndexSnapshot::read(&mut r)
@@ -784,6 +991,52 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn quantized_round_trip_preserves_format_scales_and_answers() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let data = randn(&mut rng, 40, 6, 1.0);
+        for quant in [Quantization::F16, Quantization::I8] {
+            for config in [
+                IndexConfig::Exact.with_quant(quant),
+                IndexConfig::hnsw().with_quant(quant),
+                IndexConfig::hnsw().with_quant(quant).with_shards(3),
+            ] {
+                let idx = config.build(data.clone());
+                let snap = IndexSnapshot::capture(idx.as_ref()).expect("capturable");
+                assert_eq!(snap.quantization(), quant, "{}", config.name());
+                let restored = IndexSnapshot::from_bytes(&snap.to_bytes())
+                    .expect("quantized frame decodes")
+                    .restore();
+                assert_eq!(restored.quantization(), quant, "{}", config.name());
+                for r in (0..40).step_by(7) {
+                    assert_eq!(
+                        idx.query(data.row(r), 3),
+                        restored.query(data.row(r), 3),
+                        "{}",
+                        config.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_quantized_sharded_manifest_keeps_its_format() {
+        // An all-empty quantized partition restores with its format
+        // intact (the manifest carries it), so the first insert after
+        // a cold start quantizes like the never-saved twin would.
+        let idx = IndexConfig::Exact
+            .with_quant(Quantization::I8)
+            .with_shards(3)
+            .build(Matrix::zeros(0, 4));
+        let bytes = IndexSnapshot::capture(idx.as_ref()).unwrap().to_bytes();
+        let mut restored = IndexSnapshot::from_bytes(&bytes).unwrap().restore();
+        assert_eq!(restored.quantization(), Quantization::I8);
+        restored.insert(&[1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(restored.quantization(), Quantization::I8);
+        assert_eq!(restored.query(&[1.0, 0.0, 0.0, 0.0], 1)[0].id, 0);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 
 use crate::{neighbour_cmp, HnswParams, IndexConfig, Neighbor, VectorIndex};
 use linalg::ops::row_norms;
+use linalg::quant::Quantization;
 use linalg::Matrix;
 
 /// Default seed for the shard partitioner (any fixed value works; it
@@ -49,11 +50,13 @@ pub enum ShardBackend {
 }
 
 impl ShardBackend {
-    /// The unsharded [`IndexConfig`] a single shard builds with.
+    /// The unsharded (f32) [`IndexConfig`] a single shard builds with;
+    /// callers layer the partition's storage format on with
+    /// [`IndexConfig::with_quant`].
     pub fn config(self) -> IndexConfig {
         match self {
             ShardBackend::Exact => IndexConfig::Exact,
-            ShardBackend::Hnsw(params) => IndexConfig::Hnsw(params),
+            ShardBackend::Hnsw(params) => IndexConfig::hnsw_with(params),
         }
     }
 
@@ -126,13 +129,17 @@ pub struct ShardedIndex {
     /// covering `0..len` across shards.
     globals: Vec<Vec<usize>>,
     params: ShardedParams,
+    /// Candidate storage format every shard was built with (each shard
+    /// quantizes its own rows; per-row i8 scales make the partition
+    /// bit-identical to quantizing the whole matrix row by row).
+    quant: Quantization,
     dim: usize,
     total: usize,
 }
 
 impl ShardedIndex {
-    /// Partitions `data` and builds one backend per shard, deriving
-    /// candidate norms.
+    /// Partitions `data` and builds one f32 backend per shard,
+    /// deriving candidate norms.
     pub fn build(data: Matrix, params: ShardedParams) -> Self {
         let norms = row_norms(&data);
         Self::build_with_norms(data, norms, params)
@@ -144,6 +151,25 @@ impl ShardedIndex {
     ///
     /// Panics if `norms.len() != data.rows()` or `params.shards == 0`.
     pub fn build_with_norms(data: Matrix, norms: Vec<f32>, params: ShardedParams) -> Self {
+        Self::build_quantized(data, norms, params, Quantization::F32)
+    }
+
+    /// [`ShardedIndex::build_with_norms`] with every shard storing its
+    /// candidates in the chosen format (norms stay the original f32
+    /// norms). Rows are partitioned by their **f32 content** before
+    /// quantization, so the shard a row lands on never depends on the
+    /// storage format — quantization can roll out shard by shard
+    /// without moving anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `norms.len() != data.rows()` or `params.shards == 0`.
+    pub fn build_quantized(
+        data: Matrix,
+        norms: Vec<f32>,
+        params: ShardedParams,
+        quant: Quantization,
+    ) -> Self {
         assert_eq!(norms.len(), data.rows(), "one norm per candidate row");
         assert!(params.shards >= 1, "sharded index needs at least 1 shard");
         let n = params.shards;
@@ -162,13 +188,18 @@ impl ShardedIndex {
                     sub.push_row(data.row(g));
                     sub_norms.push(norms[g]);
                 }
-                params.backend.config().build_with_norms(sub, sub_norms)
+                params
+                    .backend
+                    .config()
+                    .with_quant(quant)
+                    .build_with_norms(sub, sub_norms)
             })
             .collect();
         ShardedIndex {
             shards,
             globals,
             params,
+            quant,
             dim,
             total: data.rows(),
         }
@@ -176,7 +207,9 @@ impl ShardedIndex {
 
     /// Reassembles a sharded index from already-built shards and their
     /// global-id maps (the persistence restore path — no construction
-    /// runs).
+    /// runs). `quant` is the partition's storage format; shards must
+    /// already hold it (empty shards excepted — an empty frame carries
+    /// its format, but a later insert adopts this one's).
     ///
     /// # Panics
     ///
@@ -187,6 +220,7 @@ impl ShardedIndex {
         shards: Vec<Box<dyn VectorIndex>>,
         globals: Vec<Vec<usize>>,
         params: ShardedParams,
+        quant: Quantization,
         dim: usize,
     ) -> Self {
         assert_eq!(shards.len(), params.shards, "one backend per shard");
@@ -211,6 +245,7 @@ impl ShardedIndex {
             shards,
             globals,
             params,
+            quant,
             dim,
             total,
         }
@@ -411,6 +446,14 @@ impl VectorIndex for ShardedIndex {
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
+
+    fn quantization(&self) -> Quantization {
+        self.quant
+    }
+
+    fn candidate_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.candidate_bytes()).sum()
+    }
 }
 
 #[cfg(test)]
@@ -550,6 +593,75 @@ mod tests {
         let data = Matrix::from_rows(&[&[1.0, 0.0]]);
         let idx = ShardedIndex::build(data, ShardedParams::exact(2));
         assert!(idx.query(&[1.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn zero_rows_tie_deterministically_across_shards() {
+        // Zero-norm pin at the sharded level: all-zero rows score 0.0
+        // in whichever shard they land, and the k-way merge keeps the
+        // ties in ascending *global* id order — identical to the
+        // unsharded exact scan, in every storage format.
+        let data = Matrix::from_rows(&[
+            &[0.0, 0.0, 0.0],
+            &[1.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0],
+            &[0.0, 0.0, 0.0],
+        ]);
+        let exact = ExactIndex::build(data.clone());
+        for quant in [Quantization::F32, Quantization::F16, Quantization::I8] {
+            let sharded = ShardedIndex::build_quantized(
+                data.clone(),
+                row_norms(&data),
+                ShardedParams::exact(3),
+                quant,
+            );
+            assert_eq!(sharded.quantization(), quant);
+            let got = sharded.query(&[1.0, 0.0, 0.0], 5);
+            assert_eq!(got[0].id, 1, "{quant}");
+            // The three zero rows — and the orthogonal row — tie at
+            // 0.0 behind the matching row; ids must ascend. (Under f32
+            // the whole result is bit-identical to the unsharded scan.)
+            let zero_ids: Vec<usize> = got
+                .iter()
+                .filter(|n| n.similarity == 0.0)
+                .map(|n| n.id)
+                .collect();
+            assert_eq!(zero_ids, vec![0, 2, 3, 4], "{quant}");
+            if quant == Quantization::F32 {
+                assert_eq!(got, exact.query(&[1.0, 0.0, 0.0], 5));
+            }
+            // Degenerate query: everything ties at 0.0, ids ascend,
+            // twice for determinism.
+            let z = sharded.query(&[0.0, 0.0, 0.0], 5);
+            assert_eq!(z, sharded.query(&[0.0, 0.0, 0.0], 5), "{quant}");
+            assert_eq!(
+                z.iter().map(|n| n.id).collect::<Vec<_>>(),
+                vec![0, 1, 2, 3, 4],
+                "{quant}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_partition_routes_by_f32_content() {
+        // The shard a row owns must not depend on the storage format:
+        // hashing happens on the original f32 bits, so a quantized
+        // partition has the same shard layout as the f32 one.
+        let mut rng = StdRng::seed_from_u64(54);
+        let data = randn(&mut rng, 80, 6, 1.0);
+        let f32_idx = ShardedIndex::build(data.clone(), ShardedParams::exact(4));
+        for quant in [Quantization::F16, Quantization::I8] {
+            let q_idx = ShardedIndex::build_quantized(
+                data.clone(),
+                row_norms(&data),
+                ShardedParams::exact(4),
+                quant,
+            );
+            assert_eq!(q_idx.globals(), f32_idx.globals(), "{quant}");
+            assert_eq!(q_idx.shard_lens(), f32_idx.shard_lens(), "{quant}");
+            assert!(q_idx.candidate_bytes() < f32_idx.candidate_bytes());
+        }
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! [`PersistError`], because a serving cold start reads these frames
 //! from disk where partial writes and bit rot are real.
 
-use index::persist::PersistError;
-use index::{IndexConfig, IndexSnapshot};
+use index::persist::{ByteWriter, PersistError};
+use index::{IndexConfig, IndexSnapshot, Quantization};
 use linalg::rng::randn;
+use linalg::Matrix;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -129,6 +130,77 @@ fn typed_errors_for_magic_version_and_tag() {
     }
 }
 
+/// A pre-version-bump (V1) exact-index frame, byte for byte as the
+/// original f32-only writer laid it out: magic, version 1, tag 0,
+/// matrix (rows, cols, row-major f32s), length-prefixed norms. This is
+/// the layout every snapshot on disk used before quantized payloads
+/// existed — the fixture is hand-framed so the test cannot silently
+/// follow a writer change.
+fn v1_exact_fixture(data: &Matrix, norms: &[f32]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    for b in b"CIDX" {
+        w.put_u8(*b);
+    }
+    w.put_u32(1); // pre-bump version
+    w.put_u8(0); // TAG_EXACT
+    w.put_matrix(data);
+    w.put_f32s(norms);
+    w.into_bytes()
+}
+
+#[test]
+fn pre_bump_v1_fixture_still_loads_after_the_version_bump() {
+    // The version-negotiation satellite: bumping the frame version for
+    // quantized payloads must leave old f32 snapshots readable.
+    let mut rng = StdRng::seed_from_u64(21);
+    let data = randn(&mut rng, 15, 5, 1.0);
+    let norms = linalg::ops::row_norms(&data);
+    let fixture = v1_exact_fixture(&data, &norms);
+
+    let restored = IndexSnapshot::from_bytes(&fixture)
+        .expect("pre-bump frame decodes")
+        .restore();
+    assert_eq!(restored.len(), 15);
+    assert_eq!(restored.quantization(), Quantization::F32);
+    let live = IndexConfig::Exact.build(data.clone());
+    for r in 0..15 {
+        assert_eq!(restored.query(data.row(r), 3), live.query(data.row(r), 3));
+    }
+
+    // And the writer still produces that exact byte stream for
+    // all-f32 snapshots: the version bump changed nothing an old
+    // reader would see.
+    let snap = IndexSnapshot::capture(live.as_ref()).unwrap();
+    assert_eq!(snap.to_bytes(), fixture, "f32 frames must stay at V1 bytes");
+}
+
+#[test]
+fn quantized_frames_write_v2_and_future_versions_error_typed() {
+    let mut rng = StdRng::seed_from_u64(22);
+    let data = randn(&mut rng, 12, 5, 1.0);
+    let quantized = IndexConfig::Exact
+        .with_quant(Quantization::I8)
+        .build(data.clone());
+    let bytes = IndexSnapshot::capture(quantized.as_ref())
+        .unwrap()
+        .to_bytes();
+    assert_eq!(
+        u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+        2,
+        "quantized payloads must bump the frame version"
+    );
+    assert!(IndexSnapshot::from_bytes(&bytes).is_ok());
+
+    // An unknown *future* version is a typed error, not a parse
+    // attempt: a newer writer's frame must fail loudly and safely.
+    let mut future = bytes.clone();
+    future[4..8].copy_from_slice(&3u32.to_le_bytes());
+    assert_eq!(
+        IndexSnapshot::from_bytes(&future).unwrap_err(),
+        PersistError::UnsupportedVersion(3)
+    );
+}
+
 #[test]
 fn sharded_manifest_rejects_a_dim_that_disagrees_with_its_shards() {
     // A corrupt manifest `dim` must fail decode, not decode fine and
@@ -139,6 +211,7 @@ fn sharded_manifest_rejects_a_dim_that_disagrees_with_its_shards() {
     let snap = IndexSnapshot::capture(idx.as_ref()).unwrap();
     let IndexSnapshot::Sharded {
         params,
+        quant,
         dim,
         shards,
         globals,
@@ -148,6 +221,7 @@ fn sharded_manifest_rejects_a_dim_that_disagrees_with_its_shards() {
     };
     let corrupt = IndexSnapshot::Sharded {
         params,
+        quant,
         dim: dim + 1,
         shards,
         globals,
@@ -172,6 +246,7 @@ fn sharded_manifest_rejects_inconsistent_id_maps() {
     let snap = IndexSnapshot::capture(idx.as_ref()).unwrap();
     let IndexSnapshot::Sharded {
         params,
+        quant,
         dim,
         shards,
         mut globals,
@@ -188,6 +263,7 @@ fn sharded_manifest_rejects_inconsistent_id_maps() {
     globals[other][0] = 0;
     let corrupt = IndexSnapshot::Sharded {
         params,
+        quant,
         dim,
         shards,
         globals,

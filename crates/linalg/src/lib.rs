@@ -18,6 +18,7 @@ pub mod eig;
 pub mod matrix;
 pub mod ops;
 pub mod pca;
+pub mod quant;
 pub mod rng;
 pub mod svd;
 

@@ -80,6 +80,47 @@ pub fn row_norms(m: &Matrix) -> Vec<f32> {
     (0..m.rows()).map(|r| norm(m.row(r))).collect()
 }
 
+/// Spearman rank correlation of two equal-length score vectors, with
+/// average ranks on ties — the fidelity metric the approximate and
+/// quantized index paths are gated on (NaNs order via `total_cmp`, so
+/// a stray non-finite score degrades the correlation instead of
+/// panicking the comparator).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn spearman(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "spearman length mismatch");
+    fn ranks(xs: &[f32]) -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..xs.len()).collect();
+        idx.sort_by(|&i, &j| xs[i].total_cmp(&xs[j]));
+        let mut out = vec![0.0; xs.len()];
+        let mut i = 0;
+        while i < idx.len() {
+            let mut j = i;
+            while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+                j += 1;
+            }
+            let avg = (i + j) as f64 / 2.0;
+            for &k in &idx[i..=j] {
+                out[k] = avg;
+            }
+            i = j + 1;
+        }
+        out
+    }
+    let (ra, rb) = (ranks(a), ranks(b));
+    let n = ra.len() as f64;
+    let mean = (n - 1.0) / 2.0;
+    let (mut cov, mut va, mut vb) = (0.0, 0.0, 0.0);
+    for (x, y) in ra.iter().zip(&rb) {
+        cov += (x - mean) * (y - mean);
+        va += (x - mean) * (x - mean);
+        vb += (y - mean) * (y - mean);
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
 /// Mean of a slice (0.0 when empty).
 pub fn mean(v: &[f32]) -> f32 {
     if v.is_empty() {

@@ -42,8 +42,8 @@ use crate::service::{
 };
 use crate::snapshot::ServiceSnapshot;
 use cmdline_ids::engine::{
-    merge_shard_candidates, Detector, DetectorState, FittedEngine, IndexConfig, ShardCandidate,
-    ShardMerge, ShardedDetectorState, ShardedParams,
+    merge_shard_candidates, Detector, DetectorState, FittedEngine, IndexConfig, Quantization,
+    ShardCandidate, ShardMerge, ShardedDetectorState, ShardedParams,
 };
 use cmdline_ids::pipeline::IdsPipeline;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
@@ -128,6 +128,9 @@ struct ShardedMethodMeta {
     k: usize,
     /// Partition shape (seed + shard count + backend).
     params: ShardedParams,
+    /// Candidate storage format of the partition (appends that build a
+    /// brand-new shard sub-index must quantize like the siblings).
+    quant: Quantization,
     /// Embedding dimensionality.
     dim: usize,
     /// Whether only malicious-labeled rows enter the index (retrieval)
@@ -272,6 +275,7 @@ impl ShardRouter {
                 merge,
                 k: split.k,
                 params: split.params,
+                quant: split.quant,
                 dim: split.dim,
                 malicious_only: !det.indexes_label(false),
                 next_global: Mutex::new(total),
@@ -530,6 +534,7 @@ impl ShardRouter {
                             name: meta.name,
                             k: meta.k,
                             params: meta.params,
+                            quant: meta.quant,
                             dim: meta.dim,
                             states: sub_states,
                             globals,
@@ -584,7 +589,7 @@ fn new_shard_detector(
     rows: &Matrix,
     labels: &[bool],
 ) -> Box<dyn Detector> {
-    let config: IndexConfig = meta.params.backend.config();
+    let config: IndexConfig = meta.params.backend.config().with_quant(meta.quant);
     match meta.name {
         "vanilla-knn" => Box::new(VanillaKnnMethod::from_fitted(VanillaKnn::fit_with(
             rows, labels, meta.k, config, None,

@@ -9,8 +9,15 @@ use std::path::Path;
 
 /// Leading bytes of a service snapshot frame.
 const MAGIC: &[u8; 4] = b"CSRV";
-/// Current frame version.
-const VERSION: u32 = 1;
+/// The original frame version: f32-only detector payloads. Still
+/// written whenever every captured index is f32, so pre-quantization
+/// readers keep reading those frames byte for byte.
+const VERSION_V1: u32 = 1;
+/// The quantized-payload version: some embedded detector state uses
+/// the index layer's V2-only quantized tags. Bumped so an old reader
+/// fails with a clear [`PersistError::UnsupportedVersion`] instead of
+/// an opaque `BadTag` mid-payload.
+const VERSION_V2: u32 = 2;
 
 /// Why saving or loading a [`ServiceSnapshot`] failed.
 #[derive(Debug)]
@@ -110,13 +117,17 @@ impl ServiceSnapshot {
         )
     }
 
-    /// Encodes the snapshot (magic + version + states).
+    /// Encodes the snapshot (magic + version + states). All-f32
+    /// detector sets still write version-1 frames byte for byte; any
+    /// quantized index payload bumps the frame to version 2, matching
+    /// `index::IndexSnapshot::to_bytes`' negotiation.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         for b in MAGIC {
             w.put_u8(*b);
         }
-        w.put_u32(VERSION);
+        let quantized = self.states.iter().any(DetectorState::has_quantized_payload);
+        w.put_u32(if quantized { VERSION_V2 } else { VERSION_V1 });
         w.put_usize(self.states.len());
         for state in &self.states {
             state.write(&mut w);
@@ -124,7 +135,8 @@ impl ServiceSnapshot {
         w.into_bytes()
     }
 
-    /// Decodes a [`ServiceSnapshot::to_bytes`] frame.
+    /// Decodes a [`ServiceSnapshot::to_bytes`] frame (versions 1 and
+    /// 2; unknown future versions are a typed error).
     pub fn from_bytes(bytes: &[u8]) -> Result<ServiceSnapshot, PersistError> {
         let mut r = ByteReader::new(bytes);
         for want in MAGIC {
@@ -133,7 +145,7 @@ impl ServiceSnapshot {
             }
         }
         let version = r.get_u32()?;
-        if version != VERSION {
+        if !(VERSION_V1..=VERSION_V2).contains(&version) {
             return Err(PersistError::UnsupportedVersion(version));
         }
         let n = r.get_usize()?;

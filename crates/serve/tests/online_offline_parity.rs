@@ -109,37 +109,7 @@ fn online_scores(fx: &Fixture, index: IndexConfig, chunk: usize) -> Vec<(String,
     names.into_iter().zip(per_method).collect()
 }
 
-/// Spearman rank correlation (average-rank ties).
-fn spearman(a: &[f32], b: &[f32]) -> f64 {
-    fn ranks(xs: &[f32]) -> Vec<f64> {
-        let mut idx: Vec<usize> = (0..xs.len()).collect();
-        idx.sort_by(|&i, &j| xs[i].total_cmp(&xs[j]));
-        let mut out = vec![0.0; xs.len()];
-        let mut i = 0;
-        while i < idx.len() {
-            let mut j = i;
-            while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
-                j += 1;
-            }
-            let avg = (i + j) as f64 / 2.0;
-            for &k in &idx[i..=j] {
-                out[k] = avg;
-            }
-            i = j + 1;
-        }
-        out
-    }
-    let (ra, rb) = (ranks(a), ranks(b));
-    let n = ra.len() as f64;
-    let mean = (n - 1.0) / 2.0;
-    let (mut cov, mut va, mut vb) = (0.0, 0.0, 0.0);
-    for (x, y) in ra.iter().zip(&rb) {
-        cov += (x - mean) * (y - mean);
-        va += (x - mean) * (x - mean);
-        vb += (y - mean) * (y - mean);
-    }
-    cov / (va.sqrt() * vb.sqrt())
-}
+use linalg::ops::spearman;
 
 #[test]
 fn streaming_is_bit_identical_to_batch_on_the_exact_backend() {

@@ -188,6 +188,80 @@ fn router_snapshot_cold_starts_all_shards_without_construction() {
 }
 
 #[test]
+fn quantized_shards_serve_identically_to_the_quantized_unsharded_service() {
+    // The quantization knob threaded through the serving stack: an
+    // i8-sharded router must reproduce the i8 unsharded service bit
+    // for bit (both score against the same quantized codes and
+    // f32-norm cache; scatter/merge adds nothing), and routed appends
+    // must quantize into the owning shard exactly as the unsharded
+    // index would.
+    let (pipeline, train_lines, labels, test_lines) = fixture();
+    let quant = cmdline_ids::engine::Quantization::I8;
+    let service = ScoringService::spawn(
+        pipeline.clone(),
+        fit(
+            &pipeline,
+            &train_lines,
+            &labels,
+            IndexConfig::Exact.with_quant(quant),
+        ),
+        ServeConfig::default(),
+    )
+    .expect("quantized reference service spawns");
+    let want: Vec<Vec<f32>> = service.score_batch(&test_lines).expect("service scores");
+
+    let sharded = fit(
+        &pipeline,
+        &train_lines,
+        &labels,
+        IndexConfig::Exact.with_quant(quant).with_shards(SHARDS),
+    );
+    let router = ShardRouter::spawn(pipeline, sharded, RouterConfig::with_shards(SHARDS))
+        .expect("quantized router spawns");
+    let got = router.score_batch(&test_lines).expect("router scores");
+    assert_eq!(got, want, "i8 scatter/merge verdicts must be bit-identical");
+
+    // Appends quantize on insert along both paths; parity must hold
+    // afterwards too.
+    let burst: Vec<String> = test_lines.iter().take(8).cloned().collect();
+    let burst_labels = vec![true, false, true, false, true, true, false, true];
+    service
+        .append(&burst, &burst_labels)
+        .expect("service append");
+    router.append(&burst, &burst_labels).expect("router append");
+    let want_after: Vec<Vec<f32>> = service.score_batch(&test_lines).expect("service rescores");
+    let got_after = router.score_batch(&test_lines).expect("router rescores");
+    assert_eq!(
+        got_after, want_after,
+        "parity must survive quantized appends"
+    );
+
+    // The quantized partition snapshots and restores with its format —
+    // and the frame says so up front: quantized detector payloads bump
+    // the service-snapshot version to 2, so a pre-quantization reader
+    // fails with a typed version error instead of a mid-payload tag
+    // error.
+    let (snapshot, _) = router.snapshot();
+    let bytes = snapshot.to_bytes();
+    assert_eq!(
+        u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+        2,
+        "quantized payloads must bump the service frame version"
+    );
+    let restored = serve::ServiceSnapshot::from_bytes(&bytes)
+        .expect("quantized snapshot decodes")
+        .restore();
+    for det in restored.detectors() {
+        let state = cmdline_ids::engine::DetectorState::capture(det.as_ref())
+            .expect("neighbour methods capture");
+        let split = state.split_shards().expect("still sharded");
+        assert_eq!(split.quant, quant, "{}", det.name());
+    }
+    service.shutdown();
+    router.shutdown();
+}
+
+#[test]
 fn shard_shape_mismatches_are_typed_errors() {
     let (pipeline, train_lines, labels, _) = fixture();
     // Unsharded fit + multi-shard router: rejected, not mis-served.

@@ -8,18 +8,23 @@
 //! 3. snapshot the fitted neighbour detectors to disk and cold-start
 //!    a second service from the file — no graph construction pass.
 //!
-//! Run: `cargo run --release --example streaming_score [--shards N]`
+//! Run: `cargo run --release --example streaming_score
+//! [--shards N] [--quant f32|f16|i8]`
 //!
 //! With `--shards N` (N > 1) the exemplar indexes are partitioned N
 //! ways and served through the `ShardRouter`: micro-batches scatter to
 //! per-shard worker pools, per-shard top-k candidates merge back into
 //! one verdict, appends route to the owning shard, and the snapshot
-//! carries one frame per shard. (CI smoke-runs both modes so neither
-//! path can rot.)
+//! carries one frame per shard. With `--quant f16|i8` every shard
+//! stores its candidates quantized — appends quantize on insert, and
+//! the snapshot frames the format + scales so the cold start serves
+//! the same compressed store. (CI smoke-runs the single service, the
+//! 4-way router, and the 4-way router over i8 candidates so none of
+//! the paths can rot.)
 
 use anomaly::{RetrievalMethod, VanillaKnnMethod};
 use cmdline_ids::embed::Pooling;
-use cmdline_ids::engine::{EmbeddingStore, FittedEngine, IndexConfig, ScoringEngine};
+use cmdline_ids::engine::{EmbeddingStore, FittedEngine, IndexConfig, Quantization, ScoringEngine};
 use cmdline_ids::pipeline::{IdsPipeline, PipelineConfig};
 use corpus::dedup_records;
 use ids_rules::RuleIds;
@@ -109,20 +114,34 @@ impl Front {
     }
 }
 
-fn parse_shards() -> usize {
+fn parse_args() -> (usize, Quantization) {
+    let mut shards = 1usize;
+    let mut quant = Quantization::F32;
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match argv.as_slice() {
-        [] => 1,
-        [flag, n] if flag == "--shards" => n.parse().expect("--shards takes a positive integer"),
-        _ => {
-            eprintln!("usage: streaming_score [--shards N]");
-            std::process::exit(2);
+    let mut i = 0;
+    while i + 1 < argv.len() {
+        match argv[i].as_str() {
+            "--shards" => {
+                shards = argv[i + 1]
+                    .parse()
+                    .expect("--shards takes a positive integer");
+            }
+            "--quant" => {
+                quant = argv[i + 1].parse().expect("--quant takes f32|f16|i8");
+            }
+            _ => break,
         }
+        i += 2;
     }
+    if i != argv.len() {
+        eprintln!("usage: streaming_score [--shards N] [--quant f32|f16|i8]");
+        std::process::exit(2);
+    }
+    (shards, quant)
 }
 
 fn main() {
-    let shards = parse_shards();
+    let (shards, quant) = parse_args();
     // 1. Offline prologue: data, pre-training, supervision, fit.
     let mut config = PipelineConfig::fast();
     config.train_size = 900;
@@ -130,7 +149,7 @@ fn main() {
     config.attack_prob = 0.2;
     let mut rng = StdRng::seed_from_u64(7);
     println!(
-        "pre-training on {} synthetic lines… (shards: {shards})",
+        "pre-training on {} synthetic lines… (shards: {shards}, quant: {quant})",
         config.train_size
     );
     let dataset = config.generate_dataset(&mut rng);
@@ -150,7 +169,7 @@ fn main() {
     let store = EmbeddingStore::new(&pipeline);
     let train = store.view_of(&train_lines, Pooling::Mean);
     let fitted = ScoringEngine::new()
-        .with_index_config(IndexConfig::hnsw().with_shards(shards))
+        .with_index_config(IndexConfig::hnsw().with_quant(quant).with_shards(shards))
         .register(Box::new(RetrievalMethod::new(1)))
         .register(Box::new(VanillaKnnMethod::new(3)))
         .fit(&train, &labels)
@@ -243,7 +262,7 @@ fn main() {
     drop(cold_client);
     cold.shutdown();
     println!(
-        "cold-started from a {bytes}-byte snapshot ({shards} shard(s)) with zero graph \
-         construction passes; verdicts bit-identical"
+        "cold-started from a {bytes}-byte snapshot ({shards} shard(s), {quant} candidates) \
+         with zero graph construction passes; verdicts bit-identical"
     );
 }
