@@ -20,7 +20,11 @@
 //!   on the 1-core reference container — and the N shard beams run
 //!   concurrently on multi-core hosts on top of that. The headline
 //!   assertion's floor scales with the cores actually available.
+//!
+//! The per-backend q/ms figures are also written to
+//! `BENCH_shard.json` at the workspace root (see `bench::perf`).
 
+use bench::perf::{self, Value};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use index::{ExactIndex, HnswIndex, HnswParams, ShardedIndex, ShardedParams, VectorIndex};
 use linalg::rng::{clustered_around, randn};
@@ -126,6 +130,39 @@ fn bench_shard_scale(c: &mut Criterion) {
         hnsw_speedup >= floor,
         "sharded-hnsw speedup collapsed: {hnsw_speedup:.2}× (floor {floor}× on {cores} cores)"
     );
+
+    // ── Machine-readable record for CI/roadmap diffing. ──
+    let q_per_ms = |t: f64| QUERIES as f64 / (t * 1000.0);
+    let backend = |name: &str, t: f64, recall: Option<f64>| {
+        let mut b = Value::object();
+        b.push("backend", Value::Str(name.into()))
+            .push("q_per_ms", Value::Float(q_per_ms(t)));
+        if let Some(r) = recall {
+            b.push("recall_at_1", Value::Float(r));
+        }
+        b
+    };
+    let mut record = Value::object();
+    record
+        .push("bench", Value::Str("shard_scale".into()))
+        .push("indexed", Value::Int(INDEXED as i64))
+        .push("dim", Value::Int(DIM as i64))
+        .push("queries", Value::Int(QUERIES as i64))
+        .push("shards", Value::Int(SHARDS as i64))
+        .push("cores", Value::Int(cores as i64))
+        .push("hnsw_speedup", Value::Float(hnsw_speedup))
+        .push("hnsw_speedup_floor", Value::Float(floor))
+        .push(
+            "backends",
+            Value::Array(vec![
+                backend("exact", t_exact, None),
+                backend("sharded_exact", t_sharded_exact, None),
+                backend("hnsw", t_hnsw, Some(single_recall)),
+                backend("sharded_hnsw", t_sharded_hnsw, Some(sharded_recall)),
+            ]),
+        );
+    let path = perf::write_report("BENCH_shard.json", &record);
+    println!("shard_scale: wrote {}", path.display());
 
     let mut group = c.benchmark_group("shard_scale");
     group.sample_size(10);

@@ -15,6 +15,7 @@
 //! `EXPERIMENTS.md` for recorded paper-vs-measured results.
 
 pub mod methods;
+pub mod perf;
 
 use cmdline_ids::engine::{IndexConfig, Quantization};
 use cmdline_ids::metrics::ScoredSample;

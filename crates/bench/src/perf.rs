@@ -1,0 +1,191 @@
+//! Machine-readable perf records for the scale benches.
+//!
+//! The `quant_scale` and `shard_scale` benches print human-readable
+//! tables *and* persist the same figures as JSON (`BENCH_quant.json`,
+//! `BENCH_shard.json` at the workspace root) so CI and the roadmap
+//! tables can diff throughput regressions without scraping stdout.
+//!
+//! The workspace has no JSON dependency, so the writer is a tiny
+//! hand-rolled serializer over a [`Value`] tree: objects preserve
+//! insertion order, floats are emitted with enough precision to
+//! round-trip, and strings are escaped per RFC 8259.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A minimal JSON value: everything the perf records need, nothing more.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// JSON string.
+    Str(String),
+    /// JSON number from an integer.
+    Int(i64),
+    /// JSON number from a float (non-finite values serialize as `null`).
+    Float(f64),
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion order is preserved verbatim.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Shorthand for an empty object, filled via [`Value::push`].
+    pub fn object() -> Self {
+        Value::Object(Vec::new())
+    }
+
+    /// Append a key/value pair; panics if `self` is not an object.
+    pub fn push(&mut self, key: &str, value: Value) -> &mut Self {
+        match self {
+            Value::Object(entries) => entries.push((key.to_string(), value)),
+            _ => panic!("Value::push on a non-object"),
+        }
+        self
+    }
+
+    /// Serialize with two-space indentation.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Value::Str(s) => write_escaped(out, s),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::Float(f) => {
+                if f.is_finite() {
+                    // `{:?}` prints the shortest representation that
+                    // round-trips, and always includes a decimal point
+                    // or exponent so the token stays a JSON number.
+                    let _ = write!(out, "{f:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                indent(out, depth);
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                }
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Write a perf record to `<workspace root>/<file_name>`.
+///
+/// Returns the path written so benches can print it. The workspace
+/// root is resolved relative to this crate's manifest, so the record
+/// lands in the same place no matter which directory the bench runs
+/// from.
+pub fn write_report(file_name: &str, record: &Value) -> PathBuf {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(file_name);
+    std::fs::write(&path, record.to_json())
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_nested_records_with_stable_order() {
+        let mut row = Value::object();
+        row.push("format", Value::Str("i8".into()))
+            .push("q_per_ms", Value::Float(3.25))
+            .push("bytes_per_query", Value::Int(64))
+            .push("exact", Value::Bool(true));
+        let mut root = Value::object();
+        root.push("bench", Value::Str("quant_scale".into()))
+            .push("rows", Value::Array(vec![row]));
+        let json = root.to_json();
+        assert_eq!(
+            json,
+            "{\n  \"bench\": \"quant_scale\",\n  \"rows\": [\n    {\n      \
+             \"format\": \"i8\",\n      \"q_per_ms\": 3.25,\n      \
+             \"bytes_per_query\": 64,\n      \"exact\": true\n    }\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn floats_round_trip_and_non_finite_degrade_to_null() {
+        let v = Value::Array(vec![
+            Value::Float(0.1),
+            Value::Float(f64::NAN),
+            Value::Float(1.0),
+        ]);
+        assert_eq!(v.to_json(), "[\n  0.1,\n  null,\n  1.0\n]\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = Value::Str("a\"b\\c\nd\u{1}".into());
+        assert_eq!(v.to_json(), "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+}

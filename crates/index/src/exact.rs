@@ -2,9 +2,16 @@
 //! paper-faithful [`VectorIndex`] backend.
 
 use crate::{Neighbor, VectorIndex};
+use linalg::kernels::I8Kernel;
 use linalg::ops::{norm, row_norms};
-use linalg::quant::{Quantization, QuantizedMatrix};
+use linalg::quant::{PreparedQuery, Quantization, QuantizedMatrix, SCAN_TILE_ROWS};
 use linalg::Matrix;
+
+/// Queries scored together against each candidate tile in the blocked
+/// batch scan: enough to amortize the per-tile f16 decode many times
+/// over while keeping the per-block score buffer
+/// (`QUERY_BLOCK × SCAN_TILE_ROWS` floats) comfortably in L1.
+const QUERY_BLOCK: usize = 16;
 
 /// Exact top-k by full scan.
 ///
@@ -19,6 +26,16 @@ use linalg::Matrix;
 /// or quarter the bytes each scan streams (`benches/quant_scale.rs`).
 /// Norms stay the **original f32** row norms in every format — the
 /// quantized kernels reuse the same cache.
+///
+/// Batch queries run the **blocked scan**: candidates are walked in
+/// [`SCAN_TILE_ROWS`]-row tiles and each tile is scored for a whole
+/// [`QUERY_BLOCK`] of prepared queries before moving on, so a f16
+/// tile is decoded once per block (not once per query) and the i8
+/// tile stays hot across the block's integer-kernel dots
+/// (`linalg::kernels`). Scores and tie order are identical to the
+/// per-row `query` path — asserted exactly, since f32/f16 values are
+/// bit-identical and i8 accumulation is exact integers
+/// (`tests/blocked_scan.rs`).
 #[derive(Debug, Clone)]
 pub struct ExactIndex {
     data: QuantizedMatrix,
@@ -80,6 +97,130 @@ impl ExactIndex {
     pub(crate) fn to_parts(&self) -> (&QuantizedMatrix, &[f32]) {
         (&self.data, &self.norms)
     }
+
+    /// [`VectorIndex::query_batch`] through an explicitly chosen i8
+    /// kernel — the blocked tile scan. Every kernel returns identical
+    /// neighbours (exact integer arithmetic); the knob exists for the
+    /// parity suites and the scalar/SIMD rows of
+    /// `benches/quant_scale.rs`.
+    pub fn query_batch_with_kernel(
+        &self,
+        kernel: I8Kernel,
+        queries: &Matrix,
+        k: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        let n = queries.rows();
+        let mut out: Vec<Vec<Neighbor>> = Vec::with_capacity(n);
+        out.resize_with(n, Vec::new);
+        if n == 0 {
+            return out;
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        let chunk = n.div_ceil(threads).max(crate::MIN_ROWS_PER_WORKER);
+        if n < 2 * crate::MIN_ROWS_PER_WORKER || n <= chunk {
+            self.scan_query_chunk(kernel, queries, 0, &mut out, k);
+            return out;
+        }
+        crossbeam::scope(|scope| {
+            for (ci, slice) in out.chunks_mut(chunk).enumerate() {
+                scope.spawn(move |_| {
+                    self.scan_query_chunk(kernel, queries, ci * chunk, slice, k);
+                });
+            }
+        })
+        .expect("index batch-query worker panicked");
+        out
+    }
+
+    /// Scores query rows `[start, start + out.len())` against every
+    /// candidate with the blocked scan and writes each query's top-k
+    /// into its `out` slot.
+    ///
+    /// Loop structure: queries are taken [`QUERY_BLOCK`] at a time and
+    /// prepared once (width validated; i8 query codes quantized);
+    /// candidates stream through in [`SCAN_TILE_ROWS`] tiles with the
+    /// whole query block scored per tile, so each tile's bytes (and
+    /// the f16 decode) are paid once per block instead of once per
+    /// query. Scores and their ascending-row order are identical to
+    /// [`VectorIndex::query`]'s per-row loop, so the shared top-k
+    /// selection returns bit-identical neighbours.
+    fn scan_query_chunk(
+        &self,
+        kernel: I8Kernel,
+        queries: &Matrix,
+        start: usize,
+        out: &mut [Vec<Neighbor>],
+        k: usize,
+    ) {
+        if k == 0 {
+            return;
+        }
+        let n_rows = self.data.rows();
+        let mut scratch = Vec::new();
+        let mut tile_dots = vec![0.0f32; QUERY_BLOCK * SCAN_TILE_ROWS];
+        for (b0, block) in out.chunks_mut(QUERY_BLOCK).enumerate() {
+            let q_base = start + b0 * QUERY_BLOCK;
+            let prepared: Vec<PreparedQuery> = (0..block.len())
+                .map(|i| self.data.prepare_query(queries.row(q_base + i)))
+                .collect();
+            let q_norms: Vec<f32> = prepared.iter().map(|pq| norm(pq.query())).collect();
+            let mut sims: Vec<Vec<Neighbor>> = (0..block.len())
+                .map(|_| Vec::with_capacity(n_rows))
+                .collect();
+            for row_start in (0..n_rows).step_by(SCAN_TILE_ROWS) {
+                let nrows = SCAN_TILE_ROWS.min(n_rows - row_start);
+                self.data.dot_tile(
+                    kernel,
+                    row_start,
+                    nrows,
+                    &prepared,
+                    &mut scratch,
+                    &mut tile_dots,
+                );
+                for (qi, q_sims) in sims.iter_mut().enumerate() {
+                    let qn = q_norms[qi];
+                    let dots = &tile_dots[qi * nrows..(qi + 1) * nrows];
+                    for (i, &d) in dots.iter().enumerate() {
+                        let r = row_start + i;
+                        let row_norm = self.norms[r];
+                        // Same expression as `cosine_row`: zero norms
+                        // score 0.0, otherwise dot / (row·query norm).
+                        let similarity = if row_norm == 0.0 || qn == 0.0 {
+                            0.0
+                        } else {
+                            d / (row_norm * qn)
+                        };
+                        q_sims.push(Neighbor { id: r, similarity });
+                    }
+                }
+            }
+            for (slot, q_sims) in block.iter_mut().zip(sims) {
+                *slot = top_k(q_sims, k);
+            }
+        }
+    }
+}
+
+/// Top-k selection under [`crate::neighbour_cmp`] — (similarity desc,
+/// id asc), the exact order the historical stable descending sort
+/// produced. Factored out of [`VectorIndex::query`] so the blocked
+/// batch scan selects through the *same* code path and tie handling.
+fn top_k(mut sims: Vec<Neighbor>, k: usize) -> Vec<Neighbor> {
+    let n = sims.len();
+    let k = k.min(n);
+    if k == 0 {
+        return Vec::new();
+    }
+    let by_sim_then_id = crate::neighbour_cmp;
+    if k < n {
+        sims.select_nth_unstable_by(k - 1, by_sim_then_id);
+        sims.truncate(k);
+    }
+    sims.sort_by(by_sim_then_id);
+    sims.truncate(k);
+    sims
 }
 
 impl VectorIndex for ExactIndex {
@@ -96,30 +237,29 @@ impl VectorIndex for ExactIndex {
         if k == 0 {
             return Vec::new();
         }
+        // Prepare once per query: width validated, i8 query codes
+        // quantized a single time for the whole scan.
+        let pq = self.data.prepare_query(query);
         let nq = norm(query);
         let n = self.data.rows();
-        let k = k.min(n);
-        let mut sims: Vec<Neighbor> = (0..n)
+        let sims: Vec<Neighbor> = (0..n)
             .map(|r| Neighbor {
                 id: r,
-                similarity: self.data.cosine_row(r, self.norms[r], query, nq),
+                similarity: self.data.cosine_row_prepared(r, self.norms[r], &pq, nq),
             })
             .collect();
         // `neighbour_cmp` — (similarity desc, id asc) — is a total
         // order, and it is exactly the order the historical stable
         // descending sort produced (stable ⇒ ties keep ascending row
-        // order). Selecting the top k under it and sorting just those
-        // k therefore stays bit-identical to the historical full-scan
-        // detectors while the serving hot path drops from O(n log n)
-        // to O(n + k log k) per query.
-        let by_sim_then_id = crate::neighbour_cmp;
-        if k > 0 && k < n {
-            sims.select_nth_unstable_by(k - 1, by_sim_then_id);
-            sims.truncate(k);
-        }
-        sims.sort_by(by_sim_then_id);
-        sims.truncate(k);
-        sims
+        // order). Selecting the top k under it (see `top_k`, shared
+        // with the blocked batch scan) therefore stays bit-identical
+        // to the historical full-scan detectors while the serving hot
+        // path drops from O(n log n) to O(n + k log k) per query.
+        top_k(sims, k)
+    }
+
+    fn query_batch(&self, queries: &Matrix, k: usize) -> Vec<Vec<Neighbor>> {
+        self.query_batch_with_kernel(I8Kernel::default(), queries, k)
     }
 
     fn insert(&mut self, row: &[f32]) -> usize {
@@ -301,6 +441,55 @@ mod tests {
                 "{quant}"
             );
             assert!(z1.iter().all(|n| n.similarity == 0.0), "{quant}");
+        }
+    }
+
+    #[test]
+    fn blocked_batch_is_bit_identical_to_per_row_queries() {
+        // Candidate count deliberately not a multiple of
+        // SCAN_TILE_ROWS, query count not a multiple of QUERY_BLOCK —
+        // both ragged edges in play — across every storage format and
+        // every i8 kernel.
+        let mut rng = StdRng::seed_from_u64(21);
+        let data = randn(&mut rng, 150, 12, 1.0);
+        let queries = randn(&mut rng, 19, 12, 1.0);
+        for quant in [Quantization::F32, Quantization::F16, Quantization::I8] {
+            let norms = row_norms(&data);
+            let idx = ExactIndex::build_quantized(data.clone(), norms, quant);
+            for kernel in [I8Kernel::Scalar, I8Kernel::Swar, I8Kernel::Arch] {
+                let batched = idx.query_batch_with_kernel(kernel, &queries, 5);
+                assert_eq!(batched.len(), 19);
+                for (r, neighbours) in batched.iter().enumerate() {
+                    assert_eq!(
+                        neighbours,
+                        &idx.query(queries.row(r), 5),
+                        "{quant}/{} query {r}",
+                        kernel.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_batch_preserves_ties_across_tile_boundaries() {
+        // Every candidate is identical, so every similarity ties: the
+        // top-k must come back in ascending id order even when the
+        // tied rows span multiple scan tiles.
+        let n = SCAN_TILE_ROWS * 2 + 7;
+        let data = Matrix::from_fn(n, 4, |_, c| if c == 0 { 1.0 } else { 0.0 });
+        for quant in [Quantization::F32, Quantization::F16, Quantization::I8] {
+            let norms = row_norms(&data);
+            let idx = ExactIndex::build_quantized(data.clone(), norms, quant);
+            let queries = Matrix::from_fn(3, 4, |_, c| if c == 0 { 2.0 } else { 0.0 });
+            let batched = idx.query_batch(&queries, SCAN_TILE_ROWS + 3);
+            for per_query in &batched {
+                assert_eq!(
+                    per_query.iter().map(|n| n.id).collect::<Vec<_>>(),
+                    (0..SCAN_TILE_ROWS + 3).collect::<Vec<_>>(),
+                    "{quant}: tied rows must stay in ascending id order"
+                );
+            }
         }
     }
 

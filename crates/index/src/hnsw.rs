@@ -23,7 +23,7 @@
 
 use crate::{Neighbor, VectorIndex};
 use linalg::ops::{norm, row_norms};
-use linalg::quant::{Quantization, QuantizedMatrix};
+use linalg::quant::{PreparedQuery, Quantization, QuantizedMatrix};
 use linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -349,23 +349,35 @@ impl HnswIndex {
         self.insert_node(i, level);
     }
 
-    /// Cosine similarity between candidate `id` and a query whose norm
-    /// is already known (0.0 on degenerate norms, as the historical
-    /// `cosine_with_norms` guaranteed — the zero-norm contract holds
-    /// in every storage format).
+    /// Cosine similarity between candidate `id` and a prepared query
+    /// whose norm is already known (0.0 on degenerate norms, as the
+    /// historical `cosine_with_norms` guaranteed — the zero-norm
+    /// contract holds in every storage format).
+    ///
+    /// Queries are prepared **once per graph operation** (query,
+    /// insert, prune) — see [`QuantizedMatrix::prepare_query`] — so on
+    /// i8 storage every per-candidate evaluation in the beam search is
+    /// a pure integer-kernel dot instead of re-quantizing the query.
     #[inline]
-    fn sim(&self, id: usize, query: &[f32], query_norm: f32) -> f32 {
-        self.data.cosine_row(id, self.norms[id], query, query_norm)
+    fn sim(&self, id: usize, pq: &PreparedQuery<'_>, query_norm: f32) -> f32 {
+        self.data
+            .cosine_row_prepared(id, self.norms[id], pq, query_norm)
     }
 
     /// Greedy descent at one layer: hill-climb to the locally most
     /// similar node.
-    fn greedy(&self, query: &[f32], query_norm: f32, mut best: Scored, level: usize) -> Scored {
+    fn greedy(
+        &self,
+        pq: &PreparedQuery<'_>,
+        query_norm: f32,
+        mut best: Scored,
+        level: usize,
+    ) -> Scored {
         loop {
             let mut improved = false;
             for &nb in &self.links[best.id][level] {
                 let s = Scored {
-                    similarity: self.sim(nb, query, query_norm),
+                    similarity: self.sim(nb, pq, query_norm),
                     id: nb,
                 };
                 if s > best {
@@ -388,7 +400,7 @@ impl HnswIndex {
     /// (the allocation would otherwise dominate at serving scale).
     fn search_layer(
         &self,
-        query: &[f32],
+        pq: &PreparedQuery<'_>,
         query_norm: f32,
         entries: &[Scored],
         ef: usize,
@@ -437,7 +449,7 @@ impl HnswIndex {
                         continue;
                     }
                     let cand = Scored {
-                        similarity: self.sim(nb, query, query_norm),
+                        similarity: self.sim(nb, pq, query_norm),
                         id: nb,
                     };
                     let worst = results.peek().expect("non-empty").0;
@@ -476,19 +488,20 @@ impl HnswIndex {
         // The wiring anchor is the *stored* (possibly dequantized) row
         // — build and insert then agree exactly, whatever the format.
         let query: Vec<f32> = self.data.decode_row(i);
+        let pq = self.data.prepare_query(&query);
         let nq = self.norms[i];
         let mut ep = Scored {
-            similarity: self.sim(self.entry, &query, nq),
+            similarity: self.sim(self.entry, &pq, nq),
             id: self.entry,
         };
         // Descend through layers above the new node's level greedily.
         for l in (level + 1..=self.top_level).rev() {
-            ep = self.greedy(&query, nq, ep, l);
+            ep = self.greedy(&pq, nq, ep, l);
         }
         // Beam-search each shared layer and wire the best m links.
         let mut entries = vec![ep];
         for l in (0..=level.min(self.top_level)).rev() {
-            let found = self.search_layer(&query, nq, &entries, self.params.ef_construction, l);
+            let found = self.search_layer(&pq, nq, &entries, self.params.ef_construction, l);
             for &nb in found.iter().take(self.params.m) {
                 self.links[i][l].push(nb.id);
                 self.links[nb.id][l].push(i);
@@ -508,11 +521,12 @@ impl HnswIndex {
     /// most similar neighbours (ties by id, deterministically).
     fn prune(&mut self, node: usize, level: usize) {
         let anchor: Vec<f32> = self.data.decode_row(node);
+        let pa = self.data.prepare_query(&anchor);
         let na = self.norms[node];
         let mut scored: Vec<Scored> = self.links[node][level]
             .iter()
             .map(|&nb| Scored {
-                similarity: self.sim(nb, &anchor, na),
+                similarity: self.sim(nb, &pa, na),
                 id: nb,
             })
             .collect();
@@ -608,13 +622,17 @@ impl VectorIndex for HnswIndex {
         if self.is_empty() || k == 0 || self.live() == 0 {
             return Vec::new();
         }
+        // Prepared once per query: the whole greedy descent + beam
+        // search below reuses the validated (and, on i8, quantized)
+        // query.
+        let pq = self.data.prepare_query(query);
         let nq = norm(query);
         let mut ep = Scored {
-            similarity: self.sim(self.entry, query, nq),
+            similarity: self.sim(self.entry, &pq, nq),
             id: self.entry,
         };
         for l in (1..=self.top_level).rev() {
-            ep = self.greedy(query, nq, ep, l);
+            ep = self.greedy(&pq, nq, ep, l);
         }
         // Widen the beam so filtering the dead out afterwards still
         // tends to leave k live candidates — but cap the widening at
@@ -624,7 +642,7 @@ impl VectorIndex for HnswIndex {
         // cap bites; callers already tolerate that).
         let base = self.params.ef_search.max(k);
         let ef = base.saturating_add(self.dead.min(base));
-        let found = self.search_layer(query, nq, &[ep], ef, 0);
+        let found = self.search_layer(&pq, nq, &[ep], ef, 0);
         found
             .into_iter()
             .filter(|s| !self.tombstone[s.id])

@@ -21,7 +21,9 @@
 //! parity suites). HNSW-backed shards stay approximate, but each shard
 //! searches a graph 1/N the size — a narrower beam per shard buys the
 //! same recall, and a multi-core host runs the N beams concurrently
-//! (`benches/shard_scale.rs`).
+//! (`benches/shard_scale.rs`). Exact-backed shards inherit the
+//! blocked/SIMD scan kernels through [`ExactIndex::query_batch`], so
+//! the fan-out keeps the tiled per-shard throughput.
 //!
 //! Ids are **global**: the sharded index numbers candidates densely in
 //! insertion order across shards (exactly as the unsharded backends

@@ -1,0 +1,294 @@
+//! Register-tiled f32 GEMM micro-kernels behind [`crate::Matrix`]'s
+//! `matmul` / `matmul_transposed` — the encoder's compute-bound path.
+//!
+//! **Bit-identity contract.** Tiling here reorders which *outputs* are
+//! computed when, never the order in which one output accumulates its
+//! k-terms: every `out[i][j]` still sums `a[i][k]·b[k][j]` for k
+//! ascending (including the historical `a[i][k] == 0.0` skip in the
+//! NN kernel, and the skip-free sequential fold of `dot` in the NT
+//! kernel). f32 addition is deterministic for a fixed order, so the
+//! tiled kernels produce bit-identical matrices to the naive loops —
+//! which is what keeps every encoder embedding, and everything
+//! downstream of one, byte-stable across this optimization (pinned by
+//! `nn`'s batched-forward parity tests and the engine suites).
+//!
+//! **Why tiling is faster anyway.** The naive ikj loop streams the
+//! whole output row through memory once per k (a read-modify-write of
+//! `ocols` floats), so the inner loop is load/store-bound. The micro
+//! kernel holds an `MR × NR` output tile in registers across the
+//! entire k loop: per k it reads `NR` values of B once and `MR`
+//! values of A once, and touches memory for the outputs exactly once
+//! at the end. LLVM keeps the fixed-size tile in vector registers and
+//! vectorizes the NR lane (reassociation-free — each lane is a
+//! distinct output), so the speedup needs no `unsafe` and no
+//! arch-specific code.
+
+/// Output rows per register tile.
+const MR: usize = 4;
+/// Output columns per register tile (two 4-lane vectors on SSE2, one
+/// 8-lane vector on AVX).
+const NR: usize = 8;
+
+/// Computes rows `[row_start, row_start + nrows)` of `A·B` into
+/// `chunk` (which holds exactly those output rows), where `A` is
+/// `? × inner` and `B` is `inner × ocols`, both row-major.
+///
+/// Bit-identical to the historical ikj loop (k ascending per output,
+/// zero-skip on `a[i][k]`).
+pub fn gemm_nn(
+    a: &[f32],
+    b: &[f32],
+    chunk: &mut [f32],
+    row_start: usize,
+    nrows: usize,
+    inner: usize,
+    ocols: usize,
+) {
+    debug_assert!(chunk.len() >= nrows * ocols, "output chunk too small");
+    let full_i = nrows - nrows % MR;
+    let full_j = ocols - ocols % NR;
+    for i0 in (0..full_i).step_by(MR) {
+        let a_base = (row_start + i0) * inner;
+        for j0 in (0..full_j).step_by(NR) {
+            let mut acc = [[0.0f32; NR]; MR];
+            for k in 0..inner {
+                let bk = &b[k * ocols + j0..k * ocols + j0 + NR];
+                let mut bn = [0.0f32; NR];
+                bn.copy_from_slice(bk);
+                for (m, acc_m) in acc.iter_mut().enumerate() {
+                    let aik = a[a_base + m * inner + k];
+                    // The historical kernel skipped zero A elements;
+                    // keeping the skip keeps the accumulation-term
+                    // sequence — and thus the bits — identical.
+                    if aik != 0.0 {
+                        for (o, &bv) in acc_m.iter_mut().zip(&bn) {
+                            *o += aik * bv;
+                        }
+                    }
+                }
+            }
+            for (m, acc_m) in acc.iter().enumerate() {
+                chunk[(i0 + m) * ocols + j0..(i0 + m) * ocols + j0 + NR].copy_from_slice(acc_m);
+            }
+        }
+        // Column remainder of the full row tile.
+        if full_j < ocols {
+            gemm_nn_edge(
+                a,
+                b,
+                chunk,
+                row_start,
+                i0,
+                MR,
+                full_j,
+                ocols - full_j,
+                inner,
+                ocols,
+            );
+        }
+    }
+    // Row remainder (all columns).
+    if full_i < nrows {
+        gemm_nn_edge(
+            a,
+            b,
+            chunk,
+            row_start,
+            full_i,
+            nrows - full_i,
+            0,
+            ocols,
+            inner,
+            ocols,
+        );
+    }
+}
+
+/// Edge-tile fallback for [`gemm_nn`]: the naive per-output loop over
+/// an `mrows × ncols` output block at `(i0, j0)` — same k order, same
+/// zero-skip, so edges are bit-identical too.
+#[allow(clippy::too_many_arguments)]
+fn gemm_nn_edge(
+    a: &[f32],
+    b: &[f32],
+    chunk: &mut [f32],
+    row_start: usize,
+    i0: usize,
+    mrows: usize,
+    j0: usize,
+    ncols: usize,
+    inner: usize,
+    ocols: usize,
+) {
+    for m in 0..mrows {
+        let a_row = &a[(row_start + i0 + m) * inner..(row_start + i0 + m + 1) * inner];
+        let out_row = &mut chunk[(i0 + m) * ocols + j0..(i0 + m) * ocols + j0 + ncols];
+        out_row.fill(0.0);
+        for (k, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b[k * ocols + j0..k * ocols + j0 + ncols];
+            for (o, &bkj) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bkj;
+            }
+        }
+    }
+}
+
+/// Computes `out = A·Bᵀ` where `A` is `m_rows × inner` and `B` is
+/// `n_rows × inner`, both row-major — the transpose-free kernel behind
+/// `Matrix::matmul_transposed` (attention's `Q·Kᵀ`).
+///
+/// Bit-identical to `dot(a.row(m), b.row(n))` per output: each output
+/// accumulates its k-terms in ascending order with no zero-skip,
+/// exactly as the sequential `dot` fold does.
+pub fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m_rows: usize, n_rows: usize, inner: usize) {
+    debug_assert!(out.len() >= m_rows * n_rows, "output buffer too small");
+    let full_m = m_rows - m_rows % MR;
+    let full_n = n_rows - n_rows % NR;
+    for m0 in (0..full_m).step_by(MR) {
+        for n0 in (0..full_n).step_by(NR) {
+            let mut acc = [[0.0f32; NR]; MR];
+            for k in 0..inner {
+                let mut bn = [0.0f32; NR];
+                for (v, idx) in bn.iter_mut().zip(n0..n0 + NR) {
+                    *v = b[idx * inner + k];
+                }
+                for (m, acc_m) in acc.iter_mut().enumerate() {
+                    let amk = a[(m0 + m) * inner + k];
+                    for (o, &bv) in acc_m.iter_mut().zip(&bn) {
+                        *o += amk * bv;
+                    }
+                }
+            }
+            for (m, acc_m) in acc.iter().enumerate() {
+                out[(m0 + m) * n_rows + n0..(m0 + m) * n_rows + n0 + NR].copy_from_slice(acc_m);
+            }
+        }
+        for n in full_n..n_rows {
+            for m in m0..m0 + MR {
+                out[m * n_rows + n] = dot_seq(
+                    &a[m * inner..(m + 1) * inner],
+                    &b[n * inner..(n + 1) * inner],
+                );
+            }
+        }
+    }
+    for m in full_m..m_rows {
+        for n in 0..n_rows {
+            out[m * n_rows + n] = dot_seq(
+                &a[m * inner..(m + 1) * inner],
+                &b[n * inner..(n + 1) * inner],
+            );
+        }
+    }
+}
+
+/// The sequential dot fold (identical to `matrix::dot` without the
+/// length assert — callers slice equal lengths by construction).
+#[inline(always)]
+fn dot_seq(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The historical naive kernels, kept verbatim as the bit-identity
+    /// reference.
+    fn naive_nn(a: &[f32], b: &[f32], nrows: usize, inner: usize, ocols: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; nrows * ocols];
+        for r in 0..nrows {
+            let out_row = &mut out[r * ocols..(r + 1) * ocols];
+            for (k, &aik) in a[r * inner..(r + 1) * inner].iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                for (o, &bkj) in out_row.iter_mut().zip(&b[k * ocols..(k + 1) * ocols]) {
+                    *o += aik * bkj;
+                }
+            }
+        }
+        out
+    }
+
+    fn naive_nt(a: &[f32], b: &[f32], m_rows: usize, n_rows: usize, inner: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m_rows * n_rows];
+        for m in 0..m_rows {
+            for n in 0..n_rows {
+                out[m * n_rows + n] = dot_seq(
+                    &a[m * inner..(m + 1) * inner],
+                    &b[n * inner..(n + 1) * inner],
+                );
+            }
+        }
+        out
+    }
+
+    fn filled(n: usize, f: impl Fn(usize) -> f32) -> Vec<f32> {
+        (0..n).map(f).collect()
+    }
+
+    #[test]
+    fn nn_is_bit_identical_across_ragged_shapes() {
+        // Shapes straddling the MR×NR tile edges, with planted zeros
+        // to exercise the skip path.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 8),
+            (5, 9, 9),
+            (8, 16, 17),
+            (13, 7, 31),
+        ] {
+            let a = filled(m * k, |i| {
+                if i % 5 == 0 {
+                    0.0
+                } else {
+                    ((i * 31 % 17) as f32 - 8.0) * 0.37
+                }
+            });
+            let b = filled(k * n, |i| ((i * 13 % 23) as f32 - 11.0) * 0.73);
+            let want = naive_nn(&a, &b, m, k, n);
+            let mut got = vec![0.0f32; m * n];
+            gemm_nn(&a, &b, &mut got, 0, m, k, n);
+            assert_eq!(got, want, "nn {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn nn_respects_row_start_offsets() {
+        // The parallel path hands each worker a row window of A.
+        let (m, k, n) = (10, 6, 9);
+        let a = filled(m * k, |i| (i as f32).sin());
+        let b = filled(k * n, |i| (i as f32).cos());
+        let want = naive_nn(&a, &b, m, k, n);
+        let mut got = vec![0.0f32; 4 * n];
+        gemm_nn(&a, &b, &mut got, 3, 4, k, n);
+        assert_eq!(got, want[3 * n..7 * n], "offset window");
+    }
+
+    #[test]
+    fn nt_is_bit_identical_across_ragged_shapes() {
+        for (m, n, k) in [(1, 1, 1), (3, 7, 5), (4, 8, 8), (5, 9, 3), (16, 33, 12)] {
+            let a = filled(m * k, |i| ((i * 7 % 19) as f32 - 9.0) * 0.11);
+            let b = filled(n * k, |i| ((i * 3 % 13) as f32 - 6.0) * 1.7);
+            let want = naive_nt(&a, &b, m, n, k);
+            let mut got = vec![0.0f32; m * n];
+            gemm_nt(&a, &b, &mut got, m, n, k);
+            assert_eq!(got, want, "nt {m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn zero_inner_dimension_yields_zero_output() {
+        let mut out = vec![9.0f32; 6];
+        gemm_nn(&[], &[], &mut out, 0, 2, 0, 3);
+        assert_eq!(out, vec![0.0; 6]);
+        let mut out = vec![9.0f32; 6];
+        gemm_nt(&[], &[], &mut out, 2, 3, 0);
+        assert_eq!(out, vec![0.0; 6]);
+    }
+}

@@ -1,0 +1,67 @@
+//! aarch64 NEON i8 dot kernel. NEON (ASIMD) is part of the aarch64
+//! baseline, so no runtime detection is needed.
+//!
+//! `vmull_s8` widens 8 i8×i8 products to i16 exactly;
+//! `vpadalq_s16` pairwise-accumulates them into four i32 lanes — all
+//! integer, all exact, so the horizontal sum equals the scalar
+//! reference bit for bit (the cross-kernel parity suite pins this).
+//!
+//! Accumulator headroom mirrors the x86 path: each i32 lane absorbs
+//! one ≤ 2·127² pair-sum per 8 processed elements, exact below ~2²⁰
+//! elements (`debug_assert`ed).
+//!
+//! This module and `x86` are the only `unsafe` code in the workspace;
+//! `#![deny(unsafe_op_in_unsafe_fn)]` forces every unsafe operation
+//! into an explicit block with its safety argument alongside.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use core::arch::aarch64::*;
+
+/// Widths beyond this could overflow an i32 accumulator lane in the
+/// worst case; embedding dims are ≤ a few thousand.
+const MAX_EXACT_LEN: usize = 1 << 20;
+
+/// NEON i8 dot product. Exact: identical to the scalar reference.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    assert_eq!(a.len(), b.len(), "i8 dot length mismatch");
+    debug_assert!(a.len() <= MAX_EXACT_LEN, "i8 dot width overflows i32");
+    let n = a.len();
+    let blocks = n / 8;
+    // SAFETY: NEON is mandatory on aarch64; `vld1_s8` has no alignment
+    // requirement and block `i` reads lanes [8i, 8i+8) with 8(i+1) ≤ n.
+    let mut total = unsafe {
+        let mut acc = vdupq_n_s32(0);
+        for i in 0..blocks {
+            let va = vld1_s8(a.as_ptr().add(i * 8));
+            let vb = vld1_s8(b.as_ptr().add(i * 8));
+            // Exact widening multiply (i8×i8 → i16), then pairwise
+            // add-accumulate into i32 lanes.
+            acc = vpadalq_s16(acc, vmull_s8(va, vb));
+        }
+        vaddvq_s32(acc)
+    };
+    for i in blocks * 8..n {
+        total += a[i] as i32 * b[i] as i32;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::dot_i8_scalar;
+
+    #[test]
+    fn neon_matches_scalar() {
+        for n in [0usize, 1, 7, 8, 9, 16, 33, 64, 257] {
+            let a: Vec<i8> = (0..n).map(|i| ((i * 37 + 11) % 255) as u8 as i8).collect();
+            let b: Vec<i8> = (0..n).map(|i| ((i * 73 + 5) % 255) as u8 as i8).collect();
+            assert_eq!(dot_i8(&a, &b), dot_i8_scalar(&a, &b), "n={n}");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! x86_64 `core::arch` i8 dot kernels: SSE2 (baseline — every x86_64
+//! CPU has it) and AVX2 (picked once at load via
+//! `is_x86_feature_detected!`, cached in a dispatched fn pointer).
+//!
+//! Both paths sign-extend i8 lanes to i16 and use the widening
+//! multiply-add (`pmaddwd` / `vpmaddwd`): each instruction computes
+//! `a₂ᵢ·b₂ᵢ + a₂ᵢ₊₁·b₂ᵢ₊₁` exactly into an i32 lane. Integer
+//! arithmetic is exact and associative, so the horizontal sum at the
+//! end equals the scalar reference bit for bit — the property the
+//! cross-kernel parity suite pins.
+//!
+//! Accumulator headroom: each pairwise product sum is ≤ 2·127² =
+//! 32 258 (≤ 32 768 with the never-emitted −128), and a lane absorbs
+//! one such sum per 16 (SSE2) or 32 (AVX2) processed elements, so i32
+//! lanes stay exact below ~2²⁰ elements — orders of magnitude past any
+//! embedding width the scan sees (`debug_assert`ed).
+//!
+//! This module and `neon` are the only `unsafe` code in the workspace;
+//! `#![deny(unsafe_op_in_unsafe_fn)]` forces every unsafe operation
+//! into an explicit block with its safety argument alongside.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use core::arch::x86_64::*;
+use std::sync::OnceLock;
+
+/// Widths beyond this could overflow an i32 accumulator lane in the
+/// worst case; embedding dims are ≤ a few thousand.
+const MAX_EXACT_LEN: usize = 1 << 20;
+
+/// Signature shared by the SSE2/AVX2 kernels so one dispatched fn
+/// pointer covers both (`unsafe` because the AVX2 body requires the
+/// detected feature).
+type DotI8Fn = unsafe fn(&[i8], &[i8]) -> i32;
+
+/// Best-available x86_64 i8 dot product (AVX2 where the CPU has it,
+/// SSE2 otherwise). Exact: identical to the scalar reference.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    assert_eq!(a.len(), b.len(), "i8 dot length mismatch");
+    debug_assert!(a.len() <= MAX_EXACT_LEN, "i8 dot width overflows i32");
+    static DISPATCH: OnceLock<DotI8Fn> = OnceLock::new();
+    let f = DISPATCH.get_or_init(|| {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            dot_i8_avx2
+        } else {
+            dot_i8_sse2
+        }
+    });
+    // SAFETY: the dispatched fn only requires the feature it was
+    // selected under (`avx2` checked above; SSE2 is part of the
+    // x86_64 baseline), and both take ordinary slices.
+    unsafe { f(a, b) }
+}
+
+/// SSE2 kernel: 16 code lanes per iteration, unaligned loads.
+///
+/// # Safety
+///
+/// SSE2 is mandatory on x86_64, so this is safe to call on any CPU
+/// this module compiles for; it is `unsafe fn` only to share the
+/// dispatch signature with the AVX2 kernel.
+pub unsafe fn dot_i8_sse2(a: &[i8], b: &[i8]) -> i32 {
+    let n = a.len();
+    let blocks = n / 16;
+    // SAFETY: all intrinsics here are SSE2; loads are `loadu`
+    // (no alignment requirement) and every pointer stays inside the
+    // slices: block `i` reads bytes [16i, 16i+16) with 16(i+1) ≤ n.
+    unsafe {
+        let zero = _mm_setzero_si128();
+        let mut acc = zero;
+        for i in 0..blocks {
+            let pa = a.as_ptr().add(i * 16) as *const __m128i;
+            let pb = b.as_ptr().add(i * 16) as *const __m128i;
+            let va = _mm_loadu_si128(pa);
+            let vb = _mm_loadu_si128(pb);
+            // Sign-extend each i8 half to i16 by unpacking against the
+            // lanes' sign masks (SSE2 has no cvtepi8; cmpgt(0, v) is
+            // 0xFF exactly where v is negative).
+            let sa = _mm_cmpgt_epi8(zero, va);
+            let sb = _mm_cmpgt_epi8(zero, vb);
+            let a_lo = _mm_unpacklo_epi8(va, sa);
+            let a_hi = _mm_unpackhi_epi8(va, sa);
+            let b_lo = _mm_unpacklo_epi8(vb, sb);
+            let b_hi = _mm_unpackhi_epi8(vb, sb);
+            // Exact widening multiply-add: i16×i16 pairs summed to i32.
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(a_lo, b_lo));
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(a_hi, b_hi));
+        }
+        // Horizontal i32 sum of the 4 lanes.
+        let hi = _mm_shuffle_epi32(acc, 0b01_00_11_10);
+        let sum2 = _mm_add_epi32(acc, hi);
+        let hi2 = _mm_shuffle_epi32(sum2, 0b00_00_00_01);
+        let mut total = _mm_cvtsi128_si32(_mm_add_epi32(sum2, hi2));
+        for i in blocks * 16..n {
+            total += a[i] as i32 * b[i] as i32;
+        }
+        total
+    }
+}
+
+/// AVX2 kernel: 32 code lanes per iteration via `vpmovsxbw` +
+/// `vpmaddwd`.
+///
+/// # Safety
+///
+/// The caller must ensure the CPU supports AVX2 (the [`dot_i8`]
+/// dispatcher checks `is_x86_feature_detected!("avx2")` once).
+#[target_feature(enable = "avx2")]
+pub unsafe fn dot_i8_avx2(a: &[i8], b: &[i8]) -> i32 {
+    let n = a.len();
+    let blocks = n / 32;
+    // SAFETY: intrinsics require AVX2, guaranteed by the caller per
+    // this function's contract; loads are unaligned (`loadu`) and
+    // block `i` reads bytes [32i, 32i+32) with 32(i+1) ≤ n.
+    unsafe {
+        let mut acc = _mm256_setzero_si256();
+        for i in 0..blocks {
+            let pa = a.as_ptr().add(i * 32) as *const __m128i;
+            let pb = b.as_ptr().add(i * 32) as *const __m128i;
+            // Two 16-byte halves, each sign-extended i8 → i16.
+            let a_lo = _mm256_cvtepi8_epi16(_mm_loadu_si128(pa));
+            let a_hi = _mm256_cvtepi8_epi16(_mm_loadu_si128(pa.add(1)));
+            let b_lo = _mm256_cvtepi8_epi16(_mm_loadu_si128(pb));
+            let b_hi = _mm256_cvtepi8_epi16(_mm_loadu_si128(pb.add(1)));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_lo, b_lo));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_hi, b_hi));
+        }
+        // Fold 8 i32 lanes: 256 → 128 → horizontal.
+        let lo = _mm256_castsi256_si128(acc);
+        let hi = _mm256_extracti128_si256(acc, 1);
+        let sum4 = _mm_add_epi32(lo, hi);
+        let s2 = _mm_add_epi32(sum4, _mm_shuffle_epi32(sum4, 0b01_00_11_10));
+        let s1 = _mm_add_epi32(s2, _mm_shuffle_epi32(s2, 0b00_00_00_01));
+        let mut total = _mm_cvtsi128_si32(s1);
+        for i in blocks * 32..n {
+            total += a[i] as i32 * b[i] as i32;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::dot_i8_scalar;
+
+    fn cases() -> Vec<(Vec<i8>, Vec<i8>)> {
+        let mut out = Vec::new();
+        for n in [0usize, 1, 15, 16, 17, 31, 32, 33, 64, 100, 257] {
+            let a: Vec<i8> = (0..n).map(|i| ((i * 37 + 11) % 255) as u8 as i8).collect();
+            let b: Vec<i8> = (0..n).map(|i| ((i * 73 + 5) % 255) as u8 as i8).collect();
+            out.push((a, b));
+        }
+        out.push((vec![127; 65], vec![127; 65]));
+        out.push((vec![-128; 65], vec![127; 65]));
+        out
+    }
+
+    #[test]
+    fn sse2_matches_scalar() {
+        for (a, b) in cases() {
+            // SAFETY: SSE2 is baseline on x86_64.
+            let got = unsafe { dot_i8_sse2(&a, &b) };
+            assert_eq!(got, dot_i8_scalar(&a, &b), "n={}", a.len());
+        }
+    }
+
+    #[test]
+    fn avx2_matches_scalar_when_available() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        for (a, b) in cases() {
+            // SAFETY: AVX2 presence checked above.
+            let got = unsafe { dot_i8_avx2(&a, &b) };
+            assert_eq!(got, dot_i8_scalar(&a, &b), "n={}", a.len());
+        }
+    }
+
+    #[test]
+    fn dispatcher_matches_scalar() {
+        for (a, b) in cases() {
+            assert_eq!(dot_i8(&a, &b), dot_i8_scalar(&a, &b), "n={}", a.len());
+        }
+    }
+}

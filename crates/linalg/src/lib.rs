@@ -12,9 +12,19 @@
 //!   `L_PCA(t) = ‖WᵀW f(t) − f(t)‖²` (projection onto the retained
 //!   subspace and back).
 //!
-//! Everything is pure Rust; parallelism uses scoped `crossbeam` threads.
+//! * [`kernels`] — blocked + SIMD micro-kernels behind the quantized
+//!   candidate scan and the encoder matmuls (exact-integer i8 dots,
+//!   bit-identical f32 GEMM tiles).
+//!
+//! Everything is pure Rust; parallelism uses scoped `crossbeam`
+//! threads. `unsafe` is denied workspace-wide except the two
+//! `core::arch` kernel modules (`kernels::x86`, `kernels::neon`),
+//! which carry `#![deny(unsafe_op_in_unsafe_fn)]` and per-call safety
+//! comments — see `kernels`' module docs for the policy.
+#![deny(unsafe_code)]
 
 pub mod eig;
+pub mod kernels;
 pub mod matrix;
 pub mod ops;
 pub mod pca;

@@ -315,7 +315,11 @@ impl Matrix {
         });
     }
 
-    /// `self · otherᵀ` without materializing the transpose.
+    /// `self · otherᵀ` without materializing the transpose, via the
+    /// register-tiled micro-kernel (`kernels::gemm_nt`). Each output
+    /// still accumulates exactly as `dot(self.row(r), other.row(c))`
+    /// did — ascending k, sequential fold — so results are
+    /// bit-identical to the historical per-output loop.
     ///
     /// # Panics
     ///
@@ -326,7 +330,16 @@ impl Matrix {
             "matmul_transposed shape mismatch: {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
-        Matrix::from_fn(self.rows, other.rows, |r, c| dot(self.row(r), other.row(c)))
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        crate::kernels::gemm_nt(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            other.rows,
+            self.cols,
+        );
+        out
     }
 
     /// Element-wise map into a new matrix.
@@ -397,7 +410,10 @@ fn matmul_block(
 }
 
 /// Computes rows `[row_start, row_start+nrows)` of `A·B` into `chunk`
-/// (which holds exactly those output rows).
+/// (which holds exactly those output rows) via the register-tiled
+/// micro-kernel. Per-output k-accumulation order (and the historical
+/// zero-skip on A elements) is unchanged, so results are bit-identical
+/// to the old ikj loop — see `kernels::gemm_nn`.
 fn matmul_block_into(
     a: &[f32],
     b: &[f32],
@@ -407,22 +423,7 @@ fn matmul_block_into(
     inner: usize,
     ocols: usize,
 ) {
-    for local_r in 0..nrows {
-        let r = row_start + local_r;
-        let out_row = &mut chunk[local_r * ocols..(local_r + 1) * ocols];
-        out_row.fill(0.0);
-        let a_row = &a[r * inner..(r + 1) * inner];
-        // ikj loop order: stream through B rows for cache friendliness.
-        for (k, &aik) in a_row.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let b_row = &b[k * ocols..(k + 1) * ocols];
-            for (o, &bkj) in out_row.iter_mut().zip(b_row) {
-                *o += aik * bkj;
-            }
-        }
-    }
+    crate::kernels::gemm_nn(a, b, chunk, row_start, nrows, inner, ocols);
 }
 
 /// Dot product of two equal-length slices.
@@ -656,5 +657,44 @@ mod tests {
     #[test]
     fn dot_product() {
         assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn tiled_matmuls_are_bit_identical_to_the_naive_loops() {
+        // The historical kernels, verbatim: ikj with zero-skip for
+        // matmul, per-output sequential dot for matmul_transposed.
+        // Shapes straddle the register-tile edges and the parallel
+        // threshold.
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (13, 9, 17), (65, 64, 66)] {
+            let a = Matrix::from_fn(m, k, |r, c| {
+                if (r + c) % 5 == 0 {
+                    0.0
+                } else {
+                    ((r * 31 + c * 17) % 13) as f32 * 0.37 - 2.0
+                }
+            });
+            let b = Matrix::from_fn(k, n, |r, c| ((r * 7 + c * 3) % 11) as f32 * 0.73 - 3.0);
+            let mut want = Matrix::zeros(m, n);
+            for r in 0..m {
+                let out_row = want.row_mut(r);
+                for (ki, &aik) in a.row(r).iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    for (o, &bkj) in out_row.iter_mut().zip(b.row(ki)) {
+                        *o += aik * bkj;
+                    }
+                }
+            }
+            assert_eq!(a.matmul(&b), want, "matmul {m}x{k}x{n}");
+
+            let bt = Matrix::from_fn(n, k, |r, c| ((r * 13 + c * 5) % 9) as f32 * 1.1 - 4.0);
+            let want_t = Matrix::from_fn(m, n, |r, c| dot(a.row(r), bt.row(c)));
+            assert_eq!(
+                a.matmul_transposed(&bt),
+                want_t,
+                "matmul_transposed {m}x{k}x{n}"
+            );
+        }
     }
 }

@@ -19,16 +19,37 @@
 //! * [`QuantizedMatrix`] — a row-major candidate matrix in any of the
 //!   three formats with *dequant-free* scoring kernels:
 //!   [`QuantizedMatrix::dot_row`] accumulates straight out of the
-//!   compressed representation (f16 via the table, i8 via an integer
-//!   row and one scale multiply) without materializing an `f32` row.
+//!   compressed representation (f16 via the table; i8 as an
+//!   **exact-integer** dot — the query is symmetrically quantized too,
+//!   the codes multiply in i16-widening integer arithmetic via
+//!   [`crate::kernels`], and `scale_row × scale_query` dequantizes the
+//!   final integer once, see [`finish_i8_dot`]) without materializing
+//!   an `f32` row.
+//! * [`PreparedQuery`] / [`QuantizedMatrix::dot_tile`] — the scan hot
+//!   path: a query is validated and (for i8) quantized **once per
+//!   scan**, then candidate rows are scored in cache-sized tiles
+//!   ([`SCAN_TILE_ROWS`]) with a whole block of queries per tile, so
+//!   the f16 decode and the row stream are amortized across queries
+//!   and the i8 inner loop runs the SIMD integer kernels.
 //!
 //! The `F32` variant wraps a plain [`Matrix`] and its kernels are the
 //! exact historical ones — every f32-configured index stays
 //! bit-identical to the pre-quantization code, which the index crate's
-//! back-compat pins assert.
+//! back-compat pins assert. Exact integer arithmetic is associative,
+//! so the i8 scores are additionally bit-identical across *every*
+//! kernel implementation (scalar, SWAR, SSE2/AVX2, NEON) on every
+//! platform.
 
+use crate::kernels::{self, I8Kernel};
 use crate::matrix::{dot, Matrix};
 use std::sync::OnceLock;
+
+/// Candidate rows per scan tile. Sized so a decoded f16 tile
+/// (`TILE × cols × 4` bytes — 16 KiB at the paper's 64-dim embedding)
+/// stays L1-resident while a block of queries is scored against it,
+/// amortizing the f16 table decode (and the i8 row-pointer walk)
+/// across every query in the block instead of re-paying it per query.
+pub const SCAN_TILE_ROWS: usize = 64;
 
 /// Candidate storage format for a vector index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -176,6 +197,18 @@ pub fn i8_encode_row(row: &[f32]) -> (Vec<i8>, f32) {
         .map(|&x| ((x as f64 * inv).round() as i32).clamp(-127, 127) as i8)
         .collect();
     (codes, scale)
+}
+
+/// Dequantizes a finished exact-integer i8 dot product: the stored row
+/// and the query were both symmetrically quantized, so
+/// `Σ rᵢqᵢ ≈ (Σ codeᵣᵢ·codeqᵢ) · scaleᵣ · scaleq`. The scale product is
+/// applied **once, to the final integer** — the single place the i8
+/// score becomes a float, shared by the scalar reference
+/// ([`QuantizedMatrix::dot_row`]), the prepared path and the blocked
+/// scan, which is what makes every i8 kernel score-identical.
+#[inline]
+pub fn finish_i8_dot(acc: i32, row_scale: f32, query_scale: f32) -> f32 {
+    acc as f32 * (row_scale * query_scale)
 }
 
 /// A row-major candidate matrix stored in one of the three
@@ -348,17 +381,30 @@ impl QuantizedMatrix {
     /// straight from the compressed representation (the dequant-free
     /// scoring kernel). Bit-identical to [`dot`] for `F32`.
     ///
+    /// This is the *scalar reference* path: it computes exactly what
+    /// [`QuantizedMatrix::dot_row_prepared`] computes (for `I8`, it
+    /// quantizes the query per call — callers on a hot loop should
+    /// prepare once instead).
+    ///
     /// # Panics
     ///
-    /// Panics if `query.len() != self.cols()` (via the `F32` kernel;
-    /// debug-asserted on the quantized paths, whose callers already
-    /// validate query width at the index boundary).
+    /// Panics if `query.len() != self.cols()` — validated here for
+    /// **every** format, so the width contract no longer depends on
+    /// which storage variant a config picked (historically `F32`
+    /// panicked via [`dot`] while the quantized arms only
+    /// debug-asserted).
     #[inline]
     pub fn dot_row(&self, r: usize, query: &[f32]) -> f32 {
+        assert_eq!(
+            query.len(),
+            self.cols(),
+            "dot_row width mismatch: query has {} dims, matrix has {}",
+            query.len(),
+            self.cols()
+        );
         match self {
             QuantizedMatrix::F32(m) => dot(m.row(r), query),
             QuantizedMatrix::F16 { cols, data, .. } => {
-                debug_assert_eq!(query.len(), *cols, "dot_row width mismatch");
                 let table = f16_table();
                 let row = &data[r * cols..(r + 1) * cols];
                 let mut acc = 0.0f32;
@@ -370,13 +416,9 @@ impl QuantizedMatrix {
             QuantizedMatrix::I8 {
                 cols, data, scales, ..
             } => {
-                debug_assert_eq!(query.len(), *cols, "dot_row width mismatch");
+                let (q_codes, q_scale) = i8_encode_row(query);
                 let row = &data[r * cols..(r + 1) * cols];
-                let mut acc = 0.0f32;
-                for (&c, &q) in row.iter().zip(query) {
-                    acc += c as f32 * q;
-                }
-                acc * scales[r]
+                finish_i8_dot(kernels::dot_i8_scalar(row, &q_codes), scales[r], q_scale)
             }
         }
     }
@@ -393,6 +435,177 @@ impl QuantizedMatrix {
             return 0.0;
         }
         self.dot_row(r, query) / (row_norm * query_norm)
+    }
+
+    /// Validates and pre-processes a query for repeated scoring
+    /// against this matrix: the **one width boundary** for the scan
+    /// hot paths (every per-row scoring call after this only
+    /// debug-asserts), and — for `I8` — the place the query is
+    /// symmetrically quantized *once* so the per-candidate inner loop
+    /// is pure integer arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != self.cols()`.
+    pub fn prepare_query<'q>(&self, query: &'q [f32]) -> PreparedQuery<'q> {
+        assert_eq!(
+            query.len(),
+            self.cols(),
+            "query width mismatch: query has {} dims, matrix has {}",
+            query.len(),
+            self.cols()
+        );
+        let (i8_codes, i8_scale) = match self {
+            QuantizedMatrix::I8 { .. } => {
+                let (codes, scale) = i8_encode_row(query);
+                (codes, scale)
+            }
+            _ => (Vec::new(), 0.0),
+        };
+        PreparedQuery {
+            query,
+            i8_codes,
+            i8_scale,
+        }
+    }
+
+    /// [`QuantizedMatrix::dot_row`] through a [`PreparedQuery`]: same
+    /// scores (bit-identical — for `I8` both paths run the exact
+    /// integer sum and the same [`finish_i8_dot`]), but width was
+    /// validated once at [`QuantizedMatrix::prepare_query`] and the
+    /// `I8` query codes are reused instead of re-quantized per row.
+    #[inline]
+    pub fn dot_row_prepared(&self, r: usize, pq: &PreparedQuery<'_>) -> f32 {
+        self.dot_row_prepared_with(I8Kernel::Arch, r, pq)
+    }
+
+    /// [`QuantizedMatrix::dot_row_prepared`] through an explicit i8
+    /// kernel (all kernels return identical scores; the knob exists
+    /// for the parity suites and the scalar/SIMD bench rows).
+    #[inline]
+    pub fn dot_row_prepared_with(&self, kernel: I8Kernel, r: usize, pq: &PreparedQuery<'_>) -> f32 {
+        debug_assert_eq!(pq.query.len(), self.cols(), "prepared for another width");
+        match self {
+            QuantizedMatrix::F32(m) => dot(m.row(r), pq.query),
+            QuantizedMatrix::F16 { cols, data, .. } => {
+                let table = f16_table();
+                let row = &data[r * cols..(r + 1) * cols];
+                let mut acc = 0.0f32;
+                for (&h, &q) in row.iter().zip(pq.query) {
+                    acc += table[h as usize] * q;
+                }
+                acc
+            }
+            QuantizedMatrix::I8 {
+                cols, data, scales, ..
+            } => {
+                let row = &data[r * cols..(r + 1) * cols];
+                finish_i8_dot(
+                    kernels::dot_i8_with(kernel, row, &pq.i8_codes),
+                    scales[r],
+                    pq.i8_scale,
+                )
+            }
+        }
+    }
+
+    /// [`QuantizedMatrix::cosine_row`] through a [`PreparedQuery`]
+    /// (same zero-norm contract, same scores).
+    #[inline]
+    pub fn cosine_row_prepared(
+        &self,
+        r: usize,
+        row_norm: f32,
+        pq: &PreparedQuery<'_>,
+        query_norm: f32,
+    ) -> f32 {
+        if row_norm == 0.0 || query_norm == 0.0 {
+            return 0.0;
+        }
+        self.dot_row_prepared(r, pq) / (row_norm * query_norm)
+    }
+
+    /// Blocked scan primitive: dot products of the row tile
+    /// `[row_start, row_start + nrows)` against a block of prepared
+    /// queries, written to `out[q * nrows + i]` for query `q` and tile
+    /// row `i`.
+    ///
+    /// The tile is traversed once per *block*, not once per query:
+    ///
+    /// * `F16` — the tile is decoded through the 256 KiB lookup table
+    ///   into `scratch` **once**, then every query runs a sequential
+    ///   f32 dot against the L1-resident scratch rows. Element values
+    ///   and accumulation order match the per-row table kernel
+    ///   exactly, so f16 scores are bit-identical to the unblocked
+    ///   path.
+    /// * `I8` — each query's codes were quantized once at prepare
+    ///   time; the inner loop is the exact-integer kernel, finished by
+    ///   [`finish_i8_dot`] — score-identical to [`dot_row`] under
+    ///   every [`I8Kernel`].
+    /// * `F32` — plain sequential dots ([`dot`]'s order), bit-identical
+    ///   to the historical scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile range is out of bounds or `out` is shorter
+    /// than `queries.len() · nrows`.
+    ///
+    /// [`dot_row`]: QuantizedMatrix::dot_row
+    pub fn dot_tile(
+        &self,
+        kernel: I8Kernel,
+        row_start: usize,
+        nrows: usize,
+        queries: &[PreparedQuery<'_>],
+        scratch: &mut Vec<f32>,
+        out: &mut [f32],
+    ) {
+        assert!(row_start + nrows <= self.rows(), "tile out of bounds");
+        assert!(
+            out.len() >= queries.len() * nrows,
+            "tile output buffer too small"
+        );
+        match self {
+            QuantizedMatrix::F32(m) => {
+                for (q, pq) in queries.iter().enumerate() {
+                    let out_q = &mut out[q * nrows..(q + 1) * nrows];
+                    for (i, o) in out_q.iter_mut().enumerate() {
+                        *o = dot(m.row(row_start + i), pq.query);
+                    }
+                }
+            }
+            QuantizedMatrix::F16 { cols, data, .. } => {
+                let table = f16_table();
+                scratch.clear();
+                scratch.extend(
+                    data[row_start * cols..(row_start + nrows) * cols]
+                        .iter()
+                        .map(|&h| table[h as usize]),
+                );
+                for (q, pq) in queries.iter().enumerate() {
+                    let out_q = &mut out[q * nrows..(q + 1) * nrows];
+                    for (i, o) in out_q.iter_mut().enumerate() {
+                        *o = kernels::dot_f32(&scratch[i * cols..(i + 1) * cols], pq.query);
+                    }
+                }
+            }
+            QuantizedMatrix::I8 {
+                cols, data, scales, ..
+            } => {
+                for (q, pq) in queries.iter().enumerate() {
+                    let out_q = &mut out[q * nrows..(q + 1) * nrows];
+                    for (i, o) in out_q.iter_mut().enumerate() {
+                        let r = row_start + i;
+                        let row = &data[r * cols..(r + 1) * cols];
+                        *o = finish_i8_dot(
+                            kernels::dot_i8_with(kernel, row, &pq.i8_codes),
+                            scales[r],
+                            pq.i8_scale,
+                        );
+                    }
+                }
+            }
+        }
     }
 
     /// A new matrix holding the listed rows (in order), copying the
@@ -439,6 +652,29 @@ impl QuantizedMatrix {
                 }
             }
         }
+    }
+}
+
+/// A query validated (and, for `I8` matrices, symmetrically quantized)
+/// once via [`QuantizedMatrix::prepare_query`], ready for repeated
+/// per-row or blocked scoring. Preparing per scan — instead of per
+/// candidate — is what turns the i8 inner loop into pure integer
+/// arithmetic.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery<'q> {
+    /// The original full-precision query.
+    query: &'q [f32],
+    /// Symmetric i8 codes of the query (empty unless prepared against
+    /// an `I8` matrix).
+    i8_codes: Vec<i8>,
+    /// The query's i8 scale (0.0 unless prepared against `I8`).
+    i8_scale: f32,
+}
+
+impl<'q> PreparedQuery<'q> {
+    /// The full-precision query this was prepared from.
+    pub fn query(&self) -> &'q [f32] {
+        self.query
     }
 }
 
@@ -544,6 +780,111 @@ mod tests {
             assert_eq!(q.cosine_row(0, 0.0, &[1.0, 0.0], 1.0), 0.0, "{quant}");
             assert_eq!(q.cosine_row(1, 1.0, &[0.0, 0.0], 0.0), 0.0, "{quant}");
             assert_eq!(q.cosine_row(1, 1.0, &[1.0, 0.0], 1.0), 1.0, "{quant}");
+        }
+    }
+
+    /// Deterministic pseudo-random matrix for kernel-path tests.
+    fn test_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+    }
+
+    #[test]
+    fn prepared_scoring_matches_the_scalar_reference_exactly() {
+        let m = test_matrix(7, 13, 3);
+        let query: Vec<f32> = test_matrix(1, 13, 99).row(0).to_vec();
+        for quant in [Quantization::F32, Quantization::F16, Quantization::I8] {
+            let q = QuantizedMatrix::encode(m.clone(), quant);
+            let pq = q.prepare_query(&query);
+            for r in 0..q.rows() {
+                let want = q.dot_row(r, &query);
+                assert_eq!(q.dot_row_prepared(r, &pq), want, "{quant} row {r}");
+                for kernel in [I8Kernel::Scalar, I8Kernel::Swar, I8Kernel::Arch] {
+                    assert_eq!(
+                        q.dot_row_prepared_with(kernel, r, &pq),
+                        want,
+                        "{quant} row {r} kernel {}",
+                        kernel.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_tile_matches_per_row_scoring_bit_for_bit() {
+        // Ragged row count (not a multiple of any tile), several
+        // queries per block, all formats, all kernels.
+        let m = test_matrix(23, 16, 7);
+        let queries: Vec<Vec<f32>> = (0..5)
+            .map(|i| test_matrix(1, 16, 100 + i).row(0).to_vec())
+            .collect();
+        for quant in [Quantization::F32, Quantization::F16, Quantization::I8] {
+            let q = QuantizedMatrix::encode(m.clone(), quant);
+            let prepared: Vec<PreparedQuery> = queries.iter().map(|v| q.prepare_query(v)).collect();
+            for kernel in [I8Kernel::Scalar, I8Kernel::Swar, I8Kernel::Arch] {
+                let mut scratch = Vec::new();
+                // Tiles of 9 leave a ragged final tile of 5 rows.
+                for row_start in (0..q.rows()).step_by(9) {
+                    let nrows = 9.min(q.rows() - row_start);
+                    let mut out = vec![f32::NAN; prepared.len() * nrows];
+                    q.dot_tile(kernel, row_start, nrows, &prepared, &mut scratch, &mut out);
+                    for (qi, query) in queries.iter().enumerate() {
+                        for i in 0..nrows {
+                            assert_eq!(
+                                out[qi * nrows + i],
+                                q.dot_row(row_start + i, query),
+                                "{quant}/{} row {} query {qi}",
+                                kernel.name(),
+                                row_start + i
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i8_scoring_is_exact_integer_end_to_end() {
+        // A row and query whose codes and scales are exactly
+        // representable: row = [2, -4, 6], scale 6/127; query =
+        // [1, 1, -1] codes [127, 127, -127], scale 1/127.
+        let m = Matrix::from_rows(&[&[2.0, -4.0, 6.0]]);
+        let q = QuantizedMatrix::encode(m, Quantization::I8);
+        let query = [1.0f32, 1.0, -1.0];
+        let pq = q.prepare_query(&query);
+        let QuantizedMatrix::I8 { data, scales, .. } = &q else {
+            unreachable!()
+        };
+        let int_dot: i32 = data
+            .iter()
+            .zip([127i32, 127, -127])
+            .map(|(&c, qc)| c as i32 * qc)
+            .sum();
+        let want = finish_i8_dot(int_dot, scales[0], 1.0 / 127.0);
+        assert_eq!(q.dot_row_prepared(0, &pq), want);
+        assert_eq!(q.dot_row(0, &query), want);
+    }
+
+    #[test]
+    fn width_mismatch_panics_uniformly_across_formats() {
+        for quant in [Quantization::F32, Quantization::F16, Quantization::I8] {
+            let q = QuantizedMatrix::encode(Matrix::from_rows(&[&[1.0, 2.0, 3.0]]), quant);
+            let narrow = [1.0f32, 2.0];
+            assert!(
+                std::panic::catch_unwind(|| q.dot_row(0, &narrow)).is_err(),
+                "{quant} dot_row accepted a narrow query"
+            );
+            assert!(
+                std::panic::catch_unwind(|| q.prepare_query(&narrow)).is_err(),
+                "{quant} prepare_query accepted a narrow query"
+            );
         }
     }
 

@@ -1,0 +1,122 @@
+//! Property tests: every i8 dot kernel is the same exact function.
+//!
+//! The integer kernels accumulate i8×i8 products through i16 widening
+//! multiplies into i32 — exact, associative arithmetic — so the SWAR
+//! and `core::arch` paths must return the *identical* i32 as the
+//! scalar reference on every input, not merely a close one. These
+//! properties sweep ragged widths (SIMD tails), extreme codes
+//! (±127/−128 saturation), and the full prepared-query scoring path
+//! through `QuantizedMatrix`.
+
+use linalg::kernels::{self, I8Kernel};
+use linalg::quant::{Quantization, QuantizedMatrix, SCAN_TILE_ROWS};
+use linalg::Matrix;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random matrix (xorshift64*), values in ±2.
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let u = state.wrapping_mul(0x2545f4914f6cdd1d);
+        ((u >> 40) as f32 / (1u64 << 24) as f32) * 4.0 - 2.0
+    })
+}
+
+proptest! {
+    /// SWAR and the runtime-dispatched `core::arch` kernel equal the
+    /// scalar reference bit-for-bit on arbitrary codes, truncated to
+    /// every ragged width (SIMD tail lengths included).
+    #[test]
+    fn all_i8_kernels_agree_exactly(
+        len in 0usize..200,
+        a_full in prop::collection::vec(-128i8..=127i8, 200),
+        b_full in prop::collection::vec(-128i8..=127i8, 200),
+    ) {
+        let (a, b) = (&a_full[..len], &b_full[..len]);
+        let reference = kernels::dot_i8_scalar(a, b);
+        for kernel in [I8Kernel::Scalar, I8Kernel::Swar, I8Kernel::Arch] {
+            prop_assert_eq!(
+                kernels::dot_i8_with(kernel, a, b),
+                reference);
+        }
+    }
+
+    /// Saturated codes (the i16 product extremes, e.g. −128·−128)
+    /// accumulate exactly on every kernel.
+    #[test]
+    fn extreme_codes_accumulate_exactly(
+        len in 0usize..200,
+        pattern in prop::collection::vec(
+            prop::sample::select(vec![-128i8, -127, -1, 0, 1, 127]),
+            1..32,
+        ),
+    ) {
+        let a: Vec<i8> = (0..len).map(|i| pattern[i % pattern.len()]).collect();
+        let b: Vec<i8> = a.iter().rev().copied().collect();
+        let reference = kernels::dot_i8_scalar(&a, &b);
+        prop_assert_eq!(kernels::dot_i8_with(I8Kernel::Swar, &a, &b), reference);
+        prop_assert_eq!(kernels::dot_i8_with(I8Kernel::Arch, &a, &b), reference);
+    }
+
+    /// The prepared-query scoring path returns the same f32 for every
+    /// kernel on every format — i8 because the integer accumulation
+    /// is exact, f32/f16 because they never touch the i8 kernels.
+    #[test]
+    fn prepared_scoring_is_kernel_invariant(
+        rows in 1usize..20,
+        cols in 1usize..70,
+        seed in 0u64..u64::MAX,
+    ) {
+        let data = random_matrix(rows, cols, seed);
+        let query = random_matrix(1, cols, seed ^ 0x9e3779b97f4a7c15);
+        for quant in [Quantization::F32, Quantization::F16, Quantization::I8] {
+            let qm = QuantizedMatrix::encode(data.clone(), quant);
+            let pq = qm.prepare_query(query.row(0));
+            for r in 0..rows {
+                let reference = qm.dot_row_prepared_with(I8Kernel::Scalar, r, &pq);
+                for kernel in [I8Kernel::Swar, I8Kernel::Arch] {
+                    prop_assert_eq!(
+                        qm.dot_row_prepared_with(kernel, r, &pq).to_bits(),
+                        reference.to_bits());
+                }
+            }
+        }
+    }
+
+    /// The tiled scan equals per-row prepared scoring bit-for-bit at
+    /// every tile offset — including tiles that straddle the end of
+    /// the candidate store.
+    #[test]
+    fn dot_tile_matches_per_row_at_ragged_offsets(
+        rows in 1usize..150,
+        cols in 1usize..40,
+        n_queries in 1usize..4,
+        seed in 0u64..u64::MAX,
+    ) {
+        for quant in [Quantization::F32, Quantization::F16, Quantization::I8] {
+            let qm = QuantizedMatrix::encode(random_matrix(rows, cols, seed), quant);
+            let queries = random_matrix(n_queries, cols, seed ^ 0xdeadbeef);
+            let prepared: Vec<_> =
+                (0..n_queries).map(|q| qm.prepare_query(queries.row(q))).collect();
+            let mut scratch = Vec::new();
+            let mut row_start = 0;
+            while row_start < rows {
+                let nrows = SCAN_TILE_ROWS.min(rows - row_start);
+                let mut out = vec![0.0f32; n_queries * nrows];
+                qm.dot_tile(I8Kernel::Arch, row_start, nrows, &prepared, &mut scratch, &mut out);
+                for (q, pq) in prepared.iter().enumerate() {
+                    for i in 0..nrows {
+                        let expected = qm.dot_row_prepared(row_start + i, pq);
+                        prop_assert_eq!(
+                            out[q * nrows + i].to_bits(),
+                            expected.to_bits());
+                    }
+                }
+                row_start += nrows;
+            }
+        }
+    }
+}

@@ -173,7 +173,11 @@ impl Encoder {
     /// ([`EncoderBlock::apply_batched`]), which doubles as the
     /// attention mask — no token can attend across a sequence
     /// boundary, and equal-length bucketing means no padding is ever
-    /// inserted.
+    /// inserted. The projection/FFN matmuls run on the register-tiled
+    /// GEMM micro-kernels in `linalg::kernels`, which keep each
+    /// output's k-accumulation order — that is what preserves the
+    /// bit-identity guarantee above (`benches/forward.rs` measures the
+    /// batched forward on them).
     pub fn forward_batch(&self, seqs: &[Vec<u32>]) -> Vec<Matrix> {
         let mut out: Vec<Option<Matrix>> = (0..seqs.len()).map(|_| None).collect();
         self.forward_batch_visit(seqs, |i, stacked, row0, len| {
