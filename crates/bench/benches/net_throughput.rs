@@ -1,0 +1,277 @@
+//! Criterion bench: the TCP front-end and the Zipf-aware verdict
+//! cache, measured over a real loopback socket.
+//!
+//! Three configurations replay the same Zipf-heavy arrival stream
+//! (drawn from the deduplicated test pool with s = 1.05 — the hot
+//! head of identical command lines that dominates real log traffic):
+//!
+//! * **In-process** — producers block on `ServiceClient::score_line`
+//!   straight into the micro-batching workers: the transport-free
+//!   baseline the wire is measured against.
+//! * **Wire, cache off** — the same producers through a `NetClient`
+//!   over loopback TCP. Gate: p50 latency within 1.2× of in-process —
+//!   the micro-batching window dominates a loopback round-trip, so
+//!   framing + socket hops must be noise, not a tax.
+//! * **Wire, cache on** — the verdict cache fronts the scoring path;
+//!   the Zipf head is answered from the LRU without touching
+//!   tokenize+embed+scan. Gate: ≥ 2× the cache-off wire throughput,
+//!   with verdicts **bit-identical** to the uncached in-process path,
+//!   including after an `append` bumps the invalidation epoch.
+//!
+//! The measured figures land in the `net` section of
+//! `BENCH_serve.json` (the `micro_batching` section belongs to
+//! `serve_throughput`), via `bench::perf::merge_report`.
+
+use bench::perf::{self, Value};
+use bench::Experiment;
+use cmdline_ids::embed::Pooling;
+use cmdline_ids::engine::{EmbeddingStore, FittedEngine, ScoringEngine};
+use cmdline_ids::pipeline::PipelineConfig;
+use corpus::{dedup_records, ZipfSampler};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serve::{Frontend, NetClient, NetConfig, NetServer, ServeConfig};
+use std::net::TcpListener;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use anomaly::{RetrievalMethod, VanillaKnnMethod};
+
+const PRODUCERS: usize = 8;
+const REPLAY: usize = 4096;
+const WARMUP: usize = 256;
+const CACHE_CAPACITY: usize = 512;
+
+fn experiment() -> Experiment {
+    let mut config = PipelineConfig::fast();
+    config.train_size = 700;
+    config.test_size = 400;
+    config.attack_prob = 0.2;
+    Experiment::setup(23, config)
+}
+
+fn fit(exp: &Experiment) -> FittedEngine {
+    let store = EmbeddingStore::new(&exp.pipeline);
+    let train_lines = exp.train_lines();
+    let train = store.view(&train_lines, Pooling::Mean);
+    ScoringEngine::new()
+        .register(Box::new(RetrievalMethod::new(1)))
+        .register(Box::new(VanillaKnnMethod::new(3)))
+        .fit(&train, &exp.train_labels())
+        .expect("engine fits")
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 64,
+        max_batch: 32,
+        batch_window: Duration::from_millis(1),
+        workers: 2,
+    }
+}
+
+/// The Zipf-heavy arrival stream: `n` draws over the deduplicated
+/// pool, deterministic per seed so every configuration replays the
+/// same arrivals.
+fn zipf_draws(pool: &[String], n: usize, seed: u64) -> Vec<String> {
+    let sampler = ZipfSampler::new(pool.len(), 1.05);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| pool[sampler.sample(&mut rng)].clone())
+        .collect()
+}
+
+/// Replays `draws` across `PRODUCERS` threads through `score`,
+/// collecting every request latency. Returns (wall time, latencies).
+fn replay(draws: &[String], score: impl Fn(&str) -> Vec<f32> + Sync) -> (Duration, Vec<Duration>) {
+    let latencies = Mutex::new(Vec::with_capacity(draws.len()));
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for chunk in draws.chunks(draws.len().div_ceil(PRODUCERS)) {
+            let score = &score;
+            let latencies = &latencies;
+            scope.spawn(move || {
+                let mut local = Vec::with_capacity(chunk.len());
+                for line in chunk {
+                    let t = Instant::now();
+                    let verdict = score(line);
+                    local.push(t.elapsed());
+                    assert_eq!(verdict.len(), 2, "two methods per verdict");
+                }
+                latencies.lock().unwrap().extend(local);
+            });
+        }
+    });
+    (t0.elapsed(), latencies.into_inner().unwrap())
+}
+
+fn p50(latencies: &mut [Duration]) -> Duration {
+    latencies.sort_unstable();
+    latencies[latencies.len() / 2]
+}
+
+fn spawn_server(front: Frontend, cache: Option<usize>) -> NetServer {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback ephemeral");
+    NetServer::spawn_on(
+        front,
+        listener,
+        NetConfig {
+            cache,
+            ..NetConfig::default()
+        },
+    )
+    .expect("server spawns")
+}
+
+fn bench_net_throughput(c: &mut Criterion) {
+    let exp = experiment();
+    let pool: Vec<String> = dedup_records(&exp.dataset.test)
+        .iter()
+        .map(|r| r.line.clone())
+        .collect();
+    let draws = zipf_draws(&pool, REPLAY, 99);
+    let warm = zipf_draws(&pool, WARMUP, 100);
+
+    // ── In-process baseline: the ServiceClient path, no transport. ──
+    let front =
+        Frontend::spawn(exp.pipeline.clone(), fit(&exp), 1, serve_config()).expect("front spawns");
+    let raw = front.client();
+    replay(&warm, |line| raw.score_line(line).expect("front alive"));
+    let (t_inproc, mut lat) = replay(&draws, |line| raw.score_line(line).expect("front alive"));
+    let inproc_p50 = p50(&mut lat);
+    let inproc_qps = REPLAY as f64 / t_inproc.as_secs_f64();
+    println!(
+        "net_throughput/in-process: {REPLAY} draws × {PRODUCERS} producers — \
+         {inproc_qps:.0} q/s, p50 {:.0} µs",
+        inproc_p50.as_micros()
+    );
+
+    // ── Wire, cache off: the framing + socket tax in isolation. ──
+    let server = spawn_server(front, None);
+    let addr = server.local_addr();
+    let client = NetClient::connect(addr).expect("connect");
+    replay(&warm, |line| client.score_line(line).expect("server alive"));
+    let (t_wire, mut lat) = replay(&draws, |line| {
+        client.score_line(line).expect("server alive")
+    });
+    let wire_p50 = p50(&mut lat);
+    let wire_qps = REPLAY as f64 / t_wire.as_secs_f64();
+    let p50_ratio = wire_p50.as_secs_f64() / inproc_p50.as_secs_f64();
+    println!(
+        "net_throughput/wire(cache off): {wire_qps:.0} q/s, p50 {:.0} µs \
+         → {p50_ratio:.2}× the in-process p50 (gate ≤ 1.2×)",
+        wire_p50.as_micros()
+    );
+    assert!(
+        p50_ratio <= 1.2,
+        "loopback p50 regressed past 1.2× the in-process path \
+         (got {p50_ratio:.2}×) — the wire should cost noise, not a tax"
+    );
+    drop(client);
+    let front = server.shutdown();
+
+    // ── Wire, cache on: the Zipf head served from the LRU. ──
+    let server = spawn_server(front, Some(CACHE_CAPACITY));
+    let addr = server.local_addr();
+    let client = NetClient::connect(addr).expect("connect");
+    // Cold cache, same draws: hits accumulate as the head is absorbed.
+    let (t_cached, mut lat) = replay(&draws, |line| {
+        client.score_line(line).expect("server alive")
+    });
+    let cached_p50 = p50(&mut lat);
+    let cached_qps = REPLAY as f64 / t_cached.as_secs_f64();
+    let stats = client.stats().expect("stats over wire");
+    let hit_rate = stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses).max(1) as f64;
+    let cache_speedup = cached_qps / wire_qps;
+    println!(
+        "net_throughput/wire(cache on, cap {CACHE_CAPACITY}): {cached_qps:.0} q/s, \
+         p50 {:.0} µs, hit rate {:.1}% → {cache_speedup:.1}× cache-off (gate ≥ 2×)",
+        cached_p50.as_micros(),
+        hit_rate * 100.0
+    );
+    assert!(
+        cache_speedup >= 2.0,
+        "the verdict cache must win ≥ 2× on a Zipf replay \
+         (got {cache_speedup:.2}×, hit rate {:.1}%)",
+        hit_rate * 100.0
+    );
+
+    // ── Bit-identity: cached wire verdicts ≡ uncached in-process. ──
+    let wire_verdicts = client.score_batch(&pool).expect("server alive");
+    let raw_verdicts = server
+        .front()
+        .client()
+        .score_batch(&pool)
+        .expect("front alive");
+    assert_eq!(
+        wire_verdicts, raw_verdicts,
+        "cached wire verdicts must be bit-identical to the uncached in-process path"
+    );
+    // ...including across an append-driven epoch bump.
+    let absorbed = client
+        .append(&pool[..4], &[true, false, true, false])
+        .expect("append over wire");
+    assert!(absorbed > 0, "neighbour methods absorb appends");
+    let epoch = client.stats().expect("stats").epoch;
+    assert_eq!(epoch, 1, "append must bump the invalidation epoch");
+    let wire_after = client.score_batch(&pool).expect("server alive");
+    let raw_after = server
+        .front()
+        .client()
+        .score_batch(&pool)
+        .expect("front alive");
+    assert_eq!(
+        wire_after, raw_after,
+        "post-append verdicts must be fresh and bit-identical — a match with \
+         the pre-append scores would mean the cache served stale entries"
+    );
+    assert_ne!(
+        wire_after[0], wire_verdicts[0],
+        "appending pool lines as exemplars must change their verdicts"
+    );
+
+    // ── Persist the figures next to the micro_batching section. ──
+    let mut record = Value::object();
+    record
+        .push("replay_draws", Value::Int(REPLAY as i64))
+        .push("pool_lines", Value::Int(pool.len() as i64))
+        .push("producers", Value::Int(PRODUCERS as i64))
+        .push("zipf_s", Value::Float(1.05))
+        .push("inproc_q_per_s", Value::Float(inproc_qps))
+        .push(
+            "inproc_p50_us",
+            Value::Float(inproc_p50.as_secs_f64() * 1e6),
+        )
+        .push("wire_q_per_s", Value::Float(wire_qps))
+        .push("wire_p50_us", Value::Float(wire_p50.as_secs_f64() * 1e6))
+        .push("wire_p50_ratio", Value::Float(p50_ratio))
+        .push("cache_capacity", Value::Int(CACHE_CAPACITY as i64))
+        .push("cached_q_per_s", Value::Float(cached_qps))
+        .push(
+            "cached_p50_us",
+            Value::Float(cached_p50.as_secs_f64() * 1e6),
+        )
+        .push("cache_hit_rate", Value::Float(hit_rate))
+        .push("cache_speedup", Value::Float(cache_speedup))
+        .push("gate_wire_p50_ratio_max", Value::Float(1.2))
+        .push("gate_cache_speedup_floor", Value::Float(2.0))
+        .push("verdicts_bit_identical", Value::Bool(true));
+    let path = perf::merge_report("BENCH_serve.json", "net", record);
+    println!("net_throughput: report → {}", path.display());
+
+    // ── Criterion samples over the live cached server. ──
+    let mut group = c.benchmark_group("net_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(WARMUP as u64));
+    group.bench_function("wire_cached_zipf", |b| {
+        b.iter(|| replay(&warm, |line| client.score_line(line).expect("server alive")))
+    });
+    group.finish();
+
+    drop(client);
+    server.shutdown().shutdown();
+}
+
+criterion_group!(benches, bench_net_throughput);
+criterion_main!(benches);

@@ -23,7 +23,7 @@
 //!   engages the threaded matmul and parallel fan-out paths that
 //!   single-line requests are too small to reach.
 
-use bench::Experiment;
+use bench::{perf, Experiment};
 use cmdline_ids::embed::Pooling;
 use cmdline_ids::engine::{
     ClassificationMethod, EmbeddingStore, EmbeddingView, FittedEngine, ScoringEngine,
@@ -180,6 +180,40 @@ fn bench_serve_throughput(c: &mut Criterion) {
         "end-to-end micro-batching regressed below its single-core floor \
          (got {speedup:.2}×)"
     );
+
+    // Persist the figures beside BENCH_quant.json / BENCH_shard.json;
+    // the `net` section of the same file belongs to net_throughput.
+    let mut record = perf::Value::object();
+    record
+        .push("lines", perf::Value::Int(refs.len() as i64))
+        .push("methods", perf::Value::Int(6))
+        .push("max_batch", perf::Value::Int(MAX_BATCH as i64))
+        .push(
+            "kernel_single_lines_per_s",
+            perf::Value::Float(refs.len() as f64 / t_single_kernel.as_secs_f64()),
+        )
+        .push(
+            "kernel_batched_lines_per_s",
+            perf::Value::Float(refs.len() as f64 / t_batched_kernel.as_secs_f64()),
+        )
+        .push("kernel_speedup", perf::Value::Float(kernel_speedup))
+        .push(
+            "e2e_single_lines_per_s",
+            perf::Value::Float(total as f64 / t_single.as_secs_f64()),
+        )
+        .push(
+            "e2e_batched_lines_per_s",
+            perf::Value::Float(total as f64 / t_batched.as_secs_f64()),
+        )
+        .push("e2e_speedup", perf::Value::Float(speedup))
+        .push(
+            "avg_lines_per_batch",
+            perf::Value::Float(stats.lines as f64 / stats.batches.max(1) as f64),
+        )
+        .push("gate_kernel_speedup_floor", perf::Value::Float(1.5))
+        .push("gate_e2e_speedup_floor", perf::Value::Float(1.2));
+    let path = perf::merge_report("BENCH_serve.json", "micro_batching", record);
+    println!("serve_throughput: report → {}", path.display());
 
     let mut group = c.benchmark_group("serve_throughput");
     group.sample_size(10);

@@ -135,6 +135,164 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Parse the JSON subset [`Value::to_json`] emits (plus arbitrary
+/// whitespace), so two benches can share one report file: one reads
+/// the sections the other wrote before rewriting. Not a general JSON
+/// parser — `null` degrades to a non-finite [`Value::Float`] exactly
+/// as the writer degrades non-finite floats to `null`.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at offset {pos}", b as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                entries.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Value::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Value::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Value::Float(f64::NAN))
+        }
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+    let mut chars = rest.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => {
+                *pos += i + 1;
+                return Ok(out);
+            }
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (_, h) = chars
+                            .next()
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        code = code * 16 + h.to_digit(16).ok_or("bad \\u escape")?;
+                    }
+                    out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+    {
+        *pos += 1;
+    }
+    let token = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    if token.bytes().all(|b| matches!(b, b'-' | b'0'..=b'9')) {
+        if let Ok(i) = token.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+    }
+    token
+        .parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| format!("bad number {token:?} at offset {start}"))
+}
+
+fn report_path(file_name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(file_name)
+}
+
 /// Write a perf record to `<workspace root>/<file_name>`.
 ///
 /// Returns the path written so benches can print it. The workspace
@@ -142,10 +300,32 @@ fn write_escaped(out: &mut String, s: &str) {
 /// lands in the same place no matter which directory the bench runs
 /// from.
 pub fn write_report(file_name: &str, record: &Value) -> PathBuf {
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join(file_name);
+    let path = report_path(file_name);
     std::fs::write(&path, record.to_json())
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    path
+}
+
+/// Replace one top-level `section` of `<workspace root>/<file_name>`
+/// with `record`, preserving every other section — how two benches
+/// (`serve_throughput`, `net_throughput`) share one report file
+/// without clobbering each other's figures. A missing or unparseable
+/// file starts fresh; other sections' order is preserved.
+pub fn merge_report(file_name: &str, section: &str, record: Value) -> PathBuf {
+    let path = report_path(file_name);
+    let mut root = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| parse(&text).ok())
+        .filter(|v| matches!(v, Value::Object(_)))
+        .unwrap_or_else(Value::object);
+    let Value::Object(entries) = &mut root else {
+        unreachable!("filtered to objects above")
+    };
+    match entries.iter_mut().find(|(key, _)| key == section) {
+        Some((_, slot)) => *slot = record,
+        None => entries.push((section.to_string(), record)),
+    }
+    std::fs::write(&path, root.to_json())
         .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
     path
 }
@@ -187,5 +367,70 @@ mod tests {
     fn strings_are_escaped() {
         let v = Value::Str("a\"b\\c\nd\u{1}".into());
         assert_eq!(v.to_json(), "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+
+    #[test]
+    fn parse_round_trips_everything_the_writer_emits() {
+        let mut row = Value::object();
+        row.push("format", Value::Str("i8 \"quoted\"\n".into()))
+            .push("q_per_ms", Value::Float(3.25))
+            .push("count", Value::Int(-64))
+            .push("exact", Value::Bool(true))
+            .push("skipped", Value::Bool(false))
+            .push("nan", Value::Float(f64::NAN))
+            .push("empty_arr", Value::Array(vec![]))
+            .push("empty_obj", Value::object());
+        let mut root = Value::object();
+        root.push("bench", Value::Str("x".into()))
+            .push("rows", Value::Array(vec![row]));
+        let json = root.to_json();
+        let reparsed = parse(&json).expect("parses");
+        // NaN != NaN breaks naive equality; compare re-serializations
+        // (non-finite floats degrade to null on both sides).
+        assert_eq!(reparsed.to_json(), json);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_an_error() {
+        assert!(parse("").is_err());
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn merge_report_replaces_one_section_and_keeps_the_rest() {
+        let file = "BENCH_test_merge.json";
+        let path = report_path(file);
+        let _ = std::fs::remove_file(&path);
+
+        let mut first = Value::object();
+        first.push("q_per_s", Value::Float(100.0));
+        merge_report(file, "micro_batching", first);
+
+        let mut second = Value::object();
+        second.push("hit_rate", Value::Float(0.9));
+        merge_report(file, "net", second);
+
+        let mut replacement = Value::object();
+        replacement.push("q_per_s", Value::Float(250.0));
+        let written = merge_report(file, "micro_batching", replacement);
+
+        let root = parse(&std::fs::read_to_string(&written).unwrap()).unwrap();
+        let Value::Object(entries) = root else {
+            panic!("root is an object")
+        };
+        assert_eq!(entries.len(), 2, "both sections present");
+        assert_eq!(entries[0].0, "micro_batching", "section order preserved");
+        assert_eq!(entries[1].0, "net");
+        let Value::Object(section) = &entries[0].1 else {
+            panic!("section is an object")
+        };
+        assert!(
+            matches!(section[0].1, Value::Float(f) if f == 250.0),
+            "replaced section carries the new figure"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

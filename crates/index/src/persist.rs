@@ -122,6 +122,17 @@ impl ByteWriter {
         }
     }
 
+    /// Appends a length-prefixed raw byte slice.
+    pub fn put_bytes(&mut self, vs: &[u8]) {
+        self.put_usize(vs.len());
+        self.buf.extend_from_slice(vs);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
     /// Appends a matrix: shape, then the row-major buffer.
     pub fn put_matrix(&mut self, m: &Matrix) {
         self.put_usize(m.rows());
@@ -220,6 +231,18 @@ impl<'a> ByteReader<'a> {
             out.push(self.get_u8()? != 0);
         }
         Ok(out)
+    }
+
+    /// Reads a length-prefixed raw byte slice.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, PersistError> {
+        let n = self.checked_len(1)?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string; non-UTF-8 bytes are a
+    /// typed error, never a panic.
+    pub fn get_str(&mut self) -> Result<String, PersistError> {
+        String::from_utf8(self.get_bytes()?).map_err(|_| PersistError::Corrupt("invalid utf-8"))
     }
 
     /// Reads a matrix written by [`ByteWriter::put_matrix`].

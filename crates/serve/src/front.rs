@@ -1,0 +1,298 @@
+//! One facade over both scoring front-ends, with an optional verdict
+//! cache in front.
+//!
+//! [`ScoringService`] and [`ShardRouter`] already speak the same
+//! [`ServiceClient`] protocol, but callers that want "spawn the right
+//! front-end for this detector set, maybe with a verdict cache" had to
+//! duplicate the dispatch (`examples/streaming_score.rs` carried a
+//! private copy). [`Frontend`] owns that dispatch once, and it is the
+//! single place the [`VerdictCache`] is threaded into the scoring and
+//! append paths — the TCP front-end (`serve::net`) serves through an
+//! `Arc<Frontend>`, so the wire path and the in-process path share one
+//! cache discipline and stay bit-identical.
+
+use crate::cache::{merge_verdicts, CacheStats, VerdictCache};
+use crate::service::{ScoringService, ServeConfig, ServeError, ServiceClient, ServiceStats};
+use crate::snapshot::ServiceSnapshot;
+use crate::{RouterConfig, ShardRouter};
+use cmdline_ids::engine::FittedEngine;
+use cmdline_ids::pipeline::IdsPipeline;
+use std::sync::Arc;
+
+enum Kind {
+    Single(ScoringService),
+    Sharded(ShardRouter),
+}
+
+/// A running scoring front-end — a [`ScoringService`] for unsharded
+/// detector sets or a [`ShardRouter`] for sharded ones — with an
+/// optional exact-match [`VerdictCache`] in front of the scoring path.
+///
+/// The cached scoring path is strictly layered: cache lookups happen
+/// before submission, only the misses travel through the micro-batching
+/// workers, and the per-line verdict vector is reassembled from hits +
+/// fresh scores in input order. On exact backends a cache hit returns
+/// the same bytes the scoring path produced earlier, so cache-on and
+/// cache-off verdicts are bit-identical (`tests/verdict_cache.rs`);
+/// every absorbed [`Frontend::append`] bumps the cache epoch, so a
+/// stale verdict is never served across a detector-state change.
+pub struct Frontend {
+    kind: Kind,
+    cache: Option<Arc<VerdictCache>>,
+}
+
+impl From<ScoringService> for Frontend {
+    fn from(service: ScoringService) -> Self {
+        Frontend {
+            kind: Kind::Single(service),
+            cache: None,
+        }
+    }
+}
+
+impl From<ShardRouter> for Frontend {
+    fn from(router: ShardRouter) -> Self {
+        Frontend {
+            kind: Kind::Sharded(router),
+            cache: None,
+        }
+    }
+}
+
+impl Frontend {
+    /// Spawns the front-end matching the detector set's shard shape:
+    /// a [`ShardRouter`] over `shards` worker pools when `shards > 1`
+    /// (one worker per shard pool), else a plain [`ScoringService`].
+    pub fn spawn(
+        pipeline: IdsPipeline,
+        engine: FittedEngine,
+        shards: usize,
+        serve: ServeConfig,
+    ) -> Result<Frontend, ServeError> {
+        if shards > 1 {
+            let config = RouterConfig {
+                shards,
+                serve,
+                shard_workers: 1,
+            };
+            Ok(ShardRouter::spawn(pipeline, engine, config)?.into())
+        } else {
+            Ok(ScoringService::spawn(pipeline, engine, serve)?.into())
+        }
+    }
+
+    /// Attaches an exact-match verdict cache holding at most
+    /// `capacity` lines. Rejects `capacity == 0` with a typed
+    /// [`ServeError::InvalidConfig`] (a zero-entry cache can never
+    /// hit), matching the config-validation convention.
+    pub fn with_cache(mut self, capacity: usize) -> Result<Frontend, ServeError> {
+        if capacity == 0 {
+            return Err(ServeError::InvalidConfig(
+                "verdict cache capacity must be >= 1 (a zero-entry cache can never hit)".into(),
+            ));
+        }
+        self.cache = Some(Arc::new(VerdictCache::new(capacity)));
+        Ok(self)
+    }
+
+    /// The attached verdict cache, if any.
+    pub fn cache(&self) -> Option<&Arc<VerdictCache>> {
+        self.cache.as_ref()
+    }
+
+    /// A cloneable *uncached* submission handle straight onto the
+    /// micro-batching queue — the baseline the cached path is measured
+    /// (and parity-tested) against.
+    pub fn client(&self) -> ServiceClient {
+        match &self.kind {
+            Kind::Single(s) => s.client(),
+            Kind::Sharded(r) => r.client(),
+        }
+    }
+
+    /// Names (registration order) the per-line score vectors follow.
+    pub fn method_names(&self) -> &[String] {
+        match &self.kind {
+            Kind::Single(s) => s.method_names(),
+            Kind::Sharded(r) => r.method_names(),
+        }
+    }
+
+    /// Scores one arriving line through the cache (when attached) and
+    /// the micro-batching workers.
+    pub fn score_line(&self, line: &str) -> Result<Vec<f32>, ServeError> {
+        let mut scores = self.score_batch(std::slice::from_ref(&line.to_string()))?;
+        Ok(scores.pop().expect("one reply per line"))
+    }
+
+    /// Scores a batch of lines: cache hits are answered immediately,
+    /// only the misses travel to the workers, and the reply is
+    /// reassembled in input order. Without a cache this is exactly
+    /// [`ServiceClient::score_batch`].
+    pub fn score_batch(&self, lines: &[String]) -> Result<Vec<Vec<f32>>, ServeError> {
+        let Some(cache) = &self.cache else {
+            return self.client().score_batch(lines);
+        };
+        if lines.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (hits, epoch) = cache.lookup_batch(lines);
+        let miss_positions: Vec<usize> = hits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.is_none().then_some(i))
+            .collect();
+        if miss_positions.is_empty() {
+            return Ok(hits.into_iter().map(|h| h.expect("all hits")).collect());
+        }
+        let miss_lines: Vec<String> = miss_positions.iter().map(|&i| lines[i].clone()).collect();
+        let miss_scores = self.client().score_batch(&miss_lines)?;
+        cache.insert_batch(
+            miss_lines.iter().zip(miss_scores.iter().map(Vec::as_slice)),
+            epoch,
+        );
+        Ok(merge_verdicts(hits, &miss_positions, miss_scores))
+    }
+
+    /// The cache-lookup half of a net scoring request, run on the
+    /// connection's reader thread. Nothing is submitted here: the
+    /// caller registers the returned [`CachedSubmission`] under its
+    /// wire id *first* and only then submits
+    /// [`CachedSubmission::miss_lines`] on its tagged reply route —
+    /// otherwise a fast worker could complete before the id is
+    /// registered and the completion would find nobody waiting.
+    pub(crate) fn prepare_scored(&self, lines: Vec<String>) -> Submission {
+        let Some(cache) = &self.cache else {
+            let n = lines.len();
+            return Submission::InFlight(CachedSubmission {
+                hits: vec![None; n],
+                miss_positions: (0..n).collect(),
+                miss_lines: lines,
+                epoch: 0,
+                cached: false,
+            });
+        };
+        let (hits, epoch) = cache.lookup_batch(&lines);
+        let miss_positions: Vec<usize> = hits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.is_none().then_some(i))
+            .collect();
+        if miss_positions.is_empty() {
+            return Submission::AllHits(hits.into_iter().map(|h| h.expect("all hits")).collect());
+        }
+        let miss_lines: Vec<String> = miss_positions.iter().map(|&i| lines[i].clone()).collect();
+        Submission::InFlight(CachedSubmission {
+            hits,
+            miss_positions,
+            miss_lines,
+            epoch,
+            cached: true,
+        })
+    }
+
+    /// Finishes a [`Self::prepare_scored`] round: inserts the fresh
+    /// miss scores (under the epoch captured at lookup) and merges
+    /// hits + misses back into input order.
+    pub(crate) fn complete_cached(
+        &self,
+        pending: CachedSubmission,
+        miss_scores: Vec<Vec<f32>>,
+    ) -> Vec<Vec<f32>> {
+        if pending.cached {
+            if let Some(cache) = &self.cache {
+                cache.insert_batch(
+                    pending
+                        .miss_lines
+                        .iter()
+                        .zip(miss_scores.iter().map(Vec::as_slice)),
+                    pending.epoch,
+                );
+            }
+        }
+        merge_verdicts(pending.hits, &pending.miss_positions, miss_scores)
+    }
+
+    /// Absorbs freshly-labeled supervision into the resident detector
+    /// set and — once the append has landed — bumps the verdict-cache
+    /// epoch, so every cached verdict computed against the pre-append
+    /// state stops hitting immediately (O(1) invalidation).
+    pub fn append(&self, lines: &[String], labels: &[bool]) -> Result<usize, ServeError> {
+        let absorbed = match &self.kind {
+            Kind::Single(s) => s.append(lines, labels)?,
+            Kind::Sharded(r) => r.append(lines, labels)?,
+        };
+        if let Some(cache) = &self.cache {
+            cache.bump_epoch();
+        }
+        Ok(absorbed)
+    }
+
+    /// Captures the persistable detector state (see
+    /// [`ServiceSnapshot::capture`] / [`ShardRouter::snapshot`]).
+    /// Returns the snapshot plus the names of detectors that were not
+    /// capturable.
+    pub fn snapshot(&self) -> (ServiceSnapshot, Vec<String>) {
+        match &self.kind {
+            Kind::Single(s) => s.with_engine(ServiceSnapshot::capture),
+            Kind::Sharded(r) => r.snapshot(),
+        }
+    }
+
+    /// Monotonic counters with the verdict-cache overlay: the inner
+    /// front-end's batch/line counts plus this cache's hit/miss and
+    /// invalidation-epoch counters (zero when no cache is attached).
+    pub fn stats(&self) -> ServiceStats {
+        let mut stats = match &self.kind {
+            Kind::Single(s) => s.stats(),
+            Kind::Sharded(r) => r.stats(),
+        };
+        if let Some(cache) = &self.cache {
+            let c: CacheStats = cache.stats();
+            stats.cache_hits = c.hits;
+            stats.cache_misses = c.misses;
+            stats.epoch = c.epoch;
+        }
+        stats
+    }
+
+    /// Stops accepting requests and joins every worker (see
+    /// [`ScoringService::shutdown`] / [`ShardRouter::shutdown`]).
+    pub fn shutdown(self) {
+        match self.kind {
+            Kind::Single(s) => s.shutdown(),
+            Kind::Sharded(r) => r.shutdown(),
+        }
+    }
+}
+
+/// What a [`Frontend::prepare_scored`] lookup resolved to.
+pub(crate) enum Submission {
+    /// Every line hit the cache: the verdict is complete and nothing
+    /// needs submitting.
+    AllHits(Vec<Vec<f32>>),
+    /// Some lines missed: register this state, submit
+    /// [`CachedSubmission::miss_lines`], and finish with
+    /// [`Frontend::complete_cached`] when their scores land.
+    InFlight(CachedSubmission),
+}
+
+/// The in-flight state of one cached (or cache-less) net submission:
+/// which positions hit, which lines still need scoring, and the epoch
+/// the lookup ran under. Held by the connection under its wire id
+/// until the workers reply.
+pub(crate) struct CachedSubmission {
+    hits: Vec<Option<Vec<f32>>>,
+    miss_positions: Vec<usize>,
+    miss_lines: Vec<String>,
+    epoch: u64,
+    cached: bool,
+}
+
+impl CachedSubmission {
+    /// The lines that missed the cache, in input order — what the
+    /// caller submits to the micro-batching workers.
+    pub(crate) fn miss_lines(&self) -> &[String] {
+        &self.miss_lines
+    }
+}

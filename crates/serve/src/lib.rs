@@ -37,11 +37,33 @@
 //!   service on exact shards (`tests/shard_router_parity.rs`), with
 //!   `append` write-locking only the owning shard and snapshots framed
 //!   as a manifest + N shard frames.
+//! * **Zipf-aware verdict caching** ([`Frontend`], [`VerdictCache`]) —
+//!   real log traffic is Zipf-heavy: a small hot head of *identical*
+//!   command lines dominates arrivals. An exact-match bounded-LRU
+//!   cache in front of the scoring path answers the hot head without
+//!   tokenize+embed+scan; an epoch counter bumped on every absorbed
+//!   `append` invalidates the whole cache in O(1), and hits are
+//!   bit-identical to the uncached path (`tests/verdict_cache.rs`).
+//! * **A real network front-end** ([`NetServer`], [`NetClient`]) — a
+//!   length-prefixed TCP framing of the same protocol
+//!   (`serve::wire`, hand-rolled in the `index::persist` codec
+//!   style), with thread-per-connection readers feeding the existing
+//!   micro-batching workers and connection-level pipelining so many
+//!   in-flight requests share one socket. Loopback throughput and the
+//!   cache win are measured by `benches/net_throughput.rs`.
 
+mod cache;
+mod front;
+mod net;
 mod router;
 mod service;
 mod snapshot;
+pub mod wire;
 
+pub use cache::{CacheStats, VerdictCache};
+pub use front::Frontend;
+pub use net::{NetClient, NetConfig, NetServer, DEFAULT_MAX_FRAME};
 pub use router::{RouterConfig, ShardRouter};
 pub use service::{ScoringService, ServeConfig, ServeError, ServiceClient, ServiceStats};
 pub use snapshot::{ServiceSnapshot, SnapshotError};
+pub use wire::NetError;

@@ -677,7 +677,7 @@ fn batcher_loop(
                 let mut scored = scored.into_iter();
                 for req in requests {
                     let reply: Vec<Vec<f32>> = scored.by_ref().take(req.lines.len()).collect();
-                    let _ = req.reply.send(reply);
+                    req.reply.send(reply);
                 }
             }
             // A dead pool or a panic aborts the batch: dropped reply

@@ -109,23 +109,102 @@ impl From<EngineError> for ServeError {
     }
 }
 
-/// One queued scoring request: the caller's lines plus the one-shot
-/// reply channel its scores come back on. Shared with the shard
-/// router, whose front queue speaks the same protocol (which is what
-/// lets [`ServiceClient`] drive either).
+/// One queued scoring request: the caller's lines plus the reply
+/// route its scores come back on. Shared with the shard router, whose
+/// front queue speaks the same protocol (which is what lets
+/// [`ServiceClient`] drive either).
 pub(crate) struct Request {
     pub(crate) lines: Vec<String>,
-    pub(crate) reply: mpsc::Sender<Vec<Vec<f32>>>,
+    pub(crate) reply: Reply,
 }
 
-/// Monotonic service counters (drained micro-batches and lines), for
-/// benches and monitoring.
+/// What a net connection's writer thread consumes: either a response
+/// frame already encoded by the reader (control plane, verdict-cache
+/// all-hit fast path) or a micro-batch completion from the scoring
+/// workers, tagged with the wire request id it answers.
+pub(crate) enum ConnReply {
+    /// Pre-encoded response frame, written verbatim.
+    Frame(Vec<u8>),
+    /// Scores for request `id`; `None` means the batch was aborted
+    /// (worker panic or shutdown drain) and the connection must answer
+    /// with a typed error instead of leaving the id dangling.
+    Scored(u64, Option<Vec<Vec<f32>>>),
+}
+
+/// A tagged completion route into one net connection's writer. Unlike
+/// the in-process one-shot channel — where dropping the sender is
+/// itself the abort signal — a net connection multiplexes many
+/// in-flight requests over one channel, so an abort must be *sent*:
+/// dropping an unanswered `NetReply` (batch panic, shutdown drain)
+/// delivers `Scored(id, None)` from `Drop`, and the writer turns it
+/// into a typed error frame rather than a forever-pending request.
+pub(crate) struct NetReply {
+    tx: mpsc::Sender<ConnReply>,
+    id: u64,
+    sent: bool,
+}
+
+impl NetReply {
+    pub(crate) fn new(tx: mpsc::Sender<ConnReply>, id: u64) -> Self {
+        NetReply {
+            tx,
+            id,
+            sent: false,
+        }
+    }
+}
+
+impl Drop for NetReply {
+    fn drop(&mut self) {
+        if !self.sent {
+            let _ = self.tx.send(ConnReply::Scored(self.id, None));
+        }
+    }
+}
+
+/// Where a request's scores go: an in-process caller blocked on a
+/// one-shot receiver, or a net connection's multiplexed writer.
+pub(crate) enum Reply {
+    /// In-process caller ([`ServiceClient::score_batch`]).
+    Oneshot(mpsc::Sender<Vec<Vec<f32>>>),
+    /// Pipelined wire request (`serve::net`).
+    Net(NetReply),
+}
+
+impl Reply {
+    /// Delivers the scores. A receiver that gave up is not an error
+    /// for the batch.
+    pub(crate) fn send(self, scores: Vec<Vec<f32>>) {
+        match self {
+            Reply::Oneshot(tx) => {
+                let _ = tx.send(scores);
+            }
+            Reply::Net(mut r) => {
+                r.sent = true;
+                let _ = r.tx.send(ConnReply::Scored(r.id, Some(scores)));
+            }
+        }
+    }
+}
+
+/// Monotonic service counters (drained micro-batches and lines, plus
+/// — when a verdict cache fronts the scoring path — its hit/miss and
+/// invalidation-epoch counters), for benches and monitoring.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Micro-batches scored so far.
     pub batches: usize,
-    /// Lines scored so far.
+    /// Lines scored so far (cache hits never reach the workers, so
+    /// they are not counted here).
     pub lines: usize,
+    /// Verdict-cache hits (0 when no cache is attached).
+    pub cache_hits: usize,
+    /// Verdict-cache misses (0 when no cache is attached).
+    pub cache_misses: usize,
+    /// Verdict-cache invalidation epoch: bumped on every absorbed
+    /// `append`/refit, so a changing value is the proof that cached
+    /// verdicts cannot outlive the detector state that produced them.
+    pub epoch: u64,
 }
 
 #[derive(Debug, Default)]
@@ -144,6 +223,9 @@ impl Counters {
         ServiceStats {
             batches: self.batches.load(Ordering::Relaxed),
             lines: self.lines.load(Ordering::Relaxed),
+            cache_hits: 0,
+            cache_misses: 0,
+            epoch: 0,
         }
     }
 }
@@ -349,23 +431,26 @@ impl ServiceClient {
             return Ok(Vec::new());
         }
         let (reply_tx, reply_rx) = mpsc::channel();
-        {
-            // Hold the gate across the send: shutdown cannot mark the
-            // service closed while a submission is mid-flight, so every
-            // enqueued request is either answered by a worker or
-            // explicitly dropped (→ `Closed`) by the shutdown drain.
-            let closed = self.gate.read().unwrap();
-            if *closed {
-                return Err(ServeError::Closed);
-            }
-            self.tx
-                .send(Request {
-                    lines: lines.to_vec(),
-                    reply: reply_tx,
-                })
-                .map_err(|_| ServeError::Closed)?;
-        }
+        self.submit(lines.to_vec(), Reply::Oneshot(reply_tx))?;
         reply_rx.recv().map_err(|_| ServeError::Closed)
+    }
+
+    /// Enqueues a scoring request with an explicit reply route — the
+    /// shared submission primitive behind [`Self::score_batch`] (one-
+    /// shot reply) and the net front-end's pipelined readers (tagged
+    /// [`Reply::Net`] completions).
+    pub(crate) fn submit(&self, lines: Vec<String>, reply: Reply) -> Result<(), ServeError> {
+        // Hold the gate across the send: shutdown cannot mark the
+        // service closed while a submission is mid-flight, so every
+        // enqueued request is either answered by a worker or
+        // explicitly dropped (→ `Closed`) by the shutdown drain.
+        let closed = self.gate.read().unwrap();
+        if *closed {
+            return Err(ServeError::Closed);
+        }
+        self.tx
+            .send(Request { lines, reply })
+            .map_err(|_| ServeError::Closed)
     }
 }
 
@@ -648,9 +733,7 @@ fn worker_loop(inner: &Inner, rx: &Receiver<Request>, stop: &AtomicBool, config:
                 let mut scored = scored.into_iter();
                 for req in requests {
                     let reply: Vec<Vec<f32>> = scored.by_ref().take(req.lines.len()).collect();
-                    // A caller that gave up (dropped its receiver) is
-                    // not an error for the batch.
-                    let _ = req.reply.send(reply);
+                    req.reply.send(reply);
                 }
             }
             Err(_) => drop(requests),

@@ -1,0 +1,445 @@
+//! The length-prefixed wire codec for the TCP front-end.
+//!
+//! Frames the existing score/append/snapshot/stats protocol for a
+//! socket, in the [`index::persist`] hand-rolled style (the vendored
+//! serde is marker-only):
+//!
+//! ```text
+//! frame   := len:u32 LE | payload          (len = payload bytes)
+//! payload := id:u64 LE | tag:u8 | body     (request and response)
+//! ```
+//!
+//! `id` is a per-connection correlation id chosen by the client:
+//! responses may come back out of submission order (pipelining — many
+//! in-flight requests share one socket; micro-batches complete when
+//! the workers finish them), and the id is what lets the client demux
+//! them. Decoding is total: any truncation, byte flip, or oversized
+//! length prefix returns a typed error and never panics
+//! (`tests/wire_codec.rs`, in the `persist_codec.rs` style), because a
+//! listening socket hands this parser attacker-controlled bytes.
+
+use crate::service::ServiceStats;
+use index::persist::{ByteReader, ByteWriter, PersistError};
+use std::io::{ErrorKind, Read, Write};
+
+/// A client → server message. `id` travels beside it in the payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireRequest {
+    /// Handshake: asks for the method names verdict vectors follow.
+    Hello,
+    /// Score a batch of lines (one verdict vector per line, in order).
+    Score { lines: Vec<String> },
+    /// Absorb freshly-labeled supervision (one label per line).
+    Append {
+        lines: Vec<String>,
+        labels: Vec<bool>,
+    },
+    /// Capture the persistable detector state as a snapshot frame.
+    Snapshot,
+    /// Read the monotonic service counters.
+    Stats,
+    /// Ask the server process to shut down cleanly.
+    Shutdown,
+}
+
+/// A server → client message answering the request with the same id.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireResponse {
+    /// Handshake answer: method names in registration order.
+    Hello { methods: Vec<String> },
+    /// Per-line verdicts for a `Score` request, in input order.
+    Scores(Vec<Vec<f32>>),
+    /// How many detectors absorbed an `Append` batch.
+    Appended(usize),
+    /// The encoded [`crate::ServiceSnapshot`] frame, plus the names of
+    /// detectors that were not capturable.
+    Snapshot {
+        frame: Vec<u8>,
+        skipped: Vec<String>,
+    },
+    /// The monotonic service counters (verdict-cache overlay included).
+    Stats(ServiceStats),
+    /// The server acknowledged `Shutdown` and is closing connections.
+    ShuttingDown,
+    /// The request failed; `kind` is machine-readable, `message` is
+    /// for humans.
+    Error {
+        kind: WireErrorKind,
+        message: String,
+    },
+}
+
+/// Machine-readable failure kinds a server can answer with. A subset
+/// maps 1:1 onto [`crate::ServeError`]; the rest are wire-level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireErrorKind {
+    /// The scoring front-end has shut down.
+    Closed,
+    /// A detector cannot serve per-line verdicts.
+    StreamStructured,
+    /// Absorbing supervision failed.
+    Engine,
+    /// A configuration was rejected.
+    InvalidConfig,
+    /// The server is at its connection limit.
+    Busy,
+    /// The request frame decoded but was semantically invalid
+    /// (e.g. label/line count mismatch).
+    BadRequest,
+    /// The request frame exceeded the server's `max_frame`.
+    TooLarge,
+}
+
+impl WireErrorKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            WireErrorKind::Closed => 0,
+            WireErrorKind::StreamStructured => 1,
+            WireErrorKind::Engine => 2,
+            WireErrorKind::InvalidConfig => 3,
+            WireErrorKind::Busy => 4,
+            WireErrorKind::BadRequest => 5,
+            WireErrorKind::TooLarge => 6,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, PersistError> {
+        Ok(match v {
+            0 => WireErrorKind::Closed,
+            1 => WireErrorKind::StreamStructured,
+            2 => WireErrorKind::Engine,
+            3 => WireErrorKind::InvalidConfig,
+            4 => WireErrorKind::Busy,
+            5 => WireErrorKind::BadRequest,
+            6 => WireErrorKind::TooLarge,
+            t => return Err(PersistError::BadTag(t)),
+        })
+    }
+}
+
+impl From<&crate::ServeError> for WireErrorKind {
+    fn from(e: &crate::ServeError) -> Self {
+        match e {
+            crate::ServeError::StreamStructured(_) => WireErrorKind::StreamStructured,
+            crate::ServeError::Closed => WireErrorKind::Closed,
+            crate::ServeError::Engine(_) => WireErrorKind::Engine,
+            crate::ServeError::InvalidConfig(_) => WireErrorKind::InvalidConfig,
+        }
+    }
+}
+
+/// Why a wire operation failed, on either end of the socket.
+#[derive(Debug)]
+pub enum NetError {
+    /// The socket failed (connect, read, write).
+    Io(std::io::Error),
+    /// A frame payload did not decode (truncation, byte flip, unknown
+    /// tag) — typed, never a panic.
+    Frame(PersistError),
+    /// A length prefix exceeded the configured `max_frame`; rejected
+    /// before allocating.
+    FrameTooLarge { len: usize, max: usize },
+    /// The connection (or the service behind it) is closed.
+    Closed,
+    /// A local serving-stack failure (invalid [`crate::NetConfig`],
+    /// cache attachment) surfaced through the net layer.
+    Serve(crate::ServeError),
+    /// The server answered with a typed error.
+    Remote {
+        kind: WireErrorKind,
+        message: String,
+    },
+    /// The peer violated the protocol (e.g. a response kind that does
+    /// not answer the request that was sent).
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Frame(e) => write!(f, "bad frame: {e}"),
+            NetError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds max_frame {max}")
+            }
+            NetError::Closed => write!(f, "connection closed"),
+            NetError::Serve(e) => write!(f, "{e}"),
+            NetError::Remote { kind, message } => write!(f, "server error ({kind:?}): {message}"),
+            NetError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<PersistError> for NetError {
+    fn from(e: PersistError) -> Self {
+        NetError::Frame(e)
+    }
+}
+
+// --- payload codec -------------------------------------------------
+
+fn put_lines(w: &mut ByteWriter, lines: &[String]) {
+    w.put_usize(lines.len());
+    for line in lines {
+        w.put_str(line);
+    }
+}
+
+/// Reads a string collection with the count guarded against the bytes
+/// actually present (each string costs at least its 8-byte length
+/// prefix), so a flipped count byte is `Truncated`, not a huge
+/// allocation.
+fn get_lines(r: &mut ByteReader) -> Result<Vec<String>, PersistError> {
+    let n = r.get_usize()?;
+    if n.saturating_mul(8) > r.remaining() {
+        return Err(PersistError::Truncated);
+    }
+    (0..n).map(|_| r.get_str()).collect()
+}
+
+fn put_scores(w: &mut ByteWriter, scores: &[Vec<f32>]) {
+    w.put_usize(scores.len());
+    for row in scores {
+        w.put_f32s(row);
+    }
+}
+
+fn get_scores(r: &mut ByteReader) -> Result<Vec<Vec<f32>>, PersistError> {
+    let n = r.get_usize()?;
+    if n.saturating_mul(8) > r.remaining() {
+        return Err(PersistError::Truncated);
+    }
+    (0..n).map(|_| r.get_f32s()).collect()
+}
+
+/// Encodes a request payload (`id | tag | body`, no length prefix —
+/// [`write_frame`] adds that).
+pub fn encode_request(id: u64, req: &WireRequest) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(id);
+    match req {
+        WireRequest::Hello => w.put_u8(0),
+        WireRequest::Score { lines } => {
+            w.put_u8(1);
+            put_lines(&mut w, lines);
+        }
+        WireRequest::Append { lines, labels } => {
+            w.put_u8(2);
+            put_lines(&mut w, lines);
+            w.put_bools(labels);
+        }
+        WireRequest::Snapshot => w.put_u8(3),
+        WireRequest::Stats => w.put_u8(4),
+        WireRequest::Shutdown => w.put_u8(5),
+    }
+    w.into_bytes()
+}
+
+/// Decodes a request payload. Total: every malformed input is a typed
+/// [`PersistError`].
+pub fn decode_request(payload: &[u8]) -> Result<(u64, WireRequest), PersistError> {
+    let mut r = ByteReader::new(payload);
+    let id = r.get_u64()?;
+    let req = match r.get_u8()? {
+        0 => WireRequest::Hello,
+        1 => WireRequest::Score {
+            lines: get_lines(&mut r)?,
+        },
+        2 => WireRequest::Append {
+            lines: get_lines(&mut r)?,
+            labels: r.get_bools()?,
+        },
+        3 => WireRequest::Snapshot,
+        4 => WireRequest::Stats,
+        5 => WireRequest::Shutdown,
+        t => return Err(PersistError::BadTag(t)),
+    };
+    if r.remaining() != 0 {
+        return Err(PersistError::Corrupt("trailing bytes after request"));
+    }
+    Ok((id, req))
+}
+
+/// Encodes a response payload (`id | tag | body`).
+pub fn encode_response(id: u64, resp: &WireResponse) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(id);
+    match resp {
+        WireResponse::Hello { methods } => {
+            w.put_u8(0);
+            put_lines(&mut w, methods);
+        }
+        WireResponse::Scores(scores) => {
+            w.put_u8(1);
+            put_scores(&mut w, scores);
+        }
+        WireResponse::Appended(n) => {
+            w.put_u8(2);
+            w.put_usize(*n);
+        }
+        WireResponse::Snapshot { frame, skipped } => {
+            w.put_u8(3);
+            w.put_bytes(frame);
+            put_lines(&mut w, skipped);
+        }
+        WireResponse::Stats(stats) => {
+            w.put_u8(4);
+            w.put_usize(stats.batches);
+            w.put_usize(stats.lines);
+            w.put_usize(stats.cache_hits);
+            w.put_usize(stats.cache_misses);
+            w.put_u64(stats.epoch);
+        }
+        WireResponse::ShuttingDown => w.put_u8(5),
+        WireResponse::Error { kind, message } => {
+            w.put_u8(6);
+            w.put_u8(kind.to_u8());
+            w.put_str(message);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a response payload. Total, like [`decode_request`].
+pub fn decode_response(payload: &[u8]) -> Result<(u64, WireResponse), PersistError> {
+    let mut r = ByteReader::new(payload);
+    let id = r.get_u64()?;
+    let resp = match r.get_u8()? {
+        0 => WireResponse::Hello {
+            methods: get_lines(&mut r)?,
+        },
+        1 => WireResponse::Scores(get_scores(&mut r)?),
+        2 => WireResponse::Appended(r.get_usize()?),
+        3 => WireResponse::Snapshot {
+            frame: r.get_bytes()?,
+            skipped: get_lines(&mut r)?,
+        },
+        4 => WireResponse::Stats(ServiceStats {
+            batches: r.get_usize()?,
+            lines: r.get_usize()?,
+            cache_hits: r.get_usize()?,
+            cache_misses: r.get_usize()?,
+            epoch: r.get_u64()?,
+        }),
+        5 => WireResponse::ShuttingDown,
+        6 => WireResponse::Error {
+            kind: WireErrorKind::from_u8(r.get_u8()?)?,
+            message: r.get_str()?,
+        },
+        t => return Err(PersistError::BadTag(t)),
+    };
+    if r.remaining() != 0 {
+        return Err(PersistError::Corrupt("trailing bytes after response"));
+    }
+    Ok((id, resp))
+}
+
+// --- frame I/O -----------------------------------------------------
+
+/// Writes one `len | payload` frame. Refuses payloads over
+/// `max_frame` *before* touching the socket, so an oversized reply
+/// never desyncs the stream.
+pub fn write_frame(
+    sock: &mut impl Write,
+    payload: &[u8],
+    max_frame: usize,
+) -> Result<(), NetError> {
+    if payload.len() > max_frame {
+        return Err(NetError::FrameTooLarge {
+            len: payload.len(),
+            max: max_frame,
+        });
+    }
+    sock.write_all(&(payload.len() as u32).to_le_bytes())?;
+    sock.write_all(payload)?;
+    sock.flush()?;
+    Ok(())
+}
+
+/// What one [`FrameReader::read_frame`] call observed.
+#[derive(Debug)]
+pub enum FrameEvent {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// The read timed out (or would block) before a frame completed;
+    /// partial bytes are retained — call again. This is how a server
+    /// reader polls its shutdown flag without losing sync.
+    Idle,
+    /// The peer closed cleanly at a frame boundary.
+    Eof,
+}
+
+/// Incremental frame reassembly over a raw socket. Retains partial
+/// bytes across timeouts, so a frame split across reads (or a read
+/// timeout firing mid-frame) never desyncs the stream — the failure
+/// mode a bare `read_exact`-with-timeout loop has.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    pending: Vec<u8>,
+}
+
+impl FrameReader {
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Pops a complete frame out of the pending buffer, if present.
+    /// Oversized length prefixes are rejected before allocating.
+    fn take_frame(&mut self, max_frame: usize) -> Result<Option<Vec<u8>>, NetError> {
+        if self.pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.pending[..4].try_into().expect("4 bytes")) as usize;
+        if len > max_frame {
+            return Err(NetError::FrameTooLarge {
+                len,
+                max: max_frame,
+            });
+        }
+        if self.pending.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = self.pending[4..4 + len].to_vec();
+        self.pending.drain(..4 + len);
+        Ok(Some(payload))
+    }
+
+    /// Reads until a complete frame, a timeout, or EOF. EOF with
+    /// partial bytes pending is a truncated frame
+    /// ([`NetError::Frame`]), not a clean close.
+    pub fn read_frame(
+        &mut self,
+        sock: &mut impl Read,
+        max_frame: usize,
+    ) -> Result<FrameEvent, NetError> {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            if let Some(payload) = self.take_frame(max_frame)? {
+                return Ok(FrameEvent::Frame(payload));
+            }
+            match sock.read(&mut buf) {
+                Ok(0) => {
+                    return if self.pending.is_empty() {
+                        Ok(FrameEvent::Eof)
+                    } else {
+                        Err(NetError::Frame(PersistError::Truncated))
+                    };
+                }
+                Ok(n) => self.pending.extend_from_slice(&buf[..n]),
+                Err(e) => match e.kind() {
+                    ErrorKind::Interrupted => {}
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut => return Ok(FrameEvent::Idle),
+                    _ => return Err(NetError::Io(e)),
+                },
+            }
+        }
+    }
+}

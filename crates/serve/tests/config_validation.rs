@@ -1,8 +1,9 @@
-//! `ServeConfig` / `RouterConfig` shapes that can never serve must be
-//! rejected with a typed [`ServeError::InvalidConfig`] at validation
-//! time — not discovered as a deadlocked queue or a downstream panic.
+//! `ServeConfig` / `RouterConfig` / `NetConfig` shapes that can never
+//! serve must be rejected with a typed [`ServeError::InvalidConfig`]
+//! at validation time — not discovered as a deadlocked queue, a
+//! silently clamped knob, or a downstream panic.
 
-use serve::{RouterConfig, ServeConfig, ServeError};
+use serve::{NetConfig, RouterConfig, ServeConfig, ServeError};
 use std::time::Duration;
 
 fn invalid(result: Result<(), ServeError>, needle: &str) {
@@ -72,4 +73,105 @@ fn router_knobs_are_validated_too() {
         .validate(),
         "workers",
     );
+}
+
+#[test]
+fn net_zero_knobs_are_rejected_with_typed_errors() {
+    let ok = NetConfig::default();
+    assert!(ok.validate().is_ok());
+
+    invalid(
+        NetConfig {
+            port: 0,
+            ..ok
+        }
+        .validate(),
+        "port",
+    );
+    invalid(
+        NetConfig {
+            backlog: 0,
+            ..ok
+        }
+        .validate(),
+        "backlog",
+    );
+    invalid(
+        NetConfig {
+            max_connections: 0,
+            ..ok
+        }
+        .validate(),
+        "max_connections",
+    );
+    // A zero-entry cache is a config error, not "cache disabled" —
+    // `None` is how you disable it.
+    invalid(
+        NetConfig {
+            cache: Some(0),
+            ..ok
+        }
+        .validate(),
+        "cache capacity",
+    );
+    assert!(NetConfig { cache: None, ..ok }.validate().is_ok());
+}
+
+#[test]
+fn net_absurd_knobs_are_rejected_not_clamped() {
+    let ok = NetConfig::default();
+
+    // Too small to frame even a control response.
+    invalid(
+        NetConfig {
+            max_frame: 1023,
+            ..ok
+        }
+        .validate(),
+        "max_frame",
+    );
+    // Too large to be anything but a typo.
+    invalid(
+        NetConfig {
+            max_frame: (1 << 30) + 1,
+            ..ok
+        }
+        .validate(),
+        "absurd",
+    );
+    invalid(
+        NetConfig {
+            backlog: (1 << 20) + 1,
+            ..ok
+        }
+        .validate(),
+        "absurd",
+    );
+    invalid(
+        NetConfig {
+            max_connections: (1 << 16) + 1,
+            ..ok
+        }
+        .validate(),
+        "absurd",
+    );
+    invalid(
+        NetConfig {
+            cache: Some((1 << 24) + 1),
+            ..ok
+        }
+        .validate(),
+        "absurd",
+    );
+
+    // Boundary values on each side stay legal.
+    assert!(NetConfig {
+        max_frame: 1024,
+        cache: Some(1 << 24),
+        backlog: 1 << 20,
+        max_connections: 1 << 16,
+        ..NetConfig::default()
+    }
+    .validate()
+    .is_ok());
 }

@@ -1,0 +1,213 @@
+//! End-to-end tests for the TCP front-end: wire verdicts are
+//! bit-identical to the in-process path, pipelined requests multiplex
+//! one socket, append/snapshot/stats round-trip, config limits are
+//! enforced with typed errors, and shutdown is clean.
+
+use cmdline_ids::embed::Pooling;
+use cmdline_ids::engine::{EmbeddingStore, FittedEngine, ScoringEngine};
+use cmdline_ids::pipeline::{IdsPipeline, PipelineConfig};
+use corpus::dedup_records;
+use ids_rules::RuleIds;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serve::wire::WireErrorKind;
+use serve::{Frontend, NetClient, NetConfig, NetError, ServeConfig, ServiceSnapshot};
+use std::net::TcpListener;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use anomaly::{RetrievalMethod, VanillaKnnMethod};
+
+struct Fixture {
+    pipeline: IdsPipeline,
+    train_lines: Vec<String>,
+    labels: Vec<bool>,
+    test_lines: Vec<String>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut config = PipelineConfig::fast();
+        config.train_size = 500;
+        config.test_size = 250;
+        config.attack_prob = 0.25;
+        let mut rng = StdRng::seed_from_u64(9001);
+        let dataset = config.generate_dataset(&mut rng);
+        let pipeline = IdsPipeline::pretrain(&config, &dataset, &mut rng);
+        let ids = RuleIds::with_default_rules();
+        let labels: Vec<bool> = dataset
+            .train
+            .iter()
+            .map(|r| ids.is_alert(&r.line))
+            .collect();
+        Fixture {
+            pipeline,
+            train_lines: dataset.train.iter().map(|r| r.line.clone()).collect(),
+            labels,
+            test_lines: dedup_records(&dataset.test)
+                .iter()
+                .map(|r| r.line.clone())
+                .collect(),
+        }
+    })
+}
+
+fn fitted(fx: &Fixture) -> FittedEngine {
+    let store = EmbeddingStore::new(&fx.pipeline);
+    let train = store.view_of(&fx.train_lines, Pooling::Mean);
+    ScoringEngine::new()
+        .register(Box::new(RetrievalMethod::new(1)))
+        .register(Box::new(VanillaKnnMethod::new(3)))
+        .fit(&train, &fx.labels)
+        .expect("fit succeeds")
+}
+
+fn front(fx: &Fixture) -> Frontend {
+    Frontend::spawn(
+        fx.pipeline.clone(),
+        fitted(fx),
+        1,
+        ServeConfig {
+            queue_capacity: 64,
+            max_batch: 16,
+            batch_window: Duration::from_micros(200),
+            workers: 2,
+        },
+    )
+    .expect("spawn succeeds")
+}
+
+/// Spawns a server on an ephemeral loopback port.
+fn serve_on_ephemeral(front: Frontend, config: NetConfig) -> serve::NetServer {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    serve::NetServer::spawn_on(front, listener, config).expect("spawn_on succeeds")
+}
+
+/// The heart of the tentpole contract: verdicts over the wire are
+/// bit-identical to the in-process client, with and without the
+/// verdict cache, including after an append bumps the epoch — plus
+/// snapshot/stats round-trips on the same connection.
+#[test]
+fn wire_verdicts_match_in_process_bit_for_bit() {
+    let fx = fixture();
+    let server = serve_on_ephemeral(
+        front(fx),
+        NetConfig {
+            cache: Some(128),
+            ..NetConfig::default()
+        },
+    );
+    let client = NetClient::connect(server.local_addr()).expect("connect");
+    assert_eq!(client.method_names(), server.front().method_names());
+
+    let lines: Vec<String> = fx.test_lines[..40].to_vec();
+    // Two passes: the second is served (partly) from the cache.
+    for pass in 0..2 {
+        let wire = client.score_batch(&lines).expect("score over wire");
+        let local = server.front().client().score_batch(&lines).expect("local");
+        assert_eq!(
+            wire, local,
+            "pass {pass}: wire verdicts must be bit-identical"
+        );
+    }
+    let stats = client.stats().expect("stats over wire");
+    assert!(stats.cache_hits > 0, "second pass must hit the cache");
+
+    // Append over the wire, then re-score: the epoch bump must be
+    // visible and the fresh verdicts must match the local path.
+    let absorbed = client
+        .append(&lines[..2], &[true, false])
+        .expect("append over wire");
+    assert!(absorbed > 0);
+    let stats = client.stats().expect("stats over wire");
+    assert_eq!(stats.epoch, 1, "append bumps the verdict-cache epoch");
+    let wire = client.score_batch(&lines).expect("score after append");
+    let local = server.front().client().score_batch(&lines).expect("local");
+    assert_eq!(
+        wire, local,
+        "post-append wire verdicts must be bit-identical"
+    );
+
+    // Snapshot over the wire decodes into a restorable frame.
+    let (frame, skipped) = client.snapshot_bytes().expect("snapshot over wire");
+    assert!(skipped.is_empty(), "both methods are capturable");
+    let snapshot = ServiceSnapshot::from_bytes(&frame).expect("frame decodes");
+    assert_eq!(snapshot.len(), 2);
+
+    server.shutdown().shutdown();
+}
+
+/// Many threads sharing one client pipeline over one socket; every
+/// response lands at its caller (correlation ids demux correctly).
+#[test]
+fn pipelined_requests_share_one_socket() {
+    let fx = fixture();
+    let server = serve_on_ephemeral(front(fx), NetConfig::default());
+    let client = NetClient::connect(server.local_addr()).expect("connect");
+    let expected: Vec<Vec<f32>> = server
+        .front()
+        .client()
+        .score_batch(&fx.test_lines[..32])
+        .expect("local");
+
+    let workers: Vec<_> = (0..8)
+        .map(|w| {
+            let client = client.clone();
+            let lines = fx.test_lines[..32].to_vec();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                for i in 0..16 {
+                    let pick = (w * 7 + i * 3) % lines.len();
+                    let verdict = client.score_line(&lines[pick]).expect("score");
+                    assert_eq!(verdict, expected[pick], "response routed to wrong caller");
+                }
+            })
+        })
+        .collect();
+    for handle in workers {
+        handle.join().expect("worker panics propagate");
+    }
+    server.shutdown().shutdown();
+}
+
+/// Over-limit connections receive a typed `Busy` error, not a hang.
+#[test]
+fn connection_limit_answers_busy() {
+    let fx = fixture();
+    let server = serve_on_ephemeral(
+        front(fx),
+        NetConfig {
+            max_connections: 1,
+            ..NetConfig::default()
+        },
+    );
+    let first = NetClient::connect(server.local_addr()).expect("first connection");
+    // The refused connection may observe the Busy frame either during
+    // the connect handshake or on its first call.
+    match NetClient::connect(server.local_addr()) {
+        Err(NetError::Remote { kind, .. }) => assert_eq!(kind, WireErrorKind::Busy),
+        Err(NetError::Closed) | Err(NetError::Io(_)) => {}
+        Ok(_) => panic!("second connection should have been refused"),
+        Err(other) => panic!("unexpected error: {other}"),
+    }
+    // The accepted connection keeps working.
+    assert!(first.score_line(&fx.test_lines[0]).is_ok());
+    server.shutdown().shutdown();
+}
+
+/// A client `Shutdown` request unblocks the server's wait and is
+/// acknowledged before teardown.
+#[test]
+fn client_shutdown_request_unblocks_server() {
+    let fx = fixture();
+    let server = serve_on_ephemeral(front(fx), NetConfig::default());
+    let client = NetClient::connect(server.local_addr()).expect("connect");
+    client.shutdown_server().expect("acknowledged");
+    server.wait_for_shutdown_request(); // must return promptly
+    server.shutdown().shutdown();
+    assert!(
+        client.score_line(&fx.test_lines[0]).is_err(),
+        "the torn-down server must not answer"
+    );
+}

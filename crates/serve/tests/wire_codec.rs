@@ -1,0 +1,322 @@
+//! Property tests for the `serve::wire` codec, in the
+//! `persist_codec.rs` style: every request/response variant
+//! round-trips bit-exactly, and *no* corruption of a valid frame —
+//! truncation, byte flips, or an oversized length prefix — may panic.
+//! A listening socket hands this parser attacker-controlled bytes, so
+//! malformed input must surface as a typed error, never a crash.
+
+use index::persist::PersistError;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serve::wire::{
+    decode_request, decode_response, encode_request, encode_response, write_frame, FrameEvent,
+    FrameReader, NetError, WireErrorKind, WireRequest, WireResponse,
+};
+use serve::ServiceStats;
+use std::io::Read;
+
+fn arb_line(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(0usize..40);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.05) {
+                'λ' // exercise multi-byte utf-8 on the wire
+            } else {
+                rng.gen_range(b' '..=b'~') as char
+            }
+        })
+        .collect()
+}
+
+fn arb_lines(rng: &mut StdRng, max: usize) -> Vec<String> {
+    let n = rng.gen_range(0usize..max);
+    (0..n).map(|_| arb_line(rng)).collect()
+}
+
+fn arb_request(rng: &mut StdRng) -> WireRequest {
+    match rng.gen_range(0u8..6) {
+        0 => WireRequest::Hello,
+        1 => WireRequest::Score {
+            lines: arb_lines(rng, 12),
+        },
+        2 => {
+            let lines = arb_lines(rng, 12);
+            let labels = lines.iter().map(|_| rng.gen_bool(0.3)).collect();
+            WireRequest::Append { lines, labels }
+        }
+        3 => WireRequest::Snapshot,
+        4 => WireRequest::Stats,
+        _ => WireRequest::Shutdown,
+    }
+}
+
+fn arb_error_kind(rng: &mut StdRng) -> WireErrorKind {
+    [
+        WireErrorKind::Closed,
+        WireErrorKind::StreamStructured,
+        WireErrorKind::Engine,
+        WireErrorKind::InvalidConfig,
+        WireErrorKind::Busy,
+        WireErrorKind::BadRequest,
+        WireErrorKind::TooLarge,
+    ][rng.gen_range(0usize..7)]
+}
+
+fn arb_response(rng: &mut StdRng) -> WireResponse {
+    match rng.gen_range(0u8..7) {
+        0 => WireResponse::Hello {
+            methods: arb_lines(rng, 6),
+        },
+        1 => {
+            let n = rng.gen_range(0usize..8);
+            let m = rng.gen_range(0usize..5);
+            WireResponse::Scores(
+                (0..n)
+                    .map(|_| (0..m).map(|_| rng.gen::<f32>()).collect())
+                    .collect(),
+            )
+        }
+        2 => WireResponse::Appended(rng.gen_range(0usize..1000)),
+        3 => {
+            let n = rng.gen_range(0usize..64);
+            WireResponse::Snapshot {
+                frame: (0..n).map(|_| rng.gen_range(0u8..=255)).collect(),
+                skipped: arb_lines(rng, 4),
+            }
+        }
+        4 => WireResponse::Stats(ServiceStats {
+            batches: rng.gen_range(0usize..10_000),
+            lines: rng.gen_range(0usize..100_000),
+            cache_hits: rng.gen_range(0usize..100_000),
+            cache_misses: rng.gen_range(0usize..100_000),
+            epoch: rng.gen_range(0u64..1_000),
+        }),
+        5 => WireResponse::ShuttingDown,
+        _ => WireResponse::Error {
+            kind: arb_error_kind(rng),
+            message: arb_line(rng),
+        },
+    }
+}
+
+proptest! {
+    /// Round trip: decode(encode(req)) recovers the id and the
+    /// request exactly, for every variant.
+    #[test]
+    fn request_round_trip(seed in 0u64..500, id in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let req = arb_request(&mut rng);
+        let payload = encode_request(id, &req);
+        let (got_id, got) = decode_request(&payload).expect("round trip decodes");
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(got, req);
+    }
+
+    /// Round trip for every response variant.
+    #[test]
+    fn response_round_trip(seed in 0u64..500, id in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let resp = arb_response(&mut rng);
+        let payload = encode_response(id, &resp);
+        let (got_id, got) = decode_response(&payload).expect("round trip decodes");
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(got, resp);
+    }
+
+    /// Truncating a valid payload at *any* length is a typed error —
+    /// every field and collection is length-prefixed and trailing
+    /// bytes are rejected, so no strict prefix can decode.
+    #[test]
+    fn every_truncation_errors_without_panicking(
+        seed in 0u64..300,
+        cut_fraction in 0.0f64..1.0,
+        response in 0u8..2,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let payload = if response == 0 {
+            encode_request(7, &arb_request(&mut rng))
+        } else {
+            encode_response(7, &arb_response(&mut rng))
+        };
+        let cut = ((payload.len() as f64) * cut_fraction) as usize;
+        prop_assert!(cut < payload.len());
+        let truncated = &payload[..cut];
+        if response == 0 {
+            prop_assert!(decode_request(truncated).is_err());
+        } else {
+            prop_assert!(decode_response(truncated).is_err());
+        }
+    }
+
+    /// Arbitrary single-byte damage must never panic: it decodes to a
+    /// typed error, or — when the flipped byte is not load-bearing
+    /// (string content, a score bit) — to some other valid message,
+    /// but the process survives either way.
+    #[test]
+    fn single_byte_damage_never_panics(
+        seed in 0u64..300,
+        pos_fraction in 0.0f64..1.0,
+        xor in 1u8..=255,
+        response in 0u8..2,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut payload = if response == 0 {
+            encode_request(7, &arb_request(&mut rng))
+        } else {
+            encode_response(7, &arb_response(&mut rng))
+        };
+        let pos = ((payload.len() as f64) * pos_fraction) as usize % payload.len();
+        payload[pos] ^= xor;
+        if response == 0 {
+            let _ = decode_request(&payload); // must not panic
+        } else {
+            let _ = decode_response(&payload); // must not panic
+        }
+    }
+
+    /// A frame split across arbitrarily-placed reads (and read
+    /// timeouts between them) reassembles byte-exactly — the reader
+    /// retains partial bytes instead of desyncing.
+    #[test]
+    fn split_frames_reassemble(seed in 0u64..300, split_fraction in 0.0f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let payload = encode_request(42, &arb_request(&mut rng));
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload, 1 << 20).expect("frame fits");
+        let split = ((wire.len() as f64) * split_fraction) as usize;
+        let mut source = ChunkedRead {
+            chunks: vec![wire[..split].to_vec(), wire[split..].to_vec()],
+        };
+        let mut frames = FrameReader::new();
+        let mut out = None;
+        // At most: partial chunk → Idle, rest → Frame.
+        for _ in 0..4 {
+            match frames.read_frame(&mut source, 1 << 20).expect("no error") {
+                FrameEvent::Frame(p) => { out = Some(p); break; }
+                FrameEvent::Idle => continue,
+                FrameEvent::Eof => break,
+            }
+        }
+        prop_assert_eq!(out.as_deref(), Some(&payload[..]));
+    }
+}
+
+/// A reader that yields its chunks one `read` at a time, with a
+/// `WouldBlock` between them — the shape a socket read timeout
+/// produces mid-frame.
+struct ChunkedRead {
+    chunks: Vec<Vec<u8>>,
+}
+
+impl Read for ChunkedRead {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.chunks.is_empty() {
+            return Ok(0);
+        }
+        let chunk = self.chunks.remove(0);
+        if chunk.is_empty() {
+            return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "idle"));
+        }
+        buf[..chunk.len()].copy_from_slice(&chunk);
+        Ok(chunk.len())
+    }
+}
+
+/// An oversized length prefix is rejected *before* allocating or
+/// consuming — the typed [`NetError::FrameTooLarge`], not an OOM.
+#[test]
+fn oversized_length_prefix_is_rejected() {
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&u32::MAX.to_le_bytes());
+    wire.extend_from_slice(&[0u8; 64]);
+    let mut frames = FrameReader::new();
+    match frames.read_frame(&mut &wire[..], 1024) {
+        Err(NetError::FrameTooLarge { len, max }) => {
+            assert_eq!(len, u32::MAX as usize);
+            assert_eq!(max, 1024);
+        }
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+}
+
+/// `write_frame` refuses an over-limit payload before touching the
+/// socket, so an oversized reply never desyncs the stream.
+#[test]
+fn write_frame_refuses_oversized_payloads() {
+    let mut wire = Vec::new();
+    let payload = vec![0u8; 2048];
+    match write_frame(&mut wire, &payload, 1024) {
+        Err(NetError::FrameTooLarge { len, max }) => {
+            assert_eq!((len, max), (2048, 1024));
+            assert!(wire.is_empty(), "nothing written before the check");
+        }
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+}
+
+/// EOF mid-frame is a truncation error; EOF at a frame boundary is a
+/// clean close.
+#[test]
+fn eof_mid_frame_is_truncation() {
+    let payload = encode_request(1, &WireRequest::Hello);
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &payload, 1 << 20).unwrap();
+
+    let mut frames = FrameReader::new();
+    match frames.read_frame(&mut &wire[..wire.len() - 1], 1 << 20) {
+        Err(NetError::Frame(PersistError::Truncated)) => {}
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+
+    let mut frames = FrameReader::new();
+    let mut cursor = &wire[..];
+    assert!(matches!(
+        frames.read_frame(&mut cursor, 1 << 20),
+        Ok(FrameEvent::Frame(p)) if p == payload
+    ));
+    assert!(matches!(
+        frames.read_frame(&mut cursor, 1 << 20),
+        Ok(FrameEvent::Eof)
+    ));
+}
+
+/// The classic typed-error corners: empty input, an unknown message
+/// tag, an unknown error-kind byte, and trailing garbage.
+#[test]
+fn typed_errors_for_tags_and_trailing_bytes() {
+    assert_eq!(decode_request(b"").unwrap_err(), PersistError::Truncated);
+    assert_eq!(decode_response(b"").unwrap_err(), PersistError::Truncated);
+
+    let mut bad_tag = encode_request(3, &WireRequest::Hello);
+    let tag_at = 8; // after the id
+    bad_tag[tag_at] = 250;
+    assert_eq!(
+        decode_request(&bad_tag).unwrap_err(),
+        PersistError::BadTag(250)
+    );
+    assert_eq!(
+        decode_response(&bad_tag).unwrap_err(),
+        PersistError::BadTag(250)
+    );
+
+    let mut bad_kind = encode_response(
+        3,
+        &WireResponse::Error {
+            kind: WireErrorKind::Busy,
+            message: String::new(),
+        },
+    );
+    bad_kind[tag_at + 1] = 99;
+    assert_eq!(
+        decode_response(&bad_kind).unwrap_err(),
+        PersistError::BadTag(99)
+    );
+
+    let mut trailing = encode_request(3, &WireRequest::Shutdown);
+    trailing.push(0);
+    assert!(matches!(
+        decode_request(&trailing).unwrap_err(),
+        PersistError::Corrupt(_)
+    ));
+}

@@ -1,0 +1,130 @@
+//! Loopback client for `serve_server`: connect (retrying while the
+//! server pre-trains), replay a Zipf-heavy stream of command lines,
+//! absorb a supervision burst through the wire `append`, verify the
+//! re-scored verdicts reflect it, and request a clean shutdown.
+//!
+//! Run: `cargo run --release --example serve_client [--port P]`
+//!
+//! The replay pool regenerates the server's seed-7 corpus, so both
+//! sides agree on the exemplar lines without any file exchange.
+
+use cmdline_ids::pipeline::PipelineConfig;
+use corpus::{dedup_records, ZipfSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serve::NetClient;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+const DRAWS: usize = 512;
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(120);
+
+fn parse_args() -> u16 {
+    let mut port = 7177u16;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i + 1 < argv.len() {
+        match argv[i].as_str() {
+            "--port" => port = argv[i + 1].parse().expect("--port takes a port number"),
+            _ => break,
+        }
+        i += 2;
+    }
+    if i != argv.len() {
+        eprintln!("usage: serve_client [--port P]");
+        std::process::exit(2);
+    }
+    port
+}
+
+/// The server pre-trains before it binds, so the first connects are
+/// refused — retry until the listener is up.
+fn connect_with_retry(addr: SocketAddr) -> NetClient {
+    let deadline = Instant::now() + CONNECT_TIMEOUT;
+    loop {
+        match NetClient::connect(addr) {
+            Ok(client) => return client,
+            Err(err) => {
+                if Instant::now() >= deadline {
+                    panic!("server at {addr} never came up: {err}");
+                }
+                std::thread::sleep(Duration::from_millis(250));
+            }
+        }
+    }
+}
+
+fn main() {
+    let port = parse_args();
+
+    // The same seed-7 corpus the server fit on: its deduplicated test
+    // split is the replay pool.
+    let mut config = PipelineConfig::fast();
+    config.train_size = 900;
+    config.test_size = 400;
+    config.attack_prob = 0.2;
+    let mut rng = StdRng::seed_from_u64(7);
+    let dataset = config.generate_dataset(&mut rng);
+    let pool: Vec<String> = dedup_records(&dataset.test)
+        .iter()
+        .map(|r| r.line.clone())
+        .collect();
+
+    let addr = SocketAddr::from(([127, 0, 0, 1], port));
+    println!("connecting to {addr}…");
+    let client = connect_with_retry(addr);
+    println!("connected; serving methods {:?}", client.method_names());
+
+    // 1. Zipf replay: the hot head repeats, so the server's verdict
+    //    cache absorbs most of the stream after the first pass.
+    let sampler = ZipfSampler::new(pool.len(), 1.05);
+    let mut zipf_rng = StdRng::seed_from_u64(42);
+    let draws: Vec<String> = (0..DRAWS)
+        .map(|_| pool[sampler.sample(&mut zipf_rng)].clone())
+        .collect();
+    let t0 = Instant::now();
+    for chunk in draws.chunks(16) {
+        let verdicts = client.score_batch(chunk).expect("server alive");
+        assert_eq!(verdicts.len(), chunk.len());
+    }
+    let elapsed = t0.elapsed();
+    let stats = client.stats().expect("stats over wire");
+    println!(
+        "replayed {DRAWS} Zipf draws over {} unique lines in {elapsed:.2?} \
+         ({:.0} q/s); server cache: {} hits / {} misses",
+        pool.len(),
+        DRAWS as f64 / elapsed.as_secs_f64(),
+        stats.cache_hits,
+        stats.cache_misses,
+    );
+
+    // 2. Supervision burst: append the replay head as *confirmed
+    //    alerts* and verify the re-scored verdicts actually move — the
+    //    epoch bump must drop every cached pre-append verdict. The
+    //    label matters: retrieval indexes malicious exemplars only, so
+    //    an attack label guarantees each burst line's own nearest-
+    //    exemplar similarity jumps on the re-score.
+    let burst: Vec<String> = pool.iter().take(4).cloned().collect();
+    let burst_labels = vec![true; burst.len()];
+    let before = client.score_batch(&burst).expect("server alive");
+    let absorbed = client
+        .append(&burst, &burst_labels)
+        .expect("append over wire");
+    let epoch = client.stats().expect("stats").epoch;
+    assert!(epoch >= 1, "append must bump the invalidation epoch");
+    let after = client.score_batch(&burst).expect("server alive");
+    assert_ne!(
+        before, after,
+        "appending the scored lines as exemplars must change their verdicts \
+         (a stale match means the cache survived the epoch bump)"
+    );
+    println!(
+        "absorbed a {}-line burst into {absorbed} neighbour indexes \
+         (epoch {epoch}); re-scored verdicts reflect it",
+        burst.len()
+    );
+
+    // 3. Clean shutdown: the server joins its workers and exits.
+    client.shutdown_server().expect("shutdown request lands");
+    println!("requested server shutdown; done");
+}

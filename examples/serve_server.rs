@@ -1,0 +1,132 @@
+//! The scoring stack as a network daemon: pre-train a pipeline, fit
+//! the neighbour detector set, and serve it over length-prefixed TCP
+//! frames until a client asks for shutdown.
+//!
+//! Run: `cargo run --release --example serve_server
+//! [--shards N] [--quant f32|f16|i8] [--port P] [--cache N]`
+//!
+//! Pair it with `serve_client`, which connects over loopback, replays
+//! a Zipf-heavy stream, absorbs a supervision burst, re-scores, and
+//! requests the clean shutdown this process waits for. (CI smoke-runs
+//! exactly that pair with `--shards 4 --quant i8`, so the wire path
+//! over the sharded quantized stack cannot rot.)
+
+use anomaly::{RetrievalMethod, VanillaKnnMethod};
+use cmdline_ids::embed::Pooling;
+use cmdline_ids::engine::{EmbeddingStore, IndexConfig, Quantization, ScoringEngine};
+use cmdline_ids::pipeline::{IdsPipeline, PipelineConfig};
+use ids_rules::RuleIds;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serve::{Frontend, NetConfig, NetServer, ServeConfig};
+use std::time::Duration;
+
+struct Args {
+    shards: usize,
+    quant: Quantization,
+    port: u16,
+    cache: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        shards: 1,
+        quant: Quantization::F32,
+        port: 7177,
+        cache: 4096,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i + 1 < argv.len() {
+        match argv[i].as_str() {
+            "--shards" => args.shards = argv[i + 1].parse().expect("--shards takes an integer"),
+            "--quant" => args.quant = argv[i + 1].parse().expect("--quant takes f32|f16|i8"),
+            "--port" => args.port = argv[i + 1].parse().expect("--port takes a port number"),
+            "--cache" => args.cache = argv[i + 1].parse().expect("--cache takes an integer"),
+            _ => break,
+        }
+        i += 2;
+    }
+    if i != argv.len() {
+        eprintln!("usage: serve_server [--shards N] [--quant f32|f16|i8] [--port P] [--cache N]");
+        std::process::exit(2);
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Offline prologue, identical to the streaming_score tour: the
+    // client regenerates the same seed-7 corpus to pick its replay
+    // lines, so verdicts are about exemplars both sides know.
+    let mut config = PipelineConfig::fast();
+    config.train_size = 900;
+    config.test_size = 400;
+    config.attack_prob = 0.2;
+    let mut rng = StdRng::seed_from_u64(7);
+    println!(
+        "pre-training on {} synthetic lines… (shards: {}, quant: {})",
+        config.train_size, args.shards, args.quant
+    );
+    let dataset = config.generate_dataset(&mut rng);
+    let pipeline = IdsPipeline::pretrain(&config, &dataset, &mut rng);
+    let ids = RuleIds::with_default_rules();
+    let labels: Vec<bool> = dataset
+        .train
+        .iter()
+        .map(|r| ids.is_alert(&r.line))
+        .collect();
+    let train_lines: Vec<String> = dataset.train.iter().map(|r| r.line.clone()).collect();
+
+    let store = EmbeddingStore::new(&pipeline);
+    let train = store.view_of(&train_lines, Pooling::Mean);
+    let fitted = ScoringEngine::new()
+        .with_index_config(
+            IndexConfig::hnsw()
+                .with_quant(args.quant)
+                .with_shards(args.shards),
+        )
+        .register(Box::new(RetrievalMethod::new(1)))
+        .register(Box::new(VanillaKnnMethod::new(3)))
+        .fit(&train, &labels)
+        .expect("detector set fits");
+
+    let front = Frontend::spawn(
+        pipeline,
+        fitted,
+        args.shards,
+        ServeConfig {
+            queue_capacity: 128,
+            max_batch: 32,
+            batch_window: Duration::from_millis(1),
+            workers: 2,
+        },
+    )
+    .expect("front spawns");
+
+    let server = NetServer::spawn(
+        front,
+        NetConfig {
+            port: args.port,
+            cache: Some(args.cache),
+            ..NetConfig::default()
+        },
+    )
+    .expect("server binds");
+    println!(
+        "serving {:?} on {} (verdict cache: {} entries); waiting for a shutdown request…",
+        server.front().method_names(),
+        server.local_addr(),
+        args.cache
+    );
+
+    server.wait_for_shutdown_request();
+    let stats = server.front().stats();
+    server.shutdown().shutdown();
+    println!(
+        "clean shutdown after {} lines in {} micro-batches \
+         ({} cache hits / {} misses, epoch {})",
+        stats.lines, stats.batches, stats.cache_hits, stats.cache_misses, stats.epoch
+    );
+}

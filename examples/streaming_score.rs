@@ -30,88 +30,27 @@ use corpus::dedup_records;
 use ids_rules::RuleIds;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serve::{
-    RouterConfig, ScoringService, ServeConfig, ServiceClient, ServiceSnapshot, ShardRouter,
-};
+use serve::{Frontend, ServeConfig, ServiceSnapshot};
 use std::time::{Duration, Instant};
 
 const PRODUCERS: usize = 4;
 
-/// The two scoring front-ends behind one tour: both speak the
-/// [`ServiceClient`] protocol, so the replay/append/snapshot steps
-/// are identical.
-enum Front {
-    Single(ScoringService),
-    Sharded(ShardRouter),
-}
-
-impl Front {
-    fn spawn(pipeline: IdsPipeline, fitted: FittedEngine, shards: usize) -> Front {
-        let serve = ServeConfig {
+/// One [`Frontend`] serves the whole tour: it wraps either a single
+/// micro-batching service or the shard router behind one API, so the
+/// replay/append/snapshot steps are identical across `--shards`.
+fn spawn_front(pipeline: IdsPipeline, fitted: FittedEngine, shards: usize) -> Frontend {
+    Frontend::spawn(
+        pipeline,
+        fitted,
+        shards,
+        ServeConfig {
             queue_capacity: 128,
             max_batch: 32,
             batch_window: Duration::from_millis(1),
             workers: 2,
-        };
-        if shards > 1 {
-            Front::Sharded(
-                ShardRouter::spawn(
-                    pipeline,
-                    fitted,
-                    RouterConfig {
-                        shards,
-                        serve,
-                        shard_workers: 1,
-                    },
-                )
-                .expect("router spawns"),
-            )
-        } else {
-            Front::Single(ScoringService::spawn(pipeline, fitted, serve).expect("service spawns"))
-        }
-    }
-
-    fn client(&self) -> ServiceClient {
-        match self {
-            Front::Single(s) => s.client(),
-            Front::Sharded(r) => r.client(),
-        }
-    }
-
-    fn method_names(&self) -> &[String] {
-        match self {
-            Front::Single(s) => s.method_names(),
-            Front::Sharded(r) => r.method_names(),
-        }
-    }
-
-    fn stats(&self) -> serve::ServiceStats {
-        match self {
-            Front::Single(s) => s.stats(),
-            Front::Sharded(r) => r.stats(),
-        }
-    }
-
-    fn append(&self, lines: &[String], labels: &[bool]) -> usize {
-        match self {
-            Front::Single(s) => s.append(lines, labels).expect("append works"),
-            Front::Sharded(r) => r.append(lines, labels).expect("append works"),
-        }
-    }
-
-    fn snapshot(&self) -> (ServiceSnapshot, Vec<String>) {
-        match self {
-            Front::Single(s) => s.with_engine(ServiceSnapshot::capture),
-            Front::Sharded(r) => r.snapshot(),
-        }
-    }
-
-    fn shutdown(self) {
-        match self {
-            Front::Single(s) => s.shutdown(),
-            Front::Sharded(r) => r.shutdown(),
-        }
-    }
+        },
+    )
+    .expect("front spawns")
 }
 
 fn parse_args() -> (usize, Quantization) {
@@ -178,7 +117,7 @@ fn main() {
     // 2. Serve: concurrent producers replay the test split line by
     //    line; workers coalesce arrivals into encoder-sized batches
     //    (and, sharded, scatter each batch across the shard pools).
-    let front = Front::spawn(pipeline.clone(), fitted, shards);
+    let front = spawn_front(pipeline.clone(), fitted, shards);
     println!(
         "serving methods {:?} over {} streamed lines from {PRODUCERS} producers…",
         front.method_names(),
@@ -222,7 +161,7 @@ fn main() {
     //    (sharded: each routed to its owning shard's index).
     let burst: Vec<String> = test_lines.iter().take(8).cloned().collect();
     let burst_labels: Vec<bool> = burst.iter().map(|l| ids.is_alert(l)).collect();
-    let absorbed = front.append(&burst, &burst_labels);
+    let absorbed = front.append(&burst, &burst_labels).expect("append works");
     println!(
         "absorbed a supervision burst of {} lines into {absorbed} neighbour indexes",
         burst.len()
@@ -247,7 +186,7 @@ fn main() {
     let restored = ServiceSnapshot::load(&path)
         .expect("snapshot loads")
         .restore();
-    let cold = Front::spawn(pipeline, restored, shards);
+    let cold = spawn_front(pipeline, restored, shards);
     assert_eq!(
         index::construction_passes(),
         passes,
