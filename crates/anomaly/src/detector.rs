@@ -252,6 +252,23 @@ pub trait Detector: Send + Sync {
         Ok(false)
     }
 
+    /// A fresh, unfitted detector carrying the same hyperparameters
+    /// (and seed, where fitting is randomized) — the online lifecycle's
+    /// refit entry point. A background refit worker fits the template
+    /// on the accumulated stream off-lock and swaps it in via
+    /// `FittedEngine::install_refits`, so the resident detector keeps
+    /// serving its old state until the swap. `None` (the default) for
+    /// methods whose fitted state is not periodically refittable this
+    /// way — neighbour-based methods absorb appends incrementally
+    /// ([`Detector::absorbs_appends`]) and never go stale, and the
+    /// supervised tuning methods own training loops the serving layer
+    /// cannot re-run. Seeded templates make refits deterministic:
+    /// fitting the template on the same lines reproduces the original
+    /// fit bit-for-bit.
+    fn refit_template(&self) -> Option<Box<dyn Detector>> {
+        None
+    }
+
     /// How a shard router merges this method's per-shard candidates
     /// into one score — `None` (the default) for methods whose fitted
     /// state is not a partitionable exemplar set. Methods returning
@@ -364,6 +381,10 @@ impl Detector for PcaMethod {
             .score_all(test.matrix())
     }
 
+    fn refit_template(&self) -> Option<Box<dyn Detector>> {
+        Some(Box::new(PcaMethod::new(self.variance_ratio)))
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -415,6 +436,14 @@ impl Detector for IsolationForestMethod {
             .score_all(test.matrix())
     }
 
+    fn refit_template(&self) -> Option<Box<dyn Detector>> {
+        Some(Box::new(IsolationForestMethod::new(
+            self.trees,
+            self.max_samples,
+            self.seed,
+        )))
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -464,6 +493,14 @@ impl Detector for OneClassSvmMethod {
             .as_ref()
             .expect("OneClassSvmMethod must be fitted before scoring")
             .score_all(test.matrix())
+    }
+
+    fn refit_template(&self) -> Option<Box<dyn Detector>> {
+        Some(Box::new(OneClassSvmMethod::new(
+            self.nu,
+            self.epochs,
+            self.seed,
+        )))
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -816,5 +853,34 @@ mod tests {
         a.fit(&view, &labels).unwrap();
         b.fit(&view, &labels).unwrap();
         assert_eq!(a.score_batch(&view), b.score_batch(&view));
+    }
+
+    #[test]
+    fn refit_templates_reproduce_the_original_fit() {
+        // The lifecycle contract: refitting a template on the same
+        // lines is bit-identical to the original fit (hyperparams and
+        // seeds are carried over), and only the unsupervised methods —
+        // whose fitted state goes stale under appends — offer one.
+        let (view, labels) = toy_view();
+        let originals: Vec<Box<dyn Detector>> = vec![
+            Box::new(PcaMethod::new(0.95)),
+            Box::new(IsolationForestMethod::new(20, 6, 99)),
+            Box::new(OneClassSvmMethod::new(0.1, 5, 7)),
+        ];
+        for mut det in originals {
+            det.fit(&view, &labels).unwrap();
+            let mut template = det.refit_template().expect("unsupervised refit template");
+            assert_eq!(template.name(), det.name());
+            template.fit(&view, &labels).unwrap();
+            assert_eq!(
+                det.score_batch(&view),
+                template.score_batch(&view),
+                "{}: template refit must reproduce the original fit",
+                det.name()
+            );
+        }
+        // Neighbour methods absorb appends live and never go stale.
+        assert!(RetrievalMethod::new(1).refit_template().is_none());
+        assert!(VanillaKnnMethod::new(3).refit_template().is_none());
     }
 }

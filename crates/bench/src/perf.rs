@@ -433,4 +433,62 @@ mod tests {
         );
         let _ = std::fs::remove_file(&path);
     }
+
+    #[test]
+    fn merge_report_co_writes_three_sections_without_clobbering() {
+        // The shape BENCH_serve.json actually has: serve_throughput,
+        // net_throughput, and now the lifecycle bench each own one
+        // top-level section of the same file and must never clobber
+        // the other two, whatever order the benches run in.
+        let file = "BENCH_test_three_sections.json";
+        let path = report_path(file);
+        let _ = std::fs::remove_file(&path);
+
+        let mut micro = Value::object();
+        micro.push("e2e_speedup", Value::Float(2.2));
+        merge_report(file, "micro_batching", micro);
+        let mut net = Value::object();
+        net.push("hit_rate", Value::Float(0.9));
+        merge_report(file, "net", net);
+        let mut lifecycle = Value::object();
+        lifecycle
+            .push("under_load_refit_ms", Value::Float(120.5))
+            .push("parity", Value::Str("bit-identical".into()));
+        let written = merge_report(file, "lifecycle", lifecycle);
+
+        let root = parse(&std::fs::read_to_string(&written).unwrap()).unwrap();
+        let Value::Object(entries) = root else {
+            panic!("root is an object")
+        };
+        assert_eq!(
+            entries.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            ["micro_batching", "net", "lifecycle"],
+            "all three sections present, insertion order preserved"
+        );
+
+        // Re-running the lifecycle bench replaces only its section.
+        let mut rerun = Value::object();
+        rerun.push("under_load_refit_ms", Value::Float(95.0));
+        merge_report(file, "lifecycle", rerun);
+        let root = parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let Value::Object(entries) = root else {
+            panic!("root is an object")
+        };
+        assert_eq!(entries.len(), 3, "a rerun must not drop sections");
+        let Value::Object(section) = &entries[2].1 else {
+            panic!("lifecycle section is an object")
+        };
+        assert!(
+            matches!(section[0].1, Value::Float(f) if f == 95.0),
+            "rerun replaces the lifecycle figures"
+        );
+        let Value::Object(micro) = &entries[0].1 else {
+            panic!("micro_batching section is an object")
+        };
+        assert!(
+            matches!(micro[0].1, Value::Float(f) if f == 2.2),
+            "the other benches' figures survive untouched"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
 }

@@ -220,6 +220,7 @@ impl ScoringEngine {
         }
         Ok(FittedEngine {
             detectors: self.detectors,
+            epoch: 0,
         })
     }
 
@@ -246,16 +247,62 @@ impl ScoringEngine {
 /// insert into their index incrementally), and
 /// `serve::ServiceSnapshot` persists the snapshot-capable detectors
 /// through [`FittedEngine::detectors`].
+///
+/// The engine is **epoch-versioned**: a fresh fit (or restore) is
+/// epoch 0, and every [`FittedEngine::install_refits`] — the online
+/// lifecycle's atomic swap of re-fitted detectors — bumps the epoch.
+/// A scoring pass can therefore tag its verdicts with the exact
+/// detector generation that produced them, and the serving layer's
+/// caches/snapshots can detect a swap that landed mid-operation.
 pub struct FittedEngine {
     detectors: Vec<Box<dyn Detector>>,
+    epoch: u64,
 }
 
 impl FittedEngine {
     /// Reassembles a fitted engine from already-fitted detectors
     /// (snapshot restore path). The caller asserts fittedness; scoring
-    /// an unfitted detector panics, as everywhere.
+    /// an unfitted detector panics, as everywhere. Starts at epoch 0,
+    /// like a fresh fit.
     pub fn from_detectors(detectors: Vec<Box<dyn Detector>>) -> Self {
-        FittedEngine { detectors }
+        FittedEngine {
+            detectors,
+            epoch: 0,
+        }
+    }
+
+    /// The detector generation: 0 for a fresh fit/restore, +1 per
+    /// [`FittedEngine::install_refits`] swap.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Atomically installs re-fitted replacement detectors (the online
+    /// refit swap): each `(index, detector)` pair replaces the resident
+    /// detector at that registration index, then the epoch bumps once
+    /// for the whole batch. The caller (the serving layer) holds its
+    /// engine write lock across this call, so in-flight micro-batches
+    /// — which score under the read lock — finish entirely on the old
+    /// epoch and later batches score entirely on the new one; a torn
+    /// verdict mixing generations is impossible by construction.
+    /// Returns the new epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or a replacement's name does
+    /// not match the detector it replaces — a refit must never change
+    /// the method layout verdicts are assembled under.
+    pub fn install_refits(&mut self, refits: Vec<(usize, Box<dyn Detector>)>) -> u64 {
+        for (i, det) in refits {
+            assert_eq!(
+                self.detectors[i].name(),
+                det.name(),
+                "refit must replace a detector with the same method"
+            );
+            self.detectors[i] = det;
+        }
+        self.epoch += 1;
+        self.epoch
     }
 
     /// Names of the fitted detectors, in registration order.
@@ -331,6 +378,7 @@ impl FittedEngine {
                 .into_iter()
                 .map(|o| o.expect("every detector scored"))
                 .collect(),
+            epoch: self.epoch,
         }
     }
 
@@ -387,12 +435,20 @@ fn score_one(det: &dyn Detector, test: &EmbeddingView) -> MethodScores {
 #[derive(Debug, Clone)]
 pub struct EngineRun {
     outputs: Vec<MethodScores>,
+    epoch: u64,
 }
 
 impl EngineRun {
     /// All method outputs, in registration order.
     pub fn outputs(&self) -> &[MethodScores] {
         &self.outputs
+    }
+
+    /// The engine epoch these verdicts were scored under (see
+    /// [`FittedEngine::epoch`]). Every score in this run came from the
+    /// same detector generation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// One method's scores by name.
@@ -507,6 +563,7 @@ mod tests {
                     test_aligned: true,
                 },
             ],
+            epoch: 0,
         };
         let fused = run.fuse_all().expect("aligned methods fuse");
         assert_eq!(fused.len(), 5);
@@ -651,6 +708,43 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn install_refits_bumps_the_epoch_and_swaps_in_place() {
+        let (train, labels, test) = toy_views();
+        let mut engine = ScoringEngine::new()
+            .register(Box::new(PcaMethod::new(0.95)))
+            .register(Box::new(RetrievalMethod::new(1)))
+            .fit(&train, &labels)
+            .expect("fit succeeds");
+        assert_eq!(engine.epoch(), 0);
+        assert_eq!(engine.score(&test).epoch(), 0);
+
+        // Refit PCA from its own template and swap it in.
+        let mut replacement = engine.detectors()[0]
+            .refit_template()
+            .expect("pca is refittable");
+        replacement.fit(&train, &labels).expect("refit succeeds");
+        let epoch = engine.install_refits(vec![(0, replacement)]);
+        assert_eq!(epoch, 1);
+        assert_eq!(engine.epoch(), 1);
+        // Same data, deterministic fit: the swap changes the epoch,
+        // not the verdicts.
+        let run = engine.score(&test);
+        assert_eq!(run.epoch(), 1);
+        assert_eq!(engine.method_names(), ["pca", "retrieval"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same method")]
+    fn install_refits_rejects_a_method_layout_change() {
+        let (train, labels, _) = toy_views();
+        let mut engine = ScoringEngine::new()
+            .register(Box::new(PcaMethod::new(0.95)))
+            .fit(&train, &labels)
+            .expect("fit succeeds");
+        engine.install_refits(vec![(0, Box::new(RetrievalMethod::new(1)))]);
     }
 
     #[test]

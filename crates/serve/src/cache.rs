@@ -32,7 +32,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Sentinel for "no node" in the intrusive LRU list.
 const NIL: usize = usize::MAX;
@@ -111,14 +111,16 @@ impl Lru {
 pub struct VerdictCache {
     inner: Mutex<Lru>,
     capacity: usize,
-    epoch: AtomicU64,
+    epoch: Arc<AtomicU64>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     evictions: AtomicUsize,
 }
 
 impl VerdictCache {
-    /// A cache holding at most `capacity` verdicts.
+    /// A cache holding at most `capacity` verdicts, with its own
+    /// private epoch counter (callers bump it via
+    /// [`Self::bump_epoch`]).
     ///
     /// # Panics
     ///
@@ -126,6 +128,19 @@ impl VerdictCache {
     /// with a typed error before construction ([`crate::NetConfig`],
     /// [`crate::Frontend::with_cache`]).
     pub fn new(capacity: usize) -> Self {
+        Self::with_shared_epoch(capacity, Arc::new(AtomicU64::new(0)))
+    }
+
+    /// A cache whose invalidation epoch *is* the given shared counter.
+    /// The serving stack hands in its detector-state epoch — bumped on
+    /// every absorbed append **and** every refit swap — so a post-swap
+    /// lookup can never hit a pre-swap verdict without the front-end
+    /// having to remember to bump anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` (see [`Self::new`]).
+    pub fn with_shared_epoch(capacity: usize, epoch: Arc<AtomicU64>) -> Self {
         assert!(capacity > 0, "verdict cache capacity must be >= 1");
         VerdictCache {
             inner: Mutex::new(Lru {
@@ -136,7 +151,7 @@ impl VerdictCache {
                 tail: NIL,
             }),
             capacity,
-            epoch: AtomicU64::new(0),
+            epoch,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),

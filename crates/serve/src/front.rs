@@ -12,12 +12,18 @@
 //! cache discipline and stay bit-identical.
 
 use crate::cache::{merge_verdicts, CacheStats, VerdictCache};
+use crate::lifecycle::{LifecycleConfig, LifecycleStats};
 use crate::service::{ScoringService, ServeConfig, ServeError, ServiceClient, ServiceStats};
 use crate::snapshot::ServiceSnapshot;
 use crate::{RouterConfig, ShardRouter};
 use cmdline_ids::engine::FittedEngine;
 use cmdline_ids::pipeline::IdsPipeline;
 use std::sync::Arc;
+
+/// How many times [`Frontend::snapshot`] retries a capture that raced
+/// an append or refit swap before surfacing the typed
+/// [`ServeError::SnapshotRace`] to the caller.
+const SNAPSHOT_RETRIES: usize = 4;
 
 enum Kind {
     Single(ScoringService),
@@ -81,17 +87,49 @@ impl Frontend {
         }
     }
 
+    /// [`Frontend::spawn`] with the online refit lifecycle attached
+    /// (see [`ScoringService::spawn_with_lifecycle`] /
+    /// [`ShardRouter::spawn_with_lifecycle`]).
+    pub fn spawn_with_lifecycle(
+        pipeline: IdsPipeline,
+        engine: FittedEngine,
+        shards: usize,
+        serve: ServeConfig,
+        lifecycle: LifecycleConfig,
+    ) -> Result<Frontend, ServeError> {
+        if shards > 1 {
+            let config = RouterConfig {
+                shards,
+                serve,
+                shard_workers: 1,
+            };
+            Ok(ShardRouter::spawn_with_lifecycle(pipeline, engine, config, lifecycle)?.into())
+        } else {
+            Ok(ScoringService::spawn_with_lifecycle(pipeline, engine, serve, lifecycle)?.into())
+        }
+    }
+
     /// Attaches an exact-match verdict cache holding at most
     /// `capacity` lines. Rejects `capacity == 0` with a typed
     /// [`ServeError::InvalidConfig`] (a zero-entry cache can never
     /// hit), matching the config-validation convention.
+    ///
+    /// The cache's invalidation epoch *is* the front-end's
+    /// detector-state counter ([`VerdictCache::with_shared_epoch`]):
+    /// the inner service/router bumps it on every absorbed append and
+    /// every refit swap, so cache invalidation needs no separate bump
+    /// here and cannot miss a state change.
     pub fn with_cache(mut self, capacity: usize) -> Result<Frontend, ServeError> {
         if capacity == 0 {
             return Err(ServeError::InvalidConfig(
                 "verdict cache capacity must be >= 1 (a zero-entry cache can never hit)".into(),
             ));
         }
-        self.cache = Some(Arc::new(VerdictCache::new(capacity)));
+        let epoch = match &self.kind {
+            Kind::Single(s) => s.state_epoch_handle(),
+            Kind::Sharded(r) => r.state_epoch_handle(),
+        };
+        self.cache = Some(Arc::new(VerdictCache::with_shared_epoch(capacity, epoch)));
         Ok(self)
     }
 
@@ -214,29 +252,77 @@ impl Frontend {
     }
 
     /// Absorbs freshly-labeled supervision into the resident detector
-    /// set and — once the append has landed — bumps the verdict-cache
-    /// epoch, so every cached verdict computed against the pre-append
-    /// state stops hitting immediately (O(1) invalidation).
+    /// set. The inner front-end bumps the shared detector-state epoch
+    /// once the append lands, so every cached verdict computed against
+    /// the pre-append state stops hitting immediately (O(1)
+    /// invalidation through [`VerdictCache::with_shared_epoch`]).
     pub fn append(&self, lines: &[String], labels: &[bool]) -> Result<usize, ServeError> {
-        let absorbed = match &self.kind {
-            Kind::Single(s) => s.append(lines, labels)?,
-            Kind::Sharded(r) => r.append(lines, labels)?,
-        };
-        if let Some(cache) = &self.cache {
-            cache.bump_epoch();
+        match &self.kind {
+            Kind::Single(s) => s.append(lines, labels),
+            Kind::Sharded(r) => r.append(lines, labels),
         }
-        Ok(absorbed)
     }
 
-    /// Captures the persistable detector state (see
-    /// [`ServiceSnapshot::capture`] / [`ShardRouter::snapshot`]).
-    /// Returns the snapshot plus the names of detectors that were not
-    /// capturable.
-    pub fn snapshot(&self) -> (ServiceSnapshot, Vec<String>) {
+    /// Runs one epoch-swapped refit now, on the caller's thread (see
+    /// [`ScoringService::refit`] / [`ShardRouter::refit`]). Returns the
+    /// engine epoch after the swap.
+    pub fn refit(&self) -> Result<u64, ServeError> {
         match &self.kind {
-            Kind::Single(s) => s.with_engine(ServiceSnapshot::capture),
-            Kind::Sharded(r) => r.snapshot(),
+            Kind::Single(s) => s.refit(),
+            Kind::Sharded(r) => r.refit(),
         }
+    }
+
+    /// The resident engine's detector generation: 0 at spawn, +1 per
+    /// refit swap.
+    pub fn engine_epoch(&self) -> u64 {
+        match &self.kind {
+            Kind::Single(s) => s.engine_epoch(),
+            Kind::Sharded(r) => r.engine_epoch(),
+        }
+    }
+
+    /// Lifecycle counters and trigger state; `None` when spawned
+    /// without a lifecycle.
+    pub fn lifecycle_stats(&self) -> Option<LifecycleStats> {
+        match &self.kind {
+            Kind::Single(s) => s.lifecycle_stats(),
+            Kind::Sharded(r) => r.lifecycle_stats(),
+        }
+    }
+
+    /// Splits the live shard set to `new_shards` without stopping the
+    /// router (see [`ShardRouter::reshard`]). Typed
+    /// [`ServeError::InvalidConfig`] on an unsharded front-end.
+    pub fn reshard(&self, new_shards: usize) -> Result<(), ServeError> {
+        match &self.kind {
+            Kind::Single(_) => Err(ServeError::InvalidConfig(
+                "reshard requires a sharded front-end (spawn with shards > 1)".into(),
+            )),
+            Kind::Sharded(r) => r.reshard(new_shards),
+        }
+    }
+
+    /// Captures the persistable detector state at one consistent epoch
+    /// (see [`ScoringService::snapshot`] / [`ShardRouter::snapshot`]).
+    /// Returns the snapshot plus the names of detectors that were not
+    /// capturable. A capture that races an append or refit swap is
+    /// retried a few times before the typed
+    /// [`ServeError::SnapshotRace`] surfaces — under sustained writes
+    /// the caller decides whether to back off or pause appends.
+    pub fn snapshot(&self) -> Result<(ServiceSnapshot, Vec<String>), ServeError> {
+        let mut last = ServeError::Closed;
+        for _ in 0..=SNAPSHOT_RETRIES {
+            let captured = match &self.kind {
+                Kind::Single(s) => s.snapshot(),
+                Kind::Sharded(r) => r.snapshot(),
+            };
+            match captured {
+                Err(e @ ServeError::SnapshotRace { .. }) => last = e,
+                other => return other,
+            }
+        }
+        Err(last)
     }
 
     /// Monotonic counters with the verdict-cache overlay: the inner

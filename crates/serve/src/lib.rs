@@ -52,8 +52,24 @@
 //!   in-flight requests share one socket. Loopback throughput and the
 //!   cache win are measured by `benches/net_throughput.rs`.
 
+//! * **Online detector lifecycle** ([`LifecycleConfig`], epoch-swapped
+//!   refit) — the paper's unsupervised detectors assume periodically
+//!   re-fitted baselines. A lifecycle-enabled service logs every
+//!   absorbed append, watches the served score distribution with a
+//!   deterministic PSI tracker ([`DriftDetector`]), and — on a drift
+//!   or append-count trigger — re-fits fresh seeded templates of the
+//!   refittable detectors off baseline ∪ append-log, swapping the new
+//!   epoch in under one brief write lock while in-flight micro-batches
+//!   finish on the old one. Refit-under-load is bit-identical to a
+//!   stop-the-world refit on exact backends (`tests/lifecycle.rs`,
+//!   `benches/lifecycle.rs`), and the same state-epoch counter that
+//!   invalidates the verdict cache on appends is bumped on every swap.
+//!   The sharded tier rides along: [`ShardRouter::reshard`] splits the
+//!   live shard set without stopping the router.
+
 mod cache;
 mod front;
+mod lifecycle;
 mod net;
 mod router;
 mod service;
@@ -62,6 +78,7 @@ pub mod wire;
 
 pub use cache::{CacheStats, VerdictCache};
 pub use front::Frontend;
+pub use lifecycle::{DriftConfig, DriftDetector, LifecycleConfig, LifecycleStats, RefitSource};
 pub use net::{NetClient, NetConfig, NetServer, DEFAULT_MAX_FRAME};
 pub use router::{RouterConfig, ShardRouter};
 pub use service::{ScoringService, ServeConfig, ServeError, ServiceClient, ServiceStats};

@@ -482,17 +482,20 @@ fn handle_frame(
                 Err(e) => send_error(conn_tx, id, WireErrorKind::from(&e), &e.to_string()),
             }
         }
-        WireRequest::Snapshot => {
-            let (snapshot, skipped) = conn.front.snapshot();
-            send(
+        WireRequest::Snapshot => match conn.front.snapshot() {
+            Ok((snapshot, skipped)) => send(
                 conn_tx,
                 id,
                 &WireResponse::Snapshot {
                     frame: snapshot.to_bytes(),
                     skipped,
                 },
-            )
-        }
+            ),
+            // SnapshotRace maps to Busy: the capture raced an
+            // append/refit swap past the front-end's retries, and the
+            // client retries like any other transient rejection.
+            Err(e) => send_error(conn_tx, id, WireErrorKind::from(&e), &e.to_string()),
+        },
         WireRequest::Stats => send(conn_tx, id, &WireResponse::Stats(conn.front.stats())),
         WireRequest::Shutdown => {
             let sent = send(conn_tx, id, &WireResponse::ShuttingDown);

@@ -36,9 +36,10 @@
 //!   [`ShardRouter::spawn`] re-splits without rebuilding
 //!   (`tests/snapshot_cold_start.rs`).
 
+use crate::lifecycle::{LifecycleConfig, LifecycleState, LifecycleStats};
 use crate::service::{
-    collect_batch, CloseGate, Counters, PooledViews, Request, ServeConfig, ServeError,
-    ServiceClient, ViewSpec, IDLE_POLL,
+    collect_batch, observed_means, CloseGate, Counters, PooledViews, Request, ServeConfig,
+    ServeError, ServiceClient, ViewSpec, IDLE_POLL,
 };
 use crate::snapshot::ServiceSnapshot;
 use cmdline_ids::engine::{
@@ -47,9 +48,9 @@ use cmdline_ids::engine::{
 };
 use cmdline_ids::pipeline::IdsPipeline;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use index::shard_for_row;
+use index::{shard_for_row, IndexSnapshot};
 use linalg::Matrix;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 
@@ -177,17 +178,106 @@ struct RouterInner {
     pipeline: IdsPipeline,
     /// Detectors that are not exemplar-partitioned (unsupervised
     /// methods, classification probes) — scored on the batcher thread
-    /// while the shards work.
+    /// while the shards work. Refits swap epochs in here, exactly as
+    /// the single service does.
     resident: RwLock<FittedEngine>,
     metas: Vec<ShardedMethodMeta>,
     plan: Vec<Slot>,
-    pools: Vec<ShardPool>,
+    /// The live shard pools, swapped wholesale by
+    /// [`ShardRouter::reshard`]. Scoring snapshots the `Arc` once per
+    /// micro-batch, so a batch scattered to the old partition gathers
+    /// from the old partition even while the swap lands.
+    pools: RwLock<Arc<Vec<ShardPool>>>,
+    /// The *current* shard count — `metas[..].params.shards` keeps the
+    /// fit-time value (the partitioner seed and backend never change).
+    shards: AtomicUsize,
     method_names: Vec<String>,
     counters: Counters,
-    /// Serializes appends (and snapshot reassembly) so per-method
-    /// global ids stay dense and per-shard maps stay ascending;
-    /// scoring readers are never blocked by this lock.
+    /// Serializes appends (and snapshot reassembly, and resharding) so
+    /// per-method global ids stay dense and per-shard maps stay
+    /// ascending; scoring readers are never blocked by this lock.
     append_lock: Mutex<()>,
+    /// Bumped after every absorbed append, refit swap, and reshard —
+    /// the shared cache-invalidation / snapshot-race counter.
+    state_epoch: Arc<AtomicU64>,
+    lifecycle: Option<LifecycleState>,
+    /// Knobs + shared stop flag for building replacement pools
+    /// mid-flight (reshard).
+    shard_workers: usize,
+    pool_queue_bound: usize,
+    pool_specs: Arc<Vec<ViewSpec>>,
+    stop_pools: Arc<AtomicBool>,
+    /// Workers spawned for resharded pools; joined at shutdown.
+    extra_workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl RouterInner {
+    /// The current pool set, pinned for one operation.
+    fn pools(&self) -> Arc<Vec<ShardPool>> {
+        self.pools.read().unwrap().clone()
+    }
+
+    /// A method's partition shape at the *current* shard count.
+    fn current_params(&self, meta: &ShardedMethodMeta) -> ShardedParams {
+        ShardedParams {
+            shards: self.shards.load(Ordering::Acquire),
+            ..meta.params
+        }
+    }
+
+    /// Runs one refit over the resident engine: fit fresh templates of
+    /// every refittable detector on baseline ∪ append-log, then swap
+    /// them in under one brief write lock (the shard pools never hold
+    /// refittable detectors — neighbour methods absorb appends
+    /// directly). Mirrors the single service's refit path.
+    fn run_refit(&self) -> Result<u64, ServeError> {
+        let lc = self.lifecycle.as_ref().ok_or_else(|| {
+            ServeError::InvalidConfig(
+                "refit requires a lifecycle (spawn with ShardRouter::spawn_with_lifecycle)".into(),
+            )
+        })?;
+        let _serialized = lc.refit_lock.lock().unwrap();
+        let (lines, labels, prefix) = lc.take_training();
+        let templates: Vec<(usize, Box<dyn Detector>)> = {
+            let engine = self.resident.read().unwrap();
+            engine
+                .detectors()
+                .iter()
+                .enumerate()
+                .filter_map(|(i, det)| det.refit_template().map(|t| (i, t)))
+                .collect()
+        };
+        if templates.is_empty() {
+            lc.finish_refit(prefix);
+            return Ok(self.resident.read().unwrap().epoch());
+        }
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let views = PooledViews::build_specs(
+            &self.pipeline,
+            templates
+                .iter()
+                .map(|(_, t)| (t.wants_embeddings(), t.pooling())),
+            &refs,
+        );
+        let mut fitted = Vec::with_capacity(templates.len());
+        for (i, mut template) in templates {
+            if let Err(e) = template.fit(&views.for_detector(template.as_ref()), &labels) {
+                lc.fail_refit();
+                return Err(ServeError::Engine(format!(
+                    "refit {:?}: {e}",
+                    template.name()
+                )));
+            }
+            fitted.push((i, template));
+        }
+        let epoch = {
+            let mut engine = self.resident.write().unwrap();
+            engine.install_refits(fitted)
+        };
+        self.state_epoch.fetch_add(1, Ordering::AcqRel);
+        lc.finish_refit(prefix);
+        Ok(epoch)
+    }
 }
 
 /// A running shard router. Construct with [`ShardRouter::spawn`]; see
@@ -197,7 +287,6 @@ pub struct ShardRouter {
     client: ServiceClient,
     drain_rx: Receiver<Request>,
     stop_batchers: Arc<AtomicBool>,
-    stop_pools: Arc<AtomicBool>,
     batchers: Vec<JoinHandle<()>>,
     pool_workers: Vec<JoinHandle<()>>,
 }
@@ -218,6 +307,30 @@ impl ShardRouter {
         pipeline: IdsPipeline,
         engine: FittedEngine,
         config: RouterConfig,
+    ) -> Result<ShardRouter, ServeError> {
+        Self::spawn_inner(pipeline, engine, config, None)
+    }
+
+    /// [`ShardRouter::spawn`] with the online refit lifecycle attached:
+    /// appends are logged, merged verdicts feed the drift tracker, and
+    /// — in background mode — a refit worker re-fits the resident
+    /// unsupervised detectors and swaps the new epoch in whenever a
+    /// trigger fires (the per-shard neighbour detectors absorb appends
+    /// directly and are never refit).
+    pub fn spawn_with_lifecycle(
+        pipeline: IdsPipeline,
+        engine: FittedEngine,
+        config: RouterConfig,
+        lifecycle: LifecycleConfig,
+    ) -> Result<ShardRouter, ServeError> {
+        Self::spawn_inner(pipeline, engine, config, Some(lifecycle))
+    }
+
+    fn spawn_inner(
+        pipeline: IdsPipeline,
+        engine: FittedEngine,
+        config: RouterConfig,
+        lifecycle: Option<LifecycleConfig>,
     ) -> Result<ShardRouter, ServeError> {
         config.validate()?;
         for det in engine.detectors() {
@@ -284,39 +397,42 @@ impl ShardRouter {
 
         let stop_pools = Arc::new(AtomicBool::new(false));
         let pool_specs: Arc<Vec<ViewSpec>> = Arc::new(metas.iter().map(|m| m.spec).collect());
-        let mut pools = Vec::with_capacity(config.shards);
+        // Bounded by in-flight batches: each batcher has at most one
+        // scatter outstanding per shard.
+        let pool_queue_bound = config.serve.workers * 2;
         let mut pool_workers = Vec::new();
-        for methods in shard_methods {
-            let state = Arc::new(RwLock::new(ShardState { methods }));
-            // Bounded by in-flight batches: each batcher has at most
-            // one scatter outstanding per shard.
-            let (tx, rx) = bounded::<ShardJob>(config.serve.workers * 2);
-            for _ in 0..config.shard_workers {
-                let rx = rx.clone();
-                let state = state.clone();
-                let stop = stop_pools.clone();
-                let specs = pool_specs.clone();
-                pool_workers.push(std::thread::spawn(move || {
-                    pool_loop(&rx, &state, &stop, &specs)
-                }));
-            }
-            pools.push(ShardPool { tx, state });
-        }
+        let pools = spawn_pools(
+            shard_methods,
+            config.shard_workers,
+            pool_queue_bound,
+            &pool_specs,
+            &stop_pools,
+            &mut pool_workers,
+        );
 
+        let lifecycle = lifecycle.map(LifecycleState::new).transpose()?;
         let inner = Arc::new(RouterInner {
             pipeline,
             resident: RwLock::new(FittedEngine::from_detectors(resident)),
             metas,
             plan,
-            pools,
+            pools: RwLock::new(Arc::new(pools)),
+            shards: AtomicUsize::new(config.shards),
             method_names: method_names.clone(),
             counters: Counters::default(),
             append_lock: Mutex::new(()),
+            state_epoch: Arc::new(AtomicU64::new(0)),
+            lifecycle,
+            shard_workers: config.shard_workers,
+            pool_queue_bound,
+            pool_specs,
+            stop_pools,
+            extra_workers: Mutex::new(Vec::new()),
         });
         let (tx, rx) = bounded::<Request>(config.serve.queue_capacity);
         let gate: Arc<CloseGate> = Arc::new(RwLock::new(false));
         let stop_batchers = Arc::new(AtomicBool::new(false));
-        let batchers = (0..config.serve.workers)
+        let mut batchers: Vec<JoinHandle<()>> = (0..config.serve.workers)
             .map(|_| {
                 let inner = inner.clone();
                 let rx = rx.clone();
@@ -324,12 +440,20 @@ impl ShardRouter {
                 std::thread::spawn(move || batcher_loop(&inner, &rx, &stop, &config.serve))
             })
             .collect();
+        if inner
+            .lifecycle
+            .as_ref()
+            .is_some_and(LifecycleState::background)
+        {
+            let inner = inner.clone();
+            let stop = stop_batchers.clone();
+            batchers.push(std::thread::spawn(move || router_refit_loop(&inner, &stop)));
+        }
         Ok(ShardRouter {
             inner,
             client: ServiceClient::new(tx, gate, method_names.into()),
             drain_rx: rx,
             stop_batchers,
-            stop_pools,
             batchers,
             pool_workers,
         })
@@ -372,7 +496,7 @@ impl ShardRouter {
             .position(|meta| meta.name == method)?;
         Some(
             self.inner
-                .pools
+                .pools()
                 .iter()
                 .map(|pool| {
                     pool.state.read().unwrap().methods[m]
@@ -381,6 +505,44 @@ impl ShardRouter {
                 })
                 .collect(),
         )
+    }
+
+    /// Runs one epoch-swapped refit of the resident engine now, on the
+    /// caller's thread (see [`crate::ScoringService::refit`] — the
+    /// per-shard neighbour detectors absorb appends directly and are
+    /// never refit). Returns the resident engine epoch after the swap.
+    pub fn refit(&self) -> Result<u64, ServeError> {
+        self.inner.run_refit()
+    }
+
+    /// The resident engine's detector generation: 0 at spawn, +1 per
+    /// refit swap.
+    pub fn engine_epoch(&self) -> u64 {
+        self.inner.resident.read().unwrap().epoch()
+    }
+
+    /// The detector-state epoch: bumped on every absorbed append,
+    /// refit swap, and reshard.
+    pub fn state_epoch(&self) -> u64 {
+        self.inner.state_epoch.load(Ordering::Acquire)
+    }
+
+    /// The shared state-epoch counter, for wiring a
+    /// [`crate::VerdictCache`] onto the same invalidation source.
+    pub(crate) fn state_epoch_handle(&self) -> Arc<AtomicU64> {
+        self.inner.state_epoch.clone()
+    }
+
+    /// Lifecycle counters and trigger state; `None` when spawned
+    /// without a lifecycle.
+    pub fn lifecycle_stats(&self) -> Option<LifecycleStats> {
+        self.inner.lifecycle.as_ref().map(LifecycleState::stats)
+    }
+
+    /// The current shard count (changes only through
+    /// [`ShardRouter::reshard`]).
+    pub fn shards(&self) -> usize {
+        self.inner.shards.load(Ordering::Acquire)
     }
 
     /// Absorbs freshly-labeled supervision: lines are embedded once
@@ -419,9 +581,11 @@ impl ShardRouter {
         let views = PooledViews::build_specs(&inner.pipeline, specs, &refs);
 
         // Appends serialize with each other (dense id assignment, and
-        // per-shard maps must extend in id order); readers don't take
-        // this lock.
+        // per-shard maps must extend in id order) and with reshards
+        // (shard ownership must not move mid-batch); readers don't
+        // take this lock.
         let _guard = inner.append_lock.lock().unwrap();
+        let pools = inner.pools();
         let mut absorbed = 0usize;
         if !resident_specs.is_empty() {
             let mut engine = inner.resident.write().unwrap();
@@ -435,7 +599,7 @@ impl ShardRouter {
             // Route each row the method indexes to its owning shard,
             // assigning global ids in batch order — exactly the dense
             // numbering the unsharded detector would produce.
-            let shards = meta.params.shards;
+            let shards = inner.shards.load(Ordering::Acquire);
             let mut rows: Vec<Vec<usize>> = vec![Vec::new(); shards];
             let mut ids: Vec<Vec<usize>> = vec![Vec::new(); shards];
             {
@@ -450,7 +614,7 @@ impl ShardRouter {
                     *next += 1;
                 }
             }
-            for (s, pool) in inner.pools.iter().enumerate() {
+            for (s, pool) in pools.iter().enumerate() {
                 if rows[s].is_empty() {
                     continue;
                 }
@@ -484,6 +648,15 @@ impl ShardRouter {
             }
             absorbed += 1;
         }
+        drop(pools);
+        drop(_guard);
+        // State changed: bump the shared epoch and log the batch for
+        // the next refit's training set (same discipline as the single
+        // service).
+        inner.state_epoch.fetch_add(1, Ordering::AcqRel);
+        if let Some(lc) = &inner.lifecycle {
+            lc.record_appends(lines, labels);
+        }
         Ok(absorbed)
     }
 
@@ -492,17 +665,28 @@ impl ShardRouter {
     /// ([`ShardedDetectorState::merge`]); resident snapshot-capable
     /// detectors capture as usual. Returns the snapshot plus the names
     /// of detectors that were not capturable.
-    pub fn snapshot(&self) -> (ServiceSnapshot, Vec<String>) {
+    ///
+    /// The whole capture runs at a single consistent epoch: appends
+    /// and reshards are excluded by the append lock, every resident
+    /// detector captures under **one** engine read guard (a refit's
+    /// write-locked swap cannot interleave two resident captures), and
+    /// the state epoch is checked around the capture — a refit that
+    /// landed between the epoch read and the guard acquisition
+    /// surfaces as a typed [`ServeError::SnapshotRace`] instead of a
+    /// mixed-epoch frame.
+    pub fn snapshot(&self) -> Result<(ServiceSnapshot, Vec<String>), ServeError> {
         let inner = &*self.inner;
-        // Exclude appends for a consistent cross-shard view; scoring
-        // readers keep serving.
+        // Exclude appends + reshards for a consistent cross-shard
+        // view; scoring readers keep serving.
         let _guard = inner.append_lock.lock().unwrap();
+        let before = inner.state_epoch.load(Ordering::Acquire);
+        let pools = inner.pools();
+        let engine = inner.resident.read().unwrap();
         let mut states = Vec::new();
         let mut skipped = Vec::new();
         for slot in &inner.plan {
             match slot {
                 Slot::Resident(i) => {
-                    let engine = inner.resident.read().unwrap();
                     let det = &engine.detectors()[*i];
                     match DetectorState::capture(det.as_ref()) {
                         Some(state) => states.push(state),
@@ -511,9 +695,9 @@ impl ShardRouter {
                 }
                 Slot::Sharded(m) => {
                     let meta = &inner.metas[*m];
-                    let mut sub_states = Vec::with_capacity(inner.pools.len());
-                    let mut globals = Vec::with_capacity(inner.pools.len());
-                    for pool in &inner.pools {
+                    let mut sub_states = Vec::with_capacity(pools.len());
+                    let mut globals = Vec::with_capacity(pools.len());
+                    for pool in pools.iter() {
                         let state = pool.state.read().unwrap();
                         match &state.methods[*m] {
                             Some(slot) => {
@@ -533,7 +717,7 @@ impl ShardRouter {
                         ShardedDetectorState {
                             name: meta.name,
                             k: meta.k,
-                            params: meta.params,
+                            params: inner.current_params(meta),
                             quant: meta.quant,
                             dim: meta.dim,
                             states: sub_states,
@@ -544,7 +728,132 @@ impl ShardRouter {
                 }
             }
         }
-        (ServiceSnapshot::from_states(states), skipped)
+        drop(engine);
+        let after = inner.state_epoch.load(Ordering::Acquire);
+        if before != after {
+            return Err(ServeError::SnapshotRace { before, after });
+        }
+        Ok((ServiceSnapshot::from_states(states), skipped))
+    }
+
+    /// Splits (or merges) the live shard set to `new_shards` without
+    /// stopping the router. Appends are excluded for the duration;
+    /// scoring continues on the old partition throughout and switches
+    /// to the new one atomically — a micro-batch gathers from whichever
+    /// pool set it was scattered to, never a mix.
+    ///
+    /// Every partitioned method is reassembled
+    /// ([`ShardedDetectorState::merge`]), its exemplar rows decoded in
+    /// global-id order, and re-fitted under the new partition shape
+    /// with the *same* partitioner seed and backend — so on exact
+    /// backends the merged verdicts are bit-identical before and after
+    /// the split (partition-invariance, `tests/shard_router_parity.rs`),
+    /// and global exemplar ids are preserved exactly.
+    pub fn reshard(&self, new_shards: usize) -> Result<(), ServeError> {
+        if new_shards == 0 {
+            return Err(ServeError::InvalidConfig(
+                "shards must be >= 1 (no partition would own any exemplar)".into(),
+            ));
+        }
+        let inner = &*self.inner;
+        // Excludes appends (ownership must not move mid-batch) and
+        // other reshards; scoring readers never take this lock.
+        let _guard = inner.append_lock.lock().unwrap();
+        let old_shards = inner.shards.load(Ordering::Acquire);
+        if new_shards == old_shards {
+            return Ok(());
+        }
+        let pools = inner.pools();
+        let mut new_methods: Vec<Vec<Option<ShardSlot>>> = (0..new_shards)
+            .map(|_| Vec::with_capacity(inner.metas.len()))
+            .collect();
+        for (m, meta) in inner.metas.iter().enumerate() {
+            let mut sub_states = Vec::with_capacity(pools.len());
+            let mut globals = Vec::with_capacity(pools.len());
+            for pool in pools.iter() {
+                let state = pool.state.read().unwrap();
+                match &state.methods[m] {
+                    Some(slot) => {
+                        sub_states.push(Some(
+                            DetectorState::capture(slot.det.as_ref())
+                                .expect("neighbour sub-detectors are capturable"),
+                        ));
+                        globals.push(slot.globals.clone());
+                    }
+                    None => {
+                        sub_states.push(None);
+                        globals.push(Vec::new());
+                    }
+                }
+            }
+            let total: usize = globals.iter().map(Vec::len).sum();
+            if total == 0 {
+                for methods in &mut new_methods {
+                    methods.push(None);
+                }
+                continue;
+            }
+            let merged = ShardedDetectorState {
+                name: meta.name,
+                k: meta.k,
+                params: ShardedParams {
+                    shards: old_shards,
+                    ..meta.params
+                },
+                quant: meta.quant,
+                dim: meta.dim,
+                states: sub_states,
+                globals,
+            }
+            .merge();
+            let (rows, labels) = global_rows(&merged, meta.dim, total);
+            let config = IndexConfig::sharded(ShardedParams {
+                shards: new_shards,
+                ..meta.params
+            })
+            .with_quant(meta.quant);
+            let refit: Box<dyn Detector> = match meta.name {
+                "vanilla-knn" => Box::new(VanillaKnnMethod::from_fitted(VanillaKnn::fit_with(
+                    &rows, &labels, meta.k, config, None,
+                ))),
+                _ => Box::new(RetrievalMethod::from_fitted(RetrievalDetector::fit_with(
+                    &rows, &labels, meta.k, config, None,
+                ))),
+            };
+            let split = DetectorState::capture(refit.as_ref())
+                .expect("freshly fitted neighbour detectors are capturable")
+                .split_shards()
+                .expect("just fitted over a sharded index");
+            for ((methods, sub), map) in new_methods.iter_mut().zip(split.states).zip(split.globals)
+            {
+                methods.push(sub.map(|s| ShardSlot {
+                    det: s.restore(),
+                    globals: map,
+                }));
+            }
+        }
+        // Spawn the replacement pools and swap them in. Old pool
+        // workers drain their in-flight scatters, then exit when the
+        // last Arc to the old pool set (and with it the job senders)
+        // drops; their handles are joined at shutdown.
+        let new_pools = {
+            let mut extra = inner.extra_workers.lock().unwrap();
+            spawn_pools(
+                new_methods,
+                inner.shard_workers,
+                inner.pool_queue_bound,
+                &inner.pool_specs,
+                &inner.stop_pools,
+                &mut extra,
+            )
+        };
+        *inner.pools.write().unwrap() = Arc::new(new_pools);
+        inner.shards.store(new_shards, Ordering::Release);
+        // The partition changed shape: treat it as a detector-state
+        // change (HNSW shard graphs are rebuilt, so verdicts may
+        // legitimately differ post-split on approximate backends).
+        inner.state_epoch.fetch_add(1, Ordering::AcqRel);
+        Ok(())
     }
 
     /// Stops accepting requests, finishes in-flight micro-batches, and
@@ -564,13 +873,17 @@ impl ShardRouter {
             *closed = true;
         }
         // Batchers first (their in-flight batches still need the shard
-        // pools), pools second.
+        // pools), pools second — including any workers spawned for
+        // resharded pool sets.
         self.stop_batchers.store(true, Ordering::Release);
         for handle in self.batchers.drain(..) {
             let _ = handle.join();
         }
-        self.stop_pools.store(true, Ordering::Release);
+        self.inner.stop_pools.store(true, Ordering::Release);
         for handle in self.pool_workers.drain(..) {
+            let _ = handle.join();
+        }
+        for handle in self.inner.extra_workers.lock().unwrap().drain(..) {
             let _ = handle.join();
         }
         while self.drain_rx.try_recv().is_ok() {}
@@ -580,6 +893,81 @@ impl ShardRouter {
 impl Drop for ShardRouter {
     fn drop(&mut self) {
         self.shutdown_in_place();
+    }
+}
+
+/// Spawns one worker pool per shard over the given per-shard method
+/// slots, pushing the worker handles onto `workers_out`. Used at spawn
+/// and again by [`ShardRouter::reshard`] for replacement pool sets.
+fn spawn_pools(
+    shard_methods: Vec<Vec<Option<ShardSlot>>>,
+    shard_workers: usize,
+    queue_bound: usize,
+    specs: &Arc<Vec<ViewSpec>>,
+    stop: &Arc<AtomicBool>,
+    workers_out: &mut Vec<JoinHandle<()>>,
+) -> Vec<ShardPool> {
+    let mut pools = Vec::with_capacity(shard_methods.len());
+    for methods in shard_methods {
+        let state = Arc::new(RwLock::new(ShardState { methods }));
+        let (tx, rx) = bounded::<ShardJob>(queue_bound);
+        for _ in 0..shard_workers {
+            let rx = rx.clone();
+            let state = state.clone();
+            let stop = stop.clone();
+            let specs = specs.clone();
+            workers_out.push(std::thread::spawn(move || {
+                pool_loop(&rx, &state, &stop, &specs)
+            }));
+        }
+        pools.push(ShardPool { tx, state });
+    }
+    pools
+}
+
+/// Decodes a merged neighbour state's exemplar rows back into
+/// global-id order, plus the per-row labels a re-fit needs (all-true
+/// for retrieval, whose index holds only malicious exemplars). The
+/// quantized storage decodes losslessly — stored values are already
+/// on the quantization grid — so the re-fit re-encodes bit-identical
+/// candidates.
+fn global_rows(state: &DetectorState, dim: usize, total: usize) -> (Matrix, Vec<bool>) {
+    let (index, labels) = match state {
+        DetectorState::Retrieval { index, .. } => (index, vec![true; total]),
+        DetectorState::VanillaKnn { index, labels, .. } => (index, labels.clone()),
+    };
+    let IndexSnapshot::Sharded {
+        shards, globals, ..
+    } = index
+    else {
+        unreachable!("merge always produces a sharded manifest");
+    };
+    let mut rows: Vec<Vec<f32>> = vec![Vec::new(); total];
+    for (sub, map) in shards.iter().zip(globals) {
+        let data = match sub {
+            IndexSnapshot::Exact { data, .. } | IndexSnapshot::Hnsw { data, .. } => data,
+            IndexSnapshot::Sharded { .. } => unreachable!("shards do not nest"),
+        };
+        for (local, &g) in map.iter().enumerate() {
+            rows[g] = data.decode_row(local);
+        }
+    }
+    (Matrix::from_fn(total, dim, |r, c| rows[r][c]), labels)
+}
+
+/// The router's background refit worker (see the single service's
+/// `refit_loop` — same trigger discipline).
+fn router_refit_loop(inner: &RouterInner, stop: &AtomicBool) {
+    let Some(lc) = inner.lifecycle.as_ref() else {
+        return;
+    };
+    while !stop.load(Ordering::Acquire) {
+        if lc.refit_pending() {
+            if let Err(e) = inner.run_refit() {
+                eprintln!("serve: background refit failed: {e}");
+            }
+        }
+        std::thread::sleep(IDLE_POLL);
     }
 }
 
@@ -705,9 +1093,14 @@ fn score_micro_batch(inner: &RouterInner, lines: &[String]) -> Option<Vec<Vec<f3
         .chain(inner.metas.iter().map(|m| m.spec));
     let views = PooledViews::build_specs(&inner.pipeline, specs, &refs);
 
+    // Pin the pool set for the whole scatter/gather: a reshard that
+    // swaps the pools mid-batch cannot mix partitions — this batch
+    // completes entirely on the set it scattered to.
+    let pools = inner.pools();
+
     // Scatter to every shard pool…
     let (reply_tx, reply_rx) = mpsc::channel();
-    for (s, pool) in inner.pools.iter().enumerate() {
+    for (s, pool) in pools.iter().enumerate() {
         let job = ShardJob {
             views: views.clone(),
             shard: s,
@@ -731,7 +1124,7 @@ fn score_micro_batch(inner: &RouterInner, lines: &[String]) -> Option<Vec<Vec<f3
     };
 
     // …gather the shard answers…
-    let n_shards = inner.pools.len();
+    let n_shards = pools.len();
     let mut per_shard: Vec<Option<ShardAnswer>> = (0..n_shards).map(|_| None).collect();
     for _ in 0..n_shards {
         let (s, answer) = reply_rx.recv().ok()?;
@@ -758,7 +1151,7 @@ fn score_micro_batch(inner: &RouterInner, lines: &[String]) -> Option<Vec<Vec<f3
         .collect();
 
     // Assemble per-line verdicts in registration order.
-    let out = (0..lines.len())
+    let out: Vec<Vec<f32>> = (0..lines.len())
         .map(|i| {
             inner
                 .plan
@@ -770,6 +1163,9 @@ fn score_micro_batch(inner: &RouterInner, lines: &[String]) -> Option<Vec<Vec<f3
                 .collect()
         })
         .collect();
+    if let Some(lc) = &inner.lifecycle {
+        lc.observe_scores(observed_means(&out));
+    }
     inner.counters.record_batch(lines.len());
     Some(out)
 }

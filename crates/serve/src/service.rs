@@ -1,10 +1,12 @@
 //! The long-lived scoring service and its micro-batching workers.
 
+use crate::lifecycle::{LifecycleConfig, LifecycleState, LifecycleStats};
+use crate::snapshot::ServiceSnapshot;
 use cmdline_ids::embed::{embed_lines, Pooling};
-use cmdline_ids::engine::{EmbeddingView, EngineError, FittedEngine};
+use cmdline_ids::engine::{Detector, EmbeddingView, EngineError, FittedEngine};
 use cmdline_ids::pipeline::IdsPipeline;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -85,6 +87,19 @@ pub enum ServeError {
     /// not match the fitted detectors) — rejected at spawn instead of
     /// deadlocking or panicking downstream.
     InvalidConfig(String),
+    /// A snapshot capture raced a detector-state change (a refit epoch
+    /// swap, an append): the state epoch moved between the start and
+    /// end of the capture, so the frames could pair pre- and post-swap
+    /// state. The capture is discarded instead of persisted — retry
+    /// for a quiescent window (captures are fast relative to refits,
+    /// so a bounded retry converges; [`crate::Frontend::snapshot`]
+    /// does this).
+    SnapshotRace {
+        /// State epoch when the capture started.
+        before: u64,
+        /// State epoch when the capture finished.
+        after: u64,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -97,6 +112,11 @@ impl std::fmt::Display for ServeError {
             ServeError::Closed => write!(f, "scoring service is shut down"),
             ServeError::Engine(e) => write!(f, "engine error: {e}"),
             ServeError::InvalidConfig(why) => write!(f, "invalid serve configuration: {why}"),
+            ServeError::SnapshotRace { before, after } => write!(
+                f,
+                "snapshot raced a detector-state change (state epoch {before} -> {after}); \
+                 retry for a quiescent capture"
+            ),
         }
     }
 }
@@ -237,12 +257,26 @@ struct Inner {
     engine: RwLock<FittedEngine>,
     method_names: Vec<String>,
     counters: Counters,
+    /// The detector-state epoch: bumped after every absorbed append
+    /// and after every refit swap. Shared with an attached
+    /// [`crate::VerdictCache`] so one counter invalidates cached
+    /// verdicts across *both* kinds of state change, and checked by
+    /// snapshot captures to detect a swap that landed mid-capture.
+    state_epoch: Arc<AtomicU64>,
+    /// The online refit lifecycle, when configured at spawn.
+    lifecycle: Option<LifecycleState>,
 }
 
 impl Inner {
     /// Embeds `lines` once per pooled space the detector set reads and
     /// scores them with every resident detector. Returns one score
     /// vector per line, methods in registration order.
+    ///
+    /// The engine read lock is held across the whole micro-batch —
+    /// embed, score, transpose — which is the epoch-swap atomicity
+    /// anchor: a refit's write-locked [`FittedEngine::install_refits`]
+    /// waits for every in-flight batch, so each batch's verdicts come
+    /// entirely from one detector generation.
     fn score_lines(&self, lines: &[String]) -> Vec<Vec<f32>> {
         let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
         let engine = self.engine.read().unwrap();
@@ -257,9 +291,97 @@ impl Inner {
                 line.push(s);
             }
         }
+        drop(engine);
+        if let Some(lc) = &self.lifecycle {
+            lc.observe_scores(observed_means(&out));
+        }
         self.counters.record_batch(lines.len());
         out
     }
+
+    /// Runs one refit: fit fresh templates of every refittable
+    /// detector on baseline ∪ append-log, then swap them in under one
+    /// brief engine write lock. Scoring workers keep serving the old
+    /// epoch for the whole (expensive) embed + fit; only the swap
+    /// itself excludes them. Returns the engine epoch after the swap.
+    fn run_refit(&self) -> Result<u64, ServeError> {
+        let lc = self.lifecycle.as_ref().ok_or_else(|| {
+            ServeError::InvalidConfig(
+                "refit requires a lifecycle (spawn with ScoringService::spawn_with_lifecycle)"
+                    .into(),
+            )
+        })?;
+        // One refit at a time; a second trigger waits and then refits
+        // over the longer log, which is never wrong, just newer.
+        let _serialized = lc.refit_lock.lock().unwrap();
+        let (lines, labels, prefix) = lc.take_training();
+        // Collect templates (cheap, unfitted) under a brief read lock.
+        let templates: Vec<(usize, Box<dyn Detector>)> = {
+            let engine = self.engine.read().unwrap();
+            engine
+                .detectors()
+                .iter()
+                .enumerate()
+                .filter_map(|(i, det)| det.refit_template().map(|t| (i, t)))
+                .collect()
+        };
+        if templates.is_empty() {
+            // Nothing is refittable; still consume the trigger so a
+            // background worker does not spin on a permanently-armed
+            // trigger.
+            lc.finish_refit(prefix);
+            return Ok(self.engine.read().unwrap().epoch());
+        }
+        // Embed + fit entirely off-lock: per-line embeddings are
+        // bit-identical regardless of batch composition and the
+        // templates carry their seeds, so this reproduces exactly what
+        // a stop-the-world refit over the same history would build.
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let views = PooledViews::build_specs(
+            &self.pipeline,
+            templates
+                .iter()
+                .map(|(_, t)| (t.wants_embeddings(), t.pooling())),
+            &refs,
+        );
+        let mut fitted = Vec::with_capacity(templates.len());
+        for (i, mut template) in templates {
+            if let Err(e) = template.fit(&views.for_detector(template.as_ref()), &labels) {
+                lc.fail_refit();
+                return Err(ServeError::Engine(format!(
+                    "refit {:?}: {e}",
+                    template.name()
+                )));
+            }
+            fitted.push((i, template));
+        }
+        // The atomic swap: in-flight micro-batches (engine readers)
+        // finish on the old epoch first, then every later batch scores
+        // on the new one.
+        let epoch = {
+            let mut engine = self.engine.write().unwrap();
+            engine.install_refits(fitted)
+        };
+        // State epoch strictly after the swap: a verdict-cache insert
+        // that looked up pre-swap observes the bump and drops itself,
+        // same discipline as appends.
+        self.state_epoch.fetch_add(1, Ordering::AcqRel);
+        lc.finish_refit(prefix);
+        Ok(epoch)
+    }
+}
+
+/// Per-line mean across methods — the one-dimensional verdict stream
+/// the drift tracker watches. Shared by the service and the router so
+/// both front-ends feed the tracker identically.
+pub(crate) fn observed_means(verdicts: &[Vec<f32>]) -> impl Iterator<Item = f32> + '_ {
+    verdicts.iter().map(|v| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f32>() / v.len() as f32
+        }
+    })
 }
 
 /// What one consumer of a micro-batch's views needs: whether it reads
@@ -486,12 +608,38 @@ impl ScoringService {
         engine: FittedEngine,
         config: ServeConfig,
     ) -> Result<ScoringService, ServeError> {
+        Self::spawn_inner(pipeline, engine, config, None)
+    }
+
+    /// [`ScoringService::spawn`] with the online refit lifecycle
+    /// attached: appends are logged, scored verdicts feed the drift
+    /// tracker, and — in background mode — a refit worker re-fits the
+    /// unsupervised detectors off the accumulated stream and swaps the
+    /// new epoch in whenever a trigger fires. Manual mode
+    /// ([`LifecycleConfig::manual`]) arms the triggers but leaves
+    /// running [`ScoringService::refit`] to the caller.
+    pub fn spawn_with_lifecycle(
+        pipeline: IdsPipeline,
+        engine: FittedEngine,
+        config: ServeConfig,
+        lifecycle: LifecycleConfig,
+    ) -> Result<ScoringService, ServeError> {
+        Self::spawn_inner(pipeline, engine, config, Some(lifecycle))
+    }
+
+    fn spawn_inner(
+        pipeline: IdsPipeline,
+        engine: FittedEngine,
+        config: ServeConfig,
+        lifecycle: Option<LifecycleConfig>,
+    ) -> Result<ScoringService, ServeError> {
         config.validate()?;
         for det in engine.detectors() {
             if !det.test_aligned() {
                 return Err(ServeError::StreamStructured(det.name().to_string()));
             }
         }
+        let lifecycle = lifecycle.map(LifecycleState::new).transpose()?;
         let method_names: Arc<[String]> = engine
             .method_names()
             .into_iter()
@@ -503,11 +651,13 @@ impl ScoringService {
             engine: RwLock::new(engine),
             method_names: method_names.to_vec(),
             counters: Counters::default(),
+            state_epoch: Arc::new(AtomicU64::new(0)),
+            lifecycle,
         });
         let (tx, rx) = bounded::<Request>(config.queue_capacity);
         let gate: Arc<CloseGate> = Arc::new(RwLock::new(false));
         let stop = Arc::new(AtomicBool::new(false));
-        let workers = (0..config.workers)
+        let mut workers: Vec<JoinHandle<()>> = (0..config.workers)
             .map(|_| {
                 let inner = inner.clone();
                 let rx = rx.clone();
@@ -515,6 +665,15 @@ impl ScoringService {
                 std::thread::spawn(move || worker_loop(&inner, &rx, &stop, &config))
             })
             .collect();
+        if inner
+            .lifecycle
+            .as_ref()
+            .is_some_and(LifecycleState::background)
+        {
+            let inner = inner.clone();
+            let stop = stop.clone();
+            workers.push(std::thread::spawn(move || refit_loop(&inner, &stop)));
+        }
         Ok(ScoringService {
             inner,
             client: ServiceClient::new(tx, gate, method_names),
@@ -572,8 +731,77 @@ impl ScoringService {
             let engine = self.inner.engine.read().unwrap();
             PooledViews::build_for_append(&self.inner.pipeline, &engine, &refs)
         };
-        let mut engine = self.inner.engine.write().unwrap();
-        Ok(engine.append_each(labels, |det| views.for_detector(det))?)
+        let absorbed = {
+            let mut engine = self.inner.engine.write().unwrap();
+            engine.append_each(labels, |det| views.for_detector(det))?
+        };
+        // State changed: bump the shared epoch (cache invalidation,
+        // snapshot race detection) strictly after the write lock
+        // released, and log the batch for the next refit's training
+        // set.
+        self.inner.state_epoch.fetch_add(1, Ordering::AcqRel);
+        if let Some(lc) = &self.inner.lifecycle {
+            lc.record_appends(lines, labels);
+        }
+        Ok(absorbed)
+    }
+
+    /// Runs one refit now, on the caller's thread: fits fresh
+    /// templates of every refittable detector on baseline ∪ append-log
+    /// and swaps them in atomically (see [`FittedEngine::install_refits`]).
+    /// In-flight micro-batches finish on the old epoch; no line is
+    /// dropped or double-scored across the swap. Returns the engine
+    /// epoch after the swap. Requires a lifecycle
+    /// ([`ScoringService::spawn_with_lifecycle`]).
+    pub fn refit(&self) -> Result<u64, ServeError> {
+        self.inner.run_refit()
+    }
+
+    /// The resident engine's detector generation (see
+    /// [`FittedEngine::epoch`]): 0 at spawn, +1 per refit swap.
+    pub fn engine_epoch(&self) -> u64 {
+        self.inner.engine.read().unwrap().epoch()
+    }
+
+    /// The detector-state epoch: bumped on every absorbed append *and*
+    /// every refit swap — the counter an attached verdict cache
+    /// invalidates by.
+    pub fn state_epoch(&self) -> u64 {
+        self.inner.state_epoch.load(Ordering::Acquire)
+    }
+
+    /// The shared state-epoch counter, for wiring a
+    /// [`crate::VerdictCache`] onto the same invalidation source.
+    pub(crate) fn state_epoch_handle(&self) -> Arc<AtomicU64> {
+        self.inner.state_epoch.clone()
+    }
+
+    /// Lifecycle counters and trigger state; `None` when spawned
+    /// without a lifecycle.
+    pub fn lifecycle_stats(&self) -> Option<LifecycleStats> {
+        self.inner.lifecycle.as_ref().map(LifecycleState::stats)
+    }
+
+    /// Captures the persistable detector state at a single consistent
+    /// epoch. The capture runs under the engine read lock — a refit's
+    /// write-locked swap cannot interleave — and the state epoch is
+    /// checked around the lock acquisition: if an append or refit
+    /// landed between reading `before` and finishing the capture, the
+    /// capture is discarded with a typed
+    /// [`ServeError::SnapshotRace`] instead of persisting frames whose
+    /// epoch is ambiguous. Returns the snapshot plus the names of
+    /// detectors that were not capturable.
+    pub fn snapshot(&self) -> Result<(ServiceSnapshot, Vec<String>), ServeError> {
+        let before = self.state_epoch();
+        let captured = {
+            let engine = self.inner.engine.read().unwrap();
+            ServiceSnapshot::capture(&engine)
+        };
+        let after = self.state_epoch();
+        if before != after {
+            return Err(ServeError::SnapshotRace { before, after });
+        }
+        Ok(captured)
     }
 
     /// Runs `f` over the resident fitted engine (snapshot capture,
@@ -738,5 +966,24 @@ fn worker_loop(inner: &Inner, rx: &Receiver<Request>, stop: &AtomicBool, config:
             }
             Err(_) => drop(requests),
         }
+    }
+}
+
+/// The background refit worker: polls the lifecycle triggers and runs
+/// [`Inner::run_refit`] whenever one is armed. A failed refit disarms
+/// its trigger (the engine keeps serving the old epoch and the append
+/// log stays unconsumed), so a persistently-broken fit logs once per
+/// trigger instead of hot-looping.
+fn refit_loop(inner: &Inner, stop: &AtomicBool) {
+    let Some(lc) = inner.lifecycle.as_ref() else {
+        return;
+    };
+    while !stop.load(Ordering::Acquire) {
+        if lc.refit_pending() {
+            if let Err(e) = inner.run_refit() {
+                eprintln!("serve: background refit failed: {e}");
+            }
+        }
+        std::thread::sleep(IDLE_POLL);
     }
 }

@@ -124,6 +124,9 @@ impl From<&crate::ServeError> for WireErrorKind {
             crate::ServeError::Closed => WireErrorKind::Closed,
             crate::ServeError::Engine(_) => WireErrorKind::Engine,
             crate::ServeError::InvalidConfig(_) => WireErrorKind::InvalidConfig,
+            // A snapshot that raced an append or refit swap is
+            // transient: the client retries, same as a full queue.
+            crate::ServeError::SnapshotRace { .. } => WireErrorKind::Busy,
         }
     }
 }

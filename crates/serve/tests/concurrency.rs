@@ -2,7 +2,12 @@
 //! deliberately tiny bounded queue never deadlock, and every submitted
 //! line gets exactly one score — bit-identical to a quiet
 //! single-threaded reference on the exact backend, whatever
-//! micro-batch each line landed in.
+//! micro-batch each line landed in. A second harness races appends and
+//! snapshots against the score traffic and pins convergence to a
+//! quiet comparator with the same append history.
+//!
+//! `SERVE_STRESS_ITERS=N` multiplies the per-producer quotas for the
+//! release-mode CI stress job.
 
 use cmdline_ids::embed::Pooling;
 use cmdline_ids::engine::{EmbeddingStore, ScoringEngine};
@@ -11,7 +16,8 @@ use corpus::dedup_records;
 use ids_rules::RuleIds;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serve::{ScoringService, ServeConfig};
+use serve::{ScoringService, ServeConfig, ServeError};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 use std::time::Duration;
 
@@ -19,6 +25,15 @@ use anomaly::{RetrievalMethod, VanillaKnnMethod};
 
 const PRODUCERS: usize = 8;
 const LINES_PER_PRODUCER: usize = 40;
+
+/// Iteration multiplier for the CI stress job.
+fn stress_factor() -> usize {
+    std::env::var("SERVE_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&f| f >= 1)
+        .unwrap_or(1)
+}
 
 fn service_fixture() -> (IdsPipeline, Vec<String>, Vec<bool>, Vec<String>) {
     let mut config = PipelineConfig::fast();
@@ -87,11 +102,12 @@ fn concurrent_producers_get_exactly_one_score_per_line() {
             let client = client.clone();
             let barrier = &barrier;
             let lines = &lines;
+            let quota = LINES_PER_PRODUCER * stress_factor();
             handles.push(scope.spawn(move || {
                 barrier.wait();
                 let mut got: Vec<(String, Vec<f32>)> = Vec::new();
                 let mut i = p * 31 % lines.len();
-                while got.len() < LINES_PER_PRODUCER {
+                while got.len() < quota {
                     if (got.len() + p).is_multiple_of(3) {
                         // Small batch of 3.
                         let batch: Vec<String> = (0..3)
@@ -139,6 +155,132 @@ fn concurrent_producers_get_exactly_one_score_per_line() {
         stats.batches <= stats.lines,
         "batches can never exceed lines"
     );
+    service.shutdown();
+}
+
+#[test]
+fn appends_and_snapshots_race_scores_without_deadlock() {
+    let (pipeline, train_lines, labels, lines) = service_fixture();
+    let store = EmbeddingStore::new(&pipeline);
+    let train = store.view_of(&train_lines, Pooling::Mean);
+    let fit = || {
+        ScoringEngine::new()
+            .register(Box::new(RetrievalMethod::new(1)))
+            .register(Box::new(VanillaKnnMethod::new(3)))
+            .fit(&train, &labels)
+            .expect("fit succeeds")
+    };
+    let bursts: Vec<(Vec<String>, Vec<bool>)> = (0..4 * stress_factor())
+        .map(|r| {
+            let start = (r * 7) % (lines.len() - 6);
+            let burst: Vec<String> = lines[start..start + 6].to_vec();
+            let labels: Vec<bool> = (0..6).map(|j| (r + j).is_multiple_of(2)).collect();
+            (burst, labels)
+        })
+        .collect();
+
+    // Quiet comparator: the same append history, no racing traffic.
+    let comparator =
+        ScoringService::spawn(pipeline.clone(), fit(), ServeConfig::default()).expect("spawns");
+    for (burst, burst_labels) in &bursts {
+        comparator
+            .append(burst, burst_labels)
+            .expect("quiet append");
+    }
+    let want: Vec<Vec<f32>> = comparator.score_batch(&lines).expect("comparator scores");
+    comparator.shutdown();
+
+    let service = ScoringService::spawn(
+        pipeline,
+        fit(),
+        ServeConfig {
+            queue_capacity: 4,
+            max_batch: 16,
+            batch_window: Duration::from_micros(500),
+            workers: 3,
+        },
+    )
+    .expect("service spawns");
+
+    // Writers and readers on the same barrier: appends mutate the
+    // indexes and bump the state epoch while producers stream scores
+    // and a snapshotter captures — every capture must be a single
+    // epoch or a typed race, and nobody may deadlock on the tiny
+    // queue.
+    let barrier = Barrier::new(PRODUCERS + 2);
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let client = service.client();
+            let (barrier, lines) = (&barrier, &lines);
+            let quota = LINES_PER_PRODUCER * stress_factor();
+            handles.push(scope.spawn(move || {
+                barrier.wait();
+                let mut seen = 0usize;
+                let mut i = p * 13 % lines.len();
+                while seen < quota {
+                    let batch: Vec<String> = (0..3)
+                        .map(|j| lines[(i + j) % lines.len()].clone())
+                        .collect();
+                    let replies = client.score_batch(&batch).expect("service alive");
+                    assert_eq!(replies.len(), batch.len(), "one reply per line");
+                    for verdict in &replies {
+                        assert_eq!(verdict.len(), 2, "every method answers");
+                    }
+                    seen += replies.len();
+                    i = (i + 3) % lines.len();
+                }
+                seen
+            }));
+        }
+        let appender = scope.spawn(|| {
+            barrier.wait();
+            for (burst, burst_labels) in &bursts {
+                let absorbed = service.append(burst, burst_labels).expect("racing append");
+                assert_eq!(absorbed, 2, "both neighbour indexes absorb");
+            }
+            done.store(true, Ordering::Release);
+        });
+        let snapshotter = scope.spawn(|| {
+            barrier.wait();
+            let (mut clean, mut raced) = (0usize, 0usize);
+            loop {
+                let finished = done.load(Ordering::Acquire);
+                match service.snapshot() {
+                    Ok(_) => clean += 1,
+                    Err(ServeError::SnapshotRace { before, after }) => {
+                        assert!(after > before, "race implies an advancing epoch");
+                        raced += 1;
+                    }
+                    Err(other) => panic!("snapshot failed with a non-race error: {other}"),
+                }
+                if finished {
+                    break;
+                }
+            }
+            (clean, raced)
+        });
+        let mut total = 0usize;
+        for handle in handles {
+            total += handle.join().expect("producer survived");
+        }
+        appender.join().expect("appender survived");
+        let (clean, _raced) = snapshotter.join().expect("snapshotter survived");
+        assert!(total >= PRODUCERS * LINES_PER_PRODUCER * stress_factor());
+        // The loop's last capture runs after the final append, so a
+        // consistent snapshot is guaranteed at least once.
+        assert!(clean >= 1, "no consistent snapshot amid racing appends");
+    });
+
+    // Converged: once the appends have all landed, the racy service is
+    // the quiet comparator, bit for bit.
+    let got: Vec<Vec<f32>> = service.score_batch(&lines).expect("post-race scores");
+    assert_eq!(
+        got, want,
+        "append-racing-score history diverged from quiet appends"
+    );
+    assert_eq!(service.state_epoch(), bursts.len() as u64);
     service.shutdown();
 }
 

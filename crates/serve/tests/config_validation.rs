@@ -80,22 +80,8 @@ fn net_zero_knobs_are_rejected_with_typed_errors() {
     let ok = NetConfig::default();
     assert!(ok.validate().is_ok());
 
-    invalid(
-        NetConfig {
-            port: 0,
-            ..ok
-        }
-        .validate(),
-        "port",
-    );
-    invalid(
-        NetConfig {
-            backlog: 0,
-            ..ok
-        }
-        .validate(),
-        "backlog",
-    );
+    invalid(NetConfig { port: 0, ..ok }.validate(), "port");
+    invalid(NetConfig { backlog: 0, ..ok }.validate(), "backlog");
     invalid(
         NetConfig {
             max_connections: 0,

@@ -1,0 +1,96 @@
+//! Property pins for the score-distribution-shift tracker: the drift
+//! trigger is a pure function of the observed score sequence, so
+//! every claim below is a theorem over arbitrary inputs, not a tuning
+//! accident.
+//!
+//! * **Deterministic**: two trackers fed the same sequence agree
+//!   bit-for-bit at every step, and batched observation is exactly
+//!   the per-score loop.
+//! * **No false fire**: replaying the reference window verbatim as
+//!   the current window yields a statistic of exactly `0.0` — the
+//!   trigger can never fire on an identical distribution, however
+//!   tight the threshold.
+//! * **No missed fire**: a current window wholly outside the
+//!   reference's range drives the statistic past any configured
+//!   threshold (the `PSI_EPS` floor makes complete separation score
+//!   ~`ln(1/EPS)` per unit of moved mass).
+
+use proptest::prelude::*;
+use serve::{DriftConfig, DriftDetector};
+
+const WINDOW: usize = 16;
+
+fn config(bins: usize, threshold: f32) -> DriftConfig {
+    DriftConfig {
+        window: WINDOW,
+        bins,
+        threshold,
+        append_threshold: 0,
+    }
+}
+
+proptest! {
+    #[test]
+    fn identical_streams_agree_bit_for_bit(
+        scores in prop::collection::vec(-50.0f32..50.0, 3 * WINDOW),
+        bins in 2usize..=8,
+        threshold in 0.01f32..2.0,
+    ) {
+        let mut a = DriftDetector::new(config(bins, threshold)).expect("valid config");
+        let mut b = DriftDetector::new(config(bins, threshold)).expect("valid config");
+        for &s in &scores {
+            a.observe(s);
+            b.observe(s);
+            prop_assert_eq!(a.statistic(), b.statistic());
+            prop_assert_eq!(a.fired(), b.fired());
+        }
+        // Batched observation is exactly the loop above.
+        let mut c = DriftDetector::new(config(bins, threshold)).expect("valid config");
+        c.observe_batch(&scores);
+        prop_assert_eq!(c.statistic(), a.statistic());
+        prop_assert_eq!(c.fired(), a.fired());
+        prop_assert_eq!(c.observations(), a.observations());
+    }
+
+    #[test]
+    fn identical_distribution_never_fires(
+        window in prop::collection::vec(-50.0f32..50.0, WINDOW),
+        bins in 2usize..=8,
+    ) {
+        // The tightest threshold the config validator admits still
+        // must not fire when the current window replays the reference
+        // verbatim: the statistic is exactly zero, not merely small.
+        let mut tracker = DriftDetector::new(config(bins, f32::MIN_POSITIVE))
+            .expect("valid config");
+        tracker.observe_batch(&window);
+        // Reference alone must not compare yet.
+        prop_assert_eq!(tracker.statistic(), None);
+        tracker.observe_batch(&window);
+        prop_assert_eq!(tracker.statistic(), Some(0.0));
+        prop_assert!(!tracker.fired());
+    }
+
+    #[test]
+    fn complete_separation_always_fires(
+        reference in prop::collection::vec(0.0f32..1.0, WINDOW),
+        offset in 2.0f32..100.0,
+        bins in 2usize..=8,
+        threshold in 0.01f32..5.0,
+    ) {
+        let mut tracker = DriftDetector::new(config(bins, threshold)).expect("valid config");
+        tracker.observe_batch(&reference);
+        prop_assert!(!tracker.fired(), "must not fire before both windows fill");
+        let shifted: Vec<f32> = reference.iter().map(|&s| s + offset).collect();
+        tracker.observe_batch(&shifted);
+        let statistic = tracker.statistic().expect("both windows full");
+        prop_assert!(
+            statistic > threshold,
+            "complete separation scored {statistic} <= threshold {threshold}"
+        );
+        prop_assert!(tracker.fired());
+        // reset() restarts the reference; the trigger disarms.
+        tracker.reset();
+        prop_assert_eq!(tracker.statistic(), None);
+        prop_assert!(!tracker.fired());
+    }
+}

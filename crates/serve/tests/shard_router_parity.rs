@@ -150,7 +150,7 @@ fn router_snapshot_cold_starts_all_shards_without_construction() {
         .map(|l| router.score_line(l).expect("warm router scores"))
         .collect();
 
-    let (snapshot, skipped) = router.snapshot();
+    let (snapshot, skipped) = router.snapshot().expect("no appends in flight");
     assert_eq!(snapshot.len(), 2, "both neighbour methods captured");
     assert_eq!(skipped, ["pca"], "resident pca refits from data");
     let bytes = snapshot.to_bytes();
@@ -241,7 +241,7 @@ fn quantized_shards_serve_identically_to_the_quantized_unsharded_service() {
     // the service-snapshot version to 2, so a pre-quantization reader
     // fails with a typed version error instead of a mid-payload tag
     // error.
-    let (snapshot, _) = router.snapshot();
+    let (snapshot, _) = router.snapshot().expect("no appends in flight");
     let bytes = snapshot.to_bytes();
     assert_eq!(
         u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
@@ -258,6 +258,152 @@ fn quantized_shards_serve_identically_to_the_quantized_unsharded_service() {
         assert_eq!(split.quant, quant, "{}", det.name());
     }
     service.shutdown();
+    router.shutdown();
+}
+
+#[test]
+fn live_reshard_is_bit_identical_to_stop_the_world() {
+    const NEW_SHARDS: usize = 5;
+    const PRODUCERS: usize = 4;
+    let (pipeline, train_lines, labels, test_lines) = fixture();
+    let burst: Vec<String> = test_lines.iter().rev().take(10).cloned().collect();
+    let burst_labels = vec![
+        true, false, false, true, true, false, true, false, true, false,
+    ];
+
+    // Stop-the-world comparator: quiesce, split 3 → 5, then append.
+    let quiet = ShardRouter::spawn(
+        pipeline.clone(),
+        fit(
+            &pipeline,
+            &train_lines,
+            &labels,
+            IndexConfig::Exact.with_shards(SHARDS),
+        ),
+        RouterConfig::with_shards(SHARDS),
+    )
+    .expect("comparator router spawns");
+    assert_eq!(quiet.shards(), SHARDS);
+    quiet.reshard(NEW_SHARDS).expect("quiet split");
+    assert_eq!(quiet.shards(), NEW_SHARDS);
+    quiet.append(&burst, &burst_labels).expect("quiet append");
+    let want: Vec<Vec<f32>> = quiet.score_batch(&test_lines).expect("comparator scores");
+    quiet.shutdown();
+
+    // Under test: the same split races live score traffic and an
+    // append submitted mid-split (appends serialize with the split on
+    // the ownership lock; whichever order they land in, exact
+    // backends are partition-invariant and global exemplar ids are
+    // dense by arrival, so the converged state is identical).
+    let live = ShardRouter::spawn(
+        pipeline.clone(),
+        fit(
+            &pipeline,
+            &train_lines,
+            &labels,
+            IndexConfig::Exact.with_shards(SHARDS),
+        ),
+        RouterConfig::with_shards(SHARDS),
+    )
+    .expect("live router spawns");
+    let barrier = std::sync::Barrier::new(PRODUCERS + 2);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let client = live.client();
+            let (barrier, test_lines) = (&barrier, &test_lines);
+            handles.push(scope.spawn(move || {
+                let mine: Vec<String> = test_lines
+                    .iter()
+                    .skip(p)
+                    .step_by(PRODUCERS)
+                    .take(40)
+                    .cloned()
+                    .collect();
+                barrier.wait();
+                let mut seen = 0usize;
+                for chunk in mine.chunks(4) {
+                    let replies = client.score_batch(chunk).expect("router alive mid-split");
+                    assert_eq!(replies.len(), chunk.len(), "one reply per line");
+                    for verdict in &replies {
+                        assert_eq!(verdict.len(), 3, "every method answers mid-split");
+                    }
+                    seen += replies.len();
+                }
+                seen
+            }));
+        }
+        let appender = scope.spawn(|| {
+            barrier.wait();
+            live.append(&burst, &burst_labels)
+                .expect("append lands mid-split")
+        });
+        barrier.wait();
+        live.reshard(NEW_SHARDS).expect("live split");
+        let mut total = 0usize;
+        for handle in handles {
+            total += handle.join().expect("producer survived the split");
+        }
+        let expected: usize = (0..PRODUCERS)
+            .map(|p| {
+                test_lines
+                    .iter()
+                    .skip(p)
+                    .step_by(PRODUCERS)
+                    .take(40)
+                    .count()
+            })
+            .sum();
+        assert_eq!(total, expected, "a line was dropped or double-scored");
+        assert_eq!(appender.join().expect("appender survived"), 2);
+    });
+    assert_eq!(live.shards(), NEW_SHARDS);
+
+    // The new partition actually owns every exemplar — baseline and
+    // the mid-split burst — across 5 shards.
+    let counts = live
+        .shard_row_counts("vanilla-knn")
+        .expect("vanilla-knn is partitioned");
+    assert_eq!(counts.len(), NEW_SHARDS);
+    assert_eq!(
+        counts.iter().sum::<usize>(),
+        train_lines.len() + burst.len()
+    );
+    assert!(
+        counts.iter().filter(|&&c| c > 0).count() >= 2,
+        "the re-partition left everything on one shard: {counts:?}"
+    );
+
+    // Converged: live split + racing append ≡ stop-the-world, bit for
+    // bit, and the router keeps absorbing supervision afterwards.
+    let got = live.score_batch(&test_lines).expect("post-split scores");
+    assert_eq!(got, want, "live reshard diverged from stop-the-world");
+    live.append(&test_lines[..4], &[true, false, true, false])
+        .expect("post-split append");
+    live.shutdown();
+}
+
+#[test]
+fn reshard_rejects_zero_shards() {
+    let (pipeline, train_lines, labels, _) = fixture();
+    let router = ShardRouter::spawn(
+        pipeline.clone(),
+        fit(
+            &pipeline,
+            &train_lines,
+            &labels,
+            IndexConfig::Exact.with_shards(SHARDS),
+        ),
+        RouterConfig::with_shards(SHARDS),
+    )
+    .expect("router spawns");
+    assert!(matches!(
+        router.reshard(0),
+        Err(ServeError::InvalidConfig(_))
+    ));
+    // Resharding to the current count is a no-op, not an error.
+    router.reshard(SHARDS).expect("no-op reshard");
+    assert_eq!(router.shards(), SHARDS);
     router.shutdown();
 }
 

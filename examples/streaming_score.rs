@@ -168,7 +168,7 @@ fn main() {
     );
 
     // 4. Persistence: snapshot, cold-start, verify verdict parity.
-    let (snapshot, skipped) = front.snapshot();
+    let (snapshot, skipped) = front.snapshot().expect("no appends in flight");
     assert!(skipped.is_empty());
     let path = std::env::temp_dir().join(format!("streaming-score-{}.bin", std::process::id()));
     snapshot.save(&path).expect("snapshot saves");
