@@ -321,6 +321,15 @@ pub trait Detector: Send + Sync {
     fn test_aligned(&self) -> bool {
         true
     }
+
+    /// Bytes of fitted state this detector keeps resident (candidate
+    /// storage, norms, graph adjacency). `None` when the method holds
+    /// no accountable fitted state — unfitted, or not index-backed.
+    /// This is what a memory-budgeted tenant map charges a hot tenant
+    /// for (`serve::tenants`).
+    fn resident_bytes(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Shared fit-input validation: non-empty training view, one label
@@ -627,6 +636,10 @@ impl Detector for RetrievalMethod {
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
+
+    fn resident_bytes(&self) -> Option<usize> {
+        self.fitted.as_ref().map(|f| f.index().resident_bytes())
+    }
 }
 
 /// Majority-vote [`VanillaKnn`] (the label-noise ablation) behind the
@@ -731,6 +744,12 @@ impl Detector for VanillaKnnMethod {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn resident_bytes(&self) -> Option<usize> {
+        self.fitted
+            .as_ref()
+            .map(|f| f.index().resident_bytes() + f.labels().len())
     }
 }
 

@@ -1,0 +1,300 @@
+//! Scale bench + acceptance gates for the multi-tenant tier
+//! (`serve::tenants`): 10k synthetic tenants under Zipf traffic must
+//! converge inside the configured memory envelope, per-tenant
+//! verdicts must stay **bit-identical** to a dedicated single-tenant
+//! service on exact backends, and serving a hot tenant must beat the
+//! cold-tier rebuild-on-touch path by at least 2× — otherwise the
+//! tiering is pure overhead.
+//!
+//! Measurements (persisted to `BENCH_tenants.json`, with a summary
+//! co-written into the `tenants` section of `BENCH_serve.json` beside
+//! the micro-batching / net / lifecycle figures):
+//!
+//! * **Zipf convergence** — accounted bytes vs budget after a skewed
+//!   traffic replay over all 10k tenants (promotions, demotions, and
+//!   evictions counted);
+//! * **hot vs cold throughput** — scoring a resident tenant vs
+//!   demote-then-score (every touch pays the deserialize + graph
+//!   rebuild), the ratio the ≥2× gate holds over;
+//! * **exact parity** — a 512-tenant sweep on the exact backend with
+//!   interleaved demotions, each tenant checked bit-for-bit against
+//!   its dedicated engine.
+
+use bench::perf;
+use cmdline_ids::engine::{
+    Detector, EmbeddingView, FittedEngine, IndexConfig, MethodScores, Quantization,
+};
+use corpus::ZipfSampler;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use linalg::rng::randn;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serve::{TenantConfig, TenantId, TenantService};
+use std::time::Instant;
+
+use anomaly::{RetrievalMethod, VanillaKnnMethod};
+
+/// 10k tenants is the scale gate the issue names.
+const TENANTS: u64 = 10_000;
+/// Per-tenant exemplar partition shape: modest on purpose — the bench
+/// stresses the *map* (tiering, eviction, routing), not one index —
+/// but big enough that a graph rebuild visibly costs more than a
+/// resident-graph search (the ≥2× gate's premise).
+const ROWS: usize = 64;
+const DIM: usize = 16;
+/// Zipf replay length over the tenant population.
+const DRAWS: usize = 20_000;
+/// Queries per scoring touch.
+const BATCH: usize = 4;
+/// The envelope: far below the all-hot working set (forcing steady
+/// eviction) and above the all-cold floor (so convergence is
+/// achievable, which the bench asserts rather than assumes).
+const BUDGET: usize = 24 << 20;
+
+fn tenant_view(seed: u64) -> (EmbeddingView, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let matrix = randn(&mut rng, ROWS, DIM, 1.0);
+    let labels = (0..ROWS).map(|i| i % 3 == 0).collect();
+    (EmbeddingView::from_matrix(matrix), labels)
+}
+
+fn query_view(seed: u64) -> EmbeddingView {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD_EF01);
+    EmbeddingView::from_matrix(randn(&mut rng, BATCH, DIM, 1.0))
+}
+
+fn dedicated(config: &TenantConfig, view: &EmbeddingView, labels: &[bool]) -> FittedEngine {
+    let mut detectors: Vec<Box<dyn Detector>> = vec![
+        Box::new(RetrievalMethod::with_index(
+            config.retrieval_k,
+            config.index,
+        )),
+        Box::new(VanillaKnnMethod::with_index(config.knn_k, config.index)),
+    ];
+    for det in &mut detectors {
+        det.fit(view, labels).expect("dedicated fit succeeds");
+    }
+    FittedEngine::from_detectors(detectors)
+}
+
+fn score_dedicated(engine: &FittedEngine, view: &EmbeddingView) -> Vec<Vec<f32>> {
+    let run = engine.score_each(|_| view.clone());
+    transpose(run.outputs(), view.len())
+}
+
+fn transpose(outputs: &[MethodScores], n: usize) -> Vec<Vec<f32>> {
+    let mut out = vec![Vec::with_capacity(outputs.len()); n];
+    for method in outputs {
+        for (line, &s) in out.iter_mut().zip(&method.scores) {
+            line.push(s);
+        }
+    }
+    out
+}
+
+fn bench_tenant_scale(c: &mut Criterion) {
+    let config = TenantConfig {
+        groups: 8,
+        index: IndexConfig::hnsw().with_quant(Quantization::I8),
+        mem_budget: BUDGET,
+        ..TenantConfig::default()
+    };
+
+    // ── Populate: 10k tenants, each with its own exemplar partition. ──
+    let svc = TenantService::new(config).expect("valid config");
+    let t0 = Instant::now();
+    for t in 0..TENANTS {
+        let (view, labels) = tenant_view(1_000 + t);
+        svc.create_tenant_from_view(TenantId(t), &view, &labels)
+            .expect("create succeeds");
+    }
+    let t_populate = t0.elapsed();
+    let after_create = svc.stats();
+    println!(
+        "tenants/populate: {TENANTS} tenants ({ROWS}×{DIM} each) in {t_populate:.2?} — \
+         {} hot / {} cold, {:.1} MiB accounted vs {:.1} MiB budget",
+        after_create.hot,
+        after_create.cold,
+        after_create.accounted_bytes as f64 / (1 << 20) as f64,
+        BUDGET as f64 / (1 << 20) as f64,
+    );
+
+    // ── Zipf replay: skewed traffic over the whole population. ──
+    let sampler = ZipfSampler::new(TENANTS as usize, 1.1);
+    let mut rng = StdRng::seed_from_u64(99);
+    let t0 = Instant::now();
+    for i in 0..DRAWS {
+        let t = sampler.sample(&mut rng) as u64;
+        let queries = query_view(i as u64);
+        let scores = svc
+            .score_view(TenantId(t), &queries)
+            .expect("score succeeds");
+        black_box(scores);
+    }
+    let t_replay = t0.elapsed();
+    let stats = svc.stats();
+    let replay_lines_per_s = (DRAWS * BATCH) as f64 / t_replay.as_secs_f64();
+    println!(
+        "tenants/zipf: {DRAWS} touches ({BATCH} lines each) in {t_replay:.2?} \
+         ({replay_lines_per_s:.0} lines/s) — {} promotions, {} evictions, \
+         {} hot / {} cold, {:.1} MiB accounted",
+        stats.promotions,
+        stats.evictions,
+        stats.hot,
+        stats.cold,
+        stats.accounted_bytes as f64 / (1 << 20) as f64,
+    );
+
+    // GATE 1: converged within the envelope.
+    assert!(
+        stats.accounted_bytes <= BUDGET,
+        "accounted {} B exceeds the {} B budget after convergence",
+        stats.accounted_bytes,
+        BUDGET
+    );
+    assert!(stats.evictions > 0, "the envelope never forced an eviction");
+
+    // The envelope only means something when it sits above the
+    // all-cold floor — measure the floor by shedding everything.
+    for t in 0..TENANTS {
+        svc.demote(TenantId(t)).expect("demote succeeds");
+    }
+    let floor = svc.stats().accounted_bytes;
+    println!(
+        "tenants/floor: all-cold floor {:.1} MiB (budget {:.1} MiB)",
+        floor as f64 / (1 << 20) as f64,
+        BUDGET as f64 / (1 << 20) as f64,
+    );
+    assert!(floor <= BUDGET, "all-cold floor above the budget");
+
+    // ── Hot vs cold throughput on one tenant. ──
+    let probe = TenantId(0);
+    let queries = query_view(7_777);
+    let warm = svc.score_view(probe, &queries).expect("warm-up score");
+    black_box(warm);
+
+    let hot_iters = 400usize;
+    let t0 = Instant::now();
+    for _ in 0..hot_iters {
+        black_box(svc.score_view(probe, &queries).expect("hot score"));
+    }
+    let t_hot = t0.elapsed();
+    let hot_lines_per_s = (hot_iters * BATCH) as f64 / t_hot.as_secs_f64();
+
+    let cold_iters = 100usize;
+    let t0 = Instant::now();
+    for _ in 0..cold_iters {
+        svc.demote(probe).expect("demote succeeds");
+        black_box(svc.score_view(probe, &queries).expect("cold score"));
+    }
+    let t_cold = t0.elapsed();
+    let cold_lines_per_s = (cold_iters * BATCH) as f64 / t_cold.as_secs_f64();
+    let hot_over_cold = hot_lines_per_s / cold_lines_per_s;
+    println!(
+        "tenants/tiering: hot {hot_lines_per_s:.0} lines/s vs rebuild-on-touch \
+         {cold_lines_per_s:.0} lines/s — {hot_over_cold:.1}× hot advantage"
+    );
+
+    // GATE 2: the hot tier must earn its residency.
+    assert!(
+        hot_over_cold >= 2.0,
+        "hot tier only {hot_over_cold:.2}× over cold rebuild-on-touch (gate: ≥2×)"
+    );
+
+    // ── Exact-backend parity sweep with interleaved demotions. ──
+    let exact_config = TenantConfig {
+        groups: 8,
+        index: IndexConfig::Exact,
+        mem_budget: BUDGET,
+        ..TenantConfig::default()
+    };
+    let parity_tenants = 512u64;
+    let exact = TenantService::new(exact_config).expect("valid config");
+    let mut parity_rng = StdRng::seed_from_u64(5);
+    let mut checked = 0usize;
+    for t in 0..parity_tenants {
+        let (view, labels) = tenant_view(50_000 + t);
+        exact
+            .create_tenant_from_view(TenantId(t), &view, &labels)
+            .expect("create succeeds");
+        let mirror = dedicated(&exact_config, &view, &labels);
+        let queries = query_view(60_000 + t);
+        if parity_rng.gen_bool(0.5) {
+            exact.demote(TenantId(t)).expect("demote succeeds");
+        }
+        let got = exact
+            .score_view(TenantId(t), &queries)
+            .expect("score succeeds");
+        // GATE 3: bit-identical to the dedicated single-tenant service.
+        assert_eq!(
+            got,
+            score_dedicated(&mirror, &queries),
+            "tenant {t} diverged from its dedicated engine"
+        );
+        checked += 1;
+    }
+    println!(
+        "tenants/parity: {checked} exact-backend tenants bit-identical to dedicated engines \
+         (half demoted mid-sweep)"
+    );
+
+    // ── Persist the record + the BENCH_serve.json summary section. ──
+    let mut record = perf::Value::object();
+    record
+        .push("tenants", perf::Value::Int(TENANTS as i64))
+        .push("rows_per_tenant", perf::Value::Int(ROWS as i64))
+        .push("dim", perf::Value::Int(DIM as i64))
+        .push("budget_bytes", perf::Value::Int(BUDGET as i64))
+        .push(
+            "accounted_bytes",
+            perf::Value::Int(stats.accounted_bytes as i64),
+        )
+        .push("zipf_draws", perf::Value::Int(DRAWS as i64))
+        .push("replay_lines_per_s", perf::Value::Float(replay_lines_per_s))
+        .push("promotions", perf::Value::Int(stats.promotions as i64))
+        .push("demotions", perf::Value::Int(stats.demotions as i64))
+        .push("evictions", perf::Value::Int(stats.evictions as i64))
+        .push("hot_tenants", perf::Value::Int(stats.hot as i64))
+        .push("hot_lines_per_s", perf::Value::Float(hot_lines_per_s))
+        .push("cold_lines_per_s", perf::Value::Float(cold_lines_per_s))
+        .push("hot_over_cold", perf::Value::Float(hot_over_cold))
+        .push("parity_tenants", perf::Value::Int(checked as i64))
+        .push("gate_within_budget", perf::Value::Bool(true))
+        .push("gate_hot_2x_cold", perf::Value::Bool(true))
+        .push(
+            "gate_parity",
+            perf::Value::Str("bit-identical to dedicated".into()),
+        );
+    let path = perf::write_report("BENCH_tenants.json", &record);
+    println!("tenants: report → {}", path.display());
+
+    let mut summary = perf::Value::object();
+    summary
+        .push("tenants", perf::Value::Int(TENANTS as i64))
+        .push("replay_lines_per_s", perf::Value::Float(replay_lines_per_s))
+        .push("hot_over_cold", perf::Value::Float(hot_over_cold))
+        .push(
+            "budget_mib",
+            perf::Value::Float(BUDGET as f64 / (1 << 20) as f64),
+        )
+        .push("parity", perf::Value::Str("bit-identical".into()));
+    let path = perf::merge_report("BENCH_serve.json", "tenants", summary);
+    println!("tenants: summary → {} (tenants section)", path.display());
+
+    // Criterion timings over the steady-state paths.
+    let mut group = c.benchmark_group("tenant_scale");
+    group.sample_size(10);
+    group.bench_function("score_hot_tenant", |b| {
+        b.iter(|| svc.score_view(probe, &queries).expect("hot score"))
+    });
+    group.bench_function("demote_promote_roundtrip", |b| {
+        b.iter(|| {
+            svc.demote(probe).expect("demote succeeds");
+            svc.score_view(probe, &queries).expect("promote + score")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tenant_scale);
+criterion_main!(benches);

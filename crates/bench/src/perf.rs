@@ -435,12 +435,12 @@ mod tests {
     }
 
     #[test]
-    fn merge_report_co_writes_three_sections_without_clobbering() {
-        // The shape BENCH_serve.json actually has: serve_throughput,
-        // net_throughput, and now the lifecycle bench each own one
+    fn merge_report_co_writes_four_sections_without_clobbering() {
+        // The shape BENCH_serve.json actually has: the micro-batching,
+        // net, lifecycle, and tenant-scale benches each own one
         // top-level section of the same file and must never clobber
-        // the other two, whatever order the benches run in.
-        let file = "BENCH_test_three_sections.json";
+        // the other three, whatever order the benches run in.
+        let file = "BENCH_test_four_sections.json";
         let path = report_path(file);
         let _ = std::fs::remove_file(&path);
 
@@ -454,7 +454,12 @@ mod tests {
         lifecycle
             .push("under_load_refit_ms", Value::Float(120.5))
             .push("parity", Value::Str("bit-identical".into()));
-        let written = merge_report(file, "lifecycle", lifecycle);
+        merge_report(file, "lifecycle", lifecycle);
+        let mut tenants = Value::object();
+        tenants
+            .push("tenants", Value::Int(10_000))
+            .push("hot_over_cold", Value::Float(3.5));
+        let written = merge_report(file, "tenants", tenants);
 
         let root = parse(&std::fs::read_to_string(&written).unwrap()).unwrap();
         let Value::Object(entries) = root else {
@@ -462,25 +467,25 @@ mod tests {
         };
         assert_eq!(
             entries.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
-            ["micro_batching", "net", "lifecycle"],
-            "all three sections present, insertion order preserved"
+            ["micro_batching", "net", "lifecycle", "tenants"],
+            "all four sections present, insertion order preserved"
         );
 
-        // Re-running the lifecycle bench replaces only its section.
+        // Re-running the tenant bench replaces only its section.
         let mut rerun = Value::object();
-        rerun.push("under_load_refit_ms", Value::Float(95.0));
-        merge_report(file, "lifecycle", rerun);
+        rerun.push("tenants", Value::Int(20_000));
+        merge_report(file, "tenants", rerun);
         let root = parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
         let Value::Object(entries) = root else {
             panic!("root is an object")
         };
-        assert_eq!(entries.len(), 3, "a rerun must not drop sections");
-        let Value::Object(section) = &entries[2].1 else {
-            panic!("lifecycle section is an object")
+        assert_eq!(entries.len(), 4, "a rerun must not drop sections");
+        let Value::Object(section) = &entries[3].1 else {
+            panic!("tenants section is an object")
         };
         assert!(
-            matches!(section[0].1, Value::Float(f) if f == 95.0),
-            "rerun replaces the lifecycle figures"
+            matches!(section[0].1, Value::Int(20_000)),
+            "rerun replaces the tenant figures"
         );
         let Value::Object(micro) = &entries[0].1 else {
             panic!("micro_batching section is an object")

@@ -325,6 +325,18 @@ impl FittedEngine {
         &self.detectors
     }
 
+    /// Total bytes of accountable fitted state across the detector
+    /// set ([`Detector::resident_bytes`]); detectors with no
+    /// accountable state contribute zero. This is what the
+    /// memory-budgeted tenant tier (`serve::tenants`) charges a hot
+    /// tenant for.
+    pub fn resident_bytes(&self) -> usize {
+        self.detectors
+            .iter()
+            .filter_map(|d| d.resident_bytes())
+            .sum()
+    }
+
     /// Consumes the engine into its fitted detectors (registration
     /// order) — the serving router takes ownership to split
     /// sharded-fitted neighbour detectors across its worker pools.

@@ -283,6 +283,10 @@ impl VectorIndex for ExactIndex {
     fn candidate_bytes(&self) -> usize {
         self.data.candidate_bytes()
     }
+
+    fn resident_bytes(&self) -> usize {
+        self.data.candidate_bytes() + self.norms.len() * std::mem::size_of::<f32>()
+    }
 }
 
 #[cfg(test)]

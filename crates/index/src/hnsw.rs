@@ -669,6 +669,23 @@ impl VectorIndex for HnswIndex {
     fn candidate_bytes(&self) -> usize {
         self.data.candidate_bytes()
     }
+
+    fn resident_bytes(&self) -> usize {
+        let links: usize = self
+            .links
+            .iter()
+            .map(|levels| {
+                levels
+                    .iter()
+                    .map(|l| l.len() * std::mem::size_of::<usize>())
+                    .sum::<usize>()
+            })
+            .sum();
+        self.data.candidate_bytes()
+            + self.norms.len() * std::mem::size_of::<f32>()
+            + links
+            + self.tombstone.len()
+    }
 }
 
 #[cfg(test)]

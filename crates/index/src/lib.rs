@@ -123,6 +123,15 @@ pub trait VectorIndex: Send + Sync + std::fmt::Debug {
     fn candidate_bytes(&self) -> usize {
         self.len() * self.dim() * self.quantization().bytes_per_element()
     }
+
+    /// Bytes this index keeps resident beyond a cold scan: candidate
+    /// storage plus cached norms, graph adjacency, tombstones — the
+    /// figure a memory-budgeted tenant map charges for a *hot* index.
+    /// The default covers backends whose only state is the candidate
+    /// storage; graph-carrying backends override to add their links.
+    fn resident_bytes(&self) -> usize {
+        self.candidate_bytes()
+    }
 }
 
 /// The total order every backend ranks neighbours by: similarity

@@ -456,6 +456,18 @@ impl VectorIndex for ShardedIndex {
     fn candidate_bytes(&self) -> usize {
         self.shards.iter().map(|s| s.candidate_bytes()).sum()
     }
+
+    fn resident_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.resident_bytes())
+            .sum::<usize>()
+            + self
+                .globals
+                .iter()
+                .map(|g| g.len() * std::mem::size_of::<usize>())
+                .sum::<usize>()
+    }
 }
 
 #[cfg(test)]

@@ -29,6 +29,17 @@
 //! bumped the epoch while the batch was in flight, the insert is
 //! dropped, so a verdict computed against pre-append state can never
 //! be served after the append (`tests/verdict_cache.rs`).
+//!
+//! **Tenant axis.** A verdict is a function of (raw line, fitted
+//! detector state), and under multi-tenant serving the detector state
+//! differs per tenant — so the cache key carries an optional
+//! `TenantId` beside the line. The global (single-engine) front-end
+//! keys under `None` with the shared state epoch; tenant-scoped
+//! lookups ([`VerdictCache::lookup_batch_tenant`]) key under
+//! `Some(id)` and validate against that tenant's *own* epoch, so two
+//! tenants submitting byte-identical lines can never cross-serve each
+//! other's verdicts (`tests/tenants.rs`). The LRU recency list stays
+//! global: capacity bounds total residency, not per-tenant residency.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -56,6 +67,13 @@ pub struct CacheStats {
 }
 
 struct Node {
+    /// `None` = the front-end's global (single-engine) namespace;
+    /// `Some(id)` = a tenant partition. Two tenants submitting the
+    /// same raw line occupy *different* entries — verdicts are a
+    /// function of (line, tenant state), so the tenant is part of the
+    /// cache key and a hit can never cross-serve another tenant's
+    /// verdict (`tests/tenants.rs`).
+    tenant: Option<u64>,
     key: String,
     scores: Vec<f32>,
     epoch: u64,
@@ -64,10 +82,13 @@ struct Node {
 }
 
 /// The LRU state under the lock: a slab of nodes threaded into a
-/// doubly-linked recency list plus a key → slot map. Everything is
-/// O(1): get (+ move to front), insert, evict-tail.
+/// doubly-linked recency list plus a tenant → (line → slot) map.
+/// Everything is O(1): get (+ move to front), insert, evict-tail.
+/// The recency list is global across tenants, so the capacity bound
+/// holds the *overall* Zipf head — a busy tenant's hot lines displace
+/// an idle tenant's cold ones.
 struct Lru {
-    map: HashMap<String, usize>,
+    map: HashMap<Option<u64>, HashMap<String, usize>>,
     nodes: Vec<Node>,
     free: Vec<usize>,
     head: usize,
@@ -97,9 +118,27 @@ impl Lru {
         self.head = i;
     }
 
+    fn slot(&self, tenant: Option<u64>, line: &str) -> Option<usize> {
+        self.map.get(&tenant).and_then(|m| m.get(line)).copied()
+    }
+
+    /// Entries currently resident (across every tenant).
+    fn len(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
     fn remove(&mut self, i: usize) {
         self.unlink(i);
-        self.map.remove(&std::mem::take(&mut self.nodes[i].key));
+        let tenant = self.nodes[i].tenant;
+        let key = std::mem::take(&mut self.nodes[i].key);
+        if let Some(m) = self.map.get_mut(&tenant) {
+            m.remove(&key);
+            // Drop emptied tenant sub-maps so a long-departed tenant
+            // costs nothing once its entries age out.
+            if m.is_empty() {
+                self.map.remove(&tenant);
+            }
+        }
         self.nodes[i].scores = Vec::new();
         self.free.push(i);
     }
@@ -175,12 +214,35 @@ impl VerdictCache {
     /// lookup ran under — the caller must hand that epoch back to
     /// [`Self::insert_batch`] so in-flight appends drop the insert.
     pub fn lookup_batch(&self, lines: &[String]) -> (Vec<Option<Vec<f32>>>, u64) {
-        let mut lru = self.inner.lock().unwrap();
         let epoch = self.epoch();
+        (self.lookup_inner(None, lines, epoch), epoch)
+    }
+
+    /// [`Self::lookup_batch`] scoped to a tenant partition: only
+    /// entries written for `tenant` under exactly `epoch` (the
+    /// tenant's *own* detector-state epoch, bumped per absorbed
+    /// append) can hit. Hand the same epoch to
+    /// [`Self::insert_batch_tenant`].
+    pub fn lookup_batch_tenant(
+        &self,
+        tenant: u64,
+        lines: &[String],
+        epoch: u64,
+    ) -> Vec<Option<Vec<f32>>> {
+        self.lookup_inner(Some(tenant), lines, epoch)
+    }
+
+    fn lookup_inner(
+        &self,
+        tenant: Option<u64>,
+        lines: &[String],
+        epoch: u64,
+    ) -> Vec<Option<Vec<f32>>> {
+        let mut lru = self.inner.lock().unwrap();
         let mut hits = 0usize;
         let out: Vec<Option<Vec<f32>>> = lines
             .iter()
-            .map(|line| match lru.map.get(line).copied() {
+            .map(|line| match lru.slot(tenant, line) {
                 Some(i) if lru.nodes[i].epoch == epoch => {
                     hits += 1;
                     lru.unlink(i);
@@ -199,7 +261,7 @@ impl VerdictCache {
             .collect();
         self.hits.fetch_add(hits, Ordering::Relaxed);
         self.misses.fetch_add(lines.len() - hits, Ordering::Relaxed);
-        (out, epoch)
+        out
     }
 
     /// Convenience single-line lookup (records one hit or miss).
@@ -217,26 +279,53 @@ impl VerdictCache {
         entries: impl Iterator<Item = (&'a String, &'a [f32])>,
         epoch: u64,
     ) {
+        let current = self.epoch();
+        self.insert_inner(None, entries, epoch, current);
+    }
+
+    /// [`Self::insert_batch`] scoped to a tenant partition. `epoch` is
+    /// the tenant epoch captured at lookup time; `current` is the
+    /// tenant's epoch *now* — if an append to this tenant landed while
+    /// the batch was scoring, the two differ and the insert is
+    /// dropped, exactly like the shared-epoch path.
+    pub fn insert_batch_tenant<'a>(
+        &self,
+        tenant: u64,
+        entries: impl Iterator<Item = (&'a String, &'a [f32])>,
+        epoch: u64,
+        current: u64,
+    ) {
+        self.insert_inner(Some(tenant), entries, epoch, current);
+    }
+
+    fn insert_inner<'a>(
+        &self,
+        tenant: Option<u64>,
+        entries: impl Iterator<Item = (&'a String, &'a [f32])>,
+        epoch: u64,
+        current: u64,
+    ) {
         let mut lru = self.inner.lock().unwrap();
-        if self.epoch() != epoch {
+        if current != epoch {
             return;
         }
         let mut evictions = 0usize;
         for (line, scores) in entries {
-            if let Some(&i) = lru.map.get(line) {
+            if let Some(i) = lru.slot(tenant, line) {
                 lru.nodes[i].scores = scores.to_vec();
                 lru.nodes[i].epoch = epoch;
                 lru.unlink(i);
                 lru.push_front(i);
                 continue;
             }
-            if lru.map.len() >= self.capacity {
+            if lru.len() >= self.capacity {
                 let tail = lru.tail;
                 debug_assert_ne!(tail, NIL);
                 lru.remove(tail);
                 evictions += 1;
             }
             let node = Node {
+                tenant,
                 key: line.clone(),
                 scores: scores.to_vec(),
                 epoch,
@@ -254,14 +343,14 @@ impl VerdictCache {
                 }
             };
             lru.push_front(i);
-            lru.map.insert(line.clone(), i);
+            lru.map.entry(tenant).or_default().insert(line.clone(), i);
         }
         self.evictions.fetch_add(evictions, Ordering::Relaxed);
     }
 
-    /// Entries currently resident.
+    /// Entries currently resident (across every tenant).
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().map.len()
+        self.inner.lock().unwrap().len()
     }
 
     /// Whether the cache is empty.
@@ -377,6 +466,42 @@ mod tests {
         assert_eq!(cache.lookup(&line(1)), None, "cold entry evicted");
         assert!(cache.lookup(&line(2)).is_some());
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn tenants_never_cross_serve_identical_lines() {
+        let cache = VerdictCache::new(8);
+        let lines = vec![line(1)];
+        cache.insert_batch_tenant(7, lines.iter().zip([[0.25f32].as_slice()]), 3, 3);
+        // Same raw line: tenant 7 hits under its epoch, tenant 8 and
+        // the global namespace miss.
+        assert_eq!(
+            cache.lookup_batch_tenant(7, &lines, 3),
+            vec![Some(vec![0.25])]
+        );
+        assert_eq!(cache.lookup_batch_tenant(8, &lines, 3), vec![None]);
+        assert_eq!(cache.lookup(&line(1)), None);
+        // And the global namespace holding the line does not leak into
+        // a tenant partition.
+        let (_, e) = cache.lookup_batch(&lines);
+        cache.insert_batch(lines.iter().zip([[0.5f32].as_slice()]), e);
+        assert_eq!(
+            cache.lookup_batch_tenant(8, &lines, 0),
+            vec![None],
+            "global entry must not serve a tenant lookup"
+        );
+    }
+
+    #[test]
+    fn tenant_epoch_mismatch_misses_and_reclaims() {
+        let cache = VerdictCache::new(8);
+        let lines = vec![line(1)];
+        cache.insert_batch_tenant(7, lines.iter().zip([[1.0f32].as_slice()]), 3, 3);
+        assert_eq!(cache.lookup_batch_tenant(7, &lines, 4), vec![None]);
+        assert_eq!(cache.len(), 0, "stale tenant entry reclaimed on lookup");
+        // An insert whose tenant epoch moved mid-flight is dropped.
+        cache.insert_batch_tenant(7, lines.iter().zip([[1.0f32].as_slice()]), 3, 4);
+        assert_eq!(cache.len(), 0);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::cache::{merge_verdicts, CacheStats, VerdictCache};
 use crate::lifecycle::{LifecycleConfig, LifecycleStats};
 use crate::service::{ScoringService, ServeConfig, ServeError, ServiceClient, ServiceStats};
 use crate::snapshot::ServiceSnapshot;
+use crate::tenants::{TenantError, TenantId, TenantService};
 use crate::{RouterConfig, ShardRouter};
 use cmdline_ids::engine::FittedEngine;
 use cmdline_ids::pipeline::IdsPipeline;
@@ -45,6 +46,7 @@ enum Kind {
 pub struct Frontend {
     kind: Kind,
     cache: Option<Arc<VerdictCache>>,
+    tenants: Option<Arc<TenantService>>,
 }
 
 impl From<ScoringService> for Frontend {
@@ -52,6 +54,7 @@ impl From<ScoringService> for Frontend {
         Frontend {
             kind: Kind::Single(service),
             cache: None,
+            tenants: None,
         }
     }
 }
@@ -61,6 +64,7 @@ impl From<ShardRouter> for Frontend {
         Frontend {
             kind: Kind::Sharded(router),
             cache: None,
+            tenants: None,
         }
     }
 }
@@ -136,6 +140,75 @@ impl Frontend {
     /// The attached verdict cache, if any.
     pub fn cache(&self) -> Option<&Arc<VerdictCache>> {
         self.cache.as_ref()
+    }
+
+    /// Attaches a [`TenantService`] so tenant-scoped wire requests
+    /// ([`Frontend::score_tenant`] / [`Frontend::append_tenant`]) have
+    /// somewhere to go. The tenant map is independent of the global
+    /// detector set — it carries its own partitions, tiers, and
+    /// budget — but shares this front-end's verdict cache under
+    /// tenant-scoped keys.
+    pub fn with_tenants(mut self, tenants: Arc<TenantService>) -> Frontend {
+        self.tenants = Some(tenants);
+        self
+    }
+
+    /// The attached tenant map, if any.
+    pub fn tenants(&self) -> Option<&Arc<TenantService>> {
+        self.tenants.as_ref()
+    }
+
+    /// Scores a batch of lines against `tenant`'s private partition,
+    /// through the verdict cache when one is attached. Cache entries
+    /// are keyed under the tenant's namespace and validated against
+    /// the tenant's own detector-state epoch, so two tenants with
+    /// byte-identical lines can never serve each other's verdicts
+    /// (`tests/tenants.rs` pins cache-on ≡ cache-off per tenant).
+    pub fn score_tenant(
+        &self,
+        tenant: TenantId,
+        lines: &[String],
+    ) -> Result<Vec<Vec<f32>>, TenantError> {
+        let svc = self.tenants.as_ref().ok_or_else(no_tenant_service)?;
+        let Some(cache) = &self.cache else {
+            return svc.score(tenant, lines);
+        };
+        if lines.is_empty() {
+            return Ok(Vec::new());
+        }
+        let epoch = svc.epoch_of(tenant)?;
+        let hits = cache.lookup_batch_tenant(tenant.0, lines, epoch);
+        let miss_positions: Vec<usize> = hits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.is_none().then_some(i))
+            .collect();
+        if miss_positions.is_empty() {
+            return Ok(hits.into_iter().map(|h| h.expect("all hits")).collect());
+        }
+        let miss_lines: Vec<String> = miss_positions.iter().map(|&i| lines[i].clone()).collect();
+        let miss_scores = svc.score(tenant, &miss_lines)?;
+        let current = svc.epoch_of(tenant)?;
+        cache.insert_batch_tenant(
+            tenant.0,
+            miss_lines.iter().zip(miss_scores.iter().map(Vec::as_slice)),
+            epoch,
+            current,
+        );
+        Ok(merge_verdicts(hits, &miss_positions, miss_scores))
+    }
+
+    /// Absorbs freshly-labeled supervision into `tenant`'s partition.
+    /// The tenant's epoch bump invalidates its cached verdicts without
+    /// touching any other tenant's entries.
+    pub fn append_tenant(
+        &self,
+        tenant: TenantId,
+        lines: &[String],
+        labels: &[bool],
+    ) -> Result<usize, TenantError> {
+        let svc = self.tenants.as_ref().ok_or_else(no_tenant_service)?;
+        svc.append(tenant, lines, labels)
     }
 
     /// A cloneable *uncached* submission handle straight onto the
@@ -350,6 +423,12 @@ impl Frontend {
             Kind::Sharded(r) => r.shutdown(),
         }
     }
+}
+
+fn no_tenant_service() -> TenantError {
+    TenantError::InvalidConfig(
+        "front-end has no tenant service attached (Frontend::with_tenants)".into(),
+    )
 }
 
 /// What a [`Frontend::prepare_scored`] lookup resolved to.

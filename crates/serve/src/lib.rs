@@ -66,6 +66,18 @@
 //!   invalidates the verdict cache on appends is bumped on every swap.
 //!   The sharded tier rides along: [`ShardRouter::reshard`] splits the
 //!   live shard set without stopping the router.
+//! * **Multi-tenant serving under a memory envelope**
+//!   ([`TenantService`]) — per-tenant exemplar partitions routed to
+//!   lock groups by the seeded content-stable shard hash, with tiered
+//!   hot/cold storage: hot tenants keep fitted HNSW graphs resident,
+//!   cold tenants are demoted to compact graph-dropped frames
+//!   (deterministically rebuilt on first touch — bit-identical by the
+//!   pinned seeded-construction property) and LRU-evicted against a
+//!   configurable byte budget. The wire protocol carries tenant-tagged
+//!   requests under a versioned frame header, and the verdict cache
+//!   keys tenant entries separately with per-tenant epochs, so two
+//!   tenants submitting identical lines can never cross-serve
+//!   (`tests/tenants.rs`, `benches/tenant_scale.rs`).
 
 mod cache;
 mod front;
@@ -74,6 +86,7 @@ mod net;
 mod router;
 mod service;
 mod snapshot;
+mod tenants;
 pub mod wire;
 
 pub use cache::{CacheStats, VerdictCache};
@@ -83,4 +96,7 @@ pub use net::{NetClient, NetConfig, NetServer, DEFAULT_MAX_FRAME};
 pub use router::{RouterConfig, ShardRouter};
 pub use service::{ScoringService, ServeConfig, ServeError, ServiceClient, ServiceStats};
 pub use snapshot::{ServiceSnapshot, SnapshotError};
+pub use tenants::{
+    TenantConfig, TenantError, TenantId, TenantMapSnapshot, TenantService, TenantStats,
+};
 pub use wire::NetError;

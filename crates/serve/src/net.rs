@@ -445,9 +445,13 @@ fn handle_frame(
         Err(e) => {
             // Framing is intact (the length prefix was honored), so
             // the connection survives a malformed payload: answer a
-            // typed error under the id if enough of it decoded.
+            // typed error under the id if enough of it decoded. The
+            // id sits after the magic/version prefix — but only read
+            // it when that prefix is valid, since a foreign or
+            // old-version frame's bytes 2..10 are not our id field.
             let id = payload
-                .get(..8)
+                .get(2..10)
+                .filter(|_| payload[..2] == [crate::wire::WIRE_MAGIC, crate::wire::WIRE_VERSION])
                 .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
                 .unwrap_or(0);
             return send_error(
@@ -496,6 +500,43 @@ fn handle_frame(
             // client retries like any other transient rejection.
             Err(e) => send_error(conn_tx, id, WireErrorKind::from(&e), &e.to_string()),
         },
+        // Tenant-scoped requests run synchronously on the reader
+        // thread like the other control-plane requests: the tenant
+        // path has its own cache discipline (tenant-keyed, per-tenant
+        // epochs) inside `Frontend::score_tenant`, and ordering them
+        // against the same connection's appends is the useful
+        // semantics.
+        WireRequest::ScoreTenant { tenant, lines } => {
+            match conn.front.score_tenant(crate::TenantId(tenant), &lines) {
+                Ok(scores) => send(conn_tx, id, &WireResponse::Scores(scores)),
+                Err(e) => send_error(conn_tx, id, tenant_error_kind(&e), &e.to_string()),
+            }
+        }
+        WireRequest::AppendTenant {
+            tenant,
+            lines,
+            labels,
+        } => {
+            if lines.len() != labels.len() {
+                return send_error(
+                    conn_tx,
+                    id,
+                    WireErrorKind::BadRequest,
+                    &format!(
+                        "one label per line required: {} lines, {} labels",
+                        lines.len(),
+                        labels.len()
+                    ),
+                );
+            }
+            match conn
+                .front
+                .append_tenant(crate::TenantId(tenant), &lines, &labels)
+            {
+                Ok(n) => send(conn_tx, id, &WireResponse::Appended(n)),
+                Err(e) => send_error(conn_tx, id, tenant_error_kind(&e), &e.to_string()),
+            }
+        }
         WireRequest::Stats => send(conn_tx, id, &WireResponse::Stats(conn.front.stats())),
         WireRequest::Shutdown => {
             let sent = send(conn_tx, id, &WireResponse::ShuttingDown);
@@ -548,6 +589,16 @@ fn handle_score(
             let _ = conn.front.client().submit(miss_lines, reply);
             true
         }
+    }
+}
+
+/// Wire classification of a tenant failure: engine trouble is the
+/// server's fault, everything else names something wrong with the
+/// request (unknown tenant, duplicate create, malformed frame).
+fn tenant_error_kind(e: &crate::TenantError) -> WireErrorKind {
+    match e {
+        crate::TenantError::Engine(_) => WireErrorKind::Engine,
+        _ => WireErrorKind::BadRequest,
     }
 }
 
@@ -759,6 +810,41 @@ impl NetClient {
         scores
             .pop()
             .ok_or(NetError::Protocol("empty verdict for one line"))
+    }
+
+    /// Scores a batch of lines against one tenant's private partition
+    /// server-side; one score vector per line, in input order.
+    pub fn score_tenant(&self, tenant: u64, lines: &[String]) -> Result<Vec<Vec<f32>>, NetError> {
+        match self.call(&WireRequest::ScoreTenant {
+            tenant,
+            lines: lines.to_vec(),
+        })? {
+            WireResponse::Scores(scores) => Ok(scores),
+            _ => Err(NetError::Protocol(
+                "ScoreTenant answered with a non-Scores response",
+            )),
+        }
+    }
+
+    /// Absorbs freshly-labeled supervision into one tenant's partition
+    /// server-side; returns how many detectors absorbed the batch.
+    /// Bumps that tenant's cache epoch only.
+    pub fn append_tenant(
+        &self,
+        tenant: u64,
+        lines: &[String],
+        labels: &[bool],
+    ) -> Result<usize, NetError> {
+        match self.call(&WireRequest::AppendTenant {
+            tenant,
+            lines: lines.to_vec(),
+            labels: labels.to_vec(),
+        })? {
+            WireResponse::Appended(n) => Ok(n),
+            _ => Err(NetError::Protocol(
+                "AppendTenant answered with a non-Appended response",
+            )),
+        }
     }
 
     /// Absorbs freshly-labeled supervision server-side; returns how

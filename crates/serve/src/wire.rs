@@ -5,9 +5,17 @@
 //! serde is marker-only):
 //!
 //! ```text
-//! frame   := len:u32 LE | payload          (len = payload bytes)
-//! payload := id:u64 LE | tag:u8 | body     (request and response)
+//! frame   := len:u32 LE | payload                           (len = payload bytes)
+//! payload := magic:u8 | ver:u8 | id:u64 LE | tag:u8 | body  (request and response)
 //! ```
+//!
+//! `magic`/`ver` ([`WIRE_MAGIC`], [`WIRE_VERSION`]) were introduced
+//! when the tenant-tagged requests landed: version 1 payloads started
+//! directly at `id` and carried no tenant axis, so a v1 peer must get
+//! a typed error — [`PersistError::BadMagic`] (the first byte of a v1
+//! id is overwhelmingly not the magic) or
+//! [`PersistError::UnsupportedVersion`] — never a panic and never a
+//! silently mis-parsed request (`tests/wire_codec.rs` pins both).
 //!
 //! `id` is a per-connection correlation id chosen by the client:
 //! responses may come back out of submission order (pipelining — many
@@ -21,6 +29,15 @@
 use crate::service::ServiceStats;
 use index::persist::{ByteReader, ByteWriter, PersistError};
 use std::io::{ErrorKind, Read, Write};
+
+/// First byte of every versioned payload. Chosen to be outside ASCII
+/// so a stray text protocol poking the port errors immediately.
+pub const WIRE_MAGIC: u8 = 0xC5;
+
+/// Current payload layout version. Version 1 is the headerless
+/// pre-tenant layout (`id | tag | body`); version 2 added the
+/// `magic | ver` prefix and the tenant-tagged request variants.
+pub const WIRE_VERSION: u8 = 2;
 
 /// A client → server message. `id` travels beside it in the payload.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +57,17 @@ pub enum WireRequest {
     Stats,
     /// Ask the server process to shut down cleanly.
     Shutdown,
+    /// Score a batch of lines against one tenant's partition
+    /// (`serve::tenants`); verdicts follow the tenant's own detector
+    /// set, in input order.
+    ScoreTenant { tenant: u64, lines: Vec<String> },
+    /// Absorb freshly-labeled supervision into one tenant's partition
+    /// (one label per line). Promotes a cold tenant first.
+    AppendTenant {
+        tenant: u64,
+        lines: Vec<String>,
+        labels: Vec<bool>,
+    },
 }
 
 /// A server → client message answering the request with the same id.
@@ -223,10 +251,33 @@ fn get_scores(r: &mut ByteReader) -> Result<Vec<Vec<f32>>, PersistError> {
     (0..n).map(|_| r.get_f32s()).collect()
 }
 
-/// Encodes a request payload (`id | tag | body`, no length prefix —
-/// [`write_frame`] adds that).
+/// Writes the `magic | ver` payload header.
+fn put_header(w: &mut ByteWriter) {
+    w.put_u8(WIRE_MAGIC);
+    w.put_u8(WIRE_VERSION);
+}
+
+/// Validates the `magic | ver` payload header. A headerless v1
+/// payload starts with its id's low byte, so it lands on
+/// [`PersistError::BadMagic`] (or, for the rare id whose low byte is
+/// the magic, [`PersistError::UnsupportedVersion`] / a downstream
+/// typed decode error — never a panic).
+fn check_header(r: &mut ByteReader) -> Result<(), PersistError> {
+    if r.get_u8()? != WIRE_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let ver = r.get_u8()?;
+    if ver != WIRE_VERSION {
+        return Err(PersistError::UnsupportedVersion(ver as u32));
+    }
+    Ok(())
+}
+
+/// Encodes a request payload (`magic | ver | id | tag | body`, no
+/// length prefix — [`write_frame`] adds that).
 pub fn encode_request(id: u64, req: &WireRequest) -> Vec<u8> {
     let mut w = ByteWriter::new();
+    put_header(&mut w);
     w.put_u64(id);
     match req {
         WireRequest::Hello => w.put_u8(0),
@@ -242,6 +293,21 @@ pub fn encode_request(id: u64, req: &WireRequest) -> Vec<u8> {
         WireRequest::Snapshot => w.put_u8(3),
         WireRequest::Stats => w.put_u8(4),
         WireRequest::Shutdown => w.put_u8(5),
+        WireRequest::ScoreTenant { tenant, lines } => {
+            w.put_u8(6);
+            w.put_u64(*tenant);
+            put_lines(&mut w, lines);
+        }
+        WireRequest::AppendTenant {
+            tenant,
+            lines,
+            labels,
+        } => {
+            w.put_u8(7);
+            w.put_u64(*tenant);
+            put_lines(&mut w, lines);
+            w.put_bools(labels);
+        }
     }
     w.into_bytes()
 }
@@ -250,6 +316,7 @@ pub fn encode_request(id: u64, req: &WireRequest) -> Vec<u8> {
 /// [`PersistError`].
 pub fn decode_request(payload: &[u8]) -> Result<(u64, WireRequest), PersistError> {
     let mut r = ByteReader::new(payload);
+    check_header(&mut r)?;
     let id = r.get_u64()?;
     let req = match r.get_u8()? {
         0 => WireRequest::Hello,
@@ -263,6 +330,15 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, WireRequest), PersistError
         3 => WireRequest::Snapshot,
         4 => WireRequest::Stats,
         5 => WireRequest::Shutdown,
+        6 => WireRequest::ScoreTenant {
+            tenant: r.get_u64()?,
+            lines: get_lines(&mut r)?,
+        },
+        7 => WireRequest::AppendTenant {
+            tenant: r.get_u64()?,
+            lines: get_lines(&mut r)?,
+            labels: r.get_bools()?,
+        },
         t => return Err(PersistError::BadTag(t)),
     };
     if r.remaining() != 0 {
@@ -271,9 +347,10 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, WireRequest), PersistError
     Ok((id, req))
 }
 
-/// Encodes a response payload (`id | tag | body`).
+/// Encodes a response payload (`magic | ver | id | tag | body`).
 pub fn encode_response(id: u64, resp: &WireResponse) -> Vec<u8> {
     let mut w = ByteWriter::new();
+    put_header(&mut w);
     w.put_u64(id);
     match resp {
         WireResponse::Hello { methods } => {
@@ -314,6 +391,7 @@ pub fn encode_response(id: u64, resp: &WireResponse) -> Vec<u8> {
 /// Decodes a response payload. Total, like [`decode_request`].
 pub fn decode_response(payload: &[u8]) -> Result<(u64, WireResponse), PersistError> {
     let mut r = ByteReader::new(payload);
+    check_header(&mut r)?;
     let id = r.get_u64()?;
     let resp = match r.get_u8()? {
         0 => WireResponse::Hello {

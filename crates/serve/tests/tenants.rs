@@ -1,0 +1,467 @@
+//! Multi-tenant serving correctness: tenant partitions are airtight
+//! (two tenants with byte-identical lines never cross-serve, cached
+//! or not), tiering is invisible to verdicts (any interleaving of
+//! promotions, demotions, and evictions stays bit-identical to a
+//! dedicated single-tenant service), the memory envelope holds after
+//! convergence, and a restored tenant map costs zero construction
+//! passes until first touch.
+
+use cmdline_ids::engine::{
+    Detector, EmbeddingView, FittedEngine, IndexConfig, MethodScores, Quantization,
+};
+use cmdline_ids::pipeline::{IdsPipeline, PipelineConfig};
+use linalg::rng::randn;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serve::{Frontend, ServeConfig, TenantConfig, TenantError, TenantId, TenantService};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use anomaly::{RetrievalMethod, VanillaKnnMethod};
+
+const DIM: usize = 8;
+
+/// A deterministic per-tenant baseline: each tenant's exemplars are
+/// drawn from its own seeded Gaussian, so no two tenants share a
+/// partition (and verdicts visibly differ across tenants).
+fn tenant_view(seed: u64, rows: usize) -> (EmbeddingView, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let matrix = randn(&mut rng, rows, DIM, 1.0);
+    let labels = (0..rows).map(|i| i % 3 == 0).collect();
+    (EmbeddingView::from_matrix(matrix), labels)
+}
+
+fn query_view(seed: u64, rows: usize) -> EmbeddingView {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9);
+    EmbeddingView::from_matrix(randn(&mut rng, rows, DIM, 1.0))
+}
+
+/// The dedicated single-tenant comparator: the same detector set the
+/// tenant service fits, fitted directly, never demoted.
+fn dedicated(config: &TenantConfig, view: &EmbeddingView, labels: &[bool]) -> FittedEngine {
+    let mut detectors: Vec<Box<dyn Detector>> = vec![
+        Box::new(RetrievalMethod::with_index(
+            config.retrieval_k,
+            config.index,
+        )),
+        Box::new(VanillaKnnMethod::with_index(config.knn_k, config.index)),
+    ];
+    for det in &mut detectors {
+        det.fit(view, labels).expect("dedicated fit succeeds");
+    }
+    FittedEngine::from_detectors(detectors)
+}
+
+fn score_dedicated(engine: &FittedEngine, view: &EmbeddingView) -> Vec<Vec<f32>> {
+    let run = engine.score_each(|_| view.clone());
+    transpose(run.outputs(), view.len())
+}
+
+fn transpose(outputs: &[MethodScores], n: usize) -> Vec<Vec<f32>> {
+    let mut out = vec![Vec::with_capacity(outputs.len()); n];
+    for method in outputs {
+        for (line, &s) in out.iter_mut().zip(&method.scores) {
+            line.push(s);
+        }
+    }
+    out
+}
+
+fn hnsw_i8_config(mem_budget: usize) -> TenantConfig {
+    TenantConfig {
+        index: IndexConfig::hnsw().with_quant(Quantization::I8),
+        mem_budget,
+        ..TenantConfig::default()
+    }
+}
+
+/// Demote → lazy promote is bit-invisible on the graph-dropped HNSW +
+/// i8 tier: the rebuilt graph answers exactly like the never-demoted
+/// dedicated engine, before and after appends.
+#[test]
+fn demote_promote_is_bit_identical_to_dedicated() {
+    let config = hnsw_i8_config(64 << 20);
+    let svc = TenantService::new(config).expect("valid config");
+    let (view, labels) = tenant_view(11, 24);
+    let queries = query_view(11, 7);
+    svc.create_tenant_from_view(TenantId(1), &view, &labels)
+        .expect("create succeeds");
+    let mirror = dedicated(&config, &view, &labels);
+
+    let hot = svc.score_view(TenantId(1), &queries).expect("hot score");
+    assert_eq!(hot, score_dedicated(&mirror, &queries));
+
+    assert!(svc.demote(TenantId(1)).expect("demote succeeds"));
+    assert!(!svc.is_hot(TenantId(1)).unwrap());
+    let promoted = svc.score_view(TenantId(1), &queries).expect("cold score");
+    assert_eq!(promoted, hot, "promotion changed verdict bytes");
+    assert!(svc.is_hot(TenantId(1)).unwrap());
+    assert_eq!(svc.stats().promotions, 1);
+
+    // Appends land in the promoted engine and survive another
+    // demote/promote round bit-exactly.
+    let (extra, extra_labels) = tenant_view(12, 5);
+    svc.append_view(TenantId(1), &extra, &extra_labels)
+        .expect("append succeeds");
+    let mut mirror = mirror;
+    mirror
+        .append_each(&extra_labels, |_| extra.clone())
+        .expect("mirror append succeeds");
+    assert!(svc.demote(TenantId(1)).unwrap());
+    let after = svc
+        .score_view(TenantId(1), &queries)
+        .expect("score after append");
+    assert_eq!(after, score_dedicated(&mirror, &queries));
+    assert_eq!(svc.epoch_of(TenantId(1)).unwrap(), 1);
+}
+
+/// The demoted frame is the compact encoding: dropping the graph must
+/// actually shrink the accounted bytes, or the cold tier is not a
+/// tier.
+#[test]
+fn demotion_shrinks_accounted_bytes() {
+    let svc = TenantService::new(hnsw_i8_config(64 << 20)).expect("valid config");
+    let (view, labels) = tenant_view(21, 64);
+    svc.create_tenant_from_view(TenantId(9), &view, &labels)
+        .expect("create succeeds");
+    let hot_bytes = svc.accounted_bytes();
+    assert!(svc.demote(TenantId(9)).unwrap());
+    let cold_bytes = svc.accounted_bytes();
+    assert!(
+        cold_bytes < hot_bytes,
+        "cold frame ({cold_bytes} B) not smaller than hot state ({hot_bytes} B)"
+    );
+}
+
+/// A budget below the hot working set forces LRU evictions: the
+/// least-recently-touched tenants go cold, the accounted total
+/// converges under the budget (or to the all-cold floor), and every
+/// verdict stays bit-identical to its dedicated comparator.
+#[test]
+fn lru_eviction_under_budget_preserves_verdicts() {
+    let config = hnsw_i8_config(1); // nothing fits: every touch evicts the rest
+    let svc = TenantService::new(config).expect("valid config");
+    let n_tenants = 6u64;
+    let mirrors: Vec<FittedEngine> = (0..n_tenants)
+        .map(|t| {
+            let (view, labels) = tenant_view(100 + t, 16);
+            svc.create_tenant_from_view(TenantId(t), &view, &labels)
+                .expect("create succeeds");
+            dedicated(&config, &view, &labels)
+        })
+        .collect();
+    let queries = query_view(3, 5);
+    for round in 0..3 {
+        for t in 0..n_tenants {
+            let got = svc
+                .score_view(TenantId(t), &queries)
+                .expect("score succeeds");
+            assert_eq!(
+                got,
+                score_dedicated(&mirrors[t as usize], &queries),
+                "tenant {t} diverged in round {round}"
+            );
+        }
+    }
+    let stats = svc.stats();
+    assert!(stats.evictions > 0, "a 1-byte budget must evict");
+    assert!(
+        stats.hot <= 1,
+        "budget of 1 byte cannot keep {} tenants hot",
+        stats.hot
+    );
+}
+
+/// Unknown and duplicate tenants are typed errors, not panics or
+/// silent cross-tenant traffic.
+#[test]
+fn unknown_and_duplicate_tenants_are_typed() {
+    let svc = TenantService::new(TenantConfig::default()).expect("valid config");
+    let (view, labels) = tenant_view(31, 8);
+    assert!(matches!(
+        svc.score_view(TenantId(5), &view),
+        Err(TenantError::Unknown(5))
+    ));
+    svc.create_tenant_from_view(TenantId(5), &view, &labels)
+        .expect("create succeeds");
+    assert!(matches!(
+        svc.create_tenant_from_view(TenantId(5), &view, &labels),
+        Err(TenantError::Duplicate(5))
+    ));
+    assert!(matches!(
+        svc.score_view(TenantId(6), &view),
+        Err(TenantError::Unknown(6))
+    ));
+}
+
+/// Snapshot → restore rebuilds the whole map **cold**: zero
+/// construction passes until a tenant is actually touched, and the
+/// first touch replays the identical verdicts.
+#[test]
+fn restore_is_lazy_and_bit_identical() {
+    let config = hnsw_i8_config(64 << 20);
+    let svc = TenantService::new(config).expect("valid config");
+    let queries = query_view(17, 6);
+    let mut want = Vec::new();
+    for t in 0..4u64 {
+        let (view, labels) = tenant_view(200 + t, 20);
+        svc.create_tenant_from_view(TenantId(t), &view, &labels)
+            .expect("create succeeds");
+        want.push(
+            svc.score_view(TenantId(t), &queries)
+                .expect("score succeeds"),
+        );
+    }
+    // Append to one tenant so epochs differ across the map.
+    let (extra, extra_labels) = tenant_view(300, 4);
+    svc.append_view(TenantId(2), &extra, &extra_labels)
+        .expect("append succeeds");
+    want[2] = svc
+        .score_view(TenantId(2), &queries)
+        .expect("score succeeds");
+
+    let bytes = svc.snapshot().expect("snapshot succeeds").to_bytes();
+    let snapshot = serve::TenantMapSnapshot::from_bytes(&bytes).expect("frame decodes");
+    assert_eq!(snapshot.len(), 4);
+
+    let before = index::construction_passes();
+    let restored = TenantService::restore(snapshot, None, config).expect("restore succeeds");
+    assert_eq!(
+        index::construction_passes(),
+        before,
+        "restore must not build anything"
+    );
+    let stats = restored.stats();
+    assert_eq!(
+        (stats.tenants, stats.hot),
+        (4, 0),
+        "restored tenants start cold"
+    );
+    assert_eq!(restored.epoch_of(TenantId(2)).unwrap(), 1, "epochs survive");
+
+    for t in 0..4u64 {
+        let got = restored
+            .score_view(TenantId(t), &queries)
+            .expect("restored score succeeds");
+        assert_eq!(got, want[t as usize], "tenant {t} diverged across restore");
+    }
+    // Map snapshots keep full-fidelity frames, so even the lazy
+    // first-touch promotion *adopts* the saved graphs instead of
+    // rebuilding them.
+    assert_eq!(
+        index::construction_passes(),
+        before,
+        "promotion from a snapshot frame must adopt, not rebuild"
+    );
+    // A *demoted* tenant's frame dropped its graphs, so promoting it
+    // does pay the (deterministic) rebuild.
+    restored.demote(TenantId(0)).expect("demote succeeds");
+    let got = restored
+        .score_view(TenantId(0), &queries)
+        .expect("rebuilt score succeeds");
+    assert_eq!(got, want[0], "graph-dropped rebuild diverged");
+    assert!(
+        index::construction_passes() > before,
+        "graph-dropped promotion pays the rebuild"
+    );
+
+    // Corrupt map frames are typed errors, never panics.
+    assert!(serve::TenantMapSnapshot::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+    assert!(serve::TenantMapSnapshot::from_bytes(b"XXXX").is_err());
+}
+
+proptest! {
+    /// Any interleaving of score / append / demote under an
+    /// arbitrary budget leaves every tenant's verdicts bit-identical
+    /// to its dedicated single-tenant comparator, and the accounted
+    /// total either fits the budget or nothing is left to shed.
+    #[test]
+    fn tiering_interleavings_are_bit_identical(
+        seed in 0u64..64,
+        budget_kb in 1usize..64,
+    ) {
+        let config = hnsw_i8_config(budget_kb << 10);
+        let svc = TenantService::new(config).expect("valid config");
+        let mut mirrors = Vec::new();
+        for t in 0..3u64 {
+            let (view, labels) = tenant_view(400 + t, 12);
+            svc.create_tenant_from_view(TenantId(t), &view, &labels)
+                .expect("create succeeds");
+            mirrors.push(dedicated(&config, &view, &labels));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for step in 0..12 {
+            let t = rng.gen_range(0u64..3);
+            match rng.gen_range(0u8..4) {
+                0 | 1 => {
+                    let queries = query_view(seed * 100 + step, 4);
+                    let got = svc.score_view(TenantId(t), &queries).expect("score succeeds");
+                    prop_assert_eq!(got, score_dedicated(&mirrors[t as usize], &queries));
+                }
+                2 => {
+                    let (extra, labels) = tenant_view(500 + seed * 100 + step, 3);
+                    svc.append_view(TenantId(t), &extra, &labels).expect("append succeeds");
+                    mirrors[t as usize]
+                        .append_each(&labels, |_| extra.clone())
+                        .expect("mirror append succeeds");
+                }
+                _ => {
+                    svc.demote(TenantId(t)).expect("demote succeeds");
+                }
+            }
+            let stats = svc.stats();
+            prop_assert!(
+                stats.accounted_bytes <= stats.budget || stats.hot == 0,
+                "over budget with {} hot tenants ({} B > {} B)",
+                stats.hot, stats.accounted_bytes, stats.budget
+            );
+        }
+    }
+}
+
+// --- the pipeline-backed front-end path ----------------------------
+
+struct Fixture {
+    pipeline: IdsPipeline,
+    lines: Vec<String>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut config = PipelineConfig::fast();
+        config.train_size = 200;
+        config.test_size = 100;
+        let mut rng = StdRng::seed_from_u64(7117);
+        let dataset = config.generate_dataset(&mut rng);
+        let pipeline = IdsPipeline::pretrain(&config, &dataset, &mut rng);
+        Fixture {
+            lines: dataset.train.iter().map(|r| r.line.clone()).collect(),
+            pipeline,
+        }
+    })
+}
+
+fn front_with_tenants(
+    fx: &'static Fixture,
+    cache: bool,
+) -> (Frontend, std::sync::Arc<TenantService>) {
+    let svc = std::sync::Arc::new(
+        TenantService::with_pipeline(fx.pipeline.clone(), TenantConfig::default())
+            .expect("valid config"),
+    );
+    // Two tenants fitted over *disjoint* slices of the corpus, then
+    // queried with the *same* lines: the only way their verdicts can
+    // agree is a cross-tenant leak.
+    let labels_a: Vec<bool> = (0..40).map(|i| i % 4 == 0).collect();
+    let labels_b: Vec<bool> = (0..40).map(|i| i % 5 == 0).collect();
+    svc.create_tenant(TenantId(7), &fx.lines[..40], &labels_a)
+        .expect("tenant 7 fits");
+    svc.create_tenant(TenantId(8), &fx.lines[40..80], &labels_b)
+        .expect("tenant 8 fits");
+
+    let global = dedicated_from_lines(fx, &fx.lines[..40], &labels_a);
+    let serve = ServeConfig {
+        queue_capacity: 64,
+        max_batch: 16,
+        batch_window: Duration::from_micros(200),
+        workers: 1,
+    };
+    let mut front = Frontend::spawn(fx.pipeline.clone(), global, 1, serve).expect("spawn succeeds");
+    if cache {
+        front = front.with_cache(256).expect("cache attaches");
+    }
+    (front.with_tenants(svc.clone()), svc)
+}
+
+fn dedicated_from_lines(fx: &Fixture, lines: &[String], labels: &[bool]) -> FittedEngine {
+    use cmdline_ids::embed::Pooling;
+    use cmdline_ids::engine::EmbeddingStore;
+    let store = EmbeddingStore::new(&fx.pipeline);
+    let view = store.view_of(lines, Pooling::Mean);
+    let mut detectors: Vec<Box<dyn Detector>> = vec![
+        Box::new(RetrievalMethod::new(1)),
+        Box::new(VanillaKnnMethod::new(3)),
+    ];
+    for det in &mut detectors {
+        det.fit(&view, labels).expect("fit succeeds");
+    }
+    FittedEngine::from_detectors(detectors)
+}
+
+/// The satellite pin: two tenants submit byte-identical raw lines
+/// through the cached front-end, and each gets its own partition's
+/// verdicts — cache-on is bit-identical to cache-off for both, so the
+/// tenant-keyed cache can never cross-serve.
+#[test]
+fn identical_lines_never_cross_serve_between_tenants() {
+    let fx = fixture();
+    let queries: Vec<String> = fx.lines[80..92].to_vec();
+    let (cached, _svc) = front_with_tenants(fx, true);
+    let (uncached, _svc2) = front_with_tenants(fx, false);
+
+    // Repeat so the second round is served from the cache when on.
+    let mut first = Vec::new();
+    for round in 0..2 {
+        let a_on = cached
+            .score_tenant(TenantId(7), &queries)
+            .expect("tenant 7 scores");
+        let b_on = cached
+            .score_tenant(TenantId(8), &queries)
+            .expect("tenant 8 scores");
+        let a_off = uncached
+            .score_tenant(TenantId(7), &queries)
+            .expect("tenant 7 scores");
+        let b_off = uncached
+            .score_tenant(TenantId(8), &queries)
+            .expect("tenant 8 scores");
+        assert_eq!(
+            a_on, a_off,
+            "cache changed tenant 7 verdicts (round {round})"
+        );
+        assert_eq!(
+            b_on, b_off,
+            "cache changed tenant 8 verdicts (round {round})"
+        );
+        assert_ne!(
+            a_on, b_on,
+            "disjoint baselines produced identical verdicts — partitions leak"
+        );
+        if round == 0 {
+            first = a_on;
+        } else {
+            assert_eq!(a_on, first, "cached round diverged from fresh round");
+        }
+    }
+
+    // An append to tenant 7 invalidates *its* cached verdicts (epoch
+    // bump) without touching tenant 8's.
+    let labels = vec![false, true];
+    cached
+        .append_tenant(TenantId(7), &fx.lines[92..94], &labels)
+        .expect("append succeeds");
+    uncached
+        .append_tenant(TenantId(7), &fx.lines[92..94], &labels)
+        .expect("append succeeds");
+    let a_on = cached
+        .score_tenant(TenantId(7), &queries)
+        .expect("tenant 7 rescored");
+    let a_off = uncached
+        .score_tenant(TenantId(7), &queries)
+        .expect("tenant 7 rescored");
+    assert_eq!(
+        a_on, a_off,
+        "post-append cache served stale tenant verdicts"
+    );
+    let b_on = cached
+        .score_tenant(TenantId(8), &queries)
+        .expect("tenant 8 rescored");
+    let b_off = uncached
+        .score_tenant(TenantId(8), &queries)
+        .expect("tenant 8 rescored");
+    assert_eq!(b_on, b_off, "tenant 8 disturbed by tenant 7's append");
+
+    cached.shutdown();
+    uncached.shutdown();
+}

@@ -1,0 +1,235 @@
+//! Tour of the multi-tenant serving tier: one process serves many
+//! per-tenant exemplar partitions under a fixed memory envelope.
+//!
+//! 1. pre-train one shared pipeline, then carve the training corpus
+//!    into per-tenant baselines (each tenant fits its own private
+//!    retrieval + kNN detector set),
+//! 2. replay Zipf-skewed traffic across the tenant population through
+//!    the cached front-end — hot tenants stay resident, cold tenants
+//!    are demoted to compact graph-dropped frames and lazily rebuilt
+//!    on their next touch, and the configured budget forces real
+//!    evictions,
+//! 3. spot-check the tiering contract: a tenant that has been
+//!    demoted and rebuilt answers bit-for-bit like a dedicated
+//!    single-tenant service that was never demoted, and the whole
+//!    map snapshot/restores with every tenant cold.
+//!
+//! Run: `cargo run --release --example multi_tenant
+//! [--shards N] [--quant f32|f16|i8] [--mem-budget BYTES]`
+//!
+//! (CI smoke-runs `--shards 4 --quant i8` with a budget small enough
+//! that evictions must happen, so the eviction path cannot rot.)
+
+use anomaly::{RetrievalMethod, VanillaKnnMethod};
+use cmdline_ids::embed::Pooling;
+use cmdline_ids::engine::{EmbeddingStore, IndexConfig, Quantization, ScoringEngine};
+use cmdline_ids::pipeline::{IdsPipeline, PipelineConfig};
+use corpus::{dedup_records, ZipfSampler};
+use ids_rules::RuleIds;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serve::{Frontend, ServeConfig, TenantConfig, TenantId, TenantMapSnapshot, TenantService};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TENANTS: u64 = 48;
+const LINES_PER_TENANT: usize = 16;
+const DRAWS: usize = 400;
+const BATCH: usize = 4;
+
+fn parse_args() -> (usize, Quantization, usize) {
+    let mut shards = 4usize;
+    let mut quant = Quantization::I8;
+    let mut mem_budget = 96 << 10;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i + 1 < argv.len() {
+        match argv[i].as_str() {
+            "--shards" => {
+                shards = argv[i + 1]
+                    .parse()
+                    .expect("--shards takes a positive integer");
+            }
+            "--quant" => {
+                quant = argv[i + 1].parse().expect("--quant takes f32|f16|i8");
+            }
+            "--mem-budget" => {
+                mem_budget = argv[i + 1]
+                    .parse()
+                    .expect("--mem-budget takes a byte count");
+            }
+            _ => break,
+        }
+        i += 2;
+    }
+    if i != argv.len() {
+        eprintln!("usage: multi_tenant [--shards N] [--quant f32|f16|i8] [--mem-budget BYTES]");
+        std::process::exit(2);
+    }
+    (shards, quant, mem_budget)
+}
+
+fn main() {
+    let (shards, quant, mem_budget) = parse_args();
+
+    // 1. One shared pipeline; per-tenant baselines carved from the
+    //    training corpus.
+    let mut config = PipelineConfig::fast();
+    config.train_size = 900;
+    config.test_size = 300;
+    config.attack_prob = 0.2;
+    let mut rng = StdRng::seed_from_u64(17);
+    println!(
+        "pre-training on {} synthetic lines… (groups: {shards}, quant: {quant}, \
+         budget: {} KiB)",
+        config.train_size,
+        mem_budget >> 10,
+    );
+    let dataset = config.generate_dataset(&mut rng);
+    let pipeline = IdsPipeline::pretrain(&config, &dataset, &mut rng);
+    let ids = RuleIds::with_default_rules();
+    let train_lines: Vec<String> = dataset.train.iter().map(|r| r.line.clone()).collect();
+    let test_lines: Vec<String> = dedup_records(&dataset.test)
+        .iter()
+        .map(|r| r.line.clone())
+        .collect();
+
+    let tenant_config = TenantConfig {
+        groups: shards,
+        index: IndexConfig::hnsw().with_quant(quant),
+        mem_budget,
+        ..TenantConfig::default()
+    };
+    let tenants = Arc::new(
+        TenantService::with_pipeline(pipeline.clone(), tenant_config).expect("valid config"),
+    );
+
+    let slice_of = |t: u64| -> &[String] {
+        let start = (t as usize * LINES_PER_TENANT) % (train_lines.len() - LINES_PER_TENANT);
+        &train_lines[start..start + LINES_PER_TENANT]
+    };
+    // The kNN detector needs at least one alerted exemplar; a small
+    // slice may rule-match none, so each tenant pins its last line as
+    // a known alert.
+    let labels_of = |slice: &[String]| -> Vec<bool> {
+        let mut labels: Vec<bool> = slice.iter().map(|l| ids.is_alert(l)).collect();
+        if !labels.iter().any(|&l| l) {
+            *labels.last_mut().expect("nonempty slice") = true;
+        }
+        labels
+    };
+    let t0 = Instant::now();
+    for t in 0..TENANTS {
+        let slice = slice_of(t);
+        tenants
+            .create_tenant(TenantId(t), slice, &labels_of(slice))
+            .expect("tenant fits");
+    }
+    println!(
+        "fitted {TENANTS} tenant partitions ({LINES_PER_TENANT} exemplars each) in {:.2?}",
+        t0.elapsed()
+    );
+
+    // A global detector set for the shared front-end (the non-tenant
+    // path keeps working beside the tenant map).
+    let store = EmbeddingStore::new(&pipeline);
+    let labels: Vec<bool> = train_lines.iter().map(|l| ids.is_alert(l)).collect();
+    let global = ScoringEngine::new()
+        .with_index_config(IndexConfig::hnsw().with_quant(quant))
+        .register(Box::new(RetrievalMethod::new(1)))
+        .register(Box::new(VanillaKnnMethod::new(3)))
+        .fit(&store.view_of(&train_lines, Pooling::Mean), &labels)
+        .expect("global detector set fits");
+    let front = Frontend::spawn(
+        pipeline.clone(),
+        global,
+        1,
+        ServeConfig {
+            queue_capacity: 128,
+            max_batch: 32,
+            batch_window: Duration::from_millis(1),
+            workers: 2,
+        },
+    )
+    .expect("front spawns")
+    .with_cache(1024)
+    .expect("cache attaches")
+    .with_tenants(tenants.clone());
+
+    // 2. Zipf-skewed tenant traffic through the cached front-end.
+    let sampler = ZipfSampler::new(TENANTS as usize, 1.05);
+    let mut traffic_rng = StdRng::seed_from_u64(23);
+    let t0 = Instant::now();
+    for _ in 0..DRAWS {
+        let t = sampler.sample(&mut traffic_rng) as u64;
+        let at = traffic_rng.gen_range(0..test_lines.len() - BATCH);
+        let batch: Vec<String> = test_lines[at..at + BATCH].to_vec();
+        front
+            .score_tenant(TenantId(t), &batch)
+            .expect("tenant scores");
+    }
+    let elapsed = t0.elapsed();
+    let stats = tenants.stats();
+    println!(
+        "replayed {DRAWS} Zipf touches ({BATCH} lines each) in {elapsed:.2?} — \
+         {} hot / {} cold, {} promotions, {} evictions, {:.1} KiB accounted vs {:.1} KiB budget",
+        stats.hot,
+        stats.cold,
+        stats.promotions,
+        stats.evictions,
+        stats.accounted_bytes as f64 / 1024.0,
+        mem_budget as f64 / 1024.0,
+    );
+    assert!(
+        stats.evictions > 0,
+        "budget of {mem_budget} B never forced an eviction — raise TENANTS or lower it"
+    );
+    assert!(
+        stats.accounted_bytes <= mem_budget || stats.hot == 0,
+        "over budget with hot tenants remaining"
+    );
+
+    // 3a. Tiering parity: a demoted-and-rebuilt tenant answers exactly
+    //     like a dedicated single-tenant service that never tiered.
+    let probe = TenantId(3);
+    let queries: Vec<String> = test_lines[..8].to_vec();
+    let dedicated = TenantService::with_pipeline(
+        pipeline.clone(),
+        TenantConfig {
+            mem_budget: 1 << 30, // never evicts
+            ..tenant_config
+        },
+    )
+    .expect("valid config");
+    let slice = slice_of(3);
+    dedicated
+        .create_tenant(probe, slice, &labels_of(slice))
+        .expect("dedicated tenant fits");
+    tenants.demote(probe).expect("demote succeeds");
+    let tiered = tenants.score(probe, &queries).expect("tiered score");
+    let alone = dedicated.score(probe, &queries).expect("dedicated score");
+    assert_eq!(tiered, alone, "tiering changed verdict bytes");
+    println!("tiering parity: demote → rebuild is bit-identical to a dedicated service ✓");
+
+    // 3b. Whole-map persistence: restore loads every tenant cold and
+    //     replays identical verdicts on first touch.
+    let frame = tenants.snapshot().expect("snapshot succeeds").to_bytes();
+    let restored = TenantService::restore(
+        TenantMapSnapshot::from_bytes(&frame).expect("frame decodes"),
+        Some(pipeline),
+        tenant_config,
+    )
+    .expect("restore succeeds");
+    let rstats = restored.stats();
+    assert_eq!(rstats.hot, 0, "restored tenants start cold");
+    let replayed = restored.score(probe, &queries).expect("restored score");
+    assert_eq!(replayed, tiered, "restore changed verdict bytes");
+    println!(
+        "snapshot: {} tenants, {:.1} KiB frame → restored all-cold, verdicts bit-identical ✓",
+        rstats.tenants,
+        frame.len() as f64 / 1024.0,
+    );
+
+    front.shutdown();
+    println!("done.");
+}
