@@ -27,6 +27,7 @@ pub mod knn;
 pub mod ocsvm;
 pub mod pca;
 pub mod state;
+pub mod structural;
 
 pub use detector::{
     check_labels, Detector, DetectorError, EmbeddingView, IsolationForestMethod, OneClassSvmMethod,
@@ -40,3 +41,4 @@ pub use knn::{merge_shard_candidates, RetrievalDetector, ShardCandidate, ShardMe
 pub use ocsvm::OneClassSvm;
 pub use pca::PcaDetector;
 pub use state::{DetectorState, ShardedDetectorState};
+pub use structural::{FittedStructural, StructuralDetector, MAX_EXEMPLARS};

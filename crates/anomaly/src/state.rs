@@ -11,13 +11,16 @@
 //! pipeline's to persist.
 
 use crate::detector::Detector;
+use crate::structural::{FittedStructural, StructuralDetector};
 use crate::{RetrievalDetector, RetrievalMethod, VanillaKnn, VanillaKnnMethod};
 use index::persist::{ByteReader, ByteWriter, PersistError};
 use index::{IndexSnapshot, Quantization, QuantizedMatrix, ShardBackend, ShardedParams};
 use serde::{Deserialize, Serialize};
+use shell_parser::STRUCTURAL_DIM;
 
 const TAG_RETRIEVAL: u8 = 0;
 const TAG_VANILLA_KNN: u8 = 1;
+const TAG_STRUCTURAL: u8 = 2;
 
 /// Candidate-row count of a decoded index snapshot.
 fn index_rows(index: &IndexSnapshot) -> usize {
@@ -66,6 +69,20 @@ pub enum DetectorState {
         /// The built training-set index.
         index: IndexSnapshot,
     },
+    /// [`StructuralDetector`]: benign feature moments plus malicious
+    /// exemplar feature vectors — no index, just flat statistics.
+    Structural {
+        /// Benign per-feature means (length [`STRUCTURAL_DIM`]).
+        mean: Vec<f64>,
+        /// Benign Welford M2 accumulators (length [`STRUCTURAL_DIM`]).
+        m2: Vec<f64>,
+        /// Benign lines absorbed.
+        benign_count: u64,
+        /// Malicious exemplar rows, flattened ([`STRUCTURAL_DIM`] each).
+        exemplars: Vec<f32>,
+        /// Exemplars ever inserted (round-robin overwrite position).
+        inserted: u64,
+    },
 }
 
 impl DetectorState {
@@ -88,6 +105,16 @@ impl DetectorState {
                 index: IndexSnapshot::capture(fitted.index())?,
             });
         }
+        if let Some(m) = detector.as_any().downcast_ref::<StructuralDetector>() {
+            let fitted = m.fitted()?;
+            return Some(DetectorState::Structural {
+                mean: fitted.mean().to_vec(),
+                m2: fitted.m2().to_vec(),
+                benign_count: fitted.benign_count(),
+                exemplars: fitted.exemplars().iter().flatten().copied().collect(),
+                inserted: fitted.inserted(),
+            });
+        }
         None
     }
 
@@ -101,6 +128,28 @@ impl DetectorState {
             DetectorState::VanillaKnn { k, labels, index } => Box::new(
                 VanillaKnnMethod::from_fitted(VanillaKnn::from_parts(index.restore(), labels, k)),
             ),
+            DetectorState::Structural {
+                mean,
+                m2,
+                benign_count,
+                exemplars,
+                inserted,
+            } => {
+                let mean: [f64; STRUCTURAL_DIM] =
+                    mean.try_into().expect("structural state: mean length");
+                let m2: [f64; STRUCTURAL_DIM] = m2.try_into().expect("structural state: m2 length");
+                let rows = exemplars
+                    .chunks_exact(STRUCTURAL_DIM)
+                    .map(|c| {
+                        let mut row = [0.0f32; STRUCTURAL_DIM];
+                        row.copy_from_slice(c);
+                        row
+                    })
+                    .collect();
+                Box::new(StructuralDetector::from_fitted(
+                    FittedStructural::from_parts(mean, m2, benign_count, rows, inserted),
+                ))
+            }
         }
     }
 
@@ -109,6 +158,7 @@ impl DetectorState {
         match self {
             DetectorState::Retrieval { .. } => "retrieval",
             DetectorState::VanillaKnn { .. } => "vanilla-knn",
+            DetectorState::Structural { .. } => "structural",
         }
     }
 
@@ -121,6 +171,7 @@ impl DetectorState {
             DetectorState::Retrieval { index, .. } | DetectorState::VanillaKnn { index, .. } => {
                 index.has_quantized_payload()
             }
+            DetectorState::Structural { .. } => false,
         }
     }
 
@@ -137,6 +188,27 @@ impl DetectorState {
                 w.put_usize(*k);
                 w.put_bools(labels);
                 index.write(w);
+            }
+            DetectorState::Structural {
+                mean,
+                m2,
+                benign_count,
+                exemplars,
+                inserted,
+            } => {
+                w.put_u8(TAG_STRUCTURAL);
+                w.put_usize(mean.len());
+                // f64 moments as raw bits: restores bit-identically, so
+                // a cold-started service scores exactly like the donor.
+                for v in mean {
+                    w.put_u64(v.to_bits());
+                }
+                for v in m2 {
+                    w.put_u64(v.to_bits());
+                }
+                w.put_u64(*benign_count);
+                w.put_f32s(exemplars);
+                w.put_u64(*inserted);
             }
         }
     }
@@ -248,6 +320,36 @@ impl DetectorState {
                 }
                 Ok(DetectorState::VanillaKnn { k, labels, index })
             }
+            TAG_STRUCTURAL => {
+                let dim = r.get_usize()?;
+                if dim != STRUCTURAL_DIM {
+                    return Err(PersistError::Corrupt("structural feature dim mismatch"));
+                }
+                let mut mean = Vec::with_capacity(dim);
+                for _ in 0..dim {
+                    mean.push(f64::from_bits(r.get_u64()?));
+                }
+                let mut m2 = Vec::with_capacity(dim);
+                for _ in 0..dim {
+                    m2.push(f64::from_bits(r.get_u64()?));
+                }
+                let benign_count = r.get_u64()?;
+                let exemplars = r.get_f32s()?;
+                if exemplars.len() % dim != 0 {
+                    return Err(PersistError::Corrupt("ragged structural exemplars"));
+                }
+                let inserted = r.get_u64()?;
+                if inserted < (exemplars.len() / dim) as u64 {
+                    return Err(PersistError::Corrupt("inserted < resident exemplars"));
+                }
+                Ok(DetectorState::Structural {
+                    mean,
+                    m2,
+                    benign_count,
+                    exemplars,
+                    inserted,
+                })
+            }
             tag => Err(PersistError::BadTag(tag)),
         }
     }
@@ -313,6 +415,7 @@ impl ShardedDetectorState {
                     }
                     shards.push(index);
                 }
+                Some(other) => panic!("non-neighbour sub-state {:?} in shard merge", other.name()),
             }
         }
         let index = IndexSnapshot::Sharded {
@@ -435,6 +538,55 @@ mod tests {
         det.fit(&view, &labels).unwrap();
         let state = DetectorState::capture(&det).unwrap();
         assert!(state.split_shards().is_err());
+    }
+
+    #[test]
+    fn structural_state_round_trips_bit_identically() {
+        let lines: Vec<String> = [
+            "ls -la /var/log",
+            "grep -r pattern src/",
+            "cat /etc/hosts",
+            "tar -czf backup.tar.gz /srv/app",
+            "printf aGk= | base64 -d | bash",
+            "eval $(echo d2hvYW1p | base64 -d)",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let labels = vec![false, false, false, false, true, true];
+        let view = EmbeddingView::lines_only(lines.clone());
+        let mut det = StructuralDetector::new();
+        det.fit(&view, &labels).unwrap();
+        let want = det.score_batch(&view);
+
+        let state = DetectorState::capture(&det).expect("snapshot-capable");
+        assert_eq!(state.name(), "structural");
+        assert!(!state.has_quantized_payload());
+        let mut w = ByteWriter::new();
+        state.write(&mut w);
+        let bytes = w.into_bytes();
+        let decoded = DetectorState::read(&mut ByteReader::new(&bytes)).unwrap();
+        assert!(
+            decoded.clone().split_shards().is_err(),
+            "flat state cannot shard"
+        );
+        let restored = decoded.restore();
+        assert_eq!(restored.name(), "structural");
+        assert_eq!(restored.score_batch(&view), want);
+    }
+
+    #[test]
+    fn structural_read_rejects_corrupt_frames() {
+        let view = EmbeddingView::lines_only(vec!["ls".into(), "nc -e /bin/sh".into()]);
+        let mut det = StructuralDetector::new();
+        det.fit(&view, &[false, true]).unwrap();
+        let state = DetectorState::capture(&det).unwrap();
+        let mut w = ByteWriter::new();
+        state.write(&mut w);
+        let mut bytes = w.into_bytes();
+        // Truncation mid-frame must error, not panic.
+        bytes.truncate(bytes.len() / 2);
+        assert!(DetectorState::read(&mut ByteReader::new(&bytes)).is_err());
     }
 
     #[test]

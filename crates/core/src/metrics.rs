@@ -107,6 +107,70 @@ pub fn precision_at_top(samples: &[ScoredSample], v: usize) -> Option<f64> {
     Some(correct as f64 / top.len() as f64)
 }
 
+/// The best classic F1 a scorer reaches on a sample set, with the
+/// threshold that reaches it — the per-scenario figure of the
+/// obfuscation benchmark, where each scenario is one attack family
+/// against the shared benign mass and no calibration split exists.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BestF1 {
+    /// The best F1 over all thresholds.
+    pub f1: f64,
+    /// Precision at that threshold.
+    pub precision: f64,
+    /// Recall at that threshold.
+    pub recall: f64,
+    /// The threshold (inclusive: predicted positive ⇔ `score ≥`).
+    pub threshold: f32,
+}
+
+/// Sweeps every distinct score as a candidate threshold and returns
+/// the best classic F1 against ground truth (`malicious`). Tied scores
+/// move across the threshold together — the sweep never splits a tie,
+/// so the reported figure is achievable by an actual `score ≥ t` rule.
+///
+/// Returns `None` when the set has no malicious samples (F1 is
+/// undefined: recall has a zero denominator).
+pub fn best_f1(samples: &[ScoredSample]) -> Option<BestF1> {
+    let positives = samples.iter().filter(|s| s.malicious).count();
+    if positives == 0 {
+        return None;
+    }
+    let mut order: Vec<&ScoredSample> = samples.iter().collect();
+    order.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut best: Option<BestF1> = None;
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < order.len() {
+        let t = order[i].score;
+        while i < order.len() && order[i].score == t {
+            if order[i].malicious {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        let precision = tp as f64 / (tp + fp) as f64;
+        let recall = tp as f64 / positives as f64;
+        if precision + recall > 0.0 {
+            let f1 = 2.0 * precision * recall / (precision + recall);
+            if best.is_none_or(|b| f1 > b.f1) {
+                best = Some(BestF1 {
+                    f1,
+                    precision,
+                    recall,
+                    threshold: t,
+                });
+            }
+        }
+    }
+    best
+}
+
 /// The Section V-B comparison on the predicted-positive benchmark set.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct F1Comparison {
@@ -304,5 +368,52 @@ mod tests {
     #[should_panic(expected = "u must be")]
     fn bad_u_panics() {
         let _ = calibrate_threshold(&toy(), 0.0);
+    }
+
+    #[test]
+    fn best_f1_finds_the_perfect_separator() {
+        let samples = vec![
+            sample(0.9, true, false),
+            sample(0.8, true, true),
+            sample(0.2, false, false),
+            sample(0.1, false, false),
+        ];
+        let best = best_f1(&samples).unwrap();
+        assert_eq!(best.f1, 1.0);
+        assert_eq!(best.threshold, 0.8);
+        assert_eq!(best.precision, 1.0);
+        assert_eq!(best.recall, 1.0);
+    }
+
+    #[test]
+    fn best_f1_trades_precision_for_recall() {
+        // Thresholding at 0.9 → P=1, R=1/2, F1=2/3; at 0.5 → P=2/3,
+        // R=1, F1=0.8. The sweep must pick the lower cut.
+        let samples = vec![
+            sample(0.9, true, false),
+            sample(0.7, false, false),
+            sample(0.5, true, false),
+            sample(0.1, false, false),
+        ];
+        let best = best_f1(&samples).unwrap();
+        assert!((best.f1 - 0.8).abs() < 1e-9, "{best:?}");
+        assert_eq!(best.threshold, 0.5);
+    }
+
+    #[test]
+    fn best_f1_never_splits_tied_scores() {
+        // One malicious and nine benign share a score: the only
+        // achievable cuts are "all ten" or "none", so F1 is pinned to
+        // 2·0.1/1.1 — a sweep that split the tie would report 1.0.
+        let mut samples = vec![sample(0.5, true, false)];
+        samples.extend(std::iter::repeat_n(sample(0.5, false, false), 9));
+        let best = best_f1(&samples).unwrap();
+        assert!((best.f1 - 2.0 * 0.1 / 1.1).abs() < 1e-9, "{best:?}");
+    }
+
+    #[test]
+    fn best_f1_undefined_without_positives() {
+        assert_eq!(best_f1(&[sample(0.9, false, false)]), None);
+        assert_eq!(best_f1(&[]), None);
     }
 }

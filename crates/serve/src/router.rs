@@ -935,6 +935,11 @@ fn global_rows(state: &DetectorState, dim: usize, total: usize) -> (Matrix, Vec<
     let (index, labels) = match state {
         DetectorState::Retrieval { index, .. } => (index, vec![true; total]),
         DetectorState::VanillaKnn { index, labels, .. } => (index, labels.clone()),
+        // Flat states never shard (`split_shards` rejects them), so the
+        // router only ever merges neighbour states.
+        DetectorState::Structural { .. } => {
+            unreachable!("structural state is not shard-mergeable")
+        }
     };
     let IndexSnapshot::Sharded {
         shards, globals, ..

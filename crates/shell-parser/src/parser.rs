@@ -1,12 +1,32 @@
-//! Recursive-descent parser from [`Token`]s to a [`Script`].
+//! The command layer: a recursive-descent parser from [`Token`]s to a
+//! [`Script`].
+//!
+//! And-or lists and pipelines are parsed by precedence climbing
+//! (`&&`/`||` bind looser than `|`/`|&`); compound commands
+//! (`for`/`while`/`until`/`if`/`case`, function definitions, subshells,
+//! brace groups) dispatch on reserved words at command position; and two
+//! post-passes run at the outermost scope: here-document bodies are
+//! assigned FIFO to their redirects, and captured substitution bodies
+//! are recursively parsed (depth-budgeted) into nested [`Script`]s.
 
 use crate::ast::{
-    AndOrList, Assignment, Command, Connector, Pipeline, Redirect, RedirectOp, Script,
-    SimpleCommand,
+    AndOrList, Assignment, CaseArm, CaseClause, Command, Connector, ForClause, FunctionDef,
+    IfClause, LoopClause, Pipeline, Redirect, RedirectOp, Script, SimpleCommand,
 };
 use crate::error::ParseError;
 use crate::lexer::Lexer;
 use crate::token::{Operator, Quoting, Token, Word};
+use crate::word::{Substitution, WordUnit};
+use std::collections::VecDeque;
+
+/// Maximum nesting depth for recursively parsed substitution bodies.
+/// Beyond it the body text is kept but its `script` stays `None`.
+const MAX_SUBST_DEPTH: usize = 12;
+
+/// Precedence of `&&` / `||` (loosest binary level).
+const PREC_AND_OR: u8 = 1;
+/// Precedence of `|` / `|&` (binds tighter than the and-or level).
+const PREC_PIPE: u8 = 2;
 
 /// Parses a command line into a [`Script`].
 ///
@@ -23,10 +43,50 @@ use crate::token::{Operator, Quoting, Token, Word};
 ///
 /// Returns [`ParseError`] for lines Bash could not execute: lex-level
 /// failures (unterminated quotes), dangling redirections, misplaced
-/// operators, unbalanced groups, or an empty line.
+/// operators or reserved words, unbalanced groups, or an empty line.
 pub fn parse(input: &str) -> Result<Script, ParseError> {
     let tokens = Lexer::tokenize(input)?;
     Parser::new(tokens).parse_script()
+}
+
+/// Reserved words that are hard errors at command position unless their
+/// opening construct is active (`then` with no `if`, `done` with no
+/// loop, …).
+const DANGLING_KEYWORDS: &[&str] = &["then", "else", "elif", "fi", "do", "done", "esac"];
+
+/// What ends the current list context: a closing operator (subshell
+/// `)`, case-arm `;;`) and/or a reserved word (`done`, `fi`, `esac`…).
+#[derive(Clone, Copy)]
+struct Stop {
+    ops: &'static [Operator],
+    keywords: &'static [&'static str],
+    allow_empty: bool,
+}
+
+impl Stop {
+    const NONE: Stop = Stop {
+        ops: &[],
+        keywords: &[],
+        allow_empty: false,
+    };
+
+    const fn kw(keywords: &'static [&'static str]) -> Stop {
+        Stop {
+            ops: &[],
+            keywords,
+            allow_empty: false,
+        }
+    }
+
+    fn matches(&self, tok: &Token) -> bool {
+        match tok {
+            Token::Op(op) => self.ops.contains(op),
+            Token::Word(w) => {
+                w.quoting == Quoting::None && self.keywords.contains(&w.text.as_str())
+            }
+            _ => false,
+        }
+    }
 }
 
 /// Token-stream parser. Construct with [`Parser::new`], consume with
@@ -35,12 +95,37 @@ pub fn parse(input: &str) -> Result<Script, ParseError> {
 pub struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Here-document bodies in source order, pulled out of the token
+    /// stream up front and assigned to their redirects after the parse.
+    heredoc_bodies: VecDeque<String>,
+    /// Substitution nesting depth of this parser instance.
+    depth: usize,
 }
 
 impl Parser {
     /// Creates a parser over a token stream.
     pub fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0 }
+        Parser::with_depth(tokens, 0)
+    }
+
+    fn with_depth(tokens: Vec<Token>, depth: usize) -> Self {
+        let mut heredoc_bodies = VecDeque::new();
+        let tokens: Vec<Token> = tokens
+            .into_iter()
+            .filter_map(|t| match t {
+                Token::HeredocBody(b) => {
+                    heredoc_bodies.push_back(b);
+                    None
+                }
+                t => Some(t),
+            })
+            .collect();
+        Parser {
+            tokens,
+            pos: 0,
+            heredoc_bodies,
+            depth,
+        }
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -51,6 +136,13 @@ impl Parser {
         self.peek().and_then(|t| t.as_op())
     }
 
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(
+            self.peek(),
+            Some(Token::Word(w)) if w.quoting == Quoting::None && w.text == kw
+        )
+    }
+
     fn bump(&mut self) -> Option<Token> {
         let t = self.tokens.get(self.pos).cloned();
         if t.is_some() {
@@ -59,13 +151,20 @@ impl Parser {
         t
     }
 
-    /// Parses the whole token stream as a script.
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), Some(Token::Newline)) {
+            self.pos += 1;
+        }
+    }
+
+    /// Parses the whole token stream as a script, then runs the
+    /// post-passes (here-doc body assignment, substitution parsing).
     ///
     /// # Errors
     ///
     /// See [`parse`].
     pub fn parse_script(&mut self) -> Result<Script, ParseError> {
-        let script = self.parse_script_until(None)?;
+        let mut script = self.parse_script_until(Stop::NONE)?;
         if let Some(tok) = self.peek() {
             // A leftover `)` means an unbalanced group.
             if tok.as_op() == Some(Operator::RParen) {
@@ -75,25 +174,48 @@ impl Parser {
                 operator: tok.to_string(),
             });
         }
+        let mut bodies = std::mem::take(&mut self.heredoc_bodies);
+        assign_heredocs_script(&mut script, &mut bodies);
+        fill_subst_script(&mut script, self.depth);
         Ok(script)
     }
 
-    /// Parses lists until `stop` (a group closer) or end of input.
-    fn parse_script_until(&mut self, stop: Option<Operator>) -> Result<Script, ParseError> {
+    /// Parses lists until the stop condition or end of input.
+    fn parse_script_until(&mut self, stop: Stop) -> Result<Script, ParseError> {
         let mut lists = Vec::new();
         loop {
-            // Skip leading separators between lists.
-            while matches!(self.peek_op(), Some(Operator::Semi)) {
-                if lists.is_empty() {
-                    return Err(ParseError::UnexpectedOperator {
-                        operator: ";".into(),
-                    });
+            // Skip separators between lists: newlines freely, `;` only
+            // after a list has been produced.
+            loop {
+                match self.peek() {
+                    Some(Token::Newline) => {
+                        self.bump();
+                    }
+                    Some(Token::Op(Operator::Semi)) => {
+                        if lists.is_empty() {
+                            return Err(ParseError::UnexpectedOperator {
+                                operator: ";".into(),
+                            });
+                        }
+                        self.bump();
+                    }
+                    _ => break,
                 }
-                self.bump();
             }
             match self.peek() {
                 None => break,
-                Some(tok) if stop.is_some() && tok.as_op() == stop => break,
+                Some(tok) if stop.matches(tok) => break,
+                // A closing keyword for some *other* construct (e.g. `fi`
+                // while we are looking for `then`) also ends this
+                // sub-script; the caller's expect_keyword then reports
+                // which keyword was actually missing.
+                Some(Token::Word(w))
+                    if !stop.keywords.is_empty()
+                        && w.quoting == Quoting::None
+                        && DANGLING_KEYWORDS.contains(&w.text.as_str()) =>
+                {
+                    break
+                }
                 _ => {}
             }
             let mut list = self.parse_and_or()?;
@@ -109,13 +231,10 @@ impl Parser {
                 _ => {}
             }
             lists.push(list);
-            // If no separator was consumed and the next token is not the
-            // stop, the loop will either parse another list (invalid;
-            // caught as unexpected word-after-word is impossible since
-            // words merge) or hit an operator error below.
             match self.peek() {
                 None => break,
-                Some(tok) if stop.is_some() && tok.as_op() == stop => break,
+                Some(tok) if stop.matches(tok) => break,
+                Some(Token::Newline) => {}
                 Some(Token::Op(Operator::Semi)) | Some(Token::Op(Operator::Amp)) => {}
                 Some(Token::Word(_)) | Some(Token::IoNumber(_)) => {}
                 Some(Token::Op(Operator::RParen)) => {
@@ -128,56 +247,103 @@ impl Parser {
                 }
             }
         }
-        if lists.is_empty() {
+        if lists.is_empty() && !stop.allow_empty {
             return Err(ParseError::Empty);
         }
         Ok(Script { lists })
     }
 
-    fn parse_and_or(&mut self) -> Result<AndOrList, ParseError> {
-        let first = self.parse_pipeline()?;
-        let mut rest = Vec::new();
-        loop {
-            let connector = match self.peek_op() {
-                Some(Operator::AndIf) => Connector::AndIf,
-                Some(Operator::OrIf) => Connector::OrIf,
-                _ => break,
-            };
-            self.bump();
-            let pipeline = self.parse_pipeline()?;
-            rest.push((connector, pipeline));
+    /// Like [`Parser::parse_script_until`], but an empty body is an
+    /// error anchored at the token that ended it (`if x; then fi` →
+    /// misplaced `fi`).
+    fn parse_nonempty_until(&mut self, stop: Stop) -> Result<Script, ParseError> {
+        let script = self.parse_script_until(Stop {
+            allow_empty: true,
+            ..stop
+        })?;
+        if script.lists.is_empty() {
+            return Err(match self.peek() {
+                Some(Token::Word(w)) => ParseError::MisplacedKeyword {
+                    keyword: w.text.clone(),
+                },
+                Some(tok) => ParseError::UnexpectedOperator {
+                    operator: tok.to_string(),
+                },
+                None => ParseError::UnexpectedEnd,
+            });
         }
-        Ok(AndOrList {
-            first,
-            rest,
-            background: false,
-        })
+        Ok(script)
     }
 
-    fn parse_pipeline(&mut self) -> Result<Pipeline, ParseError> {
+    fn parse_and_or(&mut self) -> Result<AndOrList, ParseError> {
+        self.parse_binary(PREC_AND_OR)
+    }
+
+    /// Precedence climbing over the binary command operators. `&&`/`||`
+    /// (prec 1) bind looser than `|`/`|&` (prec 2); both are
+    /// left-associative. The accumulator keeps the [`AndOrList`] shape
+    /// directly: a pipe extends the last pipeline, a connector starts a
+    /// new one.
+    fn parse_binary(&mut self, min_prec: u8) -> Result<AndOrList, ParseError> {
         let mut negated = false;
-        if let Some(Token::Word(w)) = self.peek() {
-            if w.text == "!" && w.quoting == Quoting::None {
-                negated = true;
-                self.bump();
+        // `!` negates a whole pipeline, so it can only open one
+        // (never appear right of a `|`).
+        if min_prec <= PREC_PIPE {
+            if let Some(Token::Word(w)) = self.peek() {
+                if w.text == "!" && w.quoting == Quoting::None {
+                    negated = true;
+                    self.bump();
+                }
             }
         }
-        let mut commands = vec![self.parse_command()?];
-        while matches!(
-            self.peek_op(),
-            Some(Operator::Pipe) | Some(Operator::PipeAmp)
-        ) {
+        let cmd = self.parse_command()?;
+        let mut acc = AndOrList {
+            first: Pipeline {
+                negated,
+                commands: vec![cmd],
+            },
+            rest: Vec::new(),
+            background: false,
+        };
+        loop {
+            let (prec, op) = match self.peek_op() {
+                Some(op @ (Operator::Pipe | Operator::PipeAmp)) => (PREC_PIPE, op),
+                Some(op @ Operator::AndIf) => (PREC_AND_OR, op),
+                Some(op @ Operator::OrIf) => (PREC_AND_OR, op),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
             self.bump();
-            commands.push(self.parse_command()?);
+            let rhs = self.parse_binary(prec + 1)?;
+            match op {
+                Operator::Pipe | Operator::PipeAmp => {
+                    // rhs parsed above the pipe level: exactly one
+                    // command, no connectors — extend the open pipeline.
+                    let last = match acc.rest.last_mut() {
+                        Some((_, p)) => p,
+                        None => &mut acc.first,
+                    };
+                    last.commands.extend(rhs.first.commands);
+                }
+                Operator::AndIf => acc.rest.push((Connector::AndIf, rhs.first)),
+                Operator::OrIf => acc.rest.push((Connector::OrIf, rhs.first)),
+                _ => unreachable!("only binary operators reach here"),
+            }
         }
-        Ok(Pipeline { negated, commands })
+        Ok(acc)
     }
 
     fn parse_command(&mut self) -> Result<Command, ParseError> {
         match self.peek() {
             Some(Token::Op(Operator::LParen)) => {
                 self.bump();
-                let inner = self.parse_script_until(Some(Operator::RParen))?;
+                let inner = self.parse_script_until(Stop {
+                    ops: &[Operator::RParen],
+                    keywords: &[],
+                    allow_empty: false,
+                })?;
                 match self.peek_op() {
                     Some(Operator::RParen) => {
                         self.bump();
@@ -186,11 +352,222 @@ impl Parser {
                     _ => Err(ParseError::UnclosedGroup { delimiter: '(' }),
                 }
             }
-            Some(Token::Word(w)) if w.text == "{" && w.quoting == Quoting::None => {
-                self.parse_brace_group()
-            }
+            Some(Token::Word(w)) if w.quoting == Quoting::None => match w.text.as_str() {
+                "{" => self.parse_brace_group(),
+                "for" => self.parse_for(),
+                "while" => self.parse_loop(false),
+                "until" => self.parse_loop(true),
+                "if" => self.parse_if(),
+                "case" => self.parse_case(),
+                "function" => self.parse_function_keyword(),
+                kw if DANGLING_KEYWORDS.contains(&kw) => Err(ParseError::MisplacedKeyword {
+                    keyword: kw.to_string(),
+                }),
+                _ if self.looks_like_function_def() => self.parse_posix_function(),
+                _ => self.parse_simple_command().map(Command::Simple),
+            },
             _ => self.parse_simple_command().map(Command::Simple),
         }
+    }
+
+    /// `NAME ( )` ahead: the POSIX function-definition form.
+    fn looks_like_function_def(&self) -> bool {
+        matches!(
+            self.tokens.get(self.pos + 1),
+            Some(Token::Op(Operator::LParen))
+        ) && matches!(
+            self.tokens.get(self.pos + 2),
+            Some(Token::Op(Operator::RParen))
+        )
+    }
+
+    fn parse_posix_function(&mut self) -> Result<Command, ParseError> {
+        let Some(Token::Word(name)) = self.bump() else {
+            unreachable!("caller peeked a word")
+        };
+        self.bump(); // `(`
+        self.bump(); // `)`
+        self.skip_newlines();
+        let body = self.parse_command()?;
+        Ok(Command::FunctionDef(Box::new(FunctionDef { name, body })))
+    }
+
+    fn parse_function_keyword(&mut self) -> Result<Command, ParseError> {
+        self.bump(); // `function`
+        let name = match self.bump() {
+            Some(Token::Word(w)) => w,
+            Some(tok) => {
+                return Err(ParseError::UnexpectedOperator {
+                    operator: tok.to_string(),
+                })
+            }
+            None => return Err(ParseError::UnexpectedEnd),
+        };
+        // Optional `()` after the name.
+        if self.looks_like_parens_here() {
+            self.bump();
+            self.bump();
+        }
+        self.skip_newlines();
+        let body = self.parse_command()?;
+        Ok(Command::FunctionDef(Box::new(FunctionDef { name, body })))
+    }
+
+    fn looks_like_parens_here(&self) -> bool {
+        matches!(self.peek(), Some(Token::Op(Operator::LParen)))
+            && matches!(
+                self.tokens.get(self.pos + 1),
+                Some(Token::Op(Operator::RParen))
+            )
+    }
+
+    fn expect_keyword(&mut self, kw: &'static str) -> Result<(), ParseError> {
+        if self.peek_keyword(kw) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(ParseError::MissingKeyword {
+                keyword: kw.to_string(),
+            })
+        }
+    }
+
+    fn expect_word(&mut self) -> Result<Word, ParseError> {
+        match self.peek() {
+            Some(Token::Word(_)) => {
+                let Some(Token::Word(w)) = self.bump() else {
+                    unreachable!("peeked a word")
+                };
+                Ok(w)
+            }
+            Some(tok) => Err(ParseError::UnexpectedOperator {
+                operator: tok.to_string(),
+            }),
+            None => Err(ParseError::UnexpectedEnd),
+        }
+    }
+
+    /// `for NAME [in word…] <sep> do LIST done`
+    fn parse_for(&mut self) -> Result<Command, ParseError> {
+        self.bump(); // `for`
+        let var = self.expect_word()?;
+        let mut words = None;
+        if self.peek_keyword("in") {
+            self.bump();
+            let mut list = Vec::new();
+            while let Some(Token::Word(_)) = self.peek() {
+                let Some(Token::Word(w)) = self.bump() else {
+                    unreachable!("peeked a word")
+                };
+                list.push(w);
+            }
+            words = Some(list);
+        }
+        // Separator(s) before `do`.
+        while matches!(
+            self.peek(),
+            Some(Token::Newline) | Some(Token::Op(Operator::Semi))
+        ) {
+            self.bump();
+        }
+        self.expect_keyword("do")?;
+        let body = self.parse_nonempty_until(Stop::kw(&["done"]))?;
+        self.expect_keyword("done")?;
+        Ok(Command::For(Box::new(ForClause { var, words, body })))
+    }
+
+    /// `while LIST do LIST done` / `until LIST do LIST done`
+    fn parse_loop(&mut self, until: bool) -> Result<Command, ParseError> {
+        self.bump(); // `while` / `until`
+        let condition = self.parse_nonempty_until(Stop::kw(&["do"]))?;
+        self.expect_keyword("do")?;
+        let body = self.parse_nonempty_until(Stop::kw(&["done"]))?;
+        self.expect_keyword("done")?;
+        Ok(Command::While(Box::new(LoopClause {
+            until,
+            condition,
+            body,
+        })))
+    }
+
+    /// `if LIST then LIST (elif LIST then LIST)* [else LIST] fi`
+    fn parse_if(&mut self) -> Result<Command, ParseError> {
+        self.bump(); // `if`
+        let mut branches = Vec::new();
+        let cond = self.parse_nonempty_until(Stop::kw(&["then"]))?;
+        self.expect_keyword("then")?;
+        let body = self.parse_nonempty_until(Stop::kw(&["elif", "else", "fi"]))?;
+        branches.push((cond, body));
+        while self.peek_keyword("elif") {
+            self.bump();
+            let cond = self.parse_nonempty_until(Stop::kw(&["then"]))?;
+            self.expect_keyword("then")?;
+            let body = self.parse_nonempty_until(Stop::kw(&["elif", "else", "fi"]))?;
+            branches.push((cond, body));
+        }
+        let else_body = if self.peek_keyword("else") {
+            self.bump();
+            Some(self.parse_nonempty_until(Stop::kw(&["fi"]))?)
+        } else {
+            None
+        };
+        self.expect_keyword("fi")?;
+        Ok(Command::If(Box::new(IfClause {
+            branches,
+            else_body,
+        })))
+    }
+
+    /// `case WORD in ( pattern (| pattern)* ) LIST ;; … esac`
+    fn parse_case(&mut self) -> Result<Command, ParseError> {
+        self.bump(); // `case`
+        let subject = self.expect_word()?;
+        self.skip_newlines();
+        self.expect_keyword("in")?;
+        let mut arms = Vec::new();
+        loop {
+            self.skip_newlines();
+            if self.peek_keyword("esac") {
+                self.bump();
+                break;
+            }
+            if self.peek().is_none() {
+                return Err(ParseError::MissingKeyword {
+                    keyword: "esac".into(),
+                });
+            }
+            if self.peek_op() == Some(Operator::LParen) {
+                self.bump();
+            }
+            let mut patterns = vec![self.expect_word()?];
+            while self.peek_op() == Some(Operator::Pipe) {
+                self.bump();
+                patterns.push(self.expect_word()?);
+            }
+            match self.peek_op() {
+                Some(Operator::RParen) => {
+                    self.bump();
+                }
+                _ => {
+                    return Err(match self.peek() {
+                        Some(tok) => ParseError::UnexpectedOperator {
+                            operator: tok.to_string(),
+                        },
+                        None => ParseError::UnexpectedEnd,
+                    })
+                }
+            }
+            let body = self.parse_script_until(Stop {
+                ops: &[Operator::DoubleSemi],
+                keywords: &["esac"],
+                allow_empty: true,
+            })?;
+            if self.peek_op() == Some(Operator::DoubleSemi) {
+                self.bump();
+            }
+            arms.push(CaseArm { patterns, body });
+        }
+        Ok(Command::Case(Box::new(CaseClause { subject, arms })))
     }
 
     fn parse_brace_group(&mut self) -> Result<Command, ParseError> {
@@ -220,7 +597,7 @@ impl Parser {
         }
         let inner_tokens: Vec<Token> = self.tokens[start..self.pos].to_vec();
         self.pos += 1; // consume `}`
-        let inner = Parser::new(inner_tokens).parse_script()?;
+        let inner = Parser::with_depth(inner_tokens, self.depth).parse_script()?;
         Ok(Command::Group(Box::new(inner)))
     }
 
@@ -253,6 +630,7 @@ impl Parser {
                         fd: Some(fd),
                         op,
                         target,
+                        heredoc_body: None,
                     });
                 }
                 Some(Token::Op(op)) if op.is_redirect() => {
@@ -265,6 +643,7 @@ impl Parser {
                         fd: None,
                         op: rop,
                         target,
+                        heredoc_body: None,
                     });
                 }
                 _ => break,
@@ -343,7 +722,156 @@ fn as_assignment(w: &Word) -> Option<Assignment> {
         name: name.to_string(),
         value: w.text[eq + 1..].to_string(),
         raw: w.raw.clone(),
+        units: w.units.clone(),
     })
+}
+
+// ---------------------------------------------------------------------------
+// Post-pass 1: here-document body assignment (FIFO, source order).
+// ---------------------------------------------------------------------------
+
+fn assign_heredocs_script(script: &mut Script, bodies: &mut VecDeque<String>) {
+    for list in &mut script.lists {
+        assign_heredocs_pipeline(&mut list.first, bodies);
+        for (_, p) in &mut list.rest {
+            assign_heredocs_pipeline(p, bodies);
+        }
+    }
+}
+
+fn assign_heredocs_pipeline(p: &mut Pipeline, bodies: &mut VecDeque<String>) {
+    for cmd in &mut p.commands {
+        assign_heredocs_command(cmd, bodies);
+    }
+}
+
+fn assign_heredocs_command(cmd: &mut Command, bodies: &mut VecDeque<String>) {
+    match cmd {
+        Command::Simple(c) => {
+            for r in &mut c.redirects {
+                if matches!(r.op, RedirectOp::Heredoc | RedirectOp::HeredocStrip)
+                    && r.heredoc_body.is_none()
+                {
+                    r.heredoc_body = bodies.pop_front();
+                }
+            }
+        }
+        Command::Subshell(s) | Command::Group(s) => assign_heredocs_script(s, bodies),
+        Command::For(f) => assign_heredocs_script(&mut f.body, bodies),
+        Command::While(l) => {
+            assign_heredocs_script(&mut l.condition, bodies);
+            assign_heredocs_script(&mut l.body, bodies);
+        }
+        Command::If(i) => {
+            for (cond, body) in &mut i.branches {
+                assign_heredocs_script(cond, bodies);
+                assign_heredocs_script(body, bodies);
+            }
+            if let Some(e) = &mut i.else_body {
+                assign_heredocs_script(e, bodies);
+            }
+        }
+        Command::Case(c) => {
+            for arm in &mut c.arms {
+                assign_heredocs_script(&mut arm.body, bodies);
+            }
+        }
+        Command::FunctionDef(f) => assign_heredocs_command(&mut f.body, bodies),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Post-pass 2: recursive parsing of captured substitution bodies.
+// ---------------------------------------------------------------------------
+
+fn fill_subst_script(script: &mut Script, depth: usize) {
+    for list in &mut script.lists {
+        fill_subst_pipeline(&mut list.first, depth);
+        for (_, p) in &mut list.rest {
+            fill_subst_pipeline(p, depth);
+        }
+    }
+}
+
+fn fill_subst_pipeline(p: &mut Pipeline, depth: usize) {
+    for cmd in &mut p.commands {
+        fill_subst_command(cmd, depth);
+    }
+}
+
+fn fill_subst_command(cmd: &mut Command, depth: usize) {
+    match cmd {
+        Command::Simple(c) => {
+            for a in &mut c.assignments {
+                fill_subst_units(&mut a.units, depth);
+            }
+            for w in &mut c.words {
+                fill_subst_units(&mut w.units, depth);
+            }
+            for r in &mut c.redirects {
+                fill_subst_units(&mut r.target.units, depth);
+            }
+        }
+        Command::Subshell(s) | Command::Group(s) => fill_subst_script(s, depth),
+        Command::For(f) => {
+            fill_subst_units(&mut f.var.units, depth);
+            if let Some(words) = &mut f.words {
+                for w in words {
+                    fill_subst_units(&mut w.units, depth);
+                }
+            }
+            fill_subst_script(&mut f.body, depth);
+        }
+        Command::While(l) => {
+            fill_subst_script(&mut l.condition, depth);
+            fill_subst_script(&mut l.body, depth);
+        }
+        Command::If(i) => {
+            for (cond, body) in &mut i.branches {
+                fill_subst_script(cond, depth);
+                fill_subst_script(body, depth);
+            }
+            if let Some(e) = &mut i.else_body {
+                fill_subst_script(e, depth);
+            }
+        }
+        Command::Case(c) => {
+            fill_subst_units(&mut c.subject.units, depth);
+            for arm in &mut c.arms {
+                for p in &mut arm.patterns {
+                    fill_subst_units(&mut p.units, depth);
+                }
+                fill_subst_script(&mut arm.body, depth);
+            }
+        }
+        Command::FunctionDef(f) => fill_subst_command(&mut f.body, depth),
+    }
+}
+
+fn fill_subst_units(units: &mut [WordUnit], depth: usize) {
+    for u in units {
+        match u {
+            WordUnit::CommandSubst(s) | WordUnit::Backquoted(s) => fill_subst(s, depth),
+            WordUnit::ProcessSubst { subst, .. } => fill_subst(subst, depth),
+            WordUnit::DoubleQuoted(inner) => fill_subst_units(inner, depth),
+            _ => {}
+        }
+    }
+}
+
+/// Parses a substitution body at `depth + 1`. Inner parse failures are
+/// deliberately swallowed — a substitution body Bash would reject does
+/// not invalidate the surrounding line for our purposes (the old
+/// grammar accepted any balanced body), it just stays opaque.
+fn fill_subst(s: &mut Substitution, depth: usize) {
+    if depth >= MAX_SUBST_DEPTH || s.script.is_some() {
+        return;
+    }
+    if let Ok(tokens) = Lexer::tokenize(&s.body) {
+        if let Ok(parsed) = Parser::with_depth(tokens, depth + 1).parse_script() {
+            s.script = Some(Box::new(parsed));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -373,8 +901,24 @@ mod tests {
     }
 
     #[test]
+    fn pipe_binds_tighter_than_and_or() {
+        // `a | b && c | d` must group as (a|b) && (c|d).
+        let s = parse("cat f | grep x && sort g | uniq").unwrap();
+        let list = &s.lists[0];
+        assert_eq!(list.first.commands.len(), 2);
+        assert_eq!(list.rest.len(), 1);
+        assert_eq!(list.rest[0].1.commands.len(), 2);
+    }
+
+    #[test]
     fn semicolon_separated_lists() {
         let s = parse("cd /tmp; ls; pwd").unwrap();
+        assert_eq!(s.lists.len(), 3);
+    }
+
+    #[test]
+    fn newline_separated_lists() {
+        let s = parse("cd /tmp\nls\npwd").unwrap();
         assert_eq!(s.lists.len(), 3);
     }
 
@@ -448,6 +992,7 @@ mod tests {
         assert_eq!(parse(""), Err(ParseError::Empty));
         assert_eq!(parse("   "), Err(ParseError::Empty));
         assert_eq!(parse("# nothing"), Err(ParseError::Empty));
+        assert_eq!(parse("\n\n"), Err(ParseError::Empty));
     }
 
     #[test]
@@ -555,5 +1100,205 @@ mod tests {
     #[test]
     fn double_semi_is_error_outside_case() {
         assert!(parse("ls ;; pwd").is_err());
+    }
+
+    #[test]
+    fn heredoc_body_attaches_to_redirect() {
+        let s = parse("cat << EOF\nline one\nline two\nEOF").unwrap();
+        let r = &s.simple_commands()[0].redirects[0];
+        assert_eq!(r.op, RedirectOp::Heredoc);
+        assert_eq!(r.target.text, "EOF");
+        assert_eq!(r.heredoc_body.as_deref(), Some("line one\nline two\n"));
+    }
+
+    #[test]
+    fn heredoc_without_body_stays_none() {
+        // Prompt-style fragment: the operator line alone.
+        let s = parse("cat << EOF").unwrap();
+        let r = &s.simple_commands()[0].redirects[0];
+        assert_eq!(r.heredoc_body, None);
+    }
+
+    #[test]
+    fn two_heredocs_assign_fifo() {
+        let s = parse("diff <(cat) /dev/stdin <<A <<B\none\nA\ntwo\nB").unwrap();
+        let rs = &s.simple_commands()[0].redirects;
+        assert_eq!(rs[0].heredoc_body.as_deref(), Some("one\n"));
+        assert_eq!(rs[1].heredoc_body.as_deref(), Some("two\n"));
+    }
+
+    #[test]
+    fn heredoc_strip_tabs() {
+        let s = parse("cat <<- EOF\n\tindented\n\tEOF").unwrap();
+        let r = &s.simple_commands()[0].redirects[0];
+        assert_eq!(r.op, RedirectOp::HeredocStrip);
+        assert_eq!(r.heredoc_body.as_deref(), Some("indented\n"));
+    }
+
+    #[test]
+    fn for_loop() {
+        let s = parse("for f in a.txt b.txt; do cat $f; done").unwrap();
+        let Command::For(f) = &s.lists[0].first.commands[0] else {
+            panic!("expected for loop");
+        };
+        assert_eq!(f.var.text, "f");
+        assert_eq!(f.words.as_ref().unwrap().len(), 2);
+        assert_eq!(f.body.command_names(), vec!["cat"]);
+        // body commands are visible to the whole-script views
+        assert_eq!(s.command_names(), vec!["cat"]);
+    }
+
+    #[test]
+    fn for_loop_without_in() {
+        let s = parse("for arg; do echo $arg; done").unwrap();
+        let Command::For(f) = &s.lists[0].first.commands[0] else {
+            panic!("expected for loop");
+        };
+        assert!(f.words.is_none());
+    }
+
+    #[test]
+    fn while_loop() {
+        let s = parse("while true; do sleep 1; done").unwrap();
+        let Command::While(l) = &s.lists[0].first.commands[0] else {
+            panic!("expected while loop");
+        };
+        assert!(!l.until);
+        assert_eq!(l.condition.command_names(), vec!["true"]);
+        assert_eq!(l.body.command_names(), vec!["sleep"]);
+    }
+
+    #[test]
+    fn until_loop() {
+        let s = parse("until ping -c1 host; do sleep 5; done").unwrap();
+        let Command::While(l) = &s.lists[0].first.commands[0] else {
+            panic!("expected until loop");
+        };
+        assert!(l.until);
+    }
+
+    #[test]
+    fn if_elif_else() {
+        let s =
+            parse("if test -f x; then cat x; elif test -d x; then ls x; else echo no; fi").unwrap();
+        let Command::If(i) = &s.lists[0].first.commands[0] else {
+            panic!("expected if");
+        };
+        assert_eq!(i.branches.len(), 2);
+        assert!(i.else_body.is_some());
+        assert_eq!(s.command_names(), vec!["test", "cat", "test", "ls", "echo"]);
+    }
+
+    #[test]
+    fn case_dispatch() {
+        let s = parse("case $1 in start) run ;; stop|halt) kill ;; *) usage ;; esac").unwrap();
+        let Command::Case(c) = &s.lists[0].first.commands[0] else {
+            panic!("expected case");
+        };
+        assert_eq!(c.subject.text, "$1");
+        assert_eq!(c.arms.len(), 3);
+        assert_eq!(c.arms[1].patterns.len(), 2);
+        assert_eq!(s.command_names(), vec!["run", "kill", "usage"]);
+    }
+
+    #[test]
+    fn case_arm_with_empty_body() {
+        let s = parse("case x in a) ;; b) echo b ;; esac").unwrap();
+        let Command::Case(c) = &s.lists[0].first.commands[0] else {
+            panic!("expected case");
+        };
+        assert!(c.arms[0].body.lists.is_empty());
+        assert_eq!(c.arms[1].body.command_names(), vec!["echo"]);
+    }
+
+    #[test]
+    fn posix_function_definition() {
+        let s = parse("cleanup() { rm -rf /tmp/work; }").unwrap();
+        let Command::FunctionDef(f) = &s.lists[0].first.commands[0] else {
+            panic!("expected function def");
+        };
+        assert_eq!(f.name.text, "cleanup");
+        assert_eq!(s.command_names(), vec!["rm"]);
+    }
+
+    #[test]
+    fn function_keyword_definition() {
+        let s = parse("function cleanup { rm -rf /tmp/work; }").unwrap();
+        let Command::FunctionDef(f) = &s.lists[0].first.commands[0] else {
+            panic!("expected function def");
+        };
+        assert_eq!(f.name.text, "cleanup");
+    }
+
+    #[test]
+    fn misplaced_keywords_error() {
+        for kw in ["then", "else", "elif", "fi", "do", "done", "esac"] {
+            assert_eq!(
+                parse(kw),
+                Err(ParseError::MisplacedKeyword {
+                    keyword: kw.to_string()
+                }),
+                "keyword {kw} should be misplaced at command position"
+            );
+        }
+    }
+
+    #[test]
+    fn keywords_are_plain_words_as_arguments() {
+        let s = parse("echo do not stop until done").unwrap();
+        assert_eq!(s.simple_commands()[0].words.len(), 6);
+    }
+
+    #[test]
+    fn if_without_then_is_missing_keyword() {
+        assert_eq!(
+            parse("if true; fi"),
+            Err(ParseError::MissingKeyword {
+                keyword: "then".into()
+            })
+        );
+    }
+
+    #[test]
+    fn empty_loop_body_is_error() {
+        assert!(parse("while true; do done").is_err());
+        assert!(parse("for x in a; do ; done").is_err());
+    }
+
+    #[test]
+    fn substitution_bodies_are_recursively_parsed() {
+        let s = parse("echo $(ls /tmp | wc -l)").unwrap();
+        let w = &s.simple_commands()[0].words[1];
+        let WordUnit::CommandSubst(sub) = &w.units[0] else {
+            panic!("expected command substitution, got {:?}", w.units);
+        };
+        let inner = sub.script.as_ref().expect("inner script parsed");
+        assert_eq!(inner.command_names(), vec!["ls", "wc"]);
+    }
+
+    #[test]
+    fn nested_substitution_parses_both_levels() {
+        let s = parse("echo $(echo $(date))").unwrap();
+        let w = &s.simple_commands()[0].words[1];
+        let WordUnit::CommandSubst(outer) = &w.units[0] else {
+            panic!("expected command substitution");
+        };
+        let inner_script = outer.script.as_ref().unwrap();
+        let inner_word = &inner_script.simple_commands()[0].words[1];
+        let WordUnit::CommandSubst(inner) = &inner_word.units[0] else {
+            panic!("expected nested substitution");
+        };
+        assert_eq!(inner.script.as_ref().unwrap().command_names(), vec!["date"]);
+    }
+
+    #[test]
+    fn invalid_substitution_body_stays_opaque() {
+        // `$(|)` has an invalid body; the line itself stays parseable.
+        let s = parse("echo $(|)").unwrap();
+        let w = &s.simple_commands()[0].words[1];
+        let WordUnit::CommandSubst(sub) = &w.units[0] else {
+            panic!("expected command substitution");
+        };
+        assert!(sub.script.is_none());
     }
 }

@@ -1,7 +1,9 @@
 //! Token types produced by the [lexer](crate::lexer).
 
+use crate::word::WordUnit;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// How a word was quoted in the original input.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -22,7 +24,7 @@ pub enum Quoting {
 /// `text` has quotes and backslash escapes resolved; `raw` is the exact
 /// substring of the input, which the normalizer uses for faithful
 /// re-rendering.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Word {
     /// Unquoted, unescaped text of the word.
     pub text: String,
@@ -30,16 +32,36 @@ pub struct Word {
     pub raw: String,
     /// Quote style observed for the word.
     pub quoting: Quoting,
+    /// The syntax-layer structure of the word: the sequence of
+    /// literal/quoted/expansion units the source characters form.
+    pub units: Vec<WordUnit>,
+}
+
+/// `units` is derived from `raw`, so hashing the scalar fields keeps
+/// `a == b ⇒ hash(a) == hash(b)` while sparing every map insertion a
+/// deep traversal of the unit tree.
+impl Hash for Word {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.text.hash(state);
+        self.raw.hash(state);
+        self.quoting.hash(state);
+    }
 }
 
 impl Word {
     /// Creates an unquoted word whose `raw` equals its `text`.
     pub fn plain(text: impl Into<String>) -> Self {
         let text = text.into();
+        let units = if text.is_empty() {
+            Vec::new()
+        } else {
+            vec![WordUnit::Literal(text.clone())]
+        };
         Word {
             raw: text.clone(),
             text,
             quoting: Quoting::None,
+            units,
         }
     }
 
@@ -88,6 +110,8 @@ pub enum Operator {
     DGreat,
     /// `<<` (heredoc)
     DLess,
+    /// `<<-` (heredoc, leading tabs stripped)
+    DLessDash,
     /// `<<<` (here-string)
     TLess,
     /// `<&`
@@ -113,6 +137,7 @@ impl Operator {
                 | Operator::Great
                 | Operator::DGreat
                 | Operator::DLess
+                | Operator::DLessDash
                 | Operator::TLess
                 | Operator::LessAnd
                 | Operator::GreatAnd
@@ -135,6 +160,7 @@ impl Operator {
             Operator::Great => ">",
             Operator::DGreat => ">>",
             Operator::DLess => "<<",
+            Operator::DLessDash => "<<-",
             Operator::TLess => "<<<",
             Operator::LessAnd => "<&",
             Operator::GreatAnd => ">&",
@@ -162,6 +188,12 @@ pub enum Token {
     /// A file-descriptor number immediately preceding a redirection
     /// (the `2` of `2>/dev/null`).
     IoNumber(u32),
+    /// A line break between commands (multi-line scripts).
+    Newline,
+    /// The body of a here-document, collected from the lines after the
+    /// operator line and queued right after the [`Token::Newline`] that
+    /// ended it.
+    HeredocBody(String),
 }
 
 impl Token {
@@ -188,6 +220,8 @@ impl fmt::Display for Token {
             Token::Word(w) => w.fmt(f),
             Token::Op(op) => op.fmt(f),
             Token::IoNumber(n) => write!(f, "{n}"),
+            Token::Newline => f.write_str("newline"),
+            Token::HeredocBody(_) => f.write_str("here-document"),
         }
     }
 }
@@ -214,6 +248,7 @@ mod tests {
             text: "-x".into(),
             raw: "'-x'".into(),
             quoting: Quoting::Single,
+            units: vec![WordUnit::SingleQuoted("-x".into())],
         };
         assert!(!quoted.is_flag());
     }
@@ -239,6 +274,7 @@ mod tests {
             Operator::Great,
             Operator::DGreat,
             Operator::DLess,
+            Operator::DLessDash,
             Operator::TLess,
             Operator::LessAnd,
             Operator::GreatAnd,

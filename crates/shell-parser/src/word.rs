@@ -1,0 +1,530 @@
+//! The syntax/word layer: the recursive structure *inside* one word.
+//!
+//! The lexer layer (`crate::lexer`) splits a line into tokens; this
+//! module models what a single word token is made of, following the
+//! yash-syntax layering: a [`Word`](crate::Word) is a sequence of
+//! [`WordUnit`]s — literal runs, quoted segments, parameter expansions
+//! with their modifiers, arithmetic, command/process substitutions and
+//! tildes. Substitution bodies are captured raw by the lexer; the
+//! command layer (`crate::parser`) recursively parses them into
+//! [`Script`]s after the surrounding line has parsed, keeping each
+//! layer's job single-purpose.
+
+use crate::ast::Script;
+use serde::{Deserialize, Serialize};
+
+/// One structural component of a word.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WordUnit {
+    /// An unquoted literal run with backslash escapes resolved.
+    Literal(String),
+    /// A `'…'` segment (content verbatim).
+    SingleQuoted(String),
+    /// A `"…"` segment; the content is itself a unit sequence because
+    /// `$…` expansions and backquotes stay live inside double quotes.
+    DoubleQuoted(Vec<WordUnit>),
+    /// A `$'…'` ANSI-C segment with escapes resolved.
+    AnsiCQuoted(String),
+    /// A `~` or `~user` at the start of a word.
+    Tilde(String),
+    /// A `$name` / `${name…}` parameter expansion.
+    Param(ParamExpansion),
+    /// A `$(…)` command substitution.
+    CommandSubst(Substitution),
+    /// A `` `…` `` backquote substitution.
+    Backquoted(Substitution),
+    /// A `$((…))` arithmetic expansion (expression text kept opaque).
+    Arith(String),
+    /// A `<(…)` / `>(…)` process substitution.
+    ProcessSubst {
+        /// Which side of the command the substitution feeds.
+        direction: SubstDirection,
+        /// The substituted command.
+        subst: Substitution,
+    },
+}
+
+/// Direction of a process substitution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SubstDirection {
+    /// `<(…)` — the command's output is read.
+    In,
+    /// `>(…)` — the command's input is written.
+    Out,
+}
+
+/// A captured substitution body plus its parse, when the command layer
+/// managed one (inner parse failures and over-deep nesting leave
+/// `script` as `None` without invalidating the surrounding line).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Substitution {
+    /// Raw text between the substitution delimiters.
+    pub body: String,
+    /// The recursively parsed body, filled by the command layer.
+    pub script: Option<Box<Script>>,
+}
+
+impl Substitution {
+    /// A substitution whose body has not been parsed (yet).
+    pub fn raw(body: impl Into<String>) -> Self {
+        Substitution {
+            body: body.into(),
+            script: None,
+        }
+    }
+}
+
+/// A parameter expansion: `$v`, `${v}`, `${v:-default}`, `${v##pat}`, …
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamExpansion {
+    /// The parameter name (or special parameter such as `?`, `#`, `@`).
+    pub name: String,
+    /// Whether the expansion was written `${…}`.
+    pub braced: bool,
+    /// The modifier after the name, if any.
+    pub modifier: Option<ParamModifier>,
+}
+
+/// The modifier of a braced parameter expansion.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParamModifier {
+    /// `${v:-w}` / `${v-w}` — default value.
+    Default(String),
+    /// `${v:=w}` / `${v=w}` — assign default.
+    Assign(String),
+    /// `${v:?w}` / `${v?w}` — error if unset.
+    ErrorIfUnset(String),
+    /// `${v:+w}` / `${v+w}` — alternative value.
+    Alternative(String),
+    /// `${v#pat}` / `${v##pat}` — remove matching prefix.
+    RemovePrefix {
+        /// `true` for `##` (longest match).
+        longest: bool,
+        /// The pattern.
+        pattern: String,
+    },
+    /// `${v%pat}` / `${v%%pat}` — remove matching suffix.
+    RemoveSuffix {
+        /// `true` for `%%` (longest match).
+        longest: bool,
+        /// The pattern.
+        pattern: String,
+    },
+    /// `${v/pat/repl}` / `${v//pat/repl}` — pattern replacement.
+    Replace {
+        /// `true` for `//` (replace all).
+        all: bool,
+        /// The pattern.
+        pattern: String,
+        /// The replacement.
+        replacement: String,
+    },
+    /// `${v:off}` / `${v:off:len}` — substring.
+    Substring(String),
+    /// `${#v}` — length.
+    Length,
+    /// `${!v}` — indirection.
+    Indirect,
+    /// `${v^pat}` / `${v,,}` … — case modification.
+    CaseMod(String),
+    /// Anything this parser does not model further (kept verbatim so
+    /// nothing errors).
+    Other(String),
+}
+
+/// Parses the text between `${` and `}` into a [`ParamExpansion`].
+///
+/// This is total: unknown shapes land in [`ParamModifier::Other`], so
+/// the word layer never rejects a brace expansion the lexer balanced.
+pub fn parse_param_body(inner: &str) -> ParamExpansion {
+    if let Some(name) = inner.strip_prefix('#') {
+        if !name.is_empty() {
+            return ParamExpansion {
+                name: name.to_string(),
+                braced: true,
+                modifier: Some(ParamModifier::Length),
+            };
+        }
+    }
+    if let Some(name) = inner.strip_prefix('!') {
+        if !name.is_empty() && name.chars().all(is_name_char) {
+            return ParamExpansion {
+                name: name.to_string(),
+                braced: true,
+                modifier: Some(ParamModifier::Indirect),
+            };
+        }
+    }
+    let name_len = inner.chars().take_while(|&c| is_name_char(c)).count();
+    let name_len = if name_len == 0 && !inner.is_empty() {
+        1 // special parameter: `${?}`, `${@}`, …
+    } else {
+        name_len
+    };
+    let name: String = inner.chars().take(name_len).collect();
+    let rest: String = inner.chars().skip(name_len).collect();
+    let modifier = if rest.is_empty() {
+        None
+    } else {
+        Some(parse_modifier(&rest))
+    };
+    ParamExpansion {
+        name,
+        braced: true,
+        modifier,
+    }
+}
+
+fn parse_modifier(rest: &str) -> ParamModifier {
+    if let Some(w) = rest.strip_prefix(":-").or_else(|| rest.strip_prefix('-')) {
+        return ParamModifier::Default(w.to_string());
+    }
+    if let Some(w) = rest.strip_prefix(":=").or_else(|| rest.strip_prefix('=')) {
+        return ParamModifier::Assign(w.to_string());
+    }
+    if let Some(w) = rest.strip_prefix(":?").or_else(|| rest.strip_prefix('?')) {
+        return ParamModifier::ErrorIfUnset(w.to_string());
+    }
+    if let Some(w) = rest.strip_prefix(":+").or_else(|| rest.strip_prefix('+')) {
+        return ParamModifier::Alternative(w.to_string());
+    }
+    if let Some(p) = rest.strip_prefix("##") {
+        return ParamModifier::RemovePrefix {
+            longest: true,
+            pattern: p.to_string(),
+        };
+    }
+    if let Some(p) = rest.strip_prefix('#') {
+        return ParamModifier::RemovePrefix {
+            longest: false,
+            pattern: p.to_string(),
+        };
+    }
+    if let Some(p) = rest.strip_prefix("%%") {
+        return ParamModifier::RemoveSuffix {
+            longest: true,
+            pattern: p.to_string(),
+        };
+    }
+    if let Some(p) = rest.strip_prefix('%') {
+        return ParamModifier::RemoveSuffix {
+            longest: false,
+            pattern: p.to_string(),
+        };
+    }
+    if let Some(p) = rest.strip_prefix("//") {
+        let (pattern, replacement) = split_replacement(p);
+        return ParamModifier::Replace {
+            all: true,
+            pattern,
+            replacement,
+        };
+    }
+    if let Some(p) = rest.strip_prefix('/') {
+        let (pattern, replacement) = split_replacement(p);
+        return ParamModifier::Replace {
+            all: false,
+            pattern,
+            replacement,
+        };
+    }
+    if let Some(s) = rest.strip_prefix(':') {
+        return ParamModifier::Substring(s.to_string());
+    }
+    if rest.starts_with('^') || rest.starts_with(',') {
+        return ParamModifier::CaseMod(rest.to_string());
+    }
+    ParamModifier::Other(rest.to_string())
+}
+
+fn split_replacement(p: &str) -> (String, String) {
+    match p.split_once('/') {
+        Some((pat, repl)) => (pat.to_string(), repl.to_string()),
+        None => (p.to_string(), String::new()),
+    }
+}
+
+/// `true` for characters a parameter name is made of.
+pub fn is_name_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Scans double-quoted content (raw, escapes unresolved) into units:
+/// `$…` expansions and backquotes stay live inside `"…"`; everything
+/// else is literal. Lenient by construction — an unterminated inner
+/// construct is literal text, exactly as Bash treats `"$(x"`.
+pub fn scan_double_quoted_units(raw: &str) -> Vec<WordUnit> {
+    let chars: Vec<char> = raw.chars().collect();
+    let mut units = Vec::new();
+    let mut lit = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                lit.push(chars[i]);
+                if i + 1 < chars.len() {
+                    lit.push(chars[i + 1]);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            '`' => match find_backquote_end(&chars, i + 1) {
+                Some(end) => {
+                    flush(&mut lit, &mut units);
+                    let body: String = chars[i + 1..end].iter().collect();
+                    units.push(WordUnit::Backquoted(Substitution::raw(body)));
+                    i = end + 1;
+                }
+                None => {
+                    lit.push('`');
+                    i += 1;
+                }
+            },
+            '$' => {
+                if let Some((unit, next)) = scan_dollar(&chars, i) {
+                    flush(&mut lit, &mut units);
+                    units.push(unit);
+                    i = next;
+                } else {
+                    lit.push('$');
+                    i += 1;
+                }
+            }
+            c => {
+                lit.push(c);
+                i += 1;
+            }
+        }
+    }
+    flush(&mut lit, &mut units);
+    units
+}
+
+fn flush(lit: &mut String, units: &mut Vec<WordUnit>) {
+    if !lit.is_empty() {
+        units.push(WordUnit::Literal(std::mem::take(lit)));
+    }
+}
+
+/// Scans a `$…` construct starting at `chars[at] == '$'`; returns the
+/// unit and the index after it, or `None` for a literal dollar.
+fn scan_dollar(chars: &[char], at: usize) -> Option<(WordUnit, usize)> {
+    match chars.get(at + 1) {
+        Some('(') => {
+            let end = find_balanced(chars, at + 2, '(', ')')?;
+            let raw: String = chars[at..=end].iter().collect();
+            if let Some(expr) = raw.strip_prefix("$((").and_then(|r| r.strip_suffix("))")) {
+                Some((WordUnit::Arith(expr.to_string()), end + 1))
+            } else {
+                let body: String = chars[at + 2..end].iter().collect();
+                Some((WordUnit::CommandSubst(Substitution::raw(body)), end + 1))
+            }
+        }
+        Some('{') => {
+            let end = find_balanced(chars, at + 2, '{', '}')?;
+            let body: String = chars[at + 2..end].iter().collect();
+            Some((WordUnit::Param(parse_param_body(&body)), end + 1))
+        }
+        Some(&c) if is_name_char(c) && !c.is_ascii_digit() => {
+            let mut end = at + 1;
+            while end < chars.len() && is_name_char(chars[end]) {
+                end += 1;
+            }
+            let name: String = chars[at + 1..end].iter().collect();
+            Some((
+                WordUnit::Param(ParamExpansion {
+                    name,
+                    braced: false,
+                    modifier: None,
+                }),
+                end,
+            ))
+        }
+        Some(&c) if matches!(c, '?' | '$' | '!' | '#' | '@' | '*' | '-' | '0'..='9') => Some((
+            WordUnit::Param(ParamExpansion {
+                name: c.to_string(),
+                braced: false,
+                modifier: None,
+            }),
+            at + 2,
+        )),
+        _ => None,
+    }
+}
+
+/// Finds the index of the closer matching nesting that began before
+/// `from`, skipping quoted stretches; `None` when unbalanced.
+fn find_balanced(chars: &[char], from: usize, opener: char, closer: char) -> Option<usize> {
+    let mut depth = 1usize;
+    let mut i = from;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == opener {
+            depth += 1;
+        } else if c == closer {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        } else if c == '\\' {
+            i += 1;
+        } else if c == '\'' {
+            i += 1;
+            while i < chars.len() && chars[i] != '\'' {
+                i += 1;
+            }
+        } else if c == '"' {
+            i += 1;
+            while i < chars.len() && chars[i] != '"' {
+                if chars[i] == '\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn find_backquote_end(chars: &[char], from: usize) -> Option<usize> {
+    let mut i = from;
+    while i < chars.len() {
+        match chars[i] {
+            '`' => return Some(i),
+            '\\' => i += 2,
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_default_modifier() {
+        let p = parse_param_body("HOME:-/root");
+        assert_eq!(p.name, "HOME");
+        assert!(p.braced);
+        assert_eq!(p.modifier, Some(ParamModifier::Default("/root".into())));
+    }
+
+    #[test]
+    fn param_unspaced_dash_modifier() {
+        let p = parse_param_body("v-fallback");
+        assert_eq!(p.modifier, Some(ParamModifier::Default("fallback".into())));
+    }
+
+    #[test]
+    fn param_remove_prefix_longest() {
+        let p = parse_param_body("path##*/");
+        assert_eq!(
+            p.modifier,
+            Some(ParamModifier::RemovePrefix {
+                longest: true,
+                pattern: "*/".into()
+            })
+        );
+    }
+
+    #[test]
+    fn param_remove_suffix_shortest() {
+        let p = parse_param_body("f%.txt");
+        assert_eq!(
+            p.modifier,
+            Some(ParamModifier::RemoveSuffix {
+                longest: false,
+                pattern: ".txt".into()
+            })
+        );
+    }
+
+    #[test]
+    fn param_replace_all() {
+        let p = parse_param_body("v//a/b");
+        assert_eq!(
+            p.modifier,
+            Some(ParamModifier::Replace {
+                all: true,
+                pattern: "a".into(),
+                replacement: "b".into()
+            })
+        );
+    }
+
+    #[test]
+    fn param_replace_without_replacement() {
+        let p = parse_param_body("v/x");
+        assert_eq!(
+            p.modifier,
+            Some(ParamModifier::Replace {
+                all: false,
+                pattern: "x".into(),
+                replacement: String::new()
+            })
+        );
+    }
+
+    #[test]
+    fn param_length_and_indirect() {
+        assert_eq!(parse_param_body("#v").modifier, Some(ParamModifier::Length));
+        assert_eq!(
+            parse_param_body("!v").modifier,
+            Some(ParamModifier::Indirect)
+        );
+    }
+
+    #[test]
+    fn param_substring() {
+        assert_eq!(
+            parse_param_body("v:1:3").modifier,
+            Some(ParamModifier::Substring("1:3".into()))
+        );
+    }
+
+    #[test]
+    fn param_special_name() {
+        let p = parse_param_body("?");
+        assert_eq!(p.name, "?");
+        assert_eq!(p.modifier, None);
+    }
+
+    #[test]
+    fn double_quoted_scan_finds_expansions() {
+        let units = scan_double_quoted_units("pre $(date) ${v:-x} $HOME `id` post");
+        let params = units
+            .iter()
+            .filter(|u| matches!(u, WordUnit::Param(_)))
+            .count();
+        let substs = units
+            .iter()
+            .filter(|u| matches!(u, WordUnit::CommandSubst(_) | WordUnit::Backquoted(_)))
+            .count();
+        assert_eq!(params, 2);
+        assert_eq!(substs, 2);
+        assert!(matches!(&units[0], WordUnit::Literal(l) if l == "pre "));
+    }
+
+    #[test]
+    fn double_quoted_scan_is_lenient_on_unterminated() {
+        // `"$(x"` — the dollar construct never closes; Bash treats the
+        // content literally and so do we.
+        let units = scan_double_quoted_units("$(x");
+        assert_eq!(units, vec![WordUnit::Literal("$(x".into())]);
+    }
+
+    #[test]
+    fn double_quoted_scan_arith() {
+        let units = scan_double_quoted_units("$((1+2))");
+        assert_eq!(units, vec![WordUnit::Arith("1+2".into())]);
+    }
+
+    #[test]
+    fn escaped_dollar_stays_literal() {
+        let units = scan_double_quoted_units(r"\$HOME");
+        assert_eq!(units, vec![WordUnit::Literal(r"\$HOME".into())]);
+    }
+}

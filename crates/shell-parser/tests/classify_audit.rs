@@ -1,0 +1,84 @@
+//! Table-driven audit of `validate::classify` after the full-grammar
+//! refactor.
+//!
+//! The layered parser widened the accepted grammar (here-documents,
+//! parameter-expansion modifiers, arithmetic, compound commands). This
+//! table pins, line by line, what is now Valid, what stays Invalid —
+//! including the paper's Figure 2 dangling-redirect example — and what
+//! is Empty, so future grammar changes cannot silently flip the
+//! validity filter's behavior.
+
+use shell_parser::{classify, LineClass};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expect {
+    Valid,
+    Invalid,
+    Empty,
+}
+
+fn verdict(line: &str) -> Expect {
+    match classify(line) {
+        LineClass::Valid(_) => Expect::Valid,
+        LineClass::Invalid(_) => Expect::Invalid,
+        LineClass::Empty => Expect::Empty,
+    }
+}
+
+#[test]
+fn classify_audit_table() {
+    use Expect::*;
+    let table: &[(&str, Expect)] = &[
+        // --- Plain commands: unchanged behavior from the old subset.
+        ("ls -la /tmp", Valid),
+        ("curl https://x/a.sh | bash", Valid),
+        ("PATH=/usr/bin make -j4 && echo done &", Valid),
+        ("(cd /x && ls) | wc -l", Valid),
+        ("{ echo a; echo b; }", Valid),
+        // --- Newly valid: here-documents.
+        ("cat << EOF\nhello\nEOF", Valid),
+        ("cat <<- EOF\n\thello\nEOF", Valid),
+        ("cat << EOF", Valid), // body never arrived; operator line is fine
+        ("python3 <<'PY'\nprint(1)\nPY", Valid),
+        // --- Newly valid: parameter-expansion modifiers.
+        ("echo ${v:-default}", Valid),
+        ("echo ${path##*/}", Valid),
+        ("echo ${s//a/b}", Valid),
+        ("echo ${#name}", Valid),
+        // --- Newly valid: arithmetic expansion.
+        ("echo $((1+2))", Valid),
+        ("x=$((7 * 6)) env", Valid),
+        // --- Newly valid: compound commands.
+        ("for f in a b; do cat $f; done", Valid),
+        ("while true; do sleep 1; done", Valid),
+        ("until ping -c1 h; do sleep 5; done", Valid),
+        ("if test -f x; then cat x; fi", Valid),
+        ("case $1 in a) run ;; *) usage ;; esac", Valid),
+        ("f() { echo hi; }", Valid),
+        ("function f { echo hi; }", Valid),
+        // --- Still invalid: the paper's Figure 2 example and friends.
+        ("/*/*/* -> /*/*/* ->", Invalid),
+        ("echo 'unterminated", Invalid),
+        ("| head", Invalid),
+        ("ls > ", Invalid),
+        ("foo &&", Invalid),
+        ("(unclosed", Invalid),
+        // --- Still invalid: malformed compound commands.
+        ("if true; fi", Invalid),
+        ("while true; do done", Invalid),
+        ("done", Invalid),
+        ("case x in a) echo x", Invalid),
+        ("for ; do x; done", Invalid),
+        // --- Empty: no signal for detection.
+        ("", Empty),
+        ("   \t ", Empty),
+        ("# just a comment", Empty),
+    ];
+    for (line, want) in table {
+        assert_eq!(
+            verdict(line),
+            *want,
+            "classify({line:?}) disagreed with the audit table"
+        );
+    }
+}

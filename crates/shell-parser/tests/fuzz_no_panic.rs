@@ -1,0 +1,111 @@
+//! Fuzz-style property suite: `parse` is total over arbitrary byte
+//! strings.
+//!
+//! Logged command lines arrive from the wire as raw bytes; the
+//! preprocessing pipeline lossily decodes them to UTF-8 and hands them
+//! to the parser. Whatever those bytes are — truncated multi-byte
+//! sequences, control characters, unbalanced quoting, half-open
+//! substitutions, here-doc operators with no body — `parse` must return
+//! `Ok` or a typed [`ParseError`], never panic.
+//!
+//! CI runs this suite in release mode with `PROPTEST_CASES=2048`.
+
+use proptest::prelude::*;
+use shell_parser::{classify, parse, render, LexError, ParseError};
+
+proptest! {
+    /// Arbitrary bytes, lossily decoded, never panic the parser.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255u8, 0..256)) {
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = parse(&line);
+        let _ = classify(&line);
+    }
+
+    /// Shell-flavored byte soup (operators, quotes, dollars, braces,
+    /// newlines, tabs) — the worst case for the layered lexer.
+    #[test]
+    fn shell_flavored_soup_never_panics(line in r#"[a-z0-9 \t\n'"\\$`(){}<>|&;!#~=/*?-]{0,200}"#) {
+        let _ = parse(&line);
+    }
+
+    /// Valid parses survive a render round trip without panicking, and
+    /// the rendered form stays parseable.
+    #[test]
+    fn rendered_output_reparses(line in r#"[a-z0-9 '"$(){}<>|&;]{0,120}"#) {
+        if let Ok(script) = parse(&line) {
+            let rendered = render(&script);
+            let again = parse(&rendered).expect("render produced unparseable output");
+            prop_assert_eq!(render(&again), rendered);
+        }
+    }
+}
+
+#[test]
+fn unterminated_constructs_yield_typed_errors() {
+    // Unterminated quotes.
+    assert!(matches!(
+        parse("echo 'oops"),
+        Err(ParseError::Lex(LexError::UnterminatedQuote {
+            quote: '\'',
+            ..
+        }))
+    ));
+    assert!(matches!(
+        parse("echo \"oops"),
+        Err(ParseError::Lex(LexError::UnterminatedQuote {
+            quote: '"',
+            ..
+        }))
+    ));
+    assert!(matches!(
+        parse("echo $'oops"),
+        Err(ParseError::Lex(LexError::UnterminatedQuote { .. }))
+    ));
+    // Unterminated substitutions.
+    assert!(matches!(
+        parse("echo $(ls"),
+        Err(ParseError::Lex(LexError::UnterminatedSubstitution { .. }))
+    ));
+    assert!(matches!(
+        parse("echo `ls"),
+        Err(ParseError::Lex(LexError::UnterminatedSubstitution { .. }))
+    ));
+    // Dangling compound constructs.
+    assert!(matches!(
+        parse("if true; then echo x"),
+        Err(ParseError::MissingKeyword { .. })
+    ));
+    assert!(matches!(
+        parse("case $x in a) echo x"),
+        Err(ParseError::MissingKeyword { .. })
+    ));
+    // A here-doc operator with no delimiter word at all.
+    assert!(parse("cat <<").is_err());
+}
+
+#[test]
+fn pathological_nesting_is_bounded() {
+    // Substitution nesting far past MAX_SUBST_DEPTH must neither panic
+    // nor loop; the inner scripts simply stop being filled in.
+    let mut line = String::from("echo ");
+    for _ in 0..64 {
+        line.push_str("$(echo ");
+    }
+    line.push('x');
+    for _ in 0..64 {
+        line.push(')');
+    }
+    let _ = parse(&line);
+
+    // Deep subshell nesting likewise.
+    let mut parens = String::new();
+    for _ in 0..64 {
+        parens.push('(');
+    }
+    parens.push_str("ls");
+    for _ in 0..64 {
+        parens.push(')');
+    }
+    let _ = parse(&parens);
+}

@@ -55,6 +55,13 @@ proptest! {
         // Reject the shapes that are legitimately special.
         prop_assume!(words[0] != "!" && words[0] != "{" && words[0] != "}");
         prop_assume!(!words[0].contains('='));
+        // Reserved words at the command position start (or reject) a
+        // compound command instead of a simple one.
+        const RESERVED: [&str; 14] = [
+            "for", "while", "until", "if", "case", "function", "then", "else", "elif", "fi",
+            "do", "done", "esac", "in",
+        ];
+        prop_assume!(!RESERVED.contains(&words[0].as_str()));
         prop_assume!(!words.iter().any(|w| w == "}" || w == "{"));
         // A word of only dashes could lex into operators? No: dashes are
         // word chars, so the line must parse.
